@@ -1,0 +1,42 @@
+//! Benchmarks for the context-construction step (§3.2): computing the
+//! executed-transition relation of traces against a reference FA, and
+//! plain acceptance.
+
+use cable_bench::prepare;
+use cable_trace::Trace;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_executed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("executed_transitions");
+    let registry = cable_specs::registry();
+    for name in ["FilePair", "RegionsBig"] {
+        let spec = registry.spec(name).expect("known spec");
+        let prepared = prepare(spec, 2003);
+        let fa = prepared.session.reference_fa().clone();
+        let traces: Vec<Trace> = prepared
+            .scenarios
+            .iter()
+            .take(50)
+            .map(|(_, t)| t.clone())
+            .collect();
+        group.bench_function(BenchmarkId::new("relation", name), |b| {
+            b.iter(|| {
+                for t in &traces {
+                    black_box(fa.executed_transitions(black_box(t)));
+                }
+            })
+        });
+        group.bench_function(BenchmarkId::new("accepts", name), |b| {
+            b.iter(|| {
+                for t in &traces {
+                    black_box(fa.accepts(black_box(t)));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_executed);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Benchmarks for Table 2 and the §5.2 scaling claim: concept-lattice
+//! construction cost (Godin's incremental algorithm vs NextClosure).
+
+use cable_bench::prepare;
+use cable_fca::{ConceptLattice, Context};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::Rng;
+use std::hint::black_box;
+
+/// The Figure 9 animals context.
+fn animals() -> Context {
+    let mut ctx = Context::new(5, 5);
+    for (o, attrs) in [
+        (0usize, vec![0usize, 1]),
+        (1, vec![1, 2, 4]),
+        (2, vec![2, 3]),
+        (3, vec![2, 4]),
+        (4, vec![2, 3]),
+    ] {
+        for a in attrs {
+            ctx.add(o, a);
+        }
+    }
+    ctx
+}
+
+/// A synthetic context shaped like the real scenario data: `n_attrs`
+/// attributes, 150 objects, at most 8 attributes per object.
+fn synthetic(n_attrs: usize) -> Context {
+    let mut rng = cable_util::rng::seeded(n_attrs as u64);
+    let mut ctx = Context::new(150, n_attrs);
+    for o in 0..150 {
+        let k = rng.gen_range(2..=8usize.min(n_attrs));
+        let base = rng.gen_range(0..n_attrs);
+        for i in 0..k {
+            ctx.add(o, (base + i * i + rng.gen_range(0..3)) % n_attrs);
+        }
+    }
+    ctx
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lattice/animals");
+    let ctx = animals();
+    group.bench_function("godin", |b| {
+        b.iter(|| ConceptLattice::build(black_box(&ctx)))
+    });
+    group.bench_function("next_closure", |b| {
+        b.iter(|| ConceptLattice::build_next_closure(black_box(&ctx)))
+    });
+    group.finish();
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lattice/scaling");
+    for n_attrs in [8usize, 16, 24, 32] {
+        let ctx = synthetic(n_attrs);
+        group.bench_with_input(BenchmarkId::new("godin", n_attrs), &ctx, |b, ctx| {
+            b.iter(|| ConceptLattice::build(black_box(ctx)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_spec_contexts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lattice/table2");
+    group.sample_size(20);
+    let registry = cable_specs::registry();
+    for name in ["FilePair", "XtFree", "RegionsBig"] {
+        let spec = registry.spec(name).expect("known spec");
+        let prepared = prepare(spec, 2003);
+        let ctx = prepared.session.context().clone();
+        group.bench_with_input(BenchmarkId::new("godin", name), &ctx, |b, ctx| {
+            b.iter(|| ConceptLattice::build(black_box(ctx)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_algorithms,
+    bench_scaling,
+    bench_spec_contexts
+);
+criterion_main!(benches);

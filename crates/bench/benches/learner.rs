@@ -1,0 +1,41 @@
+//! Benchmarks for the miner's back end and Cable's Show FA view: the
+//! sk-strings and k-tails learners.
+
+use cable_learn::{KTails, Pta, SkStrings};
+use cable_strauss::FrontEnd;
+use cable_trace::{Trace, Vocab};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn scenario_corpus(name: &str) -> Vec<Trace> {
+    let registry = cable_specs::registry();
+    let spec = registry.spec(name).expect("known spec");
+    let mut vocab = Vocab::new();
+    let workload = spec.generate(2003, &mut vocab);
+    FrontEnd::new(spec.seeds())
+        .extract_all(&workload, &vocab)
+        .iter()
+        .map(|(_, t)| t.clone())
+        .collect()
+}
+
+fn bench_learners(c: &mut Criterion) {
+    let mut group = c.benchmark_group("learner");
+    group.sample_size(10);
+    for name in ["FilePair", "XtFree"] {
+        let traces = scenario_corpus(name);
+        group.bench_with_input(BenchmarkId::new("pta", name), &traces, |b, ts| {
+            b.iter(|| Pta::build(black_box(ts)))
+        });
+        group.bench_with_input(BenchmarkId::new("sk_strings", name), &traces, |b, ts| {
+            b.iter(|| SkStrings::default().learn(black_box(ts)))
+        });
+        group.bench_with_input(BenchmarkId::new("k_tails", name), &traces, |b, ts| {
+            b.iter(|| KTails::default().learn(black_box(ts)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_learners);
+criterion_main!(benches);

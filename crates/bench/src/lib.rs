@@ -1,0 +1,27 @@
+//! The experiment harness: regenerates every table of the paper's
+//! evaluation (§5) plus the §5.2 scaling observation.
+//!
+//! * [`table1`] — the seventeen specifications after debugging: FA sizes,
+//!   ground-truth equivalence, and the bug counts the corrected
+//!   specifications find (the paper's "199 bugs" claim);
+//! * [`table2`] — the cost of concept analysis: trace counts, unique
+//!   classes, reference-FA transitions, lattice sizes and Godin build
+//!   times;
+//! * [`table3`] — the labeling cost of every §4.2 strategy against the
+//!   Baseline;
+//! * [`scaling`] — lattice size and build time as the number of FA
+//!   transitions grows (§5.2: "roughly linear").
+//!
+//! Run `cargo run -p cable-bench --bin reproduce -- all` to print
+//! everything.
+
+pub mod ablation;
+pub mod pipeline;
+pub mod tables;
+
+pub use ablation::{
+    coring_sweep, dedup_ablation, hac_comparison, learner_sweep, CoringReport, DedupRow, HacRow,
+    LearnerRow,
+};
+pub use pipeline::{prepare, PreparedSpec, ReferenceFaChoice};
+pub use tables::{scaling, table1, table2, table3, ScalingRow, Table1Row, Table2Row, Table3Row};

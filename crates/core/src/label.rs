@@ -1,0 +1,194 @@
+//! Labels and the label store.
+//!
+//! "The user records his decision about a set of traces by labeling the
+//! traces … Cable keeps track of which traces have been labeled \[and\]
+//! ensures that each trace receives no more than one label" (§4.1).
+//! Labels are free-form strings — the flexibility §2.2 exploits with
+//! `good fopen` / `good popen` — interned to small ids.
+
+use cable_util::{Interner, Symbol};
+
+/// An interned label, valid relative to the [`LabelStore`] that produced
+/// it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Label(pub(crate) Symbol);
+
+impl Label {
+    /// The raw index of this label.
+    pub fn index(self) -> usize {
+        self.0.index()
+    }
+}
+
+/// Tracks the (at most one) label of each object — in Cable, each class
+/// of identical traces.
+#[derive(Debug, Clone)]
+pub struct LabelStore {
+    names: Interner,
+    assignment: Vec<Option<Label>>,
+}
+
+impl LabelStore {
+    /// Creates a store for `n` objects, all unlabeled.
+    pub fn new(n: usize) -> Self {
+        LabelStore {
+            names: Interner::new(),
+            assignment: vec![None; n],
+        }
+    }
+
+    /// Number of objects tracked.
+    pub fn len(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Tests whether the store tracks no objects.
+    pub fn is_empty(&self) -> bool {
+        self.assignment.is_empty()
+    }
+
+    /// Appends a new, unlabeled object, returning its index.
+    pub fn push_unlabeled(&mut self) -> usize {
+        self.assignment.push(None);
+        self.assignment.len() - 1
+    }
+
+    /// Interns a label name.
+    pub fn intern(&mut self, name: &str) -> Label {
+        Label(self.names.intern(name))
+    }
+
+    /// Looks up a label name without interning.
+    pub fn find(&self, name: &str) -> Option<Label> {
+        self.names.get(name).map(Label)
+    }
+
+    /// Resolves a label to its name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label did not come from this store.
+    pub fn name(&self, label: Label) -> &str {
+        self.names.resolve(label.0)
+    }
+
+    /// The label of object `i`, if any.
+    pub fn get(&self, i: usize) -> Option<Label> {
+        self.assignment[i]
+    }
+
+    /// Assigns a label (replacing any existing one — no object ever has
+    /// two labels).
+    pub fn set(&mut self, i: usize, name: &str) -> Label {
+        let label = self.intern(name);
+        self.assignment[i] = Some(label);
+        label
+    }
+
+    /// Removes the label of object `i`.
+    pub fn clear(&mut self, i: usize) {
+        self.assignment[i] = None;
+    }
+
+    /// Removes every label (label names stay interned).
+    pub fn clear_all(&mut self) {
+        for a in &mut self.assignment {
+            *a = None;
+        }
+    }
+
+    /// Tests whether object `i` is labeled.
+    pub fn is_labeled(&self, i: usize) -> bool {
+        self.assignment[i].is_some()
+    }
+
+    /// Number of unlabeled objects.
+    pub fn unlabeled_count(&self) -> usize {
+        self.assignment.iter().filter(|a| a.is_none()).count()
+    }
+
+    /// Tests whether every object is labeled.
+    pub fn all_labeled(&self) -> bool {
+        self.assignment.iter().all(Option::is_some)
+    }
+
+    /// All objects carrying the given label.
+    pub fn objects_with(&self, label: Label) -> Vec<usize> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| **a == Some(label))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The distinct labels in use, in interning order.
+    pub fn labels_in_use(&self) -> Vec<Label> {
+        let mut used = vec![false; self.names.len()];
+        for a in self.assignment.iter().flatten() {
+            used[a.index()] = true;
+        }
+        used.iter()
+            .enumerate()
+            .filter(|(_, u)| **u)
+            .map(|(i, _)| Label(Symbol::from_index(i)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_label_per_object() {
+        let mut s = LabelStore::new(3);
+        assert_eq!(s.unlabeled_count(), 3);
+        let good = s.set(0, "good");
+        assert_eq!(s.get(0), Some(good));
+        // Relabeling replaces.
+        let bad = s.set(0, "bad");
+        assert_eq!(s.get(0), Some(bad));
+        assert_ne!(good, bad);
+        assert_eq!(s.name(bad), "bad");
+        assert_eq!(s.unlabeled_count(), 2);
+        assert!(!s.all_labeled());
+    }
+
+    #[test]
+    fn objects_with_and_labels_in_use() {
+        let mut s = LabelStore::new(4);
+        s.set(0, "good");
+        s.set(2, "good");
+        s.set(3, "bad");
+        let good = s.find("good").unwrap();
+        assert_eq!(s.objects_with(good), vec![0, 2]);
+        assert_eq!(s.labels_in_use().len(), 2);
+        // Relabel everything good -> bad; good no longer in use.
+        s.set(0, "bad");
+        s.set(2, "bad");
+        assert_eq!(s.labels_in_use().len(), 1);
+        assert!(s.objects_with(good).is_empty());
+    }
+
+    #[test]
+    fn clear_operations() {
+        let mut s = LabelStore::new(2);
+        s.set(0, "x");
+        s.set(1, "y");
+        assert!(s.all_labeled());
+        s.clear(0);
+        assert!(!s.is_labeled(0));
+        s.clear_all();
+        assert_eq!(s.unlabeled_count(), 2);
+        // Names remain interned.
+        assert!(s.find("x").is_some());
+    }
+
+    #[test]
+    fn empty_store() {
+        let s = LabelStore::new(0);
+        assert!(s.is_empty());
+        assert!(s.all_labeled(), "vacuously");
+    }
+}

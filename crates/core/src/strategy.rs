@@ -1,0 +1,566 @@
+//! The labeling strategies of §4.2 and their cost accounting.
+//!
+//! Strategy cost counts Cable operations: *inspecting* a concept and
+//! *labeling* traces. Inspection is counted so that an "optimal" strategy
+//! cannot cheat by inspecting everything for free; no strategy may label
+//! a concept without inspecting it first.
+//!
+//! All strategies are measured against a *reference labeling* (the
+//! oracle): at a concept they label its unlabeled traces iff the oracle
+//! gives them all the same label. A strategy returns `None` when the
+//! desired labeling is unreachable — exactly when the lattice is not
+//! well-formed for it (§4.3).
+//!
+//! * [`top_down`] — repeated breadth-first traversals from the top.
+//! * [`bottom_up`] — always visits a concept whose children are all
+//!   FullyLabeled; equivalent to Baseline on loop-free specifications
+//!   (§5.3).
+//! * [`random`] — visits non-FullyLabeled concepts in random order.
+//! * [`optimal`] — exact minimum cost by breadth-first search over
+//!   labeled-set states, with an explored-state budget (the paper, too,
+//!   could not measure Optimal on its four largest specifications).
+//! * [`expert`] — a heuristic model of §5.3's expert: mostly top-down but
+//!   jumps to the largest uniformly-labelable concept.
+//! * [`baseline`] — no Cable at all: inspect and label one representative
+//!   per class of identical traces (cost `2 × #classes`).
+
+use crate::session::{CableSession, ConceptState, TraceSelector};
+use cable_fca::ConceptId;
+use cable_trace::Trace;
+use cable_util::rng::shuffle;
+use cable_util::BitSet;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::collections::{HashSet, VecDeque};
+
+/// The cost of a strategy run, in Cable operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Cost {
+    /// Number of concept inspections.
+    pub inspections: usize,
+    /// Number of `Label traces` commands.
+    pub labelings: usize,
+}
+
+impl Cost {
+    /// Total operations (the paper's Table 3 quantity).
+    pub fn total(&self) -> usize {
+        self.inspections + self.labelings
+    }
+}
+
+impl std::ops::Add for Cost {
+    type Output = Cost;
+
+    fn add(self, other: Cost) -> Cost {
+        Cost {
+            inspections: self.inspections + other.inspections,
+            labelings: self.labelings + other.labelings,
+        }
+    }
+}
+
+/// Resolves the oracle labeling to one label name per trace class.
+fn class_labels<F>(session: &CableSession, oracle: &F) -> Vec<String>
+where
+    F: Fn(&Trace) -> String,
+{
+    session
+        .classes()
+        .iter()
+        .map(|class| oracle(session.traces().trace(class.representative)))
+        .collect()
+}
+
+/// The common label of the given classes, if they agree and the set is
+/// non-empty.
+fn uniform_label<'a>(classes: &[usize], labels: &'a [String]) -> Option<&'a str> {
+    let (first, rest) = classes.split_first()?;
+    let candidate = labels[*first].as_str();
+    rest.iter()
+        .all(|&c| labels[c] == candidate)
+        .then_some(candidate)
+}
+
+/// Labels the unlabeled traces of `concept` if the oracle is uniform on
+/// them. Returns whether a labeling happened.
+fn try_label(session: &mut CableSession, concept: ConceptId, labels: &[String]) -> bool {
+    let unlabeled = session.unlabeled_in(concept);
+    match uniform_label(&unlabeled, labels) {
+        Some(name) => {
+            let name = name.to_owned();
+            session.label_traces(concept, &TraceSelector::Unlabeled, &name);
+            true
+        }
+        None => false,
+    }
+}
+
+/// The Baseline method (§5.3): inspect and label each class of identical
+/// traces separately, without Cable. Cost is `2 × #classes`.
+pub fn baseline(session: &CableSession) -> Cost {
+    let n = session.classes().len();
+    Cost {
+        inspections: n,
+        labelings: n,
+    }
+}
+
+/// The Top-down strategy: repeated breadth-first lattice traversals from
+/// the top, inspecting every concept that still has unlabeled traces and
+/// labeling those whose unlabeled traces agree under the oracle.
+///
+/// Sibling order is randomised by `rng` (the paper reports the best of
+/// several runs; see [`best_of`]). Returns `None` when the labeling is
+/// unreachable.
+pub fn top_down<F>(session: &mut CableSession, oracle: &F, rng: &mut SmallRng) -> Option<Cost>
+where
+    F: Fn(&Trace) -> String,
+{
+    session.clear_labels();
+    let labels = class_labels(session, oracle);
+    let mut cost = Cost::default();
+    while !session.all_labeled() {
+        let mut progress = false;
+        // One BFS traversal with shuffled sibling order.
+        let mut seen = vec![false; session.lattice().len()];
+        let mut queue = VecDeque::from([session.lattice().top()]);
+        seen[session.lattice().top().index()] = true;
+        while let Some(id) = queue.pop_front() {
+            if session.concept_state(id) == ConceptState::FullyLabeled {
+                // Skipped without cost; its descendants hold no unlabeled
+                // traces either.
+                continue;
+            }
+            cost.inspections += 1;
+            if try_label(session, id, &labels) {
+                cost.labelings += 1;
+                progress = true;
+            }
+            let mut children: Vec<ConceptId> = session.lattice().children(id).to_vec();
+            shuffle(&mut children, rng);
+            for child in children {
+                if !seen[child.index()] {
+                    seen[child.index()] = true;
+                    queue.push_back(child);
+                }
+            }
+        }
+        if !progress {
+            return None;
+        }
+    }
+    Some(cost)
+}
+
+/// The Bottom-up strategy: repeatedly visit a (random) concept that is
+/// not FullyLabeled but whose children all are, and label its remaining
+/// traces. Fails (`None`) iff the lattice is not well-formed for the
+/// labeling.
+pub fn bottom_up<F>(session: &mut CableSession, oracle: &F, rng: &mut SmallRng) -> Option<Cost>
+where
+    F: Fn(&Trace) -> String,
+{
+    session.clear_labels();
+    let labels = class_labels(session, oracle);
+    let mut cost = Cost::default();
+    while !session.all_labeled() {
+        let candidates: Vec<ConceptId> = session
+            .lattice()
+            .ids()
+            .filter(|&id| {
+                session.concept_state(id) != ConceptState::FullyLabeled
+                    && session
+                        .lattice()
+                        .children(id)
+                        .iter()
+                        .all(|&c| session.concept_state(c) == ConceptState::FullyLabeled)
+            })
+            .collect();
+        // A minimal not-FullyLabeled concept always exists while some
+        // trace is unlabeled.
+        let id = candidates[rng.gen_range(0..candidates.len())];
+        cost.inspections += 1;
+        if try_label(session, id, &labels) {
+            cost.labelings += 1;
+        } else {
+            return None; // Ill-formed concept: residue is mixed.
+        }
+    }
+    Some(cost)
+}
+
+/// The Random strategy: visit non-FullyLabeled concepts in random order,
+/// labeling whenever the visited concept's unlabeled traces agree.
+pub fn random<F>(session: &mut CableSession, oracle: &F, rng: &mut SmallRng) -> Option<Cost>
+where
+    F: Fn(&Trace) -> String,
+{
+    session.clear_labels();
+    let labels = class_labels(session, oracle);
+    let mut cost = Cost::default();
+    while !session.all_labeled() {
+        let candidates: Vec<ConceptId> = session
+            .lattice()
+            .ids()
+            .filter(|&id| session.concept_state(id) != ConceptState::FullyLabeled)
+            .collect();
+        // Unreachable-labeling guard: some candidate must be labelable.
+        if !candidates
+            .iter()
+            .any(|&id| uniform_label(&session.unlabeled_in(id), &labels).is_some())
+        {
+            return None;
+        }
+        let id = candidates[rng.gen_range(0..candidates.len())];
+        cost.inspections += 1;
+        if try_label(session, id, &labels) {
+            cost.labelings += 1;
+        }
+    }
+    Some(cost)
+}
+
+/// The Optimal strategy: the minimum-cost operation sequence, computed by
+/// breadth-first search over sets of labeled classes. Each step labels
+/// the unlabeled traces of one concept (cost 2: inspect + label).
+///
+/// Returns `None` if the labeling is unreachable **or** the search
+/// explores more than `max_states` states (the budget that §5.3's
+/// evaluation also ran into on its four largest specifications).
+pub fn optimal<F>(session: &mut CableSession, oracle: &F, max_states: usize) -> Option<Cost>
+where
+    F: Fn(&Trace) -> String,
+{
+    session.clear_labels();
+    let labels = class_labels(session, oracle);
+    let n_classes = session.classes().len();
+    let full: BitSet = (0..n_classes).collect();
+    let start = BitSet::new();
+    if start == full {
+        return Some(Cost::default());
+    }
+    // Precompute per-concept extents.
+    let extents: Vec<BitSet> = session
+        .lattice()
+        .ids()
+        .map(|id| session.lattice().concept(id).extent.clone())
+        .collect();
+    let mut visited: HashSet<BitSet> = HashSet::from([start.clone()]);
+    let mut frontier = vec![start];
+    let mut steps = 0usize;
+    while !frontier.is_empty() {
+        steps += 1;
+        let mut next = Vec::new();
+        for state in &frontier {
+            for extent in &extents {
+                let unlabeled: Vec<usize> = extent.iter().filter(|&c| !state.contains(c)).collect();
+                if unlabeled.is_empty() || uniform_label(&unlabeled, &labels).is_none() {
+                    continue;
+                }
+                let new_state = state.union(extent);
+                if new_state == full {
+                    return Some(Cost {
+                        inspections: steps,
+                        labelings: steps,
+                    });
+                }
+                if visited.insert(new_state.clone()) {
+                    if visited.len() > max_states {
+                        return None; // Budget exceeded.
+                    }
+                    next.push(new_state);
+                }
+            }
+        }
+        frontier = next;
+    }
+    None // Labeling unreachable.
+}
+
+/// The Expert heuristic of §5.3: one initial look at the top of the
+/// lattice, then repeatedly jump to the concept that labels the most
+/// still-unlabeled classes in one command (the expert "directed his
+/// search based on transitions he found interesting" — i.e. towards big
+/// homogeneous clusters).
+pub fn expert<F>(session: &mut CableSession, oracle: &F) -> Option<Cost>
+where
+    F: Fn(&Trace) -> String,
+{
+    session.clear_labels();
+    let labels = class_labels(session, oracle);
+    let mut cost = Cost {
+        inspections: 1, // The initial look at the top concept.
+        labelings: 0,
+    };
+    while !session.all_labeled() {
+        let best = session
+            .lattice()
+            .ids()
+            .filter_map(|id| {
+                let unlabeled = session.unlabeled_in(id);
+                uniform_label(&unlabeled, &labels).map(|_| (id, unlabeled.len()))
+            })
+            .max_by_key(|&(id, n)| (n, std::cmp::Reverse(id)))?;
+        cost.inspections += 1;
+        let labeled = try_label(session, best.0, &labels);
+        debug_assert!(labeled);
+        cost.labelings += 1;
+    }
+    Some(cost)
+}
+
+/// A cautious variant of [`expert`]: §4.2 notes that a real user, "even
+/// when all of a concept's traces should receive the same label, … might
+/// need to inspect the concept's subconcepts to convince himself of that
+/// fact". This variant charges one extra inspection per child concept
+/// that shares traces with each labeled selection — an upper-bound model
+/// of the confirmation work a careful human does.
+pub fn expert_cautious<F>(session: &mut CableSession, oracle: &F) -> Option<Cost>
+where
+    F: Fn(&Trace) -> String,
+{
+    session.clear_labels();
+    let labels = class_labels(session, oracle);
+    let mut cost = Cost {
+        inspections: 1,
+        labelings: 0,
+    };
+    while !session.all_labeled() {
+        let (best, unlabeled) = session
+            .lattice()
+            .ids()
+            .filter_map(|id| {
+                let unlabeled = session.unlabeled_in(id);
+                uniform_label(&unlabeled, &labels).map(|_| (id, unlabeled))
+            })
+            .max_by_key(|(id, u)| (u.len(), std::cmp::Reverse(*id)))?;
+        // Confirmation: look into every child that holds part of the
+        // selection before committing.
+        let selection: BitSet = unlabeled.iter().copied().collect();
+        let confirmations = session
+            .lattice()
+            .children(best)
+            .iter()
+            .filter(|&&c| !session.lattice().concept(c).extent.is_disjoint(&selection))
+            .count();
+        cost.inspections += 1 + confirmations;
+        let labeled = try_label(session, best, &labels);
+        debug_assert!(labeled);
+        cost.labelings += 1;
+    }
+    Some(cost)
+}
+
+/// Runs a strategy `trials` times with derived seeds, returning the
+/// minimum and mean total cost over the successful runs (or `None` if any
+/// run fails — failures are labeling-unreachability, which is
+/// deterministic for these strategies).
+pub fn best_of<F, S>(
+    session: &mut CableSession,
+    oracle: &F,
+    strategy: S,
+    trials: usize,
+    seed: u64,
+) -> Option<(usize, f64)>
+where
+    F: Fn(&Trace) -> String,
+    S: Fn(&mut CableSession, &F, &mut SmallRng) -> Option<Cost>,
+{
+    let mut best = usize::MAX;
+    let mut sum = 0usize;
+    for trial in 0..trials {
+        let mut rng = cable_util::rng::seeded(cable_util::rng::derive_seed(seed, trial as u64));
+        let cost = strategy(session, oracle, &mut rng)?.total();
+        best = best.min(cost);
+        sum += cost;
+    }
+    Some((best, sum as f64 / trials as f64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cable_fa::templates;
+    use cable_trace::{TraceSet, Vocab};
+    use cable_util::rng::seeded;
+
+    /// Violation traces of the running example, with duplicates.
+    fn stdio_session(v: &mut Vocab) -> CableSession {
+        let texts = [
+            "popen(X) fread(X) pclose(X)",
+            "popen(X) fread(X) pclose(X)",
+            "popen(X) fwrite(X) pclose(X)",
+            "popen(X) fread(X)",
+            "fopen(X) fwrite(X)",
+            "fopen(X) fwrite(X)",
+            "fopen(X) fread(X) pclose(X)",
+        ];
+        let mut traces = TraceSet::new();
+        for t in texts {
+            traces.push(Trace::parse(t, v).unwrap());
+        }
+        let all: Vec<Trace> = traces.iter().map(|(_, t)| t.clone()).collect();
+        let fa = templates::unordered_of_trace_events(&all);
+        CableSession::new(traces, fa)
+    }
+
+    /// The reference labeling: popen…pclose traces are good, the rest
+    /// demonstrate bugs.
+    fn oracle(v: &Vocab) -> impl Fn(&Trace) -> String + '_ {
+        let popen = v.find_op("popen").unwrap();
+        let pclose = v.find_op("pclose").unwrap();
+        move |t: &Trace| {
+            let starts = t.events().first().is_some_and(|e| e.op == popen);
+            let ends = t.events().last().is_some_and(|e| e.op == pclose);
+            if starts && ends {
+                "good".into()
+            } else {
+                "bad".into()
+            }
+        }
+    }
+
+    #[test]
+    fn all_strategies_reach_the_labeling() {
+        let mut v = Vocab::new();
+        let mut s = stdio_session(&mut v);
+        let o = oracle(&v);
+        let mut rng = seeded(1);
+        for (name, cost) in [
+            ("top_down", top_down(&mut s, &o, &mut rng)),
+            ("bottom_up", bottom_up(&mut s, &o, &mut rng)),
+            ("random", random(&mut s, &o, &mut rng)),
+            ("optimal", optimal(&mut s, &o, 100_000)),
+            ("expert", expert(&mut s, &o)),
+        ] {
+            let cost = cost.unwrap_or_else(|| panic!("{name} failed"));
+            assert!(cost.total() > 0, "{name}");
+            // After each run the session is fully and correctly labeled.
+            for (i, class) in s.classes().iter().enumerate() {
+                let want = o(s.traces().trace(class.representative));
+                let got = s.labels().get(i).map(|l| s.labels().name(l).to_owned());
+                assert_eq!(got.as_deref(), Some(want.as_str()), "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn optimal_is_minimal() {
+        let mut v = Vocab::new();
+        let mut s = stdio_session(&mut v);
+        let o = oracle(&v);
+        let opt = optimal(&mut s, &o, 100_000).unwrap().total();
+        let mut rng = seeded(2);
+        for _ in 0..20 {
+            if let Some(c) = top_down(&mut s, &o, &mut rng) {
+                assert!(opt <= c.total());
+            }
+            if let Some(c) = random(&mut s, &o, &mut rng) {
+                assert!(opt <= c.total());
+            }
+        }
+        if let Some(c) = bottom_up(&mut s, &o, &mut seeded(3)) {
+            assert!(opt <= c.total());
+        }
+        if let Some(c) = expert(&mut s, &o) {
+            assert!(opt <= c.total());
+        }
+    }
+
+    #[test]
+    fn cautious_expert_costs_at_least_the_expert() {
+        let mut v = Vocab::new();
+        let mut s = stdio_session(&mut v);
+        let o = oracle(&v);
+        let plain = expert(&mut s, &o).expect("well-formed").total();
+        let cautious = expert_cautious(&mut s, &o).expect("well-formed").total();
+        assert!(cautious >= plain, "cautious {cautious} vs {plain}");
+        // And it still produces the right labeling.
+        for (i, class) in s.classes().iter().enumerate() {
+            let want = o(s.traces().trace(class.representative));
+            let got = s.labels().get(i).map(|l| s.labels().name(l).to_owned());
+            assert_eq!(got.as_deref(), Some(want.as_str()));
+        }
+    }
+
+    #[test]
+    fn baseline_is_two_per_class() {
+        let mut v = Vocab::new();
+        let s = stdio_session(&mut v);
+        let b = baseline(&s);
+        assert_eq!(b.total(), 2 * s.classes().len());
+        assert_eq!(b.total(), 10); // 5 distinct traces.
+    }
+
+    #[test]
+    fn strategies_fail_on_ill_formed_lattice() {
+        // Two identical-attribute but differently-labeled traces: the
+        // §4.3 parity situation. (Different event *orders* with the same
+        // unordered attributes.)
+        let mut v = Vocab::new();
+        let mut traces = TraceSet::new();
+        traces.push(Trace::parse("a(X) b(X)", &mut v).unwrap());
+        traces.push(Trace::parse("b(X) a(X)", &mut v).unwrap());
+        let all: Vec<Trace> = traces.iter().map(|(_, t)| t.clone()).collect();
+        let fa = templates::unordered_of_trace_events(&all);
+        let mut s = CableSession::new(traces, fa);
+        let a = v.find_op("a").unwrap();
+        let o = move |t: &Trace| {
+            if t.events()[0].op == a {
+                "good".to_owned()
+            } else {
+                "bad".to_owned()
+            }
+        };
+        assert!(!s.is_well_formed_for(|t| o(t)));
+        let mut rng = seeded(4);
+        assert_eq!(top_down(&mut s, &o, &mut rng), None);
+        assert_eq!(bottom_up(&mut s, &o, &mut rng), None);
+        assert_eq!(random(&mut s, &o, &mut rng), None);
+        assert_eq!(optimal(&mut s, &o, 100_000), None);
+        assert_eq!(expert(&mut s, &o), None);
+    }
+
+    #[test]
+    fn optimal_budget_trips() {
+        let mut v = Vocab::new();
+        let mut s = stdio_session(&mut v);
+        let o = oracle(&v);
+        assert_eq!(optimal(&mut s, &o, 1), None);
+    }
+
+    #[test]
+    fn best_of_aggregates() {
+        let mut v = Vocab::new();
+        let mut s = stdio_session(&mut v);
+        let o = oracle(&v);
+        let (best, mean) = best_of(&mut s, &o, top_down, 8, 42).unwrap();
+        assert!(best > 0);
+        assert!(mean >= best as f64);
+    }
+
+    #[test]
+    fn uniform_oracle_labels_in_one_command() {
+        let mut v = Vocab::new();
+        let mut s = stdio_session(&mut v);
+        let o = |_: &Trace| "good".to_owned();
+        let opt = optimal(&mut s, &o, 10_000).unwrap();
+        assert_eq!(opt.total(), 2, "label everything at the top");
+        let e = expert(&mut s, &o).unwrap();
+        assert_eq!(e.total(), 3); // initial inspection + one labeled concept.
+    }
+
+    #[test]
+    fn trivial_session_costs_nothing_extra() {
+        let mut v = Vocab::new();
+        let mut traces = TraceSet::new();
+        traces.push(Trace::parse("a(X)", &mut v).unwrap());
+        let all: Vec<Trace> = traces.iter().map(|(_, t)| t.clone()).collect();
+        let fa = templates::unordered_of_trace_events(&all);
+        let mut s = CableSession::new(traces, fa);
+        let o = |_: &Trace| "good".to_owned();
+        assert_eq!(optimal(&mut s, &o, 1000).unwrap().total(), 2);
+        assert_eq!(baseline(&s).total(), 2);
+    }
+}

@@ -1,0 +1,174 @@
+//! Well-formedness of a lattice for a desired labeling (§4.3).
+//!
+//! Because Cable only labels the traces of a concept *en masse*, a bad
+//! lattice can make a labeling unreachable. A concept `c` is well-formed
+//! for a labeling iff
+//!
+//! 1. every trace in `c` has the same label, or
+//! 2. every child of `c` is well-formed, and every trace of `c` that is
+//!    in no child has the same label.
+//!
+//! The lattice is well-formed iff every concept is. When it is not, the
+//! §4.3 remedies apply: change the reference FA (Focus) or label the
+//! offending concepts `mixed` and handle their traces separately.
+
+use crate::session::CableSession;
+use cable_fca::ConceptLattice;
+use cable_util::BitSet;
+
+/// Tests whether a lattice is well-formed for the labeling `label_of`
+/// (a function from object/class index to an arbitrary label value).
+pub fn is_well_formed<L, F>(lattice: &ConceptLattice, label_of: F) -> bool
+where
+    L: PartialEq,
+    F: Fn(usize) -> L,
+{
+    ill_formed_concepts(lattice, label_of).is_empty()
+}
+
+/// The set of concepts that are *not* well-formed for the labeling, as a
+/// bit set over concept indices. Empty iff the lattice is well-formed.
+pub fn ill_formed_concepts<L, F>(lattice: &ConceptLattice, label_of: F) -> BitSet
+where
+    L: PartialEq,
+    F: Fn(usize) -> L,
+{
+    let n = lattice.len();
+    let mut well = vec![false; n];
+    // Process bottom-up: ids are sorted by decreasing extent size, so
+    // reverse id order is a valid children-first order.
+    for id in lattice.ids().collect::<Vec<_>>().into_iter().rev() {
+        let concept = lattice.concept(id);
+        // Case 1: uniform labels over the whole extent.
+        if uniform(concept.extent.iter(), &label_of) {
+            well[id.index()] = true;
+            continue;
+        }
+        // Case 2: all children well-formed and the residue is uniform.
+        let children = lattice.children(id);
+        if children.iter().all(|c| well[c.index()]) {
+            let mut residue = concept.extent.clone();
+            for c in children {
+                residue.difference_with(&lattice.concept(*c).extent);
+            }
+            if uniform(residue.iter(), &label_of) {
+                well[id.index()] = true;
+            }
+        }
+    }
+    (0..n).filter(|&i| !well[i]).collect()
+}
+
+fn uniform<L, F, I>(objects: I, label_of: &F) -> bool
+where
+    L: PartialEq,
+    F: Fn(usize) -> L,
+    I: IntoIterator<Item = usize>,
+{
+    let mut first: Option<L> = None;
+    for o in objects {
+        let l = label_of(o);
+        match &first {
+            None => first = Some(l),
+            Some(f) => {
+                if *f != l {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+impl CableSession {
+    /// Tests whether this session's lattice is well-formed for the given
+    /// reference labeling over *traces* (applied to class
+    /// representatives).
+    pub fn is_well_formed_for<L, F>(&self, label_of_trace: F) -> bool
+    where
+        L: PartialEq,
+        F: Fn(&cable_trace::Trace) -> L,
+    {
+        is_well_formed(self.lattice(), |class| {
+            label_of_trace(self.traces().trace(self.classes()[class].representative))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cable_fca::Context;
+
+    fn lattice_of(rows: &[&[usize]], m: usize) -> ConceptLattice {
+        let mut ctx = Context::new(rows.len(), m);
+        for (o, row) in rows.iter().enumerate() {
+            for &a in *row {
+                ctx.add(o, a);
+            }
+        }
+        ConceptLattice::build(&ctx)
+    }
+
+    #[test]
+    fn uniform_labeling_is_always_well_formed() {
+        let l = lattice_of(&[&[0], &[1], &[0, 1]], 2);
+        assert!(is_well_formed(&l, |_| "same"));
+    }
+
+    #[test]
+    fn separable_labeling_is_well_formed() {
+        // Objects 0,1 share attribute 0; object 2 has attribute 1.
+        // Labeling {0,1}=good, {2}=bad is achievable: label the
+        // attribute-0 concept, then the rest.
+        let l = lattice_of(&[&[0], &[0], &[1]], 2);
+        assert!(is_well_formed(&l, |o| if o < 2 { "good" } else { "bad" }));
+    }
+
+    #[test]
+    fn parity_example_is_not_well_formed() {
+        // §4.3's example: all traces exercise the sole transition, so all
+        // end up in one concept; an even/odd labeling is unreachable.
+        // Model: 4 objects all with the same single attribute.
+        let l = lattice_of(&[&[0], &[0], &[0], &[0]], 1);
+        assert!(!is_well_formed(&l, |o| o % 2 == 0));
+        let ill = ill_formed_concepts(&l, |o| o % 2 == 0);
+        assert!(!ill.is_empty());
+    }
+
+    #[test]
+    fn residue_rule_applies() {
+        // Objects: 0 {a}, 1 {a,b}, 2 {a,c}. Concept {a} = {0,1,2} with
+        // children {a,b}={1} and {a,c}={2}; residue {0}.
+        // Labeling 1=x, 2=y, 0=z is well-formed via case 2.
+        let l = lattice_of(&[&[0], &[0, 1], &[0, 2]], 3);
+        let labels = ["z", "x", "y"];
+        assert!(is_well_formed(&l, |o| labels[o]));
+    }
+
+    #[test]
+    fn mixed_residue_is_ill_formed() {
+        // Objects 0 and 1 have identical attributes but different labels,
+        // and 2 is separable.
+        let l = lattice_of(&[&[0], &[0], &[1]], 2);
+        let labels = ["x", "y", "z"];
+        let ill = ill_formed_concepts(&l, |o| labels[o]);
+        assert!(!ill.is_empty());
+    }
+
+    #[test]
+    fn session_level_check() {
+        use cable_fa::templates;
+        use cable_trace::{Trace, TraceSet, Vocab};
+        let mut v = Vocab::new();
+        let mut traces = TraceSet::new();
+        traces.push(Trace::parse("a(X) c(X)", &mut v).unwrap());
+        traces.push(Trace::parse("a(X)", &mut v).unwrap());
+        let all: Vec<Trace> = traces.iter().map(|(_, t)| t.clone()).collect();
+        let fa = templates::unordered_of_trace_events(&all);
+        let s = CableSession::new(traces, fa);
+        // Label by whether the trace contains `c`: separable.
+        let c = v.find_op("c").unwrap();
+        assert!(s.is_well_formed_for(|t| t.iter().any(|e| e.op == c)));
+    }
+}

@@ -1,0 +1,149 @@
+//! Property tests for Cable sessions and strategies on random trace
+//! populations clustered under the unordered template.
+
+use cable_core::{strategy, CableSession, ConceptState, TraceSelector};
+use cable_fa::templates;
+use cable_trace::{Event, Trace, TraceSet, Var, Vocab};
+use proptest::prelude::*;
+
+/// Random trace population: op sequences over a 4-op alphabet, with
+/// duplicates likely.
+fn arb_population() -> impl Strategy<Value = Vec<Vec<usize>>> {
+    prop::collection::vec(prop::collection::vec(0usize..4, 1..5), 1..14)
+}
+
+fn build_session(raw: &[Vec<usize>]) -> (CableSession, Vocab) {
+    let mut vocab = Vocab::new();
+    let mut traces = TraceSet::new();
+    for ops in raw {
+        traces.push(Trace::new(
+            ops.iter()
+                .map(|&i| Event::on_var(vocab.op(&format!("op{i}")), Var(0)))
+                .collect(),
+        ));
+    }
+    let all: Vec<Trace> = traces.iter().map(|(_, t)| t.clone()).collect();
+    let fa = templates::unordered_of_trace_events(&all);
+    (CableSession::new(traces, fa), vocab)
+}
+
+/// An oracle that labels by the *set* of ops in the trace — always
+/// well-formed for the unordered template by construction.
+fn set_oracle(t: &Trace) -> String {
+    let mut ops: Vec<usize> = t.iter().map(|e| e.op.index()).collect();
+    ops.sort_unstable();
+    ops.dedup();
+    format!("{ops:?}")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn classes_partition_traces(raw in arb_population()) {
+        let (session, _) = build_session(&raw);
+        let total: usize = session.classes().iter().map(|c| c.count()).sum();
+        prop_assert_eq!(total, session.traces().len());
+        // class_of is consistent with membership.
+        for (c, class) in session.classes().iter().enumerate() {
+            for &m in &class.members {
+                prop_assert_eq!(session.class_of(m), c);
+            }
+        }
+    }
+
+    #[test]
+    fn top_concept_holds_every_class(raw in arb_population()) {
+        let (session, _) = build_session(&raw);
+        let top = session.lattice().top();
+        prop_assert_eq!(
+            session.select(top, &TraceSelector::All).len(),
+            session.classes().len()
+        );
+    }
+
+    #[test]
+    fn label_all_makes_everything_fully_labeled(raw in arb_population()) {
+        let (mut session, _) = build_session(&raw);
+        session.label_traces(session.lattice().top(), &TraceSelector::All, "x");
+        prop_assert!(session.all_labeled());
+        for id in session.lattice().ids() {
+            prop_assert_eq!(session.concept_state(id), ConceptState::FullyLabeled);
+        }
+    }
+
+    #[test]
+    fn selectors_partition_every_concept(raw in arb_population()) {
+        let (mut session, _) = build_session(&raw);
+        // Label one child of the top, if any.
+        let top = session.lattice().top();
+        if let Some(&child) = session.lattice().children(top).first() {
+            session.label_traces(child, &TraceSelector::All, "good");
+        }
+        for id in session.lattice().ids() {
+            let all = session.select(id, &TraceSelector::All).len();
+            let unlabeled = session.select(id, &TraceSelector::Unlabeled).len();
+            let good = session
+                .select(id, &TraceSelector::WithLabel("good".into()))
+                .len();
+            prop_assert_eq!(all, unlabeled + good);
+        }
+    }
+
+    #[test]
+    fn set_oracle_is_always_well_formed_for_unordered(raw in arb_population()) {
+        // The unordered lattice can always express a labeling that is a
+        // function of the op set.
+        let (session, _) = build_session(&raw);
+        prop_assert!(session.is_well_formed_for(set_oracle));
+    }
+
+    #[test]
+    fn strategies_reach_the_set_oracle_labeling(raw in arb_population()) {
+        let (mut session, _) = build_session(&raw);
+        let o = |t: &Trace| set_oracle(t);
+        let mut rng = cable_util::rng::seeded(42);
+        for which in 0..4 {
+            let cost = match which {
+                0 => strategy::top_down(&mut session, &o, &mut rng),
+                1 => strategy::bottom_up(&mut session, &o, &mut rng),
+                2 => strategy::random(&mut session, &o, &mut rng),
+                _ => strategy::expert(&mut session, &o),
+            };
+            prop_assert!(cost.is_some(), "strategy {which} failed");
+            prop_assert!(session.all_labeled());
+            for (c, class) in session.classes().iter().enumerate() {
+                let want = set_oracle(session.traces().trace(class.representative));
+                let got = session.labels().get(c).map(|l| session.labels().name(l).to_owned());
+                prop_assert_eq!(got, Some(want));
+            }
+        }
+    }
+
+    #[test]
+    fn optimal_lower_bounds_strategies(raw in arb_population()) {
+        let (mut session, _) = build_session(&raw);
+        let o = |t: &Trace| set_oracle(t);
+        let opt = strategy::optimal(&mut session, &o, 200_000);
+        prop_assume!(opt.is_some());
+        let opt = opt.unwrap().total();
+        let mut rng = cable_util::rng::seeded(1);
+        let td = strategy::top_down(&mut session, &o, &mut rng).unwrap().total();
+        let bu = strategy::bottom_up(&mut session, &o, &mut rng).unwrap().total();
+        let ex = strategy::expert(&mut session, &o).unwrap().total();
+        prop_assert!(opt <= td && opt <= bu && opt <= ex, "opt {opt} td {td} bu {bu} ex {ex}");
+    }
+
+    #[test]
+    fn focus_round_trip_preserves_labels(raw in arb_population()) {
+        let (mut session, _) = build_session(&raw);
+        let top = session.lattice().top();
+        // Label everything via a focus session over the exact same FA.
+        let fa = session.reference_fa().clone();
+        let mut focus = session.focus(top, fa);
+        let ftop = focus.session().lattice().top();
+        focus.session_mut().label_traces(ftop, &TraceSelector::All, "good");
+        session.merge_focus(focus);
+        prop_assert!(session.all_labeled());
+    }
+}

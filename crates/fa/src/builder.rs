@@ -1,0 +1,131 @@
+//! Construction of automata.
+
+use crate::fa::{Fa, StateId, TransId, Transition};
+use crate::label::{EventPat, TransLabel};
+use cable_trace::{Var, Vocab};
+use cable_util::BitSet;
+
+/// Builds an [`Fa`] incrementally.
+///
+/// # Examples
+///
+/// ```
+/// use cable_fa::FaBuilder;
+/// use cable_trace::Vocab;
+///
+/// let mut v = Vocab::new();
+/// let mut b = FaBuilder::new();
+/// let s = b.state();
+/// b.start(s).accept(s);
+/// b.event_var(s, "ping", s, &mut v);
+/// let fa = b.build();
+/// assert_eq!(fa.state_count(), 1);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct FaBuilder {
+    n_states: u32,
+    transitions: Vec<Transition>,
+    starts: BitSet,
+    accepts: BitSet,
+}
+
+impl FaBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a fresh state.
+    pub fn state(&mut self) -> StateId {
+        let id = StateId(self.n_states);
+        self.n_states += 1;
+        id
+    }
+
+    /// Adds `n` fresh states.
+    pub fn states(&mut self, n: usize) -> Vec<StateId> {
+        (0..n).map(|_| self.state()).collect()
+    }
+
+    /// Marks a state as a start state.
+    pub fn start(&mut self, s: StateId) -> &mut Self {
+        self.starts.insert(s.index());
+        self
+    }
+
+    /// Marks a state as accepting.
+    pub fn accept(&mut self, s: StateId) -> &mut Self {
+        self.accepts.insert(s.index());
+        self
+    }
+
+    /// Adds a transition with an arbitrary label, returning its id.
+    pub fn transition(&mut self, src: StateId, label: TransLabel, dst: StateId) -> TransId {
+        let id = TransId(self.transitions.len() as u32);
+        self.transitions.push(Transition { src, dst, label });
+        id
+    }
+
+    /// Adds a transition labelled with an event pattern.
+    pub fn pat(&mut self, src: StateId, pat: EventPat, dst: StateId) -> TransId {
+        self.transition(src, TransLabel::Pat(pat), dst)
+    }
+
+    /// Adds a transition labelled `op(X)` — the common single-object form.
+    pub fn event_var(
+        &mut self,
+        src: StateId,
+        op: &str,
+        dst: StateId,
+        vocab: &mut Vocab,
+    ) -> TransId {
+        let pat = EventPat::on_var(vocab.op(op), Var(0));
+        self.pat(src, pat, dst)
+    }
+
+    /// Adds a transition matching `op` with any arguments.
+    pub fn event_op(&mut self, src: StateId, op: &str, dst: StateId, vocab: &mut Vocab) -> TransId {
+        let pat = EventPat::op_only(vocab.op(op));
+        self.pat(src, pat, dst)
+    }
+
+    /// Adds a wildcard transition.
+    pub fn wildcard(&mut self, src: StateId, dst: StateId) -> TransId {
+        self.transition(src, TransLabel::Wildcard, dst)
+    }
+
+    /// Finishes construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no state was marked as a start state (an FA with no start
+    /// states accepts nothing, which is never intended here).
+    pub fn build(self) -> Fa {
+        assert!(!self.starts.is_empty(), "automaton has no start state");
+        Fa::from_parts(self.n_states, self.transitions, self.starts, self.accepts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_states() {
+        let mut b = FaBuilder::new();
+        let ss = b.states(3);
+        assert_eq!(ss.len(), 3);
+        assert_eq!(ss[2], StateId(2));
+        b.start(ss[0]);
+        let fa = b.build();
+        assert_eq!(fa.state_count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "no start state")]
+    fn requires_start() {
+        let mut b = FaBuilder::new();
+        b.state();
+        let _ = b.build();
+    }
+}

@@ -1,0 +1,98 @@
+//! Graphviz DOT export for automata.
+//!
+//! The original Cable displayed automata and lattices through Dotty; we
+//! regenerate the paper's figures as `.dot` files.
+
+use crate::fa::Fa;
+use cable_trace::Vocab;
+use std::fmt::Write as _;
+
+impl Fa {
+    /// Renders the automaton in Graphviz DOT syntax.
+    ///
+    /// Start states get an incoming arrow from an invisible node;
+    /// accepting states are drawn with a double circle.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cable_fa::FaBuilder;
+    /// use cable_trace::Vocab;
+    ///
+    /// let mut v = Vocab::new();
+    /// let mut b = FaBuilder::new();
+    /// let s = b.state();
+    /// b.start(s).accept(s);
+    /// b.event_var(s, "f", s, &mut v);
+    /// let dot = b.build().to_dot(&v, "example");
+    /// assert!(dot.contains("digraph"));
+    /// assert!(dot.contains("f(X)"));
+    /// ```
+    pub fn to_dot(&self, vocab: &Vocab, name: &str) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{}\" {{", escape(name));
+        let _ = writeln!(out, "  rankdir=LR;");
+        let _ = writeln!(out, "  node [shape=circle];");
+        for s in self.states() {
+            let shape = if self.is_accept(s) {
+                "doublecircle"
+            } else {
+                "circle"
+            };
+            let _ = writeln!(out, "  {s} [shape={shape}];");
+            if self.is_start(s) {
+                let _ = writeln!(out, "  __start_{s} [shape=point, style=invis];");
+                let _ = writeln!(out, "  __start_{s} -> {s};");
+            }
+        }
+        for id in self.transition_ids() {
+            let t = self.transition(id);
+            let _ = writeln!(
+                out,
+                "  {} -> {} [label=\"{}\"];",
+                t.src,
+                t.dst,
+                escape(&t.label.display(vocab).to_string())
+            );
+        }
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::FaBuilder;
+    use cable_trace::Vocab;
+
+    #[test]
+    fn dot_mentions_all_parts() {
+        let mut v = Vocab::new();
+        let mut b = FaBuilder::new();
+        let s0 = b.state();
+        let s1 = b.state();
+        b.start(s0).accept(s1);
+        b.event_var(s0, "fopen", s1, &mut v);
+        b.wildcard(s1, s1);
+        let dot = b.build().to_dot(&v, "t");
+        assert!(dot.contains("s0 -> s1 [label=\"fopen(X)\"]"));
+        assert!(dot.contains("s1 -> s1 [label=\"*\"]"));
+        assert!(dot.contains("s1 [shape=doublecircle]"));
+        assert!(dot.contains("__start_s0 -> s0"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn dot_escapes_quotes() {
+        let v = Vocab::new();
+        let mut b = FaBuilder::new();
+        let s = b.state();
+        b.start(s);
+        let dot = b.build().to_dot(&v, "a\"b");
+        assert!(dot.contains("a\\\"b"));
+    }
+}

@@ -1,0 +1,219 @@
+//! The nondeterministic finite automaton.
+
+use crate::label::TransLabel;
+use cable_util::BitSet;
+use std::fmt;
+
+/// Index of a state within an [`Fa`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StateId(pub u32);
+
+impl StateId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Index of a transition within an [`Fa`]. Transitions are the
+/// *attributes* of the concept analysis (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TransId(pub u32);
+
+impl TransId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TransId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// A labelled transition `src --label--> dst`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Transition {
+    /// Source state (the "head" in the paper's terminology).
+    pub src: StateId,
+    /// Destination state (the "tail").
+    pub dst: StateId,
+    /// The label.
+    pub label: TransLabel,
+}
+
+/// A nondeterministic finite automaton over event labels.
+///
+/// States and transitions are densely numbered; the automaton is immutable
+/// after construction (see [`crate::FaBuilder`]). There are no ε
+/// transitions: every transition consumes exactly one event, which keeps
+/// the executed-transition relation ([`Fa::executed_transitions`]) aligned
+/// with trace positions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fa {
+    n_states: u32,
+    transitions: Vec<Transition>,
+    starts: BitSet,
+    accepts: BitSet,
+    /// Outgoing transition ids per state.
+    out: Vec<Vec<TransId>>,
+}
+
+impl Fa {
+    pub(crate) fn from_parts(
+        n_states: u32,
+        transitions: Vec<Transition>,
+        starts: BitSet,
+        accepts: BitSet,
+    ) -> Self {
+        let mut out = vec![Vec::new(); n_states as usize];
+        for (i, t) in transitions.iter().enumerate() {
+            assert!(
+                t.src.0 < n_states && t.dst.0 < n_states,
+                "transition out of range"
+            );
+            out[t.src.index()].push(TransId(i as u32));
+        }
+        assert!(
+            starts.last().is_none_or(|s| (s as u32) < n_states),
+            "start state out of range"
+        );
+        assert!(
+            accepts.last().is_none_or(|s| (s as u32) < n_states),
+            "accept state out of range"
+        );
+        Fa {
+            n_states,
+            transitions,
+            starts,
+            accepts,
+            out,
+        }
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.n_states as usize
+    }
+
+    /// Number of transitions.
+    pub fn transition_count(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// All state ids.
+    pub fn states(&self) -> impl Iterator<Item = StateId> {
+        (0..self.n_states).map(StateId)
+    }
+
+    /// All transition ids.
+    pub fn transition_ids(&self) -> impl Iterator<Item = TransId> {
+        (0..self.transitions.len() as u32).map(TransId)
+    }
+
+    /// Looks up a transition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn transition(&self, id: TransId) -> &Transition {
+        &self.transitions[id.index()]
+    }
+
+    /// All transitions in id order.
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+
+    /// Outgoing transitions of a state.
+    pub fn outgoing(&self, s: StateId) -> &[TransId] {
+        &self.out[s.index()]
+    }
+
+    /// The start states.
+    pub fn start_states(&self) -> &BitSet {
+        &self.starts
+    }
+
+    /// The accepting states.
+    pub fn accept_states(&self) -> &BitSet {
+        &self.accepts
+    }
+
+    /// Tests whether `s` is a start state.
+    pub fn is_start(&self, s: StateId) -> bool {
+        self.starts.contains(s.index())
+    }
+
+    /// Tests whether `s` is an accepting state.
+    pub fn is_accept(&self, s: StateId) -> bool {
+        self.accepts.contains(s.index())
+    }
+
+    /// Tests whether the automaton has a wildcard transition.
+    pub fn has_wildcard(&self) -> bool {
+        self.transitions.iter().any(|t| t.label.is_wildcard())
+    }
+
+    /// The distinct non-wildcard labels, in first-appearance order.
+    pub fn concrete_labels(&self) -> Vec<&TransLabel> {
+        let mut seen = Vec::new();
+        for t in &self.transitions {
+            if !t.label.is_wildcard() && !seen.contains(&&t.label) {
+                seen.push(&t.label);
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FaBuilder;
+    use cable_trace::Vocab;
+
+    #[test]
+    fn accessors() {
+        let mut v = Vocab::new();
+        let mut b = FaBuilder::new();
+        let s0 = b.state();
+        let s1 = b.state();
+        b.start(s0).accept(s1);
+        let t = b.event_var(s0, "f", s1, &mut v);
+        b.wildcard(s1, s1);
+        let fa = b.build();
+        assert_eq!(fa.state_count(), 2);
+        assert_eq!(fa.transition_count(), 2);
+        assert!(fa.is_start(s0));
+        assert!(!fa.is_start(s1));
+        assert!(fa.is_accept(s1));
+        assert_eq!(fa.outgoing(s0), &[t]);
+        assert!(fa.has_wildcard());
+        assert_eq!(fa.concrete_labels().len(), 1);
+        assert_eq!(fa.transition(t).src, s0);
+        assert_eq!(fa.states().count(), 2);
+        assert_eq!(fa.transition_ids().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "transition out of range")]
+    fn rejects_out_of_range_transition() {
+        use crate::label::TransLabel;
+        use cable_util::BitSet;
+        let t = Transition {
+            src: StateId(0),
+            dst: StateId(5),
+            label: TransLabel::Wildcard,
+        };
+        let _ = Fa::from_parts(1, vec![t], BitSet::singleton(0), BitSet::singleton(0));
+    }
+}

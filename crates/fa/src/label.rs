@@ -1,0 +1,271 @@
+//! Transition labels: event patterns and the wildcard.
+
+use cable_trace::{Arg, Event, Var, Vocab};
+use cable_util::Symbol;
+use std::fmt;
+
+/// A pattern over a single event argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ArgPat {
+    /// Matches exactly this canonical variable.
+    Var(Var),
+    /// Matches exactly this atom.
+    Atom(Symbol),
+    /// Matches any argument (written `_`).
+    Any,
+}
+
+impl ArgPat {
+    /// Tests whether the pattern matches an argument.
+    pub fn matches(self, arg: Arg) -> bool {
+        match (self, arg) {
+            (ArgPat::Any, _) => true,
+            (ArgPat::Var(v), Arg::Var(w)) => v == w,
+            (ArgPat::Atom(a), Arg::Atom(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+/// A pattern over events: an operation name plus (optionally) argument
+/// patterns.
+///
+/// With `args: None` the pattern matches any event with the right
+/// operation regardless of arity — useful when only the operation matters.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventPat {
+    /// The operation to match.
+    pub op: Symbol,
+    /// Positional argument patterns, or `None` to accept any arguments.
+    pub args: Option<Vec<ArgPat>>,
+}
+
+impl EventPat {
+    /// A pattern matching `op` with any arguments.
+    pub fn op_only(op: Symbol) -> Self {
+        EventPat { op, args: None }
+    }
+
+    /// A pattern matching `op(var)`.
+    pub fn on_var(op: Symbol, var: Var) -> Self {
+        EventPat {
+            op,
+            args: Some(vec![ArgPat::Var(var)]),
+        }
+    }
+
+    /// Tests whether the pattern matches an event.
+    pub fn matches(&self, event: &Event) -> bool {
+        if self.op != event.op {
+            return false;
+        }
+        match &self.args {
+            None => true,
+            Some(pats) => {
+                pats.len() == event.args.len()
+                    && pats.iter().zip(&event.args).all(|(p, &a)| p.matches(a))
+            }
+        }
+    }
+
+    /// The exact pattern for a concrete event (all arguments pinned).
+    ///
+    /// Object-id arguments cannot be pinned (patterns range over canonical
+    /// variables), so they become [`ArgPat::Any`].
+    pub fn exact(event: &Event) -> Self {
+        EventPat {
+            op: event.op,
+            args: Some(
+                event
+                    .args
+                    .iter()
+                    .map(|&a| match a {
+                        Arg::Var(v) => ArgPat::Var(v),
+                        Arg::Atom(s) => ArgPat::Atom(s),
+                        Arg::Obj(_) => ArgPat::Any,
+                    })
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Tests whether the pattern mentions the given variable.
+    pub fn mentions_var(&self, var: Var) -> bool {
+        self.args
+            .as_ref()
+            .is_some_and(|ps| ps.iter().any(|p| matches!(p, ArgPat::Var(v) if *v == var)))
+    }
+
+    /// Renders the pattern against a vocabulary.
+    pub fn display<'a>(&'a self, vocab: &'a Vocab) -> DisplayEventPat<'a> {
+        DisplayEventPat { pat: self, vocab }
+    }
+}
+
+/// A transition label: either an event pattern or the wildcard that
+/// matches every event (used by the name-projection template of §4.1).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TransLabel {
+    /// Matches events satisfying the pattern.
+    Pat(EventPat),
+    /// Matches every event (written `*`).
+    Wildcard,
+}
+
+impl TransLabel {
+    /// Tests whether the label matches an event.
+    pub fn matches(&self, event: &Event) -> bool {
+        match self {
+            TransLabel::Pat(p) => p.matches(event),
+            TransLabel::Wildcard => true,
+        }
+    }
+
+    /// The pattern, unless this is the wildcard.
+    pub fn as_pat(&self) -> Option<&EventPat> {
+        match self {
+            TransLabel::Pat(p) => Some(p),
+            TransLabel::Wildcard => None,
+        }
+    }
+
+    /// Tests whether this is the wildcard.
+    pub fn is_wildcard(&self) -> bool {
+        matches!(self, TransLabel::Wildcard)
+    }
+
+    /// Renders the label against a vocabulary.
+    pub fn display<'a>(&'a self, vocab: &'a Vocab) -> DisplayTransLabel<'a> {
+        DisplayTransLabel { label: self, vocab }
+    }
+}
+
+impl From<EventPat> for TransLabel {
+    fn from(p: EventPat) -> Self {
+        TransLabel::Pat(p)
+    }
+}
+
+/// Displays an [`EventPat`]; created by [`EventPat::display`].
+#[derive(Debug, Clone, Copy)]
+pub struct DisplayEventPat<'a> {
+    pat: &'a EventPat,
+    vocab: &'a Vocab,
+}
+
+impl fmt::Display for DisplayEventPat<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.vocab.op_name(self.pat.op))?;
+        if let Some(args) = &self.pat.args {
+            write!(f, "(")?;
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                match a {
+                    ArgPat::Var(v) => write!(f, "{}", v.name())?,
+                    ArgPat::Atom(s) => write!(f, "'{}", self.vocab.atom_name(*s))?,
+                    ArgPat::Any => write!(f, "_")?,
+                }
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+/// Displays a [`TransLabel`]; created by [`TransLabel::display`].
+#[derive(Debug, Clone, Copy)]
+pub struct DisplayTransLabel<'a> {
+    label: &'a TransLabel,
+    vocab: &'a Vocab,
+}
+
+impl fmt::Display for DisplayTransLabel<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.label {
+            TransLabel::Pat(p) => write!(f, "{}", p.display(self.vocab)),
+            TransLabel::Wildcard => write!(f, "*"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cable_trace::Trace;
+
+    fn ev(text: &str, v: &mut Vocab) -> Event {
+        Trace::parse(text, v).unwrap().events()[0].clone()
+    }
+
+    #[test]
+    fn exact_pattern_matches_only_that_event() {
+        let mut v = Vocab::new();
+        let e = ev("f(X)", &mut v);
+        let other_var = ev("f(Y)", &mut v);
+        let other_op = ev("g(X)", &mut v);
+        let p = EventPat::exact(&e);
+        assert!(p.matches(&e));
+        assert!(!p.matches(&other_var));
+        assert!(!p.matches(&other_op));
+    }
+
+    #[test]
+    fn op_only_ignores_arity() {
+        let mut v = Vocab::new();
+        let f = v.op("f");
+        let p = EventPat::op_only(f);
+        assert!(p.matches(&ev("f()", &mut v)));
+        assert!(p.matches(&ev("f(X,Y)", &mut v)));
+        assert!(!p.matches(&ev("g()", &mut v)));
+    }
+
+    #[test]
+    fn any_matches_objects_and_atoms() {
+        let mut v = Vocab::new();
+        let f = v.op("f");
+        let p = EventPat {
+            op: f,
+            args: Some(vec![ArgPat::Any]),
+        };
+        assert!(p.matches(&ev("f(#3)", &mut v)));
+        assert!(p.matches(&ev("f('A)", &mut v)));
+        assert!(p.matches(&ev("f(X)", &mut v)));
+        assert!(!p.matches(&ev("f(X,Y)", &mut v)), "arity still checked");
+    }
+
+    #[test]
+    fn wildcard_matches_everything() {
+        let mut v = Vocab::new();
+        assert!(TransLabel::Wildcard.matches(&ev("anything(X,#1,'A)", &mut v)));
+        assert!(TransLabel::Wildcard.is_wildcard());
+        assert!(TransLabel::Wildcard.as_pat().is_none());
+    }
+
+    #[test]
+    fn mentions_var() {
+        let mut v = Vocab::new();
+        let e = ev("f(X,Y)", &mut v);
+        let p = EventPat::exact(&e);
+        assert!(p.mentions_var(Var(0)));
+        assert!(p.mentions_var(Var(1)));
+        assert!(!p.mentions_var(Var(2)));
+        assert!(!EventPat::op_only(e.op).mentions_var(Var(0)));
+    }
+
+    #[test]
+    fn display_forms() {
+        let mut v = Vocab::new();
+        let e = ev("f(X,'P,#9)", &mut v);
+        let p = EventPat::exact(&e);
+        assert_eq!(p.display(&v).to_string(), "f(X,'P,_)");
+        assert_eq!(
+            TransLabel::from(EventPat::op_only(e.op))
+                .display(&v)
+                .to_string(),
+            "f"
+        );
+        assert_eq!(TransLabel::Wildcard.display(&v).to_string(), "*");
+    }
+}

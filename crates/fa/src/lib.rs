@@ -1,0 +1,61 @@
+//! Finite automata over program events.
+//!
+//! A temporal specification is a finite automaton (FA) that accepts some
+//! program execution traces and rejects others (§2 of the paper). This
+//! crate provides:
+//!
+//! * [`Fa`] — a nondeterministic FA whose transitions are labelled by
+//!   event patterns ([`TransLabel`]) or a wildcard,
+//! * [`FaBuilder`] — ergonomic construction,
+//! * the **executed-transition relation** ([`Fa::executed_transitions`]):
+//!   the set of transitions that lie on *some accepting sequence* for a
+//!   trace. This relation is the context `R ⊆ O × A` of the paper's
+//!   concept analysis (§3.2) and therefore the definition of trace
+//!   similarity,
+//! * classical automaton algebra ([`ops`]): determinisation, completion,
+//!   product, DFA minimisation, and language-equivalence checking — used
+//!   to validate mined specifications against ground truth,
+//! * the three **template FAs** of §4.1 ([`templates`]): unordered, name
+//!   projection, and seed order, used by Cable's *Focus* command,
+//! * DOT export ([`dot`]) and a parseable text format ([`text`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use cable_fa::FaBuilder;
+//! use cable_trace::{Trace, Vocab};
+//!
+//! let mut v = Vocab::new();
+//! // fopen(X) (fread(X)|fwrite(X))* fclose(X)
+//! let mut b = FaBuilder::new();
+//! let s0 = b.state();
+//! let s1 = b.state();
+//! let s2 = b.state();
+//! b.start(s0).accept(s2);
+//! b.event_var(s0, "fopen", s1, &mut v);
+//! b.event_var(s1, "fread", s1, &mut v);
+//! b.event_var(s1, "fwrite", s1, &mut v);
+//! b.event_var(s1, "fclose", s2, &mut v);
+//! let fa = b.build();
+//!
+//! let ok = Trace::parse("fopen(X) fread(X) fclose(X)", &mut v).unwrap();
+//! let bad = Trace::parse("fopen(X) fread(X)", &mut v).unwrap();
+//! assert!(fa.accepts(&ok));
+//! assert!(!fa.accepts(&bad));
+//! assert_eq!(fa.executed_transitions(&ok).len(), 3);
+//! ```
+
+pub mod builder;
+pub mod dot;
+pub mod fa;
+pub mod label;
+pub mod ops;
+pub mod run;
+pub mod templates;
+pub mod text;
+
+pub use builder::FaBuilder;
+pub use fa::{Fa, StateId, TransId, Transition};
+pub use label::{ArgPat, EventPat, TransLabel};
+pub use ops::Dfa;
+pub use text::ParseFaError;

@@ -1,0 +1,919 @@
+//! Automaton algebra: trimming, determinisation, minimisation, product,
+//! and language equivalence.
+//!
+//! These operations are not needed by Cable's clustering itself, but the
+//! reproduction uses them to *validate* results: e.g. checking that a
+//! re-mined specification is language-equivalent to the ground-truth
+//! specification after debugging.
+//!
+//! # Letters
+//!
+//! Determinisation works over a finite alphabet of *letters*: the
+//! meet-closure of the concrete transition labels ([`meet_closure`]),
+//! plus a synthetic `Other` letter standing for every event that matches
+//! none of them (only wildcard transitions fire on `Other`). The closure
+//! refines overlapping labels — e.g. the op-only `f` against the specific
+//! `f(X)` — so that every event has a unique minimal matching letter and
+//! the letters partition the event space.
+
+use crate::fa::{Fa, StateId};
+use crate::label::{ArgPat, EventPat, TransLabel};
+use cable_util::BitSet;
+use std::collections::{HashMap, VecDeque};
+
+/// Tests whether two argument patterns can match a common argument.
+fn arg_pats_overlap(a: &ArgPat, b: &ArgPat) -> bool {
+    match (a, b) {
+        (ArgPat::Any, _) | (_, ArgPat::Any) => true,
+        (ArgPat::Var(x), ArgPat::Var(y)) => x == y,
+        (ArgPat::Atom(x), ArgPat::Atom(y)) => x == y,
+        _ => false,
+    }
+}
+
+/// Tests whether two event patterns can match a common event.
+pub fn event_pats_overlap(a: &EventPat, b: &EventPat) -> bool {
+    if a.op != b.op {
+        return false;
+    }
+    match (&a.args, &b.args) {
+        (None, _) | (_, None) => true,
+        (Some(xs), Some(ys)) => {
+            xs.len() == ys.len() && xs.iter().zip(ys).all(|(x, y)| arg_pats_overlap(x, y))
+        }
+    }
+}
+
+/// The meet (most general common refinement) of two argument patterns,
+/// or `None` when they are disjoint.
+fn arg_pat_meet(a: &ArgPat, b: &ArgPat) -> Option<ArgPat> {
+    match (a, b) {
+        (ArgPat::Any, x) | (x, ArgPat::Any) => Some(*x),
+        (ArgPat::Var(x), ArgPat::Var(y)) if x == y => Some(ArgPat::Var(*x)),
+        (ArgPat::Atom(x), ArgPat::Atom(y)) if x == y => Some(ArgPat::Atom(*x)),
+        _ => None,
+    }
+}
+
+/// The meet of two transition labels: a label matching exactly the
+/// events both match, or `None` when no event matches both. Used by the
+/// intersection product.
+pub fn label_meet(a: &TransLabel, b: &TransLabel) -> Option<TransLabel> {
+    match (a, b) {
+        (TransLabel::Wildcard, x) | (x, TransLabel::Wildcard) => Some(x.clone()),
+        (TransLabel::Pat(p), TransLabel::Pat(q)) => {
+            if p.op != q.op {
+                return None;
+            }
+            let args = match (&p.args, &q.args) {
+                (None, x) | (x, None) => x.clone(),
+                (Some(xs), Some(ys)) => {
+                    if xs.len() != ys.len() {
+                        return None;
+                    }
+                    Some(
+                        xs.iter()
+                            .zip(ys)
+                            .map(|(x, y)| arg_pat_meet(x, y))
+                            .collect::<Option<Vec<_>>>()?,
+                    )
+                }
+            };
+            Some(TransLabel::Pat(EventPat { op: p.op, args }))
+        }
+    }
+}
+
+/// Tests whether `a` matches every event `b` matches.
+pub fn label_subsumes(a: &TransLabel, b: &TransLabel) -> bool {
+    match (a, b) {
+        (TransLabel::Wildcard, _) => true,
+        (_, TransLabel::Wildcard) => false,
+        (TransLabel::Pat(p), TransLabel::Pat(q)) => {
+            if p.op != q.op {
+                return false;
+            }
+            match (&p.args, &q.args) {
+                (None, _) => true,
+                (Some(_), None) => false,
+                (Some(xs), Some(ys)) => {
+                    xs.len() == ys.len()
+                        && xs.iter().zip(ys).all(|(x, y)| match (x, y) {
+                            (ArgPat::Any, _) => true,
+                            (x, y) => x == y,
+                        })
+                }
+            }
+        }
+    }
+}
+
+/// The meet-closure of a label set: the input labels plus all pairwise
+/// meets, iterated to a fixpoint. Every event matching any subset of the
+/// input labels has a unique minimal matching label in the closure, so
+/// the closure's members serve as refined, non-ambiguous letters for
+/// determinisation.
+pub fn meet_closure(labels: &[TransLabel]) -> Vec<TransLabel> {
+    let mut closed: Vec<TransLabel> = Vec::new();
+    for l in labels {
+        if !closed.contains(l) {
+            closed.push(l.clone());
+        }
+    }
+    let mut changed = true;
+    while changed {
+        changed = false;
+        let snapshot = closed.clone();
+        for (i, a) in snapshot.iter().enumerate() {
+            for b in &snapshot[i + 1..] {
+                if let Some(m) = label_meet(a, b) {
+                    if !closed.contains(&m) {
+                        closed.push(m);
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+    closed
+}
+
+/// A deterministic finite automaton over a letter alphabet.
+///
+/// Letter `i < labels.len()` is the concrete label `labels[i]` from the
+/// meet-closed refinement of the requested alphabet (see
+/// [`Fa::determinize_with_alphabet`]); letter `labels.len()` is `Other`.
+/// Missing transitions mean rejection.
+#[derive(Debug, Clone)]
+pub struct Dfa {
+    labels: Vec<TransLabel>,
+    /// `delta[state][letter]`; the extra final column is `Other`.
+    delta: Vec<Vec<Option<u32>>>,
+    start: u32,
+    accepts: BitSet,
+}
+
+impl Dfa {
+    /// The concrete alphabet (excluding `Other`).
+    pub fn labels(&self) -> &[TransLabel] {
+        &self.labels
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.delta.len()
+    }
+
+    /// The start state index.
+    pub fn start(&self) -> u32 {
+        self.start
+    }
+
+    /// Tests whether a state is accepting.
+    pub fn is_accept(&self, s: u32) -> bool {
+        self.accepts.contains(s as usize)
+    }
+
+    /// The successor of `s` on letter `l` (where `l == labels.len()` means
+    /// `Other`), if any.
+    pub fn step(&self, s: u32, l: usize) -> Option<u32> {
+        self.delta[s as usize][l]
+    }
+
+    /// Number of letters including `Other`.
+    pub fn letter_count(&self) -> usize {
+        self.labels.len() + 1
+    }
+
+    /// Runs a letter string.
+    pub fn accepts_letters(&self, letters: &[usize]) -> bool {
+        let mut s = self.start;
+        for &l in letters {
+            match self.step(s, l) {
+                Some(n) => s = n,
+                None => return false,
+            }
+        }
+        self.is_accept(s)
+    }
+
+    /// Completes the DFA by adding a rejecting sink so that every state
+    /// has a successor on every letter. Idempotent in effect.
+    pub fn complete(&self) -> Dfa {
+        let mut d = self.clone();
+        let needs_sink = d.delta.iter().any(|row| row.iter().any(Option::is_none));
+        if !needs_sink {
+            return d;
+        }
+        let sink = d.delta.len() as u32;
+        let letters = d.letter_count();
+        d.delta.push(vec![Some(sink); letters]);
+        for row in &mut d.delta {
+            for cell in row.iter_mut() {
+                if cell.is_none() {
+                    *cell = Some(sink);
+                }
+            }
+        }
+        d
+    }
+
+    /// Hopcroft-style (here: Moore) DFA minimisation. The result is
+    /// complete and has the minimal number of states for the language
+    /// *over this letter alphabet*.
+    pub fn minimize(&self) -> Dfa {
+        let d = self.complete();
+        let n = d.delta.len();
+        let letters = d.letter_count();
+        // Initial partition: accepting vs non-accepting.
+        let mut class: Vec<u32> = (0..n).map(|s| u32::from(d.is_accept(s as u32))).collect();
+        let mut n_classes = 2;
+        loop {
+            // Signature of a state: (class, classes of successors).
+            let mut sig_map: HashMap<Vec<u32>, u32> = HashMap::new();
+            let mut new_class = vec![0u32; n];
+            for s in 0..n {
+                let mut sig = Vec::with_capacity(letters + 1);
+                sig.push(class[s]);
+                for l in 0..letters {
+                    sig.push(class[d.delta[s][l].expect("complete") as usize]);
+                }
+                let next = sig_map.len() as u32;
+                new_class[s] = *sig_map.entry(sig).or_insert(next);
+            }
+            let count = sig_map.len();
+            class = new_class;
+            if count == n_classes {
+                break;
+            }
+            n_classes = count;
+        }
+        // Rebuild.
+        let mut delta = vec![vec![None; letters]; n_classes];
+        let mut accepts = BitSet::with_capacity(n_classes);
+        for s in 0..n {
+            let c = class[s] as usize;
+            for l in 0..letters {
+                delta[c][l] = Some(class[d.delta[s][l].expect("complete") as usize]);
+            }
+            if d.is_accept(s as u32) {
+                accepts.insert(c);
+            }
+        }
+        let min = Dfa {
+            labels: d.labels.clone(),
+            delta,
+            start: class[d.start as usize],
+            accepts,
+        };
+        min.trim_reachable()
+    }
+
+    /// Drops states unreachable from the start (keeps completeness only if
+    /// the reachable part is complete).
+    fn trim_reachable(&self) -> Dfa {
+        let n = self.delta.len();
+        let mut seen = vec![false; n];
+        let mut order = Vec::new();
+        let mut queue = VecDeque::from([self.start]);
+        seen[self.start as usize] = true;
+        while let Some(s) = queue.pop_front() {
+            order.push(s);
+            for d in self.delta[s as usize].iter().flatten() {
+                if !seen[*d as usize] {
+                    seen[*d as usize] = true;
+                    queue.push_back(*d);
+                }
+            }
+        }
+        let mut remap = vec![u32::MAX; n];
+        for (new, &old) in order.iter().enumerate() {
+            remap[old as usize] = new as u32;
+        }
+        let mut delta = Vec::with_capacity(order.len());
+        let mut accepts = BitSet::with_capacity(order.len());
+        for (new, &old) in order.iter().enumerate() {
+            delta.push(
+                self.delta[old as usize]
+                    .iter()
+                    .map(|c| c.map(|d| remap[d as usize]))
+                    .collect(),
+            );
+            if self.is_accept(old) {
+                accepts.insert(new);
+            }
+        }
+        Dfa {
+            labels: self.labels.clone(),
+            delta,
+            start: 0,
+            accepts,
+        }
+    }
+
+    /// Number of states in the minimal equivalent DFA (a canonical size
+    /// measure for Table 1).
+    pub fn minimal_state_count(&self) -> usize {
+        self.minimize().state_count()
+    }
+}
+
+impl Fa {
+    /// Removes states that are unreachable from a start state or from
+    /// which no accepting state is reachable, renumbering the rest.
+    ///
+    /// If nothing useful remains, the result is a single non-accepting
+    /// start state with no transitions (the empty language).
+    pub fn trim(&self) -> Fa {
+        let n = self.state_count();
+        // Forward reachability.
+        let mut fwd = self.start_states().clone();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for t in self.transitions() {
+                if fwd.contains(t.src.index()) && fwd.insert(t.dst.index()) {
+                    changed = true;
+                }
+            }
+        }
+        // Backward reachability.
+        let mut bwd = self.accept_states().clone();
+        changed = true;
+        while changed {
+            changed = false;
+            for t in self.transitions() {
+                if bwd.contains(t.dst.index()) && bwd.insert(t.src.index()) {
+                    changed = true;
+                }
+            }
+        }
+        let keep = fwd.intersection(&bwd);
+        if keep.is_empty() {
+            let mut b = crate::builder::FaBuilder::new();
+            let s = b.state();
+            b.start(s);
+            return b.build();
+        }
+        let mut remap = vec![u32::MAX; n];
+        for (new, old) in keep.iter().enumerate() {
+            remap[old] = new as u32;
+        }
+        let transitions = self
+            .transitions()
+            .iter()
+            .filter(|t| keep.contains(t.src.index()) && keep.contains(t.dst.index()))
+            .map(|t| crate::fa::Transition {
+                src: StateId(remap[t.src.index()]),
+                dst: StateId(remap[t.dst.index()]),
+                label: t.label.clone(),
+            })
+            .collect();
+        let starts = self
+            .start_states()
+            .iter()
+            .filter(|s| keep.contains(*s))
+            .map(|s| remap[s] as usize)
+            .collect();
+        let accepts = self
+            .accept_states()
+            .iter()
+            .filter(|s| keep.contains(*s))
+            .map(|s| remap[s] as usize)
+            .collect();
+        Fa::from_parts(keep.len() as u32, transitions, starts, accepts)
+    }
+
+    /// The union automaton: accepts a trace iff either operand does
+    /// (disjoint NFA union). The §2.1 fix step often *adds* behaviour to
+    /// a specification; union composes the addition.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cable_fa::Fa;
+    /// use cable_trace::{Trace, Vocab};
+    ///
+    /// let mut v = Vocab::new();
+    /// let a = Fa::parse("start s0\naccept s1\ns0 -> s1 : f(X)\n", &mut v)?;
+    /// let b = Fa::parse("start s0\naccept s1\ns0 -> s1 : g(X)\n", &mut v)?;
+    /// let u = a.union(&b);
+    /// assert!(u.accepts(&Trace::parse("f(X)", &mut v).unwrap()));
+    /// assert!(u.accepts(&Trace::parse("g(X)", &mut v).unwrap()));
+    /// # Ok::<(), cable_fa::ParseFaError>(())
+    /// ```
+    pub fn union(&self, other: &Fa) -> Fa {
+        let offset = self.state_count() as u32;
+        let mut transitions: Vec<crate::fa::Transition> = self.transitions().to_vec();
+        transitions.extend(other.transitions().iter().map(|t| crate::fa::Transition {
+            src: StateId(t.src.0 + offset),
+            dst: StateId(t.dst.0 + offset),
+            label: t.label.clone(),
+        }));
+        let mut starts = self.start_states().clone();
+        starts.extend(other.start_states().iter().map(|s| s + offset as usize));
+        let mut accepts = self.accept_states().clone();
+        accepts.extend(other.accept_states().iter().map(|s| s + offset as usize));
+        Fa::from_parts(
+            offset + other.state_count() as u32,
+            transitions,
+            starts,
+            accepts,
+        )
+    }
+
+    /// The intersection automaton: accepts a trace iff both operands do
+    /// (synchronous product; paired transitions carry the
+    /// [`label_meet`] of the operand labels).
+    pub fn intersection(&self, other: &Fa) -> Fa {
+        let n2 = other.state_count() as u32;
+        let pair = |a: StateId, b: StateId| StateId(a.0 * n2 + b.0);
+        let mut b = crate::builder::FaBuilder::new();
+        let _states = b.states(self.state_count() * other.state_count());
+        for s1 in self.start_states().iter() {
+            for s2 in other.start_states().iter() {
+                b.start(pair(StateId(s1 as u32), StateId(s2 as u32)));
+            }
+        }
+        for a1 in self.accept_states().iter() {
+            for a2 in other.accept_states().iter() {
+                b.accept(pair(StateId(a1 as u32), StateId(a2 as u32)));
+            }
+        }
+        for t1 in self.transitions() {
+            for t2 in other.transitions() {
+                if let Some(label) = label_meet(&t1.label, &t2.label) {
+                    b.transition(pair(t1.src, t2.src), label, pair(t1.dst, t2.dst));
+                }
+            }
+        }
+        b.build().trim()
+    }
+
+    /// Determinises over the given alphabet (which must contain every
+    /// concrete label of this automaton).
+    ///
+    /// Overlapping labels (e.g. the op-only `XGetSelectionOwner` and the
+    /// specific `XGetSelectionOwner(X,'PRIMARY)`) are handled by *label
+    /// refinement*: the letter set is the meet-closure of the alphabet,
+    /// and a transition fires on every letter its label subsumes. Every
+    /// event has a unique minimal matching meet, so the letters partition
+    /// the event space exactly (assuming each meet is realisable by some
+    /// event — true for this workspace's pattern language, where variable
+    /// and atom spaces are never exhausted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the automaton has a concrete label missing from
+    /// `alphabet`, or the alphabet contains a wildcard.
+    pub fn determinize_with_alphabet(&self, alphabet: &[TransLabel]) -> Dfa {
+        for a in alphabet {
+            assert!(!a.is_wildcard(), "alphabet letters must be concrete");
+        }
+        for l in self.concrete_labels() {
+            assert!(
+                alphabet.contains(l),
+                "automaton label missing from alphabet"
+            );
+        }
+        let letter_labels = meet_closure(alphabet);
+        let letters = letter_labels.len() + 1; // + Other
+        let mut states: HashMap<BitSet, u32> = HashMap::new();
+        let mut order: Vec<BitSet> = Vec::new();
+        let mut delta: Vec<Vec<Option<u32>>> = Vec::new();
+        let start_set = self.start_states().clone();
+        states.insert(start_set.clone(), 0);
+        order.push(start_set);
+        let mut i = 0;
+        while i < order.len() {
+            let current = order[i].clone();
+            let mut row = vec![None; letters];
+            for (l, row_cell) in row.iter_mut().enumerate() {
+                let mut next = BitSet::new();
+                for s in current.iter() {
+                    for &tid in self.outgoing(StateId(s as u32)) {
+                        let t = self.transition(tid);
+                        let fires = if l < letter_labels.len() {
+                            t.label.is_wildcard() || label_subsumes(&t.label, &letter_labels[l])
+                        } else {
+                            // Other: only wildcards fire.
+                            t.label.is_wildcard()
+                        };
+                        if fires {
+                            next.insert(t.dst.index());
+                        }
+                    }
+                }
+                if !next.is_empty() {
+                    let id = *states.entry(next.clone()).or_insert_with(|| {
+                        order.push(next.clone());
+                        (order.len() - 1) as u32
+                    });
+                    *row_cell = Some(id);
+                }
+            }
+            delta.push(row);
+            i += 1;
+        }
+        let mut accepts = BitSet::with_capacity(order.len());
+        for (id, set) in order.iter().enumerate() {
+            if !set.is_disjoint(self.accept_states()) {
+                accepts.insert(id);
+            }
+        }
+        Dfa {
+            labels: letter_labels,
+            delta,
+            start: 0,
+            accepts,
+        }
+    }
+
+    /// Determinises over this automaton's own concrete labels.
+    ///
+    /// # Panics
+    ///
+    /// See [`Fa::determinize_with_alphabet`].
+    pub fn determinize(&self) -> Dfa {
+        let alphabet: Vec<TransLabel> = self.concrete_labels().into_iter().cloned().collect();
+        self.determinize_with_alphabet(&alphabet)
+    }
+
+    /// Tests language containment: every trace this automaton accepts is
+    /// accepted by `other`.
+    ///
+    /// Useful for validating debugging outcomes, e.g. that a re-mined
+    /// specification does not accept behaviour outside the ground truth.
+    ///
+    /// # Panics
+    ///
+    /// See [`Fa::determinize_with_alphabet`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cable_fa::Fa;
+    /// use cable_trace::Vocab;
+    ///
+    /// let mut v = Vocab::new();
+    /// let small = Fa::parse("start s0\naccept s1\ns0 -> s1 : f(X)\n", &mut v)?;
+    /// let big = Fa::parse("start s0\naccept s1\ns0 -> s1 : f(X)\ns1 -> s1 : f(X)\n", &mut v)?;
+    /// assert!(small.language_subset_of(&big));
+    /// assert!(!big.language_subset_of(&small));
+    /// # Ok::<(), cable_fa::ParseFaError>(())
+    /// ```
+    pub fn language_subset_of(&self, other: &Fa) -> bool {
+        let mut alphabet: Vec<TransLabel> = self.concrete_labels().into_iter().cloned().collect();
+        for l in other.concrete_labels() {
+            if !alphabet.contains(l) {
+                alphabet.push(l.clone());
+            }
+        }
+        let a = self.determinize_with_alphabet(&alphabet).complete();
+        let b = other.determinize_with_alphabet(&alphabet).complete();
+        let letters = a.letter_count();
+        let mut seen = std::collections::HashSet::new();
+        let mut queue = VecDeque::from([(a.start(), b.start())]);
+        seen.insert((a.start(), b.start()));
+        while let Some((x, y)) = queue.pop_front() {
+            if a.is_accept(x) && !b.is_accept(y) {
+                return false; // A witness trace separates the languages.
+            }
+            for l in 0..letters {
+                let pair = (
+                    a.step(x, l).expect("complete"),
+                    b.step(y, l).expect("complete"),
+                );
+                if seen.insert(pair) {
+                    queue.push_back(pair);
+                }
+            }
+        }
+        true
+    }
+
+    /// Tests language equivalence with another automaton.
+    ///
+    /// Both automata are determinised over the union of their concrete
+    /// alphabets and compared by a synchronous product walk.
+    ///
+    /// # Panics
+    ///
+    /// See [`Fa::determinize_with_alphabet`].
+    pub fn equivalent(&self, other: &Fa) -> bool {
+        let mut alphabet: Vec<TransLabel> = self.concrete_labels().into_iter().cloned().collect();
+        for l in other.concrete_labels() {
+            if !alphabet.contains(l) {
+                alphabet.push(l.clone());
+            }
+        }
+        let a = self.determinize_with_alphabet(&alphabet).complete();
+        let b = other.determinize_with_alphabet(&alphabet).complete();
+        let letters = a.letter_count();
+        let mut seen = std::collections::HashSet::new();
+        let mut queue = VecDeque::from([(a.start, b.start)]);
+        seen.insert((a.start, b.start));
+        while let Some((x, y)) = queue.pop_front() {
+            if a.is_accept(x) != b.is_accept(y) {
+                return false;
+            }
+            for l in 0..letters {
+                let pair = (
+                    a.step(x, l).expect("complete"),
+                    b.step(y, l).expect("complete"),
+                );
+                if seen.insert(pair) {
+                    queue.push_back(pair);
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FaBuilder;
+    use cable_trace::{Trace, Vocab};
+
+    fn linear_fa(ops: &[&str], v: &mut Vocab) -> Fa {
+        let mut b = FaBuilder::new();
+        let mut prev = b.state();
+        b.start(prev);
+        for op in ops {
+            let next = b.state();
+            b.event_var(prev, op, next, v);
+            prev = next;
+        }
+        b.accept(prev);
+        b.build()
+    }
+
+    #[test]
+    fn trim_removes_dead_states() {
+        let mut v = Vocab::new();
+        let mut b = FaBuilder::new();
+        let s0 = b.state();
+        let dead = b.state();
+        let acc = b.state();
+        let unreachable = b.state();
+        b.start(s0).accept(acc);
+        b.event_var(s0, "f", acc, &mut v);
+        b.event_var(s0, "g", dead, &mut v);
+        b.event_var(unreachable, "h", acc, &mut v);
+        let fa = b.build().trim();
+        assert_eq!(fa.state_count(), 2);
+        assert_eq!(fa.transition_count(), 1);
+        let t = Trace::parse("f(X)", &mut v).unwrap();
+        assert!(fa.accepts(&t));
+    }
+
+    #[test]
+    fn trim_empty_language() {
+        let mut b = FaBuilder::new();
+        let s = b.state();
+        b.start(s); // no accepting state
+        let fa = b.build().trim();
+        assert_eq!(fa.state_count(), 1);
+        assert_eq!(fa.transition_count(), 0);
+        assert!(!fa.accepts(&Trace::empty()));
+    }
+
+    #[test]
+    fn determinize_merges_nondeterminism() {
+        let mut v = Vocab::new();
+        let mut b = FaBuilder::new();
+        let s0 = b.state();
+        let a1 = b.state();
+        let a2 = b.state();
+        b.start(s0).accept(a1).accept(a2);
+        b.event_var(s0, "f", a1, &mut v);
+        b.event_var(s0, "f", a2, &mut v);
+        let dfa = b.build().determinize();
+        assert_eq!(dfa.state_count(), 2);
+        assert!(dfa.accepts_letters(&[0]));
+        assert!(!dfa.accepts_letters(&[0, 0]));
+    }
+
+    #[test]
+    fn minimize_collapses_equivalent_states() {
+        let mut v = Vocab::new();
+        // Two redundant paths of the same length: f g | f g (duplicated states).
+        let mut b = FaBuilder::new();
+        let s0 = b.state();
+        let p1 = b.state();
+        let p2 = b.state();
+        let a1 = b.state();
+        let a2 = b.state();
+        b.start(s0).accept(a1).accept(a2);
+        b.event_var(s0, "f", p1, &mut v);
+        b.event_var(s0, "f", p2, &mut v);
+        b.event_var(p1, "g", a1, &mut v);
+        b.event_var(p2, "g", a2, &mut v);
+        let dfa = b.build().determinize();
+        let min = dfa.minimize();
+        // f g over alphabet {f,g}: states {start, after-f, accept, sink} = 4.
+        assert_eq!(min.state_count(), 4);
+        assert!(min.accepts_letters(&[0, 1]));
+        assert!(!min.accepts_letters(&[0]));
+    }
+
+    #[test]
+    fn equivalence_positive_and_negative() {
+        let mut v = Vocab::new();
+        let a = linear_fa(&["f", "g"], &mut v);
+        let b = linear_fa(&["f", "g"], &mut v);
+        let c = linear_fa(&["f", "h"], &mut v);
+        assert!(a.equivalent(&b));
+        assert!(!a.equivalent(&c));
+    }
+
+    #[test]
+    fn equivalence_distinguishes_wildcard() {
+        let mut v = Vocab::new();
+        let mut b1 = FaBuilder::new();
+        let s = b1.state();
+        b1.start(s).accept(s);
+        b1.wildcard(s, s);
+        let anything = b1.build();
+        let mut b2 = FaBuilder::new();
+        let s = b2.state();
+        b2.start(s).accept(s);
+        b2.event_var(s, "f", s, &mut v);
+        let only_f = b2.build();
+        assert!(!anything.equivalent(&only_f));
+        assert!(anything.equivalent(&anything.clone()));
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let mut v = Vocab::new();
+        let f = v.op("f");
+        let a = EventPat::op_only(f);
+        let b = EventPat::on_var(f, cable_trace::Var(0));
+        assert!(event_pats_overlap(&a, &b));
+        let c = EventPat::on_var(f, cable_trace::Var(1));
+        assert!(!event_pats_overlap(&b, &c));
+        let g = EventPat::op_only(v.op("g"));
+        assert!(!event_pats_overlap(&a, &g));
+    }
+
+    #[test]
+    fn determinize_refines_overlapping_labels() {
+        // `f` (any args) overlaps `f(X)`; refinement keeps them apart:
+        // an automaton accepting any-f once is NOT equivalent to one
+        // accepting exactly f(X) once, but IS equivalent to its own
+        // two-transition restatement.
+        let mut v = Vocab::new();
+        let mut b = FaBuilder::new();
+        let s0 = b.state();
+        let s1 = b.state();
+        b.start(s0).accept(s1);
+        b.event_op(s0, "f", s1, &mut v);
+        let any_f = b.build();
+
+        let mut b = FaBuilder::new();
+        let s0 = b.state();
+        let s1 = b.state();
+        b.start(s0).accept(s1);
+        b.event_var(s0, "f", s1, &mut v);
+        let only_fx = b.build();
+
+        let mut b = FaBuilder::new();
+        let s0 = b.state();
+        let s1 = b.state();
+        b.start(s0).accept(s1);
+        b.event_var(s0, "f", s1, &mut v);
+        b.event_op(s0, "f", s1, &mut v);
+        let both = b.build();
+
+        assert!(!any_f.equivalent(&only_fx), "f(Y) separates them");
+        assert!(any_f.equivalent(&both));
+        // Direct acceptance agrees.
+        let fy = Trace::parse("f(Y)", &mut v).unwrap();
+        let fx = Trace::parse("f(X)", &mut v).unwrap();
+        assert!(any_f.accepts(&fy) && !only_fx.accepts(&fy));
+        assert!(any_f.accepts(&fx) && only_fx.accepts(&fx));
+    }
+
+    #[test]
+    fn meet_closure_adds_refinements() {
+        let mut v = Vocab::new();
+        let f = v.op("f");
+        let any = TransLabel::Pat(EventPat::op_only(f));
+        let fx = TransLabel::Pat(EventPat::on_var(f, cable_trace::Var(0)));
+        let closure = meet_closure(&[any.clone(), fx.clone()]);
+        assert_eq!(closure.len(), 2, "f ⊓ f(X) = f(X), already present");
+        assert!(label_subsumes(&any, &fx));
+        assert!(!label_subsumes(&fx, &any));
+        // Incomparable overlapping labels generate their meet.
+        let f_x_any = TransLabel::Pat(EventPat {
+            op: f,
+            args: Some(vec![ArgPat::Var(cable_trace::Var(0)), ArgPat::Any]),
+        });
+        let f_any_y = TransLabel::Pat(EventPat {
+            op: f,
+            args: Some(vec![ArgPat::Any, ArgPat::Var(cable_trace::Var(1))]),
+        });
+        let closure = meet_closure(&[f_x_any, f_any_y]);
+        assert_eq!(closure.len(), 3);
+    }
+
+    #[test]
+    fn union_accepts_either_language() {
+        let mut v = Vocab::new();
+        let a = linear_fa(&["f"], &mut v);
+        let b = linear_fa(&["g", "h"], &mut v);
+        let u = a.union(&b);
+        for text in ["f(X)", "g(X) h(X)"] {
+            assert!(u.accepts(&Trace::parse(text, &mut v).unwrap()), "{text}");
+        }
+        assert!(!u.accepts(&Trace::parse("f(X) g(X)", &mut v).unwrap()));
+        assert!(!u.accepts(&Trace::parse("g(X)", &mut v).unwrap()));
+    }
+
+    #[test]
+    fn intersection_requires_both() {
+        let mut v = Vocab::new();
+        // a: f then anything*; b: anything* then g.
+        let mut b1 = FaBuilder::new();
+        let s0 = b1.state();
+        let s1 = b1.state();
+        b1.start(s0).accept(s1);
+        b1.event_var(s0, "f", s1, &mut v);
+        b1.wildcard(s1, s1);
+        let a = b1.build();
+        let mut b2 = FaBuilder::new();
+        let t0 = b2.state();
+        let t1 = b2.state();
+        b2.start(t0).accept(t1);
+        b2.wildcard(t0, t0);
+        b2.event_var(t0, "g", t1, &mut v);
+        let b = b2.build();
+        let i = a.intersection(&b);
+        assert!(i.accepts(&Trace::parse("f(X) g(X)", &mut v).unwrap()));
+        assert!(i.accepts(&Trace::parse("f(X) h(X) g(X)", &mut v).unwrap()));
+        assert!(!i.accepts(&Trace::parse("f(X)", &mut v).unwrap()));
+        assert!(!i.accepts(&Trace::parse("g(X)", &mut v).unwrap()));
+    }
+
+    #[test]
+    fn intersection_of_disjoint_languages_is_empty() {
+        let mut v = Vocab::new();
+        let a = linear_fa(&["f"], &mut v);
+        let b = linear_fa(&["g"], &mut v);
+        let i = a.intersection(&b);
+        assert!(!i.accepts(&Trace::parse("f(X)", &mut v).unwrap()));
+        assert!(!i.accepts(&Trace::parse("g(X)", &mut v).unwrap()));
+        assert_eq!(i.transition_count(), 0, "trimmed to nothing");
+    }
+
+    #[test]
+    fn label_meet_cases() {
+        use cable_trace::Var;
+        let mut v = Vocab::new();
+        let f = v.op("f");
+        let g = v.op("g");
+        let fx = TransLabel::Pat(EventPat::on_var(f, Var(0)));
+        let f_any = TransLabel::Pat(EventPat::op_only(f));
+        let gx = TransLabel::Pat(EventPat::on_var(g, Var(0)));
+        // Wildcard is the identity.
+        assert_eq!(label_meet(&TransLabel::Wildcard, &fx), Some(fx.clone()));
+        assert_eq!(label_meet(&fx, &TransLabel::Wildcard), Some(fx.clone()));
+        // Same op: the more specific side wins.
+        assert_eq!(label_meet(&f_any, &fx), Some(fx.clone()));
+        // Different ops are disjoint.
+        assert_eq!(label_meet(&fx, &gx), None);
+        // Positionwise meet of argument patterns.
+        let f_x_any = TransLabel::Pat(EventPat {
+            op: f,
+            args: Some(vec![ArgPat::Var(Var(0)), ArgPat::Any]),
+        });
+        let f_any_y = TransLabel::Pat(EventPat {
+            op: f,
+            args: Some(vec![ArgPat::Any, ArgPat::Var(Var(1))]),
+        });
+        let met = label_meet(&f_x_any, &f_any_y).expect("overlap");
+        let expect = TransLabel::Pat(EventPat {
+            op: f,
+            args: Some(vec![ArgPat::Var(Var(0)), ArgPat::Var(Var(1))]),
+        });
+        assert_eq!(met, expect);
+        // Mismatched arity is disjoint.
+        assert_eq!(label_meet(&fx, &f_x_any), None);
+    }
+
+    #[test]
+    fn minimal_state_count_of_loop() {
+        let mut v = Vocab::new();
+        let mut b = FaBuilder::new();
+        let s = b.state();
+        b.start(s).accept(s);
+        b.event_var(s, "f", s, &mut v);
+        let dfa = b.build().determinize();
+        // f*: minimal complete DFA over {f}: one accept state + sink... but
+        // on alphabet {f, Other}: accept state loops on f, Other -> sink.
+        assert_eq!(dfa.minimal_state_count(), 2);
+    }
+}

@@ -1,0 +1,180 @@
+//! The three focus-template automata of §4.1.
+//!
+//! When a concept looks too complicated, the Cable user starts a *focused
+//! sub-session* whose concept lattice is induced by a different, simpler
+//! reference FA. The paper names three templates:
+//!
+//! * **Unordered** — `(e0|e1|…|en)*`: distinguishes traces only by *which*
+//!   events they contain, ignoring order entirely.
+//! * **Name projection** — `(e0(…X…)|…|en(…X…)|wildcard)*`: attends only
+//!   to the events that mention one variable `X`, letting the user check
+//!   correctness one name at a time.
+//! * **Seed order** — `(e0|…|en)*; seed; (e0|…|en)*`: distinguishes traces
+//!   by which events occur before vs after the (unique) seed event.
+
+use crate::builder::FaBuilder;
+use crate::fa::Fa;
+use crate::label::EventPat;
+use cable_trace::{Trace, Var};
+
+/// Builds the unordered template `(e0|e1|…|en)*` over the given event
+/// patterns.
+///
+/// The single state is both start and accept; each pattern becomes a
+/// self-loop, so the executed-transition set of a trace is exactly the set
+/// of patterns that occur in it.
+pub fn unordered(events: &[EventPat]) -> Fa {
+    let mut b = FaBuilder::new();
+    let s = b.state();
+    b.start(s).accept(s);
+    for e in events {
+        b.pat(s, e.clone(), s);
+    }
+    b.build()
+}
+
+/// Builds the unordered template over the exact events occurring in the
+/// given traces (deduplicated, in first-appearance order).
+pub fn unordered_of_trace_events(traces: &[Trace]) -> Fa {
+    unordered(&distinct_event_pats(traces))
+}
+
+/// Builds the name-projection template for variable `var`:
+/// `(e0(…X…)|…|en(…X…)|wildcard)*`.
+///
+/// Only patterns mentioning `var` get their own self-loop; a wildcard
+/// self-loop absorbs everything else, so the automaton accepts every
+/// trace but its executed-transition relation distinguishes traces only
+/// by which `var`-events they contain.
+pub fn name_projection(events: &[EventPat], var: Var) -> Fa {
+    let mut b = FaBuilder::new();
+    let s = b.state();
+    b.start(s).accept(s);
+    for e in events {
+        if e.mentions_var(var) {
+            b.pat(s, e.clone(), s);
+        }
+    }
+    b.wildcard(s, s);
+    b.build()
+}
+
+/// Builds the seed-order template:
+/// `(e0|…|en)*; seed; (e0|…|en)*`.
+///
+/// Events equal to the seed pattern are excluded from the loops, so the
+/// trace must contain exactly one seed event; the executed transitions
+/// then record which events occur before and which after it.
+pub fn seed_order(events: &[EventPat], seed: &EventPat) -> Fa {
+    let mut b = FaBuilder::new();
+    let before = b.state();
+    let after = b.state();
+    b.start(before).accept(after);
+    for e in events {
+        if e != seed {
+            b.pat(before, e.clone(), before);
+        }
+    }
+    b.pat(before, seed.clone(), after);
+    for e in events {
+        if e != seed {
+            b.pat(after, e.clone(), after);
+        }
+    }
+    b.build()
+}
+
+/// Collects the distinct exact event patterns occurring in the traces, in
+/// first-appearance order.
+pub fn distinct_event_pats(traces: &[Trace]) -> Vec<EventPat> {
+    let mut pats: Vec<EventPat> = Vec::new();
+    for t in traces {
+        for e in t.iter() {
+            let p = EventPat::exact(e);
+            if !pats.contains(&p) {
+                pats.push(p);
+            }
+        }
+    }
+    pats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cable_trace::{Trace, Vocab};
+
+    fn parse(text: &str, v: &mut Vocab) -> Trace {
+        Trace::parse(text, v).unwrap()
+    }
+
+    #[test]
+    fn unordered_ignores_order() {
+        let mut v = Vocab::new();
+        let ab = parse("a(X) b(X)", &mut v);
+        let ba = parse("b(X) a(X)", &mut v);
+        let fa = unordered_of_trace_events(std::slice::from_ref(&ab));
+        assert!(fa.accepts(&ab));
+        assert!(fa.accepts(&ba));
+        assert_eq!(fa.executed_transitions(&ab), fa.executed_transitions(&ba));
+        // A trace with an unknown event is rejected.
+        let c = parse("c(X)", &mut v);
+        assert!(!fa.accepts(&c));
+    }
+
+    #[test]
+    fn unordered_distinguishes_event_sets() {
+        let mut v = Vocab::new();
+        let ab = parse("a(X) b(X)", &mut v);
+        let a = parse("a(X)", &mut v);
+        let fa = unordered_of_trace_events(&[ab.clone(), a.clone()]);
+        assert_ne!(fa.executed_transitions(&ab), fa.executed_transitions(&a));
+        assert!(fa
+            .executed_transitions(&a)
+            .is_subset(&fa.executed_transitions(&ab)));
+    }
+
+    #[test]
+    fn name_projection_sees_only_one_var() {
+        let mut v = Vocab::new();
+        let t1 = parse("a(X) b(Y) c(X)", &mut v);
+        let t2 = parse("a(X) d(Y) c(X)", &mut v);
+        let pats = distinct_event_pats(&[t1.clone(), t2.clone()]);
+        let fa = name_projection(&pats, Var(0));
+        assert!(fa.accepts(&t1));
+        assert!(fa.accepts(&t2));
+        // b(Y) vs d(Y) both fall into the wildcard, so the executed sets
+        // are identical: the projection ignores Y-events.
+        assert_eq!(fa.executed_transitions(&t1), fa.executed_transitions(&t2));
+        // But dropping an X-event is visible.
+        let t3 = parse("a(X) b(Y)", &mut v);
+        assert_ne!(fa.executed_transitions(&t1), fa.executed_transitions(&t3));
+    }
+
+    #[test]
+    fn seed_order_distinguishes_before_after() {
+        let mut v = Vocab::new();
+        let before = parse("a(X) s(X) b(X)", &mut v);
+        let after = parse("b(X) s(X) a(X)", &mut v);
+        let pats = distinct_event_pats(&[before.clone(), after.clone()]);
+        let seed = EventPat::exact(&parse("s(X)", &mut v).events()[0]);
+        let fa = seed_order(&pats, &seed);
+        assert!(fa.accepts(&before));
+        assert!(fa.accepts(&after));
+        assert_ne!(
+            fa.executed_transitions(&before),
+            fa.executed_transitions(&after)
+        );
+        // No seed, or two seeds: rejected.
+        assert!(!fa.accepts(&parse("a(X) b(X)", &mut v)));
+        assert!(!fa.accepts(&parse("s(X) s(X)", &mut v)));
+    }
+
+    #[test]
+    fn distinct_pats_dedup() {
+        let mut v = Vocab::new();
+        let t = parse("a(X) b(X) a(X)", &mut v);
+        assert_eq!(distinct_event_pats(&[t]).len(), 2);
+        assert!(distinct_event_pats(&[]).is_empty());
+    }
+}

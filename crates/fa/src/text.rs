@@ -1,0 +1,231 @@
+//! A parseable text format for automata.
+//!
+//! ```text
+//! ; the Figure 1 specification
+//! start s0
+//! accept s2
+//! s0 -> s1 : fopen(X)
+//! s1 -> s1 : fread(X)
+//! s1 -> s2 : fclose(X)
+//! s1 -> s1 : *
+//! ```
+//!
+//! States are `s<N>` and are created on first mention. Labels use the
+//! trace argument syntax plus `_` for "any argument" and a bare `*` for
+//! the wildcard label. `op` with no parentheses matches the operation with
+//! any arguments.
+
+use crate::builder::FaBuilder;
+use crate::fa::{Fa, StateId};
+use crate::label::{ArgPat, EventPat, TransLabel};
+use cable_trace::{Var, Vocab};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Error parsing the FA text format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseFaError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseFaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FA parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseFaError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseFaError {
+    ParseFaError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_label(token: &str, line: usize, vocab: &mut Vocab) -> Result<TransLabel, ParseFaError> {
+    if token == "*" {
+        return Ok(TransLabel::Wildcard);
+    }
+    let (name, rest) = match token.find('(') {
+        Some(i) => (&token[..i], Some(&token[i..])),
+        None => (token, None),
+    };
+    if name.is_empty() {
+        return Err(err(line, format!("bad label {token:?}")));
+    }
+    let op = vocab.op(name);
+    let args = match rest {
+        None => None,
+        Some(rest) => {
+            let inner = rest
+                .strip_prefix('(')
+                .and_then(|r| r.strip_suffix(')'))
+                .ok_or_else(|| err(line, format!("unbalanced parentheses in {token:?}")))?;
+            let mut pats = Vec::new();
+            if !inner.is_empty() {
+                for part in inner.split(',') {
+                    let part = part.trim();
+                    if part == "_" {
+                        pats.push(ArgPat::Any);
+                    } else if let Some(atom) = part.strip_prefix('\'') {
+                        pats.push(ArgPat::Atom(vocab.atom(atom)));
+                    } else if let Some(v) = Var::from_name(part) {
+                        pats.push(ArgPat::Var(v));
+                    } else {
+                        return Err(err(line, format!("bad argument pattern {part:?}")));
+                    }
+                }
+            }
+            Some(pats)
+        }
+    };
+    Ok(TransLabel::Pat(EventPat { op, args }))
+}
+
+impl Fa {
+    /// Parses the text format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseFaError`] on malformed input, including an automaton
+    /// with no `start` line.
+    pub fn parse(text: &str, vocab: &mut Vocab) -> Result<Fa, ParseFaError> {
+        let mut b = FaBuilder::new();
+        let mut states: HashMap<String, StateId> = HashMap::new();
+        let mut saw_start = false;
+        let mut state_of = |name: &str, b: &mut FaBuilder| -> StateId {
+            *states.entry(name.to_owned()).or_insert_with(|| b.state())
+        };
+        for (i, raw) in text.lines().enumerate() {
+            let lineno = i + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with(';') {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("start ") {
+                for name in rest.split_whitespace() {
+                    let s = state_of(name, &mut b);
+                    b.start(s);
+                    saw_start = true;
+                }
+            } else if let Some(rest) = line.strip_prefix("accept ") {
+                for name in rest.split_whitespace() {
+                    let s = state_of(name, &mut b);
+                    b.accept(s);
+                }
+            } else {
+                // src -> dst : label
+                let (edge, label) = line
+                    .split_once(':')
+                    .ok_or_else(|| err(lineno, "expected `src -> dst : label`"))?;
+                let (src, dst) = edge
+                    .split_once("->")
+                    .ok_or_else(|| err(lineno, "expected `src -> dst`"))?;
+                let src = state_of(src.trim(), &mut b);
+                let dst = state_of(dst.trim(), &mut b);
+                let label = parse_label(label.trim(), lineno, vocab)?;
+                b.transition(src, label, dst);
+            }
+        }
+        if !saw_start {
+            return Err(err(0, "no start state declared"));
+        }
+        Ok(b.build())
+    }
+
+    /// Renders the automaton in the text format; `parse` of the output
+    /// reconstructs an identical automaton.
+    pub fn to_text(&self, vocab: &Vocab) -> String {
+        let mut out = String::new();
+        let starts: Vec<String> = self
+            .start_states()
+            .iter()
+            .map(|s| format!("s{s}"))
+            .collect();
+        let _ = writeln!(out, "start {}", starts.join(" "));
+        if !self.accept_states().is_empty() {
+            let accepts: Vec<String> = self
+                .accept_states()
+                .iter()
+                .map(|s| format!("s{s}"))
+                .collect();
+            let _ = writeln!(out, "accept {}", accepts.join(" "));
+        }
+        for id in self.transition_ids() {
+            let t = self.transition(id);
+            let _ = writeln!(out, "{} -> {} : {}", t.src, t.dst, t.label.display(vocab));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIG1: &str = "\
+; Figure 1 (buggy stdio specification)
+start s0
+accept s2
+s0 -> s1 : fopen(X)
+s0 -> s1 : popen(X)
+s1 -> s1 : fread(X)
+s1 -> s1 : fwrite(X)
+s1 -> s2 : fclose(X)
+";
+
+    #[test]
+    fn parse_fig1() {
+        let mut v = Vocab::new();
+        let fa = Fa::parse(FIG1, &mut v).unwrap();
+        assert_eq!(fa.state_count(), 3);
+        assert_eq!(fa.transition_count(), 5);
+        let t = cable_trace::Trace::parse("popen(X) fclose(X)", &mut v).unwrap();
+        assert!(fa.accepts(&t));
+    }
+
+    #[test]
+    fn round_trip() {
+        let mut v = Vocab::new();
+        let fa = Fa::parse(FIG1, &mut v).unwrap();
+        let text = fa.to_text(&v);
+        let fa2 = Fa::parse(&text, &mut v).unwrap();
+        assert_eq!(fa, fa2);
+    }
+
+    #[test]
+    fn round_trip_exotic_labels() {
+        let mut v = Vocab::new();
+        let text = "start s0\naccept s0\ns0 -> s0 : *\ns0 -> s0 : f\ns0 -> s0 : g(_,'A,Y)\n";
+        let fa = Fa::parse(text, &mut v).unwrap();
+        let fa2 = Fa::parse(&fa.to_text(&v), &mut v).unwrap();
+        assert_eq!(fa, fa2);
+        assert!(fa.has_wildcard());
+    }
+
+    #[test]
+    fn errors() {
+        let mut v = Vocab::new();
+        assert!(Fa::parse("s0 -> s1 : f\n", &mut v).is_err(), "no start");
+        assert!(Fa::parse("start s0\ns0 s1 : f\n", &mut v).is_err());
+        assert!(Fa::parse("start s0\ns0 -> s1 f\n", &mut v).is_err());
+        assert!(Fa::parse("start s0\ns0 -> s1 : f(%%)\n", &mut v).is_err());
+        let e = Fa::parse("start s0\nbogus line here\n", &mut v).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn multiple_starts_and_accepts() {
+        let mut v = Vocab::new();
+        let fa = Fa::parse("start s0 s1\naccept s0 s1\ns0 -> s1 : f\n", &mut v).unwrap();
+        assert_eq!(fa.start_states().len(), 2);
+        assert_eq!(fa.accept_states().len(), 2);
+    }
+}

@@ -1,0 +1,260 @@
+//! Property tests for the executed-transition relation (§3.2) against a
+//! brute-force oracle that enumerates all accepting transition sequences.
+
+use cable_fa::{Fa, FaBuilder, StateId};
+use cable_trace::{Event, Trace, Var, Vocab};
+use cable_util::BitSet;
+use proptest::prelude::*;
+
+/// A small random NFA over operations `op0..op_k` (single-variable
+/// events) plus occasional wildcard transitions.
+#[derive(Debug, Clone)]
+struct RandomFa {
+    n_states: usize,
+    /// (src, op index or usize::MAX for wildcard, dst)
+    transitions: Vec<(usize, usize, usize)>,
+    starts: Vec<usize>,
+    accepts: Vec<usize>,
+}
+
+fn arb_fa(max_states: usize, n_ops: usize) -> impl Strategy<Value = RandomFa> {
+    (2..=max_states).prop_flat_map(move |n| {
+        let trans = prop::collection::vec(
+            (
+                0..n,
+                prop::sample::select((0..n_ops).chain([usize::MAX]).collect::<Vec<_>>()),
+                0..n,
+            ),
+            1..=12,
+        );
+        let starts = prop::collection::btree_set(0..n, 1..=2);
+        let accepts = prop::collection::btree_set(0..n, 1..=2);
+        (trans, starts, accepts).prop_map(move |(transitions, starts, accepts)| RandomFa {
+            n_states: n,
+            transitions,
+            starts: starts.into_iter().collect(),
+            accepts: accepts.into_iter().collect(),
+        })
+    })
+}
+
+fn realize(rfa: &RandomFa, vocab: &mut Vocab) -> Fa {
+    let mut b = FaBuilder::new();
+    let states = b.states(rfa.n_states);
+    for &s in &rfa.starts {
+        b.start(states[s]);
+    }
+    for &s in &rfa.accepts {
+        b.accept(states[s]);
+    }
+    for &(src, op, dst) in &rfa.transitions {
+        if op == usize::MAX {
+            b.wildcard(states[src], states[dst]);
+        } else {
+            b.event_var(states[src], &format!("op{op}"), states[dst], vocab);
+        }
+    }
+    b.build()
+}
+
+fn trace_of(ops: &[usize], vocab: &mut Vocab) -> Trace {
+    Trace::new(
+        ops.iter()
+            .map(|&i| Event::on_var(vocab.op(&format!("op{i}")), Var(0)))
+            .collect(),
+    )
+}
+
+/// Brute force: enumerate every transition sequence consuming the trace
+/// from a start state, and union the transitions of those that end in an
+/// accepting state.
+fn brute_force_executed(fa: &Fa, trace: &Trace) -> BitSet {
+    let mut executed = BitSet::new();
+    let mut accepted = false;
+    for s in fa.start_states().iter() {
+        walk(
+            fa,
+            trace,
+            0,
+            StateId(s as u32),
+            &mut Vec::new(),
+            &mut executed,
+            &mut accepted,
+        );
+    }
+    executed
+}
+
+fn walk(
+    fa: &Fa,
+    trace: &Trace,
+    pos: usize,
+    state: StateId,
+    path: &mut Vec<usize>,
+    executed: &mut BitSet,
+    accepted: &mut bool,
+) {
+    if pos == trace.len() {
+        if fa.is_accept(state) {
+            *accepted = true;
+            for &t in path.iter() {
+                executed.insert(t);
+            }
+        }
+        return;
+    }
+    let event = &trace.events()[pos];
+    for &tid in fa.outgoing(state) {
+        let t = fa.transition(tid);
+        if t.label.matches(event) {
+            path.push(tid.index());
+            walk(fa, trace, pos + 1, t.dst, path, executed, accepted);
+            path.pop();
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn executed_matches_brute_force(
+        rfa in arb_fa(5, 3),
+        ops in prop::collection::vec(0usize..3, 0..6),
+    ) {
+        let mut vocab = Vocab::new();
+        let fa = realize(&rfa, &mut vocab);
+        let trace = trace_of(&ops, &mut vocab);
+        let fast = fa.executed_transitions(&trace);
+        let slow = brute_force_executed(&fa, &trace);
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn executed_nonempty_iff_accepted_nonempty_trace(
+        rfa in arb_fa(5, 3),
+        ops in prop::collection::vec(0usize..3, 1..6),
+    ) {
+        let mut vocab = Vocab::new();
+        let fa = realize(&rfa, &mut vocab);
+        let trace = trace_of(&ops, &mut vocab);
+        let executed = fa.executed_transitions(&trace);
+        prop_assert_eq!(fa.accepts(&trace), !executed.is_empty());
+    }
+
+    #[test]
+    fn executed_transitions_match_events(
+        rfa in arb_fa(5, 3),
+        ops in prop::collection::vec(0usize..3, 0..6),
+    ) {
+        // Every executed transition's label matches at least one event of
+        // the trace.
+        let mut vocab = Vocab::new();
+        let fa = realize(&rfa, &mut vocab);
+        let trace = trace_of(&ops, &mut vocab);
+        for tid in fa.executed_transitions(&trace).iter() {
+            let label = &fa.transitions()[tid].label;
+            prop_assert!(
+                trace.iter().any(|e| label.matches(e)),
+                "label {:?}",
+                label
+            );
+        }
+    }
+
+    #[test]
+    fn trim_preserves_acceptance(
+        rfa in arb_fa(5, 3),
+        ops in prop::collection::vec(0usize..3, 0..6),
+    ) {
+        let mut vocab = Vocab::new();
+        let fa = realize(&rfa, &mut vocab);
+        let trace = trace_of(&ops, &mut vocab);
+        prop_assert_eq!(fa.trim().accepts(&trace), fa.accepts(&trace));
+    }
+
+    #[test]
+    fn determinize_preserves_acceptance_without_wildcards(
+        rfa in arb_fa(5, 3),
+        ops in prop::collection::vec(0usize..3, 0..6),
+    ) {
+        // Restrict to automata without wildcards and run the DFA on the
+        // corresponding letter string.
+        let mut vocab = Vocab::new();
+        let concrete = RandomFa {
+            transitions: rfa
+                .transitions
+                .iter()
+                .copied()
+                .filter(|&(_, op, _)| op != usize::MAX)
+                .collect(),
+            ..rfa
+        };
+        prop_assume!(!concrete.transitions.is_empty());
+        let fa = realize(&concrete, &mut vocab);
+        let trace = trace_of(&ops, &mut vocab);
+        let dfa = fa.determinize();
+        // Map each trace event to its DFA letter (or Other).
+        let letters: Vec<usize> = trace
+            .iter()
+            .map(|e| {
+                dfa.labels()
+                    .iter()
+                    .position(|l| l.matches(e))
+                    .unwrap_or(dfa.labels().len())
+            })
+            .collect();
+        prop_assert_eq!(dfa.accepts_letters(&letters), fa.accepts(&trace));
+        // Minimisation preserves the language too.
+        prop_assert_eq!(dfa.minimize().accepts_letters(&letters), fa.accepts(&trace));
+    }
+
+    #[test]
+    fn union_and_intersection_semantics(
+        rfa1 in arb_fa(4, 3),
+        rfa2 in arb_fa(4, 3),
+        ops in prop::collection::vec(0usize..3, 0..6),
+    ) {
+        let mut vocab = Vocab::new();
+        let a = realize(&rfa1, &mut vocab);
+        let b = realize(&rfa2, &mut vocab);
+        let trace = trace_of(&ops, &mut vocab);
+        prop_assert_eq!(
+            a.union(&b).accepts(&trace),
+            a.accepts(&trace) || b.accepts(&trace)
+        );
+        prop_assert_eq!(
+            a.intersection(&b).accepts(&trace),
+            a.accepts(&trace) && b.accepts(&trace)
+        );
+    }
+
+    #[test]
+    fn equivalence_is_reflexive_and_respects_trim(rfa in arb_fa(5, 3)) {
+        let mut vocab = Vocab::new();
+        let fa = realize(&rfa, &mut vocab);
+        prop_assert!(fa.equivalent(&fa));
+        prop_assert!(fa.equivalent(&fa.trim()));
+    }
+
+    #[test]
+    fn containment_is_consistent_with_union_and_equivalence(
+        rfa1 in arb_fa(4, 3),
+        rfa2 in arb_fa(4, 3),
+    ) {
+        let mut vocab = Vocab::new();
+        let a = realize(&rfa1, &mut vocab);
+        let b = realize(&rfa2, &mut vocab);
+        // A ⊆ A∪B and B ⊆ A∪B always.
+        let u = a.union(&b);
+        prop_assert!(a.language_subset_of(&u));
+        prop_assert!(b.language_subset_of(&u));
+        // A∩B ⊆ A and ⊆ B.
+        let i = a.intersection(&b);
+        prop_assert!(i.language_subset_of(&a));
+        prop_assert!(i.language_subset_of(&b));
+        // Mutual containment ⟺ equivalence.
+        let mutual = a.language_subset_of(&b) && b.language_subset_of(&a);
+        prop_assert_eq!(mutual, a.equivalent(&b));
+    }
+}

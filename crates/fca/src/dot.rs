@@ -1,0 +1,67 @@
+//! Graphviz DOT export for concept lattices (Figure 5 / Figure 10 style).
+
+use crate::lattice::{ConceptId, ConceptLattice};
+use std::fmt::Write as _;
+
+impl ConceptLattice {
+    /// Renders the lattice in Graphviz DOT syntax, labelling each concept
+    /// with strings produced by the two callbacks (e.g. object and
+    /// attribute names, or trace counts and transition labels).
+    pub fn to_dot<F, G>(&self, name: &str, mut extent_label: F, mut intent_label: G) -> String
+    where
+        F: FnMut(ConceptId) -> String,
+        G: FnMut(ConceptId) -> String,
+    {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{}\" {{", name.replace('"', "\\\""));
+        let _ = writeln!(out, "  rankdir=TB;");
+        let _ = writeln!(out, "  node [shape=record];");
+        for (id, _) in self.iter() {
+            let e = extent_label(id)
+                .replace('"', "\\\"")
+                .replace(['{', '}'], "");
+            let i = intent_label(id)
+                .replace('"', "\\\"")
+                .replace(['{', '}'], "");
+            let _ = writeln!(out, "  {id} [label=\"{{{i}|{e}}}\"];");
+        }
+        for (id, _) in self.iter() {
+            for &child in self.children(id) {
+                let _ = writeln!(out, "  {id} -> {child};");
+            }
+        }
+        let _ = writeln!(out, "}}");
+        out
+    }
+
+    /// DOT export with plain index-based labels.
+    pub fn to_dot_indices(&self, name: &str) -> String {
+        self.to_dot(
+            name,
+            |id| format!("{}", self.concept(id).extent),
+            |id| format!("{}", self.concept(id).intent),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::context::Context;
+    use crate::lattice::ConceptLattice;
+
+    #[test]
+    fn dot_contains_all_concepts_and_edges() {
+        let mut ctx = Context::new(2, 2);
+        ctx.add(0, 0);
+        ctx.add(1, 1);
+        let l = ConceptLattice::build(&ctx);
+        let dot = l.to_dot_indices("test");
+        assert!(dot.starts_with("digraph"));
+        for (id, _) in l.iter() {
+            assert!(dot.contains(&format!("{id} [label=")));
+        }
+        let edge_count = dot.matches(" -> ").count();
+        let expected: usize = l.ids().map(|id| l.children(id).len()).sum();
+        assert_eq!(edge_count, expected);
+    }
+}

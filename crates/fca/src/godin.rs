@@ -1,0 +1,160 @@
+//! Godin's incremental lattice-construction algorithm.
+//!
+//! This is Algorithm 1 of Godin, Missaoui & Alaoui, *Incremental concept
+//! formation algorithms based on Galois (concept) lattices* (1995) — the
+//! algorithm the paper uses and times in Table 2. Objects are inserted one
+//! at a time; existing concepts are either **modified** (their intent is a
+//! subset of the new object's attribute set, so the new object joins their
+//! extent) or act as **generators** of new concepts (the intersection of
+//! their intent with the new attribute set, if that intent is not already
+//! present).
+//!
+//! Its running time is `O(2^{2k} · |O|)` where `k` bounds the number of
+//! attributes per object; the paper observes `k < 10` in practice.
+//!
+//! The concept *set* is maintained incrementally; the Hasse diagram is
+//! computed once at the end by [`crate::lattice::ConceptLattice::from_concepts`].
+
+use crate::context::Context;
+use crate::lattice::Concept;
+use cable_util::BitSet;
+use std::collections::HashSet;
+
+/// Computes all concepts of the context by incremental object insertion.
+///
+/// The result always contains the concept with the full attribute set as
+/// intent (the lattice bottom) and, once at least one object exists, the
+/// concept whose extent is all objects (the top) — possibly the same
+/// concept.
+pub fn concepts(ctx: &Context) -> Vec<Concept> {
+    let mut concepts: Vec<Concept> = vec![Concept {
+        extent: BitSet::new(),
+        intent: BitSet::full(ctx.attribute_count()),
+    }];
+    for o in 0..ctx.object_count() {
+        add_object(&mut concepts, o, ctx.row(o));
+    }
+    concepts
+}
+
+/// Inserts one object with the given attribute row into an existing
+/// concept set (which must be the concept set of the context restricted
+/// to the previously inserted objects, plus the `(∅, A)` seed).
+pub fn add_object(concepts: &mut Vec<Concept>, object: usize, attrs: &BitSet) {
+    // Process existing concepts in increasing intent-size order (Godin's
+    // cardinality buckets).
+    let mut order: Vec<usize> = (0..concepts.len()).collect();
+    order.sort_by_key(|&i| concepts[i].intent.len());
+    // Intents that are already accounted for in the new lattice: those of
+    // modified concepts and of concepts created during this insertion.
+    let mut seen: HashSet<BitSet> = HashSet::new();
+    let mut created: Vec<Concept> = Vec::new();
+    for idx in order {
+        let intent = concepts[idx].intent.clone();
+        if intent.is_subset(attrs) {
+            // Modified concept: the new object has all its attributes.
+            concepts[idx].extent.insert(object);
+            seen.insert(intent);
+        } else {
+            let candidate = intent.intersection(attrs);
+            if seen.contains(&candidate) {
+                continue;
+            }
+            // `concepts[idx]` is the generator: because concepts are
+            // processed by increasing intent size, the first generator of
+            // `candidate` is the closure concept of `candidate` in the old
+            // context, so its extent is exactly τ_old(candidate).
+            let mut extent = concepts[idx].extent.clone();
+            extent.insert(object);
+            seen.insert(candidate.clone());
+            created.push(Concept {
+                extent,
+                intent: candidate,
+            });
+        }
+    }
+    concepts.append(&mut created);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx_of(rows: &[&[usize]], n_attrs: usize) -> Context {
+        let mut ctx = Context::new(rows.len(), n_attrs);
+        for (o, row) in rows.iter().enumerate() {
+            for &a in *row {
+                ctx.add(o, a);
+            }
+        }
+        ctx
+    }
+
+    fn find<'a>(cs: &'a [Concept], intent: &[usize]) -> Option<&'a Concept> {
+        let i: BitSet = intent.iter().copied().collect();
+        cs.iter().find(|c| c.intent == i)
+    }
+
+    #[test]
+    fn empty_context() {
+        let ctx = Context::new(0, 3);
+        let cs = concepts(&ctx);
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs[0].intent, BitSet::full(3));
+        assert!(cs[0].extent.is_empty());
+    }
+
+    #[test]
+    fn single_object() {
+        let ctx = ctx_of(&[&[0, 1]], 3);
+        let cs = concepts(&ctx);
+        assert_eq!(cs.len(), 2);
+        let top = find(&cs, &[0, 1]).expect("object concept");
+        assert_eq!(top.extent.to_vec(), vec![0]);
+        let bottom = find(&cs, &[0, 1, 2]).expect("bottom");
+        assert!(bottom.extent.is_empty());
+    }
+
+    #[test]
+    fn object_with_all_attributes_modifies_bottom() {
+        let ctx = ctx_of(&[&[0, 1, 2]], 3);
+        let cs = concepts(&ctx);
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs[0].extent.to_vec(), vec![0]);
+        assert_eq!(cs[0].intent, BitSet::full(3));
+    }
+
+    #[test]
+    fn shared_attribute_creates_meet() {
+        // o0 {a,b}, o1 {b,c}: concepts with intents {a,b},{b,c},{b},{a,b,c}.
+        let ctx = ctx_of(&[&[0, 1], &[1, 2]], 3);
+        let cs = concepts(&ctx);
+        assert_eq!(cs.len(), 4);
+        let meet = find(&cs, &[1]).expect("shared-attribute concept");
+        assert_eq!(meet.extent.to_vec(), vec![0, 1]);
+    }
+
+    #[test]
+    fn duplicate_objects_share_concepts() {
+        let ctx = ctx_of(&[&[0, 1], &[0, 1], &[0, 1]], 2);
+        let cs = concepts(&ctx);
+        // ({0,1,2},{0,1}) only (intent == full attribute set).
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs[0].extent.len(), 3);
+    }
+
+    #[test]
+    fn concepts_are_closed_pairs() {
+        let ctx = ctx_of(&[&[0, 1], &[1, 2, 4], &[2, 3], &[2, 4], &[2, 3]], 5);
+        for c in concepts(&ctx) {
+            assert_eq!(ctx.sigma(&c.extent), c.intent, "intent = σ(extent)");
+            assert_eq!(ctx.tau(&c.intent), c.extent, "extent = τ(intent)");
+        }
+    }
+
+    #[test]
+    fn animals_count_matches_figure_10() {
+        let ctx = ctx_of(&[&[0, 1], &[1, 2, 4], &[2, 3], &[2, 4], &[2, 3]], 5);
+        assert_eq!(concepts(&ctx).len(), 8);
+    }
+}

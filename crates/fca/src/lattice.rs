@@ -1,0 +1,491 @@
+//! The concept lattice: concepts, order, and the Hasse diagram.
+
+use crate::context::Context;
+use cable_util::BitSet;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A formal concept: a pair `(extent, intent)` with `σ(extent) = intent`
+/// and `τ(intent) = extent`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Concept {
+    /// The objects of the concept.
+    pub extent: BitSet,
+    /// The attributes shared by all objects of the concept.
+    pub intent: BitSet,
+}
+
+impl Concept {
+    /// The paper's similarity of this concept's trace set:
+    /// `sim(X) = |σ(X)| = |intent|`.
+    pub fn similarity(&self) -> usize {
+        self.intent.len()
+    }
+}
+
+/// Index of a concept within a [`ConceptLattice`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConceptId(pub u32);
+
+impl ConceptId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ConceptId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// The complete lattice of concepts of a context, with its Hasse diagram.
+///
+/// The order is the paper's: `(X₀,Y₀) ≤ (X₁,Y₁)` iff `X₀ ⊆ X₁` iff
+/// `Y₀ ⊇ Y₁`. *Children* of a concept are the concepts it covers
+/// (immediately smaller extents); *parents* are the covering concepts.
+/// The top concept has all objects in its extent; the bottom has the
+/// largest intent.
+#[derive(Debug, Clone)]
+pub struct ConceptLattice {
+    concepts: Vec<Concept>,
+    children: Vec<Vec<ConceptId>>,
+    parents: Vec<Vec<ConceptId>>,
+    top: ConceptId,
+    bottom: ConceptId,
+    extent_index: HashMap<BitSet, ConceptId>,
+}
+
+impl ConceptLattice {
+    /// Builds the lattice of a context with Godin's incremental algorithm
+    /// (the paper's choice).
+    pub fn build(ctx: &Context) -> Self {
+        Self::from_concepts(crate::godin::concepts(ctx))
+    }
+
+    /// Builds the lattice with Ganter's NextClosure (batch) algorithm.
+    pub fn build_next_closure(ctx: &Context) -> Self {
+        Self::from_concepts(crate::next_closure::concepts(ctx))
+    }
+
+    /// Assembles a lattice (Hasse diagram, top, bottom) from a complete
+    /// set of concepts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `concepts` is empty or contains duplicate extents.
+    pub fn from_concepts(mut concepts: Vec<Concept>) -> Self {
+        assert!(!concepts.is_empty(), "a concept lattice is never empty");
+        // Sort by decreasing extent size: index 0 is the top.
+        concepts.sort_by(|a, b| {
+            b.extent
+                .len()
+                .cmp(&a.extent.len())
+                .then_with(|| a.intent.len().cmp(&b.intent.len()))
+                .then_with(|| a.extent.cmp(&b.extent))
+        });
+        let n = concepts.len();
+        let mut extent_index = HashMap::with_capacity(n);
+        for (i, c) in concepts.iter().enumerate() {
+            let prev = extent_index.insert(c.extent.clone(), ConceptId(i as u32));
+            assert!(prev.is_none(), "duplicate extent in concept set");
+        }
+        // Hasse diagram: for each concept d, its parents are the minimal
+        // strict supersets of its extent.
+        let mut children: Vec<Vec<ConceptId>> = vec![Vec::new(); n];
+        let mut parents: Vec<Vec<ConceptId>> = vec![Vec::new(); n];
+        for d in 0..n {
+            // Strict supersets appear strictly earlier in sorted order.
+            let supersets: Vec<usize> = (0..d)
+                .filter(|&c| concepts[d].extent.is_proper_subset(&concepts[c].extent))
+                .collect();
+            for &c in &supersets {
+                let minimal = supersets
+                    .iter()
+                    .all(|&e| e == c || !concepts[e].extent.is_proper_subset(&concepts[c].extent));
+                if minimal {
+                    children[c].push(ConceptId(d as u32));
+                    parents[d].push(ConceptId(c as u32));
+                }
+            }
+        }
+        let top = ConceptId(0);
+        let bottom = ConceptId(
+            (0..n)
+                .max_by_key(|&i| concepts[i].intent.len())
+                .expect("nonempty") as u32,
+        );
+        ConceptLattice {
+            concepts,
+            children,
+            parents,
+            top,
+            bottom,
+            extent_index,
+        }
+    }
+
+    /// Number of concepts.
+    pub fn len(&self) -> usize {
+        self.concepts.len()
+    }
+
+    /// A lattice always has at least one concept; this is always `false`
+    /// and exists for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.concepts.is_empty()
+    }
+
+    /// Looks up a concept.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn concept(&self, id: ConceptId) -> &Concept {
+        &self.concepts[id.index()]
+    }
+
+    /// All concept ids, top first (sorted by decreasing extent size).
+    pub fn ids(&self) -> impl Iterator<Item = ConceptId> {
+        (0..self.concepts.len() as u32).map(ConceptId)
+    }
+
+    /// Iterates over `(id, concept)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ConceptId, &Concept)> {
+        self.concepts
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (ConceptId(i as u32), c))
+    }
+
+    /// The top concept (extent = all objects).
+    pub fn top(&self) -> ConceptId {
+        self.top
+    }
+
+    /// The bottom concept (maximal intent).
+    pub fn bottom(&self) -> ConceptId {
+        self.bottom
+    }
+
+    /// The concepts covered by `id` (immediately below).
+    pub fn children(&self, id: ConceptId) -> &[ConceptId] {
+        &self.children[id.index()]
+    }
+
+    /// The concepts covering `id` (immediately above).
+    pub fn parents(&self, id: ConceptId) -> &[ConceptId] {
+        &self.parents[id.index()]
+    }
+
+    /// Tests the lattice order: `a ≤ b` iff `extent(a) ⊆ extent(b)`.
+    pub fn le(&self, a: ConceptId, b: ConceptId) -> bool {
+        self.concept(a).extent.is_subset(&self.concept(b).extent)
+    }
+
+    /// Finds the concept with exactly this extent.
+    pub fn find_by_extent(&self, extent: &BitSet) -> Option<ConceptId> {
+        self.extent_index.get(extent).copied()
+    }
+
+    /// Finds the concept with exactly this intent.
+    pub fn find_by_intent(&self, intent: &BitSet) -> Option<ConceptId> {
+        self.iter()
+            .find(|(_, c)| &c.intent == intent)
+            .map(|(id, _)| id)
+    }
+
+    /// The meet (greatest lower bound) of two concepts: the concept whose
+    /// extent is the closure of the intersection of their extents — which
+    /// for concepts is the intersection itself.
+    pub fn meet(&self, a: ConceptId, b: ConceptId) -> ConceptId {
+        let extent = self.concept(a).extent.intersection(&self.concept(b).extent);
+        // The intersection of two extents is an extent (concept lattices
+        // are closed under extent intersection).
+        self.find_by_extent(&extent)
+            .expect("extent intersection is always an extent")
+    }
+
+    /// The join (least upper bound) of two concepts: the least concept
+    /// whose extent contains both extents.
+    pub fn join(&self, a: ConceptId, b: ConceptId) -> ConceptId {
+        let union = self.concept(a).extent.union(&self.concept(b).extent);
+        // Walk candidates top-down: ids are sorted by decreasing extent
+        // size, so the last superset in id order is the least one.
+        self.ids()
+            .filter(|&c| union.is_subset(&self.concept(c).extent))
+            .last()
+            .expect("top is always an upper bound")
+    }
+
+    /// Concepts in breadth-first top-down order (each concept appears
+    /// once, when first reached).
+    pub fn bfs_top_down(&self) -> Vec<ConceptId> {
+        let mut seen = vec![false; self.len()];
+        let mut order = Vec::with_capacity(self.len());
+        let mut queue = std::collections::VecDeque::from([self.top]);
+        seen[self.top.index()] = true;
+        while let Some(c) = queue.pop_front() {
+            order.push(c);
+            for &child in self.children(c) {
+                if !seen[child.index()] {
+                    seen[child.index()] = true;
+                    queue.push_back(child);
+                }
+            }
+        }
+        order
+    }
+
+    /// Incrementally inserts a new object (Godin's algorithm), returning
+    /// the updated lattice. The concept set is maintained incrementally;
+    /// the Hasse diagram is recomputed.
+    ///
+    /// This is the §6 "interactive algorithms" extension: a live Cable
+    /// session can absorb freshly reported traces without rebuilding the
+    /// whole lattice from its context.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `object` already occurs in an extent (objects are
+    /// inserted once), or `attrs` mentions attributes outside the
+    /// lattice's attribute universe (the bottom intent).
+    pub fn insert_object(self, object: usize, attrs: &cable_util::BitSet) -> ConceptLattice {
+        let bottom_intent = &self.concepts[self.bottom.index()].intent;
+        assert!(
+            attrs.is_subset(bottom_intent),
+            "attributes outside the lattice's universe"
+        );
+        assert!(
+            !self.concepts[self.top.index()].extent.contains(object),
+            "object already inserted"
+        );
+        let mut concepts = self.concepts;
+        crate::godin::add_object(&mut concepts, object, attrs);
+        ConceptLattice::from_concepts(concepts)
+    }
+
+    /// The height of the lattice: the number of concepts on a longest
+    /// chain from top to bottom.
+    pub fn height(&self) -> usize {
+        // Longest path in the DAG of cover edges, top-down.
+        let mut depth = vec![0usize; self.len()];
+        // ids sorted by decreasing extent size is a topological order.
+        for id in self.ids() {
+            for &child in self.children(id) {
+                depth[child.index()] = depth[child.index()].max(depth[id.index()] + 1);
+            }
+        }
+        depth.iter().max().copied().unwrap_or(0) + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn animals() -> (Context, ConceptLattice) {
+        let mut ctx = Context::new(5, 5);
+        for (o, attrs) in [
+            (0usize, vec![0usize, 1]),
+            (1, vec![1, 2, 4]),
+            (2, vec![2, 3]),
+            (3, vec![2, 4]),
+            (4, vec![2, 3]),
+        ] {
+            for a in attrs {
+                ctx.add(o, a);
+            }
+        }
+        let lattice = ConceptLattice::build(&ctx);
+        (ctx, lattice)
+    }
+
+    #[test]
+    fn top_and_bottom() {
+        let (_, l) = animals();
+        assert_eq!(l.len(), 8);
+        assert_eq!(l.concept(l.top()).extent.len(), 5);
+        assert!(l.concept(l.top()).intent.is_empty());
+        assert!(l.concept(l.bottom()).extent.is_empty());
+        assert_eq!(l.concept(l.bottom()).intent.len(), 5);
+    }
+
+    #[test]
+    fn hasse_edges_are_covers() {
+        let (_, l) = animals();
+        for id in l.ids() {
+            for &child in l.children(id) {
+                assert!(l.le(child, id));
+                assert_ne!(child, id);
+                // No concept strictly between.
+                for mid in l.ids() {
+                    if mid != id && mid != child {
+                        assert!(
+                            !(l.le(child, mid) && l.le(mid, id)),
+                            "{mid} between {child} and {id}"
+                        );
+                    }
+                }
+                // parents is the inverse relation.
+                assert!(l.parents(child).contains(&id));
+            }
+        }
+    }
+
+    #[test]
+    fn similarity_increases_downward() {
+        let (_, l) = animals();
+        for id in l.ids() {
+            for &child in l.children(id) {
+                assert!(l.concept(child).similarity() >= l.concept(id).similarity());
+            }
+        }
+    }
+
+    #[test]
+    fn meet_and_join() {
+        let (_, l) = animals();
+        // Concepts for {hair-covered} (cats+gibbons) and {intelligent}.
+        let hair = l
+            .find_by_intent(&BitSet::singleton(1))
+            .expect("hair concept");
+        let intel = l
+            .find_by_intent(&BitSet::singleton(2))
+            .expect("intelligent concept");
+        let meet = l.meet(hair, intel);
+        // gibbons only: {hair-covered, intelligent, thumbed}.
+        assert_eq!(l.concept(meet).extent.to_vec(), vec![1]);
+        let join = l.join(hair, intel);
+        assert_eq!(join, l.top());
+        // meet/join with self are identity.
+        assert_eq!(l.meet(hair, hair), hair);
+        assert_eq!(l.join(hair, hair), hair);
+        // Order relations.
+        assert!(l.le(meet, hair));
+        assert!(l.le(meet, intel));
+    }
+
+    #[test]
+    fn bfs_starts_at_top_and_respects_order() {
+        let (_, l) = animals();
+        let order = l.bfs_top_down();
+        assert_eq!(order.len(), l.len());
+        assert_eq!(order[0], l.top());
+        let position: Vec<usize> = {
+            let mut pos = vec![0; l.len()];
+            for (i, id) in order.iter().enumerate() {
+                pos[id.index()] = i;
+            }
+            pos
+        };
+        for id in l.ids() {
+            for &child in l.children(id) {
+                assert!(position[child.index()] > position[id.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn find_by_extent_and_intent_agree() {
+        let (_, l) = animals();
+        for (id, c) in l.iter() {
+            assert_eq!(l.find_by_extent(&c.extent), Some(id));
+            assert_eq!(l.find_by_intent(&c.intent), Some(id));
+        }
+        assert_eq!(l.find_by_extent(&BitSet::singleton(999)), None);
+    }
+
+    #[test]
+    fn height_of_animals() {
+        let (_, l) = animals();
+        // top > {intelligent} > {intelligent,thumbed} >
+        // {hair,intelligent,thumbed} > bottom: 5 concepts on the chain.
+        assert_eq!(l.height(), 5);
+    }
+
+    #[test]
+    fn single_concept_lattice() {
+        let ctx = Context::new(2, 0);
+        let l = ConceptLattice::build(&ctx);
+        assert_eq!(l.len(), 1);
+        assert_eq!(l.top(), l.bottom());
+        assert!(l.children(l.top()).is_empty());
+        assert_eq!(l.height(), 1);
+        assert!(!l.is_empty());
+    }
+
+    #[test]
+    fn insert_object_matches_batch_build() {
+        // Build the animals lattice incrementally object by object.
+        let mut ctx = Context::new(5, 5);
+        for (o, attrs) in [
+            (0usize, vec![0usize, 1]),
+            (1, vec![1, 2, 4]),
+            (2, vec![2, 3]),
+            (3, vec![2, 4]),
+            (4, vec![2, 3]),
+        ] {
+            for a in attrs {
+                ctx.add(o, a);
+            }
+        }
+        let batch = ConceptLattice::build(&ctx);
+        let mut incremental = ConceptLattice::from_concepts(vec![Concept {
+            extent: BitSet::new(),
+            intent: BitSet::full(5),
+        }]);
+        for o in 0..5 {
+            incremental = incremental.insert_object(o, ctx.row(o));
+        }
+        assert_eq!(incremental.len(), batch.len());
+        for (_, c) in batch.iter() {
+            let id = incremental.find_by_extent(&c.extent).expect("same extents");
+            assert_eq!(incremental.concept(id).intent, c.intent);
+        }
+        // Hasse edges agree too (same canonical order after sorting).
+        for id in batch.ids() {
+            assert_eq!(
+                batch.children(id).len(),
+                incremental.children(id).len(),
+                "{id}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "already inserted")]
+    fn insert_object_rejects_duplicates() {
+        let lattice = ConceptLattice::from_concepts(vec![Concept {
+            extent: BitSet::new(),
+            intent: BitSet::full(2),
+        }]);
+        let row = BitSet::singleton(0);
+        let lattice = lattice.insert_object(0, &row);
+        let _ = lattice.insert_object(0, &row);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the lattice's universe")]
+    fn insert_object_rejects_unknown_attributes() {
+        let lattice = ConceptLattice::from_concepts(vec![Concept {
+            extent: BitSet::new(),
+            intent: BitSet::full(2),
+        }]);
+        let _ = lattice.insert_object(0, &BitSet::singleton(7));
+    }
+
+    #[test]
+    fn godin_and_next_closure_agree_on_animals() {
+        let (ctx, _) = animals();
+        let a = ConceptLattice::build(&ctx);
+        let b = ConceptLattice::build_next_closure(&ctx);
+        assert_eq!(a.len(), b.len());
+        for (id, c) in a.iter() {
+            let id2 = b.find_by_extent(&c.extent).expect("same extents");
+            assert_eq!(b.concept(id2).intent, c.intent);
+            let _ = id;
+        }
+    }
+}

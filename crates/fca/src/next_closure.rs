@@ -1,0 +1,117 @@
+//! Ganter's NextClosure algorithm.
+//!
+//! Enumerates all closed attribute sets (concept intents) in lectic
+//! order. Quadratic-ish and simple; used as a differential-testing
+//! reference for the incremental [`crate::godin`] implementation and as
+//! an alternative batch constructor.
+
+use crate::context::Context;
+use crate::lattice::Concept;
+use cable_util::BitSet;
+
+/// Computes all concepts by enumerating closed intents in lectic order.
+pub fn concepts(ctx: &Context) -> Vec<Concept> {
+    let m = ctx.attribute_count();
+    let mut result = Vec::new();
+    let mut current = ctx.intent_closure(&BitSet::new());
+    loop {
+        result.push(Concept {
+            extent: ctx.tau(&current),
+            intent: current.clone(),
+        });
+        match next_closure(ctx, &current, m) {
+            Some(next) => current = next,
+            None => break,
+        }
+    }
+    result
+}
+
+/// The lectically-next closed set after `a`, or `None` if `a` is the last
+/// (the full attribute set).
+fn next_closure(ctx: &Context, a: &BitSet, m: usize) -> Option<BitSet> {
+    for i in (0..m).rev() {
+        if a.contains(i) {
+            continue;
+        }
+        // candidate = closure((a ∩ {0..i}) ∪ {i})
+        let mut prefix = BitSet::with_capacity(m);
+        for x in a.iter() {
+            if x < i {
+                prefix.insert(x);
+            } else {
+                break;
+            }
+        }
+        prefix.insert(i);
+        let closed = ctx.intent_closure(&prefix);
+        // Accept iff the closure adds no element smaller than i that a
+        // lacks (the lectic condition a <_i closed).
+        let ok = closed.iter().take_while(|&x| x < i).all(|x| a.contains(x));
+        if ok {
+            return Some(closed);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn ctx_of(rows: &[&[usize]], n_attrs: usize) -> Context {
+        let mut ctx = Context::new(rows.len(), n_attrs);
+        for (o, row) in rows.iter().enumerate() {
+            for &a in *row {
+                ctx.add(o, a);
+            }
+        }
+        ctx
+    }
+
+    #[test]
+    fn animals_has_eight_concepts() {
+        let ctx = ctx_of(&[&[0, 1], &[1, 2, 4], &[2, 3], &[2, 4], &[2, 3]], 5);
+        let cs = concepts(&ctx);
+        assert_eq!(cs.len(), 8);
+        // All closed, all distinct.
+        let intents: HashSet<_> = cs.iter().map(|c| c.intent.clone()).collect();
+        assert_eq!(intents.len(), 8);
+        for c in &cs {
+            assert_eq!(ctx.intent_closure(&c.intent), c.intent);
+            assert_eq!(ctx.tau(&c.intent), c.extent);
+        }
+    }
+
+    #[test]
+    fn empty_and_degenerate_contexts() {
+        let cs = concepts(&Context::new(0, 3));
+        assert_eq!(cs.len(), 1); // only (∅, M)
+        let cs = concepts(&Context::new(2, 0));
+        assert_eq!(cs.len(), 1); // only (O, ∅)
+        assert_eq!(cs[0].extent.len(), 2);
+    }
+
+    #[test]
+    fn matches_godin_on_small_contexts() {
+        let cases: Vec<(Vec<&[usize]>, usize)> = vec![
+            (vec![&[0][..], &[1][..]], 2),
+            (vec![&[0, 1][..], &[1, 2][..], &[0, 2][..]], 3),
+            (vec![&[0, 1, 2][..], &[0][..], &[1][..], &[2][..]], 3),
+            (vec![&[][..], &[0, 1][..]], 2),
+        ];
+        for (rows, m) in cases {
+            let ctx = ctx_of(&rows, m);
+            let a: HashSet<_> = concepts(&ctx)
+                .into_iter()
+                .map(|c| (c.extent, c.intent))
+                .collect();
+            let b: HashSet<_> = crate::godin::concepts(&ctx)
+                .into_iter()
+                .map(|c| (c.extent, c.intent))
+                .collect();
+            assert_eq!(a, b, "rows {rows:?}");
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! The classical k-tails learner (Biermann & Feldman).
+//!
+//! Two states are merged when they admit exactly the same set of
+//! accepting continuations of length ≤ `k`. Simpler and more aggressive
+//! than sk-strings; provided as the alternative learner the paper's §6
+//! alludes to when discussing other FA-learning algorithms.
+
+use crate::counted::CountedFa;
+use crate::pta::Pta;
+use cable_fa::{EventPat, Fa};
+use cable_trace::Trace;
+use std::collections::HashSet;
+
+/// Configuration of the k-tails learner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KTails {
+    /// Maximum tail length compared.
+    pub k: usize,
+}
+
+impl Default for KTails {
+    /// `k = 2`, the customary default.
+    fn default() -> Self {
+        KTails { k: 2 }
+    }
+}
+
+impl KTails {
+    /// Learns an automaton from traces, returning the merged counted
+    /// automaton.
+    pub fn learn_counted(&self, traces: &[Trace]) -> CountedFa {
+        let mut fa = Pta::build(traces).to_counted();
+        'outer: loop {
+            // Bucket states by their (canonicalised) tail sets; equal
+            // tails merge. One pass per round, since merging renumbers.
+            let n = fa.state_count();
+            let mut buckets: std::collections::HashMap<Vec<(Vec<EventPat>, bool)>, usize> =
+                std::collections::HashMap::new();
+            for s in 0..n {
+                let mut key: Vec<(Vec<EventPat>, bool)> =
+                    tails(&fa, s, self.k).into_iter().collect();
+                key.sort();
+                if let Some(&other) = buckets.get(&key) {
+                    fa = fa.merge(other, s);
+                    continue 'outer;
+                }
+                buckets.insert(key, s);
+            }
+            break;
+        }
+        fa
+    }
+
+    /// Learns an automaton from traces.
+    pub fn learn(&self, traces: &[Trace]) -> Fa {
+        self.learn_counted(traces).to_fa()
+    }
+}
+
+/// The set of accepting continuations of length ≤ `k` from `s`. A
+/// continuation still "in progress" at depth `k` is recorded with a
+/// truncation marker (`None` tail) so that states differing only past
+/// depth `k` still compare equal, while a state with *no* continuation
+/// differs from one with a long one.
+fn tails(fa: &CountedFa, s: usize, k: usize) -> HashSet<(Vec<EventPat>, bool)> {
+    let mut out = HashSet::new();
+    collect_tails(fa, s, k, &mut Vec::new(), &mut out);
+    out
+}
+
+fn collect_tails(
+    fa: &CountedFa,
+    s: usize,
+    depth: usize,
+    prefix: &mut Vec<EventPat>,
+    out: &mut HashSet<(Vec<EventPat>, bool)>,
+) {
+    if fa.is_accept(s) {
+        out.insert((prefix.clone(), true));
+    }
+    if depth == 0 {
+        if fa.outgoing(s).next().is_some() {
+            out.insert((prefix.clone(), false)); // truncated
+        }
+        return;
+    }
+    let next: Vec<(EventPat, usize)> = fa.outgoing(s).map(|(_, p, d, _)| (p.clone(), *d)).collect();
+    for (pat, dst) in next {
+        prefix.push(pat);
+        collect_tails(fa, dst, depth - 1, prefix, out);
+        prefix.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cable_trace::{Trace, Vocab};
+
+    fn traces(texts: &[&str], v: &mut Vocab) -> Vec<Trace> {
+        texts.iter().map(|t| Trace::parse(t, v).unwrap()).collect()
+    }
+
+    #[test]
+    fn merges_states_with_equal_tails() {
+        let mut v = Vocab::new();
+        let ts = traces(&["a(X) z(X)", "b(X) z(X)"], &mut v);
+        let fa = KTails::default().learn(&ts);
+        assert!(fa.state_count() <= 4);
+        for t in &ts {
+            assert!(fa.accepts(t));
+        }
+        assert!(!fa.accepts(&Trace::parse("z(X)", &mut v).unwrap()));
+    }
+
+    #[test]
+    fn learns_loops_from_repetition() {
+        let mut v = Vocab::new();
+        let ts = traces(
+            &[
+                "open(X) close(X)",
+                "open(X) read(X) close(X)",
+                "open(X) read(X) read(X) close(X)",
+                "open(X) read(X) read(X) read(X) close(X)",
+            ],
+            &mut v,
+        );
+        let fa = KTails { k: 1 }.learn(&ts);
+        let more = Trace::parse(
+            "open(X) read(X) read(X) read(X) read(X) read(X) close(X)",
+            &mut v,
+        )
+        .unwrap();
+        assert!(fa.accepts(&more), "k-tails should fold the read loop");
+        for t in &ts {
+            assert!(fa.accepts(t));
+        }
+    }
+
+    #[test]
+    fn k_zero_merges_by_acceptance_only() {
+        let mut v = Vocab::new();
+        let ts = traces(&["a(X) b(X)", "c(X)"], &mut v);
+        let fa = KTails { k: 0 }.learn(&ts);
+        // All interior states merge; all accepting states merge.
+        assert!(fa.state_count() <= 2);
+    }
+
+    #[test]
+    fn large_k_is_conservative() {
+        let mut v = Vocab::new();
+        let ts = traces(&["a(X) b(X)", "c(X) d(X)"], &mut v);
+        let fa = KTails { k: 5 }.learn(&ts);
+        assert!(!fa.accepts(&Trace::parse("a(X) d(X)", &mut v).unwrap()));
+        assert!(!fa.accepts(&Trace::parse("c(X) b(X)", &mut v).unwrap()));
+    }
+}

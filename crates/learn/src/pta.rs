@@ -1,0 +1,159 @@
+//! The prefix-tree acceptor (PTA) with traversal frequencies.
+
+use crate::counted::CountedFa;
+use cable_fa::{EventPat, Fa};
+use cable_trace::Trace;
+use std::collections::HashMap;
+
+/// A prefix-tree acceptor: the trie of the training traces, annotated with
+/// how many traces traverse each edge and how many end at each node.
+///
+/// The PTA accepts exactly the training set; learners generalise by
+/// merging its states.
+#[derive(Debug, Clone)]
+pub struct Pta {
+    /// Children of each node: `(label, child)` pairs with edge counts.
+    edges: Vec<Vec<(EventPat, usize, u64)>>,
+    /// How many traces end at each node.
+    accept_counts: Vec<u64>,
+}
+
+impl Pta {
+    /// Builds the PTA of a training set.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cable_learn::Pta;
+    /// use cable_trace::{Trace, Vocab};
+    ///
+    /// let mut v = Vocab::new();
+    /// let traces = vec![
+    ///     Trace::parse("a(X) b(X)", &mut v).unwrap(),
+    ///     Trace::parse("a(X) c(X)", &mut v).unwrap(),
+    /// ];
+    /// let pta = Pta::build(&traces);
+    /// assert_eq!(pta.node_count(), 4); // root, after-a, two leaves
+    /// ```
+    pub fn build(traces: &[Trace]) -> Pta {
+        let mut pta = Pta {
+            edges: vec![Vec::new()],
+            accept_counts: vec![0],
+        };
+        for t in traces {
+            let mut node = 0;
+            for event in t.iter() {
+                let pat = EventPat::exact(event);
+                node = pta.step_or_insert(node, pat);
+            }
+            pta.accept_counts[node] += 1;
+        }
+        pta
+    }
+
+    fn step_or_insert(&mut self, node: usize, pat: EventPat) -> usize {
+        if let Some(entry) = self.edges[node].iter_mut().find(|(p, _, _)| *p == pat) {
+            entry.2 += 1;
+            return entry.1;
+        }
+        let child = self.edges.len();
+        self.edges.push(Vec::new());
+        self.accept_counts.push(0);
+        self.edges[node].push((pat, child, 1));
+        child
+    }
+
+    /// Number of trie nodes.
+    pub fn node_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// How many training traces end at `node`.
+    pub fn accept_count(&self, node: usize) -> u64 {
+        self.accept_counts[node]
+    }
+
+    /// Converts to the counted-automaton form used by the merging
+    /// learners.
+    pub fn to_counted(&self) -> CountedFa {
+        let mut transitions = Vec::new();
+        for (src, out) in self.edges.iter().enumerate() {
+            for (pat, dst, count) in out {
+                transitions.push((src, pat.clone(), *dst, *count));
+            }
+        }
+        CountedFa::new(self.edges.len(), 0, transitions, self.accept_counts.clone())
+    }
+
+    /// The exact automaton: accepts precisely the training traces.
+    pub fn to_fa(&self) -> Fa {
+        self.to_counted().to_fa()
+    }
+
+    /// The number of distinct event patterns (alphabet size).
+    pub fn alphabet_size(&self) -> usize {
+        let mut seen: HashMap<&EventPat, ()> = HashMap::new();
+        for out in &self.edges {
+            for (pat, _, _) in out {
+                seen.insert(pat, ());
+            }
+        }
+        seen.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cable_trace::{Trace, Vocab};
+
+    fn traces(texts: &[&str], v: &mut Vocab) -> Vec<Trace> {
+        texts.iter().map(|t| Trace::parse(t, v).unwrap()).collect()
+    }
+
+    #[test]
+    fn accepts_exactly_training_set() {
+        let mut v = Vocab::new();
+        let ts = traces(&["a(X) b(X)", "a(X) c(X)", "a(X)"], &mut v);
+        let fa = Pta::build(&ts).to_fa();
+        for t in &ts {
+            assert!(fa.accepts(t));
+        }
+        let unseen = Trace::parse("a(X) b(X) b(X)", &mut v).unwrap();
+        assert!(!fa.accepts(&unseen));
+        let prefix = Trace::parse("b(X)", &mut v).unwrap();
+        assert!(!fa.accepts(&prefix));
+    }
+
+    #[test]
+    fn counts_accumulate() {
+        let mut v = Vocab::new();
+        let ts = traces(&["a(X) b(X)", "a(X) b(X)", "a(X)"], &mut v);
+        let pta = Pta::build(&ts);
+        // root --a(3)--> n1 --b(2)--> n2
+        assert_eq!(pta.node_count(), 3);
+        assert_eq!(pta.accept_count(1), 1);
+        assert_eq!(pta.accept_count(2), 2);
+        let counted = pta.to_counted();
+        assert_eq!(counted.transition_count(), 2);
+        assert_eq!(counted.total_out(0), 3);
+    }
+
+    #[test]
+    fn empty_trace_accepts_at_root() {
+        let mut v = Vocab::new();
+        let ts = vec![Trace::empty(), Trace::parse("a(X)", &mut v).unwrap()];
+        let pta = Pta::build(&ts);
+        assert_eq!(pta.accept_count(0), 1);
+        let fa = pta.to_fa();
+        assert!(fa.accepts(&Trace::empty()));
+    }
+
+    #[test]
+    fn alphabet_size_counts_distinct_events() {
+        let mut v = Vocab::new();
+        let ts = traces(&["a(X) b(X) a(X)", "b(X)"], &mut v);
+        assert_eq!(Pta::build(&ts).alphabet_size(), 2);
+        assert_eq!(Pta::build(&[]).alphabet_size(), 0);
+    }
+}

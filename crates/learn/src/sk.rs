@@ -1,0 +1,217 @@
+//! The sk-strings learner of Raman & Patrick.
+//!
+//! Starting from the PTA, repeatedly merge pairs of states whose
+//! *stochastic k-strings* agree: the top `s`% most probable strings of
+//! length ≤ `k` producible from one state must all be producible from the
+//! other, and vice versa (the "AND" acceptance criterion). Merging stops
+//! at a fixpoint.
+//!
+//! Larger `k` and `s` make finer distinctions (less merging, bigger FA);
+//! the paper exploits exactly this dial when choosing reference FAs for
+//! clustering (§2.1 step 1b).
+
+use crate::counted::CountedFa;
+use crate::pta::Pta;
+use cable_fa::Fa;
+use cable_trace::Trace;
+use std::collections::HashSet;
+
+/// Configuration of the sk-strings learner.
+///
+/// # Examples
+///
+/// ```
+/// use cable_learn::SkStrings;
+/// let fine = SkStrings { k: 3, s_percent: 100.0 };
+/// let coarse = SkStrings::default(); // k = 2, s = 50%
+/// assert!(fine.k > coarse.k);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SkStrings {
+    /// Maximum string length considered.
+    pub k: usize,
+    /// Probability mass (0–100] that the compared string sets must cover.
+    pub s_percent: f64,
+}
+
+impl Default for SkStrings {
+    /// `k = 2`, `s = 50%` — a mid-granularity setting that merges loop
+    /// bodies but keeps call-order distinctions.
+    fn default() -> Self {
+        SkStrings {
+            k: 2,
+            s_percent: 50.0,
+        }
+    }
+}
+
+impl SkStrings {
+    /// Learns an automaton from traces, returning the merged
+    /// counted automaton (with frequencies, for coring).
+    ///
+    /// Agglomerative merging to a fixpoint: each round computes every
+    /// state's `k`-string distribution with a shared memo, merges the
+    /// first equivalent pair, and restarts (indices shift after
+    /// renumbering).
+    pub fn learn_counted(&self, traces: &[Trace]) -> CountedFa {
+        let mut fa = Pta::build(traces).to_counted();
+        while let Some((a, b)) = self.find_equivalent_pair(&fa) {
+            fa = fa.merge(a, b);
+        }
+        fa
+    }
+
+    /// Learns an automaton from traces.
+    pub fn learn(&self, traces: &[Trace]) -> Fa {
+        self.learn_counted(traces).to_fa()
+    }
+
+    /// Finds a pair of states whose top-`s`% `k`-strings are mutually
+    /// producible (the "AND" acceptance criterion). Prefers pairs with
+    /// *equal* top sets (found via hash buckets); falls back to a full
+    /// pairwise subset scan.
+    fn find_equivalent_pair(&self, fa: &CountedFa) -> Option<(usize, usize)> {
+        let n = fa.state_count();
+        let dists = fa.k_strings_all(self.k);
+        let keys: Vec<HashSet<&Vec<cable_fa::EventPat>>> =
+            dists.iter().map(|d| d.keys().collect()).collect();
+        let tops: Vec<Vec<Vec<cable_fa::EventPat>>> = (0..n)
+            .map(|s| top_strings(&dists[s], self.s_percent))
+            .collect();
+        // Fast path: equal top sets imply equivalence.
+        let mut buckets: std::collections::HashMap<Vec<Vec<cable_fa::EventPat>>, usize> =
+            std::collections::HashMap::new();
+        for (s, top) in tops.iter().enumerate() {
+            let mut sorted = top.clone();
+            sorted.sort();
+            if let Some(&other) = buckets.get(&sorted) {
+                return Some((other, s));
+            }
+            buckets.insert(sorted, s);
+        }
+        // Full scan with the asymmetric subset criterion.
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if tops[a].iter().all(|s| keys[b].contains(s))
+                    && tops[b].iter().all(|s| keys[a].contains(s))
+                {
+                    return Some((a, b));
+                }
+            }
+        }
+        None
+    }
+}
+
+/// The smallest probability-sorted prefix of the distribution covering
+/// `s_percent`/100 of the mass.
+fn top_strings(
+    dist: &std::collections::HashMap<Vec<cable_fa::EventPat>, f64>,
+    s_percent: f64,
+) -> Vec<Vec<cable_fa::EventPat>> {
+    let mut entries: Vec<(&Vec<cable_fa::EventPat>, f64)> =
+        dist.iter().map(|(k, &v)| (k, v)).collect();
+    entries.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("probabilities are not NaN")
+            .then_with(|| a.0.cmp(b.0))
+    });
+    let threshold = s_percent / 100.0;
+    let mut cum = 0.0;
+    let mut out = Vec::new();
+    for (string, p) in entries {
+        out.push(string.clone());
+        cum += p;
+        if cum >= threshold {
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cable_trace::{Trace, Vocab};
+
+    fn traces(texts: &[&str], v: &mut Vocab) -> Vec<Trace> {
+        texts.iter().map(|t| Trace::parse(t, v).unwrap()).collect()
+    }
+
+    #[test]
+    fn learns_a_loop() {
+        let mut v = Vocab::new();
+        let ts = traces(
+            &[
+                "open(X) close(X)",
+                "open(X) read(X) close(X)",
+                "open(X) read(X) read(X) close(X)",
+            ],
+            &mut v,
+        );
+        let fa = SkStrings::default().learn(&ts);
+        // Training traces still accepted.
+        for t in &ts {
+            assert!(fa.accepts(t), "training trace rejected");
+        }
+        // Generalisation: more reads.
+        let more =
+            Trace::parse("open(X) read(X) read(X) read(X) read(X) close(X)", &mut v).unwrap();
+        assert!(fa.accepts(&more));
+        // But not garbage.
+        let garbage = Trace::parse("read(X) open(X)", &mut v).unwrap();
+        assert!(!fa.accepts(&garbage));
+        // And the FA is smaller than the PTA (7 nodes).
+        assert!(fa.state_count() < 7);
+    }
+
+    #[test]
+    fn full_s_and_large_k_learn_exactly_on_distinct_traces() {
+        let mut v = Vocab::new();
+        let ts = traces(&["a(X) b(X)", "c(X) d(X)"], &mut v);
+        let fa = SkStrings {
+            k: 4,
+            s_percent: 100.0,
+        }
+        .learn(&ts);
+        for t in &ts {
+            assert!(fa.accepts(t));
+        }
+        // No cross-contamination between the two branches.
+        assert!(!fa.accepts(&Trace::parse("a(X) d(X)", &mut v).unwrap()));
+        assert!(!fa.accepts(&Trace::parse("c(X) b(X)", &mut v).unwrap()));
+    }
+
+    #[test]
+    fn merges_identical_suffixes() {
+        let mut v = Vocab::new();
+        let ts = traces(&["a(X) z(X)", "b(X) z(X)"], &mut v);
+        let fa = SkStrings {
+            k: 2,
+            s_percent: 100.0,
+        }
+        .learn(&ts);
+        // The two post-a / post-b states have identical k-strings {z}, so
+        // they merge: 4 states instead of the PTA's 5.
+        assert!(fa.state_count() <= 4);
+        for t in &ts {
+            assert!(fa.accepts(t));
+        }
+    }
+
+    #[test]
+    fn empty_training_set() {
+        let fa = SkStrings::default().learn(&[]);
+        assert_eq!(fa.state_count(), 1);
+        assert!(!fa.accepts(&Trace::empty()));
+    }
+
+    #[test]
+    fn single_trace_stays_linear() {
+        let mut v = Vocab::new();
+        let ts = traces(&["a(X) b(X) c(X)"], &mut v);
+        let fa = SkStrings::default().learn(&ts);
+        assert!(fa.accepts(&ts[0]));
+        assert!(!fa.accepts(&Trace::parse("a(X) b(X)", &mut v).unwrap()));
+    }
+}

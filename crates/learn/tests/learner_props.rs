@@ -1,0 +1,104 @@
+//! Property tests for the automaton learners: whatever the training set,
+//! a learner must at least accept it, and merging must only ever grow
+//! the language.
+
+use cable_learn::{KTails, Pta, SkStrings};
+use cable_trace::{Event, Trace, Var, Vocab};
+use proptest::prelude::*;
+
+fn traces_of(raw: &[Vec<usize>], vocab: &mut Vocab) -> Vec<Trace> {
+    raw.iter()
+        .map(|ops| {
+            Trace::new(
+                ops.iter()
+                    .map(|&i| Event::on_var(vocab.op(&format!("op{i}")), Var(0)))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+fn arb_training_set() -> impl Strategy<Value = Vec<Vec<usize>>> {
+    prop::collection::vec(prop::collection::vec(0usize..4, 0..6), 1..10)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn pta_accepts_exactly_the_training_set(raw in arb_training_set(), probe in prop::collection::vec(0usize..4, 0..6)) {
+        let mut vocab = Vocab::new();
+        let traces = traces_of(&raw, &mut vocab);
+        let fa = Pta::build(&traces).to_fa();
+        for t in &traces {
+            prop_assert!(fa.accepts(t));
+        }
+        let probe_trace = traces_of(std::slice::from_ref(&probe), &mut vocab).remove(0);
+        prop_assert_eq!(fa.accepts(&probe_trace), raw.contains(&probe));
+    }
+
+    #[test]
+    fn sk_strings_accepts_training_set(raw in arb_training_set()) {
+        let mut vocab = Vocab::new();
+        let traces = traces_of(&raw, &mut vocab);
+        for (k, s) in [(1, 50.0), (2, 50.0), (2, 100.0), (3, 100.0)] {
+            let fa = SkStrings { k, s_percent: s }.learn(&traces);
+            for t in &traces {
+                prop_assert!(fa.accepts(t), "k={k} s={s} rejects {:?}", raw);
+            }
+        }
+    }
+
+    #[test]
+    fn k_tails_accepts_training_set(raw in arb_training_set()) {
+        let mut vocab = Vocab::new();
+        let traces = traces_of(&raw, &mut vocab);
+        for k in 0..=3 {
+            let fa = KTails { k }.learn(&traces);
+            for t in &traces {
+                prop_assert!(fa.accepts(t), "k={k} rejects {:?}", raw);
+            }
+        }
+    }
+
+    #[test]
+    fn learners_never_grow_beyond_the_pta(raw in arb_training_set()) {
+        // Merging only shrinks the state count.
+        let mut vocab = Vocab::new();
+        let traces = traces_of(&raw, &mut vocab);
+        let pta_states = Pta::build(&traces).node_count();
+        prop_assert!(SkStrings::default().learn(&traces).state_count() <= pta_states);
+        prop_assert!(KTails::default().learn(&traces).state_count() <= pta_states);
+    }
+
+    #[test]
+    fn merge_preserves_training_acceptance(raw in arb_training_set(), a in 0usize..20, b in 0usize..20) {
+        // Any single merge of PTA states keeps the training set accepted
+        // (merging only adds paths).
+        let mut vocab = Vocab::new();
+        let traces = traces_of(&raw, &mut vocab);
+        let counted = Pta::build(&traces).to_counted();
+        let n = counted.state_count();
+        prop_assume!(n >= 2);
+        let (a, b) = (a % n, b % n);
+        prop_assume!(a != b);
+        let merged = counted.merge(a, b).to_fa();
+        for t in &traces {
+            prop_assert!(merged.accepts(t));
+        }
+    }
+
+    #[test]
+    fn counted_totals_are_consistent(raw in arb_training_set()) {
+        let mut vocab = Vocab::new();
+        let traces = traces_of(&raw, &mut vocab);
+        let counted = Pta::build(&traces).to_counted();
+        // Root outflow equals the number of training traces.
+        prop_assert_eq!(counted.total_out(0) as usize, traces.len());
+        // Accept counts across states sum to the number of traces.
+        let accepted: u64 = (0..counted.state_count())
+            .map(|s| counted.accept_count(s))
+            .sum();
+        prop_assert_eq!(accepted as usize, traces.len());
+    }
+}

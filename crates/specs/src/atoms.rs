@@ -1,0 +1,276 @@
+//! Atom, quark and selection-owner protocols — the small specifications
+//! whose performance bugs (redundant server round trips) the paper
+//! reports.
+
+use crate::{noise_ops, SpecDef};
+use cable_workload::shape::{ScenarioShape, ShapeMix};
+use cable_workload::{ProtocolModel, WorkloadParams};
+
+/// `XInternAtom`: an atom is interned once and then used; re-interning
+/// the same name is a redundant server round trip (performance bug).
+pub fn x_intern_atom() -> SpecDef {
+    let ground_truth = "\
+start s0
+accept s1
+s0 -> s1 : XInternAtom(X)
+s1 -> s1 : XGetAtomName(X)
+s1 -> s1 : XChangeProperty(X)
+";
+    SpecDef {
+        uninteresting_atoms: Vec::new(),
+        model: ProtocolModel {
+            name: "XInternAtom".into(),
+            description: "an atom is interned once; repeated XInternAtom for the same name \
+                          is a wasted round trip"
+                .into(),
+            ground_truth_text: ground_truth.into(),
+            seed_ops: vec!["XInternAtom".into()],
+            correct: ShapeMix::new(vec![
+                (
+                    3.0,
+                    ScenarioShape::with_loop(
+                        &["XInternAtom"],
+                        &["XGetAtomName", "XChangeProperty"],
+                        1.5,
+                        &[],
+                    ),
+                ),
+                (1.0, ScenarioShape::fixed(&["XInternAtom"])),
+            ]),
+            erroneous: ShapeMix::new(vec![
+                // The performance bug: interning the same atom again.
+                (
+                    2.0,
+                    ScenarioShape::fixed(&["XInternAtom", "XInternAtom", "XChangeProperty"]),
+                ),
+                (
+                    1.0,
+                    ScenarioShape::fixed(&["XInternAtom", "XGetAtomName", "XInternAtom"]),
+                ),
+            ]),
+            noise_ops: noise_ops(),
+        },
+        params: WorkloadParams {
+            programs: 60,
+            objects_per_program: (1, 3),
+            error_rate: 0.15,
+            noise_per_object: 0.5,
+            seed: 0,
+        },
+    }
+}
+
+/// `Quarks`: a resource-manager quark is computed once per string.
+pub fn quarks() -> SpecDef {
+    let ground_truth = "\
+start s0
+accept s1
+s0 -> s1 : XrmStringToQuark(X)
+s1 -> s1 : XrmQuarkToString(X)
+";
+    SpecDef {
+        uninteresting_atoms: Vec::new(),
+        model: ProtocolModel {
+            name: "Quarks".into(),
+            description: "a quark is computed once per string and then reused".into(),
+            ground_truth_text: ground_truth.into(),
+            seed_ops: vec!["XrmStringToQuark".into()],
+            correct: ShapeMix::new(vec![
+                (
+                    2.0,
+                    ScenarioShape::with_loop(
+                        &["XrmStringToQuark"],
+                        &["XrmQuarkToString"],
+                        1.0,
+                        &[],
+                    ),
+                ),
+                (1.0, ScenarioShape::fixed(&["XrmStringToQuark"])),
+            ]),
+            erroneous: ShapeMix::new(vec![
+                // Recomputing the quark.
+                (
+                    1.0,
+                    ScenarioShape::fixed(&["XrmStringToQuark", "XrmStringToQuark"]),
+                ),
+            ]),
+            noise_ops: noise_ops(),
+        },
+        params: WorkloadParams {
+            programs: 48,
+            objects_per_program: (1, 2),
+            error_rate: 0.1,
+            noise_per_object: 0.5,
+            seed: 0,
+        },
+    }
+}
+
+/// `XGetSelOwner`: querying a selection's owner directly is fine, but
+/// after requesting a conversion the client must wait for the
+/// `SelectionNotify` event before querying (race otherwise).
+pub fn x_get_sel_owner() -> SpecDef {
+    // Selection events carry the selection name as an atom; the
+    // ground-truth labels are bare operations so the protocol holds for
+    // every selection value. Scenarios on CUT_BUFFER0 are "uninteresting"
+    // and removed before debugging (§5.1's note).
+    let ground_truth = "\
+start s0
+accept s1 s2 s3
+s0 -> s3 : XGetSelectionOwner
+s0 -> s1 : XConvertSelection
+s1 -> s2 : SelectionNotify
+s2 -> s3 : XGetSelectionOwner
+";
+    SpecDef {
+        uninteresting_atoms: vec!["CUT_BUFFER0".into()],
+        model: ProtocolModel {
+            name: "XGetSelOwner".into(),
+            description: "after XConvertSelection, wait for SelectionNotify before querying \
+                          the owner"
+                .into(),
+            ground_truth_text: ground_truth.into(),
+            seed_ops: vec!["XGetSelectionOwner".into(), "XConvertSelection".into()],
+            correct: ShapeMix::new(vec![
+                (2.0, ScenarioShape::fixed(&["XGetSelectionOwner:'PRIMARY"])),
+                (
+                    2.0,
+                    ScenarioShape::fixed(&[
+                        "XConvertSelection:'PRIMARY",
+                        "SelectionNotify:'PRIMARY",
+                        "XGetSelectionOwner:'PRIMARY",
+                    ]),
+                ),
+                (
+                    1.0,
+                    ScenarioShape::fixed(&[
+                        "XConvertSelection:'CLIPBOARD",
+                        "SelectionNotify:'CLIPBOARD",
+                    ]),
+                ),
+                // The uninteresting selection value, removed pre-debugging.
+                (
+                    1.0,
+                    ScenarioShape::fixed(&["XGetSelectionOwner:'CUT_BUFFER0"]),
+                ),
+            ]),
+            erroneous: ShapeMix::new(vec![
+                // The race: query before the notify arrives.
+                (
+                    1.0,
+                    ScenarioShape::fixed(&[
+                        "XConvertSelection:'PRIMARY",
+                        "XGetSelectionOwner:'PRIMARY",
+                    ]),
+                ),
+            ]),
+            noise_ops: noise_ops(),
+        },
+        params: WorkloadParams {
+            programs: 40,
+            objects_per_program: (1, 2),
+            error_rate: 0.1,
+            noise_per_object: 0.5,
+            seed: 0,
+        },
+    }
+}
+
+/// `XSetSelOwner`: after taking selection ownership the client verifies
+/// with `XGetSelectionOwner` — skipping the check is the classic ICCCM
+/// race.
+pub fn x_set_sel_owner() -> SpecDef {
+    let ground_truth = "\
+start s0
+accept s2
+s0 -> s1 : XSetSelectionOwner
+s1 -> s2 : XGetSelectionOwner
+s2 -> s1 : XSetSelectionOwner
+";
+    SpecDef {
+        uninteresting_atoms: vec!["CUT_BUFFER0".into()],
+        model: ProtocolModel {
+            name: "XSetSelOwner".into(),
+            description: "selection ownership is verified with XGetSelectionOwner after \
+                          every XSetSelectionOwner (race otherwise)"
+                .into(),
+            ground_truth_text: ground_truth.into(),
+            seed_ops: vec!["XSetSelectionOwner".into()],
+            correct: ShapeMix::new(vec![
+                (
+                    3.0,
+                    ScenarioShape::fixed(&[
+                        "XSetSelectionOwner:'PRIMARY",
+                        "XGetSelectionOwner:'PRIMARY",
+                    ]),
+                ),
+                (
+                    1.0,
+                    ScenarioShape::fixed(&[
+                        "XSetSelectionOwner:'CLIPBOARD",
+                        "XGetSelectionOwner:'CLIPBOARD",
+                        "XSetSelectionOwner:'CLIPBOARD",
+                        "XGetSelectionOwner:'CLIPBOARD",
+                    ]),
+                ),
+                // The uninteresting selection value, removed pre-debugging.
+                (
+                    1.0,
+                    ScenarioShape::fixed(&[
+                        "XSetSelectionOwner:'CUT_BUFFER0",
+                        "XGetSelectionOwner:'CUT_BUFFER0",
+                    ]),
+                ),
+            ]),
+            erroneous: ShapeMix::new(vec![
+                // The race: ownership never verified.
+                (2.0, ScenarioShape::fixed(&["XSetSelectionOwner:'PRIMARY"])),
+                (
+                    1.0,
+                    ScenarioShape::fixed(&[
+                        "XSetSelectionOwner:'PRIMARY",
+                        "XGetSelectionOwner:'PRIMARY",
+                        "XSetSelectionOwner:'PRIMARY",
+                    ]),
+                ),
+            ]),
+            noise_ops: noise_ops(),
+        },
+        params: WorkloadParams {
+            programs: 40,
+            objects_per_program: (1, 2),
+            error_rate: 0.15,
+            noise_per_object: 0.5,
+            seed: 0,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use cable_trace::{Trace, Vocab};
+
+    #[test]
+    fn convert_race_is_rejected() {
+        let spec = super::x_get_sel_owner();
+        let mut v = Vocab::new();
+        let fa = spec.ground_truth(&mut v);
+        let race = Trace::parse("XConvertSelection(X) XGetSelectionOwner(X)", &mut v).unwrap();
+        assert!(!fa.accepts(&race));
+        let ok = Trace::parse(
+            "XConvertSelection(X) SelectionNotify(X) XGetSelectionOwner(X)",
+            &mut v,
+        )
+        .unwrap();
+        assert!(fa.accepts(&ok));
+    }
+
+    #[test]
+    fn unverified_set_is_rejected() {
+        let spec = super::x_set_sel_owner();
+        let mut v = Vocab::new();
+        let fa = spec.ground_truth(&mut v);
+        let race = Trace::parse("XSetSelectionOwner(X)", &mut v).unwrap();
+        assert!(!fa.accepts(&race));
+    }
+}

@@ -1,0 +1,235 @@
+//! Display-side resource protocols: displays, graphics contexts, fonts,
+//! and images.
+
+use crate::{noise_ops, SpecDef};
+use cable_workload::shape::{ScenarioShape, ShapeMix};
+use cable_workload::{ProtocolModel, WorkloadParams};
+
+/// `XOpenDisplay`: every opened display connection is closed exactly
+/// once.
+pub fn x_open_display() -> SpecDef {
+    let ground_truth = "\
+start s0
+accept s2
+s0 -> s1 : XOpenDisplay(X)
+s1 -> s2 : XCloseDisplay(X)
+";
+    SpecDef {
+        uninteresting_atoms: Vec::new(),
+        model: ProtocolModel {
+            name: "XOpenDisplay".into(),
+            description: "an opened display is closed exactly once".into(),
+            ground_truth_text: ground_truth.into(),
+            seed_ops: vec!["XOpenDisplay".into()],
+            correct: ShapeMix::new(vec![(
+                1.0,
+                ScenarioShape::fixed(&["XOpenDisplay", "XCloseDisplay"]),
+            )]),
+            erroneous: ShapeMix::new(vec![
+                // Connection leak.
+                (2.0, ScenarioShape::fixed(&["XOpenDisplay"])),
+                // Double close.
+                (
+                    1.0,
+                    ScenarioShape::fixed(&["XOpenDisplay", "XCloseDisplay", "XCloseDisplay"]),
+                ),
+            ]),
+            noise_ops: noise_ops(),
+        },
+        params: WorkloadParams {
+            programs: 72,
+            objects_per_program: (1, 2),
+            error_rate: 0.1,
+            noise_per_object: 0.5,
+            seed: 0,
+        },
+    }
+}
+
+/// `XFreeGC`: a graphics context is configured and drawn with only
+/// between creation and free — the use-after-free race the paper's
+/// debugged specifications caught.
+pub fn x_free_gc() -> SpecDef {
+    let ground_truth = "\
+start s0
+accept s2
+s0 -> s1 : XCreateGC(X)
+s1 -> s1 : XSetForeground(X)
+s1 -> s1 : XSetBackground(X)
+s1 -> s1 : XDrawLine(X)
+s1 -> s2 : XFreeGC(X)
+";
+    SpecDef {
+        uninteresting_atoms: Vec::new(),
+        model: ProtocolModel {
+            name: "XFreeGC".into(),
+            description: "a GC is used only between XCreateGC and XFreeGC".into(),
+            ground_truth_text: ground_truth.into(),
+            seed_ops: vec!["XCreateGC".into()],
+            correct: ShapeMix::new(vec![
+                (
+                    3.0,
+                    ScenarioShape::with_loop(
+                        &["XCreateGC"],
+                        &["XSetForeground", "XSetBackground", "XDrawLine"],
+                        2.0,
+                        &["XFreeGC"],
+                    ),
+                ),
+                (1.0, ScenarioShape::fixed(&["XCreateGC", "XFreeGC"])),
+            ]),
+            erroneous: ShapeMix::new(vec![
+                // Use after free.
+                (
+                    2.0,
+                    ScenarioShape::fixed(&["XCreateGC", "XFreeGC", "XDrawLine"]),
+                ),
+                // GC leak.
+                (1.0, ScenarioShape::fixed(&["XCreateGC", "XSetForeground"])),
+            ]),
+            noise_ops: noise_ops(),
+        },
+        params: WorkloadParams {
+            programs: 72,
+            objects_per_program: (1, 4),
+            error_rate: 0.15,
+            noise_per_object: 0.5,
+            seed: 0,
+        },
+    }
+}
+
+/// `XSetFont`: a font must be loaded before it is installed in a GC and
+/// unloaded only afterwards. The paper found this specification "just
+/// barely easier to debug with Cable than by hand".
+pub fn x_set_font() -> SpecDef {
+    let ground_truth = "\
+start s0
+accept s3
+s0 -> s1 : XLoadFont(X)
+s1 -> s2 : XSetFont(X)
+s2 -> s2 : XSetFont(X)
+s2 -> s3 : XUnloadFont(X)
+s1 -> s3 : XUnloadFont(X)
+";
+    SpecDef {
+        uninteresting_atoms: Vec::new(),
+        model: ProtocolModel {
+            name: "XSetFont".into(),
+            description: "a font is loaded before XSetFont and unloaded after its last use".into(),
+            ground_truth_text: ground_truth.into(),
+            seed_ops: vec!["XLoadFont".into()],
+            correct: ShapeMix::new(vec![
+                (
+                    3.0,
+                    ScenarioShape::with_loop(
+                        &["XLoadFont", "XSetFont"],
+                        &["XSetFont"],
+                        0.8,
+                        &["XUnloadFont"],
+                    ),
+                ),
+                (1.0, ScenarioShape::fixed(&["XLoadFont", "XUnloadFont"])),
+            ]),
+            erroneous: ShapeMix::new(vec![
+                // Set after unload (use after free).
+                (
+                    2.0,
+                    ScenarioShape::fixed(&["XLoadFont", "XUnloadFont", "XSetFont"]),
+                ),
+                // Font leak.
+                (1.0, ScenarioShape::fixed(&["XLoadFont", "XSetFont"])),
+                // Never loaded.
+                (
+                    1.0,
+                    ScenarioShape::fixed(&["XLoadFont", "XSetFont", "XUnloadFont", "XSetFont"]),
+                ),
+            ]),
+            noise_ops: noise_ops(),
+        },
+        params: WorkloadParams {
+            programs: 72,
+            objects_per_program: (1, 4),
+            error_rate: 0.25,
+            noise_per_object: 0.5,
+            seed: 0,
+        },
+    }
+}
+
+/// `XPutImage`: an image is put to the server only between creation and
+/// destruction.
+pub fn x_put_image() -> SpecDef {
+    let ground_truth = "\
+start s0
+accept s2
+s0 -> s1 : XCreateImage(X)
+s1 -> s1 : XPutImage(X)
+s1 -> s1 : XGetPixel(X)
+s1 -> s2 : XDestroyImage(X)
+";
+    SpecDef {
+        uninteresting_atoms: Vec::new(),
+        model: ProtocolModel {
+            name: "XPutImage".into(),
+            description: "an image is used only between XCreateImage and XDestroyImage".into(),
+            ground_truth_text: ground_truth.into(),
+            seed_ops: vec!["XCreateImage".into()],
+            correct: ShapeMix::new(vec![
+                (
+                    3.0,
+                    ScenarioShape::with_loop(
+                        &["XCreateImage"],
+                        &["XPutImage", "XGetPixel"],
+                        2.5,
+                        &["XDestroyImage"],
+                    ),
+                ),
+                (
+                    1.0,
+                    ScenarioShape::fixed(&["XCreateImage", "XDestroyImage"]),
+                ),
+            ]),
+            erroneous: ShapeMix::new(vec![
+                // Image leak (memory).
+                (2.0, ScenarioShape::fixed(&["XCreateImage", "XPutImage"])),
+                // Put after destroy.
+                (
+                    1.0,
+                    ScenarioShape::fixed(&["XCreateImage", "XDestroyImage", "XPutImage"]),
+                ),
+            ]),
+            noise_ops: noise_ops(),
+        },
+        params: WorkloadParams {
+            programs: 72,
+            objects_per_program: (1, 3),
+            error_rate: 0.2,
+            noise_per_object: 0.5,
+            seed: 0,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use cable_trace::{Trace, Vocab};
+
+    #[test]
+    fn use_after_free_is_rejected() {
+        let spec = super::x_free_gc();
+        let mut v = Vocab::new();
+        let fa = spec.ground_truth(&mut v);
+        let uaf = Trace::parse("XCreateGC(X) XFreeGC(X) XDrawLine(X)", &mut v).unwrap();
+        assert!(!fa.accepts(&uaf));
+    }
+
+    #[test]
+    fn font_protocol_allows_unused_load() {
+        let spec = super::x_set_font();
+        let mut v = Vocab::new();
+        let fa = spec.ground_truth(&mut v);
+        let unused = Trace::parse("XLoadFont(X) XUnloadFont(X)", &mut v).unwrap();
+        assert!(fa.accepts(&unused));
+    }
+}

@@ -1,0 +1,179 @@
+//! Region (clip-mask) protocols, including the paper's hardest case.
+
+use crate::{noise_ops, SpecDef};
+use cable_workload::shape::{ScenarioShape, ShapeMix};
+use cable_workload::{ProtocolModel, WorkloadParams};
+
+/// `RegionsAlloc`: every created region is eventually destroyed.
+pub fn regions_alloc() -> SpecDef {
+    let ground_truth = "\
+start s0
+accept s2
+s0 -> s1 : XCreateRegion(X)
+s1 -> s1 : XUnionRegion(X)
+s1 -> s1 : XIntersectRegion(X)
+s1 -> s2 : XDestroyRegion(X)
+";
+    SpecDef {
+        uninteresting_atoms: Vec::new(),
+        model: ProtocolModel {
+            name: "RegionsAlloc".into(),
+            description: "every XCreateRegion is matched by XDestroyRegion".into(),
+            ground_truth_text: ground_truth.into(),
+            seed_ops: vec!["XCreateRegion".into()],
+            correct: ShapeMix::new(vec![
+                (
+                    3.0,
+                    ScenarioShape::with_loop(
+                        &["XCreateRegion"],
+                        &["XUnionRegion", "XIntersectRegion"],
+                        1.2,
+                        &["XDestroyRegion"],
+                    ),
+                ),
+                (
+                    1.0,
+                    ScenarioShape::fixed(&["XCreateRegion", "XDestroyRegion"]),
+                ),
+            ]),
+            erroneous: ShapeMix::new(vec![
+                // Region leak.
+                (
+                    2.0,
+                    ScenarioShape::fixed(&["XCreateRegion", "XUnionRegion"]),
+                ),
+                (1.0, ScenarioShape::fixed(&["XCreateRegion"])),
+            ]),
+            noise_ops: noise_ops(),
+        },
+        params: WorkloadParams {
+            programs: 72,
+            objects_per_program: (1, 4),
+            error_rate: 0.15,
+            noise_per_object: 0.5,
+            seed: 0,
+        },
+    }
+}
+
+/// `RegionsBig`: the full region algebra — the paper's hardest
+/// specification to debug ("RegionsBig was much easier to debug with
+/// Cable than by hand, but still required 149 Cable operations"). The
+/// wide operation alphabet and long loop bodies produce many distinct
+/// scenario classes.
+pub fn regions_big() -> SpecDef {
+    let ground_truth = "\
+start s0
+accept s2
+s0 -> s1 : XCreateRegion(X)
+s0 -> s1 : XPolygonRegion(X)
+s1 -> s1 : XUnionRegion(X)
+s1 -> s1 : XIntersectRegion(X)
+s1 -> s1 : XSubtractRegion(X)
+s1 -> s1 : XXorRegion(X)
+s1 -> s1 : XOffsetRegion(X)
+s1 -> s1 : XShrinkRegion(X)
+s1 -> s1 : XClipBox(X)
+s1 -> s1 : XEmptyRegion(X)
+s1 -> s1 : XPointInRegion(X)
+s1 -> s2 : XDestroyRegion(X)
+";
+    SpecDef {
+        uninteresting_atoms: Vec::new(),
+        model: ProtocolModel {
+            name: "RegionsBig".into(),
+            description: "the full region algebra: regions are created (or built from \
+                          polygons), operated on, and destroyed"
+                .into(),
+            ground_truth_text: ground_truth.into(),
+            seed_ops: vec!["XCreateRegion".into(), "XPolygonRegion".into()],
+            correct: ShapeMix::new(vec![
+                (
+                    4.0,
+                    ScenarioShape::with_loop(
+                        &["XCreateRegion"],
+                        &[
+                            "XUnionRegion",
+                            "XIntersectRegion",
+                            "XSubtractRegion",
+                            "XXorRegion",
+                            "XOffsetRegion",
+                            "XShrinkRegion",
+                            "XClipBox",
+                            "XEmptyRegion",
+                            "XPointInRegion",
+                        ],
+                        3.0,
+                        &["XDestroyRegion"],
+                    ),
+                ),
+                (
+                    2.0,
+                    ScenarioShape::with_loop(
+                        &["XPolygonRegion"],
+                        &[
+                            "XUnionRegion",
+                            "XOffsetRegion",
+                            "XPointInRegion",
+                            "XClipBox",
+                        ],
+                        2.0,
+                        &["XDestroyRegion"],
+                    ),
+                ),
+                (
+                    1.0,
+                    ScenarioShape::fixed(&["XCreateRegion", "XDestroyRegion"]),
+                ),
+            ]),
+            erroneous: ShapeMix::new(vec![
+                // Leaks of either creation form.
+                (
+                    2.0,
+                    ScenarioShape::with_loop(
+                        &["XCreateRegion"],
+                        &["XUnionRegion", "XXorRegion", "XShrinkRegion"],
+                        2.0,
+                        &[],
+                    ),
+                ),
+                (1.0, ScenarioShape::fixed(&["XPolygonRegion", "XClipBox"])),
+                // Use after destroy.
+                (
+                    1.0,
+                    ScenarioShape::fixed(&["XCreateRegion", "XDestroyRegion", "XUnionRegion"]),
+                ),
+            ]),
+            noise_ops: noise_ops(),
+        },
+        params: WorkloadParams {
+            programs: 72,
+            objects_per_program: (2, 8),
+            error_rate: 0.2,
+            noise_per_object: 0.5,
+            seed: 0,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use cable_trace::{Trace, Vocab};
+
+    #[test]
+    fn regions_big_has_a_wide_alphabet() {
+        let spec = super::regions_big();
+        let mut v = Vocab::new();
+        let fa = spec.ground_truth(&mut v);
+        assert!(fa.transition_count() >= 12);
+    }
+
+    #[test]
+    fn leaked_region_rejected() {
+        let spec = super::regions_alloc();
+        let mut v = Vocab::new();
+        let fa = spec.ground_truth(&mut v);
+        let leak = Trace::parse("XCreateRegion(X) XUnionRegion(X)", &mut v).unwrap();
+        assert!(!fa.accepts(&leak));
+    }
+}

@@ -1,0 +1,80 @@
+//! The stdio running example (Figures 1–6): files vs pipes.
+
+use crate::{noise_ops, SpecDef};
+use cable_workload::shape::{ScenarioShape, ShapeMix};
+use cable_workload::{ProtocolModel, WorkloadParams};
+
+/// `FilePair`: a file pointer from `fopen` must be closed with `fclose`;
+/// one from `popen` must be closed with `pclose`; reads and writes may
+/// happen in between. The buggy Figure 1 specification conflated the two
+/// close calls; this is the corrected Figure 6 protocol.
+pub fn file_pair() -> SpecDef {
+    let ground_truth = "\
+; Figure 6: the corrected stdio specification.
+start s0
+accept s3
+s0 -> s1 : fopen(X)
+s1 -> s1 : fread(X)
+s1 -> s1 : fwrite(X)
+s1 -> s3 : fclose(X)
+s0 -> s2 : popen(X)
+s2 -> s2 : fread(X)
+s2 -> s2 : fwrite(X)
+s2 -> s3 : pclose(X)
+";
+    SpecDef {
+        uninteresting_atoms: Vec::new(),
+        model: ProtocolModel {
+            name: "FilePair".into(),
+            description: "fopen is closed by fclose, popen by pclose; \
+                          fread/fwrite in between"
+                .into(),
+            ground_truth_text: ground_truth.into(),
+            seed_ops: vec!["fopen".into(), "popen".into()],
+            correct: ShapeMix::new(vec![
+                (
+                    4.0,
+                    ScenarioShape::with_loop(&["fopen"], &["fread", "fwrite"], 1.5, &["fclose"]),
+                ),
+                (
+                    2.0,
+                    ScenarioShape::with_loop(&["popen"], &["fread", "fwrite"], 1.0, &["pclose"]),
+                ),
+                (1.0, ScenarioShape::fixed(&["fopen", "fclose"])),
+                (1.0, ScenarioShape::fixed(&["popen", "pclose"])),
+            ]),
+            erroneous: ShapeMix::new(vec![
+                // The wrong close call.
+                (2.0, ScenarioShape::fixed(&["fopen", "fread", "pclose"])),
+                (2.0, ScenarioShape::fixed(&["popen", "fread", "fclose"])),
+                // Leaks.
+                (1.0, ScenarioShape::fixed(&["fopen", "fread"])),
+                (1.0, ScenarioShape::fixed(&["popen", "fwrite"])),
+            ]),
+            noise_ops: noise_ops(),
+        },
+        params: WorkloadParams {
+            programs: 72,
+            objects_per_program: (1, 5),
+            error_rate: 0.2,
+            noise_per_object: 0.5,
+            seed: 0,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use cable_trace::{Trace, Vocab};
+
+    #[test]
+    fn figure_one_bug_is_rejected_by_ground_truth() {
+        let spec = super::file_pair();
+        let mut v = Vocab::new();
+        let fa = spec.ground_truth(&mut v);
+        let wrong = Trace::parse("popen(X) fread(X) fclose(X)", &mut v).unwrap();
+        let right = Trace::parse("popen(X) fread(X) pclose(X)", &mut v).unwrap();
+        assert!(!fa.accepts(&wrong));
+        assert!(fa.accepts(&right));
+    }
+}

@@ -1,0 +1,405 @@
+//! X Toolkit Intrinsics protocols: memory, timeouts, inputs, selections,
+//! and table parsing.
+
+use crate::{noise_ops, SpecDef};
+use cable_workload::shape::{ScenarioShape, ShapeMix};
+use cable_workload::{ProtocolModel, WorkloadParams};
+
+/// `XtFree`: toolkit allocations are freed exactly once. The wide variety
+/// of realloc/use interleavings makes this the specification with by far
+/// the most unique scenario classes — the paper's headline case (28 Cable
+/// decisions vs 224 by hand).
+pub fn xt_free() -> SpecDef {
+    let ground_truth = "\
+start s0
+accept s2
+s0 -> s1 : XtMalloc(X)
+s0 -> s1 : XtCalloc(X)
+s1 -> s1 : XtRealloc(X)
+s1 -> s1 : XtSetValues(X)
+s1 -> s2 : XtFree(X)
+";
+    SpecDef {
+        uninteresting_atoms: Vec::new(),
+        model: ProtocolModel {
+            name: "XtFree".into(),
+            description: "toolkit allocations (XtMalloc/XtCalloc) are freed exactly once".into(),
+            ground_truth_text: ground_truth.into(),
+            seed_ops: vec!["XtMalloc".into(), "XtCalloc".into()],
+            correct: ShapeMix::new(vec![
+                (
+                    5.0,
+                    ScenarioShape::with_loop(
+                        &["XtMalloc"],
+                        &["XtRealloc", "XtSetValues"],
+                        4.0,
+                        &["XtFree"],
+                    ),
+                ),
+                (
+                    2.0,
+                    ScenarioShape::with_loop(
+                        &["XtCalloc"],
+                        &["XtRealloc", "XtSetValues"],
+                        3.0,
+                        &["XtFree"],
+                    ),
+                ),
+                (1.0, ScenarioShape::fixed(&["XtMalloc", "XtFree"])),
+            ]),
+            erroneous: ShapeMix::new(vec![
+                // Double free.
+                (
+                    2.0,
+                    ScenarioShape::with_loop(
+                        &["XtMalloc"],
+                        &["XtRealloc"],
+                        1.0,
+                        &["XtFree", "XtFree"],
+                    ),
+                ),
+                // Leak.
+                (
+                    2.0,
+                    ScenarioShape::with_loop(
+                        &["XtMalloc"],
+                        &["XtRealloc", "XtSetValues"],
+                        2.0,
+                        &[],
+                    ),
+                ),
+                // Use after free.
+                (
+                    1.0,
+                    ScenarioShape::fixed(&["XtMalloc", "XtFree", "XtSetValues"]),
+                ),
+            ]),
+            noise_ops: noise_ops(),
+        },
+        params: WorkloadParams {
+            programs: 72,
+            objects_per_program: (2, 8),
+            error_rate: 0.15,
+            noise_per_object: 0.5,
+            seed: 0,
+        },
+    }
+}
+
+/// `RmvTimeOut`: a timeout is removed only while still pending — removing
+/// one whose callback already fired is the race condition the paper's
+/// corrected specifications caught.
+pub fn rmv_time_out() -> SpecDef {
+    let ground_truth = "\
+start s0
+accept s2
+s0 -> s1 : XtAppAddTimeOut(X)
+s1 -> s2 : TimerCallback(X)
+s1 -> s2 : XtRemoveTimeOut(X)
+";
+    SpecDef {
+        uninteresting_atoms: Vec::new(),
+        model: ProtocolModel {
+            name: "RmvTimeOut".into(),
+            description: "a timeout either fires or is removed, never both (race)".into(),
+            ground_truth_text: ground_truth.into(),
+            seed_ops: vec!["XtAppAddTimeOut".into()],
+            correct: ShapeMix::new(vec![
+                (
+                    3.0,
+                    ScenarioShape::fixed(&["XtAppAddTimeOut", "TimerCallback"]),
+                ),
+                (
+                    1.0,
+                    ScenarioShape::fixed(&["XtAppAddTimeOut", "XtRemoveTimeOut"]),
+                ),
+            ]),
+            erroneous: ShapeMix::new(vec![
+                // The race: remove after the callback fired.
+                (
+                    2.0,
+                    ScenarioShape::fixed(&["XtAppAddTimeOut", "TimerCallback", "XtRemoveTimeOut"]),
+                ),
+                // Pending timeout never handled.
+                (1.0, ScenarioShape::fixed(&["XtAppAddTimeOut"])),
+            ]),
+            noise_ops: noise_ops(),
+        },
+        params: WorkloadParams {
+            programs: 72,
+            objects_per_program: (1, 3),
+            error_rate: 0.12,
+            noise_per_object: 0.5,
+            seed: 0,
+        },
+    }
+}
+
+/// `XtAppAddInput`: an input source delivers callbacks only while
+/// registered and is eventually removed.
+pub fn xt_app_add_input() -> SpecDef {
+    let ground_truth = "\
+start s0
+accept s2
+s0 -> s1 : XtAppAddInput(X)
+s1 -> s1 : InputCallback(X)
+s1 -> s2 : XtRemoveInput(X)
+";
+    SpecDef {
+        uninteresting_atoms: Vec::new(),
+        model: ProtocolModel {
+            name: "XtAppAddInput".into(),
+            description: "an input source is removed after its last callback".into(),
+            ground_truth_text: ground_truth.into(),
+            seed_ops: vec!["XtAppAddInput".into()],
+            correct: ShapeMix::new(vec![
+                (
+                    3.0,
+                    ScenarioShape::with_loop(
+                        &["XtAppAddInput"],
+                        &["InputCallback"],
+                        2.0,
+                        &["XtRemoveInput"],
+                    ),
+                ),
+                (
+                    1.0,
+                    ScenarioShape::fixed(&["XtAppAddInput", "XtRemoveInput"]),
+                ),
+            ]),
+            erroneous: ShapeMix::new(vec![
+                // Callback after removal (race).
+                (
+                    2.0,
+                    ScenarioShape::fixed(&["XtAppAddInput", "XtRemoveInput", "InputCallback"]),
+                ),
+                // Source leak.
+                (
+                    1.0,
+                    ScenarioShape::fixed(&["XtAppAddInput", "InputCallback"]),
+                ),
+            ]),
+            noise_ops: noise_ops(),
+        },
+        params: WorkloadParams {
+            programs: 72,
+            objects_per_program: (1, 3),
+            error_rate: 0.15,
+            noise_per_object: 0.5,
+            seed: 0,
+        },
+    }
+}
+
+/// `XtOwnSel`: a selection owner converts requests while it owns the
+/// selection and stops after disowning or losing it.
+pub fn xt_own_selection() -> SpecDef {
+    let ground_truth = "\
+start s0
+accept s2
+s0 -> s1 : XtOwnSelection
+s1 -> s1 : ConvertCallback
+s1 -> s2 : XtDisownSelection
+s1 -> s2 : LoseSelectionCallback
+";
+    SpecDef {
+        uninteresting_atoms: vec!["CUT_BUFFER0".into()],
+        model: ProtocolModel {
+            name: "XtOwnSel".into(),
+            description: "a selection owner converts only while owning; ownership ends by \
+                          disown or loss"
+                .into(),
+            ground_truth_text: ground_truth.into(),
+            seed_ops: vec!["XtOwnSelection".into()],
+            correct: ShapeMix::new(vec![
+                (
+                    2.0,
+                    ScenarioShape::with_loop(
+                        &["XtOwnSelection:'PRIMARY"],
+                        &["ConvertCallback:'PRIMARY"],
+                        1.5,
+                        &["XtDisownSelection:'PRIMARY"],
+                    ),
+                ),
+                (
+                    1.0,
+                    ScenarioShape::fixed(&[
+                        "XtOwnSelection:'CLIPBOARD",
+                        "LoseSelectionCallback:'CLIPBOARD",
+                    ]),
+                ),
+                // The uninteresting selection value, removed pre-debugging.
+                (
+                    1.0,
+                    ScenarioShape::fixed(&[
+                        "XtOwnSelection:'CUT_BUFFER0",
+                        "XtDisownSelection:'CUT_BUFFER0",
+                    ]),
+                ),
+            ]),
+            erroneous: ShapeMix::new(vec![
+                // Disowning a selection already lost (race).
+                (
+                    2.0,
+                    ScenarioShape::fixed(&[
+                        "XtOwnSelection:'PRIMARY",
+                        "LoseSelectionCallback:'PRIMARY",
+                        "XtDisownSelection:'PRIMARY",
+                    ]),
+                ),
+                // Converting after disown.
+                (
+                    1.0,
+                    ScenarioShape::fixed(&[
+                        "XtOwnSelection:'PRIMARY",
+                        "XtDisownSelection:'PRIMARY",
+                        "ConvertCallback:'PRIMARY",
+                    ]),
+                ),
+                // Ownership leak.
+                (
+                    1.0,
+                    ScenarioShape::fixed(&[
+                        "XtOwnSelection:'CLIPBOARD",
+                        "ConvertCallback:'CLIPBOARD",
+                    ]),
+                ),
+            ]),
+            noise_ops: noise_ops(),
+        },
+        params: WorkloadParams {
+            programs: 72,
+            objects_per_program: (1, 2),
+            error_rate: 0.15,
+            noise_per_object: 0.5,
+            seed: 0,
+        },
+    }
+}
+
+/// `PrsTransTbl`: a parsed translation table is installed at least once
+/// (an unused parse is wasted work — one of the paper's performance
+/// bugs).
+pub fn prs_trans_tbl() -> SpecDef {
+    let ground_truth = "\
+start s0
+accept s2
+s0 -> s1 : XtParseTranslationTable(X)
+s1 -> s2 : XtAugmentTranslations(X)
+s1 -> s2 : XtOverrideTranslations(X)
+s2 -> s2 : XtAugmentTranslations(X)
+s2 -> s2 : XtOverrideTranslations(X)
+";
+    SpecDef {
+        uninteresting_atoms: Vec::new(),
+        model: ProtocolModel {
+            name: "PrsTransTbl".into(),
+            description: "a parsed translation table is installed at least once".into(),
+            ground_truth_text: ground_truth.into(),
+            seed_ops: vec!["XtParseTranslationTable".into()],
+            correct: ShapeMix::new(vec![
+                (
+                    3.0,
+                    ScenarioShape::with_loop(
+                        &["XtParseTranslationTable", "XtAugmentTranslations"],
+                        &["XtAugmentTranslations", "XtOverrideTranslations"],
+                        0.7,
+                        &[],
+                    ),
+                ),
+                (
+                    1.0,
+                    ScenarioShape::fixed(&["XtParseTranslationTable", "XtOverrideTranslations"]),
+                ),
+            ]),
+            erroneous: ShapeMix::new(vec![
+                // Parsed but never installed: wasted parse.
+                (1.0, ScenarioShape::fixed(&["XtParseTranslationTable"])),
+            ]),
+            noise_ops: noise_ops(),
+        },
+        params: WorkloadParams {
+            programs: 48,
+            objects_per_program: (1, 2),
+            error_rate: 0.1,
+            noise_per_object: 0.5,
+            seed: 0,
+        },
+    }
+}
+
+/// `PrsAccelTbl`: a parsed accelerator table is installed at least once.
+pub fn prs_accel_tbl() -> SpecDef {
+    let ground_truth = "\
+start s0
+accept s2
+s0 -> s1 : XtParseAcceleratorTable(X)
+s1 -> s2 : XtInstallAccelerators(X)
+s1 -> s2 : XtInstallAllAccelerators(X)
+s2 -> s2 : XtInstallAccelerators(X)
+s2 -> s2 : XtInstallAllAccelerators(X)
+";
+    SpecDef {
+        uninteresting_atoms: Vec::new(),
+        model: ProtocolModel {
+            name: "PrsAccelTbl".into(),
+            description: "a parsed accelerator table is installed at least once".into(),
+            ground_truth_text: ground_truth.into(),
+            seed_ops: vec!["XtParseAcceleratorTable".into()],
+            correct: ShapeMix::new(vec![
+                (
+                    2.0,
+                    ScenarioShape::with_loop(
+                        &["XtParseAcceleratorTable", "XtInstallAccelerators"],
+                        &["XtInstallAccelerators"],
+                        0.5,
+                        &[],
+                    ),
+                ),
+                (
+                    1.0,
+                    ScenarioShape::fixed(&["XtParseAcceleratorTable", "XtInstallAllAccelerators"]),
+                ),
+            ]),
+            erroneous: ShapeMix::new(vec![
+                // Parsed but never installed.
+                (1.0, ScenarioShape::fixed(&["XtParseAcceleratorTable"])),
+            ]),
+            noise_ops: noise_ops(),
+        },
+        params: WorkloadParams {
+            programs: 48,
+            objects_per_program: (1, 2),
+            error_rate: 0.1,
+            noise_per_object: 0.5,
+            seed: 0,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use cable_trace::{Trace, Vocab};
+
+    #[test]
+    fn timeout_race_is_rejected() {
+        let spec = super::rmv_time_out();
+        let mut v = Vocab::new();
+        let fa = spec.ground_truth(&mut v);
+        let race = Trace::parse(
+            "XtAppAddTimeOut(X) TimerCallback(X) XtRemoveTimeOut(X)",
+            &mut v,
+        )
+        .unwrap();
+        assert!(!fa.accepts(&race));
+    }
+
+    #[test]
+    fn double_free_is_rejected() {
+        let spec = super::xt_free();
+        let mut v = Vocab::new();
+        let fa = spec.ground_truth(&mut v);
+        let df = Trace::parse("XtMalloc(X) XtFree(X) XtFree(X)", &mut v).unwrap();
+        assert!(!fa.accepts(&df));
+    }
+}

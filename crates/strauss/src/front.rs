@@ -1,0 +1,171 @@
+//! The miner's front end: scenario extraction.
+
+use cable_trace::{canonicalize, ObjId, Trace, TraceSet, Vocab};
+use std::collections::HashSet;
+
+/// Extracts per-object scenario traces from program traces.
+///
+/// A *seed* is an operation name (typically a resource-creating call such
+/// as `fopen` or `XCreateGC`). For every object that appears in a seed
+/// event, the front end collects, in program order, every event that
+/// mentions that object, and canonicalises the object id to `X`.
+///
+/// This reproduces the artifact of Strauss's dynamic dependence analysis:
+/// short, canonical, per-object scenario traces.
+///
+/// # Examples
+///
+/// ```
+/// use cable_strauss::FrontEnd;
+/// use cable_trace::{Trace, Vocab};
+///
+/// let mut v = Vocab::new();
+/// let program = Trace::parse("open(#1) open(#2) close(#2) close(#1)", &mut v).unwrap();
+/// let fe = FrontEnd::new(&["open"]);
+/// let scenarios = fe.extract(&program, &v);
+/// assert_eq!(scenarios.len(), 2);
+/// assert_eq!(scenarios[0].display(&v).to_string(), "open(X) close(X)");
+/// ```
+#[derive(Debug, Clone)]
+pub struct FrontEnd {
+    seed_ops: Vec<String>,
+}
+
+impl FrontEnd {
+    /// Creates a front end with the given seed operation names.
+    pub fn new<S: AsRef<str>>(seeds: &[S]) -> Self {
+        FrontEnd {
+            seed_ops: seeds.iter().map(|s| s.as_ref().to_owned()).collect(),
+        }
+    }
+
+    /// The seed operation names.
+    pub fn seed_ops(&self) -> &[String] {
+        &self.seed_ops
+    }
+
+    /// Extracts the scenarios of one program trace, in order of seed-object
+    /// first appearance.
+    pub fn extract(&self, trace: &Trace, vocab: &Vocab) -> Vec<Trace> {
+        let seeds: HashSet<_> = self
+            .seed_ops
+            .iter()
+            .filter_map(|op| vocab.find_op(op))
+            .collect();
+        // Objects appearing in seed events, in first-appearance order.
+        let mut seen: HashSet<ObjId> = HashSet::new();
+        let mut roots: Vec<ObjId> = Vec::new();
+        for e in trace.iter() {
+            if seeds.contains(&e.op) {
+                for obj in e.objects() {
+                    if seen.insert(obj) {
+                        roots.push(obj);
+                    }
+                }
+            }
+        }
+        roots
+            .into_iter()
+            .map(|obj| {
+                let mut scenario = Trace::new(
+                    trace
+                        .iter()
+                        .filter(|e| e.mentions_obj(obj))
+                        .cloned()
+                        .collect(),
+                );
+                if let Some(p) = trace.provenance() {
+                    scenario.set_provenance(p);
+                }
+                canonicalize(&scenario)
+            })
+            .collect()
+    }
+
+    /// Extracts the scenarios of a whole training set into one
+    /// [`TraceSet`].
+    pub fn extract_all(&self, traces: &[Trace], vocab: &Vocab) -> TraceSet {
+        traces.iter().flat_map(|t| self.extract(t, vocab)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn follows_object_identity_through_interleaving() {
+        let mut v = Vocab::new();
+        let program = Trace::parse(
+            "open(#1) open(#2) read(#1) read(#2) close(#1) close(#2)",
+            &mut v,
+        )
+        .unwrap();
+        let fe = FrontEnd::new(&["open"]);
+        let scenarios = fe.extract(&program, &v);
+        assert_eq!(scenarios.len(), 2);
+        for s in &scenarios {
+            assert_eq!(s.display(&v).to_string(), "open(X) read(X) close(X)");
+        }
+    }
+
+    #[test]
+    fn ignores_objects_without_seed() {
+        let mut v = Vocab::new();
+        let program = Trace::parse("open(#1) log(#9) close(#1)", &mut v).unwrap();
+        let fe = FrontEnd::new(&["open"]);
+        let scenarios = fe.extract(&program, &v);
+        assert_eq!(scenarios.len(), 1);
+        assert_eq!(scenarios[0].len(), 2);
+    }
+
+    #[test]
+    fn unknown_seed_op_extracts_nothing() {
+        let mut v = Vocab::new();
+        let program = Trace::parse("open(#1)", &mut v).unwrap();
+        let fe = FrontEnd::new(&["never_interned"]);
+        assert!(fe.extract(&program, &v).is_empty());
+    }
+
+    #[test]
+    fn multiple_seeds() {
+        let mut v = Vocab::new();
+        let program = Trace::parse("fopen(#1) popen(#2) fclose(#1) pclose(#2)", &mut v).unwrap();
+        let fe = FrontEnd::new(&["fopen", "popen"]);
+        let scenarios = fe.extract(&program, &v);
+        assert_eq!(scenarios.len(), 2);
+        assert_eq!(scenarios[0].display(&v).to_string(), "fopen(X) fclose(X)");
+        assert_eq!(scenarios[1].display(&v).to_string(), "popen(X) pclose(X)");
+    }
+
+    #[test]
+    fn provenance_propagates() {
+        let mut v = Vocab::new();
+        let mut program = Trace::parse("open(#1) close(#1)", &mut v).unwrap();
+        program.set_provenance(7);
+        let fe = FrontEnd::new(&["open"]);
+        assert_eq!(fe.extract(&program, &v)[0].provenance(), Some(7));
+    }
+
+    #[test]
+    fn extract_all_flattens() {
+        let mut v = Vocab::new();
+        let p1 = Trace::parse("open(#1) close(#1)", &mut v).unwrap();
+        let p2 = Trace::parse("open(#2) open(#3)", &mut v).unwrap();
+        let fe = FrontEnd::new(&["open"]);
+        let set = fe.extract_all(&[p1, p2], &v);
+        assert_eq!(set.len(), 3);
+        // Canonicalisation makes the two leaked scenarios identical.
+        assert_eq!(set.identical_classes().len(), 2);
+    }
+
+    #[test]
+    fn seed_event_object_used_twice_counts_once() {
+        let mut v = Vocab::new();
+        let program = Trace::parse("open(#1) open(#1) close(#1)", &mut v).unwrap();
+        let fe = FrontEnd::new(&["open"]);
+        let scenarios = fe.extract(&program, &v);
+        assert_eq!(scenarios.len(), 1);
+        assert_eq!(scenarios[0].len(), 3);
+    }
+}

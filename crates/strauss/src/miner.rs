@@ -1,0 +1,95 @@
+//! The end-to-end miner.
+
+use crate::back::BackEnd;
+use crate::front::FrontEnd;
+use cable_fa::Fa;
+use cable_trace::{Trace, TraceSet, Vocab};
+
+/// A mined specification: the learned FA together with the scenario
+/// traces it was learned from (which a Cable session then debugs).
+#[derive(Debug, Clone)]
+pub struct MinedSpec {
+    /// The learned (possibly buggy) specification.
+    pub fa: Fa,
+    /// The scenario traces extracted by the front end.
+    pub scenarios: TraceSet,
+}
+
+/// Front end + back end (Figure 7).
+#[derive(Debug, Clone, Default)]
+pub struct Miner {
+    /// The scenario extractor.
+    pub front: FrontEnd,
+    /// The learner.
+    pub back: BackEnd,
+}
+
+impl Default for FrontEnd {
+    fn default() -> Self {
+        FrontEnd::new::<&str>(&[])
+    }
+}
+
+impl Miner {
+    /// Creates a miner with the given seeds and the default back end.
+    pub fn new<S: AsRef<str>>(seeds: &[S]) -> Self {
+        Miner {
+            front: FrontEnd::new(seeds),
+            back: BackEnd::default(),
+        }
+    }
+
+    /// Mines a specification from program traces.
+    pub fn mine(&self, program_traces: &[Trace], vocab: &Vocab) -> MinedSpec {
+        let scenarios = self.front.extract_all(program_traces, vocab);
+        let fa = self.back.mine_set(&scenarios);
+        MinedSpec { fa, scenarios }
+    }
+
+    /// Re-runs the back end on a subset of scenarios — step 3 of §2.2:
+    /// after the expert labels traces in Cable, the miner is rerun on the
+    /// traces labelled `good`.
+    pub fn remine(&self, good_scenarios: &[Trace]) -> Fa {
+        self.back.mine(good_scenarios)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_to_end_mining() {
+        let mut v = Vocab::new();
+        let programs = vec![
+            Trace::parse("open(#1) read(#1) close(#1) open(#2) close(#2)", &mut v).unwrap(),
+            Trace::parse("open(#3) close(#3)", &mut v).unwrap(),
+        ];
+        let miner = Miner::new(&["open"]);
+        let mined = miner.mine(&programs, &v);
+        assert_eq!(mined.scenarios.len(), 3);
+        let good = Trace::parse("open(X) close(X)", &mut v).unwrap();
+        assert!(mined.fa.accepts(&good));
+    }
+
+    #[test]
+    fn remine_drops_bad_traces() {
+        let mut v = Vocab::new();
+        // One program leaks (#2 never closed).
+        let programs = vec![Trace::parse("open(#1) close(#1) open(#2)", &mut v).unwrap()];
+        let miner = Miner::new(&["open"]);
+        let mined = miner.mine(&programs, &v);
+        let leak = Trace::parse("open(X)", &mut v).unwrap();
+        assert!(mined.fa.accepts(&leak), "buggy spec accepts the leak");
+        // Keep only the good scenario and remine.
+        let good: Vec<Trace> = mined
+            .scenarios
+            .iter()
+            .map(|(_, t)| t.clone())
+            .filter(|t| t.len() == 2)
+            .collect();
+        let fixed = miner.remine(&good);
+        assert!(!fixed.accepts(&leak), "fixed spec rejects the leak");
+        assert!(fixed.accepts(&good[0]));
+    }
+}

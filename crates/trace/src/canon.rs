@@ -1,0 +1,103 @@
+//! Canonicalisation of object identities to variables.
+//!
+//! Strauss's front end renames the runtime object identities in an
+//! extracted scenario to canonical variables in first-occurrence order, so
+//! that two scenarios differing only in concrete pointers become identical
+//! traces. This module implements that renaming.
+
+use crate::event::{Arg, Event, ObjId, Var};
+use crate::trace::Trace;
+use std::collections::HashMap;
+
+/// Renames every [`ObjId`] in the trace to a [`Var`] numbered by first
+/// occurrence. Existing variables and atoms are left untouched; if the
+/// trace already contains variables, fresh variables are numbered after
+/// the highest existing one.
+///
+/// # Examples
+///
+/// ```
+/// use cable_trace::{canonicalize, Trace, Vocab};
+///
+/// let mut v = Vocab::new();
+/// let raw = Trace::parse("fopen(#77) fread(#77) fclose(#77)", &mut v).unwrap();
+/// let canon = canonicalize(&raw);
+/// assert_eq!(canon.display(&v).to_string(), "fopen(X) fread(X) fclose(X)");
+/// ```
+///
+/// # Panics
+///
+/// Panics if more than 256 distinct objects appear (variables are `u8`).
+pub fn canonicalize(trace: &Trace) -> Trace {
+    let mut next = trace
+        .iter()
+        .flat_map(|e| e.vars())
+        .map(|v| v.0 as u16 + 1)
+        .max()
+        .unwrap_or(0);
+    let mut map: HashMap<ObjId, Var> = HashMap::new();
+    let events = trace
+        .iter()
+        .map(|e| {
+            let args = e
+                .args
+                .iter()
+                .map(|&a| match a {
+                    Arg::Obj(o) => Arg::Var(*map.entry(o).or_insert_with(|| {
+                        let v = Var(u8::try_from(next).expect("too many objects to canonicalize"));
+                        next += 1;
+                        v
+                    })),
+                    other => other,
+                })
+                .collect();
+            Event::new(e.op, args)
+        })
+        .collect();
+    let mut out = Trace::new(events);
+    if let Some(p) = trace.provenance() {
+        out.set_provenance(p);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab::Vocab;
+
+    #[test]
+    fn first_occurrence_order() {
+        let mut v = Vocab::new();
+        let raw = Trace::parse("a(#9) b(#2) c(#9,#2)", &mut v).unwrap();
+        let canon = canonicalize(&raw);
+        assert_eq!(canon.display(&v).to_string(), "a(X) b(Y) c(X,Y)");
+    }
+
+    #[test]
+    fn existing_vars_are_preserved() {
+        let mut v = Vocab::new();
+        let raw = Trace::parse("a(X) b(#5)", &mut v).unwrap();
+        let canon = canonicalize(&raw);
+        assert_eq!(canon.display(&v).to_string(), "a(X) b(Y)");
+    }
+
+    #[test]
+    fn atoms_untouched_and_provenance_kept() {
+        let mut v = Vocab::new();
+        let mut raw = Trace::parse("a(#1,'P)", &mut v).unwrap();
+        raw.set_provenance(4);
+        let canon = canonicalize(&raw);
+        assert_eq!(canon.display(&v).to_string(), "a(X,'P)");
+        assert_eq!(canon.provenance(), Some(4));
+    }
+
+    #[test]
+    fn canonical_traces_are_equal_across_ids() {
+        let mut v = Vocab::new();
+        let a = Trace::parse("f(#1) g(#1)", &mut v).unwrap();
+        let b = Trace::parse("f(#999) g(#999)", &mut v).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(canonicalize(&a), canonicalize(&b));
+    }
+}

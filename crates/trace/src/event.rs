@@ -1,0 +1,216 @@
+//! Events and their arguments.
+
+use crate::vocab::Vocab;
+use cable_util::Symbol;
+use std::fmt;
+
+/// A runtime object identity appearing in a raw program trace — e.g. the
+/// concrete `FILE*` returned by `fopen`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjId(pub u64);
+
+/// A canonical variable in a scenario or violation trace: `X` is `Var(0)`,
+/// `Y` is `Var(1)`, and so on. The paper writes scenario traces over such
+/// variables ("For all calls X = fopen() …").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub u8);
+
+impl Var {
+    /// The display name: `X`, `Y`, `Z`, `V3`, `V4`, …
+    pub fn name(self) -> String {
+        match self.0 {
+            0 => "X".to_owned(),
+            1 => "Y".to_owned(),
+            2 => "Z".to_owned(),
+            n => format!("V{n}"),
+        }
+    }
+
+    /// Parses a variable display name.
+    pub fn from_name(s: &str) -> Option<Var> {
+        match s {
+            "X" => Some(Var(0)),
+            "Y" => Some(Var(1)),
+            "Z" => Some(Var(2)),
+            _ => s
+                .strip_prefix('V')
+                .and_then(|n| n.parse::<u8>().ok())
+                .map(Var),
+        }
+    }
+}
+
+/// An event argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Arg {
+    /// A runtime object identity (raw program traces).
+    Obj(ObjId),
+    /// A canonical variable (scenario/violation traces).
+    Var(Var),
+    /// An interned constant, e.g. an X selection name.
+    Atom(Symbol),
+}
+
+impl Arg {
+    /// The object identity, if this argument is one.
+    pub fn as_obj(self) -> Option<ObjId> {
+        match self {
+            Arg::Obj(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// The variable, if this argument is one.
+    pub fn as_var(self) -> Option<Var> {
+        match self {
+            Arg::Var(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// A single program event: an operation applied to arguments.
+///
+/// The paper's notation `X = fopen()` is modelled as the operation `fopen`
+/// with the bound result as its (first) argument: `fopen(X)`. What matters
+/// to Cable is only which objects an event touches, not the
+/// result/parameter distinction.
+///
+/// # Examples
+///
+/// ```
+/// use cable_trace::{Event, Vocab, Var, Arg};
+///
+/// let mut v = Vocab::new();
+/// let e = Event::new(v.op("fopen"), vec![Arg::Var(Var(0))]);
+/// assert_eq!(e.display(&v).to_string(), "fopen(X)");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Event {
+    /// The operation name.
+    pub op: Symbol,
+    /// The arguments, in call order.
+    pub args: Vec<Arg>,
+}
+
+impl Event {
+    /// Creates an event.
+    pub fn new(op: Symbol, args: Vec<Arg>) -> Self {
+        Event { op, args }
+    }
+
+    /// Creates a zero-argument event.
+    pub fn nullary(op: Symbol) -> Self {
+        Event {
+            op,
+            args: Vec::new(),
+        }
+    }
+
+    /// Creates an event over a single canonical variable — the common case
+    /// for per-object scenarios.
+    pub fn on_var(op: Symbol, var: Var) -> Self {
+        Event {
+            op,
+            args: vec![Arg::Var(var)],
+        }
+    }
+
+    /// Creates an event over a single runtime object.
+    pub fn on_obj(op: Symbol, obj: ObjId) -> Self {
+        Event {
+            op,
+            args: vec![Arg::Obj(obj)],
+        }
+    }
+
+    /// Iterates over the object identities mentioned by this event.
+    pub fn objects(&self) -> impl Iterator<Item = ObjId> + '_ {
+        self.args.iter().filter_map(|a| a.as_obj())
+    }
+
+    /// Iterates over the canonical variables mentioned by this event.
+    pub fn vars(&self) -> impl Iterator<Item = Var> + '_ {
+        self.args.iter().filter_map(|a| a.as_var())
+    }
+
+    /// Tests whether the event mentions the given object.
+    pub fn mentions_obj(&self, obj: ObjId) -> bool {
+        self.objects().any(|o| o == obj)
+    }
+
+    /// Tests whether the event mentions the given variable.
+    pub fn mentions_var(&self, var: Var) -> bool {
+        self.vars().any(|v| v == var)
+    }
+
+    /// Renders the event against a vocabulary.
+    pub fn display<'a>(&'a self, vocab: &'a Vocab) -> DisplayEvent<'a> {
+        DisplayEvent { event: self, vocab }
+    }
+}
+
+/// Displays an [`Event`] using a [`Vocab`]; created by [`Event::display`].
+#[derive(Debug, Clone, Copy)]
+pub struct DisplayEvent<'a> {
+    event: &'a Event,
+    vocab: &'a Vocab,
+}
+
+impl fmt::Display for DisplayEvent<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.vocab.op_name(self.event.op))?;
+        for (i, arg) in self.event.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            match arg {
+                Arg::Obj(ObjId(o)) => write!(f, "#{o}")?,
+                Arg::Var(v) => write!(f, "{}", v.name())?,
+                Arg::Atom(a) => write!(f, "'{}", self.vocab.atom_name(*a))?,
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_names_round_trip() {
+        for i in 0..10u8 {
+            let v = Var(i);
+            assert_eq!(Var::from_name(&v.name()), Some(v));
+        }
+        assert_eq!(Var::from_name("nope"), None);
+        assert_eq!(Var::from_name("Vx"), None);
+    }
+
+    #[test]
+    fn event_display_forms() {
+        let mut vocab = Vocab::new();
+        let op = vocab.op("f");
+        let atom = vocab.atom("PRIMARY");
+        let e = Event::new(
+            op,
+            vec![Arg::Var(Var(0)), Arg::Obj(ObjId(7)), Arg::Atom(atom)],
+        );
+        assert_eq!(e.display(&vocab).to_string(), "f(X,#7,'PRIMARY)");
+        assert_eq!(Event::nullary(op).display(&vocab).to_string(), "f()");
+    }
+
+    #[test]
+    fn object_and_var_queries() {
+        let mut vocab = Vocab::new();
+        let op = vocab.op("g");
+        let e = Event::new(op, vec![Arg::Obj(ObjId(1)), Arg::Var(Var(2))]);
+        assert!(e.mentions_obj(ObjId(1)));
+        assert!(!e.mentions_obj(ObjId(2)));
+        assert!(e.mentions_var(Var(2)));
+        assert!(!e.mentions_var(Var(0)));
+        assert_eq!(e.objects().count(), 1);
+        assert_eq!(e.vars().count(), 1);
+    }
+}

@@ -1,0 +1,48 @@
+//! Event and trace model.
+//!
+//! The paper's artifacts are *traces*: finite sequences of program events
+//! such as `X = fopen()`, `fread(X)`, `fclose(X)`. This crate defines:
+//!
+//! * [`Event`] — an operation name plus arguments; an argument is either a
+//!   runtime object identity ([`ObjId`], used in raw program traces emitted
+//!   by the workload simulator), a canonical variable ([`Var`], used in
+//!   scenario and violation traces where object identities have been
+//!   renamed to `X`, `Y`, …), or an atom (an interned constant),
+//! * [`Trace`] — a sequence of events with provenance,
+//! * [`TraceSet`] — an indexed collection of traces with the
+//!   identical-event-class bookkeeping that the paper's Baseline strategy
+//!   depends on,
+//! * [`Vocab`] — the interner for operation and atom names,
+//! * a line-oriented text format ([`parse`]) used by examples, tests and
+//!   the benchmark harness.
+//!
+//! # Examples
+//!
+//! ```
+//! use cable_trace::{Vocab, Trace, TraceSet};
+//!
+//! let mut vocab = Vocab::new();
+//! let t = Trace::parse("fopen(X) fread(X) fclose(X)", &mut vocab).unwrap();
+//! assert_eq!(t.len(), 3);
+//! assert_eq!(t.display(&vocab).to_string(), "fopen(X) fread(X) fclose(X)");
+//!
+//! let mut set = TraceSet::new();
+//! set.push(t.clone());
+//! set.push(t);
+//! assert_eq!(set.len(), 2);
+//! assert_eq!(set.identical_classes().len(), 1);
+//! ```
+
+pub mod canon;
+pub mod event;
+pub mod parse;
+pub mod set;
+pub mod trace;
+pub mod vocab;
+
+pub use canon::canonicalize;
+pub use event::{Arg, Event, ObjId, Var};
+pub use parse::ParseTraceError;
+pub use set::{IdenticalClass, TraceId, TraceSet};
+pub use trace::Trace;
+pub use vocab::Vocab;

@@ -1,0 +1,191 @@
+//! A line-oriented text format for traces.
+//!
+//! One trace per line; events separated by whitespace; each event is
+//! `op(arg,arg,…)` or bare `op` (equivalent to `op()`). Arguments:
+//!
+//! * `X`, `Y`, `Z`, `V7` — canonical variables,
+//! * `#42` — a runtime object identity,
+//! * `'NAME` — an atom constant.
+//!
+//! Lines that are empty or start with `;` are skipped by the trace-set
+//! parser.
+
+use crate::event::{Arg, Event, ObjId, Var};
+use crate::set::TraceSet;
+use crate::trace::Trace;
+use crate::vocab::Vocab;
+use std::error::Error;
+use std::fmt;
+
+/// Error parsing the trace text format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// Byte offset of the error within the input line.
+    pub offset: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "trace parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl Error for ParseTraceError {}
+
+fn err(offset: usize, message: impl Into<String>) -> ParseTraceError {
+    ParseTraceError {
+        offset,
+        message: message.into(),
+    }
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '='
+}
+
+/// Parses one event token such as `fopen(X)` or `pclose(#3)`.
+fn parse_event(token: &str, offset: usize, vocab: &mut Vocab) -> Result<Event, ParseTraceError> {
+    let (name, rest) = match token.find('(') {
+        Some(i) => (&token[..i], Some(&token[i..])),
+        None => (token, None),
+    };
+    if name.is_empty() || !name.chars().all(is_ident_char) {
+        return Err(err(offset, format!("bad operation name in {token:?}")));
+    }
+    let op = vocab.op(name);
+    let mut args = Vec::new();
+    if let Some(rest) = rest {
+        let inner = rest
+            .strip_prefix('(')
+            .and_then(|r| r.strip_suffix(')'))
+            .ok_or_else(|| err(offset, format!("unbalanced parentheses in {token:?}")))?;
+        if !inner.is_empty() {
+            for part in inner.split(',') {
+                let part = part.trim();
+                if let Some(obj) = part.strip_prefix('#') {
+                    let n: u64 = obj
+                        .parse()
+                        .map_err(|_| err(offset, format!("bad object id {part:?}")))?;
+                    args.push(Arg::Obj(ObjId(n)));
+                } else if let Some(atom) = part.strip_prefix('\'') {
+                    args.push(Arg::Atom(vocab.atom(atom)));
+                } else if let Some(v) = Var::from_name(part) {
+                    args.push(Arg::Var(v));
+                } else {
+                    return Err(err(offset, format!("bad argument {part:?}")));
+                }
+            }
+        }
+    }
+    Ok(Event::new(op, args))
+}
+
+impl Trace {
+    /// Parses a single trace from a line of text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseTraceError`] when a token is malformed.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cable_trace::{Trace, Vocab};
+    ///
+    /// let mut v = Vocab::new();
+    /// let t = Trace::parse("fopen(X) fclose(X)", &mut v)?;
+    /// assert_eq!(t.len(), 2);
+    /// # Ok::<(), cable_trace::ParseTraceError>(())
+    /// ```
+    pub fn parse(line: &str, vocab: &mut Vocab) -> Result<Trace, ParseTraceError> {
+        let mut events = Vec::new();
+        let mut offset = 0;
+        for token in line.split_whitespace() {
+            // Track an approximate offset for error messages.
+            offset = line[offset..]
+                .find(token)
+                .map(|i| i + offset)
+                .unwrap_or(offset);
+            events.push(parse_event(token, offset, vocab)?);
+            offset += token.len();
+        }
+        Ok(Trace::new(events))
+    }
+}
+
+impl TraceSet {
+    /// Parses a whole trace set, one trace per line. Empty lines and lines
+    /// starting with `;` are skipped.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ParseTraceError`] encountered.
+    pub fn parse(text: &str, vocab: &mut Vocab) -> Result<TraceSet, ParseTraceError> {
+        let mut set = TraceSet::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with(';') {
+                continue;
+            }
+            set.push(Trace::parse(line, vocab)?);
+        }
+        Ok(set)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_display() {
+        let mut v = Vocab::new();
+        for text in [
+            "fopen(X) fread(X) fclose(X)",
+            "f() g(X,Y) h(#3,'ATOM)",
+            "lone",
+        ] {
+            let t = Trace::parse(text, &mut v).unwrap();
+            let shown = t.display(&v).to_string();
+            let t2 = Trace::parse(&shown, &mut v).unwrap();
+            assert_eq!(t.event_key(), t2.event_key(), "round trip {text:?}");
+        }
+    }
+
+    #[test]
+    fn bare_op_means_nullary() {
+        let mut v = Vocab::new();
+        let t = Trace::parse("f f()", &mut v).unwrap();
+        assert_eq!(t.events()[0], t.events()[1]);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        let mut v = Vocab::new();
+        assert!(Trace::parse("f(", &mut v).is_err());
+        assert!(Trace::parse("f(%)", &mut v).is_err());
+        assert!(Trace::parse("f(#notanum)", &mut v).is_err());
+        assert!(Trace::parse("(X)", &mut v).is_err());
+    }
+
+    #[test]
+    fn set_parser_skips_comments() {
+        let mut v = Vocab::new();
+        let s = TraceSet::parse("; header\n\n a(X)\n b(X)\n", &mut v).unwrap();
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn error_is_displayable() {
+        let mut v = Vocab::new();
+        let e = Trace::parse("ok f(%)", &mut v).unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("bad argument"), "{msg}");
+    }
+}

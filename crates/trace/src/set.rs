@@ -1,0 +1,256 @@
+//! Indexed trace collections.
+
+use crate::trace::Trace;
+use crate::vocab::Vocab;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a trace within a [`TraceSet`]. These are the *objects* of the
+/// concept analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TraceId(pub u32);
+
+impl TraceId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A class of traces with identical event sequences.
+///
+/// §5.1 of the paper notes that Strauss extracts *many identical scenario
+/// traces*; the Baseline debugging method inspects one representative per
+/// class, and the lattice is built from representatives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IdenticalClass {
+    /// The first trace of the class, used as the representative.
+    pub representative: TraceId,
+    /// All members, in insertion order (includes the representative).
+    pub members: Vec<TraceId>,
+}
+
+impl IdenticalClass {
+    /// Number of traces in the class.
+    pub fn count(&self) -> usize {
+        self.members.len()
+    }
+}
+
+/// An append-only, indexed collection of traces.
+///
+/// # Examples
+///
+/// ```
+/// use cable_trace::{Trace, TraceSet, Vocab};
+///
+/// let mut v = Vocab::new();
+/// let mut set = TraceSet::new();
+/// set.push(Trace::parse("a(X) b(X)", &mut v).unwrap());
+/// set.push(Trace::parse("a(X) b(X)", &mut v).unwrap());
+/// set.push(Trace::parse("a(X)", &mut v).unwrap());
+/// assert_eq!(set.len(), 3);
+/// let classes = set.identical_classes();
+/// assert_eq!(classes.len(), 2);
+/// let reps = set.representatives();
+/// assert_eq!(reps.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TraceSet {
+    traces: Vec<Trace>,
+}
+
+impl TraceSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a trace, returning its id.
+    pub fn push(&mut self, trace: Trace) -> TraceId {
+        let id = TraceId(u32::try_from(self.traces.len()).expect("too many traces"));
+        self.traces.push(trace);
+        id
+    }
+
+    /// Number of traces.
+    pub fn len(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Tests whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+
+    /// Looks up a trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn trace(&self, id: TraceId) -> &Trace {
+        &self.traces[id.index()]
+    }
+
+    /// Looks up a trace, returning `None` when out of range.
+    pub fn get(&self, id: TraceId) -> Option<&Trace> {
+        self.traces.get(id.index())
+    }
+
+    /// Iterates over `(id, trace)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (TraceId, &Trace)> {
+        self.traces
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TraceId(i as u32), t))
+    }
+
+    /// All trace ids in insertion order.
+    pub fn ids(&self) -> impl Iterator<Item = TraceId> {
+        (0..self.traces.len() as u32).map(TraceId)
+    }
+
+    /// Groups the traces into classes of identical event sequences, in
+    /// order of first appearance.
+    pub fn identical_classes(&self) -> Vec<IdenticalClass> {
+        let mut index: HashMap<&[crate::Event], usize> = HashMap::new();
+        let mut classes: Vec<IdenticalClass> = Vec::new();
+        for (id, t) in self.iter() {
+            match index.get(t.event_key()) {
+                Some(&c) => classes[c].members.push(id),
+                None => {
+                    index.insert(t.event_key(), classes.len());
+                    classes.push(IdenticalClass {
+                        representative: id,
+                        members: vec![id],
+                    });
+                }
+            }
+        }
+        classes
+    }
+
+    /// One representative id per identical class, in order of first
+    /// appearance.
+    pub fn representatives(&self) -> Vec<TraceId> {
+        self.identical_classes()
+            .into_iter()
+            .map(|c| c.representative)
+            .collect()
+    }
+
+    /// Builds a new set containing one representative per identical class,
+    /// returning it along with the mapping from old ids to new ids.
+    pub fn deduplicated(&self) -> (TraceSet, Vec<TraceId>) {
+        let classes = self.identical_classes();
+        let mut out = TraceSet::new();
+        let mut map = vec![TraceId(0); self.len()];
+        for class in &classes {
+            let new_id = out.push(self.trace(class.representative).clone());
+            for &m in &class.members {
+                map[m.index()] = new_id;
+            }
+        }
+        (out, map)
+    }
+
+    /// Renders the whole set, one trace per line.
+    pub fn display<'a>(&'a self, vocab: &'a Vocab) -> DisplayTraceSet<'a> {
+        DisplayTraceSet { set: self, vocab }
+    }
+}
+
+impl FromIterator<Trace> for TraceSet {
+    fn from_iter<T: IntoIterator<Item = Trace>>(iter: T) -> Self {
+        let mut s = TraceSet::new();
+        for t in iter {
+            s.push(t);
+        }
+        s
+    }
+}
+
+impl Extend<Trace> for TraceSet {
+    fn extend<T: IntoIterator<Item = Trace>>(&mut self, iter: T) {
+        for t in iter {
+            self.push(t);
+        }
+    }
+}
+
+/// Displays a [`TraceSet`]; created by [`TraceSet::display`].
+#[derive(Debug, Clone, Copy)]
+pub struct DisplayTraceSet<'a> {
+    set: &'a TraceSet,
+    vocab: &'a Vocab,
+}
+
+impl fmt::Display for DisplayTraceSet<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (_, t) in self.set.iter() {
+            writeln!(f, "{}", t.display(self.vocab))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set3(v: &mut Vocab) -> TraceSet {
+        let mut s = TraceSet::new();
+        s.push(Trace::parse("a(X) b(X)", v).unwrap());
+        s.push(Trace::parse("a(X)", v).unwrap());
+        s.push(Trace::parse("a(X) b(X)", v).unwrap());
+        s
+    }
+
+    #[test]
+    fn identical_classes_group_correctly() {
+        let mut v = Vocab::new();
+        let s = set3(&mut v);
+        let classes = s.identical_classes();
+        assert_eq!(classes.len(), 2);
+        assert_eq!(classes[0].representative, TraceId(0));
+        assert_eq!(classes[0].members, vec![TraceId(0), TraceId(2)]);
+        assert_eq!(classes[0].count(), 2);
+        assert_eq!(classes[1].members, vec![TraceId(1)]);
+    }
+
+    #[test]
+    fn deduplicated_maps_members() {
+        let mut v = Vocab::new();
+        let s = set3(&mut v);
+        let (dedup, map) = s.deduplicated();
+        assert_eq!(dedup.len(), 2);
+        assert_eq!(map[0], map[2]);
+        assert_ne!(map[0], map[1]);
+        assert_eq!(
+            dedup.trace(map[0]).event_key(),
+            s.trace(TraceId(0)).event_key()
+        );
+    }
+
+    #[test]
+    fn get_out_of_range() {
+        let s = TraceSet::new();
+        assert!(s.get(TraceId(0)).is_none());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn display_one_per_line() {
+        let mut v = Vocab::new();
+        let s = set3(&mut v);
+        let text = s.display(&v).to_string();
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.starts_with("a(X) b(X)\n"));
+    }
+}

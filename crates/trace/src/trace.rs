@@ -1,0 +1,178 @@
+//! Traces: finite sequences of events with provenance.
+
+use crate::event::Event;
+use crate::vocab::Vocab;
+use std::fmt;
+
+/// A finite sequence of [`Event`]s.
+///
+/// Traces serve three roles in the paper, all with the same representation:
+/// raw *program execution traces* (over [`crate::ObjId`]s), *scenario
+/// traces* extracted by the miner's front end, and *violation traces*
+/// reported by a verifier (both over canonical [`crate::Var`]s).
+///
+/// # Examples
+///
+/// ```
+/// use cable_trace::{Trace, Vocab};
+///
+/// let mut v = Vocab::new();
+/// let t = Trace::parse("popen(X) fread(X) pclose(X)", &mut v).unwrap();
+/// assert_eq!(t.len(), 3);
+/// assert_eq!(t.events()[1].display(&v).to_string(), "fread(X)");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Trace {
+    events: Vec<Event>,
+    /// Which program (by index in the workload) this trace came from, if
+    /// known. Used for bug reporting.
+    provenance: Option<u32>,
+}
+
+impl Trace {
+    /// Creates a trace from events.
+    pub fn new(events: Vec<Event>) -> Self {
+        Trace {
+            events,
+            provenance: None,
+        }
+    }
+
+    /// Creates an empty trace.
+    pub fn empty() -> Self {
+        Trace::new(Vec::new())
+    }
+
+    /// Creates a trace with provenance (program index).
+    pub fn with_provenance(events: Vec<Event>, program: u32) -> Self {
+        Trace {
+            events,
+            provenance: Some(program),
+        }
+    }
+
+    /// The events, in order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Tests whether the trace has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The originating program index, if known.
+    pub fn provenance(&self) -> Option<u32> {
+        self.provenance
+    }
+
+    /// Sets the originating program index.
+    pub fn set_provenance(&mut self, program: u32) {
+        self.provenance = Some(program);
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, event: Event) {
+        self.events.push(event);
+    }
+
+    /// Iterates over the events.
+    pub fn iter(&self) -> std::slice::Iter<'_, Event> {
+        self.events.iter()
+    }
+
+    /// A key identifying the event sequence (ignoring provenance); two
+    /// traces with equal keys are "identical traces" in the paper's sense.
+    pub fn event_key(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Renders the trace against a vocabulary, events separated by spaces.
+    pub fn display<'a>(&'a self, vocab: &'a Vocab) -> DisplayTrace<'a> {
+        DisplayTrace { trace: self, vocab }
+    }
+}
+
+impl FromIterator<Event> for Trace {
+    fn from_iter<T: IntoIterator<Item = Event>>(iter: T) -> Self {
+        Trace::new(iter.into_iter().collect())
+    }
+}
+
+impl Extend<Event> for Trace {
+    fn extend<T: IntoIterator<Item = Event>>(&mut self, iter: T) {
+        self.events.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a Event;
+    type IntoIter = std::slice::Iter<'a, Event>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Displays a [`Trace`] using a [`Vocab`]; created by [`Trace::display`].
+#[derive(Debug, Clone, Copy)]
+pub struct DisplayTrace<'a> {
+    trace: &'a Trace,
+    vocab: &'a Vocab,
+}
+
+impl fmt::Display for DisplayTrace<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, e) in self.trace.events.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{}", e.display(self.vocab))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Arg, Event, Var};
+
+    #[test]
+    fn build_and_display() {
+        let mut v = Vocab::new();
+        let f = v.op("f");
+        let g = v.op("g");
+        let mut t = Trace::empty();
+        assert!(t.is_empty());
+        t.push(Event::on_var(f, Var(0)));
+        t.extend([Event::new(g, vec![Arg::Var(Var(0)), Arg::Var(Var(1))])]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.display(&v).to_string(), "f(X) g(X,Y)");
+    }
+
+    #[test]
+    fn provenance_is_ignored_by_event_key() {
+        let mut v = Vocab::new();
+        let f = v.op("f");
+        let a = Trace::with_provenance(vec![Event::on_var(f, Var(0))], 3);
+        let b = Trace::new(vec![Event::on_var(f, Var(0))]);
+        assert_eq!(a.event_key(), b.event_key());
+        assert_eq!(a.provenance(), Some(3));
+        assert_eq!(b.provenance(), None);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let mut v = Vocab::new();
+        let f = v.op("f");
+        let t: Trace = (0..3).map(|i| Event::on_var(f, Var(i))).collect();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.iter().count(), 3);
+    }
+}

@@ -1,0 +1,106 @@
+//! The shared vocabulary of operation and atom names.
+
+use cable_util::{Interner, Symbol};
+
+/// Interns the operation names (`fopen`, `XtFree`, …) and atom constants
+/// appearing in events.
+///
+/// A [`Vocab`] is shared by the traces, the automata whose transition
+/// labels mention the same operations, and the miner; everything that
+/// prints events takes a `&Vocab`.
+///
+/// # Examples
+///
+/// ```
+/// use cable_trace::Vocab;
+///
+/// let mut v = Vocab::new();
+/// let fopen = v.op("fopen");
+/// assert_eq!(v.op_name(fopen), "fopen");
+/// assert_eq!(v.op("fopen"), fopen);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct Vocab {
+    ops: Interner,
+    atoms: Interner,
+}
+
+impl Vocab {
+    /// Creates an empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns an operation name.
+    pub fn op(&mut self, name: &str) -> Symbol {
+        self.ops.intern(name)
+    }
+
+    /// Looks up an operation name without interning.
+    pub fn find_op(&self, name: &str) -> Option<Symbol> {
+        self.ops.get(name)
+    }
+
+    /// Resolves an operation symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` was not produced by this vocabulary.
+    pub fn op_name(&self, sym: Symbol) -> &str {
+        self.ops.resolve(sym)
+    }
+
+    /// Interns an atom constant.
+    pub fn atom(&mut self, name: &str) -> Symbol {
+        self.atoms.intern(name)
+    }
+
+    /// Looks up an atom without interning.
+    pub fn find_atom(&self, name: &str) -> Option<Symbol> {
+        self.atoms.get(name)
+    }
+
+    /// Resolves an atom symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` was not produced by this vocabulary.
+    pub fn atom_name(&self, sym: Symbol) -> &str {
+        self.atoms.resolve(sym)
+    }
+
+    /// Number of distinct operations interned.
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Iterates over all interned operations.
+    pub fn ops(&self) -> impl Iterator<Item = (Symbol, &str)> {
+        self.ops.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ops_and_atoms_are_separate_namespaces() {
+        let mut v = Vocab::new();
+        let op = v.op("name");
+        let atom = v.atom("name");
+        // Same index in different interners is fine; resolution must go
+        // through the right accessor.
+        assert_eq!(v.op_name(op), "name");
+        assert_eq!(v.atom_name(atom), "name");
+        assert_eq!(v.op_count(), 1);
+    }
+
+    #[test]
+    fn find_does_not_intern() {
+        let mut v = Vocab::new();
+        assert!(v.find_op("f").is_none());
+        let f = v.op("f");
+        assert_eq!(v.find_op("f"), Some(f));
+    }
+}

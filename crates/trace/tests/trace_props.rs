@@ -1,0 +1,111 @@
+//! Property tests for the trace model: the text format round-trips, and
+//! canonicalisation behaves like an α-renaming.
+
+use cable_trace::{canonicalize, Arg, Event, ObjId, Trace, TraceSet, Var, Vocab};
+use proptest::prelude::*;
+
+/// A random event over a small vocabulary: op index plus arguments drawn
+/// from object ids, variables, and atoms.
+fn arb_event() -> impl Strategy<Value = (usize, Vec<u8>)> {
+    // Argument codes: 0..=3 object ids, 4..=6 variables, 7..=8 atoms.
+    (0usize..5, prop::collection::vec(0u8..9, 0..3))
+}
+
+fn realize(events: &[(usize, Vec<u8>)], vocab: &mut Vocab) -> Trace {
+    Trace::new(
+        events
+            .iter()
+            .map(|(op, args)| {
+                Event::new(
+                    vocab.op(&format!("op{op}")),
+                    args.iter()
+                        .map(|&code| match code {
+                            0..=3 => Arg::Obj(ObjId(code as u64 * 7 + 1)),
+                            4..=6 => Arg::Var(Var(code - 4)),
+                            _ => Arg::Atom(vocab.atom(&format!("A{code}"))),
+                        })
+                        .collect(),
+                )
+            })
+            .collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn display_parse_round_trip(raw in prop::collection::vec(arb_event(), 0..8)) {
+        let mut vocab = Vocab::new();
+        let trace = realize(&raw, &mut vocab);
+        let shown = trace.display(&vocab).to_string();
+        let reparsed = Trace::parse(&shown, &mut vocab).expect("own output parses");
+        prop_assert_eq!(trace.event_key(), reparsed.event_key(), "{}", shown);
+    }
+
+    #[test]
+    fn canonicalize_is_idempotent(raw in prop::collection::vec(arb_event(), 0..8)) {
+        let mut vocab = Vocab::new();
+        let trace = realize(&raw, &mut vocab);
+        let once = canonicalize(&trace);
+        let twice = canonicalize(&once);
+        prop_assert_eq!(&once, &twice);
+        // No object ids survive canonicalisation.
+        prop_assert!(once.iter().all(|e| e.objects().count() == 0));
+    }
+
+    #[test]
+    fn canonicalize_is_invariant_under_object_renaming(
+        raw in prop::collection::vec(arb_event(), 0..8),
+        offset in 1u64..1000,
+    ) {
+        let mut vocab = Vocab::new();
+        let trace = realize(&raw, &mut vocab);
+        // Injectively rename every object id.
+        let renamed = Trace::new(
+            trace
+                .iter()
+                .map(|e| {
+                    Event::new(
+                        e.op,
+                        e.args
+                            .iter()
+                            .map(|&a| match a {
+                                Arg::Obj(ObjId(o)) => Arg::Obj(ObjId(o * 1009 + offset)),
+                                other => other,
+                            })
+                            .collect(),
+                    )
+                })
+                .collect(),
+        );
+        prop_assert_eq!(canonicalize(&trace), canonicalize(&renamed));
+    }
+
+    #[test]
+    fn identical_classes_partition(
+        raw in prop::collection::vec(prop::collection::vec(arb_event(), 0..4), 0..10),
+    ) {
+        let mut vocab = Vocab::new();
+        let set: TraceSet = raw.iter().map(|t| realize(t, &mut vocab)).collect();
+        let classes = set.identical_classes();
+        // Every trace in exactly one class.
+        let mut seen = std::collections::HashSet::new();
+        for class in &classes {
+            for &m in &class.members {
+                prop_assert!(seen.insert(m), "trace in two classes");
+                prop_assert_eq!(
+                    set.trace(m).event_key(),
+                    set.trace(class.representative).event_key()
+                );
+            }
+        }
+        prop_assert_eq!(seen.len(), set.len());
+        // Distinct representatives have distinct keys.
+        let keys: std::collections::HashSet<_> = classes
+            .iter()
+            .map(|c| set.trace(c.representative).event_key().to_vec())
+            .collect();
+        prop_assert_eq!(keys.len(), classes.len());
+    }
+}

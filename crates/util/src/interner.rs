@@ -1,0 +1,148 @@
+//! String interning.
+//!
+//! Event names (`fopen`, `XtFree`, …) appear in every trace event and every
+//! automaton transition, so they are interned once per [`Interner`] and
+//! passed around as copyable [`Symbol`]s. Each subsystem owns its interner;
+//! there is no global state.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned string. Only meaningful relative to the [`Interner`] that
+/// produced it.
+///
+/// # Examples
+///
+/// ```
+/// use cable_util::Interner;
+///
+/// let mut i = Interner::new();
+/// let a = i.intern("fopen");
+/// let b = i.intern("fopen");
+/// assert_eq!(a, b);
+/// assert_eq!(i.resolve(a), "fopen");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// The raw index of this symbol in its interner.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a symbol from a raw index.
+    ///
+    /// Useful when symbols are used as dense table keys; resolving a symbol
+    /// fabricated for an unrelated interner will panic or return an
+    /// arbitrary string.
+    pub fn from_index(index: usize) -> Self {
+        Symbol(u32::try_from(index).expect("symbol index overflow"))
+    }
+}
+
+/// An append-only string interner.
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    map: HashMap<String, Symbol>,
+    strings: Vec<String>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `s`, returning the existing symbol if seen before.
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        if let Some(&sym) = self.map.get(s) {
+            return sym;
+        }
+        let sym = Symbol(u32::try_from(self.strings.len()).expect("too many symbols"));
+        self.strings.push(s.to_owned());
+        self.map.insert(s.to_owned(), sym);
+        sym
+    }
+
+    /// Looks up a symbol without interning.
+    pub fn get(&self, s: &str) -> Option<Symbol> {
+        self.map.get(s).copied()
+    }
+
+    /// Resolves a symbol back to its string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` did not come from this interner.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.strings[sym.index()]
+    }
+
+    /// Number of distinct strings interned.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Tests whether nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Iterates over `(symbol, string)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> {
+        self.strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (Symbol(i as u32), s.as_str()))
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sym#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("x");
+        let b = i.intern("y");
+        let a2 = i.intern("x");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.resolve(a), "x");
+        assert_eq!(i.resolve(b), "y");
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut i = Interner::new();
+        assert_eq!(i.get("z"), None);
+        let z = i.intern("z");
+        assert_eq!(i.get("z"), Some(z));
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let mut i = Interner::new();
+        i.intern("a");
+        i.intern("b");
+        let all: Vec<&str> = i.iter().map(|(_, s)| s).collect();
+        assert_eq!(all, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn symbol_index_round_trip() {
+        let mut i = Interner::new();
+        let s = i.intern("roundtrip");
+        assert_eq!(Symbol::from_index(s.index()), s);
+    }
+}

@@ -1,0 +1,120 @@
+//! Deterministic randomness.
+//!
+//! Everything stochastic in the reproduction — workload generation, the
+//! Random labeling strategy, tie-breaking in Top-down/Bottom-up traversals —
+//! is driven by a seeded [`rand::rngs::SmallRng`] obtained through this
+//! module, so the whole experiment suite is replayable bit-for-bit.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Creates a deterministic RNG from a 64-bit seed.
+///
+/// # Examples
+///
+/// ```
+/// use rand::Rng;
+/// let mut a = cable_util::rng::seeded(7);
+/// let mut b = cable_util::rng::seeded(7);
+/// assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+/// ```
+pub fn seeded(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+/// Derives a child seed from a parent seed and a stream label, so parallel
+/// experiment arms do not share streams.
+///
+/// Uses the SplitMix64 finaliser, which is a bijection with good avalanche
+/// behaviour.
+pub fn derive_seed(parent: u64, stream: u64) -> u64 {
+    let mut z = parent ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Fisher–Yates shuffles a slice in place with the given RNG.
+pub fn shuffle<T, R: Rng>(slice: &mut [T], rng: &mut R) {
+    for i in (1..slice.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        slice.swap(i, j);
+    }
+}
+
+/// Samples an index according to non-negative weights.
+///
+/// Returns `None` if all weights are zero or the slice is empty.
+pub fn weighted_index<R: Rng>(weights: &[f64], rng: &mut R) -> Option<usize> {
+    let total: f64 = weights.iter().copied().filter(|w| *w > 0.0).sum();
+    if total <= 0.0 {
+        return None;
+    }
+    let mut x = rng.gen_range(0.0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if w <= 0.0 {
+            continue;
+        }
+        if x < w {
+            return Some(i);
+        }
+        x -= w;
+    }
+    // Floating point slack: fall back to the last positive weight.
+    weights.iter().rposition(|&w| w > 0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_is_deterministic() {
+        let mut a = seeded(42);
+        let mut b = seeded(42);
+        let xs: Vec<u32> = (0..16).map(|_| a.gen()).collect();
+        let ys: Vec<u32> = (0..16).map(|_| b.gen()).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn derive_seed_separates_streams() {
+        assert_ne!(derive_seed(1, 0), derive_seed(1, 1));
+        assert_ne!(derive_seed(1, 0), derive_seed(2, 0));
+        // Deterministic.
+        assert_eq!(derive_seed(5, 9), derive_seed(5, 9));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut v: Vec<u32> = (0..100).collect();
+        let mut rng = seeded(3);
+        shuffle(&mut v, &mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "astronomically unlikely");
+    }
+
+    #[test]
+    fn weighted_index_respects_zeros() {
+        let mut rng = seeded(11);
+        for _ in 0..100 {
+            let i = weighted_index(&[0.0, 2.0, 0.0, 1.0], &mut rng).unwrap();
+            assert!(i == 1 || i == 3);
+        }
+        assert_eq!(weighted_index(&[0.0, 0.0], &mut rng), None);
+        assert_eq!(weighted_index::<rand::rngs::SmallRng>(&[], &mut rng), None);
+    }
+
+    #[test]
+    fn weighted_index_is_roughly_proportional() {
+        let mut rng = seeded(17);
+        let mut counts = [0usize; 2];
+        for _ in 0..10_000 {
+            counts[weighted_index(&[1.0, 3.0], &mut rng).unwrap()] += 1;
+        }
+        let ratio = counts[1] as f64 / counts[0] as f64;
+        assert!((2.0..4.0).contains(&ratio), "ratio {ratio}");
+    }
+}

@@ -1,0 +1,122 @@
+//! Tiny summary statistics for the benchmark tables.
+
+/// Arithmetic mean; `None` for an empty slice.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs.iter().sum::<f64>() / xs.len() as f64)
+    }
+}
+
+/// Sample median (average of middle pair for even lengths); `None` for an
+/// empty slice.
+pub fn median(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in median input"));
+    let n = v.len();
+    Some(if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    })
+}
+
+/// Minimum of a non-empty slice.
+pub fn min(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().reduce(f64::min)
+}
+
+/// Maximum of a non-empty slice.
+pub fn max(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().reduce(f64::max)
+}
+
+/// Population standard deviation; `None` for an empty slice.
+pub fn stddev(xs: &[f64]) -> Option<f64> {
+    let m = mean(xs)?;
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64;
+    Some(var.sqrt())
+}
+
+/// Ordinary least-squares fit `y = a + b·x`, returning `(a, b)`.
+///
+/// Used to check the paper's claim that lattice size grows roughly
+/// linearly with the number of FA transitions. Returns `None` when fewer
+/// than two points or zero variance in `x`.
+pub fn linear_fit(points: &[(f64, f64)]) -> Option<(f64, f64)> {
+    if points.len() < 2 {
+        return None;
+    }
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    let b = (n * sxy - sx * sy) / denom;
+    let a = (sy - b * sx) / n;
+    Some((a, b))
+}
+
+/// Coefficient of determination R² for a linear fit.
+pub fn r_squared(points: &[(f64, f64)], a: f64, b: f64) -> f64 {
+    let ys: Vec<f64> = points.iter().map(|p| p.1).collect();
+    let m = mean(&ys).unwrap_or(0.0);
+    let ss_tot: f64 = ys.iter().map(|y| (y - m) * (y - m)).sum();
+    let ss_res: f64 = points
+        .iter()
+        .map(|&(x, y)| {
+            let e = y - (a + b * x);
+            e * e
+        })
+        .sum();
+    if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_median_basic() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), Some(2.0));
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), Some(2.5));
+        assert_eq!(mean(&[]), None);
+        assert_eq!(median(&[]), None);
+    }
+
+    #[test]
+    fn min_max_stddev() {
+        assert_eq!(min(&[2.0, -1.0, 5.0]), Some(-1.0));
+        assert_eq!(max(&[2.0, -1.0, 5.0]), Some(5.0));
+        assert!(stddev(&[2.0, 2.0, 2.0]).unwrap().abs() < 1e-12);
+        assert_eq!(stddev(&[]), None);
+    }
+
+    #[test]
+    fn exact_linear_fit() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 + 2.0 * i as f64)).collect();
+        let (a, b) = linear_fit(&pts).unwrap();
+        assert!((a - 3.0).abs() < 1e-9);
+        assert!((b - 2.0).abs() < 1e-9);
+        assert!((r_squared(&pts, a, b) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_fit() {
+        assert_eq!(linear_fit(&[(1.0, 2.0)]), None);
+        assert_eq!(linear_fit(&[(1.0, 2.0), (1.0, 3.0)]), None);
+    }
+}

@@ -1,0 +1,76 @@
+//! Property-based tests for `BitSet` against `BTreeSet` as a model.
+
+use cable_util::BitSet;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn model_pair() -> impl Strategy<Value = (Vec<usize>, Vec<usize>)> {
+    (
+        prop::collection::vec(0usize..300, 0..60),
+        prop::collection::vec(0usize..300, 0..60),
+    )
+}
+
+fn to_sets(v: &[usize]) -> (BitSet, BTreeSet<usize>) {
+    (v.iter().copied().collect(), v.iter().copied().collect())
+}
+
+proptest! {
+    #[test]
+    fn len_matches_model(v in prop::collection::vec(0usize..500, 0..100)) {
+        let (b, m) = to_sets(&v);
+        prop_assert_eq!(b.len(), m.len());
+        prop_assert_eq!(b.is_empty(), m.is_empty());
+    }
+
+    #[test]
+    fn iter_matches_model(v in prop::collection::vec(0usize..500, 0..100)) {
+        let (b, m) = to_sets(&v);
+        prop_assert_eq!(b.to_vec(), m.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn algebra_matches_model((x, y) in model_pair()) {
+        let (bx, mx) = to_sets(&x);
+        let (by, my) = to_sets(&y);
+        let inter: Vec<usize> = mx.intersection(&my).copied().collect();
+        let union: Vec<usize> = mx.union(&my).copied().collect();
+        let diff: Vec<usize> = mx.difference(&my).copied().collect();
+        let sym: Vec<usize> = mx.symmetric_difference(&my).copied().collect();
+        prop_assert_eq!(bx.intersection(&by).to_vec(), inter);
+        prop_assert_eq!(bx.union(&by).to_vec(), union);
+        prop_assert_eq!(bx.difference(&by).to_vec(), diff);
+        prop_assert_eq!(bx.symmetric_difference(&by).to_vec(), sym);
+        prop_assert_eq!(bx.intersection_len(&by), bx.intersection(&by).len());
+        prop_assert_eq!(bx.is_subset(&by), mx.is_subset(&my));
+        prop_assert_eq!(bx.is_disjoint(&by), mx.is_disjoint(&my));
+    }
+
+    #[test]
+    fn insert_remove_round_trip(v in prop::collection::vec(0usize..500, 0..100), x in 0usize..500) {
+        let (mut b, mut m) = to_sets(&v);
+        prop_assert_eq!(b.insert(x), m.insert(x));
+        prop_assert_eq!(b.to_vec(), m.iter().copied().collect::<Vec<_>>());
+        prop_assert_eq!(b.remove(x), m.remove(&x));
+        prop_assert_eq!(b.to_vec(), m.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn first_last_match_model(v in prop::collection::vec(0usize..500, 0..100)) {
+        let (b, m) = to_sets(&v);
+        prop_assert_eq!(b.first(), m.iter().next().copied());
+        prop_assert_eq!(b.last(), m.iter().next_back().copied());
+    }
+
+    #[test]
+    fn union_is_lub((x, y) in model_pair()) {
+        let (bx, _) = to_sets(&x);
+        let (by, _) = to_sets(&y);
+        let u = bx.union(&by);
+        prop_assert!(bx.is_subset(&u));
+        prop_assert!(by.is_subset(&u));
+        let i = bx.intersection(&by);
+        prop_assert!(i.is_subset(&bx));
+        prop_assert!(i.is_subset(&by));
+    }
+}

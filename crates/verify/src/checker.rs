@@ -1,0 +1,204 @@
+//! The checker: producing violation traces from program traces.
+
+use crate::rank::OpStats;
+use crate::report::ViolationReport;
+use cable_fa::Fa;
+use cable_trace::{canonicalize, ObjId, Trace, TraceSet, Vocab};
+use cable_util::Symbol;
+use std::collections::{BTreeMap, HashSet};
+
+/// Checks program traces against a specification FA, reporting the
+/// per-object scenarios the specification rejects.
+///
+/// # Examples
+///
+/// ```
+/// use cable_verify::Checker;
+/// use cable_fa::Fa;
+/// use cable_trace::{Trace, Vocab};
+///
+/// let mut v = Vocab::new();
+/// let spec = Fa::parse(
+///     "start s0\naccept s2\ns0 -> s1 : open(X)\ns1 -> s2 : close(X)\n",
+///     &mut v,
+/// ).unwrap();
+/// let program = Trace::parse("open(#1) open(#2) close(#1)", &mut v).unwrap();
+/// let report = Checker::new(spec).check(&[program], &v);
+/// assert_eq!(report.violations.len(), 1); // #2 leaked
+/// ```
+#[derive(Debug, Clone)]
+pub struct Checker {
+    spec: Fa,
+}
+
+impl Checker {
+    /// Creates a checker for a specification.
+    pub fn new(spec: Fa) -> Self {
+        Checker { spec }
+    }
+
+    /// The specification being checked.
+    pub fn spec(&self) -> &Fa {
+        &self.spec
+    }
+
+    /// The operations mentioned by the specification's transition labels.
+    fn alphabet_ops(&self) -> HashSet<Symbol> {
+        self.spec
+            .transitions()
+            .iter()
+            .filter_map(|t| t.label.as_pat())
+            .map(|p| p.op)
+            .collect()
+    }
+
+    /// Slices the per-object scenarios of one program trace that are
+    /// *relevant* to the specification: objects touched by at least one
+    /// operation in the specification's alphabet. Each scenario keeps
+    /// every event mentioning its object (including irrelevant calls, as
+    /// the paper notes real tools do) and is canonicalised.
+    pub fn scenarios(&self, trace: &Trace, _vocab: &Vocab) -> Vec<Trace> {
+        let ops = self.alphabet_ops();
+        let mut seen: HashSet<ObjId> = HashSet::new();
+        let mut roots: Vec<ObjId> = Vec::new();
+        for e in trace.iter() {
+            if ops.contains(&e.op) {
+                for obj in e.objects() {
+                    if seen.insert(obj) {
+                        roots.push(obj);
+                    }
+                }
+            }
+        }
+        roots
+            .into_iter()
+            .map(|obj| {
+                let mut s = Trace::new(
+                    trace
+                        .iter()
+                        .filter(|e| e.mentions_obj(obj))
+                        .cloned()
+                        .collect(),
+                );
+                if let Some(p) = trace.provenance() {
+                    s.set_provenance(p);
+                }
+                canonicalize(&s)
+            })
+            .collect()
+    }
+
+    /// Checks a set of program traces, reporting every rejected scenario
+    /// as a violation trace.
+    pub fn check(&self, program_traces: &[Trace], vocab: &Vocab) -> ViolationReport {
+        self.check_with_stats(program_traces, vocab).0
+    }
+
+    /// Like [`Checker::check`], but also returns per-leading-operation
+    /// conformance statistics, the input to z-ranking
+    /// ([`crate::RankedReport`]).
+    pub fn check_with_stats(
+        &self,
+        program_traces: &[Trace],
+        vocab: &Vocab,
+    ) -> (ViolationReport, BTreeMap<Symbol, OpStats>) {
+        let mut violations = TraceSet::new();
+        let mut checked = 0usize;
+        let mut stats: BTreeMap<Symbol, OpStats> = BTreeMap::new();
+        for t in program_traces {
+            for scenario in self.scenarios(t, vocab) {
+                checked += 1;
+                let accepted = self.spec.accepts(&scenario);
+                if let Some(op) = crate::rank::leading_op(&scenario) {
+                    let entry = stats.entry(op).or_default();
+                    if accepted {
+                        entry.passed += 1;
+                    } else {
+                        entry.failed += 1;
+                    }
+                }
+                if !accepted {
+                    violations.push(scenario);
+                }
+            }
+        }
+        (
+            ViolationReport {
+                violations,
+                scenarios_checked: checked,
+            },
+            stats,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(v: &mut Vocab) -> Fa {
+        Fa::parse(
+            "start s0\naccept s2\ns0 -> s1 : open(X)\ns1 -> s1 : read(X)\ns1 -> s2 : close(X)\n",
+            v,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn accepting_programs_produce_no_violations() {
+        let mut v = Vocab::new();
+        let s = spec(&mut v);
+        let program = Trace::parse("open(#1) read(#1) close(#1)", &mut v).unwrap();
+        let report = Checker::new(s).check(&[program], &v);
+        assert!(report.violations.is_empty());
+        assert_eq!(report.scenarios_checked, 1);
+    }
+
+    #[test]
+    fn leaks_and_wrong_order_are_reported() {
+        let mut v = Vocab::new();
+        let s = spec(&mut v);
+        let programs = vec![
+            Trace::parse("open(#1)", &mut v).unwrap(),           // leak
+            Trace::parse("close(#2) open(#2)", &mut v).unwrap(), // wrong order
+        ];
+        let report = Checker::new(s).check(&programs, &v);
+        assert_eq!(report.violations.len(), 2);
+        assert_eq!(report.scenarios_checked, 2);
+    }
+
+    #[test]
+    fn irrelevant_objects_are_not_checked() {
+        let mut v = Vocab::new();
+        let s = spec(&mut v);
+        let program = Trace::parse("log(#9) open(#1) close(#1)", &mut v).unwrap();
+        let report = Checker::new(s).check(&[program], &v);
+        assert_eq!(report.scenarios_checked, 1);
+        assert!(report.violations.is_empty());
+    }
+
+    #[test]
+    fn violations_keep_provenance() {
+        let mut v = Vocab::new();
+        let s = spec(&mut v);
+        let mut program = Trace::parse("open(#1)", &mut v).unwrap();
+        program.set_provenance(42);
+        let report = Checker::new(s).check(&[program], &v);
+        let (_, t) = report.violations.iter().next().unwrap();
+        assert_eq!(t.provenance(), Some(42));
+    }
+
+    #[test]
+    fn scenarios_include_irrelevant_calls_on_the_object() {
+        let mut v = Vocab::new();
+        let s = spec(&mut v);
+        // `flush` is not in the spec alphabet but touches #1.
+        let program = Trace::parse("open(#1) flush(#1) close(#1)", &mut v).unwrap();
+        let checker = Checker::new(s);
+        let scenarios = checker.scenarios(&program, &v);
+        assert_eq!(scenarios[0].len(), 3, "irrelevant call kept");
+        // And therefore it is a violation (the spec has no flush edge).
+        let report = checker.check(&[program], &v);
+        assert_eq!(report.violations.len(), 1);
+    }
+}

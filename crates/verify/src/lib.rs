@@ -1,0 +1,24 @@
+//! A trace-level specification checker.
+//!
+//! §2.1 debugs a specification *by testing*: a verification tool checks
+//! the specification against programs and reports **violation traces** —
+//! "program execution traces that appear to occur in the program but are
+//! not accepted by the FA". The paper's verifier is a static tool; this
+//! crate substitutes a dynamic, trace-level checker that produces the
+//! same artifact from the workload simulator's program traces:
+//!
+//! 1. for every object mentioned by an operation in the specification's
+//!    alphabet, slice out its per-object event sequence,
+//! 2. canonicalise it,
+//! 3. report it as a violation if the specification FA rejects it.
+//!
+//! The [`ViolationReport`] also aggregates per-program bug counts — the
+//! analog of the paper's "199 bugs in widely distributed X11 programs".
+
+pub mod checker;
+pub mod rank;
+pub mod report;
+
+pub use checker::Checker;
+pub use rank::{OpStats, RankedClass, RankedReport};
+pub use report::{BugSummary, ViolationReport};

@@ -1,0 +1,242 @@
+//! Ranking violation reports.
+//!
+//! §6 discusses Xgcc-style tools that *rank* bug reports "so that the
+//! user sees likely bugs before likely false positives" and argues that
+//! "ranking and clustering are complementary: ranking tells the user
+//! what reports to inspect first, while clustering helps the user avoid
+//! inspecting redundant reports". This module implements the classic
+//! z-ranking heuristic so the reproduction can demonstrate that
+//! complementarity:
+//!
+//! a violation is likely a *real bug* when the rule it violates usually
+//! holds — i.e. when scenarios seeded by the same operation mostly
+//! conform to the specification. Violations of a rule that "fails"
+//! constantly (e.g. every `popen` scenario rejected by the buggy
+//! Figure 1 spec) are likely *specification* errors, not program
+//! errors.
+
+use crate::report::ViolationReport;
+use cable_trace::{Trace, TraceId};
+use cable_util::Symbol;
+use std::collections::BTreeMap;
+
+/// Per-operation conformance statistics collected during checking:
+/// how many scenarios whose first event has this operation were accepted
+/// vs rejected by the specification.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OpStats {
+    /// Scenarios accepted by the specification.
+    pub passed: usize,
+    /// Scenarios rejected (reported as violations).
+    pub failed: usize,
+}
+
+impl OpStats {
+    /// The conformance rate `passed / (passed + failed)`; 0 when the
+    /// operation was never checked.
+    pub fn pass_rate(&self) -> f64 {
+        let total = self.passed + self.failed;
+        if total == 0 {
+            0.0
+        } else {
+            self.passed as f64 / total as f64
+        }
+    }
+}
+
+/// A class of identical violation traces with its rank score.
+#[derive(Debug, Clone)]
+pub struct RankedClass {
+    /// Representative violation trace id (into the report's trace set).
+    pub representative: TraceId,
+    /// How many identical violations the class holds.
+    pub count: usize,
+    /// The z-ranking score: the conformance rate of the class's leading
+    /// operation. High score ⇒ the rule usually holds ⇒ the violation is
+    /// likely a real bug.
+    pub score: f64,
+}
+
+/// A ranked view of a [`ViolationReport`].
+#[derive(Debug, Clone)]
+pub struct RankedReport {
+    classes: Vec<RankedClass>,
+}
+
+impl RankedReport {
+    /// Ranks the violation classes of a report: highest score first
+    /// (ties: larger classes first, then representative order — stable).
+    ///
+    /// `op_stats` maps each leading operation to its conformance
+    /// statistics; [`crate::Checker::check_with_stats`] produces it.
+    pub fn new(report: &ViolationReport, op_stats: &BTreeMap<Symbol, OpStats>) -> Self {
+        let mut classes: Vec<RankedClass> = report
+            .violations
+            .identical_classes()
+            .iter()
+            .map(|class| {
+                let trace = report.violations.trace(class.representative);
+                let score = leading_op(trace)
+                    .and_then(|op| op_stats.get(&op))
+                    .map(OpStats::pass_rate)
+                    .unwrap_or(0.0);
+                RankedClass {
+                    representative: class.representative,
+                    count: class.count(),
+                    score,
+                }
+            })
+            .collect();
+        classes.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .expect("scores are not NaN")
+                .then_with(|| b.count.cmp(&a.count))
+                .then_with(|| a.representative.cmp(&b.representative))
+        });
+        RankedReport { classes }
+    }
+
+    /// The ranked classes, most-likely-real-bug first.
+    pub fn classes(&self) -> &[RankedClass] {
+        &self.classes
+    }
+
+    /// Number of ranked classes.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Tests whether there are no violations at all.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Precision at `k`: the fraction of the first `k` classes that
+    /// `is_real_bug` confirms. Useful for evaluating the heuristic
+    /// against an oracle.
+    pub fn precision_at<F>(&self, k: usize, mut is_real_bug: F) -> f64
+    where
+        F: FnMut(TraceId) -> bool,
+    {
+        let k = k.min(self.classes.len());
+        if k == 0 {
+            return 0.0;
+        }
+        let hits = self.classes[..k]
+            .iter()
+            .filter(|c| is_real_bug(c.representative))
+            .count();
+        hits as f64 / k as f64
+    }
+}
+
+/// The operation of a trace's first event.
+pub fn leading_op(trace: &Trace) -> Option<Symbol> {
+    trace.events().first().map(|e| e.op)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cable_trace::{TraceSet, Vocab};
+
+    fn report_with(
+        texts: &[&str],
+        vocab: &mut Vocab,
+    ) -> (ViolationReport, BTreeMap<Symbol, OpStats>) {
+        let mut violations = TraceSet::new();
+        for t in texts {
+            violations.push(Trace::parse(t, vocab).unwrap());
+        }
+        let report = ViolationReport {
+            violations,
+            scenarios_checked: texts.len() + 10,
+        };
+        (report, BTreeMap::new())
+    }
+
+    #[test]
+    fn ranks_by_pass_rate_of_leading_op() {
+        let mut v = Vocab::new();
+        let (report, mut stats) = report_with(&["fopen(X)", "popen(X) pclose(X)"], &mut v);
+        // fopen usually conforms (19/20); popen never does (0/5).
+        stats.insert(
+            v.op("fopen"),
+            OpStats {
+                passed: 19,
+                failed: 1,
+            },
+        );
+        stats.insert(
+            v.op("popen"),
+            OpStats {
+                passed: 0,
+                failed: 5,
+            },
+        );
+        let ranked = RankedReport::new(&report, &stats);
+        assert_eq!(ranked.len(), 2);
+        let first = report.violations.trace(ranked.classes()[0].representative);
+        assert_eq!(v.op_name(first.events()[0].op), "fopen");
+        assert!(ranked.classes()[0].score > ranked.classes()[1].score);
+    }
+
+    #[test]
+    fn duplicate_violations_form_one_class() {
+        let mut v = Vocab::new();
+        let (report, stats) = report_with(&["f(X)", "f(X)", "g(X)"], &mut v);
+        let ranked = RankedReport::new(&report, &stats);
+        assert_eq!(ranked.len(), 2);
+        assert_eq!(ranked.classes().iter().map(|c| c.count).sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn precision_at_k() {
+        let mut v = Vocab::new();
+        let (report, mut stats) = report_with(&["real(X)", "fp(X)"], &mut v);
+        stats.insert(
+            v.op("real"),
+            OpStats {
+                passed: 9,
+                failed: 1,
+            },
+        );
+        stats.insert(
+            v.op("fp"),
+            OpStats {
+                passed: 0,
+                failed: 9,
+            },
+        );
+        let ranked = RankedReport::new(&report, &stats);
+        let real = v.op("real");
+        let is_real = |id: TraceId| report.violations.trace(id).events()[0].op == real;
+        assert_eq!(ranked.precision_at(1, is_real), 1.0);
+        assert_eq!(ranked.precision_at(2, is_real), 0.5);
+        assert_eq!(ranked.precision_at(0, is_real), 0.0);
+        // k beyond the class count clamps.
+        assert_eq!(ranked.precision_at(99, is_real), 0.5);
+    }
+
+    #[test]
+    fn pass_rate_edge_cases() {
+        assert_eq!(OpStats::default().pass_rate(), 0.0);
+        assert_eq!(
+            OpStats {
+                passed: 3,
+                failed: 1
+            }
+            .pass_rate(),
+            0.75
+        );
+    }
+
+    #[test]
+    fn empty_report_is_empty() {
+        let mut v = Vocab::new();
+        let (report, stats) = report_with(&[], &mut v);
+        let ranked = RankedReport::new(&report, &stats);
+        assert!(ranked.is_empty());
+    }
+}

@@ -1,0 +1,99 @@
+//! Violation reports and bug summaries.
+
+use cable_trace::TraceSet;
+use std::collections::BTreeMap;
+
+/// The result of checking a workload against a specification.
+#[derive(Debug, Clone)]
+pub struct ViolationReport {
+    /// The violation traces (canonical per-object scenarios rejected by
+    /// the specification), with program provenance.
+    pub violations: TraceSet,
+    /// How many scenarios were checked in total.
+    pub scenarios_checked: usize,
+}
+
+impl ViolationReport {
+    /// The violation rate over all checked scenarios.
+    pub fn violation_rate(&self) -> f64 {
+        if self.scenarios_checked == 0 {
+            0.0
+        } else {
+            self.violations.len() as f64 / self.scenarios_checked as f64
+        }
+    }
+
+    /// Aggregates violations per program — the shape of the paper's "199
+    /// bugs in widely distributed X11 programs" claim.
+    pub fn bug_summary(&self) -> BugSummary {
+        let mut per_program: BTreeMap<u32, usize> = BTreeMap::new();
+        for (_, t) in self.violations.iter() {
+            if let Some(p) = t.provenance() {
+                *per_program.entry(p).or_insert(0) += 1;
+            }
+        }
+        BugSummary {
+            total: self.violations.len(),
+            per_program,
+        }
+    }
+}
+
+/// Bug counts aggregated per program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BugSummary {
+    /// Total number of violating scenarios.
+    pub total: usize,
+    /// Violations per program index.
+    pub per_program: BTreeMap<u32, usize>,
+}
+
+impl BugSummary {
+    /// Number of distinct buggy programs.
+    pub fn buggy_programs(&self) -> usize {
+        self.per_program.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cable_trace::{Trace, Vocab};
+
+    #[test]
+    fn summary_groups_by_program() {
+        let mut v = Vocab::new();
+        let mut violations = TraceSet::new();
+        violations.push(Trace::with_provenance(
+            Trace::parse("open(X)", &mut v).unwrap().events().to_vec(),
+            0,
+        ));
+        violations.push(Trace::with_provenance(
+            Trace::parse("open(X)", &mut v).unwrap().events().to_vec(),
+            0,
+        ));
+        violations.push(Trace::with_provenance(
+            Trace::parse("close(X)", &mut v).unwrap().events().to_vec(),
+            3,
+        ));
+        let report = ViolationReport {
+            violations,
+            scenarios_checked: 10,
+        };
+        let summary = report.bug_summary();
+        assert_eq!(summary.total, 3);
+        assert_eq!(summary.buggy_programs(), 2);
+        assert_eq!(summary.per_program[&0], 2);
+        assert!((report.violation_rate() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report() {
+        let report = ViolationReport {
+            violations: TraceSet::new(),
+            scenarios_checked: 0,
+        };
+        assert_eq!(report.violation_rate(), 0.0);
+        assert_eq!(report.bug_summary().total, 0);
+    }
+}

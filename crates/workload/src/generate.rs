@@ -1,0 +1,286 @@
+//! The program-trace generator.
+
+use crate::model::ProtocolModel;
+use cable_trace::{Arg, Event, ObjId, Trace, Vocab};
+use cable_util::rng::{seeded, shuffle};
+use rand::Rng;
+
+/// Parameters of a generated workload.
+///
+/// Defaults approximate the paper's corpus scale: 72 programs, a handful
+/// of protocol objects per program, a ~15% erroneous-object rate (the
+/// training runs "often" contain errors), and light unrelated noise.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadParams {
+    /// Number of program traces to generate.
+    pub programs: usize,
+    /// Inclusive range of protocol objects per program.
+    pub objects_per_program: (usize, usize),
+    /// Probability that an object's usage is drawn from the erroneous
+    /// shapes.
+    pub error_rate: f64,
+    /// Expected number of noise events per protocol object.
+    pub noise_per_object: f64,
+    /// RNG seed; the same seed reproduces the same workload exactly.
+    pub seed: u64,
+}
+
+impl Default for WorkloadParams {
+    fn default() -> Self {
+        WorkloadParams {
+            programs: 72,
+            objects_per_program: (1, 6),
+            error_rate: 0.15,
+            noise_per_object: 1.0,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Generates a workload of program traces from a protocol model.
+///
+/// Each program trace is the random interleaving (preserving per-object
+/// order) of the event sequences of its objects, with noise events on
+/// fresh unrelated objects mixed in. Object identities are unique across
+/// the whole workload.
+///
+/// # Panics
+///
+/// Panics if the model's correct shape mixture is empty, or the erroneous
+/// mixture is empty while `error_rate > 0`.
+///
+/// # Examples
+///
+/// ```
+/// use cable_workload::{generate, WorkloadParams, ProtocolModel, ScenarioShape};
+/// use cable_workload::shape::ShapeMix;
+/// use cable_trace::Vocab;
+///
+/// let model = ProtocolModel {
+///     name: "Toy".into(),
+///     description: "open/close".into(),
+///     ground_truth_text: "start s0\naccept s2\ns0 -> s1 : open(X)\ns1 -> s2 : close(X)\n".into(),
+///     seed_ops: vec!["open".into()],
+///     correct: ShapeMix::new(vec![(1.0, ScenarioShape::fixed(&["open", "close"]))]),
+///     erroneous: ShapeMix::new(vec![(1.0, ScenarioShape::fixed(&["open"]))]),
+///     noise_ops: vec!["log".into()],
+/// };
+/// let mut v = Vocab::new();
+/// let traces = generate(&model, &WorkloadParams { programs: 10, ..Default::default() }, &mut v);
+/// assert_eq!(traces.len(), 10);
+/// ```
+pub fn generate(model: &ProtocolModel, params: &WorkloadParams, vocab: &mut Vocab) -> Vec<Trace> {
+    assert!(!model.correct.is_empty(), "model has no correct shapes");
+    assert!(
+        params.error_rate == 0.0 || !model.erroneous.is_empty(),
+        "positive error rate requires erroneous shapes"
+    );
+    let mut rng = seeded(params.seed);
+    let mut next_obj: u64 = 1;
+    let mut traces = Vec::with_capacity(params.programs);
+    for program in 0..params.programs {
+        let (lo, hi) = params.objects_per_program;
+        let n_objects = rng.gen_range(lo..=hi.max(lo));
+        // Per-object event sequences.
+        let mut streams: Vec<Vec<Event>> = Vec::new();
+        for _ in 0..n_objects {
+            let obj = ObjId(next_obj);
+            next_obj += 1;
+            let erroneous = rng.gen_range(0.0..1.0) < params.error_rate;
+            let ops = if erroneous {
+                model.erroneous.sample(&mut rng)
+            } else {
+                model.correct.sample(&mut rng)
+            };
+            streams.push(
+                ops.iter()
+                    .map(|op| op.event(Arg::Obj(obj), vocab))
+                    .collect(),
+            );
+            // Noise events, each on its own fresh object.
+            if !model.noise_ops.is_empty() && params.noise_per_object > 0.0 {
+                let p = params.noise_per_object / (params.noise_per_object + 1.0);
+                let mut noise = Vec::new();
+                while rng.gen_range(0.0..1.0) < p {
+                    let op = &model.noise_ops[rng.gen_range(0..model.noise_ops.len())];
+                    noise.push(Event::on_obj(vocab.op(op), ObjId(next_obj)));
+                    next_obj += 1;
+                }
+                if !noise.is_empty() {
+                    streams.push(noise);
+                }
+            }
+        }
+        traces.push(Trace::with_provenance(
+            interleave(streams, &mut rng),
+            program as u32,
+        ));
+    }
+    traces
+}
+
+/// Randomly interleaves event streams, preserving the order within each
+/// stream (a uniformly random linear extension by repeated weighted
+/// draws).
+fn interleave<R: Rng>(mut streams: Vec<Vec<Event>>, rng: &mut R) -> Vec<Event> {
+    // Reverse each stream so we can pop from the back.
+    for s in &mut streams {
+        s.reverse();
+    }
+    shuffle(&mut streams, rng);
+    let total: usize = streams.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    while out.len() < total {
+        // Draw a stream weighted by remaining length (uniform over
+        // remaining events).
+        let remaining: usize = streams.iter().map(Vec::len).sum();
+        let mut pick = rng.gen_range(0..remaining);
+        for s in &mut streams {
+            if pick < s.len() {
+                out.push(s.pop().expect("nonempty stream"));
+                break;
+            }
+            pick -= s.len();
+        }
+        streams.retain(|s| !s.is_empty());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::{ScenarioShape, ShapeMix};
+
+    fn toy_model() -> ProtocolModel {
+        ProtocolModel {
+            name: "Toy".into(),
+            description: "open/close".into(),
+            ground_truth_text: "start s0\naccept s2\ns0 -> s1 : open(X)\ns1 -> s2 : close(X)\n"
+                .into(),
+            seed_ops: vec!["open".into()],
+            correct: ShapeMix::new(vec![(1.0, ScenarioShape::fixed(&["open", "close"]))]),
+            erroneous: ShapeMix::new(vec![(1.0, ScenarioShape::fixed(&["open"]))]),
+            noise_ops: vec!["log".into()],
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let model = toy_model();
+        let params = WorkloadParams {
+            programs: 5,
+            ..Default::default()
+        };
+        let mut v1 = Vocab::new();
+        let mut v2 = Vocab::new();
+        let a = generate(&model, &params, &mut v1);
+        let b = generate(&model, &params, &mut v2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn per_object_order_is_preserved() {
+        let model = toy_model();
+        let params = WorkloadParams {
+            programs: 30,
+            error_rate: 0.0,
+            ..Default::default()
+        };
+        let mut v = Vocab::new();
+        let open = v.op("open");
+        let close = v.op("close");
+        for trace in generate(&model, &params, &mut v) {
+            use std::collections::HashMap;
+            let mut state: HashMap<ObjId, u8> = HashMap::new();
+            for e in trace.iter() {
+                let obj = match e.objects().next() {
+                    Some(o) => o,
+                    None => continue,
+                };
+                if e.op == open {
+                    assert_eq!(state.insert(obj, 1), None, "open twice");
+                } else if e.op == close {
+                    assert_eq!(state.insert(obj, 2), Some(1), "close before open");
+                }
+            }
+            for (_, s) in state {
+                if s == 1 {
+                    panic!("correct object left open");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn error_rate_zero_means_all_good() {
+        let model = toy_model();
+        let params = WorkloadParams {
+            programs: 20,
+            error_rate: 0.0,
+            noise_per_object: 0.0,
+            ..Default::default()
+        };
+        let mut v = Vocab::new();
+        let traces = generate(&model, &params, &mut v);
+        let open = v.find_op("open").unwrap();
+        let close = v.find_op("close").unwrap();
+        for t in &traces {
+            let opens = t.iter().filter(|e| e.op == open).count();
+            let closes = t.iter().filter(|e| e.op == close).count();
+            assert_eq!(opens, closes);
+        }
+    }
+
+    #[test]
+    fn error_rate_one_means_all_bad() {
+        let model = toy_model();
+        let params = WorkloadParams {
+            programs: 20,
+            error_rate: 1.0,
+            noise_per_object: 0.0,
+            ..Default::default()
+        };
+        let mut v = Vocab::new();
+        let traces = generate(&model, &params, &mut v);
+        let close = v.op("close");
+        for t in &traces {
+            assert!(t.iter().all(|e| e.op != close));
+        }
+    }
+
+    #[test]
+    fn provenance_is_recorded() {
+        let model = toy_model();
+        let params = WorkloadParams {
+            programs: 3,
+            ..Default::default()
+        };
+        let mut v = Vocab::new();
+        let traces = generate(&model, &params, &mut v);
+        for (i, t) in traces.iter().enumerate() {
+            assert_eq!(t.provenance(), Some(i as u32));
+        }
+    }
+
+    #[test]
+    fn object_ids_are_globally_unique_per_shape_instance() {
+        let model = toy_model();
+        let params = WorkloadParams {
+            programs: 10,
+            error_rate: 0.0,
+            noise_per_object: 0.0,
+            ..Default::default()
+        };
+        let mut v = Vocab::new();
+        let open = v.op("open");
+        let mut seen = std::collections::HashSet::new();
+        for t in generate(&model, &params, &mut v) {
+            for e in t.iter() {
+                if e.op == open {
+                    assert!(seen.insert(e.objects().next().unwrap()), "object id reused");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Synthetic program-trace workloads.
+//!
+//! The paper evaluates on 90 execution traces of 72 real X11 programs.
+//! That corpus is not available, so this crate *simulates* it: each
+//! specification ships a [`ProtocolModel`] describing the correct
+//! per-object API protocol (a ground-truth FA), a distribution of correct
+//! usage *shapes*, a set of buggy shapes (the error modes real programs
+//! exhibit: leaks, wrong-close, use-after-free, …), and unrelated noise
+//! operations. The [`generate()`] function then produces full program
+//! traces — interleaved per-object event streams over concrete object
+//! identities with injected errors and noise — with the properties the
+//! paper's pipeline depends on:
+//!
+//! * scenario extraction must recover per-object event sequences,
+//! * a tunable fraction of scenarios is erroneous,
+//! * many scenarios are *identical* after canonicalisation (the heavy
+//!   duplication §5.1 reports).
+//!
+//! The [`Oracle`] labels a canonical scenario trace `good` or `bad` by
+//! ground-truth acceptance; it is the reference labeling against which
+//! the §4.2 strategies are costed.
+
+pub mod generate;
+pub mod model;
+pub mod oracle;
+pub mod shape;
+
+pub use generate::{generate, WorkloadParams};
+pub use model::ProtocolModel;
+pub use oracle::Oracle;
+pub use shape::{scenario_trace, OpSpec, ScenarioShape};

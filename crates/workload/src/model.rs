@@ -1,0 +1,95 @@
+//! Protocol models: the per-specification description of correct and
+//! erroneous API usage.
+
+use crate::shape::ShapeMix;
+use cable_fa::Fa;
+use cable_trace::Vocab;
+
+/// Everything the workload generator and the oracle need to know about
+/// one API protocol:
+///
+/// * `ground_truth` — the *correct* specification FA (over `X = Var(0)`),
+///   in the [`cable_fa::text`] format. The oracle labels scenarios by
+///   acceptance;
+/// * `correct` / `erroneous` — shape mixtures for correct and buggy
+///   per-object usage;
+/// * `seed_ops` — the operations Strauss's front end uses as scenario
+///   seeds (typically the resource-creating calls);
+/// * `noise_ops` — unrelated operations sprinkled through program traces
+///   on their own objects.
+#[derive(Debug, Clone)]
+pub struct ProtocolModel {
+    /// Short name, e.g. `"FilePair"` or `"XtFree"`.
+    pub name: String,
+    /// The English reading (the paper's Table 1 column).
+    pub description: String,
+    /// The correct specification in FA text format.
+    pub ground_truth_text: String,
+    /// Operations that seed scenario extraction.
+    pub seed_ops: Vec<String>,
+    /// Correct usage shapes.
+    pub correct: ShapeMix,
+    /// Erroneous usage shapes (the injected bugs).
+    pub erroneous: ShapeMix,
+    /// Unrelated operations for noise.
+    pub noise_ops: Vec<String>,
+}
+
+impl ProtocolModel {
+    /// Realises the ground-truth FA against a vocabulary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the embedded FA text is malformed (a programming error in
+    /// the model definition).
+    pub fn ground_truth(&self, vocab: &mut Vocab) -> Fa {
+        Fa::parse(&self.ground_truth_text, vocab).expect("ground-truth FA text is well-formed")
+    }
+
+    /// All operations the model can emit in scenarios (correct and
+    /// erroneous shapes), deduplicated, in first-appearance order.
+    pub fn scenario_ops(&self) -> Vec<&str> {
+        let mut ops = Vec::new();
+        for op in self.correct.ops().chain(self.erroneous.ops()) {
+            if !ops.contains(&op) {
+                ops.push(op);
+            }
+        }
+        ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::{ScenarioShape, ShapeMix};
+
+    fn toy_model() -> ProtocolModel {
+        ProtocolModel {
+            name: "Toy".into(),
+            description: "open then close".into(),
+            ground_truth_text: "start s0\naccept s2\ns0 -> s1 : open(X)\ns1 -> s2 : close(X)\n"
+                .into(),
+            seed_ops: vec!["open".into()],
+            correct: ShapeMix::new(vec![(1.0, ScenarioShape::fixed(&["open", "close"]))]),
+            erroneous: ShapeMix::new(vec![(1.0, ScenarioShape::fixed(&["open"]))]),
+            noise_ops: vec!["log".into()],
+        }
+    }
+
+    #[test]
+    fn ground_truth_parses() {
+        let mut v = Vocab::new();
+        let fa = toy_model().ground_truth(&mut v);
+        assert_eq!(fa.state_count(), 3);
+        let good = cable_trace::Trace::parse("open(X) close(X)", &mut v).unwrap();
+        let bad = cable_trace::Trace::parse("open(X)", &mut v).unwrap();
+        assert!(fa.accepts(&good));
+        assert!(!fa.accepts(&bad));
+    }
+
+    #[test]
+    fn scenario_ops_dedup() {
+        assert_eq!(toy_model().scenario_ops(), vec!["open", "close"]);
+    }
+}

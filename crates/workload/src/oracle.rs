@@ -1,0 +1,105 @@
+//! The reference labeling oracle.
+//!
+//! §4.2's strategy costs are measured "given a reference labeling for the
+//! traces". The oracle provides that labeling: a canonical scenario trace
+//! is `good` iff the ground-truth specification accepts it. For
+//! overgeneralisation experiments (§2.2) the oracle can also produce
+//! *grouped* good labels (`good:<first-op>`), mimicking the expert who
+//! assigns `good fopen` and `good popen` separately.
+
+use cable_fa::Fa;
+use cable_trace::{Trace, Vocab};
+
+/// The conventional label for correct traces.
+pub const GOOD: &str = "good";
+/// The conventional label for erroneous traces.
+pub const BAD: &str = "bad";
+
+/// Labels scenario traces by ground-truth acceptance.
+#[derive(Debug, Clone)]
+pub struct Oracle {
+    ground_truth: Fa,
+}
+
+impl Oracle {
+    /// Creates an oracle from the ground-truth specification.
+    pub fn new(ground_truth: Fa) -> Self {
+        Oracle { ground_truth }
+    }
+
+    /// The ground-truth automaton.
+    pub fn ground_truth(&self) -> &Fa {
+        &self.ground_truth
+    }
+
+    /// Tests whether a canonical scenario trace is correct.
+    pub fn is_good(&self, trace: &Trace) -> bool {
+        self.ground_truth.accepts(trace)
+    }
+
+    /// The plain reference label: `"good"` or `"bad"`.
+    pub fn label(&self, trace: &Trace) -> &'static str {
+        if self.is_good(trace) {
+            GOOD
+        } else {
+            BAD
+        }
+    }
+
+    /// The grouped reference label: erroneous traces are `"bad"`, correct
+    /// traces are `"good:<op>"` keyed by their first event's operation —
+    /// the per-resource-kind labels of §2.2.
+    pub fn grouped_label(&self, trace: &Trace, vocab: &Vocab) -> String {
+        if !self.is_good(trace) {
+            return BAD.to_owned();
+        }
+        match trace.events().first() {
+            Some(e) => format!("{GOOD}:{}", vocab.op_name(e.op)),
+            None => GOOD.to_owned(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oracle(v: &mut Vocab) -> Oracle {
+        let fa = Fa::parse(
+            "start s0\naccept s2\ns0 -> s1 : open(X)\ns1 -> s2 : close(X)\n",
+            v,
+        )
+        .unwrap();
+        Oracle::new(fa)
+    }
+
+    #[test]
+    fn labels_by_acceptance() {
+        let mut v = Vocab::new();
+        let o = oracle(&mut v);
+        let good = Trace::parse("open(X) close(X)", &mut v).unwrap();
+        let bad = Trace::parse("open(X)", &mut v).unwrap();
+        assert_eq!(o.label(&good), GOOD);
+        assert_eq!(o.label(&bad), BAD);
+        assert!(o.is_good(&good));
+        assert!(!o.is_good(&bad));
+    }
+
+    #[test]
+    fn grouped_labels_key_on_first_op() {
+        let mut v = Vocab::new();
+        let o = oracle(&mut v);
+        let good = Trace::parse("open(X) close(X)", &mut v).unwrap();
+        assert_eq!(o.grouped_label(&good, &v), "good:open");
+        let bad = Trace::parse("close(X)", &mut v).unwrap();
+        assert_eq!(o.grouped_label(&bad, &v), "bad");
+    }
+
+    #[test]
+    fn empty_trace_grouped_label() {
+        let mut v = Vocab::new();
+        let fa = Fa::parse("start s0\naccept s0\n", &mut v).unwrap();
+        let o = Oracle::new(fa);
+        assert_eq!(o.grouped_label(&Trace::empty(), &v), GOOD);
+    }
+}

@@ -1,0 +1,281 @@
+//! Scenario shapes: distributions over per-object operation sequences.
+
+use cable_trace::{Arg, Event, Trace, Var, Vocab};
+use cable_util::rng::weighted_index;
+use rand::Rng;
+
+/// One operation of a scenario shape: an operation name with an optional
+/// atom argument (e.g. the selection name in `XtOwnSelection:'PRIMARY`).
+///
+/// The textual form accepted by the shape constructors is
+/// `name` or `name:'ATOM`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpSpec {
+    /// The operation name.
+    pub name: String,
+    /// An atom constant attached to the event, if any.
+    pub atom: Option<String>,
+}
+
+impl OpSpec {
+    /// Parses `name` or `name:'ATOM`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the atom part is present but does not start with `'`
+    /// (a typo in a spec definition).
+    pub fn parse(spec: &str) -> OpSpec {
+        match spec.split_once(':') {
+            None => OpSpec {
+                name: spec.to_owned(),
+                atom: None,
+            },
+            Some((name, atom)) => {
+                let atom = atom
+                    .strip_prefix('\'')
+                    .unwrap_or_else(|| panic!("atom in {spec:?} must start with '"));
+                OpSpec {
+                    name: name.to_owned(),
+                    atom: Some(atom.to_owned()),
+                }
+            }
+        }
+    }
+
+    /// Realises the op as an event on the given object argument.
+    pub fn event(&self, object: Arg, vocab: &mut Vocab) -> Event {
+        let mut args = vec![object];
+        if let Some(atom) = &self.atom {
+            args.push(Arg::Atom(vocab.atom(atom)));
+        }
+        Event::new(vocab.op(&self.name), args)
+    }
+}
+
+/// Realises an operation sequence as a canonical scenario trace over
+/// `X` — the form the oracle and tests consume.
+pub fn scenario_trace(ops: &[OpSpec], vocab: &mut Vocab) -> Trace {
+    Trace::new(
+        ops.iter()
+            .map(|op| op.event(Arg::Var(Var(0)), vocab))
+            .collect(),
+    )
+}
+
+/// A parametric shape of per-object API usage, sampled into a concrete
+/// operation sequence: `pre` operations, then a geometrically-distributed
+/// number of iterations each drawing one operation from `body`, then
+/// `post` operations.
+///
+/// A fixed sequence is a shape with an empty `body`.
+///
+/// # Examples
+///
+/// ```
+/// use cable_workload::ScenarioShape;
+/// use rand::SeedableRng;
+///
+/// // fopen (fread|fwrite)* fclose
+/// let shape = ScenarioShape::with_loop(&["fopen"], &["fread", "fwrite"], 2.0, &["fclose"]);
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+/// let ops = shape.sample(&mut rng);
+/// assert_eq!(ops.first().map(|o| o.name.as_str()), Some("fopen"));
+/// assert_eq!(ops.last().map(|o| o.name.as_str()), Some("fclose"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioShape {
+    pre: Vec<OpSpec>,
+    body: Vec<OpSpec>,
+    mean_iterations: f64,
+    post: Vec<OpSpec>,
+}
+
+fn parse_all(ops: &[&str]) -> Vec<OpSpec> {
+    ops.iter().map(|s| OpSpec::parse(s)).collect()
+}
+
+impl ScenarioShape {
+    /// A fixed operation sequence.
+    pub fn fixed(ops: &[&str]) -> Self {
+        ScenarioShape {
+            pre: parse_all(ops),
+            body: Vec::new(),
+            mean_iterations: 0.0,
+            post: Vec::new(),
+        }
+    }
+
+    /// A sequence with a loop: `pre (body-choice)^N post` with
+    /// `N ~ Geometric`, `E[N] = mean_iterations`.
+    pub fn with_loop(pre: &[&str], body: &[&str], mean_iterations: f64, post: &[&str]) -> Self {
+        assert!(mean_iterations >= 0.0, "mean must be non-negative");
+        ScenarioShape {
+            pre: parse_all(pre),
+            body: parse_all(body),
+            mean_iterations,
+            post: parse_all(post),
+        }
+    }
+
+    /// Samples a concrete operation sequence.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> Vec<OpSpec> {
+        let mut ops = self.pre.clone();
+        if !self.body.is_empty() && self.mean_iterations > 0.0 {
+            // Geometric with mean m: continue with probability m/(m+1).
+            let p_continue = self.mean_iterations / (self.mean_iterations + 1.0);
+            while rng.gen_range(0.0..1.0) < p_continue {
+                let i = rng.gen_range(0..self.body.len());
+                ops.push(self.body[i].clone());
+            }
+        }
+        ops.extend(self.post.iter().cloned());
+        ops
+    }
+
+    /// Every operation name the shape can emit.
+    pub fn ops(&self) -> impl Iterator<Item = &str> {
+        self.pre
+            .iter()
+            .chain(&self.body)
+            .chain(&self.post)
+            .map(|o| o.name.as_str())
+    }
+}
+
+/// A weighted mixture of shapes.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ShapeMix {
+    shapes: Vec<(f64, ScenarioShape)>,
+}
+
+impl ShapeMix {
+    /// Creates a mixture from weighted shapes.
+    pub fn new(shapes: Vec<(f64, ScenarioShape)>) -> Self {
+        ShapeMix { shapes }
+    }
+
+    /// Tests whether the mixture has no shapes.
+    pub fn is_empty(&self) -> bool {
+        self.shapes.is_empty()
+    }
+
+    /// Samples an operation sequence from the mixture.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mixture is empty or all weights are zero.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> Vec<OpSpec> {
+        let weights: Vec<f64> = self.shapes.iter().map(|(w, _)| *w).collect();
+        let i = weighted_index(&weights, rng).expect("non-empty shape mixture");
+        self.shapes[i].1.sample(rng)
+    }
+
+    /// Every operation name the mixture can emit.
+    pub fn ops(&self) -> impl Iterator<Item = &str> {
+        self.shapes.iter().flat_map(|(_, s)| s.ops())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cable_util::rng::seeded;
+
+    fn names(ops: &[OpSpec]) -> Vec<&str> {
+        ops.iter().map(|o| o.name.as_str()).collect()
+    }
+
+    #[test]
+    fn fixed_shape_is_constant() {
+        let shape = ScenarioShape::fixed(&["a", "b"]);
+        let mut rng = seeded(1);
+        for _ in 0..5 {
+            assert_eq!(names(&shape.sample(&mut rng)), vec!["a", "b"]);
+        }
+    }
+
+    #[test]
+    fn loop_mean_is_roughly_right() {
+        let shape = ScenarioShape::with_loop(&["open"], &["read"], 3.0, &["close"]);
+        let mut rng = seeded(2);
+        let total: usize = (0..2000).map(|_| shape.sample(&mut rng).len() - 2).sum();
+        let mean = total as f64 / 2000.0;
+        assert!((2.5..3.5).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn loop_body_choices_vary() {
+        let shape = ScenarioShape::with_loop(&[], &["r", "w"], 5.0, &[]);
+        let mut rng = seeded(3);
+        let mut saw_r = false;
+        let mut saw_w = false;
+        for _ in 0..50 {
+            for op in shape.sample(&mut rng) {
+                if op.name == "r" {
+                    saw_r = true;
+                }
+                if op.name == "w" {
+                    saw_w = true;
+                }
+            }
+        }
+        assert!(saw_r && saw_w);
+    }
+
+    #[test]
+    fn mix_respects_weights() {
+        let mix = ShapeMix::new(vec![
+            (0.0, ScenarioShape::fixed(&["never"])),
+            (1.0, ScenarioShape::fixed(&["always"])),
+        ]);
+        let mut rng = seeded(4);
+        for _ in 0..20 {
+            assert_eq!(names(&mix.sample(&mut rng)), vec!["always"]);
+        }
+    }
+
+    #[test]
+    fn ops_enumerates_everything() {
+        let shape = ScenarioShape::with_loop(&["a"], &["b", "c"], 1.0, &["d"]);
+        let ops: Vec<&str> = shape.ops().collect();
+        assert_eq!(ops, vec!["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn op_spec_parses_atoms() {
+        assert_eq!(
+            OpSpec::parse("XtOwnSelection:'PRIMARY"),
+            OpSpec {
+                name: "XtOwnSelection".into(),
+                atom: Some("PRIMARY".into()),
+            }
+        );
+        assert_eq!(
+            OpSpec::parse("plain"),
+            OpSpec {
+                name: "plain".into(),
+                atom: None,
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must start with '")]
+    fn op_spec_rejects_bad_atom() {
+        let _ = OpSpec::parse("op:PRIMARY");
+    }
+
+    #[test]
+    fn scenario_trace_carries_atoms() {
+        let mut vocab = Vocab::new();
+        let ops = vec![
+            OpSpec::parse("own:'PRIMARY"),
+            OpSpec::parse("disown:'PRIMARY"),
+        ];
+        let t = scenario_trace(&ops, &mut vocab);
+        assert_eq!(
+            t.display(&vocab).to_string(),
+            "own(X,'PRIMARY) disown(X,'PRIMARY)"
+        );
+    }
+}

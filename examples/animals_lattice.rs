@@ -1,0 +1,99 @@
+//! The concept-analysis worked example of §3.1 (Figures 9 and 10): the
+//! animals/adjectives context from Siff's thesis, its concept lattice,
+//! and the similarity measure.
+//!
+//! Run with `cargo run --example animals_lattice`. Writes
+//! `figures/animals_lattice.dot`.
+
+use cable::fca::{ConceptLattice, Context};
+use std::fs;
+
+const ANIMALS: [&str; 5] = ["cats", "gibbons", "dolphins", "humans", "whales"];
+const ADJECTIVES: [&str; 5] = [
+    "four-legged",
+    "hair-covered",
+    "intelligent",
+    "marine",
+    "thumbed",
+];
+
+fn main() {
+    // Figure 9: the context.
+    let mut ctx = Context::new(5, 5);
+    for (animal, attrs) in [
+        (0usize, vec![0usize, 1]), // cats: four-legged, hair-covered
+        (1, vec![1, 2, 4]),        // gibbons: hair-covered, intelligent, thumbed
+        (2, vec![2, 3]),           // dolphins: intelligent, marine
+        (3, vec![2, 4]),           // humans: intelligent, thumbed
+        (4, vec![2, 3]),           // whales: intelligent, marine
+    ] {
+        for a in attrs {
+            ctx.add(animal, a);
+        }
+    }
+    println!("== Figure 9: the context ==");
+    print!("{:12}", "");
+    for adj in ADJECTIVES {
+        print!("{adj:14}");
+    }
+    println!();
+    for (o, animal) in ANIMALS.iter().enumerate() {
+        print!("{animal:12}");
+        for a in 0..5 {
+            print!("{:14}", if ctx.has(o, a) { "x" } else { "" });
+        }
+        println!();
+    }
+
+    // Figure 10: the lattice.
+    let lattice = ConceptLattice::build(&ctx);
+    println!(
+        "\n== Figure 10: the concept lattice ({} concepts) ==",
+        lattice.len()
+    );
+    for id in lattice.bfs_top_down() {
+        let c = lattice.concept(id);
+        let extent: Vec<&str> = c.extent.iter().map(|o| ANIMALS[o]).collect();
+        let intent: Vec<&str> = c.intent.iter().map(|a| ADJECTIVES[a]).collect();
+        println!(
+            "{id}: ({{{}}}, {{{}}})  sim = {}",
+            extent.join(", "),
+            intent.join(", "),
+            c.similarity()
+        );
+    }
+
+    // The key §3.1 property: similarity increases downward.
+    for id in lattice.ids() {
+        for &child in lattice.children(id) {
+            assert!(lattice.concept(child).similarity() >= lattice.concept(id).similarity());
+        }
+    }
+    println!("\nsimilarity sim(X) = |σ(X)| increases moving down the lattice ✓");
+
+    // Write the DOT rendering.
+    fs::create_dir_all("figures").expect("create figures directory");
+    let dot = lattice.to_dot(
+        "animals",
+        |id| {
+            lattice
+                .concept(id)
+                .extent
+                .iter()
+                .map(|o| ANIMALS[o])
+                .collect::<Vec<_>>()
+                .join(", ")
+        },
+        |id| {
+            lattice
+                .concept(id)
+                .intent
+                .iter()
+                .map(|a| ADJECTIVES[a])
+                .collect::<Vec<_>>()
+                .join(", ")
+        },
+    );
+    fs::write("figures/animals_lattice.dot", dot).expect("write DOT file");
+    println!("wrote figures/animals_lattice.dot");
+}

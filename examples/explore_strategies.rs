@@ -1,0 +1,85 @@
+//! Compares the §4.2 labeling strategies on one specification, printing
+//! a Table 3-style row with full detail (best/mean over trials).
+//!
+//! Run with `cargo run --example explore_strategies [-- <spec-name>]`.
+
+use cable::session::strategy;
+use cable::trace::Trace;
+use cable_bench::prepare;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "FilePair".into());
+    let registry = cable::specs::registry();
+    let spec = match registry.spec(&name) {
+        Some(s) => s,
+        None => {
+            eprintln!("unknown spec {name:?}; known: {:?}", registry.names());
+            std::process::exit(2);
+        }
+    };
+
+    let mut p = prepare(spec, 2003);
+    println!(
+        "spec {} — {} traces, {} classes, reference FA: {} ({} transitions), {} concepts\n",
+        p.name,
+        p.scenarios.len(),
+        p.session.classes().len(),
+        p.reference.name(),
+        p.session.reference_fa().transition_count(),
+        p.session.lattice().len()
+    );
+
+    let oracle = p.oracle.clone();
+    let o = move |t: &Trace| oracle.label(t).to_owned();
+
+    let baseline = strategy::baseline(&p.session);
+    println!(
+        "Baseline  : {:4} ops  ({} inspections + {} labelings, no Cable)",
+        baseline.total(),
+        baseline.inspections,
+        baseline.labelings
+    );
+
+    if let Some(cost) = strategy::expert(&mut p.session, &o) {
+        println!(
+            "Expert    : {:4} ops  ({} inspections + {} labelings)",
+            cost.total(),
+            cost.inspections,
+            cost.labelings
+        );
+    }
+
+    if let Some(cost) = strategy::expert_cautious(&mut p.session, &o) {
+        println!(
+            "Cautious  : {:4} ops  (expert + child-concept confirmations)",
+            cost.total()
+        );
+    }
+
+    report(
+        "Top-down ",
+        strategy::best_of(&mut p.session, &o, strategy::top_down, 64, 7),
+    );
+    report(
+        "Bottom-up",
+        strategy::best_of(&mut p.session, &o, strategy::bottom_up, 64, 7),
+    );
+    report(
+        "Random   ",
+        strategy::best_of(&mut p.session, &o, strategy::random, 64, 7),
+    );
+
+    match strategy::optimal(&mut p.session, &o, 500_000) {
+        Some(cost) => println!("Optimal   : {:4} ops (exact)", cost.total()),
+        None => println!("Optimal   : not measured (search budget exceeded)"),
+    }
+}
+
+fn report(label: &str, outcome: Option<(usize, f64)>) {
+    match outcome {
+        Some((best, mean)) => {
+            println!("{label} : best {best:4} ops, mean {mean:7.1} over 64 trials")
+        }
+        None => println!("{label} : labeling unreachable (lattice not well-formed)"),
+    }
+}

@@ -1,0 +1,108 @@
+//! Regenerates the paper's illustrative figures as DOT/text artifacts in
+//! `figures/`:
+//!
+//! * Figure 1 — the buggy stdio specification,
+//! * Figure 2 — example violation traces,
+//! * Figure 3 — a small reference FA recognising the violation traces,
+//! * Figure 4 — the very small (unordered) reference FA,
+//! * Figure 5 — the concept lattice induced by the violation traces,
+//! * Figure 6 — the corrected specification,
+//! * Figure 8 — good scenario traces for the stdio rule.
+//!
+//! Run with `cargo run --example figures`.
+
+use cable::fa::templates;
+use cable::learn::Pta;
+use cable::prelude::*;
+use cable::trace::Vocab;
+use cable::verify::Checker;
+use std::fs;
+
+fn main() {
+    fs::create_dir_all("figures").expect("create figures directory");
+    let mut vocab = Vocab::new();
+
+    // Figure 1: the buggy specification.
+    let buggy = Fa::parse(
+        "\
+start s0
+accept s2
+s0 -> s1 : fopen(X)
+s0 -> s1 : popen(X)
+s1 -> s1 : fread(X)
+s1 -> s1 : fwrite(X)
+s1 -> s2 : fclose(X)
+",
+        &mut vocab,
+    )
+    .expect("well-formed");
+    write(
+        "figures/fig1_buggy_spec.dot",
+        buggy.to_dot(&vocab, "figure1"),
+    );
+
+    // Violation traces from "verifying" the buggy spec against the
+    // FilePair workload (Figure 2).
+    let registry = cable::specs::registry();
+    let spec = registry.spec("FilePair").expect("registered");
+    let workload = spec.generate(2003, &mut vocab);
+    let report = Checker::new(buggy).check(&workload, &vocab);
+    write(
+        "figures/fig2_violation_traces.txt",
+        report.violations.display(&vocab).to_string(),
+    );
+
+    // Figure 3: a small reference FA recognising the violation traces —
+    // here the prefix-tree FA of the distinct shapes, trimmed.
+    let traces: Vec<Trace> = report.violations.iter().map(|(_, t)| t.clone()).collect();
+    let reps: Vec<Trace> = report
+        .violations
+        .identical_classes()
+        .iter()
+        .map(|c| report.violations.trace(c.representative).clone())
+        .collect();
+    let fig3 = Pta::build(&reps).to_fa();
+    write(
+        "figures/fig3_reference_fa.dot",
+        fig3.to_dot(&vocab, "figure3"),
+    );
+
+    // Figure 4: the very small FA that ignores order entirely.
+    let fig4 = templates::unordered_of_trace_events(&traces);
+    write(
+        "figures/fig4_unordered_fa.dot",
+        fig4.to_dot(&vocab, "figure4"),
+    );
+
+    // Figure 5: the concept lattice induced by the violation traces with
+    // respect to the unordered FA, with Cable's state colours.
+    let session = CableSession::new(report.violations, fig4);
+    write(
+        "figures/fig5_concept_lattice.dot",
+        session.to_dot("figure5"),
+    );
+
+    // Figure 6: the corrected specification.
+    let fixed = spec.ground_truth(&mut vocab);
+    write(
+        "figures/fig6_fixed_spec.dot",
+        fixed.to_dot(&vocab, "figure6"),
+    );
+
+    // Figure 8: good scenario traces.
+    let good: Vec<String> = session
+        .classes()
+        .iter()
+        .map(|c| session.traces().trace(c.representative))
+        .filter(|t| fixed.accepts(t))
+        .map(|t| t.display(&vocab).to_string())
+        .collect();
+    write("figures/fig8_good_scenarios.txt", good.join("\n") + "\n");
+
+    println!("figures regenerated under figures/ — render with `dot -Tpdf`");
+}
+
+fn write(path: &str, contents: String) {
+    fs::write(path, contents).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("wrote {path}");
+}

@@ -1,0 +1,314 @@
+//! The `cable` command-line tool: a scriptable version of the paper's
+//! Dotty-based UI.
+//!
+//! ```text
+//! cable cluster --traces FILE [--fa FILE | --template unordered|seed:<op>] [--dot OUT]
+//! cable label   --traces FILE --script FILE [--fa FILE | --template ...]
+//! cable mine    --traces FILE --seeds op1,op2[,…]
+//! cable show-fa --traces FILE
+//! cable check   --traces FILE --fa FILE
+//! cable specs
+//! ```
+//!
+//! * `cluster` reads scenario traces (one per line, trace text format),
+//!   builds the concept lattice under the chosen reference FA, and prints
+//!   a concept summary (optionally a DOT rendering of the lattice).
+//! * `label` replays a labeling script against the lattice (the
+//!   scriptable `Label traces` command) and prints each trace with its
+//!   final label. Script lines are
+//!   `label <concept> <all|unlabeled|with:NAME> <label>`; `;` comments
+//!   and blank lines are skipped. Concept ids are those `cluster`
+//!   prints (construction is deterministic for the same input).
+//! * `mine` treats the input as raw *program* traces (object ids like
+//!   `#42` in the events), extracts per-object scenarios from the given
+//!   seed operations, and prints the mined specification FA followed by
+//!   the distinct scenarios.
+//! * `show-fa` learns an sk-strings FA from the traces and prints it.
+//! * `check` runs the traces against a specification FA and reports the
+//!   rejected ones (a tiny verifier).
+//! * `specs` lists the built-in evaluation specifications.
+
+use cable::fa::templates;
+use cable::prelude::*;
+use cable::session::TraceSelector;
+use cable::trace::Vocab;
+use std::fs;
+use std::process::exit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        usage("missing command");
+    };
+    let opts = parse_opts(&args[1..]);
+    match command.as_str() {
+        "cluster" => cluster(&opts),
+        "label" => label(&opts),
+        "mine" => mine(&opts),
+        "show-fa" => show_fa(&opts),
+        "check" => check(&opts),
+        "specs" => specs(),
+        other => usage(&format!("unknown command {other:?}")),
+    }
+}
+
+struct Opts {
+    traces: Option<String>,
+    fa: Option<String>,
+    template: Option<String>,
+    dot: Option<String>,
+    script: Option<String>,
+    seeds: Option<String>,
+}
+
+fn parse_opts(args: &[String]) -> Opts {
+    let mut opts = Opts {
+        traces: None,
+        fa: None,
+        template: None,
+        dot: None,
+        script: None,
+        seeds: None,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let value = || {
+            args.get(i + 1)
+                .cloned()
+                .unwrap_or_else(|| usage(&format!("{} needs a value", args[i])))
+        };
+        match args[i].as_str() {
+            "--traces" => opts.traces = Some(value()),
+            "--fa" => opts.fa = Some(value()),
+            "--template" => opts.template = Some(value()),
+            "--dot" => opts.dot = Some(value()),
+            "--script" => opts.script = Some(value()),
+            "--seeds" => opts.seeds = Some(value()),
+            other => usage(&format!("unknown option {other:?}")),
+        }
+        i += 2;
+    }
+    opts
+}
+
+fn load_traces(opts: &Opts, vocab: &mut Vocab) -> TraceSet {
+    let path = opts
+        .traces
+        .as_ref()
+        .unwrap_or_else(|| usage("--traces FILE is required"));
+    let text = fs::read_to_string(path).unwrap_or_else(|e| die(&format!("reading {path}: {e}")));
+    TraceSet::parse(&text, vocab).unwrap_or_else(|e| die(&format!("parsing {path}: {e}")))
+}
+
+fn reference_fa(opts: &Opts, traces: &TraceSet, vocab: &mut Vocab) -> Fa {
+    if let Some(path) = &opts.fa {
+        let text =
+            fs::read_to_string(path).unwrap_or_else(|e| die(&format!("reading {path}: {e}")));
+        return Fa::parse(&text, vocab).unwrap_or_else(|e| die(&format!("parsing {path}: {e}")));
+    }
+    let list: Vec<Trace> = traces.iter().map(|(_, t)| t.clone()).collect();
+    match opts.template.as_deref() {
+        None | Some("unordered") => templates::unordered_of_trace_events(&list),
+        Some(spec) => {
+            let Some(op) = spec.strip_prefix("seed:") else {
+                usage("--template is `unordered` or `seed:<op>`");
+            };
+            let pats = templates::distinct_event_pats(&list);
+            let sym = vocab
+                .find_op(op)
+                .unwrap_or_else(|| die(&format!("operation {op:?} does not occur in the traces")));
+            let seed = cable::fa::EventPat::on_var(sym, cable::trace::Var(0));
+            templates::seed_order(&pats, &seed)
+        }
+    }
+}
+
+fn cluster(opts: &Opts) {
+    let mut vocab = Vocab::new();
+    let traces = load_traces(opts, &mut vocab);
+    let fa = reference_fa(opts, &traces, &mut vocab);
+    let session = CableSession::new(traces, fa);
+    println!(
+        "{} traces in {} identical classes; reference FA: {} transitions; {} concepts",
+        session.traces().len(),
+        session.classes().len(),
+        session.reference_fa().transition_count(),
+        session.lattice().len()
+    );
+    for id in session.lattice().bfs_top_down() {
+        let concept = session.lattice().concept(id);
+        let n_traces: usize = concept
+            .extent
+            .iter()
+            .map(|c| session.classes()[c].count())
+            .sum();
+        println!(
+            "\n{id}: {} classes / {n_traces} traces, {} shared transitions",
+            concept.extent.len(),
+            concept.intent.len()
+        );
+        for t in session.show_traces(id, &TraceSelector::All).iter().take(3) {
+            println!("    {}", t.display(&vocab));
+        }
+        if concept.extent.len() > 3 {
+            println!("    …");
+        }
+    }
+    if let Some(out) = &opts.dot {
+        fs::write(out, session.to_dot("cable"))
+            .unwrap_or_else(|e| die(&format!("writing {out}: {e}")));
+        println!("\nwrote {out}");
+    }
+}
+
+fn label(opts: &Opts) {
+    let mut vocab = Vocab::new();
+    let traces = load_traces(opts, &mut vocab);
+    let fa = reference_fa(opts, &traces, &mut vocab);
+    let mut session = CableSession::new(traces, fa);
+    let path = opts
+        .script
+        .as_ref()
+        .unwrap_or_else(|| usage("--script FILE is required"));
+    let script = fs::read_to_string(path).unwrap_or_else(|e| die(&format!("reading {path}: {e}")));
+    for (lineno, raw) in script.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with(';') {
+            continue;
+        }
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        match parts.as_slice() {
+            ["label", concept, selector, label_name] => {
+                let id = concept
+                    .strip_prefix('c')
+                    .and_then(|n| n.parse::<u32>().ok())
+                    .map(cable::fca::ConceptId)
+                    .filter(|id| id.index() < session.lattice().len())
+                    .unwrap_or_else(|| {
+                        die(&format!("line {}: unknown concept {concept:?}", lineno + 1))
+                    });
+                let selector = match *selector {
+                    "all" => TraceSelector::All,
+                    "unlabeled" => TraceSelector::Unlabeled,
+                    other => match other.strip_prefix("with:") {
+                        Some(name) => TraceSelector::WithLabel(name.to_owned()),
+                        None => die(&format!(
+                            "line {}: selector must be all, unlabeled or with:NAME",
+                            lineno + 1
+                        )),
+                    },
+                };
+                let n = session.label_traces(id, &selector, label_name);
+                eprintln!("labeled {n} classes in {id} as {label_name:?}");
+            }
+            _ => die(&format!(
+                "line {}: expected `label <concept> <selector> <name>`",
+                lineno + 1
+            )),
+        }
+    }
+    for (id, trace) in session.traces().iter() {
+        let label = session
+            .label_of_trace(id)
+            .map(|l| session.labels().name(l).to_owned())
+            .unwrap_or_else(|| "(unlabeled)".to_owned());
+        println!("{label}\t{}", trace.display(&vocab));
+    }
+    let progress = session.progress();
+    for count in &progress.per_label {
+        eprintln!(
+            "{}: {} classes / {} traces",
+            count.name, count.classes, count.traces
+        );
+    }
+    if !progress.is_complete() {
+        eprintln!("warning: some traces are unlabeled");
+        exit(3);
+    }
+}
+
+fn mine(opts: &Opts) {
+    let mut vocab = Vocab::new();
+    let traces = load_traces(opts, &mut vocab);
+    let seeds: Vec<String> = opts
+        .seeds
+        .as_ref()
+        .unwrap_or_else(|| usage("--seeds op1[,op2,…] is required"))
+        .split(',')
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if seeds.is_empty() {
+        usage("--seeds needs at least one operation");
+    }
+    let programs: Vec<Trace> = traces.iter().map(|(_, t)| t.clone()).collect();
+    let miner = cable::strauss::Miner::new(&seeds);
+    let mined = miner.mine(&programs, &vocab);
+    eprintln!(
+        "extracted {} scenarios ({} distinct) from {} program traces",
+        mined.scenarios.len(),
+        mined.scenarios.identical_classes().len(),
+        programs.len()
+    );
+    print!("{}", mined.fa.to_text(&vocab));
+    println!(";");
+    println!("; distinct scenarios:");
+    for class in mined.scenarios.identical_classes() {
+        println!(
+            "; ×{:<4} {}",
+            class.count(),
+            mined.scenarios.trace(class.representative).display(&vocab)
+        );
+    }
+}
+
+fn show_fa(opts: &Opts) {
+    let mut vocab = Vocab::new();
+    let traces = load_traces(opts, &mut vocab);
+    let list: Vec<Trace> = traces.iter().map(|(_, t)| t.clone()).collect();
+    let fa = cable::learn::SkStrings::default().learn(&list);
+    print!("{}", fa.to_text(&vocab));
+}
+
+fn check(opts: &Opts) {
+    let mut vocab = Vocab::new();
+    let traces = load_traces(opts, &mut vocab);
+    let path = opts
+        .fa
+        .as_ref()
+        .unwrap_or_else(|| usage("--fa FILE is required"));
+    let text = fs::read_to_string(path).unwrap_or_else(|e| die(&format!("reading {path}: {e}")));
+    let fa = Fa::parse(&text, &mut vocab).unwrap_or_else(|e| die(&format!("parsing {path}: {e}")));
+    let mut rejected = 0;
+    for (_, t) in traces.iter() {
+        if !fa.accepts(t) {
+            println!("violation: {}", t.display(&vocab));
+            rejected += 1;
+        }
+    }
+    println!("{rejected} of {} traces rejected", traces.len());
+    if rejected > 0 {
+        exit(1);
+    }
+}
+
+fn specs() {
+    let registry = cable::specs::registry();
+    for spec in registry.iter() {
+        println!("{:14} {}", spec.name(), spec.description());
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: cable <cluster|label|mine|show-fa|check|specs> [--traces FILE] [--fa FILE] \
+         [--template unordered|seed:<op>] [--dot OUT] [--script FILE] [--seeds ops]"
+    );
+    exit(2);
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    exit(1);
+}

@@ -1,0 +1,153 @@
+//! End-to-end integration tests across the whole pipeline: workload →
+//! Strauss mining → Cable debugging → re-mining → verification.
+
+use cable::session::strategy;
+use cable::trace::Trace;
+use cable::verify::Checker;
+use cable_bench::{prepare, ReferenceFaChoice};
+
+/// Specs small enough to run the whole pipeline in a test.
+const FAST_SPECS: [&str; 6] = [
+    "XOpenDisplay",
+    "Quarks",
+    "RmvTimeOut",
+    "XGetSelOwner",
+    "XSetSelOwner",
+    "PrsAccelTbl",
+];
+
+#[test]
+fn debugging_recovers_a_specification_that_separates_good_from_bad() {
+    let registry = cable::specs::registry();
+    for name in FAST_SPECS {
+        let spec = registry.spec(name).expect("known spec");
+        let mut p = prepare(spec, 77);
+        cable_bench::tables::debug_with_expert(&mut p);
+        assert!(p.session.all_labeled(), "{name}");
+        // Re-mine from the good traces.
+        let good: Vec<Trace> = p
+            .session
+            .traces_with_label("good")
+            .into_iter()
+            .map(|id| p.session.traces().trace(id).clone())
+            .collect();
+        assert!(!good.is_empty(), "{name}: some scenarios are correct");
+        let corrected = p.miner.remine(&good);
+        // The corrected specification classifies every scenario like the
+        // oracle does, up to learner generalisation on the good side:
+        // every bad scenario must be rejected.
+        for (_, t) in p.scenarios.iter() {
+            if !p.oracle.is_good(t) {
+                assert!(
+                    !corrected.accepts(t),
+                    "{name}: corrected spec accepts the bug {}",
+                    t.display(&p.vocab)
+                );
+            }
+        }
+        // And every good *training* scenario is accepted.
+        for t in &good {
+            assert!(corrected.accepts(t), "{name}");
+        }
+    }
+}
+
+#[test]
+fn corrected_specification_finds_the_injected_bugs() {
+    let registry = cable::specs::registry();
+    let spec = registry.spec("XOpenDisplay").expect("known spec");
+    let mut p = prepare(spec, 99);
+    cable_bench::tables::debug_with_expert(&mut p);
+    let good: Vec<Trace> = p
+        .session
+        .traces_with_label("good")
+        .into_iter()
+        .map(|id| p.session.traces().trace(id).clone())
+        .collect();
+    let corrected = p.miner.remine(&good);
+    let report = Checker::new(corrected).check(&p.workload, &p.vocab);
+    // Exactly the oracle-bad scenarios are violations.
+    let expected = p
+        .scenarios
+        .iter()
+        .filter(|(_, t)| !p.oracle.is_good(t))
+        .count();
+    assert_eq!(report.violations.len(), expected);
+    assert!(report.bug_summary().total > 0, "bugs were injected");
+}
+
+#[test]
+fn bottom_up_equals_baseline_with_the_exact_reference_fa() {
+    // §5.3: "Bottom-up labeling is equivalent to Baseline labeling on
+    // these specifications" — because each class of identical traces has
+    // a characteristic set of FA transitions. That premise holds exactly
+    // when the reference FA distinguishes every class, e.g. the exact
+    // prefix-tree FA.
+    use cable::prelude::*;
+    use cable_learn::Pta;
+
+    let registry = cable::specs::registry();
+    let spec = registry.spec("RmvTimeOut").expect("known spec");
+    let mut vocab = cable::trace::Vocab::new();
+    let workload = spec.generate(13, &mut vocab);
+    let scenarios = cable::strauss::FrontEnd::new(spec.seeds()).extract_all(&workload, &vocab);
+    let list: Vec<Trace> = scenarios.iter().map(|(_, t)| t.clone()).collect();
+    let exact = Pta::build(&list).to_fa();
+    let mut session = CableSession::new(scenarios, exact);
+    let oracle = spec.oracle(&mut vocab);
+    let o = |t: &Trace| oracle.label(t).to_owned();
+    let baseline = strategy::baseline(&session).total();
+    let mut rng = cable::util::rng::seeded(5);
+    let bu = strategy::bottom_up(&mut session, &o, &mut rng)
+        .expect("exact reference is always well-formed")
+        .total();
+    assert_eq!(bu, baseline);
+}
+
+#[test]
+fn strategies_agree_on_the_final_labeling() {
+    let registry = cable::specs::registry();
+    let spec = registry.spec("Quarks").expect("known spec");
+    let mut p = prepare(spec, 21);
+    let oracle = p.oracle.clone();
+    let o = move |t: &Trace| oracle.label(t).to_owned();
+    let mut final_labelings = Vec::new();
+    let mut rng = cable::util::rng::seeded(9);
+    for which in 0..3 {
+        match which {
+            0 => strategy::top_down(&mut p.session, &o, &mut rng),
+            1 => strategy::bottom_up(&mut p.session, &o, &mut rng),
+            _ => strategy::random(&mut p.session, &o, &mut rng),
+        }
+        .expect("well-formed");
+        let labels: Vec<String> = (0..p.session.classes().len())
+            .map(|c| {
+                let l = p.session.labels().get(c).expect("all labeled");
+                p.session.labels().name(l).to_owned()
+            })
+            .collect();
+        final_labelings.push(labels);
+    }
+    assert_eq!(final_labelings[0], final_labelings[1]);
+    assert_eq!(final_labelings[1], final_labelings[2]);
+}
+
+#[test]
+fn reference_fallback_chain_is_exercised() {
+    // Across the full registry, the pipeline should use several
+    // different reference FA kinds (mined, template, exact) — evidence
+    // that the §4.3 fallback logic does real work.
+    let registry = cable::specs::registry();
+    let mut kinds = std::collections::HashSet::new();
+    for name in ["XOpenDisplay", "XSetSelOwner", "XGetSelOwner", "Quarks"] {
+        let spec = registry.spec(name).expect("known spec");
+        let p = prepare(spec, 11);
+        kinds.insert(match p.reference {
+            ReferenceFaChoice::Mined => "mined",
+            ReferenceFaChoice::Unordered => "unordered",
+            ReferenceFaChoice::SeedOrder(_) => "seed-order",
+            ReferenceFaChoice::Exact => "exact",
+        });
+    }
+    assert!(kinds.len() >= 2, "only {kinds:?}");
+}

@@ -1,0 +1,166 @@
+//! Integration tests for the two §2 debugging workflows: debugging by
+//! testing (§2.1, with the verifier) and debugging a mined specification
+//! (§2.2, with grouped labels against overgeneralisation).
+
+use cable::prelude::*;
+use cable::session::TraceSelector;
+use cable::trace::Vocab;
+use cable::verify::Checker;
+
+/// §2.1: verify the buggy Figure 1 spec against a workload, cluster the
+/// violation traces, label, and check the fix.
+#[test]
+fn debugging_by_testing_workflow() {
+    let mut vocab = Vocab::new();
+    let buggy = Fa::parse(
+        "\
+start s0
+accept s2
+s0 -> s1 : fopen(X)
+s0 -> s1 : popen(X)
+s1 -> s1 : fread(X)
+s1 -> s1 : fwrite(X)
+s1 -> s2 : fclose(X)
+",
+        &mut vocab,
+    )
+    .expect("well-formed");
+    let registry = cable::specs::registry();
+    let spec = registry.spec("FilePair").expect("registered");
+    let workload = spec.generate(42, &mut vocab);
+    let report = Checker::new(buggy).check(&workload, &vocab);
+    assert!(
+        !report.violations.is_empty(),
+        "the buggy spec reports violations"
+    );
+
+    // Violations are of three kinds (§2.1): correct popen…pclose, leaks,
+    // and cross-closes; only the first kind is `good`.
+    let traces: Vec<Trace> = report.violations.iter().map(|(_, t)| t.clone()).collect();
+    let fa = cable::fa::templates::unordered_of_trace_events(&traces);
+    let mut session = CableSession::new(report.violations, fa);
+    let oracle = spec.oracle(&mut vocab);
+    assert!(session.is_well_formed_for(|t| oracle.label(t)));
+
+    // Label with repeated top-down passes (as the §2.1 narrative does).
+    while !session.all_labeled() {
+        let mut progress = false;
+        for id in session.lattice().bfs_top_down() {
+            let unlabeled = session.unlabeled_in(id);
+            if unlabeled.is_empty() {
+                continue;
+            }
+            let labels: Vec<&str> = unlabeled
+                .iter()
+                .map(|&c| oracle.label(session.traces().trace(session.classes()[c].representative)))
+                .collect();
+            if labels.iter().all(|l| *l == labels[0]) {
+                let l = labels[0].to_owned();
+                session.label_traces(id, &TraceSelector::Unlabeled, &l);
+                progress = true;
+            }
+        }
+        assert!(progress, "well-formed lattice always makes progress");
+    }
+
+    // Step 2b: checking the labeling — the FA for all good traces should
+    // be the popen…pclose protocol.
+    let good: Vec<Trace> = session
+        .representatives_with_label("good")
+        .into_iter()
+        .cloned()
+        .collect();
+    assert!(!good.is_empty());
+    let popen = vocab.find_op("popen").expect("interned");
+    let pclose = vocab.find_op("pclose").expect("interned");
+    for t in &good {
+        assert_eq!(t.events().first().map(|e| e.op), Some(popen));
+        assert_eq!(t.events().last().map(|e| e.op), Some(pclose));
+    }
+    // Step 3: the fixed spec accepts all good traces and rejects all bad.
+    let fixed = spec.ground_truth(&mut vocab);
+    for t in &good {
+        assert!(fixed.accepts(t));
+    }
+    for t in session.representatives_with_label("bad") {
+        assert!(!fixed.accepts(t));
+    }
+}
+
+/// §2.2: grouped good labels (`good:fopen` vs `good:popen`) let the
+/// expert mine each resource kind separately and avoid the
+/// overgeneralisation that merges fopen/popen closes.
+#[test]
+fn grouped_labels_prevent_overgeneralisation() {
+    let mut vocab = Vocab::new();
+    let registry = cable::specs::registry();
+    let spec = registry.spec("FilePair").expect("registered");
+    let workload = spec.generate(7, &mut vocab);
+    let miner = cable::strauss::Miner::new(spec.seeds());
+    let mined = miner.mine(&workload, &vocab);
+    let oracle = spec.oracle(&mut vocab);
+
+    // Label each good scenario by its resource kind.
+    let mut by_kind: std::collections::BTreeMap<String, Vec<Trace>> = Default::default();
+    for (_, t) in mined.scenarios.iter() {
+        let label = oracle.grouped_label(t, &vocab);
+        if label != "bad" {
+            by_kind.entry(label).or_default().push(t.clone());
+        }
+    }
+    assert_eq!(by_kind.len(), 2, "good:fopen and good:popen");
+
+    // Mine each kind separately.
+    let wrong_close = Trace::parse("popen(X) fread(X) fclose(X)", &mut vocab).unwrap();
+    for (label, traces) in &by_kind {
+        let fa = miner.remine(traces);
+        for t in traces {
+            assert!(fa.accepts(t), "{label}");
+        }
+        assert!(!fa.accepts(&wrong_close), "{label}: no cross-close");
+    }
+}
+
+/// The Show FA summary check of step 2b: the learned FA for the `good`
+/// traces accepts them and rejects the `bad` representatives.
+#[test]
+fn show_fa_summarises_labelled_traces() {
+    let mut vocab = Vocab::new();
+    let mut traces = TraceSet::new();
+    for t in [
+        "popen(X) pclose(X)",
+        "popen(X) fread(X) pclose(X)",
+        "popen(X) fread(X)",
+        "fopen(X) pclose(X)",
+    ] {
+        traces.push(Trace::parse(t, &mut vocab).unwrap());
+    }
+    let all: Vec<Trace> = traces.iter().map(|(_, t)| t.clone()).collect();
+    let fa = cable::fa::templates::unordered_of_trace_events(&all);
+    let mut session = CableSession::new(traces, fa);
+    let top = session.lattice().top();
+    // Label the two popen…pclose classes good (they share the popen and
+    // pclose self-loops: a single concept).
+    let pclose = vocab.find_op("pclose").expect("interned");
+    let popen = vocab.find_op("popen").expect("interned");
+    for id in session.lattice().bfs_top_down() {
+        let classes = session.select(id, &TraceSelector::All);
+        let uniform_good = classes.iter().all(|&c| {
+            let t = session.traces().trace(session.classes()[c].representative);
+            t.events().first().is_some_and(|e| e.op == popen)
+                && t.events().last().is_some_and(|e| e.op == pclose)
+        });
+        if uniform_good && !classes.is_empty() {
+            session.label_traces(id, &TraceSelector::All, "good");
+        }
+    }
+    session.label_traces(top, &TraceSelector::Unlabeled, "bad");
+
+    let good_fa = session.show_fa(top, &TraceSelector::WithLabel("good".into()));
+    for t in session.representatives_with_label("good") {
+        assert!(good_fa.accepts(t));
+    }
+    for t in session.representatives_with_label("bad") {
+        assert!(!good_fa.accepts(t), "{}", t.display(&vocab));
+    }
+}
