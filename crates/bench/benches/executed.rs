@@ -2,13 +2,13 @@
 //! executed-transition relation of traces against a reference FA, and
 //! plain acceptance.
 
+use cable_bench::harness::Group;
 use cable_bench::prepare;
 use cable_trace::Trace;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-fn bench_executed(c: &mut Criterion) {
-    let mut group = c.benchmark_group("executed_transitions");
+fn main() {
+    let mut group = Group::new("executed_transitions");
     let registry = cable_specs::registry();
     for name in ["FilePair", "RegionsBig"] {
         let spec = registry.spec(name).expect("known spec");
@@ -20,23 +20,16 @@ fn bench_executed(c: &mut Criterion) {
             .take(50)
             .map(|(_, t)| t.clone())
             .collect();
-        group.bench_function(BenchmarkId::new("relation", name), |b| {
-            b.iter(|| {
-                for t in &traces {
-                    black_box(fa.executed_transitions(black_box(t)));
-                }
-            })
+        group.bench(&format!("relation/{name}"), || {
+            for t in &traces {
+                black_box(fa.executed_transitions(black_box(t)));
+            }
         });
-        group.bench_function(BenchmarkId::new("accepts", name), |b| {
-            b.iter(|| {
-                for t in &traces {
-                    black_box(fa.accepts(black_box(t)));
-                }
-            })
+        group.bench(&format!("accepts/{name}"), || {
+            for t in &traces {
+                black_box(fa.accepts(black_box(t)));
+            }
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_executed);
-criterion_main!(benches);

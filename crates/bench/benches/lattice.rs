@@ -1,10 +1,14 @@
 //! Benchmarks for Table 2 and the §5.2 scaling claim: concept-lattice
 //! construction cost (Godin's incremental algorithm vs NextClosure).
+//!
+//! The `animals/godin` case doubles as the observability overhead check:
+//! it is run once with spans disabled and once with `CABLE_OBS`-style
+//! timing enabled, and the two medians are printed side by side.
 
+use cable_bench::harness::Group;
 use cable_bench::prepare;
 use cable_fca::{ConceptLattice, Context};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::Rng;
+use cable_util::rng::Rng;
 use std::hint::black_box;
 
 /// The Figure 9 animals context.
@@ -33,54 +37,74 @@ fn synthetic(n_attrs: usize) -> Context {
         let k = rng.gen_range(2..=8usize.min(n_attrs));
         let base = rng.gen_range(0..n_attrs);
         for i in 0..k {
-            ctx.add(o, (base + i * i + rng.gen_range(0..3)) % n_attrs);
+            ctx.add(o, (base + i * i + rng.gen_range(0..3usize)) % n_attrs);
         }
     }
     ctx
 }
 
-fn bench_algorithms(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lattice/animals");
+fn bench_algorithms() {
+    let mut group = Group::new("lattice/animals");
     let ctx = animals();
-    group.bench_function("godin", |b| {
-        b.iter(|| ConceptLattice::build(black_box(&ctx)))
+    group.bench("godin", || {
+        black_box(ConceptLattice::build(black_box(&ctx)));
     });
-    group.bench_function("next_closure", |b| {
-        b.iter(|| ConceptLattice::build_next_closure(black_box(&ctx)))
+    group.bench("next_closure", || {
+        black_box(ConceptLattice::build_next_closure(black_box(&ctx)));
     });
     group.finish();
 }
 
-fn bench_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lattice/scaling");
+fn bench_scaling() {
+    let mut group = Group::new("lattice/scaling");
     for n_attrs in [8usize, 16, 24, 32] {
         let ctx = synthetic(n_attrs);
-        group.bench_with_input(BenchmarkId::new("godin", n_attrs), &ctx, |b, ctx| {
-            b.iter(|| ConceptLattice::build(black_box(ctx)))
+        group.bench(&format!("godin/{n_attrs}"), || {
+            black_box(ConceptLattice::build(black_box(&ctx)));
         });
     }
     group.finish();
 }
 
-fn bench_spec_contexts(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lattice/table2");
-    group.sample_size(20);
+fn bench_spec_contexts() {
+    let mut group = Group::new("lattice/table2");
     let registry = cable_specs::registry();
     for name in ["FilePair", "XtFree", "RegionsBig"] {
         let spec = registry.spec(name).expect("known spec");
         let prepared = prepare(spec, 2003);
         let ctx = prepared.session.context().clone();
-        group.bench_with_input(BenchmarkId::new("godin", name), &ctx, |b, ctx| {
-            b.iter(|| ConceptLattice::build(black_box(ctx)))
+        group.bench(&format!("godin/{name}"), || {
+            black_box(ConceptLattice::build(black_box(&ctx)));
         });
     }
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_algorithms,
-    bench_scaling,
-    bench_spec_contexts
-);
-criterion_main!(benches);
+/// The ISSUE acceptance check: lattice construction with observability
+/// spans enabled must stay within a few percent of the disabled cost
+/// (counters are always on, so this isolates the span/`Instant` cost).
+fn bench_obs_overhead() {
+    let mut group = Group::new("lattice/obs-overhead");
+    let ctx = synthetic(24);
+    cable_obs::set_enabled(false);
+    let off = group.bench("godin/obs-off", || {
+        black_box(ConceptLattice::build(black_box(&ctx)));
+    });
+    cable_obs::set_enabled(true);
+    let on = group.bench("godin/obs-on", || {
+        black_box(ConceptLattice::build(black_box(&ctx)));
+    });
+    cable_obs::set_enabled(false);
+    println!(
+        "  overhead: {:+.2}% (median, spans on vs off)",
+        (on.median_ns / off.median_ns - 1.0) * 100.0
+    );
+    group.finish();
+}
+
+fn main() {
+    bench_algorithms();
+    bench_scaling();
+    bench_spec_contexts();
+    bench_obs_overhead();
+}

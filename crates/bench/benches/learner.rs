@@ -1,10 +1,10 @@
 //! Benchmarks for the miner's back end and Cable's Show FA view: the
 //! sk-strings and k-tails learners.
 
+use cable_bench::harness::Group;
 use cable_learn::{KTails, Pta, SkStrings};
 use cable_strauss::FrontEnd;
 use cable_trace::{Trace, Vocab};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn scenario_corpus(name: &str) -> Vec<Trace> {
@@ -19,23 +19,19 @@ fn scenario_corpus(name: &str) -> Vec<Trace> {
         .collect()
 }
 
-fn bench_learners(c: &mut Criterion) {
-    let mut group = c.benchmark_group("learner");
-    group.sample_size(10);
+fn main() {
+    let mut group = Group::new("learner");
     for name in ["FilePair", "XtFree"] {
         let traces = scenario_corpus(name);
-        group.bench_with_input(BenchmarkId::new("pta", name), &traces, |b, ts| {
-            b.iter(|| Pta::build(black_box(ts)))
+        group.bench(&format!("pta/{name}"), || {
+            black_box(Pta::build(black_box(&traces)));
         });
-        group.bench_with_input(BenchmarkId::new("sk_strings", name), &traces, |b, ts| {
-            b.iter(|| SkStrings::default().learn(black_box(ts)))
+        group.bench(&format!("sk_strings/{name}"), || {
+            black_box(SkStrings::default().learn(black_box(&traces)));
         });
-        group.bench_with_input(BenchmarkId::new("k_tails", name), &traces, |b, ts| {
-            b.iter(|| KTails::default().learn(black_box(ts)))
+        group.bench(&format!("k_tails/{name}"), || {
+            black_box(KTails::default().learn(black_box(&traces)));
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_learners);
-criterion_main!(benches);

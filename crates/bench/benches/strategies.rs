@@ -1,65 +1,62 @@
 //! Benchmarks for Table 3: the cost (in wall-clock time here, rather
 //! than user decisions) of running each labeling strategy to completion.
 
+use cable_bench::harness::Group;
 use cable_bench::prepare;
 use cable_core::strategy;
 use cable_trace::Trace;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
 
-fn bench_strategies(c: &mut Criterion) {
-    let mut group = c.benchmark_group("strategies");
-    group.sample_size(20);
+fn main() {
+    let mut group = Group::new("strategies");
     let registry = cable_specs::registry();
     for name in ["FilePair", "XtFree"] {
         let spec = registry.spec(name).expect("known spec");
         let mut prepared = prepare(spec, 2003);
         let oracle = prepared.oracle.clone();
         let o = move |t: &Trace| oracle.label(t).to_owned();
-        group.bench_function(BenchmarkId::new("top_down", name), |b| {
-            b.iter(|| {
-                let mut rng = cable_util::rng::seeded(1);
+        group.bench(&format!("top_down/{name}"), || {
+            let mut rng = cable_util::rng::seeded(1);
+            black_box(
                 strategy::top_down(&mut prepared.session, &o, &mut rng)
                     .expect("well-formed")
-                    .total()
-            })
+                    .total(),
+            );
         });
         let oracle = prepared.oracle.clone();
         let o = move |t: &Trace| oracle.label(t).to_owned();
-        group.bench_function(BenchmarkId::new("bottom_up", name), |b| {
-            b.iter(|| {
-                let mut rng = cable_util::rng::seeded(1);
+        group.bench(&format!("bottom_up/{name}"), || {
+            let mut rng = cable_util::rng::seeded(1);
+            black_box(
                 strategy::bottom_up(&mut prepared.session, &o, &mut rng)
                     .expect("well-formed")
-                    .total()
-            })
+                    .total(),
+            );
         });
         let oracle = prepared.oracle.clone();
         let o = move |t: &Trace| oracle.label(t).to_owned();
-        group.bench_function(BenchmarkId::new("random", name), |b| {
-            b.iter(|| {
-                let mut rng = cable_util::rng::seeded(1);
+        group.bench(&format!("random/{name}"), || {
+            let mut rng = cable_util::rng::seeded(1);
+            black_box(
                 strategy::random(&mut prepared.session, &o, &mut rng)
                     .expect("well-formed")
-                    .total()
-            })
+                    .total(),
+            );
         });
         let oracle = prepared.oracle.clone();
         let o = move |t: &Trace| oracle.label(t).to_owned();
-        group.bench_function(BenchmarkId::new("expert", name), |b| {
-            b.iter(|| {
+        group.bench(&format!("expert/{name}"), || {
+            black_box(
                 strategy::expert(&mut prepared.session, &o)
                     .expect("well-formed")
-                    .total()
-            })
+                    .total(),
+            );
         });
         let oracle = prepared.oracle.clone();
         let o = move |t: &Trace| oracle.label(t).to_owned();
-        group.bench_function(BenchmarkId::new("optimal", name), |b| {
-            b.iter(|| strategy::optimal(&mut prepared.session, &o, 200_000))
+        group.bench(&format!("optimal/{name}"), || {
+            black_box(strategy::optimal(&mut prepared.session, &o, 200_000));
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_strategies);
-criterion_main!(benches);

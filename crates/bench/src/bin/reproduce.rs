@@ -1,14 +1,24 @@
 //! Regenerates the paper's evaluation tables.
 //!
 //! ```text
-//! reproduce [table1|table2|table3|scaling|coring|ablation|all] [--seed N] [--quick]
+//! reproduce [table1|table2|table3|scaling|coring|ablation|all]
+//!           [--seed N] [--quick] [--stats] [--json-out PATH]
 //! ```
 //!
 //! `--quick` lowers the Random-strategy trial count (the paper uses
 //! 1024) and the Optimal search budget for a fast smoke run.
+//!
+//! `--stats` prints the cable-obs metric report after the tables, and
+//! `--json-out PATH` writes machine-readable JSONL perf records
+//! (conventionally `BENCH_pipeline.json`): one `table2_spec` record per
+//! specification when table2 runs, then one final `pipeline_snapshot`
+//! record with the whole metric registry. Both flags enable span timing;
+//! so does `CABLE_OBS=1`.
 
 use cable_bench::tables::scaling_fit;
-use cable_bench::{scaling, table1, table2, table3};
+use cable_bench::{scaling, table1, table2_with_deltas, table3};
+use cable_obs::json::Value;
+use cable_obs::JsonlSink;
 use std::env;
 
 fn main() {
@@ -16,6 +26,8 @@ fn main() {
     let mut which = Vec::new();
     let mut seed = 2003u64; // PLDI 2003.
     let mut quick = false;
+    let mut stats = false;
+    let mut json_out: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -27,6 +39,15 @@ fn main() {
                     .unwrap_or_else(|| usage("--seed needs an integer"));
             }
             "--quick" => quick = true,
+            "--stats" => stats = true,
+            "--json-out" => {
+                i += 1;
+                json_out = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| usage("--json-out needs a path")),
+                );
+            }
             "table1" | "table2" | "table3" | "scaling" | "coring" | "ablation" | "all" => {
                 which.push(args[i].clone())
             }
@@ -34,6 +55,16 @@ fn main() {
         }
         i += 1;
     }
+    cable_obs::init_from_env();
+    if stats || json_out.is_some() {
+        cable_obs::set_enabled(true);
+    }
+    let sink = json_out.as_deref().map(|path| {
+        JsonlSink::create(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot create {path}: {e}");
+            std::process::exit(2);
+        })
+    });
     if which.is_empty() {
         which.push("all".to_owned());
     }
@@ -69,7 +100,26 @@ fn main() {
             "| spec | traces | unique | reference FA | transitions | k | concepts | build (ms) |"
         );
         println!("|---|---|---|---|---|---|---|---|");
-        let rows = table2(&registry, seed);
+        let rows_with_deltas = table2_with_deltas(&registry, seed);
+        if let Some(sink) = &sink {
+            for (r, delta) in &rows_with_deltas {
+                let record = Value::object([
+                    ("record", Value::from("table2_spec")),
+                    ("seed", Value::from(seed)),
+                    ("spec", Value::from(r.name.as_str())),
+                    ("traces", Value::from(r.traces)),
+                    ("unique", Value::from(r.unique)),
+                    ("reference", Value::from(r.reference.as_str())),
+                    ("transitions", Value::from(r.transitions)),
+                    ("max_row", Value::from(r.max_row)),
+                    ("concepts", Value::from(r.concepts)),
+                    ("build_ms", Value::from(r.build_ms)),
+                    ("obs", delta.to_json()),
+                ]);
+                sink.write(&record).expect("writing perf record");
+            }
+        }
+        let rows: Vec<_> = rows_with_deltas.into_iter().map(|(r, _)| r).collect();
         let mut max_ms = 0.0f64;
         for r in &rows {
             println!(
@@ -234,6 +284,19 @@ fn main() {
             println!("\nfit: concepts ≈ {a:.1} + {b:.2}·transitions (r² = {r2:.2})\n");
         }
     }
+
+    let snap = cable_obs::registry().snapshot();
+    if let Some(sink) = &sink {
+        let record = Value::object([
+            ("record", Value::from("pipeline_snapshot")),
+            ("seed", Value::from(seed)),
+            ("snapshot", snap.to_json()),
+        ]);
+        sink.write(&record).expect("writing final snapshot");
+    }
+    if stats {
+        println!("{}", snap.render());
+    }
 }
 
 fn fmt_opt(v: Option<usize>) -> String {
@@ -243,7 +306,8 @@ fn fmt_opt(v: Option<usize>) -> String {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: reproduce [table1|table2|table3|scaling|coring|ablation|all] [--seed N] [--quick]"
+        "usage: reproduce [table1|table2|table3|scaling|coring|ablation|all] \
+         [--seed N] [--quick] [--stats] [--json-out PATH]"
     );
     std::process::exit(2);
 }

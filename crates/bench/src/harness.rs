@@ -1,0 +1,120 @@
+//! A small wall-clock benchmark harness (the workspace builds offline,
+//! so there is no criterion; `harness = false` benches drive this
+//! instead).
+//!
+//! Usage mirrors the criterion group API loosely:
+//!
+//! ```no_run
+//! let mut g = cable_bench::harness::Group::new("lattice/animals");
+//! g.bench("godin", || { /* work */ });
+//! g.finish();
+//! ```
+//!
+//! Each benchmark is auto-calibrated: the closure is timed once, then run
+//! in batches sized to a per-sample budget, and the per-iteration
+//! minimum, median, and mean over the samples are printed. The
+//! `CABLE_BENCH_BUDGET_MS` environment variable scales the per-sample
+//! budget (default 50 ms, 5 samples) for quicker smoke runs.
+
+use std::time::{Duration, Instant};
+
+/// Number of timed samples per benchmark.
+const SAMPLES: usize = 5;
+
+fn budget() -> Duration {
+    let ms = std::env::var("CABLE_BENCH_BUDGET_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(50);
+    Duration::from_millis(ms.max(1))
+}
+
+/// Per-benchmark timing summary, in nanoseconds per iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct Stats {
+    /// Fastest sample — the least-noise estimate.
+    pub min_ns: f64,
+    /// Median sample.
+    pub median_ns: f64,
+    /// Mean over all samples.
+    pub mean_ns: f64,
+    /// Iterations per sample after calibration.
+    pub iters: u64,
+}
+
+/// Formats nanoseconds with an appropriate unit.
+pub fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.0} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// A named group of benchmarks, printed as one table section.
+pub struct Group {
+    name: String,
+    rows: Vec<(String, Stats)>,
+}
+
+impl Group {
+    /// Starts a group; prints its header immediately so long benches show
+    /// progress.
+    pub fn new(name: &str) -> Group {
+        println!("== {name} ==");
+        Group {
+            name: name.to_owned(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Times `f`, auto-calibrating the iteration count to the sample
+    /// budget, and prints one row.
+    pub fn bench<F: FnMut()>(&mut self, name: &str, mut f: F) -> Stats {
+        // Calibration: one untimed warmup, then estimate the cost.
+        f();
+        let t0 = Instant::now();
+        f();
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let iters = (budget().as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut samples = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            let t = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let stats = Stats {
+            min_ns: samples[0],
+            median_ns: samples[SAMPLES / 2],
+            mean_ns: samples.iter().sum::<f64>() / SAMPLES as f64,
+            iters,
+        };
+        println!(
+            "  {name:<28} min {:>10}  median {:>10}  mean {:>10}  ({} iters/sample)",
+            fmt_ns(stats.min_ns),
+            fmt_ns(stats.median_ns),
+            fmt_ns(stats.mean_ns),
+            stats.iters
+        );
+        self.rows.push((name.to_owned(), stats));
+        stats
+    }
+
+    /// Returns the recorded rows.
+    pub fn rows(&self) -> &[(String, Stats)] {
+        &self.rows
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {
+        println!("-- {}: {} benchmarks --\n", self.name, self.rows.len());
+    }
+}

@@ -16,6 +16,7 @@
 //! everything.
 
 pub mod ablation;
+pub mod harness;
 pub mod pipeline;
 pub mod tables;
 
@@ -24,4 +25,7 @@ pub use ablation::{
     LearnerRow,
 };
 pub use pipeline::{prepare, PreparedSpec, ReferenceFaChoice};
-pub use tables::{scaling, table1, table2, table3, ScalingRow, Table1Row, Table2Row, Table3Row};
+pub use tables::{
+    scaling, table1, table2, table2_with_deltas, table3, ScalingRow, Table1Row, Table2Row,
+    Table3Row,
+};

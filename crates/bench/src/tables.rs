@@ -108,13 +108,24 @@ pub struct Table2Row {
 
 /// Regenerates Table 2.
 pub fn table2(registry: &Registry, seed: u64) -> Vec<Table2Row> {
+    table2_with_deltas(registry, seed)
+        .into_iter()
+        .map(|(row, _)| row)
+        .collect()
+}
+
+/// Like [`table2`], but each row is paired with the obs counter delta its
+/// preparation and timed builds produced — the per-spec perf record
+/// behind `reproduce --json-out`.
+pub fn table2_with_deltas(registry: &Registry, seed: u64) -> Vec<(Table2Row, cable_obs::Snapshot)> {
     registry
         .iter()
         .map(|spec| {
+            let before = cable_obs::registry().snapshot();
             let p = prepare(spec, seed);
             let ctx = p.session.context();
             let build_ms = time_build(ctx);
-            Table2Row {
+            let row = Table2Row {
                 name: p.name.clone(),
                 traces: p.scenarios.len(),
                 unique: p.session.classes().len(),
@@ -123,7 +134,9 @@ pub fn table2(registry: &Registry, seed: u64) -> Vec<Table2Row> {
                 max_row: ctx.max_row_size(),
                 concepts: p.session.lattice().len(),
                 build_ms,
-            }
+            };
+            let delta = cable_obs::registry().snapshot().delta_since(&before);
+            (row, delta)
         })
         .collect()
 }
@@ -234,7 +247,7 @@ pub struct ScalingRow {
 /// attribute universe. The paper observes lattice size roughly linear in
 /// the number of FA transitions, and time slightly worse than linear.
 pub fn scaling(seed: u64) -> Vec<ScalingRow> {
-    use rand::Rng;
+    use cable_util::rng::Rng;
     let mut rows = Vec::new();
     for &n_attrs in &[4usize, 8, 12, 16, 20, 24, 32, 40] {
         let mut rng = cable_util::rng::seeded(cable_util::rng::derive_seed(seed, n_attrs as u64));
@@ -246,7 +259,7 @@ pub fn scaling(seed: u64) -> Vec<ScalingRow> {
             let k = rng.gen_range(2..=8usize.min(n_attrs));
             let base = rng.gen_range(0..n_attrs);
             for i in 0..k {
-                ctx.add(o, (base + i * i + rng.gen_range(0..3)) % n_attrs);
+                ctx.add(o, (base + i * i + rng.gen_range(0..3usize)) % n_attrs);
             }
         }
         let build_ms = time_build(&ctx);

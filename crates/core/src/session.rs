@@ -5,9 +5,27 @@ use crate::label::{Label, LabelStore};
 use cable_fa::{Fa, TransId};
 use cable_fca::{ConceptId, ConceptLattice, Context};
 use cable_learn::SkStrings;
+use cable_obs::{CounterHandle, HistogramHandle, Span};
 use cable_trace::{IdenticalClass, Trace, TraceId, TraceSet, Vocab};
 use cable_util::BitSet;
 use std::fmt::Write as _;
+
+/// Sessions built (context + lattice construction).
+static SESSIONS_BUILT: CounterHandle = CounterHandle::new("core.session.built");
+/// Wall-clock cost of building a session.
+static SESSION_BUILD_NS: HistogramHandle = HistogramHandle::new("core.session.build_ns");
+/// `Label traces` operations.
+static LABEL_OPS: CounterHandle = CounterHandle::new("core.session.label_ops");
+/// Classes relabeled across all `Label traces` operations.
+static CLASSES_LABELED: CounterHandle = CounterHandle::new("core.session.classes_labeled");
+/// `Show FA` summary views computed.
+static SHOW_FA_OPS: CounterHandle = CounterHandle::new("core.session.show_fa_ops");
+/// Focused sub-sessions started.
+static FOCUS_OPS: CounterHandle = CounterHandle::new("core.session.focus_ops");
+/// Traces absorbed live through `push_trace`.
+static TRACES_PUSHED: CounterHandle = CounterHandle::new("core.session.traces_pushed");
+/// `push_trace` calls that created a fresh class (lattice insertion).
+static CLASSES_PUSHED: CounterHandle = CounterHandle::new("core.session.classes_pushed");
 
 /// The labeling state of a concept (§4.1). The original Cable displayed
 /// these as green, yellow and red.
@@ -56,6 +74,8 @@ impl CableSession {
     /// transitions under the reference FA (the relation `R` of §3.2) and
     /// the concept lattice of the resulting context.
     pub fn new(traces: TraceSet, fa: Fa) -> Self {
+        let _span = Span::enter("core.session.build", &SESSION_BUILD_NS);
+        SESSIONS_BUILT.get().incr();
         let classes = traces.identical_classes();
         let mut class_of = vec![0usize; traces.len()];
         for (c, class) in classes.iter().enumerate() {
@@ -185,6 +205,8 @@ impl CableSession {
         for &c in &selected {
             self.labels.set(c, label);
         }
+        LABEL_OPS.get().incr();
+        CLASSES_LABELED.get().add(selected.len() as u64);
         selected.len()
     }
 
@@ -237,6 +259,7 @@ impl CableSession {
     ///
     /// Returns the trace's id and whether a new class was created.
     pub fn push_trace(&mut self, trace: Trace) -> (TraceId, bool) {
+        TRACES_PUSHED.get().incr();
         // Identical to an existing class?
         if let Some(class) = self
             .classes
@@ -248,6 +271,7 @@ impl CableSession {
             self.class_of.push(class);
             return (id, false);
         }
+        CLASSES_PUSHED.get().incr();
         let executed = self.fa.executed_transitions(&trace);
         let id = self.traces.push(trace);
         let class = self.context.push_object(&executed);
@@ -288,6 +312,7 @@ impl CableSession {
         selector: &TraceSelector,
         learner: SkStrings,
     ) -> Fa {
+        SHOW_FA_OPS.get().incr();
         let traces: Vec<Trace> = self
             .select(concept, selector)
             .into_iter()
@@ -322,6 +347,7 @@ impl CableSession {
     /// a different reference FA (typically one of the §4.1 templates).
     /// Existing labels carry over into the sub-session.
     pub fn focus(&self, concept: ConceptId, fa: Fa) -> FocusSession {
+        FOCUS_OPS.get().incr();
         let parent_classes: Vec<usize> = self.lattice.concept(concept).extent.iter().collect();
         let mut traces = TraceSet::new();
         for &c in &parent_classes {

@@ -26,12 +26,22 @@
 
 use crate::session::{CableSession, ConceptState, TraceSelector};
 use cable_fca::ConceptId;
+use cable_obs::{CounterHandle, HistogramHandle, Span};
 use cable_trace::Trace;
 use cable_util::rng::shuffle;
+use cable_util::rng::{Rng, SmallRng};
 use cable_util::BitSet;
-use rand::rngs::SmallRng;
-use rand::Rng;
 use std::collections::{HashSet, VecDeque};
+
+/// Strategy runs started (all strategies).
+static STRATEGY_RUNS: CounterHandle = CounterHandle::new("core.strategy.runs");
+/// Labeled-set states explored by `optimal`'s breadth-first search.
+static OPTIMAL_STATES: CounterHandle = CounterHandle::new("core.strategy.optimal.states_explored");
+/// `optimal` searches abandoned on the explored-state budget.
+static OPTIMAL_BUDGET_TRIPS: CounterHandle =
+    CounterHandle::new("core.strategy.optimal.budget_trips");
+/// Wall-clock cost of `optimal` searches.
+static OPTIMAL_NS: HistogramHandle = HistogramHandle::new("core.strategy.optimal.search_ns");
 
 /// The cost of a strategy run, in Cable operations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -117,6 +127,7 @@ pub fn top_down<F>(session: &mut CableSession, oracle: &F, rng: &mut SmallRng) -
 where
     F: Fn(&Trace) -> String,
 {
+    STRATEGY_RUNS.get().incr();
     session.clear_labels();
     let labels = class_labels(session, oracle);
     let mut cost = Cost::default();
@@ -161,6 +172,7 @@ pub fn bottom_up<F>(session: &mut CableSession, oracle: &F, rng: &mut SmallRng) 
 where
     F: Fn(&Trace) -> String,
 {
+    STRATEGY_RUNS.get().incr();
     session.clear_labels();
     let labels = class_labels(session, oracle);
     let mut cost = Cost::default();
@@ -196,6 +208,7 @@ pub fn random<F>(session: &mut CableSession, oracle: &F, rng: &mut SmallRng) -> 
 where
     F: Fn(&Trace) -> String,
 {
+    STRATEGY_RUNS.get().incr();
     session.clear_labels();
     let labels = class_labels(session, oracle);
     let mut cost = Cost::default();
@@ -232,6 +245,8 @@ pub fn optimal<F>(session: &mut CableSession, oracle: &F, max_states: usize) -> 
 where
     F: Fn(&Trace) -> String,
 {
+    STRATEGY_RUNS.get().incr();
+    let _span = Span::enter("core.strategy.optimal.search", &OPTIMAL_NS);
     session.clear_labels();
     let labels = class_labels(session, oracle);
     let n_classes = session.classes().len();
@@ -260,6 +275,7 @@ where
                 }
                 let new_state = state.union(extent);
                 if new_state == full {
+                    OPTIMAL_STATES.get().add(visited.len() as u64);
                     return Some(Cost {
                         inspections: steps,
                         labelings: steps,
@@ -267,6 +283,8 @@ where
                 }
                 if visited.insert(new_state.clone()) {
                     if visited.len() > max_states {
+                        OPTIMAL_STATES.get().add(visited.len() as u64);
+                        OPTIMAL_BUDGET_TRIPS.get().incr();
                         return None; // Budget exceeded.
                     }
                     next.push(new_state);
@@ -275,6 +293,7 @@ where
         }
         frontier = next;
     }
+    OPTIMAL_STATES.get().add(visited.len() as u64);
     None // Labeling unreachable.
 }
 
@@ -287,6 +306,7 @@ pub fn expert<F>(session: &mut CableSession, oracle: &F) -> Option<Cost>
 where
     F: Fn(&Trace) -> String,
 {
+    STRATEGY_RUNS.get().incr();
     session.clear_labels();
     let labels = class_labels(session, oracle);
     let mut cost = Cost {
@@ -320,6 +340,7 @@ pub fn expert_cautious<F>(session: &mut CableSession, oracle: &F) -> Option<Cost
 where
     F: Fn(&Trace) -> String,
 {
+    STRATEGY_RUNS.get().incr();
     session.clear_labels();
     let labels = class_labels(session, oracle);
     let mut cost = Cost {

@@ -1,15 +1,24 @@
-//! Property tests for Cable sessions and strategies on random trace
+//! Randomized tests for Cable sessions and strategies on random trace
 //! populations clustered under the unordered template.
+//!
+//! Each test runs a fixed number of seeded cases, so failures reproduce
+//! exactly (`seeded(case)` pins the generator).
 
 use cable_core::{strategy, CableSession, ConceptState, TraceSelector};
 use cable_fa::templates;
 use cable_trace::{Event, Trace, TraceSet, Var, Vocab};
-use proptest::prelude::*;
+use cable_util::rng::{seeded, Rng, SmallRng};
 
 /// Random trace population: op sequences over a 4-op alphabet, with
 /// duplicates likely.
-fn arb_population() -> impl Strategy<Value = Vec<Vec<usize>>> {
-    prop::collection::vec(prop::collection::vec(0usize..4, 1..5), 1..14)
+fn gen_population(rng: &mut SmallRng) -> Vec<Vec<usize>> {
+    let n = rng.gen_range(1usize..14);
+    (0..n)
+        .map(|_| {
+            let len = rng.gen_range(1usize..5);
+            (0..len).map(|_| rng.gen_range(0usize..4)).collect()
+        })
+        .collect()
 }
 
 fn build_session(raw: &[Vec<usize>]) -> (CableSession, Vocab) {
@@ -36,44 +45,57 @@ fn set_oracle(t: &Trace) -> String {
     format!("{ops:?}")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn classes_partition_traces(raw in arb_population()) {
+#[test]
+fn classes_partition_traces() {
+    for case in 0..96u64 {
+        let raw = gen_population(&mut seeded(case));
         let (session, _) = build_session(&raw);
         let total: usize = session.classes().iter().map(|c| c.count()).sum();
-        prop_assert_eq!(total, session.traces().len());
+        assert_eq!(total, session.traces().len(), "case {case}");
         // class_of is consistent with membership.
         for (c, class) in session.classes().iter().enumerate() {
             for &m in &class.members {
-                prop_assert_eq!(session.class_of(m), c);
+                assert_eq!(session.class_of(m), c, "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn top_concept_holds_every_class(raw in arb_population()) {
+#[test]
+fn top_concept_holds_every_class() {
+    for case in 0..96u64 {
+        let raw = gen_population(&mut seeded(case));
         let (session, _) = build_session(&raw);
         let top = session.lattice().top();
-        prop_assert_eq!(
+        assert_eq!(
             session.select(top, &TraceSelector::All).len(),
-            session.classes().len()
+            session.classes().len(),
+            "case {case}"
         );
     }
+}
 
-    #[test]
-    fn label_all_makes_everything_fully_labeled(raw in arb_population()) {
+#[test]
+fn label_all_makes_everything_fully_labeled() {
+    for case in 0..96u64 {
+        let raw = gen_population(&mut seeded(case));
         let (mut session, _) = build_session(&raw);
         session.label_traces(session.lattice().top(), &TraceSelector::All, "x");
-        prop_assert!(session.all_labeled());
+        assert!(session.all_labeled(), "case {case}");
         for id in session.lattice().ids() {
-            prop_assert_eq!(session.concept_state(id), ConceptState::FullyLabeled);
+            assert_eq!(
+                session.concept_state(id),
+                ConceptState::FullyLabeled,
+                "case {case}"
+            );
         }
     }
+}
 
-    #[test]
-    fn selectors_partition_every_concept(raw in arb_population()) {
+#[test]
+fn selectors_partition_every_concept() {
+    for case in 0..96u64 {
+        let raw = gen_population(&mut seeded(case));
         let (mut session, _) = build_session(&raw);
         // Label one child of the top, if any.
         let top = session.lattice().top();
@@ -86,23 +108,29 @@ proptest! {
             let good = session
                 .select(id, &TraceSelector::WithLabel("good".into()))
                 .len();
-            prop_assert_eq!(all, unlabeled + good);
+            assert_eq!(all, unlabeled + good, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn set_oracle_is_always_well_formed_for_unordered(raw in arb_population()) {
+#[test]
+fn set_oracle_is_always_well_formed_for_unordered() {
+    for case in 0..96u64 {
+        let raw = gen_population(&mut seeded(case));
         // The unordered lattice can always express a labeling that is a
         // function of the op set.
         let (session, _) = build_session(&raw);
-        prop_assert!(session.is_well_formed_for(set_oracle));
+        assert!(session.is_well_formed_for(set_oracle), "case {case}");
     }
+}
 
-    #[test]
-    fn strategies_reach_the_set_oracle_labeling(raw in arb_population()) {
+#[test]
+fn strategies_reach_the_set_oracle_labeling() {
+    for case in 0..96u64 {
+        let raw = gen_population(&mut seeded(case));
         let (mut session, _) = build_session(&raw);
         let o = |t: &Trace| set_oracle(t);
-        let mut rng = cable_util::rng::seeded(42);
+        let mut rng = seeded(42);
         for which in 0..4 {
             let cost = match which {
                 0 => strategy::top_down(&mut session, &o, &mut rng),
@@ -110,40 +138,58 @@ proptest! {
                 2 => strategy::random(&mut session, &o, &mut rng),
                 _ => strategy::expert(&mut session, &o),
             };
-            prop_assert!(cost.is_some(), "strategy {which} failed");
-            prop_assert!(session.all_labeled());
+            assert!(cost.is_some(), "case {case}: strategy {which} failed");
+            assert!(session.all_labeled(), "case {case}");
             for (c, class) in session.classes().iter().enumerate() {
                 let want = set_oracle(session.traces().trace(class.representative));
-                let got = session.labels().get(c).map(|l| session.labels().name(l).to_owned());
-                prop_assert_eq!(got, Some(want));
+                let got = session
+                    .labels()
+                    .get(c)
+                    .map(|l| session.labels().name(l).to_owned());
+                assert_eq!(got, Some(want), "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn optimal_lower_bounds_strategies(raw in arb_population()) {
+#[test]
+fn optimal_lower_bounds_strategies() {
+    for case in 0..96u64 {
+        let raw = gen_population(&mut seeded(case));
         let (mut session, _) = build_session(&raw);
         let o = |t: &Trace| set_oracle(t);
         let opt = strategy::optimal(&mut session, &o, 200_000);
-        prop_assume!(opt.is_some());
-        let opt = opt.unwrap().total();
-        let mut rng = cable_util::rng::seeded(1);
-        let td = strategy::top_down(&mut session, &o, &mut rng).unwrap().total();
-        let bu = strategy::bottom_up(&mut session, &o, &mut rng).unwrap().total();
+        let Some(opt) = opt else { continue };
+        let opt = opt.total();
+        let mut rng = seeded(1);
+        let td = strategy::top_down(&mut session, &o, &mut rng)
+            .unwrap()
+            .total();
+        let bu = strategy::bottom_up(&mut session, &o, &mut rng)
+            .unwrap()
+            .total();
         let ex = strategy::expert(&mut session, &o).unwrap().total();
-        prop_assert!(opt <= td && opt <= bu && opt <= ex, "opt {opt} td {td} bu {bu} ex {ex}");
+        assert!(
+            opt <= td && opt <= bu && opt <= ex,
+            "case {case}: opt {opt} td {td} bu {bu} ex {ex}"
+        );
     }
+}
 
-    #[test]
-    fn focus_round_trip_preserves_labels(raw in arb_population()) {
+#[test]
+fn focus_round_trip_preserves_labels() {
+    for case in 0..96u64 {
+        let raw = gen_population(&mut seeded(case));
         let (mut session, _) = build_session(&raw);
         let top = session.lattice().top();
         // Label everything via a focus session over the exact same FA.
         let fa = session.reference_fa().clone();
         let mut focus = session.focus(top, fa);
         let ftop = focus.session().lattice().top();
-        focus.session_mut().label_traces(ftop, &TraceSelector::All, "good");
+        focus
+            .session_mut()
+            .label_traces(ftop, &TraceSelector::All, "good");
         session.merge_focus(focus);
-        prop_assert!(session.all_labeled());
+        assert!(session.all_labeled(), "case {case}");
     }
 }

@@ -18,8 +18,18 @@
 
 use crate::fa::{Fa, StateId};
 use crate::label::{ArgPat, EventPat, TransLabel};
+use cable_obs::CounterHandle;
 use cable_util::BitSet;
 use std::collections::{HashMap, VecDeque};
+
+/// Subset constructions performed.
+static DETERMINIZE_CALLS: CounterHandle = CounterHandle::new("fa.determinize.calls");
+/// DFA states produced by subset constructions.
+static DETERMINIZE_STATES: CounterHandle = CounterHandle::new("fa.determinize.dfa_states");
+/// DFA minimisations performed.
+static MINIMIZE_CALLS: CounterHandle = CounterHandle::new("fa.minimize.calls");
+/// States removed by minimisation (input minus output states).
+static MINIMIZE_STATES_REMOVED: CounterHandle = CounterHandle::new("fa.minimize.states_removed");
 
 /// Tests whether two argument patterns can match a common argument.
 fn arg_pats_overlap(a: &ArgPat, b: &ArgPat) -> bool {
@@ -248,6 +258,10 @@ impl Dfa {
             }
             n_classes = count;
         }
+        MINIMIZE_CALLS.get().incr();
+        MINIMIZE_STATES_REMOVED
+            .get()
+            .add((n.saturating_sub(n_classes)) as u64);
         // Rebuild.
         let mut delta = vec![vec![None; letters]; n_classes];
         let mut accepts = BitSet::with_capacity(n_classes);
@@ -521,6 +535,8 @@ impl Fa {
                 accepts.insert(id);
             }
         }
+        DETERMINIZE_CALLS.get().incr();
+        DETERMINIZE_STATES.get().add(order.len() as u64);
         Dfa {
             labels: letter_labels,
             delta,

@@ -18,8 +18,18 @@
 //! (possibly exponential) accepting-sequence set.
 
 use crate::fa::{Fa, StateId};
+use cable_obs::{CounterHandle, HistogramHandle, Span};
 use cable_trace::Trace;
 use cable_util::BitSet;
+
+/// Executed-transition relation computations (one per trace).
+static EXECUTED_CALLS: CounterHandle = CounterHandle::new("fa.executed.calls");
+/// Events consumed across all executed-transition sweeps.
+static EXECUTED_EVENTS: CounterHandle = CounterHandle::new("fa.executed.events");
+/// Acceptance runs.
+static ACCEPT_CALLS: CounterHandle = CounterHandle::new("fa.accepts.calls");
+/// Wall-clock cost of executed-transition sweeps.
+static EXECUTED_NS: HistogramHandle = HistogramHandle::new("fa.executed.sweep_ns");
 
 impl Fa {
     /// Tests whether the automaton accepts the trace.
@@ -36,6 +46,7 @@ impl Fa {
     /// assert!(fa.accepts(&t));
     /// ```
     pub fn accepts(&self, trace: &Trace) -> bool {
+        ACCEPT_CALLS.get().incr();
         let mut current = self.start_states().clone();
         for event in trace.iter() {
             let mut next = BitSet::with_capacity(self.state_count());
@@ -101,6 +112,9 @@ impl Fa {
     /// Returns the empty set when the automaton does not accept the trace
     /// (there are no accepting sequences).
     pub fn executed_transitions(&self, trace: &Trace) -> BitSet {
+        let _span = Span::enter("fa.executed.sweep", &EXECUTED_NS);
+        EXECUTED_CALLS.get().incr();
+        EXECUTED_EVENTS.get().add(trace.len() as u64);
         let fwd = self.forward_sets(trace);
         let bwd = self.backward_sets(trace);
         let mut executed = BitSet::with_capacity(self.transition_count());

@@ -1,10 +1,13 @@
-//! Property tests for the executed-transition relation (§3.2) against a
+//! Randomized tests for the executed-transition relation (§3.2) against a
 //! brute-force oracle that enumerates all accepting transition sequences.
+//!
+//! Each test runs a fixed number of seeded cases, so failures reproduce
+//! exactly (`seeded(case)` pins the generator).
 
 use cable_fa::{Fa, FaBuilder, StateId};
 use cable_trace::{Event, Trace, Var, Vocab};
+use cable_util::rng::{seeded, Rng, SmallRng};
 use cable_util::BitSet;
-use proptest::prelude::*;
 
 /// A small random NFA over operations `op0..op_k` (single-variable
 /// events) plus occasional wildcard transitions.
@@ -17,25 +20,37 @@ struct RandomFa {
     accepts: Vec<usize>,
 }
 
-fn arb_fa(max_states: usize, n_ops: usize) -> impl Strategy<Value = RandomFa> {
-    (2..=max_states).prop_flat_map(move |n| {
-        let trans = prop::collection::vec(
-            (
-                0..n,
-                prop::sample::select((0..n_ops).chain([usize::MAX]).collect::<Vec<_>>()),
-                0..n,
-            ),
-            1..=12,
-        );
-        let starts = prop::collection::btree_set(0..n, 1..=2);
-        let accepts = prop::collection::btree_set(0..n, 1..=2);
-        (trans, starts, accepts).prop_map(move |(transitions, starts, accepts)| RandomFa {
-            n_states: n,
-            transitions,
-            starts: starts.into_iter().collect(),
-            accepts: accepts.into_iter().collect(),
+fn gen_state_set(rng: &mut SmallRng, n: usize) -> Vec<usize> {
+    let want = rng.gen_range(1usize..=2);
+    let mut set = std::collections::BTreeSet::new();
+    while set.len() < want.min(n) {
+        set.insert(rng.gen_range(0..n));
+    }
+    set.into_iter().collect()
+}
+
+fn gen_fa(rng: &mut SmallRng, max_states: usize, n_ops: usize) -> RandomFa {
+    let n = rng.gen_range(2..=max_states);
+    let n_trans = rng.gen_range(1usize..=12);
+    let transitions = (0..n_trans)
+        .map(|_| {
+            // One extra label slot stands for the wildcard.
+            let op = rng.gen_range(0..=n_ops);
+            let op = if op == n_ops { usize::MAX } else { op };
+            (rng.gen_range(0..n), op, rng.gen_range(0..n))
         })
-    })
+        .collect();
+    RandomFa {
+        n_states: n,
+        transitions,
+        starts: gen_state_set(rng, n),
+        accepts: gen_state_set(rng, n),
+    }
+}
+
+fn gen_ops(rng: &mut SmallRng, n_ops: usize, min_len: usize, max_len: usize) -> Vec<usize> {
+    let len = rng.gen_range(min_len..max_len);
+    (0..len).map(|_| rng.gen_range(0..n_ops)).collect()
 }
 
 fn realize(rfa: &RandomFa, vocab: &mut Vocab) -> Fa {
@@ -114,39 +129,41 @@ fn walk(
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn executed_matches_brute_force(
-        rfa in arb_fa(5, 3),
-        ops in prop::collection::vec(0usize..3, 0..6),
-    ) {
+#[test]
+fn executed_matches_brute_force() {
+    for case in 0..256u64 {
+        let mut rng = seeded(case);
+        let rfa = gen_fa(&mut rng, 5, 3);
+        let ops = gen_ops(&mut rng, 3, 0, 6);
         let mut vocab = Vocab::new();
         let fa = realize(&rfa, &mut vocab);
         let trace = trace_of(&ops, &mut vocab);
         let fast = fa.executed_transitions(&trace);
         let slow = brute_force_executed(&fa, &trace);
-        prop_assert_eq!(fast, slow);
+        assert_eq!(fast, slow, "case {case}");
     }
+}
 
-    #[test]
-    fn executed_nonempty_iff_accepted_nonempty_trace(
-        rfa in arb_fa(5, 3),
-        ops in prop::collection::vec(0usize..3, 1..6),
-    ) {
+#[test]
+fn executed_nonempty_iff_accepted_nonempty_trace() {
+    for case in 0..256u64 {
+        let mut rng = seeded(case);
+        let rfa = gen_fa(&mut rng, 5, 3);
+        let ops = gen_ops(&mut rng, 3, 1, 6);
         let mut vocab = Vocab::new();
         let fa = realize(&rfa, &mut vocab);
         let trace = trace_of(&ops, &mut vocab);
         let executed = fa.executed_transitions(&trace);
-        prop_assert_eq!(fa.accepts(&trace), !executed.is_empty());
+        assert_eq!(fa.accepts(&trace), !executed.is_empty(), "case {case}");
     }
+}
 
-    #[test]
-    fn executed_transitions_match_events(
-        rfa in arb_fa(5, 3),
-        ops in prop::collection::vec(0usize..3, 0..6),
-    ) {
+#[test]
+fn executed_transitions_match_events() {
+    for case in 0..256u64 {
+        let mut rng = seeded(case);
+        let rfa = gen_fa(&mut rng, 5, 3);
+        let ops = gen_ops(&mut rng, 3, 0, 6);
         // Every executed transition's label matches at least one event of
         // the trace.
         let mut vocab = Vocab::new();
@@ -154,30 +171,33 @@ proptest! {
         let trace = trace_of(&ops, &mut vocab);
         for tid in fa.executed_transitions(&trace).iter() {
             let label = &fa.transitions()[tid].label;
-            prop_assert!(
+            assert!(
                 trace.iter().any(|e| label.matches(e)),
-                "label {:?}",
-                label
+                "case {case}: label {label:?}"
             );
         }
     }
+}
 
-    #[test]
-    fn trim_preserves_acceptance(
-        rfa in arb_fa(5, 3),
-        ops in prop::collection::vec(0usize..3, 0..6),
-    ) {
+#[test]
+fn trim_preserves_acceptance() {
+    for case in 0..256u64 {
+        let mut rng = seeded(case);
+        let rfa = gen_fa(&mut rng, 5, 3);
+        let ops = gen_ops(&mut rng, 3, 0, 6);
         let mut vocab = Vocab::new();
         let fa = realize(&rfa, &mut vocab);
         let trace = trace_of(&ops, &mut vocab);
-        prop_assert_eq!(fa.trim().accepts(&trace), fa.accepts(&trace));
+        assert_eq!(fa.trim().accepts(&trace), fa.accepts(&trace), "case {case}");
     }
+}
 
-    #[test]
-    fn determinize_preserves_acceptance_without_wildcards(
-        rfa in arb_fa(5, 3),
-        ops in prop::collection::vec(0usize..3, 0..6),
-    ) {
+#[test]
+fn determinize_preserves_acceptance_without_wildcards() {
+    for case in 0..256u64 {
+        let mut rng = seeded(case);
+        let rfa = gen_fa(&mut rng, 5, 3);
+        let ops = gen_ops(&mut rng, 3, 0, 6);
         // Restrict to automata without wildcards and run the DFA on the
         // corresponding letter string.
         let mut vocab = Vocab::new();
@@ -190,7 +210,9 @@ proptest! {
                 .collect(),
             ..rfa
         };
-        prop_assume!(!concrete.transitions.is_empty());
+        if concrete.transitions.is_empty() {
+            continue;
+        }
         let fa = realize(&concrete, &mut vocab);
         let trace = trace_of(&ops, &mut vocab);
         let dfa = fa.determinize();
@@ -204,57 +226,75 @@ proptest! {
                     .unwrap_or(dfa.labels().len())
             })
             .collect();
-        prop_assert_eq!(dfa.accepts_letters(&letters), fa.accepts(&trace));
+        assert_eq!(
+            dfa.accepts_letters(&letters),
+            fa.accepts(&trace),
+            "case {case}"
+        );
         // Minimisation preserves the language too.
-        prop_assert_eq!(dfa.minimize().accepts_letters(&letters), fa.accepts(&trace));
+        assert_eq!(
+            dfa.minimize().accepts_letters(&letters),
+            fa.accepts(&trace),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn union_and_intersection_semantics(
-        rfa1 in arb_fa(4, 3),
-        rfa2 in arb_fa(4, 3),
-        ops in prop::collection::vec(0usize..3, 0..6),
-    ) {
+#[test]
+fn union_and_intersection_semantics() {
+    for case in 0..256u64 {
+        let mut rng = seeded(case);
+        let rfa1 = gen_fa(&mut rng, 4, 3);
+        let rfa2 = gen_fa(&mut rng, 4, 3);
+        let ops = gen_ops(&mut rng, 3, 0, 6);
         let mut vocab = Vocab::new();
         let a = realize(&rfa1, &mut vocab);
         let b = realize(&rfa2, &mut vocab);
         let trace = trace_of(&ops, &mut vocab);
-        prop_assert_eq!(
+        assert_eq!(
             a.union(&b).accepts(&trace),
-            a.accepts(&trace) || b.accepts(&trace)
+            a.accepts(&trace) || b.accepts(&trace),
+            "case {case}"
         );
-        prop_assert_eq!(
+        assert_eq!(
             a.intersection(&b).accepts(&trace),
-            a.accepts(&trace) && b.accepts(&trace)
+            a.accepts(&trace) && b.accepts(&trace),
+            "case {case}"
         );
     }
+}
 
-    #[test]
-    fn equivalence_is_reflexive_and_respects_trim(rfa in arb_fa(5, 3)) {
+#[test]
+fn equivalence_is_reflexive_and_respects_trim() {
+    for case in 0..256u64 {
+        let mut rng = seeded(case);
+        let rfa = gen_fa(&mut rng, 5, 3);
         let mut vocab = Vocab::new();
         let fa = realize(&rfa, &mut vocab);
-        prop_assert!(fa.equivalent(&fa));
-        prop_assert!(fa.equivalent(&fa.trim()));
+        assert!(fa.equivalent(&fa), "case {case}");
+        assert!(fa.equivalent(&fa.trim()), "case {case}");
     }
+}
 
-    #[test]
-    fn containment_is_consistent_with_union_and_equivalence(
-        rfa1 in arb_fa(4, 3),
-        rfa2 in arb_fa(4, 3),
-    ) {
+#[test]
+fn containment_is_consistent_with_union_and_equivalence() {
+    for case in 0..256u64 {
+        let mut rng = seeded(case);
+        let rfa1 = gen_fa(&mut rng, 4, 3);
+        let rfa2 = gen_fa(&mut rng, 4, 3);
         let mut vocab = Vocab::new();
         let a = realize(&rfa1, &mut vocab);
         let b = realize(&rfa2, &mut vocab);
         // A ⊆ A∪B and B ⊆ A∪B always.
         let u = a.union(&b);
-        prop_assert!(a.language_subset_of(&u));
-        prop_assert!(b.language_subset_of(&u));
+        assert!(a.language_subset_of(&u), "case {case}");
+        assert!(b.language_subset_of(&u), "case {case}");
         // A∩B ⊆ A and ⊆ B.
         let i = a.intersection(&b);
-        prop_assert!(i.language_subset_of(&a));
-        prop_assert!(i.language_subset_of(&b));
+        assert!(i.language_subset_of(&a), "case {case}");
+        assert!(i.language_subset_of(&b), "case {case}");
         // Mutual containment ⟺ equivalence.
         let mutual = a.language_subset_of(&b) && b.language_subset_of(&a);
-        prop_assert_eq!(mutual, a.equivalent(&b));
+        assert_eq!(mutual, a.equivalent(&b), "case {case}");
     }
 }

@@ -12,13 +12,36 @@
 //! Its running time is `O(2^{2k} · |O|)` where `k` bounds the number of
 //! attributes per object; the paper observes `k < 10` in practice.
 //!
+//! Concepts must be scanned in increasing intent-cardinality order —
+//! Godin's *cardinality buckets*. [`Inserter`] keeps those buckets alive
+//! across insertions: a modified concept keeps its intent (and bucket),
+//! and a created concept is appended to the bucket of its new intent, so
+//! batch construction never re-sorts the concept set per object. The
+//! standalone [`add_object`] entry point (used when a single object joins
+//! an existing lattice) rebuilds the buckets once from the concept set.
+//!
 //! The concept *set* is maintained incrementally; the Hasse diagram is
 //! computed once at the end by [`crate::lattice::ConceptLattice::from_concepts`].
 
 use crate::context::Context;
 use crate::lattice::Concept;
+use cable_obs::CounterHandle;
 use cable_util::BitSet;
 use std::collections::HashSet;
+
+/// Objects inserted through Godin's algorithm (batch or incremental).
+static OBJECTS_INSERTED: CounterHandle = CounterHandle::new("fca.godin.objects_inserted");
+/// Concepts whose extent absorbed the new object.
+static CONCEPTS_MODIFIED: CounterHandle = CounterHandle::new("fca.godin.concepts_modified");
+/// Concepts created from a generator.
+static CONCEPTS_CREATED: CounterHandle = CounterHandle::new("fca.godin.concepts_created");
+/// Generator candidates skipped because their intent was already seen.
+static CANDIDATES_SKIPPED: CounterHandle = CounterHandle::new("fca.godin.candidates_skipped");
+/// Bucket tables rebuilt from scratch (standalone [`add_object`] calls).
+static BUCKET_REBUILDS: CounterHandle = CounterHandle::new("fca.godin.bucket_rebuilds");
+/// Insertions that reused live buckets — the work the incremental
+/// [`Inserter`] saves over re-sorting per object.
+static BUCKET_REUSES: CounterHandle = CounterHandle::new("fca.godin.bucket_reuses");
 
 /// Computes all concepts of the context by incremental object insertion.
 ///
@@ -31,8 +54,9 @@ pub fn concepts(ctx: &Context) -> Vec<Concept> {
         extent: BitSet::new(),
         intent: BitSet::full(ctx.attribute_count()),
     }];
+    let mut inserter = Inserter::new(&concepts, ctx.attribute_count());
     for o in 0..ctx.object_count() {
-        add_object(&mut concepts, o, ctx.row(o));
+        inserter.add_object(&mut concepts, o, ctx.row(o));
     }
     concepts
 }
@@ -40,40 +64,97 @@ pub fn concepts(ctx: &Context) -> Vec<Concept> {
 /// Inserts one object with the given attribute row into an existing
 /// concept set (which must be the concept set of the context restricted
 /// to the previously inserted objects, plus the `(∅, A)` seed).
+///
+/// This rebuilds Godin's cardinality buckets from the concept set; batch
+/// callers inserting many objects should hold an [`Inserter`] instead.
 pub fn add_object(concepts: &mut Vec<Concept>, object: usize, attrs: &BitSet) {
-    // Process existing concepts in increasing intent-size order (Godin's
-    // cardinality buckets).
-    let mut order: Vec<usize> = (0..concepts.len()).collect();
-    order.sort_by_key(|&i| concepts[i].intent.len());
-    // Intents that are already accounted for in the new lattice: those of
-    // modified concepts and of concepts created during this insertion.
-    let mut seen: HashSet<BitSet> = HashSet::new();
-    let mut created: Vec<Concept> = Vec::new();
-    for idx in order {
-        let intent = concepts[idx].intent.clone();
-        if intent.is_subset(attrs) {
-            // Modified concept: the new object has all its attributes.
-            concepts[idx].extent.insert(object);
-            seen.insert(intent);
-        } else {
-            let candidate = intent.intersection(attrs);
-            if seen.contains(&candidate) {
-                continue;
+    BUCKET_REBUILDS.get().incr();
+    let n_attrs = concepts
+        .iter()
+        .map(|c| c.intent.len())
+        .max()
+        .unwrap_or(0)
+        .max(attrs.last().map_or(0, |a| a + 1));
+    let mut inserter = Inserter::new(concepts, n_attrs);
+    inserter.insert(concepts, object, attrs);
+}
+
+/// Godin's intent-cardinality buckets, kept alive across insertions.
+///
+/// `buckets[k]` holds the indices of all concepts whose intent has `k`
+/// attributes. Scanning buckets in increasing `k` yields the processing
+/// order the algorithm's generator argument depends on, without sorting:
+/// modified concepts keep their intent size, and each created concept is
+/// appended to the bucket of its (new) intent size after the scan.
+#[derive(Debug)]
+pub struct Inserter {
+    buckets: Vec<Vec<usize>>,
+}
+
+impl Inserter {
+    /// Builds the buckets for an existing concept set over `n_attrs`
+    /// attributes.
+    pub fn new(concepts: &[Concept], n_attrs: usize) -> Inserter {
+        let mut buckets = vec![Vec::new(); n_attrs + 1];
+        for (i, c) in concepts.iter().enumerate() {
+            buckets[c.intent.len()].push(i);
+        }
+        Inserter { buckets }
+    }
+
+    /// Inserts one object, reusing the live buckets.
+    pub fn add_object(&mut self, concepts: &mut Vec<Concept>, object: usize, attrs: &BitSet) {
+        BUCKET_REUSES.get().incr();
+        self.insert(concepts, object, attrs);
+    }
+
+    fn insert(&mut self, concepts: &mut Vec<Concept>, object: usize, attrs: &BitSet) {
+        OBJECTS_INSERTED.get().incr();
+        // Intents that are already accounted for in the new lattice: those
+        // of modified concepts and of concepts created during this
+        // insertion.
+        let mut seen: HashSet<BitSet> = HashSet::new();
+        let mut created: Vec<Concept> = Vec::new();
+        let mut modified = 0u64;
+        let mut skipped = 0u64;
+        for bucket in &self.buckets {
+            for &idx in bucket {
+                let intent = concepts[idx].intent.clone();
+                if intent.is_subset(attrs) {
+                    // Modified concept: the new object has all its
+                    // attributes. Its intent — and so its bucket — stays.
+                    concepts[idx].extent.insert(object);
+                    modified += 1;
+                    seen.insert(intent);
+                } else {
+                    let candidate = intent.intersection(attrs);
+                    if seen.contains(&candidate) {
+                        skipped += 1;
+                        continue;
+                    }
+                    // `concepts[idx]` is the generator: because concepts
+                    // are processed by increasing intent size, the first
+                    // generator of `candidate` is the closure concept of
+                    // `candidate` in the old context, so its extent is
+                    // exactly τ_old(candidate).
+                    let mut extent = concepts[idx].extent.clone();
+                    extent.insert(object);
+                    seen.insert(candidate.clone());
+                    created.push(Concept {
+                        extent,
+                        intent: candidate,
+                    });
+                }
             }
-            // `concepts[idx]` is the generator: because concepts are
-            // processed by increasing intent size, the first generator of
-            // `candidate` is the closure concept of `candidate` in the old
-            // context, so its extent is exactly τ_old(candidate).
-            let mut extent = concepts[idx].extent.clone();
-            extent.insert(object);
-            seen.insert(candidate.clone());
-            created.push(Concept {
-                extent,
-                intent: candidate,
-            });
+        }
+        CONCEPTS_MODIFIED.get().add(modified);
+        CONCEPTS_CREATED.get().add(created.len() as u64);
+        CANDIDATES_SKIPPED.get().add(skipped);
+        for c in created {
+            self.buckets[c.intent.len()].push(concepts.len());
+            concepts.push(c);
         }
     }
-    concepts.append(&mut created);
 }
 
 #[cfg(test)]
@@ -156,5 +237,42 @@ mod tests {
     fn animals_count_matches_figure_10() {
         let ctx = ctx_of(&[&[0, 1], &[1, 2, 4], &[2, 3], &[2, 4], &[2, 3]], 5);
         assert_eq!(concepts(&ctx).len(), 8);
+    }
+
+    #[test]
+    fn standalone_add_object_matches_batch() {
+        // Insert the animals objects one at a time through the bucket
+        // rebuilding entry point; the result must match `concepts`.
+        let ctx = ctx_of(&[&[0, 1], &[1, 2, 4], &[2, 3], &[2, 4], &[2, 3]], 5);
+        let mut incremental = vec![Concept {
+            extent: BitSet::new(),
+            intent: BitSet::full(5),
+        }];
+        for o in 0..ctx.object_count() {
+            add_object(&mut incremental, o, ctx.row(o));
+        }
+        let batch = concepts(&ctx);
+        let a: std::collections::HashSet<_> = incremental
+            .into_iter()
+            .map(|c| (c.extent, c.intent))
+            .collect();
+        let b: std::collections::HashSet<_> =
+            batch.into_iter().map(|c| (c.extent, c.intent)).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn inserter_counts_saved_sorts() {
+        let before = cable_obs::registry().snapshot();
+        let ctx = ctx_of(&[&[0, 1], &[1, 2, 4], &[2, 3], &[2, 4], &[2, 3]], 5);
+        let _ = concepts(&ctx);
+        let delta = cable_obs::registry().snapshot().delta_since(&before);
+        // Batch construction reuses the buckets for every object (other
+        // tests share the process-wide counters, so bound from below).
+        assert!(delta.counter("fca.godin.bucket_reuses").unwrap_or(0) >= 5);
+        assert!(delta.counter("fca.godin.objects_inserted").unwrap_or(0) >= 5);
+        let modified = delta.counter("fca.godin.concepts_modified").unwrap_or(0);
+        let created = delta.counter("fca.godin.concepts_created").unwrap_or(0);
+        assert!(modified > 0 && created > 0, "{modified} {created}");
     }
 }

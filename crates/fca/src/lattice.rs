@@ -1,9 +1,19 @@
 //! The concept lattice: concepts, order, and the Hasse diagram.
 
 use crate::context::Context;
+use cable_obs::{CounterHandle, HistogramHandle, Span};
 use cable_util::BitSet;
 use std::collections::HashMap;
 use std::fmt;
+
+/// Wall-clock cost of full lattice builds (Godin or NextClosure).
+static BUILD_NS: HistogramHandle = HistogramHandle::new("fca.lattice.build_ns");
+/// Wall-clock cost of Hasse-diagram assembly inside `from_concepts`.
+static HASSE_NS: HistogramHandle = HistogramHandle::new("fca.lattice.hasse_ns");
+/// Cover edges produced by Hasse-diagram assembly.
+static HASSE_EDGES: CounterHandle = CounterHandle::new("fca.lattice.hasse_edges");
+/// Lattices assembled via `from_concepts`.
+static LATTICES_BUILT: CounterHandle = CounterHandle::new("fca.lattice.built");
 
 /// A formal concept: a pair `(extent, intent)` with `σ(extent) = intent`
 /// and `τ(intent) = extent`.
@@ -61,11 +71,13 @@ impl ConceptLattice {
     /// Builds the lattice of a context with Godin's incremental algorithm
     /// (the paper's choice).
     pub fn build(ctx: &Context) -> Self {
+        let _span = Span::enter("fca.lattice.build", &BUILD_NS);
         Self::from_concepts(crate::godin::concepts(ctx))
     }
 
     /// Builds the lattice with Ganter's NextClosure (batch) algorithm.
     pub fn build_next_closure(ctx: &Context) -> Self {
+        let _span = Span::enter("fca.lattice.build", &BUILD_NS);
         Self::from_concepts(crate::next_closure::concepts(ctx))
     }
 
@@ -93,6 +105,8 @@ impl ConceptLattice {
         }
         // Hasse diagram: for each concept d, its parents are the minimal
         // strict supersets of its extent.
+        let hasse_span = Span::enter("fca.lattice.hasse", &HASSE_NS);
+        let mut edges = 0u64;
         let mut children: Vec<Vec<ConceptId>> = vec![Vec::new(); n];
         let mut parents: Vec<Vec<ConceptId>> = vec![Vec::new(); n];
         for d in 0..n {
@@ -107,9 +121,13 @@ impl ConceptLattice {
                 if minimal {
                     children[c].push(ConceptId(d as u32));
                     parents[d].push(ConceptId(c as u32));
+                    edges += 1;
                 }
             }
         }
+        drop(hasse_span);
+        HASSE_EDGES.get().add(edges);
+        LATTICES_BUILT.get().incr();
         let top = ConceptId(0);
         let bottom = ConceptId(
             (0..n)

@@ -7,13 +7,18 @@
 
 use crate::context::Context;
 use crate::lattice::Concept;
+use cable_obs::CounterHandle;
 use cable_util::BitSet;
+
+/// Closure computations performed while enumerating lectic successors.
+static CLOSURES: CounterHandle = CounterHandle::new("fca.next_closure.closures");
 
 /// Computes all concepts by enumerating closed intents in lectic order.
 pub fn concepts(ctx: &Context) -> Vec<Concept> {
     let m = ctx.attribute_count();
     let mut result = Vec::new();
     let mut current = ctx.intent_closure(&BitSet::new());
+    CLOSURES.get().incr();
     loop {
         result.push(Concept {
             extent: ctx.tau(&current),
@@ -44,6 +49,7 @@ fn next_closure(ctx: &Context, a: &BitSet, m: usize) -> Option<BitSet> {
             }
         }
         prefix.insert(i);
+        CLOSURES.get().incr();
         let closed = ctx.intent_closure(&prefix);
         // Accept iff the closure adds no element smaller than i that a
         // lacks (the lectic condition a <_i closed).

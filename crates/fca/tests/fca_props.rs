@@ -1,30 +1,35 @@
-//! Property-based tests for the FCA implementation.
+//! Randomized tests for the FCA implementation.
 //!
 //! The key oracle: Godin's incremental algorithm and Ganter's NextClosure
 //! must produce exactly the same concept set on random contexts, and the
 //! resulting lattice must satisfy the laws §3.1 of the paper relies on.
+//!
+//! Each test runs a fixed number of seeded cases, so failures reproduce
+//! exactly (`seeded(case)` pins the generator).
 
 use cable_fca::{ConceptLattice, Context};
+use cable_util::rng::{seeded, Rng, SmallRng};
 use cable_util::BitSet;
-use proptest::prelude::*;
 use std::collections::HashSet;
 
-/// A random context as a list of rows over up to 8 attributes.
-fn arb_context() -> impl Strategy<Value = Context> {
-    (1usize..=8, prop::collection::vec(0u16..256, 0..12)).prop_map(|(n_attrs, rows)| {
-        let bit_rows: Vec<BitSet> = rows
-            .iter()
-            .map(|&bits| (0..n_attrs).filter(|&a| bits & (1 << a) != 0).collect())
-            .collect();
-        Context::from_rows(bit_rows, n_attrs)
-    })
+/// A random context: up to 12 objects over up to 8 attributes, each row
+/// drawn as an 8-bit attribute mask.
+fn gen_context(rng: &mut SmallRng) -> Context {
+    let n_attrs = rng.gen_range(1usize..=8);
+    let n_rows = rng.gen_range(0usize..12);
+    let bit_rows: Vec<BitSet> = (0..n_rows)
+        .map(|_| {
+            let bits = rng.gen_range(0u16..256);
+            (0..n_attrs).filter(|&a| bits & (1 << a) != 0).collect()
+        })
+        .collect();
+    Context::from_rows(bit_rows, n_attrs)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn godin_equals_next_closure(ctx in arb_context()) {
+#[test]
+fn godin_equals_next_closure() {
+    for case in 0..128u64 {
+        let ctx = gen_context(&mut seeded(case));
         let a: HashSet<_> = cable_fca::godin::concepts(&ctx)
             .into_iter()
             .map(|c| (c.extent, c.intent))
@@ -33,80 +38,100 @@ proptest! {
             .into_iter()
             .map(|c| (c.extent, c.intent))
             .collect();
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "case {case}");
     }
+}
 
-    #[test]
-    fn concepts_are_closed_pairs(ctx in arb_context()) {
+#[test]
+fn concepts_are_closed_pairs() {
+    for case in 0..128u64 {
+        let ctx = gen_context(&mut seeded(case));
         for c in cable_fca::godin::concepts(&ctx) {
-            prop_assert_eq!(ctx.sigma(&c.extent), c.intent.clone());
-            prop_assert_eq!(ctx.tau(&c.intent), c.extent.clone());
+            assert_eq!(ctx.sigma(&c.extent), c.intent, "case {case}");
+            assert_eq!(ctx.tau(&c.intent), c.extent, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn lattice_order_is_consistent(ctx in arb_context()) {
+#[test]
+fn lattice_order_is_consistent() {
+    for case in 0..128u64 {
+        let ctx = gen_context(&mut seeded(case));
         let l = ConceptLattice::build(&ctx);
-        // Top contains every object with an identity; every concept ≤ top,
-        // bottom ≤ every concept.
+        // Every concept ≤ top, bottom ≤ every concept.
         for id in l.ids() {
-            prop_assert!(l.le(id, l.top()));
-            prop_assert!(l.le(l.bottom(), id));
+            assert!(l.le(id, l.top()), "case {case}");
+            assert!(l.le(l.bottom(), id), "case {case}");
         }
         // Subset lattice on extents == superset lattice on intents.
         for a in l.ids() {
             for b in l.ids() {
                 let ext = l.concept(a).extent.is_subset(&l.concept(b).extent);
                 let int = l.concept(b).intent.is_subset(&l.concept(a).intent);
-                prop_assert_eq!(ext, int);
+                assert_eq!(ext, int, "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn similarity_is_antitone_on_lattice(ctx in arb_context()) {
+#[test]
+fn similarity_is_antitone_on_lattice() {
+    for case in 0..128u64 {
+        let ctx = gen_context(&mut seeded(case));
         let l = ConceptLattice::build(&ctx);
         for id in l.ids() {
             for &child in l.children(id) {
-                prop_assert!(l.concept(child).similarity() >= l.concept(id).similarity());
+                assert!(
+                    l.concept(child).similarity() >= l.concept(id).similarity(),
+                    "case {case}"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn meet_join_are_bounds(ctx in arb_context()) {
+#[test]
+fn meet_join_are_bounds() {
+    for case in 0..128u64 {
+        let ctx = gen_context(&mut seeded(case));
         let l = ConceptLattice::build(&ctx);
         let ids: Vec<_> = l.ids().collect();
         for &a in ids.iter().take(6) {
             for &b in ids.iter().take(6) {
                 let m = l.meet(a, b);
-                prop_assert!(l.le(m, a) && l.le(m, b));
+                assert!(l.le(m, a) && l.le(m, b), "case {case}");
                 let j = l.join(a, b);
-                prop_assert!(l.le(a, j) && l.le(b, j));
-                // Meet is the greatest lower bound.
+                assert!(l.le(a, j) && l.le(b, j), "case {case}");
+                // Meet is the greatest lower bound, join the least upper.
                 for &c in &ids {
                     if l.le(c, a) && l.le(c, b) {
-                        prop_assert!(l.le(c, m));
+                        assert!(l.le(c, m), "case {case}");
                     }
                     if l.le(a, c) && l.le(b, c) {
-                        prop_assert!(l.le(j, c));
+                        assert!(l.le(j, c), "case {case}");
                     }
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn bfs_reaches_every_concept(ctx in arb_context()) {
+#[test]
+fn bfs_reaches_every_concept() {
+    for case in 0..128u64 {
+        let ctx = gen_context(&mut seeded(case));
         let l = ConceptLattice::build(&ctx);
         let order = l.bfs_top_down();
-        prop_assert_eq!(order.len(), l.len());
+        assert_eq!(order.len(), l.len(), "case {case}");
         let set: HashSet<_> = order.into_iter().collect();
-        prop_assert_eq!(set.len(), l.len());
+        assert_eq!(set.len(), l.len(), "case {case}");
     }
+}
 
-    #[test]
-    fn incremental_insertion_matches_batch(ctx in arb_context()) {
+#[test]
+fn incremental_insertion_matches_batch() {
+    for case in 0..128u64 {
+        let ctx = gen_context(&mut seeded(case));
         let batch = ConceptLattice::build(&ctx);
         let mut incremental = ConceptLattice::from_concepts(vec![cable_fca::Concept {
             extent: BitSet::new(),
@@ -115,23 +140,30 @@ proptest! {
         for o in 0..ctx.object_count() {
             incremental = incremental.insert_object(o, ctx.row(o));
         }
-        prop_assert_eq!(incremental.len(), batch.len());
+        assert_eq!(incremental.len(), batch.len(), "case {case}");
         for (_, c) in batch.iter() {
             let id = incremental.find_by_extent(&c.extent);
-            prop_assert!(id.is_some());
-            prop_assert_eq!(&incremental.concept(id.unwrap()).intent, &c.intent);
+            assert!(id.is_some(), "case {case}");
+            assert_eq!(
+                &incremental.concept(id.unwrap()).intent,
+                &c.intent,
+                "case {case}"
+            );
         }
     }
+}
 
-    #[test]
-    fn extent_intersection_is_an_extent(ctx in arb_context()) {
+#[test]
+fn extent_intersection_is_an_extent() {
+    for case in 0..128u64 {
+        let ctx = gen_context(&mut seeded(case));
         // The property `meet` relies on.
         let l = ConceptLattice::build(&ctx);
         let ids: Vec<_> = l.ids().collect();
         for &a in ids.iter().take(8) {
             for &b in ids.iter().take(8) {
                 let inter = l.concept(a).extent.intersection(&l.concept(b).extent);
-                prop_assert!(l.find_by_extent(&inter).is_some());
+                assert!(l.find_by_extent(&inter).is_some(), "case {case}");
             }
         }
     }

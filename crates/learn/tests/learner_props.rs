@@ -1,10 +1,13 @@
-//! Property tests for the automaton learners: whatever the training set,
-//! a learner must at least accept it, and merging must only ever grow
-//! the language.
+//! Randomized tests for the automaton learners: whatever the training
+//! set, a learner must at least accept it, and merging must only ever
+//! grow the language.
+//!
+//! Each test runs a fixed number of seeded cases, so failures reproduce
+//! exactly (`seeded(case)` pins the generator).
 
 use cable_learn::{KTails, Pta, SkStrings};
 use cable_trace::{Event, Trace, Var, Vocab};
-use proptest::prelude::*;
+use cable_util::rng::{seeded, Rng, SmallRng};
 
 fn traces_of(raw: &[Vec<usize>], vocab: &mut Vocab) -> Vec<Trace> {
     raw.iter()
@@ -18,87 +21,128 @@ fn traces_of(raw: &[Vec<usize>], vocab: &mut Vocab) -> Vec<Trace> {
         .collect()
 }
 
-fn arb_training_set() -> impl Strategy<Value = Vec<Vec<usize>>> {
-    prop::collection::vec(prop::collection::vec(0usize..4, 0..6), 1..10)
+fn gen_ops(rng: &mut SmallRng) -> Vec<usize> {
+    let len = rng.gen_range(0usize..6);
+    (0..len).map(|_| rng.gen_range(0usize..4)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn gen_training_set(rng: &mut SmallRng) -> Vec<Vec<usize>> {
+    let n = rng.gen_range(1usize..10);
+    (0..n).map(|_| gen_ops(rng)).collect()
+}
 
-    #[test]
-    fn pta_accepts_exactly_the_training_set(raw in arb_training_set(), probe in prop::collection::vec(0usize..4, 0..6)) {
+#[test]
+fn pta_accepts_exactly_the_training_set() {
+    for case in 0..128u64 {
+        let mut rng = seeded(case);
+        let raw = gen_training_set(&mut rng);
+        let probe = gen_ops(&mut rng);
         let mut vocab = Vocab::new();
         let traces = traces_of(&raw, &mut vocab);
         let fa = Pta::build(&traces).to_fa();
         for t in &traces {
-            prop_assert!(fa.accepts(t));
+            assert!(fa.accepts(t), "case {case}");
         }
         let probe_trace = traces_of(std::slice::from_ref(&probe), &mut vocab).remove(0);
-        prop_assert_eq!(fa.accepts(&probe_trace), raw.contains(&probe));
+        assert_eq!(
+            fa.accepts(&probe_trace),
+            raw.contains(&probe),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn sk_strings_accepts_training_set(raw in arb_training_set()) {
+#[test]
+fn sk_strings_accepts_training_set() {
+    for case in 0..128u64 {
+        let mut rng = seeded(case);
+        let raw = gen_training_set(&mut rng);
         let mut vocab = Vocab::new();
         let traces = traces_of(&raw, &mut vocab);
         for (k, s) in [(1, 50.0), (2, 50.0), (2, 100.0), (3, 100.0)] {
             let fa = SkStrings { k, s_percent: s }.learn(&traces);
             for t in &traces {
-                prop_assert!(fa.accepts(t), "k={k} s={s} rejects {:?}", raw);
+                assert!(fa.accepts(t), "case {case}: k={k} s={s} rejects {raw:?}");
             }
         }
     }
+}
 
-    #[test]
-    fn k_tails_accepts_training_set(raw in arb_training_set()) {
+#[test]
+fn k_tails_accepts_training_set() {
+    for case in 0..128u64 {
+        let mut rng = seeded(case);
+        let raw = gen_training_set(&mut rng);
         let mut vocab = Vocab::new();
         let traces = traces_of(&raw, &mut vocab);
         for k in 0..=3 {
             let fa = KTails { k }.learn(&traces);
             for t in &traces {
-                prop_assert!(fa.accepts(t), "k={k} rejects {:?}", raw);
+                assert!(fa.accepts(t), "case {case}: k={k} rejects {raw:?}");
             }
         }
     }
+}
 
-    #[test]
-    fn learners_never_grow_beyond_the_pta(raw in arb_training_set()) {
+#[test]
+fn learners_never_grow_beyond_the_pta() {
+    for case in 0..128u64 {
+        let mut rng = seeded(case);
+        let raw = gen_training_set(&mut rng);
         // Merging only shrinks the state count.
         let mut vocab = Vocab::new();
         let traces = traces_of(&raw, &mut vocab);
         let pta_states = Pta::build(&traces).node_count();
-        prop_assert!(SkStrings::default().learn(&traces).state_count() <= pta_states);
-        prop_assert!(KTails::default().learn(&traces).state_count() <= pta_states);
+        assert!(
+            SkStrings::default().learn(&traces).state_count() <= pta_states,
+            "case {case}"
+        );
+        assert!(
+            KTails::default().learn(&traces).state_count() <= pta_states,
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn merge_preserves_training_acceptance(raw in arb_training_set(), a in 0usize..20, b in 0usize..20) {
+#[test]
+fn merge_preserves_training_acceptance() {
+    for case in 0..128u64 {
+        let mut rng = seeded(case);
+        let raw = gen_training_set(&mut rng);
         // Any single merge of PTA states keeps the training set accepted
         // (merging only adds paths).
         let mut vocab = Vocab::new();
         let traces = traces_of(&raw, &mut vocab);
         let counted = Pta::build(&traces).to_counted();
         let n = counted.state_count();
-        prop_assume!(n >= 2);
-        let (a, b) = (a % n, b % n);
-        prop_assume!(a != b);
+        if n < 2 {
+            continue;
+        }
+        let (a, b) = (rng.gen_range(0usize..20) % n, rng.gen_range(0usize..20) % n);
+        if a == b {
+            continue;
+        }
         let merged = counted.merge(a, b).to_fa();
         for t in &traces {
-            prop_assert!(merged.accepts(t));
+            assert!(merged.accepts(t), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn counted_totals_are_consistent(raw in arb_training_set()) {
+#[test]
+fn counted_totals_are_consistent() {
+    for case in 0..128u64 {
+        let mut rng = seeded(case);
+        let raw = gen_training_set(&mut rng);
         let mut vocab = Vocab::new();
         let traces = traces_of(&raw, &mut vocab);
         let counted = Pta::build(&traces).to_counted();
         // Root outflow equals the number of training traces.
-        prop_assert_eq!(counted.total_out(0) as usize, traces.len());
+        assert_eq!(counted.total_out(0) as usize, traces.len(), "case {case}");
         // Accept counts across states sum to the number of traces.
         let accepted: u64 = (0..counted.state_count())
             .map(|s| counted.accept_count(s))
             .sum();
-        prop_assert_eq!(accepted as usize, traces.len());
+        assert_eq!(accepted as usize, traces.len(), "case {case}");
     }
 }

@@ -1,0 +1,86 @@
+//! `cable-obs`: the observability substrate of the Cable workspace.
+//!
+//! The paper's claims are *cost* claims — Table 2 times Godin's lattice
+//! construction, Table 3 counts user decisions, §5.2 claims near-linear
+//! scaling — so the reproduction needs to see where time and work go.
+//! This crate provides that visibility with **no dependencies beyond
+//! `std`** (the workspace builds offline, and the repo policy is
+//! hand-rolled serialisation rather than serde):
+//!
+//! * [`Counter`] — monotonic counters on cheap atomics, safe to leave in
+//!   hot paths unconditionally;
+//! * [`Histogram`] — log2-bucketed duration/size histograms, also
+//!   atomics;
+//! * [`Span`] — RAII wall-clock timers with per-thread nesting, recorded
+//!   into histograms only while observation is [`enabled`], so release
+//!   paths pay one relaxed load when it is off;
+//! * [`Registry`] — the process-wide metric table, with a [`Snapshot`]
+//!   API, a human-readable [report printer](Snapshot::render), and a
+//!   [JSONL sink](JsonlSink) for machine-readable perf records;
+//! * [`json`] — a minimal JSON value model with a hand-rolled writer and
+//!   parser, used for the perf records and their round-trip tests.
+//!
+//! # Usage
+//!
+//! Instrumented code declares static handles; registration happens on
+//! first use and every later hit is an atomic op:
+//!
+//! ```
+//! use cable_obs as obs;
+//!
+//! static INSERTS: obs::CounterHandle = obs::CounterHandle::new("demo.inserts");
+//! static BUILD: obs::HistogramHandle = obs::HistogramHandle::new("demo.build_ns");
+//!
+//! obs::set_enabled(true);
+//! {
+//!     let _span = obs::Span::enter("demo.build", &BUILD);
+//!     INSERTS.get().incr();
+//! }
+//! let snap = obs::registry().snapshot();
+//! assert_eq!(snap.counter("demo.inserts"), Some(1));
+//! assert!(snap.histogram("demo.build_ns").is_some());
+//! ```
+//!
+//! Counters count even while disabled (they are the workload accounting
+//! the tables rely on); spans only time while enabled, so the `--stats`
+//! flags and `CABLE_OBS=1` gate the `Instant::now` cost.
+
+pub mod json;
+mod metrics;
+mod registry;
+mod report;
+mod sink;
+mod span;
+
+pub use metrics::{Counter, CounterHandle, Histogram, HistogramHandle, HistogramSnapshot, BUCKETS};
+pub use registry::{registry, Registry, Snapshot};
+pub use sink::{parse_jsonl, JsonlSink};
+pub use span::{current_depth, Span};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether span timing is on. Counters are unconditional; only the
+/// `Instant::now` cost of spans is gated on this flag.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns span timing on or off.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Enables span timing if the `CABLE_OBS` environment variable is set to
+/// anything other than `0` or the empty string. Returns the resulting
+/// state.
+pub fn init_from_env() -> bool {
+    if let Ok(v) = std::env::var("CABLE_OBS") {
+        if !v.is_empty() && v != "0" {
+            set_enabled(true);
+        }
+    }
+    enabled()
+}

@@ -1,0 +1,208 @@
+//! The process-wide metric registry and its snapshots.
+
+use crate::json::Value;
+use crate::metrics::{Counter, Histogram, HistogramSnapshot};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// The global, thread-safe table of named metrics.
+///
+/// Registration takes a mutex; the returned `Arc` is then used lock-free,
+/// so the hot path never touches the registry lock (static handles cache
+/// the `Arc` — see [`crate::CounterHandle`]).
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+/// The process-wide registry.
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+impl Registry {
+    /// The counter with this name, created on first request.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().expect("obs registry poisoned");
+        map.entry(name.to_owned()).or_default().clone()
+    }
+
+    /// The histogram with this name, created on first request.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().expect("obs registry poisoned");
+        map.entry(name.to_owned()).or_default().clone()
+    }
+
+    /// A point-in-time copy of every metric. Deterministic (sorted by
+    /// name); exact once recording threads have joined.
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self
+            .counters
+            .lock()
+            .expect("obs registry poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("obs registry poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect();
+        Snapshot {
+            counters,
+            histograms,
+        }
+    }
+
+    /// Resets every metric to zero. Registered names (and cached handles)
+    /// stay valid.
+    pub fn reset(&self) {
+        for c in self
+            .counters
+            .lock()
+            .expect("obs registry poisoned")
+            .values()
+        {
+            c.reset();
+        }
+        for h in self
+            .histograms
+            .lock()
+            .expect("obs registry poisoned")
+            .values()
+        {
+            h.reset();
+        }
+    }
+}
+
+/// A point-in-time copy of the registry.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Snapshot {
+    /// Counter totals by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram states by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// The value of a counter, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// The state of a histogram, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// Counter-wise difference against an earlier snapshot: what happened
+    /// between `earlier` and `self`. Histograms are carried from `self`
+    /// unchanged (bucket subtraction is rarely meaningful); counters
+    /// saturate at zero.
+    pub fn delta_since(&self, earlier: &Snapshot) -> Snapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, &v)| {
+                let before = earlier.counter(k).unwrap_or(0);
+                (k.clone(), v.saturating_sub(before))
+            })
+            .collect();
+        Snapshot {
+            counters,
+            histograms: self.histograms.clone(),
+        }
+    }
+
+    /// The snapshot as a JSON value (the JSONL record shape):
+    /// `{"counters": {...}, "histograms": {name: {count, sum, max,
+    /// buckets: [[bound, n], ...]}}}`.
+    pub fn to_json(&self) -> Value {
+        let counters = Value::Object(
+            self.counters
+                .iter()
+                .map(|(k, &v)| (k.clone(), Value::from(v)))
+                .collect(),
+        );
+        let histograms = Value::Object(
+            self.histograms
+                .iter()
+                .map(|(k, h)| {
+                    let buckets = Value::Array(
+                        h.nonzero_buckets()
+                            .into_iter()
+                            .map(|(bound, n)| {
+                                Value::Array(vec![Value::from(bound), Value::from(n)])
+                            })
+                            .collect(),
+                    );
+                    let obj = Value::Object(
+                        [
+                            ("count".to_owned(), Value::from(h.count)),
+                            ("sum".to_owned(), Value::from(h.sum)),
+                            ("max".to_owned(), Value::from(h.max)),
+                            ("buckets".to_owned(), buckets),
+                        ]
+                        .into_iter()
+                        .collect(),
+                    );
+                    (k.clone(), obj)
+                })
+                .collect(),
+        );
+        Value::Object(
+            [
+                ("counters".to_owned(), counters),
+                ("histograms".to_owned(), histograms),
+            ]
+            .into_iter()
+            .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent() {
+        let r = Registry::default();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.add(2);
+        b.add(3);
+        assert_eq!(r.snapshot().counter("x"), Some(5));
+    }
+
+    #[test]
+    fn delta_since_subtracts_counters() {
+        let r = Registry::default();
+        let c = r.counter("ops");
+        c.add(10);
+        let before = r.snapshot();
+        c.add(7);
+        let delta = r.snapshot().delta_since(&before);
+        assert_eq!(delta.counter("ops"), Some(7));
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_names() {
+        let r = Registry::default();
+        let c = r.counter("n");
+        c.add(4);
+        r.histogram("h").record(9);
+        r.reset();
+        let s = r.snapshot();
+        assert_eq!(s.counter("n"), Some(0));
+        assert_eq!(s.histogram("h").unwrap().count, 0);
+        // The old Arc still feeds the same registered metric.
+        c.incr();
+        assert_eq!(r.snapshot().counter("n"), Some(1));
+    }
+}

@@ -1,0 +1,71 @@
+//! The JSON-lines sink: one JSON object per line, appended to a file.
+
+use crate::json::Value;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// Appends JSON records to a file, one compact object per line — the
+/// machine-readable perf trail (`BENCH_pipeline.json` is written through
+/// this). Thread-safe; each record is flushed so partial lines never hit
+/// disk.
+#[derive(Debug)]
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the file at `path`.
+    pub fn create<P: AsRef<Path>>(path: P) -> std::io::Result<JsonlSink> {
+        let file = File::create(path)?;
+        Ok(JsonlSink {
+            writer: Mutex::new(BufWriter::new(file)),
+        })
+    }
+
+    /// Opens `path` for appending, creating it if missing.
+    pub fn append<P: AsRef<Path>>(path: P) -> std::io::Result<JsonlSink> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(JsonlSink {
+            writer: Mutex::new(BufWriter::new(file)),
+        })
+    }
+
+    /// Writes one record as a single line and flushes.
+    pub fn write(&self, record: &Value) -> std::io::Result<()> {
+        let mut w = self.writer.lock().expect("jsonl sink poisoned");
+        writeln!(w, "{record}")?;
+        w.flush()
+    }
+}
+
+/// Parses a JSONL file back into records (used by tests and future
+/// regression tooling; blank lines are skipped).
+pub fn parse_jsonl(text: &str) -> Result<Vec<Value>, crate::json::ParseError> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(Value::parse)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Value;
+
+    #[test]
+    fn jsonl_round_trips_through_a_file() {
+        let path =
+            std::env::temp_dir().join(format!("cable-obs-sink-test-{}.jsonl", std::process::id()));
+        let sink = JsonlSink::create(&path).unwrap();
+        let a = Value::object([("run", Value::from(1u64))]);
+        let b = Value::object([("run", Value::from(2u64)), ("note", Value::from("x\ny"))]);
+        sink.write(&a).unwrap();
+        sink.write(&b).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let records = parse_jsonl(&text).unwrap();
+        assert_eq!(records, vec![a, b]);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,116 @@
+//! RAII span timers with per-thread nesting.
+
+use crate::metrics::HistogramHandle;
+use std::cell::Cell;
+use std::time::Instant;
+
+thread_local! {
+    static DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// The current span nesting depth on this thread (0 outside any span).
+pub fn current_depth() -> usize {
+    DEPTH.with(|d| d.get())
+}
+
+/// An RAII wall-clock timer. While observation is [`crate::enabled`],
+/// entering takes an `Instant::now` and bumps the thread's nesting depth;
+/// dropping records the elapsed nanoseconds into the span's histogram.
+/// While disabled, entering and dropping cost one relaxed load each.
+///
+/// Spans drop in reverse entry order by scoping, which keeps the depth
+/// counter consistent:
+///
+/// ```
+/// use cable_obs as obs;
+/// static H: obs::HistogramHandle = obs::HistogramHandle::new("doc.span_ns");
+///
+/// obs::set_enabled(true);
+/// assert_eq!(obs::current_depth(), 0);
+/// {
+///     let _outer = obs::Span::enter("doc.span", &H);
+///     assert_eq!(obs::current_depth(), 1);
+///     {
+///         let _inner = obs::Span::enter("doc.span", &H);
+///         assert_eq!(obs::current_depth(), 2);
+///     }
+///     assert_eq!(obs::current_depth(), 1);
+/// }
+/// assert_eq!(obs::current_depth(), 0);
+/// ```
+#[must_use = "a span measures the scope it is bound to; binding to _ drops it immediately"]
+pub struct Span {
+    histogram: &'static HistogramHandle,
+    start: Option<Instant>,
+    #[allow(dead_code)]
+    name: &'static str,
+}
+
+impl Span {
+    /// Enters a span that records into `histogram` when dropped.
+    #[inline]
+    pub fn enter(name: &'static str, histogram: &'static HistogramHandle) -> Span {
+        let start = if crate::enabled() {
+            DEPTH.with(|d| d.set(d.get() + 1));
+            Some(Instant::now())
+        } else {
+            None
+        };
+        Span {
+            histogram,
+            start,
+            name,
+        }
+    }
+}
+
+impl Drop for Span {
+    #[inline]
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            self.histogram.get().record_duration(start.elapsed());
+            DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::HistogramHandle;
+
+    static TEST_SPAN: HistogramHandle = HistogramHandle::new("test.span.inner_ns");
+
+    /// Serialises the tests that toggle the global enabled flag.
+    static FLAG_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _guard = FLAG_LOCK.lock().unwrap();
+        crate::set_enabled(false);
+        let before = TEST_SPAN.get().snapshot().count;
+        {
+            let _s = Span::enter("test.span", &TEST_SPAN);
+            assert_eq!(current_depth(), 0, "disabled spans do not nest");
+        }
+        assert_eq!(TEST_SPAN.get().snapshot().count, before);
+    }
+
+    #[test]
+    fn enabled_spans_record_and_nest() {
+        let _guard = FLAG_LOCK.lock().unwrap();
+        crate::set_enabled(true);
+        let before = TEST_SPAN.get().snapshot().count;
+        {
+            let _outer = Span::enter("test.span", &TEST_SPAN);
+            let d = current_depth();
+            {
+                let _inner = Span::enter("test.span", &TEST_SPAN);
+                assert_eq!(current_depth(), d + 1);
+            }
+            assert_eq!(current_depth(), d);
+        }
+        assert_eq!(TEST_SPAN.get().snapshot().count, before + 2);
+        crate::set_enabled(false);
+    }
+}

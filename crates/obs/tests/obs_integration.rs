@@ -1,0 +1,129 @@
+//! Integration tests: the obs crate as instrumented code sees it —
+//! concurrent recording, snapshot determinism, and the JSONL perf-record
+//! round trip.
+
+use cable_obs as obs;
+use obs::json::Value;
+use std::sync::Arc;
+use std::thread;
+
+#[test]
+fn multi_threaded_counts_are_exact_after_join() {
+    // Relaxed atomics lose no increments; once the recording threads have
+    // joined, the snapshot is exact and two snapshots agree bit-for-bit.
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 10_000;
+    let registry = Arc::new(obs::Registry::default());
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let registry = Arc::clone(&registry);
+        handles.push(thread::spawn(move || {
+            let counter = registry.counter("mt.ops");
+            let hist = registry.histogram("mt.sizes");
+            for i in 0..PER_THREAD {
+                counter.incr();
+                hist.record(t as u64 * PER_THREAD + i);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let a = registry.snapshot();
+    let b = registry.snapshot();
+    assert_eq!(a, b, "snapshots after join are deterministic");
+    assert_eq!(a.counter("mt.ops"), Some(THREADS as u64 * PER_THREAD));
+    let h = a.histogram("mt.sizes").unwrap();
+    assert_eq!(h.count, THREADS as u64 * PER_THREAD);
+    assert_eq!(h.max, THREADS as u64 * PER_THREAD - 1);
+    // Sum of 0..N-1.
+    let n = THREADS as u64 * PER_THREAD;
+    assert_eq!(h.sum, n * (n - 1) / 2);
+    assert_eq!(h.buckets.iter().sum::<u64>(), h.count);
+}
+
+#[test]
+fn concurrent_snapshots_never_tear_below_zero() {
+    // Snapshots taken *while* writers run can lag, but deltas against an
+    // earlier snapshot are always well-formed (saturating, no panics).
+    let registry = Arc::new(obs::Registry::default());
+    let c = registry.counter("tear.ops");
+    let writer = {
+        let registry = Arc::clone(&registry);
+        thread::spawn(move || {
+            let c = registry.counter("tear.ops");
+            for _ in 0..50_000 {
+                c.incr();
+            }
+        })
+    };
+    let mut prev = registry.snapshot();
+    for _ in 0..100 {
+        let now = registry.snapshot();
+        let delta = now.delta_since(&prev);
+        // Monotone counter: the delta is the (non-negative) progress.
+        assert!(delta.counter("tear.ops").unwrap_or(0) <= 50_000);
+        assert!(now.counter("tear.ops") >= prev.counter("tear.ops"));
+        prev = now;
+    }
+    writer.join().unwrap();
+    c.incr();
+    assert_eq!(registry.snapshot().counter("tear.ops"), Some(50_001));
+}
+
+#[test]
+fn snapshot_round_trips_through_jsonl() {
+    let registry = obs::Registry::default();
+    registry.counter("rt.calls").add(42);
+    let h = registry.histogram("rt.lat_ns");
+    for v in [0u64, 1, 3, 900, 1 << 30] {
+        h.record(v);
+    }
+    let snap = registry.snapshot();
+    let record = Value::object([
+        ("record", Value::from("test")),
+        ("snapshot", snap.to_json()),
+    ]);
+
+    let path = std::env::temp_dir().join(format!("cable-obs-it-{}.jsonl", std::process::id()));
+    let sink = obs::JsonlSink::create(&path).unwrap();
+    sink.write(&record).unwrap();
+    sink.write(&record).unwrap();
+    let text = std::fs::read_to_string(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+
+    let records = obs::parse_jsonl(&text).unwrap();
+    assert_eq!(records.len(), 2);
+    assert_eq!(records[0], record);
+    let parsed = records[0].get("snapshot").unwrap();
+    assert_eq!(
+        parsed.get("counters").and_then(|c| c.get("rt.calls")),
+        Some(&Value::from(42u64))
+    );
+    let hist = parsed.get("histograms").and_then(|h| h.get("rt.lat_ns"));
+    assert_eq!(
+        hist.and_then(|h| h.get("count")),
+        Some(&Value::from(5u64)),
+        "histogram survives the round trip"
+    );
+}
+
+#[test]
+fn render_mentions_every_metric() {
+    let registry = obs::Registry::default();
+    registry.counter("render.widgets").add(7);
+    registry.histogram("render.paint_ns").record(1_500);
+    let report = registry.snapshot().render();
+    assert!(report.contains("render.widgets"), "{report}");
+    assert!(report.contains("render.paint_ns"), "{report}");
+    assert!(report.contains('7'), "{report}");
+}
+
+#[test]
+fn global_registry_is_shared_with_handles() {
+    static LOCAL: obs::CounterHandle = obs::CounterHandle::new("it.global.handle");
+    LOCAL.get().add(3);
+    // The handle registered in the process-wide registry, so a snapshot
+    // of that registry sees it. Lower bound: parallel tests share it.
+    assert!(obs::registry().snapshot().counter("it.global.handle") >= Some(3));
+}

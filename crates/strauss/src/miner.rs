@@ -3,7 +3,17 @@
 use crate::back::BackEnd;
 use crate::front::FrontEnd;
 use cable_fa::Fa;
+use cable_obs::{CounterHandle, HistogramHandle, Span};
 use cable_trace::{Trace, TraceSet, Vocab};
+
+/// End-to-end mining runs.
+static MINE_RUNS: CounterHandle = CounterHandle::new("strauss.miner.runs");
+/// Scenario traces extracted by the front end across all runs.
+static SCENARIOS_MINED: CounterHandle = CounterHandle::new("strauss.miner.scenarios");
+/// Re-mining runs on expert-labeled `good` subsets.
+static REMINE_RUNS: CounterHandle = CounterHandle::new("strauss.miner.remine_runs");
+/// Wall-clock cost of end-to-end mining runs.
+static MINE_NS: HistogramHandle = HistogramHandle::new("strauss.miner.mine_ns");
 
 /// A mined specification: the learned FA together with the scenario
 /// traces it was learned from (which a Cable session then debugs).
@@ -41,7 +51,10 @@ impl Miner {
 
     /// Mines a specification from program traces.
     pub fn mine(&self, program_traces: &[Trace], vocab: &Vocab) -> MinedSpec {
+        let _span = Span::enter("strauss.miner.mine", &MINE_NS);
+        MINE_RUNS.get().incr();
         let scenarios = self.front.extract_all(program_traces, vocab);
+        SCENARIOS_MINED.get().add(scenarios.len() as u64);
         let fa = self.back.mine_set(&scenarios);
         MinedSpec { fa, scenarios }
     }
@@ -50,6 +63,7 @@ impl Miner {
     /// after the expert labels traces in Cable, the miner is rerun on the
     /// traces labelled `good`.
     pub fn remine(&self, good_scenarios: &[Trace]) -> Fa {
+        REMINE_RUNS.get().incr();
         self.back.mine(good_scenarios)
     }
 }

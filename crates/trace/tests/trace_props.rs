@@ -1,14 +1,25 @@
-//! Property tests for the trace model: the text format round-trips, and
+//! Randomized tests for the trace model: the text format round-trips, and
 //! canonicalisation behaves like an α-renaming.
+//!
+//! Each test runs a fixed number of seeded cases, so failures reproduce
+//! exactly (`seeded(case)` pins the generator).
 
 use cable_trace::{canonicalize, Arg, Event, ObjId, Trace, TraceSet, Var, Vocab};
-use proptest::prelude::*;
+use cable_util::rng::{seeded, Rng, SmallRng};
 
 /// A random event over a small vocabulary: op index plus arguments drawn
 /// from object ids, variables, and atoms.
-fn arb_event() -> impl Strategy<Value = (usize, Vec<u8>)> {
+fn gen_event(rng: &mut SmallRng) -> (usize, Vec<u8>) {
     // Argument codes: 0..=3 object ids, 4..=6 variables, 7..=8 atoms.
-    (0usize..5, prop::collection::vec(0u8..9, 0..3))
+    let op = rng.gen_range(0usize..5);
+    let n_args = rng.gen_range(0usize..3);
+    let args = (0..n_args).map(|_| rng.gen_range(0u8..9)).collect();
+    (op, args)
+}
+
+fn gen_events(rng: &mut SmallRng, max_len: usize) -> Vec<(usize, Vec<u8>)> {
+    let n = rng.gen_range(0..max_len);
+    (0..n).map(|_| gen_event(rng)).collect()
 }
 
 fn realize(events: &[(usize, Vec<u8>)], vocab: &mut Vocab) -> Trace {
@@ -31,34 +42,44 @@ fn realize(events: &[(usize, Vec<u8>)], vocab: &mut Vocab) -> Trace {
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn display_parse_round_trip(raw in prop::collection::vec(arb_event(), 0..8)) {
+#[test]
+fn display_parse_round_trip() {
+    for case in 0..256u64 {
+        let mut rng = seeded(case);
+        let raw = gen_events(&mut rng, 8);
         let mut vocab = Vocab::new();
         let trace = realize(&raw, &mut vocab);
         let shown = trace.display(&vocab).to_string();
         let reparsed = Trace::parse(&shown, &mut vocab).expect("own output parses");
-        prop_assert_eq!(trace.event_key(), reparsed.event_key(), "{}", shown);
+        assert_eq!(
+            trace.event_key(),
+            reparsed.event_key(),
+            "case {case}: {shown}"
+        );
     }
+}
 
-    #[test]
-    fn canonicalize_is_idempotent(raw in prop::collection::vec(arb_event(), 0..8)) {
+#[test]
+fn canonicalize_is_idempotent() {
+    for case in 0..256u64 {
+        let mut rng = seeded(case);
+        let raw = gen_events(&mut rng, 8);
         let mut vocab = Vocab::new();
         let trace = realize(&raw, &mut vocab);
         let once = canonicalize(&trace);
         let twice = canonicalize(&once);
-        prop_assert_eq!(&once, &twice);
+        assert_eq!(once, twice, "case {case}");
         // No object ids survive canonicalisation.
-        prop_assert!(once.iter().all(|e| e.objects().count() == 0));
+        assert!(once.iter().all(|e| e.objects().count() == 0), "case {case}");
     }
+}
 
-    #[test]
-    fn canonicalize_is_invariant_under_object_renaming(
-        raw in prop::collection::vec(arb_event(), 0..8),
-        offset in 1u64..1000,
-    ) {
+#[test]
+fn canonicalize_is_invariant_under_object_renaming() {
+    for case in 0..256u64 {
+        let mut rng = seeded(case);
+        let raw = gen_events(&mut rng, 8);
+        let offset = rng.gen_range(1u64..1000);
         let mut vocab = Vocab::new();
         let trace = realize(&raw, &mut vocab);
         // Injectively rename every object id.
@@ -79,13 +100,17 @@ proptest! {
                 })
                 .collect(),
         );
-        prop_assert_eq!(canonicalize(&trace), canonicalize(&renamed));
+        assert_eq!(canonicalize(&trace), canonicalize(&renamed), "case {case}");
     }
+}
 
-    #[test]
-    fn identical_classes_partition(
-        raw in prop::collection::vec(prop::collection::vec(arb_event(), 0..4), 0..10),
-    ) {
+#[test]
+fn identical_classes_partition() {
+    for case in 0..256u64 {
+        let mut rng = seeded(case);
+        let n_traces = rng.gen_range(0usize..10);
+        let raw: Vec<Vec<(usize, Vec<u8>)>> =
+            (0..n_traces).map(|_| gen_events(&mut rng, 4)).collect();
         let mut vocab = Vocab::new();
         let set: TraceSet = raw.iter().map(|t| realize(t, &mut vocab)).collect();
         let classes = set.identical_classes();
@@ -93,19 +118,20 @@ proptest! {
         let mut seen = std::collections::HashSet::new();
         for class in &classes {
             for &m in &class.members {
-                prop_assert!(seen.insert(m), "trace in two classes");
-                prop_assert_eq!(
+                assert!(seen.insert(m), "case {case}: trace in two classes");
+                assert_eq!(
                     set.trace(m).event_key(),
-                    set.trace(class.representative).event_key()
+                    set.trace(class.representative).event_key(),
+                    "case {case}"
                 );
             }
         }
-        prop_assert_eq!(seen.len(), set.len());
+        assert_eq!(seen.len(), set.len(), "case {case}");
         // Distinct representatives have distinct keys.
         let keys: std::collections::HashSet<_> = classes
             .iter()
             .map(|c| set.trace(c.representative).event_key().to_vec())
             .collect();
-        prop_assert_eq!(keys.len(), classes.len());
+        assert_eq!(keys.len(), classes.len(), "case {case}");
     }
 }

@@ -1,76 +1,110 @@
-//! Property-based tests for `BitSet` against `BTreeSet` as a model.
+//! Randomized tests for `BitSet` against `BTreeSet` as a model.
+//!
+//! Each test runs a fixed number of seeded cases, so failures reproduce
+//! exactly (`seeded(case)` pins the generator).
 
+use cable_util::rng::{seeded, Rng, SmallRng};
 use cable_util::BitSet;
-use proptest::prelude::*;
 use std::collections::BTreeSet;
 
-fn model_pair() -> impl Strategy<Value = (Vec<usize>, Vec<usize>)> {
-    (
-        prop::collection::vec(0usize..300, 0..60),
-        prop::collection::vec(0usize..300, 0..60),
-    )
+fn gen_vec(rng: &mut SmallRng, universe: usize, max_len: usize) -> Vec<usize> {
+    let n = rng.gen_range(0..max_len);
+    (0..n).map(|_| rng.gen_range(0..universe)).collect()
 }
 
 fn to_sets(v: &[usize]) -> (BitSet, BTreeSet<usize>) {
     (v.iter().copied().collect(), v.iter().copied().collect())
 }
 
-proptest! {
-    #[test]
-    fn len_matches_model(v in prop::collection::vec(0usize..500, 0..100)) {
+#[test]
+fn len_matches_model() {
+    for case in 0..256u64 {
+        let mut rng = seeded(case);
+        let v = gen_vec(&mut rng, 500, 100);
         let (b, m) = to_sets(&v);
-        prop_assert_eq!(b.len(), m.len());
-        prop_assert_eq!(b.is_empty(), m.is_empty());
+        assert_eq!(b.len(), m.len(), "case {case}");
+        assert_eq!(b.is_empty(), m.is_empty(), "case {case}");
     }
+}
 
-    #[test]
-    fn iter_matches_model(v in prop::collection::vec(0usize..500, 0..100)) {
+#[test]
+fn iter_matches_model() {
+    for case in 0..256u64 {
+        let mut rng = seeded(case);
+        let v = gen_vec(&mut rng, 500, 100);
         let (b, m) = to_sets(&v);
-        prop_assert_eq!(b.to_vec(), m.into_iter().collect::<Vec<_>>());
+        assert_eq!(b.to_vec(), m.into_iter().collect::<Vec<_>>(), "case {case}");
     }
+}
 
-    #[test]
-    fn algebra_matches_model((x, y) in model_pair()) {
+#[test]
+fn algebra_matches_model() {
+    for case in 0..256u64 {
+        let mut rng = seeded(case);
+        let x = gen_vec(&mut rng, 300, 60);
+        let y = gen_vec(&mut rng, 300, 60);
         let (bx, mx) = to_sets(&x);
         let (by, my) = to_sets(&y);
         let inter: Vec<usize> = mx.intersection(&my).copied().collect();
         let union: Vec<usize> = mx.union(&my).copied().collect();
         let diff: Vec<usize> = mx.difference(&my).copied().collect();
         let sym: Vec<usize> = mx.symmetric_difference(&my).copied().collect();
-        prop_assert_eq!(bx.intersection(&by).to_vec(), inter);
-        prop_assert_eq!(bx.union(&by).to_vec(), union);
-        prop_assert_eq!(bx.difference(&by).to_vec(), diff);
-        prop_assert_eq!(bx.symmetric_difference(&by).to_vec(), sym);
-        prop_assert_eq!(bx.intersection_len(&by), bx.intersection(&by).len());
-        prop_assert_eq!(bx.is_subset(&by), mx.is_subset(&my));
-        prop_assert_eq!(bx.is_disjoint(&by), mx.is_disjoint(&my));
+        assert_eq!(bx.intersection(&by).to_vec(), inter, "case {case}");
+        assert_eq!(bx.union(&by).to_vec(), union, "case {case}");
+        assert_eq!(bx.difference(&by).to_vec(), diff, "case {case}");
+        assert_eq!(bx.symmetric_difference(&by).to_vec(), sym, "case {case}");
+        assert_eq!(
+            bx.intersection_len(&by),
+            bx.intersection(&by).len(),
+            "case {case}"
+        );
+        assert_eq!(bx.is_subset(&by), mx.is_subset(&my), "case {case}");
+        assert_eq!(bx.is_disjoint(&by), mx.is_disjoint(&my), "case {case}");
     }
+}
 
-    #[test]
-    fn insert_remove_round_trip(v in prop::collection::vec(0usize..500, 0..100), x in 0usize..500) {
+#[test]
+fn insert_remove_round_trip() {
+    for case in 0..256u64 {
+        let mut rng = seeded(case);
+        let v = gen_vec(&mut rng, 500, 100);
+        let x = rng.gen_range(0usize..500);
         let (mut b, mut m) = to_sets(&v);
-        prop_assert_eq!(b.insert(x), m.insert(x));
-        prop_assert_eq!(b.to_vec(), m.iter().copied().collect::<Vec<_>>());
-        prop_assert_eq!(b.remove(x), m.remove(&x));
-        prop_assert_eq!(b.to_vec(), m.into_iter().collect::<Vec<_>>());
+        assert_eq!(b.insert(x), m.insert(x), "case {case}");
+        assert_eq!(
+            b.to_vec(),
+            m.iter().copied().collect::<Vec<_>>(),
+            "case {case}"
+        );
+        assert_eq!(b.remove(x), m.remove(&x), "case {case}");
+        assert_eq!(b.to_vec(), m.into_iter().collect::<Vec<_>>(), "case {case}");
     }
+}
 
-    #[test]
-    fn first_last_match_model(v in prop::collection::vec(0usize..500, 0..100)) {
+#[test]
+fn first_last_match_model() {
+    for case in 0..256u64 {
+        let mut rng = seeded(case);
+        let v = gen_vec(&mut rng, 500, 100);
         let (b, m) = to_sets(&v);
-        prop_assert_eq!(b.first(), m.iter().next().copied());
-        prop_assert_eq!(b.last(), m.iter().next_back().copied());
+        assert_eq!(b.first(), m.iter().next().copied(), "case {case}");
+        assert_eq!(b.last(), m.iter().next_back().copied(), "case {case}");
     }
+}
 
-    #[test]
-    fn union_is_lub((x, y) in model_pair()) {
+#[test]
+fn union_is_lub() {
+    for case in 0..256u64 {
+        let mut rng = seeded(case);
+        let x = gen_vec(&mut rng, 300, 60);
+        let y = gen_vec(&mut rng, 300, 60);
         let (bx, _) = to_sets(&x);
         let (by, _) = to_sets(&y);
         let u = bx.union(&by);
-        prop_assert!(bx.is_subset(&u));
-        prop_assert!(by.is_subset(&u));
+        assert!(bx.is_subset(&u), "case {case}");
+        assert!(by.is_subset(&u), "case {case}");
         let i = bx.intersection(&by);
-        prop_assert!(i.is_subset(&bx));
-        prop_assert!(i.is_subset(&by));
+        assert!(i.is_subset(&bx), "case {case}");
+        assert!(i.is_subset(&by), "case {case}");
     }
 }

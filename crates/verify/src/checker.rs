@@ -3,9 +3,19 @@
 use crate::rank::OpStats;
 use crate::report::ViolationReport;
 use cable_fa::Fa;
+use cable_obs::{CounterHandle, HistogramHandle, Span};
 use cable_trace::{canonicalize, ObjId, Trace, TraceSet, Vocab};
 use cable_util::Symbol;
 use std::collections::{BTreeMap, HashSet};
+
+/// Program traces fed through the checker.
+static TRACES_CHECKED: CounterHandle = CounterHandle::new("verify.checker.traces");
+/// Per-object scenarios sliced out of program traces.
+static SCENARIOS_EXTRACTED: CounterHandle = CounterHandle::new("verify.checker.scenarios");
+/// Scenarios the specification rejected.
+static VIOLATIONS_FOUND: CounterHandle = CounterHandle::new("verify.checker.violations");
+/// Wall-clock cost of whole checking runs.
+static CHECK_NS: HistogramHandle = HistogramHandle::new("verify.checker.check_ns");
 
 /// Checks program traces against a specification FA, reporting the
 /// per-object scenarios the specification rejects.
@@ -102,6 +112,8 @@ impl Checker {
         program_traces: &[Trace],
         vocab: &Vocab,
     ) -> (ViolationReport, BTreeMap<Symbol, OpStats>) {
+        let _span = Span::enter("verify.checker.check", &CHECK_NS);
+        TRACES_CHECKED.get().add(program_traces.len() as u64);
         let mut violations = TraceSet::new();
         let mut checked = 0usize;
         let mut stats: BTreeMap<Symbol, OpStats> = BTreeMap::new();
@@ -118,10 +130,12 @@ impl Checker {
                     }
                 }
                 if !accepted {
+                    VIOLATIONS_FOUND.get().incr();
                     violations.push(scenario);
                 }
             }
         }
+        SCENARIOS_EXTRACTED.get().add(checked as u64);
         (
             ViolationReport {
                 violations,

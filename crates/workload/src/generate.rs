@@ -1,9 +1,19 @@
 //! The program-trace generator.
 
 use crate::model::ProtocolModel;
+use cable_obs::{CounterHandle, HistogramHandle, Span};
 use cable_trace::{Arg, Event, ObjId, Trace, Vocab};
+use cable_util::rng::Rng;
 use cable_util::rng::{seeded, shuffle};
-use rand::Rng;
+
+/// Program traces generated.
+static TRACES_GENERATED: CounterHandle = CounterHandle::new("workload.generate.traces");
+/// Events emitted across all generated traces (protocol + noise).
+static EVENTS_GENERATED: CounterHandle = CounterHandle::new("workload.generate.events");
+/// Protocol objects whose usage was drawn from the erroneous shapes.
+static ERRONEOUS_OBJECTS: CounterHandle = CounterHandle::new("workload.generate.erroneous_objects");
+/// Wall-clock cost of workload generation runs.
+static GENERATE_NS: HistogramHandle = HistogramHandle::new("workload.generate.run_ns");
 
 /// Parameters of a generated workload.
 ///
@@ -75,6 +85,7 @@ pub fn generate(model: &ProtocolModel, params: &WorkloadParams, vocab: &mut Voca
         params.error_rate == 0.0 || !model.erroneous.is_empty(),
         "positive error rate requires erroneous shapes"
     );
+    let _span = Span::enter("workload.generate", &GENERATE_NS);
     let mut rng = seeded(params.seed);
     let mut next_obj: u64 = 1;
     let mut traces = Vec::with_capacity(params.programs);
@@ -87,6 +98,9 @@ pub fn generate(model: &ProtocolModel, params: &WorkloadParams, vocab: &mut Voca
             let obj = ObjId(next_obj);
             next_obj += 1;
             let erroneous = rng.gen_range(0.0..1.0) < params.error_rate;
+            if erroneous {
+                ERRONEOUS_OBJECTS.get().incr();
+            }
             let ops = if erroneous {
                 model.erroneous.sample(&mut rng)
             } else {
@@ -111,11 +125,11 @@ pub fn generate(model: &ProtocolModel, params: &WorkloadParams, vocab: &mut Voca
                 }
             }
         }
-        traces.push(Trace::with_provenance(
-            interleave(streams, &mut rng),
-            program as u32,
-        ));
+        let trace = Trace::with_provenance(interleave(streams, &mut rng), program as u32);
+        EVENTS_GENERATED.get().add(trace.len() as u64);
+        traces.push(trace);
     }
+    TRACES_GENERATED.get().add(traces.len() as u64);
     traces
 }
 

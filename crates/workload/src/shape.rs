@@ -2,7 +2,7 @@
 
 use cable_trace::{Arg, Event, Trace, Var, Vocab};
 use cable_util::rng::weighted_index;
-use rand::Rng;
+use cable_util::rng::Rng;
 
 /// One operation of a scenario shape: an operation name with an optional
 /// atom argument (e.g. the selection name in `XtOwnSelection:'PRIMARY`).
@@ -73,11 +73,10 @@ pub fn scenario_trace(ops: &[OpSpec], vocab: &mut Vocab) -> Trace {
 ///
 /// ```
 /// use cable_workload::ScenarioShape;
-/// use rand::SeedableRng;
 ///
 /// // fopen (fread|fwrite)* fclose
 /// let shape = ScenarioShape::with_loop(&["fopen"], &["fread", "fwrite"], 2.0, &["fclose"]);
-/// let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+/// let mut rng = cable_util::rng::seeded(1);
 /// let ops = shape.sample(&mut rng);
 /// assert_eq!(ops.first().map(|o| o.name.as_str()), Some("fopen"));
 /// assert_eq!(ops.last().map(|o| o.name.as_str()), Some("fclose"));

@@ -27,6 +27,11 @@
 //! * `check` runs the traces against a specification FA and reports the
 //!   rejected ones (a tiny verifier).
 //! * `specs` lists the built-in evaluation specifications.
+//!
+//! Every command also accepts `--stats`, which prints the cable-obs
+//! stage-cost report (counters and span timings) to stderr when the
+//! command finishes; setting `CABLE_OBS=1` in the environment does the
+//! same without the flag.
 
 use cable::fa::templates;
 use cable::prelude::*;
@@ -41,15 +46,36 @@ fn main() {
         usage("missing command");
     };
     let opts = parse_opts(&args[1..]);
-    match command.as_str() {
-        "cluster" => cluster(&opts),
-        "label" => label(&opts),
-        "mine" => mine(&opts),
-        "show-fa" => show_fa(&opts),
-        "check" => check(&opts),
-        "specs" => specs(),
-        other => usage(&format!("unknown command {other:?}")),
+    let stats = cable::obs::init_from_env() || opts.stats;
+    if stats {
+        cable::obs::set_enabled(true);
     }
+    let code = match command.as_str() {
+        "cluster" => {
+            cluster(&opts);
+            0
+        }
+        "label" => label(&opts),
+        "mine" => {
+            mine(&opts);
+            0
+        }
+        "show-fa" => {
+            show_fa(&opts);
+            0
+        }
+        "check" => check(&opts),
+        "specs" => {
+            specs();
+            0
+        }
+        other => usage(&format!("unknown command {other:?}")),
+    };
+    // Stats print before the exit so failing commands still report.
+    if stats {
+        eprintln!("{}", cable::obs::registry().snapshot().render());
+    }
+    exit(code);
 }
 
 struct Opts {
@@ -59,6 +85,7 @@ struct Opts {
     dot: Option<String>,
     script: Option<String>,
     seeds: Option<String>,
+    stats: bool,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
@@ -69,6 +96,7 @@ fn parse_opts(args: &[String]) -> Opts {
         dot: None,
         script: None,
         seeds: None,
+        stats: false,
     };
     let mut i = 0;
     while i < args.len() {
@@ -78,6 +106,11 @@ fn parse_opts(args: &[String]) -> Opts {
                 .unwrap_or_else(|| usage(&format!("{} needs a value", args[i])))
         };
         match args[i].as_str() {
+            "--stats" => {
+                opts.stats = true;
+                i += 1;
+                continue;
+            }
             "--traces" => opts.traces = Some(value()),
             "--fa" => opts.fa = Some(value()),
             "--template" => opts.template = Some(value()),
@@ -161,7 +194,7 @@ fn cluster(opts: &Opts) {
     }
 }
 
-fn label(opts: &Opts) {
+fn label(opts: &Opts) -> i32 {
     let mut vocab = Vocab::new();
     let traces = load_traces(opts, &mut vocab);
     let fa = reference_fa(opts, &traces, &mut vocab);
@@ -223,8 +256,9 @@ fn label(opts: &Opts) {
     }
     if !progress.is_complete() {
         eprintln!("warning: some traces are unlabeled");
-        exit(3);
+        return 3;
     }
+    0
 }
 
 fn mine(opts: &Opts) {
@@ -270,7 +304,7 @@ fn show_fa(opts: &Opts) {
     print!("{}", fa.to_text(&vocab));
 }
 
-fn check(opts: &Opts) {
+fn check(opts: &Opts) -> i32 {
     let mut vocab = Vocab::new();
     let traces = load_traces(opts, &mut vocab);
     let path = opts
@@ -288,8 +322,9 @@ fn check(opts: &Opts) {
     }
     println!("{rejected} of {} traces rejected", traces.len());
     if rejected > 0 {
-        exit(1);
+        return 1;
     }
+    0
 }
 
 fn specs() {
@@ -303,7 +338,7 @@ fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: cable <cluster|label|mine|show-fa|check|specs> [--traces FILE] [--fa FILE] \
-         [--template unordered|seed:<op>] [--dot OUT] [--script FILE] [--seeds ops]"
+         [--template unordered|seed:<op>] [--dot OUT] [--script FILE] [--seeds ops] [--stats]"
     );
     exit(2);
 }

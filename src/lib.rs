@@ -47,6 +47,7 @@ pub use cable_core as session;
 pub use cable_fa as fa;
 pub use cable_fca as fca;
 pub use cable_learn as learn;
+pub use cable_obs as obs;
 pub use cable_specs as specs;
 pub use cable_strauss as strauss;
 pub use cable_trace as trace;
