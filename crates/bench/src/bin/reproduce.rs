@@ -2,11 +2,15 @@
 //!
 //! ```text
 //! reproduce [table1|table2|table3|scaling|coring|ablation|all]
-//!           [--seed N] [--quick] [--stats] [--json-out PATH]
+//!           [--seed N] [--threads N] [--quick] [--stats] [--json-out PATH]
+//! reproduce compare --baseline PATH --current PATH [--tolerance PCT]
+//! reproduce diff PATH PATH
 //! ```
 //!
 //! `--quick` lowers the Random-strategy trial count (the paper uses
 //! 1024) and the Optimal search budget for a fast smoke run.
+//! `--threads N` sizes the cable-par pool (same effect as `CABLE_PAR=N`;
+//! `1` forces the sequential path).
 //!
 //! `--stats` prints the cable-obs metric report after the tables, and
 //! `--json-out PATH` writes machine-readable JSONL perf records
@@ -14,15 +18,26 @@
 //! specification when table2 runs, then one final `pipeline_snapshot`
 //! record with the whole metric registry. Both flags enable span timing;
 //! so does `CABLE_OBS=1`.
+//!
+//! `compare` is the CI perf-regression gate: exits non-zero when the
+//! current run's counts drift from the baseline at all, or its total
+//! build time regresses beyond the tolerance (percent, default 25).
+//! `diff` is the CI determinism gate: exits non-zero unless the two
+//! record files are identical once timing is stripped.
 
 use cable_bench::tables::scaling_fit;
-use cable_bench::{scaling, table1, table2_with_deltas, table3};
+use cable_bench::{compare, scaling, table1, table2_with_deltas, table3};
 use cable_obs::json::Value;
 use cable_obs::JsonlSink;
 use std::env;
 
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("compare") => run_compare(&args[1..]),
+        Some("diff") => run_diff(&args[1..]),
+        _ => {}
+    }
     let mut which = Vec::new();
     let mut seed = 2003u64; // PLDI 2003.
     let mut quick = false;
@@ -37,6 +52,14 @@ fn main() {
                     .get(i)
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage("--seed needs an integer"));
+            }
+            "--threads" => {
+                i += 1;
+                let n: usize = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--threads needs an integer"));
+                cable_par::configure(n);
             }
             "--quick" => quick = true,
             "--stats" => stats = true,
@@ -299,6 +322,73 @@ fn main() {
     }
 }
 
+/// The `compare` subcommand: the CI perf-regression gate.
+fn run_compare(args: &[String]) -> ! {
+    let mut baseline: Option<String> = None;
+    let mut current: Option<String> = None;
+    let mut tolerance = 25.0f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--baseline" => {
+                i += 1;
+                baseline = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| usage("--baseline needs a path")),
+                );
+            }
+            "--current" => {
+                i += 1;
+                current = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| usage("--current needs a path")),
+                );
+            }
+            "--tolerance" => {
+                i += 1;
+                tolerance = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--tolerance needs a number (percent)"));
+            }
+            other => usage(&format!("unknown compare argument {other:?}")),
+        }
+        i += 1;
+    }
+    let baseline = baseline.unwrap_or_else(|| usage("compare needs --baseline PATH"));
+    let current = current.unwrap_or_else(|| usage("compare needs --current PATH"));
+    let base = compare::load(&baseline).unwrap_or_else(|e| die(&e.to_string()));
+    let cur = compare::load(&current).unwrap_or_else(|e| die(&e.to_string()));
+    let report = compare::compare(&base, &cur, tolerance);
+    print!("{}", report.render());
+    std::process::exit(if report.passed() { 0 } else { 1 });
+}
+
+/// The `diff` subcommand: the CI determinism gate.
+fn run_diff(args: &[String]) -> ! {
+    let [a, b] = args else {
+        usage("diff needs exactly two record paths");
+    };
+    let ra = compare::load(a).unwrap_or_else(|e| die(&e.to_string()));
+    let rb = compare::load(b).unwrap_or_else(|e| die(&e.to_string()));
+    let differences = compare::diff(&ra, &rb);
+    if differences.is_empty() {
+        println!("determinism gate: PASS ({a} and {b} agree once timing is stripped)");
+        std::process::exit(0);
+    }
+    for d in &differences {
+        println!("FAIL: {d}");
+    }
+    std::process::exit(1);
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
 fn fmt_opt(v: Option<usize>) -> String {
     v.map(|x| x.to_string()).unwrap_or_else(|| "—".into())
 }
@@ -307,7 +397,9 @@ fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: reproduce [table1|table2|table3|scaling|coring|ablation|all] \
-         [--seed N] [--quick] [--stats] [--json-out PATH]"
+         [--seed N] [--threads N] [--quick] [--stats] [--json-out PATH]\n\
+         \u{20}      reproduce compare --baseline PATH --current PATH [--tolerance PCT]\n\
+         \u{20}      reproduce diff PATH PATH"
     );
     std::process::exit(2);
 }

@@ -16,6 +16,7 @@
 //! everything.
 
 pub mod ablation;
+pub mod compare;
 pub mod harness;
 pub mod pipeline;
 pub mod tables;

@@ -114,15 +114,21 @@ pub fn table2(registry: &Registry, seed: u64) -> Vec<Table2Row> {
         .collect()
 }
 
-/// Like [`table2`], but each row is paired with the obs counter delta its
-/// preparation and timed builds produced — the per-spec perf record
-/// behind `reproduce --json-out`.
+/// Like [`table2`], but each row is paired with the obs counter delta of
+/// its timed lattice builds — the per-spec perf record behind
+/// `reproduce --json-out`.
+///
+/// Runs in two phases: every specification's pipeline is prepared in
+/// parallel on the [`cable_par`] pool (the expensive fan-out), then the
+/// timed Godin builds run sequentially so each measurement is
+/// uncontended and each obs delta is attributable to its own spec.
 pub fn table2_with_deltas(registry: &Registry, seed: u64) -> Vec<(Table2Row, cable_obs::Snapshot)> {
-    registry
-        .iter()
-        .map(|spec| {
+    let specs: Vec<&cable_specs::SpecDef> = registry.iter().collect();
+    let prepared = cable_par::par_map("bench.prepare", &specs, |spec| prepare(spec, seed));
+    prepared
+        .into_iter()
+        .map(|p| {
             let before = cable_obs::registry().snapshot();
-            let p = prepare(spec, seed);
             let ctx = p.session.context();
             let build_ms = time_build(ctx);
             let row = Table2Row {

@@ -83,9 +83,15 @@ impl CableSession {
                 class_of[m.index()] = c;
             }
         }
+        let representatives: Vec<&Trace> = classes
+            .iter()
+            .map(|class| traces.trace(class.representative))
+            .collect();
+        // One sweep per class representative, fanned out on the
+        // cable-par pool; rows come back in class order.
+        let rows = fa.executed_transitions_batch(&representatives);
         let mut context = Context::new(classes.len(), fa.transition_count());
-        for (c, class) in classes.iter().enumerate() {
-            let executed = fa.executed_transitions(traces.trace(class.representative));
+        for (c, executed) in rows.iter().enumerate() {
             for a in executed.iter() {
                 context.add(c, a);
             }

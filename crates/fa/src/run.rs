@@ -132,6 +132,16 @@ impl Fa {
         }
         executed
     }
+
+    /// [`executed_transitions`](Fa::executed_transitions) for a batch of
+    /// traces, swept in parallel on the [`cable_par`] pool.
+    ///
+    /// The result is index-ordered — `out[i]` is the relation for
+    /// `traces[i]` — and bit-for-bit identical to mapping the sequential
+    /// method over the slice, whatever the pool size.
+    pub fn executed_transitions_batch(&self, traces: &[&Trace]) -> Vec<BitSet> {
+        cable_par::par_map("fa.executed", traces, |t| self.executed_transitions(t))
+    }
 }
 
 #[cfg(test)]
@@ -235,6 +245,25 @@ mod tests {
         let fa = b.build();
         let t = Trace::parse("f(X)", &mut v).unwrap();
         assert_eq!(fa.executed_transitions(&t).to_vec(), vec![1]);
+    }
+
+    #[test]
+    fn batch_matches_per_trace_sweeps() {
+        let mut v = Vocab::new();
+        let fa = stdio_fa(&mut v);
+        let traces: Vec<Trace> = [
+            "fopen(X) fread(X) fclose(X)",
+            "popen(X) fclose(X)",
+            "fopen(X) fread(X)",
+            "fopen(X) fwrite(X) fclose(X)",
+        ]
+        .iter()
+        .map(|s| Trace::parse(s, &mut v).unwrap())
+        .collect();
+        let refs: Vec<&Trace> = traces.iter().collect();
+        let batch = fa.executed_transitions_batch(&refs);
+        let sequential: Vec<_> = traces.iter().map(|t| fa.executed_transitions(t)).collect();
+        assert_eq!(batch, sequential);
     }
 
     #[test]

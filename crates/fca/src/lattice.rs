@@ -69,10 +69,13 @@ pub struct ConceptLattice {
 
 impl ConceptLattice {
     /// Builds the lattice of a context with Godin's incremental algorithm
-    /// (the paper's choice).
+    /// (the paper's choice). Large contexts are built shard-and-merge on
+    /// the [`cable_par`] pool when it has workers
+    /// ([`crate::godin::concepts_auto`]); the concept set — and therefore
+    /// the lattice, whose order is canonical — is identical either way.
     pub fn build(ctx: &Context) -> Self {
         let _span = Span::enter("fca.lattice.build", &BUILD_NS);
-        Self::from_concepts(crate::godin::concepts(ctx))
+        Self::from_concepts(crate::godin::concepts_auto(ctx))
     }
 
     /// Builds the lattice with Ganter's NextClosure (batch) algorithm.

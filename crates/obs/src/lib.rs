@@ -55,7 +55,7 @@ mod span;
 pub use metrics::{Counter, CounterHandle, Histogram, HistogramHandle, HistogramSnapshot, BUCKETS};
 pub use registry::{registry, Registry, Snapshot};
 pub use sink::{parse_jsonl, JsonlSink};
-pub use span::{current_depth, Span};
+pub use span::{current_depth, current_stack, current_stage, enter_stage, Span, StageGuard};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 

@@ -36,6 +36,19 @@ impl Snapshot {
                 );
             }
         }
+        let stages = self.parallel_stages();
+        if !stages.is_empty() {
+            out.push_str("── parallel stages (busy/wall speedup) ──\n");
+            let width = stages.iter().map(|(k, _, _, _)| k.len()).max().unwrap_or(0);
+            for (label, busy, wall, speedup) in stages {
+                let _ = writeln!(
+                    out,
+                    "{label:width$}  busy={:>10} wall={:>10} speedup={speedup:.2}×",
+                    fmt_value(busy, true),
+                    fmt_value(wall, true),
+                );
+            }
+        }
         let counted: Vec<_> = self.counters.iter().filter(|(_, &c)| c > 0).collect();
         if !counted.is_empty() {
             out.push_str("── counters ──\n");
@@ -45,6 +58,26 @@ impl Snapshot {
             }
         }
         out
+    }
+
+    /// The `par.stage.<label>` histogram pairs as
+    /// `(label, busy ns, wall ns, busy/wall speedup)`, label-sorted.
+    /// Busy sums per-unit run time across workers; wall is the elapsed
+    /// time of the whole stage, so the ratio is the stage's effective
+    /// parallel speedup (1.0 when sequential).
+    pub fn parallel_stages(&self) -> Vec<(String, u64, u64, f64)> {
+        self.histograms
+            .iter()
+            .filter_map(|(name, busy)| {
+                let label = name.strip_prefix("par.stage.")?.strip_suffix(".busy_ns")?;
+                let wall = self.histograms.get(&format!("par.stage.{label}.wall_ns"))?;
+                if busy.count == 0 || wall.sum == 0 {
+                    return None;
+                }
+                let speedup = busy.sum as f64 / wall.sum as f64;
+                Some((label.to_owned(), busy.sum, wall.sum, speedup))
+            })
+            .collect()
     }
 }
 
@@ -91,6 +124,32 @@ mod tests {
         assert!(!text.contains("b.idle"), "{text}");
         assert!(text.contains("x.build_ns"), "{text}");
         assert!(text.contains("ms") || text.contains("µs"), "{text}");
+    }
+
+    #[test]
+    fn parallel_stages_pair_busy_with_wall() {
+        let mut s = Snapshot::default();
+        let h = |sum: u64| HistogramSnapshot {
+            buckets: [0; BUCKETS],
+            count: 1,
+            sum,
+            max: sum,
+        };
+        s.histograms
+            .insert("par.stage.fca.godin.shard.busy_ns".into(), h(4_000_000));
+        s.histograms
+            .insert("par.stage.fca.godin.shard.wall_ns".into(), h(1_000_000));
+        // An unpaired busy histogram is skipped.
+        s.histograms.insert("par.stage.orphan.busy_ns".into(), h(9));
+        let stages = s.parallel_stages();
+        assert_eq!(stages.len(), 1);
+        let (label, busy, wall, speedup) = &stages[0];
+        assert_eq!(label, "fca.godin.shard");
+        assert_eq!((*busy, *wall), (4_000_000, 1_000_000));
+        assert!((speedup - 4.0).abs() < 1e-9);
+        let text = s.render();
+        assert!(text.contains("parallel stages"), "{text}");
+        assert!(text.contains("4.00×"), "{text}");
     }
 
     #[test]

@@ -1,25 +1,85 @@
 //! RAII span timers with per-thread nesting.
+//!
+//! Nesting state is a **per-thread name stack**: each thread entering
+//! spans sees only its own stack, so spans recorded concurrently from
+//! pool workers can never garble one another. Two guarantees enforce
+//! this:
+//!
+//! * [`Span`] is `!Send` — a span entered on one thread cannot be
+//!   dropped on another (which would pop the wrong thread's stack);
+//! * workers executing units for a parallel stage set a per-thread
+//!   *stage label* ([`enter_stage`]), so [`current_stack`] on a worker
+//!   attributes its spans under the stage that scheduled them rather
+//!   than appearing as a detached global stack.
 
 use crate::metrics::HistogramHandle;
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
+use std::marker::PhantomData;
 use std::time::Instant;
 
 thread_local! {
-    static DEPTH: Cell<usize> = const { Cell::new(0) };
+    /// This thread's stack of open span names, innermost last.
+    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+    /// The parallel-stage label the current thread is executing under.
+    static STAGE: Cell<Option<&'static str>> = const { Cell::new(None) };
 }
 
 /// The current span nesting depth on this thread (0 outside any span).
 pub fn current_depth() -> usize {
-    DEPTH.with(|d| d.get())
+    STACK.with(|s| s.borrow().len())
+}
+
+/// This thread's open span names, outermost first, prefixed with the
+/// thread's parallel-stage label when one is set (see [`enter_stage`]).
+pub fn current_stack() -> Vec<&'static str> {
+    let mut out = Vec::new();
+    if let Some(stage) = current_stage() {
+        out.push(stage);
+    }
+    STACK.with(|s| out.extend(s.borrow().iter().copied()));
+    out
+}
+
+/// The parallel-stage label the current thread is executing under, if
+/// any.
+pub fn current_stage() -> Option<&'static str> {
+    STAGE.with(|s| s.get())
+}
+
+/// Sets this thread's parallel-stage label for the lifetime of the
+/// returned guard; pool workers call this around each unit so the
+/// spans the unit opens attribute to the stage that scheduled it.
+/// Nested stages restore the outer label on drop.
+#[must_use = "the stage label lasts only while the guard is alive"]
+pub fn enter_stage(label: &'static str) -> StageGuard {
+    let previous = STAGE.with(|s| s.replace(Some(label)));
+    StageGuard {
+        previous,
+        _not_send: PhantomData,
+    }
+}
+
+/// Restores the previous stage label on drop. `!Send`, like [`Span`].
+pub struct StageGuard {
+    previous: Option<&'static str>,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for StageGuard {
+    fn drop(&mut self) {
+        let previous = self.previous;
+        STAGE.with(|s| s.set(previous));
+    }
 }
 
 /// An RAII wall-clock timer. While observation is [`crate::enabled`],
-/// entering takes an `Instant::now` and bumps the thread's nesting depth;
-/// dropping records the elapsed nanoseconds into the span's histogram.
-/// While disabled, entering and dropping cost one relaxed load each.
+/// entering takes an `Instant::now` and pushes the span's name on the
+/// thread's stack; dropping records the elapsed nanoseconds into the
+/// span's histogram and pops. While disabled, entering and dropping cost
+/// one relaxed load each.
 ///
-/// Spans drop in reverse entry order by scoping, which keeps the depth
-/// counter consistent:
+/// Spans drop in reverse entry order by scoping, which keeps each
+/// thread's stack consistent:
 ///
 /// ```
 /// use cable_obs as obs;
@@ -32,7 +92,7 @@ pub fn current_depth() -> usize {
 ///     assert_eq!(obs::current_depth(), 1);
 ///     {
 ///         let _inner = obs::Span::enter("doc.span", &H);
-///         assert_eq!(obs::current_depth(), 2);
+///         assert_eq!(obs::current_stack(), vec!["doc.span", "doc.span"]);
 ///     }
 ///     assert_eq!(obs::current_depth(), 1);
 /// }
@@ -42,8 +102,10 @@ pub fn current_depth() -> usize {
 pub struct Span {
     histogram: &'static HistogramHandle,
     start: Option<Instant>,
-    #[allow(dead_code)]
     name: &'static str,
+    /// A span belongs to the thread whose stack it pushed: sending it
+    /// elsewhere would pop another thread's stack on drop.
+    _not_send: PhantomData<*const ()>,
 }
 
 impl Span {
@@ -51,7 +113,7 @@ impl Span {
     #[inline]
     pub fn enter(name: &'static str, histogram: &'static HistogramHandle) -> Span {
         let start = if crate::enabled() {
-            DEPTH.with(|d| d.set(d.get() + 1));
+            STACK.with(|s| s.borrow_mut().push(name));
             Some(Instant::now())
         } else {
             None
@@ -60,6 +122,7 @@ impl Span {
             histogram,
             start,
             name,
+            _not_send: PhantomData,
         }
     }
 }
@@ -69,7 +132,10 @@ impl Drop for Span {
     fn drop(&mut self) {
         if let Some(start) = self.start {
             self.histogram.get().record_duration(start.elapsed());
-            DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+            STACK.with(|s| {
+                let popped = s.borrow_mut().pop();
+                debug_assert_eq!(popped, Some(self.name), "span stack out of order");
+            });
         }
     }
 }
@@ -107,10 +173,36 @@ mod tests {
             {
                 let _inner = Span::enter("test.span", &TEST_SPAN);
                 assert_eq!(current_depth(), d + 1);
+                assert_eq!(current_stack().last(), Some(&"test.span"));
             }
             assert_eq!(current_depth(), d);
         }
         assert_eq!(TEST_SPAN.get().snapshot().count, before + 2);
+        crate::set_enabled(false);
+    }
+
+    #[test]
+    fn stage_labels_nest_and_restore() {
+        assert_eq!(current_stage(), None);
+        {
+            let _outer = enter_stage("stage.outer");
+            assert_eq!(current_stage(), Some("stage.outer"));
+            {
+                let _inner = enter_stage("stage.inner");
+                assert_eq!(current_stage(), Some("stage.inner"));
+            }
+            assert_eq!(current_stage(), Some("stage.outer"));
+        }
+        assert_eq!(current_stage(), None);
+    }
+
+    #[test]
+    fn stack_is_prefixed_with_the_stage() {
+        let _guard = FLAG_LOCK.lock().unwrap();
+        crate::set_enabled(true);
+        let _stage = enter_stage("stage.label");
+        let _span = Span::enter("test.span", &TEST_SPAN);
+        assert_eq!(current_stack(), vec!["stage.label", "test.span"]);
         crate::set_enabled(false);
     }
 }

@@ -1,0 +1,76 @@
+//! Regression test: span timers nest correctly under concurrency.
+//!
+//! The pre-fix implementation kept a single per-thread *depth counter*
+//! on a `Send` span type, so a span moved to (or dropped on) another
+//! thread corrupted that thread's depth and the two stacks interleaved
+//! into a garbled global one. The fix keeps a per-thread *name stack*,
+//! makes spans `!Send`, and gives pool workers a stage label; this test
+//! pins the observable contract with two threads recording overlapping
+//! spans.
+
+use cable_obs as obs;
+use std::sync::{Arc, Barrier};
+
+static SPAN_A: obs::HistogramHandle = obs::HistogramHandle::new("test.concurrent.a_ns");
+static SPAN_B: obs::HistogramHandle = obs::HistogramHandle::new("test.concurrent.b_ns");
+
+/// Serialises the tests: both toggle the process-wide enabled flag.
+static FLAG_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+#[test]
+fn overlapping_spans_on_two_threads_keep_their_own_stacks() {
+    let _lock = FLAG_LOCK.lock().unwrap();
+    obs::set_enabled(true);
+    let before_a = SPAN_A.get().snapshot().count;
+    let before_b = SPAN_B.get().snapshot().count;
+    // Both threads hold their outer span open across the same barrier
+    // point, so the spans of thread A provably overlap the spans of
+    // thread B in wall-clock time.
+    let barrier = Arc::new(Barrier::new(2));
+    let rounds = 100;
+    let spawn =
+        |name: &'static str, histogram: &'static obs::HistogramHandle, barrier: Arc<Barrier>| {
+            std::thread::spawn(move || {
+                for _ in 0..rounds {
+                    assert_eq!(obs::current_depth(), 0, "stack leaked between rounds");
+                    let _outer = obs::Span::enter(name, histogram);
+                    barrier.wait(); // both threads are now inside their outer span
+                    {
+                        let _inner = obs::Span::enter(name, histogram);
+                        // Only this thread's own spans are visible: exactly
+                        // two, both under this thread's name — never the
+                        // other thread's.
+                        assert_eq!(obs::current_stack(), vec![name, name]);
+                    }
+                    assert_eq!(obs::current_depth(), 1);
+                    barrier.wait(); // release the peer's round
+                }
+            })
+        };
+    let a = spawn("test.concurrent.a", &SPAN_A, barrier.clone());
+    let b = spawn("test.concurrent.b", &SPAN_B, barrier);
+    a.join().expect("thread a");
+    b.join().expect("thread b");
+    // Every span recorded exactly once into its own histogram.
+    assert_eq!(SPAN_A.get().snapshot().count, before_a + 2 * rounds);
+    assert_eq!(SPAN_B.get().snapshot().count, before_b + 2 * rounds);
+    // The main thread's stack was never touched.
+    assert_eq!(obs::current_depth(), 0);
+    obs::set_enabled(false);
+}
+
+#[test]
+fn worker_spans_attribute_to_their_stage_label() {
+    let _lock = FLAG_LOCK.lock().unwrap();
+    obs::set_enabled(true);
+    let worker = std::thread::spawn(|| {
+        let _stage = obs::enter_stage("par.stage.demo");
+        let _span = obs::Span::enter("test.concurrent.a", &SPAN_A);
+        obs::current_stack()
+    });
+    let stack = worker.join().expect("worker");
+    assert_eq!(stack, vec!["par.stage.demo", "test.concurrent.a"]);
+    // The stage label is per-thread: this thread never saw it.
+    assert_eq!(obs::current_stage(), None);
+    obs::set_enabled(false);
+}

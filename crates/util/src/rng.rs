@@ -208,6 +208,15 @@ pub fn derive_seed(parent: u64, stream: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// A generator for the `index`-th parallel stream of a parent seed:
+/// `seeded(derive_seed(parent, index))`. This is how fan-out stages give
+/// each unit of work its own replayable stream — the streams depend only
+/// on `(parent, index)`, never on which worker runs the unit or in what
+/// order, so parallel generation is bit-identical to sequential.
+pub fn stream(parent: u64, index: u64) -> SmallRng {
+    seeded(derive_seed(parent, index))
+}
+
 /// Fisher–Yates shuffles a slice in place with the given RNG.
 pub fn shuffle<T, R: Rng>(slice: &mut [T], rng: &mut R) {
     for i in (1..slice.len()).rev() {
@@ -298,6 +307,16 @@ mod tests {
         assert_ne!(derive_seed(1, 0), derive_seed(2, 0));
         // Deterministic.
         assert_eq!(derive_seed(5, 9), derive_seed(5, 9));
+    }
+
+    #[test]
+    fn stream_is_seed_and_index_stable() {
+        let mut a = stream(42, 3);
+        let mut b = stream(42, 3);
+        assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        let mut c = stream(42, 4);
+        assert_ne!(stream(42, 3).gen::<u64>(), c.gen::<u64>());
+        assert_eq!(stream(9, 1), seeded(derive_seed(9, 1)));
     }
 
     #[test]

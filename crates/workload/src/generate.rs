@@ -4,7 +4,7 @@ use crate::model::ProtocolModel;
 use cable_obs::{CounterHandle, HistogramHandle, Span};
 use cable_trace::{Arg, Event, ObjId, Trace, Vocab};
 use cable_util::rng::Rng;
-use cable_util::rng::{seeded, shuffle};
+use cable_util::rng::{shuffle, stream};
 
 /// Program traces generated.
 static TRACES_GENERATED: CounterHandle = CounterHandle::new("workload.generate.traces");
@@ -52,7 +52,13 @@ impl Default for WorkloadParams {
 /// Each program trace is the random interleaving (preserving per-object
 /// order) of the event sequences of its objects, with noise events on
 /// fresh unrelated objects mixed in. Object identities are unique across
-/// the whole workload.
+/// the whole workload (each program draws from its own id band).
+///
+/// Programs are generated in parallel on the [`cable_par`] pool: the
+/// model's vocabulary is interned up front so the fan-out reads it
+/// immutably, and each program consumes its own
+/// [`stream`] of `params.seed` — so the workload
+/// is a function of the seed alone, identical for every worker count.
 ///
 /// # Panics
 ///
@@ -86,51 +92,73 @@ pub fn generate(model: &ProtocolModel, params: &WorkloadParams, vocab: &mut Voca
         "positive error rate requires erroneous shapes"
     );
     let _span = Span::enter("workload.generate", &GENERATE_NS);
-    let mut rng = seeded(params.seed);
-    let mut next_obj: u64 = 1;
-    let mut traces = Vec::with_capacity(params.programs);
-    for program in 0..params.programs {
-        let (lo, hi) = params.objects_per_program;
-        let n_objects = rng.gen_range(lo..=hi.max(lo));
-        // Per-object event sequences.
-        let mut streams: Vec<Vec<Event>> = Vec::new();
-        for _ in 0..n_objects {
-            let obj = ObjId(next_obj);
-            next_obj += 1;
-            let erroneous = rng.gen_range(0.0..1.0) < params.error_rate;
-            if erroneous {
-                ERRONEOUS_OBJECTS.get().incr();
-            }
-            let ops = if erroneous {
-                model.erroneous.sample(&mut rng)
-            } else {
-                model.correct.sample(&mut rng)
-            };
-            streams.push(
-                ops.iter()
-                    .map(|op| op.event(Arg::Obj(obj), vocab))
-                    .collect(),
-            );
-            // Noise events, each on its own fresh object.
-            if !model.noise_ops.is_empty() && params.noise_per_object > 0.0 {
-                let p = params.noise_per_object / (params.noise_per_object + 1.0);
-                let mut noise = Vec::new();
-                while rng.gen_range(0.0..1.0) < p {
-                    let op = &model.noise_ops[rng.gen_range(0..model.noise_ops.len())];
-                    noise.push(Event::on_obj(vocab.op(op), ObjId(next_obj)));
-                    next_obj += 1;
-                }
-                if !noise.is_empty() {
-                    streams.push(noise);
-                }
-            }
-        }
-        let trace = Trace::with_provenance(interleave(streams, &mut rng), program as u32);
-        EVENTS_GENERATED.get().add(trace.len() as u64);
-        traces.push(trace);
+    // Intern every op the model can emit up front, so the parallel
+    // fan-out below realises events through the read-only vocabulary.
+    model.correct.intern(vocab);
+    model.erroneous.intern(vocab);
+    for op in &model.noise_ops {
+        vocab.op(op);
     }
+    let programs: Vec<u64> = (0..params.programs as u64).collect();
+    let traces = cable_par::par_map("workload.generate", &programs, |&program| {
+        generate_program(model, params, vocab, program)
+    });
     TRACES_GENERATED.get().add(traces.len() as u64);
     traces
+}
+
+/// Generates one program trace from its own RNG stream and object-id
+/// band.
+fn generate_program(
+    model: &ProtocolModel,
+    params: &WorkloadParams,
+    vocab: &Vocab,
+    program: u64,
+) -> Trace {
+    let mut rng = stream(params.seed, program);
+    // Object ids are banded per program: ids stay globally unique without
+    // any cross-program coordination.
+    let band = (program + 1) << 32;
+    let mut next_obj: u64 = 0;
+    let (lo, hi) = params.objects_per_program;
+    let n_objects = rng.gen_range(lo..=hi.max(lo));
+    // Per-object event sequences.
+    let mut streams: Vec<Vec<Event>> = Vec::new();
+    for _ in 0..n_objects {
+        let obj = ObjId(band | next_obj);
+        next_obj += 1;
+        let erroneous = rng.gen_range(0.0..1.0) < params.error_rate;
+        if erroneous {
+            ERRONEOUS_OBJECTS.get().incr();
+        }
+        let ops = if erroneous {
+            model.erroneous.sample(&mut rng)
+        } else {
+            model.correct.sample(&mut rng)
+        };
+        streams.push(
+            ops.iter()
+                .map(|op| op.event_interned(Arg::Obj(obj), vocab))
+                .collect(),
+        );
+        // Noise events, each on its own fresh object.
+        if !model.noise_ops.is_empty() && params.noise_per_object > 0.0 {
+            let p = params.noise_per_object / (params.noise_per_object + 1.0);
+            let mut noise = Vec::new();
+            while rng.gen_range(0.0..1.0) < p {
+                let op = &model.noise_ops[rng.gen_range(0..model.noise_ops.len())];
+                let sym = vocab.find_op(op).expect("noise op interned above");
+                noise.push(Event::on_obj(sym, ObjId(band | next_obj)));
+                next_obj += 1;
+            }
+            if !noise.is_empty() {
+                streams.push(noise);
+            }
+        }
+    }
+    let trace = Trace::with_provenance(interleave(streams, &mut rng), program as u32);
+    EVENTS_GENERATED.get().add(trace.len() as u64);
+    trace
 }
 
 /// Randomly interleaves event streams, preserving the order within each
@@ -191,6 +219,32 @@ mod tests {
         let a = generate(&model, &params, &mut v1);
         let b = generate(&model, &params, &mut v2);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn workload_prefix_is_stable_under_program_count() {
+        // Each program has its own RNG stream and object-id band, so
+        // growing the workload never disturbs the programs already in it.
+        let model = toy_model();
+        let mut v1 = Vocab::new();
+        let mut v2 = Vocab::new();
+        let small = generate(
+            &model,
+            &WorkloadParams {
+                programs: 5,
+                ..Default::default()
+            },
+            &mut v1,
+        );
+        let large = generate(
+            &model,
+            &WorkloadParams {
+                programs: 12,
+                ..Default::default()
+            },
+            &mut v2,
+        );
+        assert_eq!(small[..], large[..5]);
     }
 
     #[test]

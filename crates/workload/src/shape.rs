@@ -50,6 +50,37 @@ impl OpSpec {
         }
         Event::new(vocab.op(&self.name), args)
     }
+
+    /// Pre-registers the op name (and atom, if any) in the vocabulary,
+    /// so the op can later be realised through the read-only
+    /// [`event_interned`](OpSpec::event_interned) — the contract parallel
+    /// workload generation relies on.
+    pub fn intern(&self, vocab: &mut Vocab) {
+        vocab.op(&self.name);
+        if let Some(atom) = &self.atom {
+            vocab.atom(atom);
+        }
+    }
+
+    /// Realises the op as an event without touching the vocabulary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the op was not [`intern`](OpSpec::intern)ed first.
+    pub fn event_interned(&self, object: Arg, vocab: &Vocab) -> Event {
+        let op = vocab
+            .find_op(&self.name)
+            .expect("op realised before interning");
+        let mut args = vec![object];
+        if let Some(atom) = &self.atom {
+            args.push(Arg::Atom(
+                vocab
+                    .find_atom(atom)
+                    .expect("atom realised before interning"),
+            ));
+        }
+        Event::new(op, args)
+    }
 }
 
 /// Realises an operation sequence as a canonical scenario trace over
@@ -139,6 +170,13 @@ impl ScenarioShape {
             .chain(&self.post)
             .map(|o| o.name.as_str())
     }
+
+    /// Pre-registers every op the shape can emit; see [`OpSpec::intern`].
+    pub fn intern(&self, vocab: &mut Vocab) {
+        for op in self.pre.iter().chain(&self.body).chain(&self.post) {
+            op.intern(vocab);
+        }
+    }
 }
 
 /// A weighted mixture of shapes.
@@ -172,6 +210,13 @@ impl ShapeMix {
     /// Every operation name the mixture can emit.
     pub fn ops(&self) -> impl Iterator<Item = &str> {
         self.shapes.iter().flat_map(|(_, s)| s.ops())
+    }
+
+    /// Pre-registers every op the mixture can emit; see [`OpSpec::intern`].
+    pub fn intern(&self, vocab: &mut Vocab) {
+        for (_, shape) in &self.shapes {
+            shape.intern(vocab);
+        }
     }
 }
 
@@ -262,6 +307,32 @@ mod tests {
     #[should_panic(expected = "must start with '")]
     fn op_spec_rejects_bad_atom() {
         let _ = OpSpec::parse("op:PRIMARY");
+    }
+
+    #[test]
+    fn interned_realisation_matches_mutable_realisation() {
+        let specs = vec![OpSpec::parse("own:'PRIMARY"), OpSpec::parse("read")];
+        let mut v1 = Vocab::new();
+        let events_mut: Vec<_> = specs
+            .iter()
+            .map(|s| s.event(Arg::Var(Var(0)), &mut v1))
+            .collect();
+        let mut v2 = Vocab::new();
+        for s in &specs {
+            s.intern(&mut v2);
+        }
+        let events_ro: Vec<_> = specs
+            .iter()
+            .map(|s| s.event_interned(Arg::Var(Var(0)), &v2))
+            .collect();
+        assert_eq!(events_mut, events_ro);
+    }
+
+    #[test]
+    #[should_panic(expected = "before interning")]
+    fn interned_realisation_requires_interning() {
+        let v = Vocab::new();
+        let _ = OpSpec::parse("nope").event_interned(Arg::Var(Var(0)), &v);
     }
 
     #[test]

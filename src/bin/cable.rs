@@ -31,7 +31,9 @@
 //! Every command also accepts `--stats`, which prints the cable-obs
 //! stage-cost report (counters and span timings) to stderr when the
 //! command finishes; setting `CABLE_OBS=1` in the environment does the
-//! same without the flag.
+//! same without the flag. `--threads N` sizes the cable-par worker pool
+//! (equivalent to `CABLE_PAR=N`; the output is identical either way —
+//! only wall-clock time changes).
 
 use cable::fa::templates;
 use cable::prelude::*;
@@ -110,6 +112,12 @@ fn parse_opts(args: &[String]) -> Opts {
                 opts.stats = true;
                 i += 1;
                 continue;
+            }
+            "--threads" => {
+                let n: usize = value()
+                    .parse()
+                    .unwrap_or_else(|_| usage("--threads needs an integer"));
+                cable::par::configure(n);
             }
             "--traces" => opts.traces = Some(value()),
             "--fa" => opts.fa = Some(value()),
@@ -338,7 +346,8 @@ fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: cable <cluster|label|mine|show-fa|check|specs> [--traces FILE] [--fa FILE] \
-         [--template unordered|seed:<op>] [--dot OUT] [--script FILE] [--seeds ops] [--stats]"
+         [--template unordered|seed:<op>] [--dot OUT] [--script FILE] [--seeds ops] \
+         [--threads N] [--stats]"
     );
     exit(2);
 }

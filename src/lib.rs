@@ -19,7 +19,9 @@
 //!   violation traces,
 //! * [`session`] — Cable itself: concept-lattice-driven labeling sessions
 //!   and the labeling strategies of §4.2,
-//! * [`specs`] — the seventeen evaluation specifications (Table 1).
+//! * [`specs`] — the seventeen evaluation specifications (Table 1),
+//! * [`par`] — the deterministic work-stealing pool the pipeline stages
+//!   run on (`CABLE_PAR` / `--threads` control the worker count).
 //!
 //! # Quickstart
 //!
@@ -48,6 +50,7 @@ pub use cable_fa as fa;
 pub use cable_fca as fca;
 pub use cable_learn as learn;
 pub use cable_obs as obs;
+pub use cable_par as par;
 pub use cable_specs as specs;
 pub use cable_strauss as strauss;
 pub use cable_trace as trace;

@@ -139,7 +139,7 @@ fn reference_fallback_chain_is_exercised() {
     // that the §4.3 fallback logic does real work.
     let registry = cable::specs::registry();
     let mut kinds = std::collections::HashSet::new();
-    for name in ["XOpenDisplay", "XSetSelOwner", "XGetSelOwner", "Quarks"] {
+    for name in ["Quarks", "FilePair", "XFreeGC", "RegionsBig"] {
         let spec = registry.spec(name).expect("known spec");
         let p = prepare(spec, 11);
         kinds.insert(match p.reference {
