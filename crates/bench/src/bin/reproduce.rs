@@ -120,9 +120,10 @@ fn main() {
     if all || which.iter().any(|w| w == "table2") {
         println!("## Table 2: cost of concept analysis (seed {seed})\n");
         println!(
-            "| spec | traces | unique | reference FA | transitions | k | concepts | build (ms) |"
+            "| spec | traces | unique | reference FA | transitions | k | concepts | build (ms) | \
+             ingest (µs/trace) | store (bytes) |"
         );
-        println!("|---|---|---|---|---|---|---|---|");
+        println!("|---|---|---|---|---|---|---|---|---|---|");
         let rows_with_deltas = table2_with_deltas(&registry, seed);
         if let Some(sink) = &sink {
             for (r, delta) in &rows_with_deltas {
@@ -137,6 +138,9 @@ fn main() {
                     ("max_row", Value::from(r.max_row)),
                     ("concepts", Value::from(r.concepts)),
                     ("build_ms", Value::from(r.build_ms)),
+                    ("ingest_us_per_trace", Value::from(r.ingest_us_per_trace)),
+                    ("store_bytes", Value::from(r.store_bytes)),
+                    ("journal_bytes", Value::from(r.journal_bytes)),
                     ("obs", delta.to_json()),
                 ]);
                 sink.write(&record).expect("writing perf record");
@@ -146,7 +150,7 @@ fn main() {
         let mut max_ms = 0.0f64;
         for r in &rows {
             println!(
-                "| {} | {} | {} | {} | {} | {} | {} | {:.2} |",
+                "| {} | {} | {} | {} | {} | {} | {} | {:.2} | {:.1} | {} |",
                 r.name,
                 r.traces,
                 r.unique,
@@ -154,7 +158,9 @@ fn main() {
                 r.transitions,
                 r.max_row,
                 r.concepts,
-                r.build_ms
+                r.build_ms,
+                r.ingest_us_per_trace,
+                r.store_bytes
             );
             max_ms = max_ms.max(r.build_ms);
         }

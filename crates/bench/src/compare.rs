@@ -26,8 +26,10 @@ use std::path::Path;
 const COUNT_FIELDS: [&str; 5] = ["traces", "unique", "transitions", "max_row", "concepts"];
 
 /// Record fields [`diff`] strips before comparing: everything that
-/// legitimately varies between runs of the same seed.
-const TIMING_FIELDS: [&str; 2] = ["build_ms", "obs"];
+/// legitimately varies between runs of the same seed. (`store_bytes`
+/// and `journal_bytes` are *not* here — the store encoding is
+/// deterministic, so size drift is a real difference.)
+const TIMING_FIELDS: [&str; 3] = ["build_ms", "ingest_us_per_trace", "obs"];
 
 /// Loads a JSONL perf-record file written by `reproduce --json-out`.
 ///

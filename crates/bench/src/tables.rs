@@ -104,6 +104,14 @@ pub struct Table2Row {
     /// Godin build time in milliseconds (best of three, as the paper
     /// reports the shortest of three runs).
     pub build_ms: f64,
+    /// Incremental ingest cost: microseconds per trace to append the
+    /// last ~20% of the corpus to a saved `cable-store` session through
+    /// the journal + `Inserter` path.
+    pub ingest_us_per_trace: f64,
+    /// Snapshot size in bytes after compacting the full corpus.
+    pub store_bytes: u64,
+    /// Journal size in bytes after the ingest, before compaction.
+    pub journal_bytes: u64,
 }
 
 /// Regenerates Table 2.
@@ -131,6 +139,7 @@ pub fn table2_with_deltas(registry: &Registry, seed: u64) -> Vec<(Table2Row, cab
             let before = cable_obs::registry().snapshot();
             let ctx = p.session.context();
             let build_ms = time_build(ctx);
+            let (ingest_us_per_trace, store_bytes, journal_bytes) = measure_ingest(&p);
             let row = Table2Row {
                 name: p.name.clone(),
                 traces: p.scenarios.len(),
@@ -140,11 +149,69 @@ pub fn table2_with_deltas(registry: &Registry, seed: u64) -> Vec<(Table2Row, cab
                 max_row: ctx.max_row_size(),
                 concepts: p.session.lattice().len(),
                 build_ms,
+                ingest_us_per_trace,
+                store_bytes,
+                journal_bytes,
             };
             let delta = cable_obs::registry().snapshot().delta_since(&before);
             (row, delta)
         })
         .collect()
+}
+
+/// Measures the `cable-store` incremental path for a prepared spec:
+/// saves a session over the first ~80% of the scenarios, ingests the
+/// rest through the journal + incremental lattice insert, and compacts.
+/// Returns `(µs per ingested trace, compacted snapshot bytes, journal
+/// bytes before compaction)`.
+fn measure_ingest(p: &PreparedSpec) -> (f64, u64, u64) {
+    use std::fmt::Write as _;
+    let n = p.scenarios.len();
+    if n == 0 {
+        return (0.0, 0, 0);
+    }
+    let split = ((n * 4) / 5).max(1);
+    let mut base = cable_trace::TraceSet::new();
+    let mut rest_lines = String::new();
+    let mut rest_count = 0usize;
+    for (i, (_, t)) in p.scenarios.iter().enumerate() {
+        if i < split {
+            base.push(t.clone());
+        } else {
+            writeln!(rest_lines, "{}", t.display(&p.vocab)).expect("writing to a String");
+            rest_count += 1;
+        }
+    }
+    let session = cable_core::CableSession::new(base, p.session.reference_fa().clone());
+    let dir = std::env::temp_dir().join(format!(
+        "cable-bench-ingest-{}-{}",
+        std::process::id(),
+        p.name
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut stored = session
+        .save(p.vocab.clone(), &dir)
+        .expect("saving the bench store");
+    let start = Instant::now();
+    if rest_count > 0 {
+        stored
+            .ingest_text(&rest_lines, false)
+            .expect("ingesting the held-out scenarios");
+    }
+    let elapsed_us = start.elapsed().as_secs_f64() * 1e6;
+    // The incremental path must land exactly where the batch build did.
+    assert_eq!(stored.session().classes().len(), p.session.classes().len());
+    assert_eq!(stored.session().lattice().len(), p.session.lattice().len());
+    let journal_bytes = stored.store().journal_bytes().unwrap_or(0);
+    stored.compact().expect("compacting the bench store");
+    let store_bytes = stored.store().snapshot_bytes().unwrap_or(0);
+    let _ = std::fs::remove_dir_all(&dir);
+    let per_trace = if rest_count > 0 {
+        elapsed_us / rest_count as f64
+    } else {
+        0.0
+    };
+    (per_trace, store_bytes, journal_bytes)
 }
 
 fn time_build(ctx: &Context) -> f64 {
@@ -344,6 +411,9 @@ mod tests {
             assert!(row.concepts >= 1, "{}", row.name);
             assert!(row.max_row <= row.transitions, "{}", row.name);
             assert!(row.build_ms < 22_000.0, "{}: paper bound", row.name);
+            assert!(row.store_bytes > 0, "{}: compacted snapshot", row.name);
+            // Header plus the ingested trace records.
+            assert!(row.journal_bytes >= 16, "{}", row.name);
         }
     }
 

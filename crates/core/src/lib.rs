@@ -48,11 +48,13 @@
 //! ```
 
 pub mod label;
+pub mod persist;
 pub mod session;
 pub mod strategy;
 pub mod wellformed;
 
 pub use label::{Label, LabelStore};
+pub use persist::StoredSession;
 pub use session::{
     CableSession, ConceptState, FocusSession, LabelCount, SessionProgress, TraceSelector,
 };

@@ -1,0 +1,508 @@
+//! Saving and resuming sessions through `cable-store`.
+//!
+//! The paper's workflow is a long labeling conversation: the user
+//! clusters a corpus once, then spends many sittings walking the
+//! lattice and naming concepts. This module makes that conversation
+//! durable. [`CableSession::save`] publishes the whole session —
+//! vocabulary, automaton, traces, labels, context rows, lattice — as a
+//! store snapshot; [`CableSession::open`] reads it back and replays the
+//! write-ahead journal of decisions made since.
+//!
+//! The payoff is *incremental resume*: the snapshot carries the context
+//! rows and lattice concepts verbatim, so opening a store rebuilds the
+//! session with `Context::from_rows` and `ConceptLattice::from_concepts`
+//! — no Godin pass over the corpus — and traces ingested afterwards go
+//! through [`CableSession::push_traces`], which extends the persisted
+//! lattice with `fca::godin::Inserter` instead of rebuilding it. The
+//! `fca.godin.*` and `store.journal.*` counters make both savings
+//! visible.
+//!
+//! [`StoredSession`] pairs the live session with its open store and
+//! keeps the two in step under a write-ahead discipline: every mutation
+//! is journaled (and fsynced) *before* it is applied in memory, so the
+//! store never claims less than the session knows.
+
+use crate::session::CableSession;
+use cable_fa::Fa;
+use cable_fca::{Concept, ConceptLattice, Context};
+use cable_obs::CounterHandle;
+use cable_store::{JournalRecord, RecoveryReport, SnapshotData, Store, StoreError};
+use cable_trace::{Trace, TraceId, TraceSet, Vocab};
+use std::path::Path;
+
+/// Sessions saved to a store.
+static SAVES: CounterHandle = CounterHandle::new("core.session.saves");
+/// Sessions resumed from a store.
+static RESUMES: CounterHandle = CounterHandle::new("core.session.resumes");
+
+impl CableSession {
+    /// Captures the session as a snapshot at `generation`.
+    ///
+    /// `vocab` must be the vocabulary the session's traces and
+    /// automaton are interned against.
+    pub fn to_snapshot(&self, vocab: &Vocab, generation: u64) -> SnapshotData {
+        let labels = (0..self.classes().len())
+            .filter_map(|c| {
+                self.labels()
+                    .get(c)
+                    .map(|l| (c as u32, self.labels().name(l).to_owned()))
+            })
+            .collect();
+        let context = self.context();
+        SnapshotData {
+            generation,
+            n_attributes: context.attribute_count(),
+            vocab: vocab.clone(),
+            fa_text: self.reference_fa().to_text(vocab),
+            traces: self.traces().clone(),
+            labels,
+            rows: (0..context.object_count())
+                .map(|c| context.row(c).clone())
+                .collect(),
+            concepts: self
+                .lattice()
+                .iter()
+                .map(|(_, c)| (c.extent.clone(), c.intent.clone()))
+                .collect(),
+        }
+    }
+
+    /// Rebuilds a session from a snapshot without re-clustering: the
+    /// persisted rows and concepts become the context and lattice
+    /// directly (no Godin pass — `fca.godin.objects_inserted` stays
+    /// flat across this call).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Format`] when the snapshot's parts are
+    /// internally inconsistent — wrong counts, unparsable automaton,
+    /// duplicate concept extents.
+    pub fn from_snapshot(data: SnapshotData) -> Result<(CableSession, Vocab), StoreError> {
+        let SnapshotData {
+            generation: _,
+            n_attributes,
+            mut vocab,
+            fa_text,
+            traces,
+            labels,
+            rows,
+            concepts,
+        } = data;
+        let fa = Fa::parse(&fa_text, &mut vocab)
+            .map_err(|e| StoreError::format(format!("snapshot automaton: {e}")))?;
+        if fa.transition_count() != n_attributes {
+            return Err(StoreError::format(format!(
+                "snapshot automaton has {} transitions, context expects {}",
+                fa.transition_count(),
+                n_attributes
+            )));
+        }
+        if concepts.is_empty() {
+            return Err(StoreError::format("snapshot holds no concepts"));
+        }
+        // `from_concepts` panics on duplicate extents; turn that shape
+        // of damage into an error first.
+        let mut extents: Vec<&cable_util::BitSet> = concepts.iter().map(|(e, _)| e).collect();
+        extents.sort();
+        if extents.windows(2).any(|w| w[0] == w[1]) {
+            return Err(StoreError::format("snapshot concepts repeat an extent"));
+        }
+        let context = Context::from_rows(rows, n_attributes);
+        let lattice = ConceptLattice::from_concepts(
+            concepts
+                .into_iter()
+                .map(|(extent, intent)| Concept { extent, intent })
+                .collect(),
+        );
+        let mut session =
+            CableSession::from_parts(traces, fa, context, lattice).map_err(StoreError::Format)?;
+        let n_classes = session.classes().len();
+        for (class, name) in labels {
+            let class = class as usize;
+            if class >= n_classes {
+                return Err(StoreError::format(format!(
+                    "snapshot labels class {class} of {n_classes}"
+                )));
+            }
+            session.set_class_label(class, &name);
+        }
+        Ok((session, vocab))
+    }
+
+    /// Saves the session as a new store at `dir` and returns it open.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `dir` already holds a store, or on I/O errors.
+    pub fn save(self, vocab: Vocab, dir: &Path) -> Result<StoredSession, StoreError> {
+        let store = Store::create(dir, &self.to_snapshot(&vocab, 0))?;
+        SAVES.get().incr();
+        Ok(StoredSession {
+            session: self,
+            vocab,
+            store,
+        })
+    }
+
+    /// Opens a saved session: decodes the snapshot, rebuilds the
+    /// session from its persisted rows and lattice, and replays the
+    /// journal's surviving records in append order.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors, a damaged snapshot, or journal records that
+    /// contradict the snapshot (unparsable trace text, out-of-range
+    /// label classes).
+    pub fn open(dir: &Path) -> Result<(StoredSession, RecoveryReport), StoreError> {
+        let (store, data, records, report) = Store::open(dir)?;
+        let (session, vocab) = CableSession::from_snapshot(data)?;
+        let mut stored = StoredSession {
+            session,
+            vocab,
+            store,
+        };
+        stored.apply(&records)?;
+        RESUMES.get().incr();
+        Ok((stored, report))
+    }
+}
+
+/// A live session paired with its open store.
+///
+/// Mutations go through [`StoredSession::ingest_text`] and
+/// [`StoredSession::label_traces`], which journal first and apply
+/// second — the write-ahead ordering the crash-recovery drill relies
+/// on.
+#[derive(Debug)]
+pub struct StoredSession {
+    session: CableSession,
+    vocab: Vocab,
+    store: Store,
+}
+
+impl StoredSession {
+    /// The live session.
+    pub fn session(&self) -> &CableSession {
+        &self.session
+    }
+
+    /// The vocabulary the session is interned against.
+    pub fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+
+    /// The open store.
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// Replays journal records onto the session, batching runs of
+    /// consecutive traces into single [`CableSession::push_traces`]
+    /// calls so the lattice extends once per run.
+    fn apply(&mut self, records: &[JournalRecord]) -> Result<(), StoreError> {
+        let mut pending: Vec<Trace> = Vec::new();
+        for record in records {
+            match record {
+                JournalRecord::Trace(line) => {
+                    let trace = Trace::parse(line, &mut self.vocab)
+                        .map_err(|e| StoreError::format(format!("journal trace: {e}")))?;
+                    pending.push(trace);
+                }
+                JournalRecord::Label { class, name } => {
+                    if !pending.is_empty() {
+                        self.session.push_traces(std::mem::take(&mut pending));
+                    }
+                    let class = *class as usize;
+                    if class >= self.session.classes().len() {
+                        return Err(StoreError::format(format!(
+                            "journal labels class {class} of {}",
+                            self.session.classes().len()
+                        )));
+                    }
+                    self.session.set_class_label(class, name);
+                }
+            }
+        }
+        if !pending.is_empty() {
+            self.session.push_traces(std::mem::take(&mut pending));
+        }
+        Ok(())
+    }
+
+    /// Parses `text` as a trace set and ingests every trace: journals
+    /// each one (as its canonical display line), fsyncs, then absorbs
+    /// the batch through the incremental insert path. With `sync_each`
+    /// every trace is fsynced and applied individually, so a crash
+    /// loses at most the trace being written.
+    ///
+    /// Returns, per trace, its id and whether it founded a new
+    /// identical class.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a parse error (with the 1-based line number) or I/O
+    /// errors. On an I/O failure partway through `sync_each` ingestion,
+    /// the journal and session stay in step: every record journaled so
+    /// far has been applied.
+    pub fn ingest_text(
+        &mut self,
+        text: &str,
+        sync_each: bool,
+    ) -> Result<Vec<(TraceId, bool)>, StoreError> {
+        let batch = TraceSet::parse(text, &mut self.vocab)
+            .map_err(|e| StoreError::format(e.to_string()))?;
+        let traces: Vec<Trace> = batch.iter().map(|(_, t)| t.clone()).collect();
+        let records: Vec<JournalRecord> = traces
+            .iter()
+            .map(|t| JournalRecord::Trace(t.display(&self.vocab).to_string()))
+            .collect();
+        if sync_each {
+            let mut results = Vec::with_capacity(traces.len());
+            for (trace, record) in traces.into_iter().zip(&records) {
+                self.store.append(record)?;
+                self.store.sync()?;
+                results.extend(self.session.push_traces(vec![trace]));
+            }
+            Ok(results)
+        } else {
+            self.store.append_all(&records, false)?;
+            Ok(self.session.push_traces(traces))
+        }
+    }
+
+    /// Labels the selected traces of a concept, journaling each class's
+    /// decision before applying it. Returns the number of classes
+    /// affected.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors; the journal is synced before the session
+    /// changes.
+    pub fn label_traces(
+        &mut self,
+        concept: cable_fca::ConceptId,
+        selector: &crate::session::TraceSelector,
+        label: &str,
+    ) -> Result<usize, StoreError> {
+        let selected = self.session.select(concept, selector);
+        let records: Vec<JournalRecord> = selected
+            .iter()
+            .map(|&c| JournalRecord::Label {
+                class: c as u32,
+                name: label.to_owned(),
+            })
+            .collect();
+        self.store.append_all(&records, false)?;
+        for &c in &selected {
+            self.session.set_class_label(c, label);
+        }
+        Ok(selected.len())
+    }
+
+    /// Folds the journal into a fresh snapshot of the current session
+    /// state and resets the journal.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors; crash-safe at every step (see
+    /// `cable-store`'s module docs).
+    pub fn compact(&mut self) -> Result<(), StoreError> {
+        let data = self
+            .session
+            .to_snapshot(&self.vocab, self.store.generation() + 1);
+        self.store.compact(&data)
+    }
+
+    /// Tears the pairing down, returning the live session and its
+    /// vocabulary. The store's files remain on disk.
+    pub fn into_session(self) -> (CableSession, Vocab) {
+        (self.session, self.vocab)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::TraceSelector;
+    use std::path::PathBuf;
+
+    const FA: &str = "\
+start s0
+accept s0
+s0 -> s1 : fopen(X)
+s1 -> s0 : fclose(X)
+s1 -> s1 : fread(X)
+s1 -> s1 : fwrite(X)
+s0 -> s2 : popen(X)
+s2 -> s0 : pclose(X)
+";
+
+    const CORPUS: &str = "\
+fopen(X) fread(X) fclose(X)
+fopen(X) fread(X) fclose(X)
+fopen(X) fwrite(X) fclose(X)
+popen(Y) fread(Y) pclose(Y)
+fopen(X) fread(X)
+";
+
+    fn build(corpus: &str) -> (CableSession, Vocab) {
+        let mut vocab = Vocab::new();
+        let fa = Fa::parse(FA, &mut vocab).unwrap();
+        let traces = TraceSet::parse(corpus, &mut vocab).unwrap();
+        (CableSession::new(traces, fa), vocab)
+    }
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("cable-core-persist-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn assert_sessions_equal(a: &CableSession, b: &CableSession) {
+        assert_eq!(a.traces().len(), b.traces().len());
+        assert_eq!(a.classes().len(), b.classes().len());
+        assert_eq!(a.context().pair_count(), b.context().pair_count());
+        assert_eq!(a.lattice().len(), b.lattice().len());
+        for (_, c) in a.lattice().iter() {
+            let other = b
+                .lattice()
+                .find_by_extent(&c.extent)
+                .expect("extent present in both lattices");
+            assert_eq!(b.lattice().concept(other).intent, c.intent);
+        }
+        for c in 0..a.classes().len() {
+            let name_a = a.labels().get(c).map(|l| a.labels().name(l));
+            let name_b = b.labels().get(c).map(|l| b.labels().name(l));
+            assert_eq!(name_a, name_b, "label of class {c}");
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_the_session() {
+        let (mut session, vocab) = build(CORPUS);
+        let top = session.lattice().top();
+        session.label_traces(top, &TraceSelector::All, "seen");
+        let data = session.to_snapshot(&vocab, 0);
+        let (rebuilt, vocab2) = CableSession::from_snapshot(data).unwrap();
+        assert_sessions_equal(&session, &rebuilt);
+        assert_eq!(vocab.op_count(), vocab2.op_count());
+        assert_eq!(vocab.atom_count(), vocab2.atom_count());
+    }
+
+    #[test]
+    fn save_open_round_trips_without_a_godin_pass() {
+        let dir = tmp_dir("roundtrip");
+        let (session, vocab) = build(CORPUS);
+        let stored = session.save(vocab, &dir).unwrap();
+        let (original, _) = stored.into_session();
+
+        let before = cable_obs::registry().snapshot();
+        let (stored, report) = CableSession::open(&dir).unwrap();
+        let delta = cable_obs::registry().snapshot().delta_since(&before);
+
+        assert_eq!(report.replayed, 0);
+        assert!(!report.stale_journal);
+        assert_sessions_equal(&original, stored.session());
+        // Resume used the persisted rows and concepts: no Godin work.
+        assert_eq!(delta.counter("fca.godin.objects_inserted").unwrap_or(0), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn ingest_journals_then_extends_incrementally() {
+        let dir = tmp_dir("ingest");
+        let (session, vocab) = build(CORPUS);
+        let mut stored = session.save(vocab, &dir).unwrap();
+
+        let before = cable_obs::registry().snapshot();
+        let fresh = "popen(Y) fwrite(Y) pclose(Y)\nfopen(X) fread(X) fclose(X)\n";
+        let results = stored.ingest_text(fresh, false).unwrap();
+        let delta = cable_obs::registry().snapshot().delta_since(&before);
+
+        assert_eq!(results.len(), 2);
+        assert!(results[0].1, "new shape founds a class");
+        assert!(!results[1].1, "duplicate joins its class");
+        // The insert went through live Inserter buckets, not rebuilds.
+        assert_eq!(delta.counter("fca.godin.bucket_rebuilds").unwrap_or(0), 0);
+        assert!(delta.counter("fca.godin.objects_inserted").unwrap_or(0) >= 1);
+
+        // The journaled state survives a reopen and equals a session
+        // built from the whole corpus at once.
+        drop(stored);
+        let (reopened, report) = CableSession::open(&dir).unwrap();
+        assert_eq!(report.replayed, 2);
+        let (full, _) = build(&format!("{CORPUS}{fresh}"));
+        assert_sessions_equal(&full, reopened.session());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn labels_journal_and_replay() {
+        let dir = tmp_dir("labels");
+        let (session, vocab) = build(CORPUS);
+        let mut stored = session.save(vocab, &dir).unwrap();
+        let top = stored.session().lattice().top();
+        let n = stored
+            .label_traces(top, &TraceSelector::All, "checked")
+            .unwrap();
+        assert_eq!(n, stored.session().classes().len());
+        // Interleave: a trace after the labels.
+        stored.ingest_text("fopen(Y) fclose(Y)\n", true).unwrap();
+        let (live, _) = stored.into_session();
+
+        let (reopened, report) = CableSession::open(&dir).unwrap();
+        assert_eq!(report.replayed, n + 1);
+        assert_sessions_equal(&live, reopened.session());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_folds_the_journal_and_reopens_clean() {
+        let dir = tmp_dir("compact");
+        let (session, vocab) = build(CORPUS);
+        let mut stored = session.save(vocab, &dir).unwrap();
+        stored.ingest_text("popen(Z) pclose(Z)\n", false).unwrap();
+        let top = stored.session().lattice().top();
+        stored
+            .label_traces(top, &TraceSelector::Unlabeled, "ok")
+            .unwrap();
+        let journal_before = stored.store().journal_bytes().unwrap();
+        stored.compact().unwrap();
+        assert!(stored.store().journal_bytes().unwrap() < journal_before);
+        assert_eq!(stored.store().generation(), 1);
+        let (live, _) = stored.into_session();
+
+        let (reopened, report) = CableSession::open(&dir).unwrap();
+        assert_eq!(report.replayed, 0, "compaction folded the journal in");
+        assert_sessions_equal(&live, reopened.session());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_snapshot_parts_error_instead_of_panicking() {
+        let (session, vocab) = build(CORPUS);
+        let good = session.to_snapshot(&vocab, 0);
+
+        let mut bad = good.clone();
+        bad.fa_text = "fa broken {".to_owned();
+        assert!(CableSession::from_snapshot(bad).is_err());
+
+        let mut bad = good.clone();
+        bad.concepts.clear();
+        assert!(CableSession::from_snapshot(bad).is_err());
+
+        let mut bad = good.clone();
+        let first = bad.concepts[0].clone();
+        bad.concepts.push(first);
+        assert!(CableSession::from_snapshot(bad).is_err());
+
+        let mut bad = good.clone();
+        bad.labels.push((u32::MAX, "out of range".to_owned()));
+        assert!(CableSession::from_snapshot(bad).is_err());
+
+        let mut bad = good;
+        bad.rows.pop();
+        assert!(CableSession::from_snapshot(bad).is_err());
+    }
+}

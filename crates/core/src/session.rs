@@ -301,6 +301,134 @@ impl CableSession {
         (id, true)
     }
 
+    /// Bulk form of [`CableSession::push_trace`]: absorbs a batch of
+    /// traces with one live [`cable_fca::godin::Inserter`] across every
+    /// new class and a single Hasse rebuild at the end
+    /// ([`ConceptLattice::insert_objects`]), instead of a per-trace
+    /// bucket rebuild. This is the ingest path of a resumed store
+    /// session; the `fca.godin.bucket_reuses` /
+    /// `fca.godin.bucket_rebuilds` counters tell the two apart.
+    ///
+    /// Returns, per trace in order, its id and whether it created a new
+    /// class. Duplicates within the batch join the class the batch
+    /// itself created.
+    pub fn push_traces(&mut self, traces: Vec<Trace>) -> Vec<(TraceId, bool)> {
+        let mut results = Vec::with_capacity(traces.len());
+        let mut new_rows: Vec<(usize, BitSet)> = Vec::new();
+        for trace in traces {
+            TRACES_PUSHED.get().incr();
+            if let Some(class) = self
+                .classes
+                .iter()
+                .position(|c| self.traces.trace(c.representative).event_key() == trace.event_key())
+            {
+                let id = self.traces.push(trace);
+                self.classes[class].members.push(id);
+                self.class_of.push(class);
+                results.push((id, false));
+                continue;
+            }
+            CLASSES_PUSHED.get().incr();
+            let executed = self.fa.executed_transitions(&trace);
+            let id = self.traces.push(trace);
+            let class = self.context.push_object(&executed);
+            debug_assert_eq!(class, self.classes.len());
+            self.classes.push(IdenticalClass {
+                representative: id,
+                members: vec![id],
+            });
+            self.class_of.push(class);
+            let pushed = self.labels.push_unlabeled();
+            debug_assert_eq!(pushed, class);
+            new_rows.push((class, executed));
+            results.push((id, true));
+        }
+        if !new_rows.is_empty() {
+            let lattice = std::mem::replace(
+                &mut self.lattice,
+                ConceptLattice::from_concepts(vec![cable_fca::Concept {
+                    extent: BitSet::new(),
+                    intent: BitSet::new(),
+                }]),
+            );
+            self.lattice = lattice.insert_objects(new_rows.iter().map(|(c, row)| (*c, row)));
+        }
+        results
+    }
+
+    /// Directly labels one class by index — the replay entry point for
+    /// persisted label decisions, which journal as `(class, name)`
+    /// pairs rather than concept selections so they apply regardless of
+    /// how the lattice has grown since.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of range.
+    pub fn set_class_label(&mut self, class: usize, name: &str) {
+        self.labels.set(class, name);
+        CLASSES_LABELED.get().incr();
+    }
+
+    /// Reassembles a session from persisted parts, skipping every
+    /// construction pass: the context rows and lattice concepts come in
+    /// ready-made (so no `executed_transitions` sweep and no Godin
+    /// build — `fca.godin.objects_inserted` stays untouched), and only
+    /// the identical-class grouping is recomputed from the traces,
+    /// which is deterministic. All labels start unassigned; the caller
+    /// replays persisted label decisions via
+    /// [`CableSession::set_class_label`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the parts disagree structurally — the
+    /// context has the wrong number of objects or attributes for the
+    /// traces and FA, or the lattice does not cover the classes.
+    pub fn from_parts(
+        traces: TraceSet,
+        fa: Fa,
+        context: Context,
+        lattice: ConceptLattice,
+    ) -> Result<CableSession, String> {
+        let classes = traces.identical_classes();
+        if context.object_count() != classes.len() {
+            return Err(format!(
+                "context has {} objects but the traces form {} classes",
+                context.object_count(),
+                classes.len()
+            ));
+        }
+        if context.attribute_count() != fa.transition_count() {
+            return Err(format!(
+                "context has {} attributes but the FA has {} transitions",
+                context.attribute_count(),
+                fa.transition_count()
+            ));
+        }
+        let covered = lattice.concept(lattice.top()).extent.len();
+        if covered != classes.len() {
+            return Err(format!(
+                "lattice top covers {covered} classes, expected {}",
+                classes.len()
+            ));
+        }
+        let mut class_of = vec![0usize; traces.len()];
+        for (c, class) in classes.iter().enumerate() {
+            for &m in &class.members {
+                class_of[m.index()] = c;
+            }
+        }
+        let labels = LabelStore::new(classes.len());
+        Ok(CableSession {
+            traces,
+            classes,
+            class_of,
+            fa,
+            context,
+            lattice,
+            labels,
+        })
+    }
+
     // ------------------------------------------------------------------
     // Summary views (§4.1).
     // ------------------------------------------------------------------
@@ -735,6 +863,71 @@ mod tests {
             .filter(|&c| s.labels().is_labeled(c))
             .count();
         assert_eq!(labeled, s.classes().len() - 1);
+    }
+
+    #[test]
+    fn push_traces_batch_matches_per_trace_pushes() {
+        let mut v = Vocab::new();
+        let mut batch = stdio_session(&mut v);
+        let mut single = batch.clone();
+        let fresh = [
+            "popen(X) fwrite(X)",
+            "popen(X) fwrite(X)", // duplicate within the batch
+            "fopen(X) fread(X) pclose(X)",
+        ];
+        let parsed: Vec<Trace> = fresh
+            .iter()
+            .map(|t| Trace::parse(t, &mut v).unwrap())
+            .collect();
+        let before = cable_obs::registry().snapshot();
+        let results = batch.push_traces(parsed.clone());
+        let delta = cable_obs::registry().snapshot().delta_since(&before);
+        assert_eq!(
+            results.iter().map(|&(_, fresh)| fresh).collect::<Vec<_>>(),
+            vec![true, false, true]
+        );
+        for t in parsed {
+            single.push_trace(t);
+        }
+        assert_eq!(batch.classes().len(), single.classes().len());
+        assert_eq!(batch.lattice().len(), single.lattice().len());
+        for (_, c) in single.lattice().iter() {
+            assert!(batch.lattice().find_by_extent(&c.extent).is_some());
+        }
+        // The batch went through live buckets, not per-trace rebuilds.
+        assert!(delta.counter("fca.godin.bucket_reuses").unwrap_or(0) >= 2);
+        assert_eq!(delta.counter("fca.godin.bucket_rebuilds").unwrap_or(0), 0);
+    }
+
+    #[test]
+    fn from_parts_rebuilds_an_equal_session() {
+        let mut v = Vocab::new();
+        let s = stdio_session(&mut v);
+        let rebuilt = CableSession::from_parts(
+            s.traces().clone(),
+            s.reference_fa().clone(),
+            s.context().clone(),
+            s.lattice().clone(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt.classes().len(), s.classes().len());
+        assert_eq!(rebuilt.lattice().len(), s.lattice().len());
+        assert_eq!(rebuilt.context().pair_count(), s.context().pair_count());
+    }
+
+    #[test]
+    fn from_parts_rejects_mismatched_parts() {
+        let mut v = Vocab::new();
+        let s = stdio_session(&mut v);
+        // A context with the wrong object count.
+        let bad = Context::new(1, s.reference_fa().transition_count());
+        assert!(CableSession::from_parts(
+            s.traces().clone(),
+            s.reference_fa().clone(),
+            bad,
+            s.lattice().clone(),
+        )
+        .is_err());
     }
 
     #[test]

@@ -287,6 +287,46 @@ impl ConceptLattice {
         ConceptLattice::from_concepts(concepts)
     }
 
+    /// Incrementally inserts a batch of new objects (Godin's algorithm),
+    /// returning the updated lattice.
+    ///
+    /// Unlike repeated [`ConceptLattice::insert_object`] calls, this
+    /// builds the [`crate::godin::Inserter`]'s cardinality buckets once
+    /// and keeps them alive across the whole batch (one
+    /// `fca.godin.bucket_reuses` tick per object, zero
+    /// `fca.godin.bucket_rebuilds`), and recomputes the Hasse diagram
+    /// once at the end. This is the ingest path of a resumed
+    /// `cable-store` session: N appended traces extend the persisted
+    /// lattice without a full Godin rebuild.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any object already occurs in an extent, or any attribute
+    /// row mentions attributes outside the lattice's universe (the
+    /// bottom intent).
+    pub fn insert_objects<'a, I>(self, objects: I) -> ConceptLattice
+    where
+        I: IntoIterator<Item = (usize, &'a cable_util::BitSet)>,
+    {
+        let bottom_intent = self.concepts[self.bottom.index()].intent.clone();
+        // The top extent is the set of all previously inserted objects;
+        // track it directly since the top concept itself may be replaced
+        // mid-batch.
+        let mut inserted = self.concepts[self.top.index()].extent.clone();
+        let mut concepts = self.concepts;
+        let mut inserter = crate::godin::Inserter::new(&concepts, bottom_intent.len());
+        for (object, attrs) in objects {
+            assert!(
+                attrs.is_subset(&bottom_intent),
+                "attributes outside the lattice's universe"
+            );
+            assert!(!inserted.contains(object), "object already inserted");
+            inserted.insert(object);
+            inserter.add_object(&mut concepts, object, attrs);
+        }
+        ConceptLattice::from_concepts(concepts)
+    }
+
     /// The height of the lattice: the number of concepts on a longest
     /// chain from top to bottom.
     pub fn height(&self) -> usize {
@@ -473,6 +513,62 @@ mod tests {
                 "{id}"
             );
         }
+    }
+
+    #[test]
+    fn insert_objects_matches_batch_build() {
+        // Split the animals context: build over the first two objects,
+        // then batch-insert the remaining three.
+        let mut ctx = Context::new(5, 5);
+        for (o, attrs) in [
+            (0usize, vec![0usize, 1]),
+            (1, vec![1, 2, 4]),
+            (2, vec![2, 3]),
+            (3, vec![2, 4]),
+            (4, vec![2, 3]),
+        ] {
+            for a in attrs {
+                ctx.add(o, a);
+            }
+        }
+        let mut base = Context::new(2, 5);
+        for o in 0..2 {
+            for a in ctx.row(o).iter() {
+                base.add(o, a);
+            }
+        }
+        let before = cable_obs::registry().snapshot();
+        let grown = ConceptLattice::build(&base).insert_objects((2..5).map(|o| (o, ctx.row(o))));
+        let delta = cable_obs::registry().snapshot().delta_since(&before);
+        let batch = ConceptLattice::build(&ctx);
+        assert_eq!(grown.len(), batch.len());
+        for (_, c) in batch.iter() {
+            let id = grown.find_by_extent(&c.extent).expect("same extents");
+            assert_eq!(grown.concept(id).intent, c.intent);
+        }
+        // The whole batch reused one live bucket table. (Counters are
+        // process-wide; `build(&ctx)` ran after the snapshot delta.)
+        assert!(delta.counter("fca.godin.bucket_reuses").unwrap_or(0) >= 3);
+        assert_eq!(delta.counter("fca.godin.bucket_rebuilds").unwrap_or(0), 0);
+    }
+
+    #[test]
+    fn insert_objects_of_nothing_is_identity() {
+        let (_, l) = animals();
+        let n = l.len();
+        let l = l.insert_objects(std::iter::empty());
+        assert_eq!(l.len(), n);
+    }
+
+    #[test]
+    #[should_panic(expected = "already inserted")]
+    fn insert_objects_rejects_duplicates_within_the_batch() {
+        let lattice = ConceptLattice::from_concepts(vec![Concept {
+            extent: BitSet::new(),
+            intent: BitSet::full(2),
+        }]);
+        let row = BitSet::singleton(0);
+        let _ = lattice.insert_objects([(0, &row), (0, &row)]);
     }
 
     #[test]

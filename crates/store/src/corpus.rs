@@ -1,0 +1,317 @@
+//! The snapshot file: a complete session state as a frame sequence.
+//!
+//! A snapshot (`snapshot.cable`) is written whole and published
+//! atomically (temp file + fsync + rename, see [`crate::store`]), so
+//! unlike the journal it is parsed *strictly*: a fixed header, a fixed
+//! order of frames, and a mandatory empty `END` footer frame. Anything
+//! else — a torn tail, a checksum mismatch, a missing section — is a
+//! format error, because a valid publication can never produce it.
+//!
+//! ```text
+//! "CABLEST1"                           8-byte magic
+//! META     generation, n_attributes
+//! VOCAB    interned op + atom tables       (cable_trace::binary)
+//! FA       the session automaton, text     (cable_fa::text)
+//! TRACES   every corpus trace, binary      (cable_trace::binary)
+//! LABELS   (class index, label name) pairs
+//! ROWS     one attribute BitSet per identical class
+//! CONCEPTS (extent, intent) BitSet pairs of the lattice
+//! END      empty footer
+//! ```
+//!
+//! The rows and concepts are persisted so that resume can rebuild the
+//! session with `cable-fca`'s `Context::from_rows` and
+//! `ConceptLattice::from_concepts` — no Godin pass over the corpus.
+
+use crate::frame::{read_frame, write_frame, FrameRead};
+use crate::StoreError;
+use cable_trace::binary::{ByteReader, ByteWriter};
+use cable_trace::{binary, TraceSet, Vocab};
+use cable_util::BitSet;
+
+/// The snapshot file magic.
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"CABLEST1";
+
+/// Frame kinds, in their mandatory file order.
+const K_META: u8 = 1;
+const K_VOCAB: u8 = 2;
+const K_FA: u8 = 3;
+const K_TRACES: u8 = 4;
+const K_LABELS: u8 = 5;
+const K_ROWS: u8 = 6;
+const K_CONCEPTS: u8 = 7;
+const K_END: u8 = 0xee;
+
+/// Everything a snapshot holds: the full state of a persisted session.
+///
+/// This is a plain data bundle — `cable-core` converts it to and from a
+/// live `CableSession`; the store crate itself never interprets it
+/// beyond serialization.
+#[derive(Debug, Clone)]
+pub struct SnapshotData {
+    /// Compaction generation; the journal with the same generation
+    /// applies on top of this snapshot, older journals are stale.
+    pub generation: u64,
+    /// Attribute universe size of the context and lattice.
+    pub n_attributes: usize,
+    /// The interned vocabulary every other section is encoded against.
+    pub vocab: Vocab,
+    /// The session automaton in `cable-fa` text format.
+    pub fa_text: String,
+    /// Every trace of the corpus, including duplicates.
+    pub traces: TraceSet,
+    /// `(identical-class index, label name)` pairs, in class order.
+    pub labels: Vec<(u32, String)>,
+    /// One attribute row per identical class, in class order.
+    pub rows: Vec<BitSet>,
+    /// The `(extent, intent)` pairs of the concept lattice.
+    pub concepts: Vec<(BitSet, BitSet)>,
+}
+
+fn write_bitset(w: &mut ByteWriter, set: &BitSet) {
+    w.varint(set.len() as u64);
+    let mut prev = 0u64;
+    for v in set.iter() {
+        let v = v as u64;
+        // Elements iterate in increasing order: gap-encode after the
+        // first so dense sets stay one byte per element.
+        w.varint(v - prev);
+        prev = v + 1;
+    }
+}
+
+fn read_bitset(r: &mut ByteReader<'_>) -> Result<BitSet, StoreError> {
+    let n = r.len(r.remaining(), "bitset element")?;
+    let mut set = BitSet::new();
+    let mut prev = 0u64;
+    for _ in 0..n {
+        let v = prev + r.varint()?;
+        let idx = usize::try_from(v).map_err(|_| StoreError::format("bitset element overflows"))?;
+        set.insert(idx);
+        prev = v + 1;
+    }
+    Ok(set)
+}
+
+/// Encodes a complete snapshot, magic through `END` footer.
+pub fn encode_snapshot(data: &SnapshotData) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(SNAPSHOT_MAGIC);
+
+    let mut meta = ByteWriter::new();
+    meta.varint(data.generation);
+    meta.varint(data.n_attributes as u64);
+    write_frame(&mut out, K_META, &meta.into_bytes());
+
+    write_frame(&mut out, K_VOCAB, &binary::encode_vocab(&data.vocab));
+    write_frame(&mut out, K_FA, data.fa_text.as_bytes());
+    write_frame(&mut out, K_TRACES, &binary::encode_trace_set(&data.traces));
+
+    let mut labels = ByteWriter::new();
+    labels.varint(data.labels.len() as u64);
+    for (class, name) in &data.labels {
+        labels.varint(u64::from(*class));
+        labels.string(name);
+    }
+    write_frame(&mut out, K_LABELS, &labels.into_bytes());
+
+    let mut rows = ByteWriter::new();
+    rows.varint(data.rows.len() as u64);
+    for row in &data.rows {
+        write_bitset(&mut rows, row);
+    }
+    write_frame(&mut out, K_ROWS, &rows.into_bytes());
+
+    let mut concepts = ByteWriter::new();
+    concepts.varint(data.concepts.len() as u64);
+    for (extent, intent) in &data.concepts {
+        write_bitset(&mut concepts, extent);
+        write_bitset(&mut concepts, intent);
+    }
+    write_frame(&mut out, K_CONCEPTS, &concepts.into_bytes());
+
+    write_frame(&mut out, K_END, &[]);
+    out
+}
+
+/// Reads the next frame strictly, requiring `want` as its kind.
+fn expect_frame<'a>(buf: &'a [u8], pos: &mut usize, want: u8) -> Result<&'a [u8], StoreError> {
+    match read_frame(buf, *pos) {
+        FrameRead::Frame {
+            kind,
+            payload,
+            next,
+        } if kind == want => {
+            *pos = next;
+            Ok(payload)
+        }
+        FrameRead::Frame { kind, .. } => Err(StoreError::format(format!(
+            "snapshot frame kind {kind} where {want} expected"
+        ))),
+        FrameRead::End => Err(StoreError::format("snapshot ends early")),
+        FrameRead::Torn => Err(StoreError::format("snapshot is torn")),
+        FrameRead::Corrupt => Err(StoreError::format("snapshot frame fails its checksum")),
+    }
+}
+
+/// Decodes a snapshot file image.
+///
+/// # Errors
+///
+/// Returns [`StoreError::Format`] on any deviation from the layout —
+/// snapshots are published atomically, so a damaged one is not
+/// recoverable state but a hard error.
+pub fn decode_snapshot(bytes: &[u8]) -> Result<SnapshotData, StoreError> {
+    if bytes.len() < SNAPSHOT_MAGIC.len() || &bytes[..SNAPSHOT_MAGIC.len()] != SNAPSHOT_MAGIC {
+        return Err(StoreError::format("bad snapshot magic"));
+    }
+    let mut pos = SNAPSHOT_MAGIC.len();
+
+    let meta = expect_frame(bytes, &mut pos, K_META)?;
+    let mut r = ByteReader::new(meta);
+    let generation = r.varint()?;
+    let n_attributes = r.len(usize::MAX, "attribute")?;
+
+    let vocab = binary::decode_vocab(expect_frame(bytes, &mut pos, K_VOCAB)?)?;
+
+    let fa_text = std::str::from_utf8(expect_frame(bytes, &mut pos, K_FA)?)
+        .map_err(|_| StoreError::format("snapshot FA text is not UTF-8"))?
+        .to_owned();
+
+    let traces = binary::decode_trace_set(expect_frame(bytes, &mut pos, K_TRACES)?, &vocab)?;
+
+    let payload = expect_frame(bytes, &mut pos, K_LABELS)?;
+    let mut r = ByteReader::new(payload);
+    let n_labels = r.len(r.remaining(), "label")?;
+    let mut labels = Vec::with_capacity(n_labels);
+    for _ in 0..n_labels {
+        let class = u32::try_from(r.varint()?)
+            .map_err(|_| StoreError::format("label class overflows u32"))?;
+        labels.push((class, r.string()?.to_owned()));
+    }
+
+    let payload = expect_frame(bytes, &mut pos, K_ROWS)?;
+    let mut r = ByteReader::new(payload);
+    let n_rows = r.len(r.remaining(), "row")?;
+    let mut rows = Vec::with_capacity(n_rows);
+    for _ in 0..n_rows {
+        rows.push(read_bitset(&mut r)?);
+    }
+
+    let payload = expect_frame(bytes, &mut pos, K_CONCEPTS)?;
+    let mut r = ByteReader::new(payload);
+    let n_concepts = r.len(r.remaining(), "concept")?;
+    let mut concepts = Vec::with_capacity(n_concepts);
+    for _ in 0..n_concepts {
+        let extent = read_bitset(&mut r)?;
+        let intent = read_bitset(&mut r)?;
+        concepts.push((extent, intent));
+    }
+
+    let footer = expect_frame(bytes, &mut pos, K_END)?;
+    if !footer.is_empty() {
+        return Err(StoreError::format("snapshot END frame is not empty"));
+    }
+    if !matches!(read_frame(bytes, pos), FrameRead::End) {
+        return Err(StoreError::format("trailing bytes after snapshot END"));
+    }
+
+    Ok(SnapshotData {
+        generation,
+        n_attributes,
+        vocab,
+        fa_text,
+        traces,
+        labels,
+        rows,
+        concepts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cable_trace::Trace;
+
+    fn sample() -> SnapshotData {
+        let mut vocab = Vocab::new();
+        let mut traces = TraceSet::new();
+        traces.push(Trace::parse("fopen(X) fread(X) fclose(X)", &mut vocab).unwrap());
+        traces.push(Trace::parse("fopen(X) fclose(X)", &mut vocab).unwrap());
+        traces.push(Trace::parse("g('LEFT,#9)", &mut vocab).unwrap());
+        SnapshotData {
+            generation: 3,
+            n_attributes: 4,
+            vocab,
+            fa_text: "start s0\naccept s0\n".to_owned(),
+            traces,
+            labels: vec![(0, "bug".to_owned()), (2, "ok".to_owned())],
+            rows: vec![
+                [0usize, 2].into_iter().collect(),
+                [1usize].into_iter().collect(),
+                BitSet::new(),
+            ],
+            concepts: vec![
+                ([0usize, 1, 2].into_iter().collect(), BitSet::new()),
+                (BitSet::new(), BitSet::full(4)),
+            ],
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let data = sample();
+        let decoded = decode_snapshot(&encode_snapshot(&data)).unwrap();
+        assert_eq!(decoded.generation, data.generation);
+        assert_eq!(decoded.n_attributes, data.n_attributes);
+        assert_eq!(decoded.fa_text, data.fa_text);
+        assert_eq!(decoded.labels, data.labels);
+        assert_eq!(decoded.rows, data.rows);
+        assert_eq!(decoded.concepts, data.concepts);
+        assert_eq!(decoded.traces.len(), data.traces.len());
+        for (id, t) in data.traces.iter() {
+            assert_eq!(decoded.traces.trace(id), t);
+        }
+        assert_eq!(decoded.vocab.op_count(), data.vocab.op_count());
+        assert_eq!(decoded.vocab.atom_count(), data.vocab.atom_count());
+    }
+
+    #[test]
+    fn every_truncation_is_rejected() {
+        let bytes = encode_snapshot(&sample());
+        for cut in 0..bytes.len() {
+            assert!(decode_snapshot(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn every_bit_flip_is_rejected() {
+        let bytes = encode_snapshot(&sample());
+        for i in 0..bytes.len() {
+            for bit in [0x01u8, 0x40] {
+                let mut bad = bytes.clone();
+                bad[i] ^= bit;
+                // Magic check, per-frame CRC, and the strict layout
+                // leave no byte a flip can silently land in.
+                assert!(decode_snapshot(&bad).is_err(), "flip at byte {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = encode_snapshot(&sample());
+        bytes.push(0);
+        assert!(decode_snapshot(&bytes).is_err());
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = encode_snapshot(&sample());
+        bytes[0] ^= 0xff;
+        assert!(matches!(
+            decode_snapshot(&bytes),
+            Err(StoreError::Format(m)) if m.contains("magic")
+        ));
+    }
+}

@@ -1,0 +1,73 @@
+//! CRC-32 (IEEE 802.3 polynomial), the frame checksum of the store files.
+//!
+//! Hand-rolled table-driven implementation — the workspace is std-only by
+//! policy, and the store only needs corruption *detection* for its
+//! valid-prefix recovery, not cryptographic integrity.
+
+/// The reflected IEEE polynomial.
+const POLY: u32 = 0xedb8_8320;
+
+/// The 256-entry lookup table, computed at compile time.
+static TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// Computes the CRC-32 of `bytes`.
+///
+/// # Examples
+///
+/// ```
+/// // The catalogue check value for "123456789".
+/// assert_eq!(cable_store::crc::crc32(b"123456789"), 0xcbf4_3926);
+/// ```
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xff) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_check_values() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414f_a339
+        );
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_checksum() {
+        let data = b"append-only corpus frame payload";
+        let base = crc32(data);
+        for i in 0..data.len() {
+            for bit in 0..8 {
+                let mut flipped = data.to_vec();
+                flipped[i] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), base, "flip byte {i} bit {bit}");
+            }
+        }
+    }
+}

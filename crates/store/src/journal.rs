@@ -1,0 +1,289 @@
+//! The write-ahead journal: appends since the last snapshot.
+//!
+//! The journal (`journal.cable`) records every mutation of an open
+//! session — appended traces and label decisions — as checksummed
+//! frames after a fixed header:
+//!
+//! ```text
+//! "CABLEJN1"            8-byte magic
+//! [generation: u64 LE]  the snapshot generation this journal extends
+//! frame*                J_TRACE / J_LABEL records
+//! ```
+//!
+//! Unlike the snapshot, the journal's tail is *expected* to be dirty
+//! after a crash: the file is appended in place, so a power cut can
+//! leave a torn final record or (on weaker storage) a corrupted one.
+//! Recovery is therefore prefix-based: [`replay`] decodes records until
+//! the first torn or corrupt frame and reports how many bytes of tail
+//! it discarded. The recovery invariant — checked exhaustively by the
+//! fault-injection tests — is that the replayed prefix is exactly the
+//! records whose frames are fully on disk and checksum-valid, and that
+//! no input, however damaged, makes replay panic.
+//!
+//! Trace records carry the trace as a *text* line rather than binary:
+//! a journal append may introduce operations and atoms the snapshot's
+//! vocabulary has never seen, and the text format is self-contained
+//! where the binary one is vocabulary-relative.
+
+use crate::frame::{read_frame, write_frame, FrameRead};
+use crate::StoreError;
+use cable_trace::binary::{ByteReader, ByteWriter};
+
+/// The journal file magic.
+pub const JOURNAL_MAGIC: &[u8; 8] = b"CABLEJN1";
+
+/// Size of the journal header (magic + generation).
+pub const HEADER_LEN: usize = 8 + 8;
+
+/// Record kinds.
+const J_TRACE: u8 = 1;
+const J_LABEL: u8 = 2;
+
+/// One replayable journal record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalRecord {
+    /// A trace appended to the corpus, in `cable-trace` text format.
+    Trace(String),
+    /// A label decision: name the identical class `class`.
+    Label {
+        /// Identical-class index the label applies to.
+        class: u32,
+        /// The label name.
+        name: String,
+    },
+}
+
+/// Builds the journal header for a snapshot generation.
+pub fn header(generation: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN);
+    out.extend_from_slice(JOURNAL_MAGIC);
+    out.extend_from_slice(&generation.to_le_bytes());
+    out
+}
+
+/// Encodes one record as a frame.
+pub fn encode_record(record: &JournalRecord) -> Vec<u8> {
+    let mut out = Vec::new();
+    match record {
+        JournalRecord::Trace(line) => {
+            write_frame(&mut out, J_TRACE, line.as_bytes());
+        }
+        JournalRecord::Label { class, name } => {
+            let mut w = ByteWriter::new();
+            w.varint(u64::from(*class));
+            w.string(name);
+            write_frame(&mut out, J_LABEL, &w.into_bytes());
+        }
+    }
+    out
+}
+
+/// What the end of the journal looked like on recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TailState {
+    /// The file ended exactly on a record boundary.
+    Clean,
+    /// The file ended mid-record (the normal crash shape).
+    Torn,
+    /// A complete record failed its checksum or did not decode.
+    Corrupt,
+}
+
+/// The outcome of replaying a journal image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Replay {
+    /// The snapshot generation this journal extends.
+    pub generation: u64,
+    /// The records of the valid prefix, in append order.
+    pub records: Vec<JournalRecord>,
+    /// Length in bytes of the valid prefix (header included); the file
+    /// should be truncated here before further appends.
+    pub valid_len: usize,
+    /// How the tail ended.
+    pub tail: TailState,
+}
+
+impl Replay {
+    /// Bytes of damaged tail beyond the valid prefix, given the file size.
+    pub fn discarded(&self, file_len: usize) -> usize {
+        file_len.saturating_sub(self.valid_len)
+    }
+}
+
+fn decode_record(kind: u8, payload: &[u8]) -> Option<JournalRecord> {
+    match kind {
+        J_TRACE => Some(JournalRecord::Trace(
+            std::str::from_utf8(payload).ok()?.to_owned(),
+        )),
+        J_LABEL => {
+            let mut r = ByteReader::new(payload);
+            let class = u32::try_from(r.varint().ok()?).ok()?;
+            let name = r.string().ok()?.to_owned();
+            if !r.is_exhausted() {
+                return None;
+            }
+            Some(JournalRecord::Label { class, name })
+        }
+        _ => None,
+    }
+}
+
+/// Replays a journal file image, keeping exactly the valid prefix.
+///
+/// # Errors
+///
+/// Returns [`StoreError::Format`] only when the file is clearly not a
+/// Cable journal at all (a full header is present with the wrong
+/// magic) — that is a caller mistake, not crash damage, and recovery
+/// must not quietly truncate a foreign file. A header cut short by a
+/// crash during creation replays as an empty generation-0 journal.
+pub fn replay(bytes: &[u8]) -> Result<Replay, StoreError> {
+    if bytes.len() < HEADER_LEN {
+        if !JOURNAL_MAGIC.starts_with(&bytes[..bytes.len().min(8)]) {
+            return Err(StoreError::format("bad journal magic"));
+        }
+        return Ok(Replay {
+            generation: 0,
+            records: Vec::new(),
+            valid_len: 0,
+            tail: if bytes.is_empty() {
+                TailState::Clean
+            } else {
+                TailState::Torn
+            },
+        });
+    }
+    if &bytes[..8] != JOURNAL_MAGIC {
+        return Err(StoreError::format("bad journal magic"));
+    }
+    let generation = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+    let mut records = Vec::new();
+    let mut pos = HEADER_LEN;
+    let tail = loop {
+        match read_frame(bytes, pos) {
+            FrameRead::Frame {
+                kind,
+                payload,
+                next,
+            } => match decode_record(kind, payload) {
+                Some(record) => {
+                    records.push(record);
+                    pos = next;
+                }
+                // A checksum-valid frame that does not decode as any
+                // known record: treat like corruption, keep the prefix.
+                None => break TailState::Corrupt,
+            },
+            FrameRead::End => break TailState::Clean,
+            FrameRead::Torn => break TailState::Torn,
+            FrameRead::Corrupt => break TailState::Corrupt,
+        }
+    };
+    Ok(Replay {
+        generation,
+        records,
+        valid_len: pos,
+        tail,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<JournalRecord> {
+        vec![
+            JournalRecord::Trace("fopen(X) fclose(X)".to_owned()),
+            JournalRecord::Label {
+                class: 3,
+                name: "bug".to_owned(),
+            },
+            JournalRecord::Trace("g('NAME,#7)".to_owned()),
+        ]
+    }
+
+    fn sample_image(generation: u64) -> Vec<u8> {
+        let mut image = header(generation);
+        for r in sample_records() {
+            image.extend_from_slice(&encode_record(&r));
+        }
+        image
+    }
+
+    #[test]
+    fn clean_journal_replays_fully() {
+        let image = sample_image(5);
+        let replay = replay(&image).unwrap();
+        assert_eq!(replay.generation, 5);
+        assert_eq!(replay.records, sample_records());
+        assert_eq!(replay.valid_len, image.len());
+        assert_eq!(replay.tail, TailState::Clean);
+        assert_eq!(replay.discarded(image.len()), 0);
+    }
+
+    #[test]
+    fn every_truncation_keeps_the_valid_record_prefix() {
+        let image = sample_image(1);
+        // Record boundaries: header, then cumulative record ends.
+        let mut boundaries = vec![HEADER_LEN];
+        for r in sample_records() {
+            boundaries.push(boundaries.last().unwrap() + encode_record(&r).len());
+        }
+        for cut in HEADER_LEN..image.len() {
+            let r = replay(&image[..cut]).unwrap();
+            let whole = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
+            assert_eq!(r.records, sample_records()[..whole], "cut {cut}");
+            assert_eq!(r.valid_len, boundaries[whole], "cut {cut}");
+            if cut == boundaries[whole] {
+                assert_eq!(r.tail, TailState::Clean);
+            } else {
+                assert_eq!(r.tail, TailState::Torn);
+                assert_eq!(r.discarded(cut), cut - boundaries[whole]);
+            }
+        }
+    }
+
+    #[test]
+    fn torn_header_is_an_empty_journal() {
+        let image = sample_image(2);
+        for cut in 0..HEADER_LEN {
+            let r = replay(&image[..cut]).unwrap();
+            assert!(r.records.is_empty(), "cut {cut}");
+            assert_eq!(r.valid_len, 0);
+        }
+    }
+
+    #[test]
+    fn wrong_magic_is_a_hard_error_not_a_truncation() {
+        assert!(replay(b"NOTCABLE00000000").is_err());
+        assert!(replay(b"ZZ").is_err());
+    }
+
+    #[test]
+    fn bit_flips_never_extend_the_prefix_and_never_panic() {
+        let image = sample_image(9);
+        let clean = replay(&image).unwrap();
+        for i in HEADER_LEN..image.len() {
+            for bit in 0..8 {
+                let mut bad = image.clone();
+                bad[i] ^= 1 << bit;
+                let r = replay(&bad).unwrap();
+                assert!(r.records.len() < clean.records.len(), "flip byte {i}");
+                // The prefix it does keep is a true prefix of the clean
+                // record sequence.
+                assert_eq!(r.records[..], clean.records[..r.records.len()]);
+            }
+        }
+    }
+
+    #[test]
+    fn garbage_tail_after_valid_records_is_discarded() {
+        let mut image = sample_image(0);
+        let valid = image.len();
+        image.extend_from_slice(&[0xde, 0xad, 0xbe, 0xef, 0xff, 0xff, 0xff]);
+        let r = replay(&image).unwrap();
+        assert_eq!(r.records, sample_records());
+        assert_eq!(r.valid_len, valid);
+        assert_ne!(r.tail, TailState::Clean);
+    }
+}

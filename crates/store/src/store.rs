@@ -1,0 +1,471 @@
+//! The on-disk store: a directory holding one snapshot and one journal.
+//!
+//! ```text
+//! <dir>/snapshot.cable   full session state, published atomically
+//! <dir>/journal.cable    appends since that snapshot
+//! ```
+//!
+//! **Write protocol.** The snapshot is never modified in place: a new
+//! image is written to `snapshot.cable.tmp`, fsynced, renamed over
+//! `snapshot.cable`, and the directory fsynced — so a reader always
+//! finds either the old or the new snapshot, whole. The journal *is*
+//! appended in place (that is what makes appends cheap), and each
+//! record frame carries its own checksum so a torn append damages only
+//! the tail.
+//!
+//! **Generations.** Snapshot and journal each carry a generation
+//! number. [`Store::compact`] first publishes a new snapshot at
+//! generation `g+1`, then resets the journal to `g+1`. A crash between
+//! the two steps leaves a generation-`g` journal beside the `g+1`
+//! snapshot; [`Store::open`] detects the stale journal by the mismatch
+//! and discards it instead of replaying its (already folded-in) records
+//! twice.
+//!
+//! **Recovery.** Opening a store replays the journal's valid prefix
+//! ([`crate::journal::replay`]) and truncates the file back to that
+//! prefix before any further append, so damaged tail bytes are never
+//! appended after.
+
+use crate::corpus::{decode_snapshot, encode_snapshot, SnapshotData};
+use crate::journal::{self, JournalRecord, TailState};
+use crate::StoreError;
+use cable_obs::CounterHandle;
+use std::fs::{self, File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Bytes written to store files (snapshot images, journal appends).
+static BYTES_WRITTEN: CounterHandle = CounterHandle::new("store.bytes_written");
+/// `fsync` calls issued (files and directories).
+static FSYNCS: CounterHandle = CounterHandle::new("store.fsyncs");
+/// Journal records replayed on open.
+static JOURNAL_REPLAYED: CounterHandle = CounterHandle::new("store.journal.replayed");
+/// Journal records appended.
+static JOURNAL_APPENDS: CounterHandle = CounterHandle::new("store.journal.appends");
+/// Damaged or stale journal bytes discarded on open.
+static JOURNAL_DISCARDED_BYTES: CounterHandle = CounterHandle::new("store.journal.discarded_bytes");
+/// Compactions performed.
+static COMPACTIONS: CounterHandle = CounterHandle::new("store.compactions");
+
+/// File name of the snapshot inside a store directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.cable";
+/// File name of the journal inside a store directory.
+pub const JOURNAL_FILE: &str = "journal.cable";
+const SNAPSHOT_TMP: &str = "snapshot.cable.tmp";
+const JOURNAL_TMP: &str = "journal.cable.tmp";
+
+/// What [`Store::open`] found and did, for observability and tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Journal records replayed onto the snapshot state.
+    pub replayed: usize,
+    /// Damaged tail bytes truncated away from the journal.
+    pub discarded_bytes: usize,
+    /// How the journal tail ended.
+    pub tail: TailState,
+    /// The journal predated the snapshot (crash between the two
+    /// compaction steps) and was discarded wholesale.
+    pub stale_journal: bool,
+}
+
+/// An open store directory with its journal ready for appends.
+#[derive(Debug)]
+pub struct Store {
+    dir: PathBuf,
+    journal: File,
+    generation: u64,
+}
+
+fn fsync(file: &File) -> Result<(), StoreError> {
+    file.sync_all()?;
+    FSYNCS.get().incr();
+    Ok(())
+}
+
+/// Fsyncs a directory so a rename inside it is durable. Directories
+/// cannot be fsynced on some platforms (notably Windows); failure to
+/// open one for syncing is not an error.
+fn fsync_dir(dir: &Path) -> Result<(), StoreError> {
+    if let Ok(handle) = File::open(dir) {
+        let _ = handle.sync_all();
+        FSYNCS.get().incr();
+    }
+    Ok(())
+}
+
+/// Writes `bytes` to `dir/name` via a temp file, fsync, atomic rename,
+/// and directory fsync.
+fn publish(dir: &Path, tmp_name: &str, name: &str, bytes: &[u8]) -> Result<(), StoreError> {
+    let tmp = dir.join(tmp_name);
+    let mut file = File::create(&tmp)?;
+    file.write_all(bytes)?;
+    BYTES_WRITTEN.get().add(bytes.len() as u64);
+    fsync(&file)?;
+    drop(file);
+    fs::rename(&tmp, dir.join(name))?;
+    fsync_dir(dir)?;
+    Ok(())
+}
+
+fn open_journal_for_append(path: &Path, len: u64) -> Result<File, StoreError> {
+    let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+    file.set_len(len)?;
+    file.seek(SeekFrom::End(0))?;
+    Ok(file)
+}
+
+impl Store {
+    /// Creates a store directory (which must not already hold one) and
+    /// publishes `data` as its first snapshot, with an empty journal.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a snapshot already exists at `dir`, or on I/O errors.
+    pub fn create(dir: &Path, data: &SnapshotData) -> Result<Store, StoreError> {
+        fs::create_dir_all(dir)?;
+        if dir.join(SNAPSHOT_FILE).exists() {
+            return Err(StoreError::format(format!(
+                "{} already holds a store",
+                dir.display()
+            )));
+        }
+        publish(dir, SNAPSHOT_TMP, SNAPSHOT_FILE, &encode_snapshot(data))?;
+        let header = journal::header(data.generation);
+        publish(dir, JOURNAL_TMP, JOURNAL_FILE, &header)?;
+        let journal = open_journal_for_append(&dir.join(JOURNAL_FILE), header.len() as u64)?;
+        Ok(Store {
+            dir: dir.to_owned(),
+            journal,
+            generation: data.generation,
+        })
+    }
+
+    /// Opens an existing store: reads the snapshot, replays the
+    /// journal's valid prefix, and truncates any damaged or stale tail
+    /// so subsequent appends extend valid state.
+    ///
+    /// Returns the snapshot, the journal records to apply on top of it,
+    /// and a [`RecoveryReport`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors, a damaged snapshot (snapshots are published
+    /// atomically, so damage is not crash fallout), or a journal whose
+    /// magic identifies it as some other kind of file.
+    pub fn open(
+        dir: &Path,
+    ) -> Result<(Store, SnapshotData, Vec<JournalRecord>, RecoveryReport), StoreError> {
+        let snapshot_bytes = fs::read(dir.join(SNAPSHOT_FILE))?;
+        let data = decode_snapshot(&snapshot_bytes)?;
+
+        let journal_path = dir.join(JOURNAL_FILE);
+        let journal_bytes = match fs::read(&journal_path) {
+            Ok(bytes) => bytes,
+            // A missing journal (crash before it was first published)
+            // is an empty one.
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e.into()),
+        };
+        let replay = journal::replay(&journal_bytes)?;
+        let stale = replay.generation != data.generation;
+        let (records, valid_len, tail) = if stale {
+            (Vec::new(), 0, replay.tail)
+        } else {
+            (replay.records, replay.valid_len, replay.tail)
+        };
+        let discarded = journal_bytes.len().saturating_sub(valid_len);
+
+        // Repair the file before appending: a stale or headerless
+        // journal is reset whole; a dirty tail is truncated away.
+        let header = journal::header(data.generation);
+        let journal = if stale || valid_len < journal::HEADER_LEN {
+            publish(dir, JOURNAL_TMP, JOURNAL_FILE, &header)?;
+            open_journal_for_append(&journal_path, header.len() as u64)?
+        } else {
+            let file = open_journal_for_append(&journal_path, valid_len as u64)?;
+            if discarded > 0 {
+                fsync(&file)?;
+            }
+            file
+        };
+
+        JOURNAL_REPLAYED.get().add(records.len() as u64);
+        JOURNAL_DISCARDED_BYTES.get().add(discarded as u64);
+        let report = RecoveryReport {
+            replayed: records.len(),
+            discarded_bytes: discarded,
+            tail,
+            stale_journal: stale,
+        };
+        Ok((
+            Store {
+                dir: dir.to_owned(),
+                journal,
+                generation: data.generation,
+            },
+            data,
+            records,
+            report,
+        ))
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The current snapshot generation.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Appends one record to the journal without syncing; call
+    /// [`Store::sync`] to make a batch durable, or use
+    /// [`Store::append_all`].
+    pub fn append(&mut self, record: &JournalRecord) -> Result<(), StoreError> {
+        let bytes = journal::encode_record(record);
+        self.journal.write_all(&bytes)?;
+        BYTES_WRITTEN.get().add(bytes.len() as u64);
+        JOURNAL_APPENDS.get().incr();
+        Ok(())
+    }
+
+    /// Fsyncs the journal.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        fsync(&self.journal)
+    }
+
+    /// Appends a batch of records. With `sync_each` every record is
+    /// fsynced individually (durable the moment it returns, at one
+    /// fsync per record — what the crash-recovery drill exercises);
+    /// otherwise the batch is fsynced once at the end.
+    pub fn append_all<'a, I>(&mut self, records: I, sync_each: bool) -> Result<(), StoreError>
+    where
+        I: IntoIterator<Item = &'a JournalRecord>,
+    {
+        for record in records {
+            self.append(record)?;
+            if sync_each {
+                self.sync()?;
+            }
+        }
+        if !sync_each {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Folds the journal into a fresh snapshot: publishes `data` (whose
+    /// generation must be one past the store's) atomically, then resets
+    /// the journal. Crash-safe at every step — see the module docs.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors or a generation mismatch.
+    pub fn compact(&mut self, data: &SnapshotData) -> Result<(), StoreError> {
+        if data.generation != self.generation + 1 {
+            return Err(StoreError::format(format!(
+                "compaction generation {} does not follow {}",
+                data.generation, self.generation
+            )));
+        }
+        publish(
+            &self.dir,
+            SNAPSHOT_TMP,
+            SNAPSHOT_FILE,
+            &encode_snapshot(data),
+        )?;
+        let header = journal::header(data.generation);
+        publish(&self.dir, JOURNAL_TMP, JOURNAL_FILE, &header)?;
+        self.journal = open_journal_for_append(&self.dir.join(JOURNAL_FILE), header.len() as u64)?;
+        self.generation = data.generation;
+        COMPACTIONS.get().incr();
+        Ok(())
+    }
+
+    /// Size in bytes of the current snapshot file.
+    pub fn snapshot_bytes(&self) -> Result<u64, StoreError> {
+        Ok(fs::metadata(self.dir.join(SNAPSHOT_FILE))?.len())
+    }
+
+    /// Size in bytes of the current journal file.
+    pub fn journal_bytes(&self) -> Result<u64, StoreError> {
+        Ok(fs::metadata(self.dir.join(JOURNAL_FILE))?.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cable_trace::{Trace, TraceSet, Vocab};
+    use cable_util::BitSet;
+
+    fn sample_data(generation: u64) -> SnapshotData {
+        let mut vocab = Vocab::new();
+        let mut traces = TraceSet::new();
+        traces.push(Trace::parse("a(X) b(X)", &mut vocab).unwrap());
+        SnapshotData {
+            generation,
+            n_attributes: 2,
+            vocab,
+            fa_text: String::new(),
+            traces,
+            labels: Vec::new(),
+            rows: vec![BitSet::singleton(0)],
+            concepts: vec![
+                (BitSet::singleton(0), BitSet::new()),
+                (BitSet::new(), BitSet::full(2)),
+            ],
+        }
+    }
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("cable-store-test-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn create_append_reopen_replays() {
+        let dir = tmp_dir("reopen");
+        let mut store = Store::create(&dir, &sample_data(0)).unwrap();
+        let records = vec![
+            JournalRecord::Trace("c(Y)".to_owned()),
+            JournalRecord::Label {
+                class: 0,
+                name: "fine".to_owned(),
+            },
+        ];
+        store.append_all(&records, false).unwrap();
+        drop(store);
+
+        let (_store, data, replayed, report) = Store::open(&dir).unwrap();
+        assert_eq!(data.generation, 0);
+        assert_eq!(replayed, records);
+        assert_eq!(report.replayed, 2);
+        assert_eq!(report.discarded_bytes, 0);
+        assert_eq!(report.tail, TailState::Clean);
+        assert!(!report.stale_journal);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_once_and_for_all() {
+        let dir = tmp_dir("torn");
+        let mut store = Store::create(&dir, &sample_data(0)).unwrap();
+        store
+            .append_all([&JournalRecord::Trace("c(Y)".to_owned())], true)
+            .unwrap();
+        drop(store);
+
+        // Tear the file mid-record.
+        let path = dir.join(JOURNAL_FILE);
+        let whole = fs::read(&path).unwrap();
+        let torn_len = whole.len() + 3;
+        let mut torn = whole.clone();
+        torn.extend_from_slice(
+            &journal::encode_record(&JournalRecord::Trace("d(Z)".to_owned()))[..3],
+        );
+        assert_eq!(torn.len(), torn_len);
+        fs::write(&path, &torn).unwrap();
+
+        let (mut store, _, replayed, report) = Store::open(&dir).unwrap();
+        assert_eq!(replayed.len(), 1);
+        assert_eq!(report.tail, TailState::Torn);
+        assert_eq!(report.discarded_bytes, 3);
+        // The truncation is durable: appends extend the valid prefix.
+        store
+            .append_all([&JournalRecord::Trace("e(X)".to_owned())], false)
+            .unwrap();
+        drop(store);
+        let (_, _, replayed, report) = Store::open(&dir).unwrap();
+        assert_eq!(replayed.len(), 2);
+        assert_eq!(report.tail, TailState::Clean);
+        assert_eq!(report.discarded_bytes, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_resets_the_journal_and_bumps_the_generation() {
+        let dir = tmp_dir("compact");
+        let mut store = Store::create(&dir, &sample_data(0)).unwrap();
+        store
+            .append_all([&JournalRecord::Trace("c(Y)".to_owned())], false)
+            .unwrap();
+        let journal_before = store.journal_bytes().unwrap();
+        store.compact(&sample_data(1)).unwrap();
+        assert!(store.journal_bytes().unwrap() < journal_before);
+        assert_eq!(store.generation(), 1);
+        drop(store);
+
+        let (_, data, replayed, report) = Store::open(&dir).unwrap();
+        assert_eq!(data.generation, 1);
+        assert!(replayed.is_empty());
+        assert!(!report.stale_journal);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_journal_after_interrupted_compaction_is_discarded() {
+        let dir = tmp_dir("stale");
+        let mut store = Store::create(&dir, &sample_data(0)).unwrap();
+        store
+            .append_all([&JournalRecord::Trace("c(Y)".to_owned())], false)
+            .unwrap();
+        drop(store);
+        // Simulate a crash between the two compaction steps: new
+        // snapshot published, journal still at the old generation.
+        publish(
+            &dir,
+            SNAPSHOT_TMP,
+            SNAPSHOT_FILE,
+            &encode_snapshot(&sample_data(1)),
+        )
+        .unwrap();
+
+        let (_, data, replayed, report) = Store::open(&dir).unwrap();
+        assert_eq!(data.generation, 1);
+        assert!(replayed.is_empty(), "stale records must not replay");
+        assert!(report.stale_journal);
+        assert!(report.discarded_bytes > 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn create_refuses_to_clobber() {
+        let dir = tmp_dir("clobber");
+        let _ = Store::create(&dir, &sample_data(0)).unwrap();
+        assert!(Store::create(&dir, &sample_data(0)).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compact_checks_the_generation() {
+        let dir = tmp_dir("gen");
+        let mut store = Store::create(&dir, &sample_data(0)).unwrap();
+        assert!(store.compact(&sample_data(5)).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn counters_account_for_the_traffic() {
+        let before = cable_obs::registry().snapshot();
+        let dir = tmp_dir("counters");
+        let mut store = Store::create(&dir, &sample_data(0)).unwrap();
+        store
+            .append_all([&JournalRecord::Trace("c(Y)".to_owned())], true)
+            .unwrap();
+        store.compact(&sample_data(1)).unwrap();
+        drop(store);
+        let _ = Store::open(&dir).unwrap();
+        let delta = cable_obs::registry().snapshot().delta_since(&before);
+        assert!(delta.counter("store.bytes_written").unwrap_or(0) > 0);
+        assert!(delta.counter("store.fsyncs").unwrap_or(0) >= 3);
+        assert!(delta.counter("store.journal.appends").unwrap_or(0) >= 1);
+        // Counters are process-wide and other tests compact too: bound
+        // from below.
+        assert!(delta.counter("store.compactions").unwrap_or(0) >= 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

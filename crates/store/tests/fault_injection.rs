@@ -1,0 +1,236 @@
+//! Fault injection against a real store directory: every way a crash or
+//! bad disk can damage the files, recovery must keep exactly the valid
+//! checksummed prefix and never panic.
+//!
+//! The three injected fault shapes:
+//!
+//! * **truncation** — the tail of the journal vanishes (crash before the
+//!   data reached the platter),
+//! * **torn write** — a record is partially on disk (crash mid-append),
+//! * **bit flips** — storage corruption anywhere in a file.
+
+use cable_store::corpus::SnapshotData;
+use cable_store::journal::HEADER_LEN;
+use cable_store::{JournalRecord, Store, TailState};
+use cable_trace::{Trace, TraceSet, Vocab};
+use cable_util::BitSet;
+use std::fs;
+use std::path::PathBuf;
+
+const JOURNAL: &str = "journal.cable";
+const SNAPSHOT: &str = "snapshot.cable";
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("cable-store-faults-{}-{name}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn sample_snapshot() -> SnapshotData {
+    let mut vocab = Vocab::new();
+    let mut traces = TraceSet::new();
+    traces.push(Trace::parse("fopen(X) fread(X) fclose(X)", &mut vocab).unwrap());
+    traces.push(Trace::parse("popen(Y) pclose(Y)", &mut vocab).unwrap());
+    SnapshotData {
+        generation: 0,
+        n_attributes: 5,
+        vocab,
+        fa_text: "start s0\naccept s0\n".to_owned(),
+        traces,
+        labels: vec![(0, "good".to_owned())],
+        rows: vec![
+            [0usize, 1, 2].into_iter().collect(),
+            [3usize, 4].into_iter().collect(),
+        ],
+        concepts: vec![
+            ([0usize, 1].into_iter().collect(), BitSet::new()),
+            (
+                [0usize].into_iter().collect(),
+                [0usize, 1, 2].into_iter().collect(),
+            ),
+            (BitSet::new(), BitSet::full(5)),
+        ],
+    }
+}
+
+fn sample_records() -> Vec<JournalRecord> {
+    vec![
+        JournalRecord::Trace("fopen(Z) fclose(Z)".to_owned()),
+        JournalRecord::Label {
+            class: 1,
+            name: "bad".to_owned(),
+        },
+        JournalRecord::Trace("popen(Y) fread(Y) pclose(Y)".to_owned()),
+        JournalRecord::Label {
+            class: 0,
+            name: "revised".to_owned(),
+        },
+    ]
+}
+
+/// Creates a store, appends the sample records durably, and returns the
+/// directory plus the full journal image.
+fn populated_store(name: &str) -> (PathBuf, Vec<u8>) {
+    let dir = tmp_dir(name);
+    let mut store = Store::create(&dir, &sample_snapshot()).unwrap();
+    store.append_all(&sample_records(), true).unwrap();
+    drop(store);
+    let journal = fs::read(dir.join(JOURNAL)).unwrap();
+    (dir, journal)
+}
+
+/// Byte offsets of the record boundaries in the journal image (header
+/// included as the first boundary).
+fn record_boundaries() -> Vec<usize> {
+    let mut boundaries = vec![HEADER_LEN];
+    for r in sample_records() {
+        let len = cable_store::journal::encode_record(&r).len();
+        boundaries.push(boundaries.last().unwrap() + len);
+    }
+    boundaries
+}
+
+#[test]
+fn every_journal_truncation_recovers_the_exact_valid_prefix() {
+    let (dir, whole) = populated_store("truncate");
+    let boundaries = record_boundaries();
+    let records = sample_records();
+    for cut in 0..whole.len() {
+        fs::write(dir.join(JOURNAL), &whole[..cut]).unwrap();
+        let (store, data, replayed, report) = Store::open(&dir).unwrap();
+        // Exactly the records whose frames are fully on disk.
+        let n_whole = boundaries
+            .iter()
+            .filter(|&&b| b <= cut.max(HEADER_LEN))
+            .count()
+            - 1;
+        let n_whole = if cut < HEADER_LEN { 0 } else { n_whole };
+        assert_eq!(replayed, records[..n_whole], "cut {cut}");
+        assert_eq!(data.generation, 0, "cut {cut}");
+        drop(store);
+        // Recovery repaired the file: the journal on disk is now the
+        // valid prefix, bit-identical to a clean journal holding those
+        // records — so a second open is indistinguishable from a store
+        // that never crashed.
+        let repaired = fs::read(dir.join(JOURNAL)).unwrap();
+        if cut >= HEADER_LEN {
+            assert_eq!(repaired, whole[..boundaries[n_whole]], "cut {cut}");
+        }
+        let (_, _, again, report2) = Store::open(&dir).unwrap();
+        assert_eq!(again, replayed, "cut {cut}");
+        assert_eq!(report2.tail, TailState::Clean, "cut {cut}");
+        assert_eq!(report2.discarded_bytes, 0, "cut {cut}");
+        let _ = report;
+    }
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn every_journal_bit_flip_recovers_a_true_prefix_without_panicking() {
+    let (dir, whole) = populated_store("bitflip");
+    let records = sample_records();
+    for i in HEADER_LEN..whole.len() {
+        for bit in [0x01u8, 0x80] {
+            let mut bad = whole.clone();
+            bad[i] ^= bit;
+            fs::write(dir.join(JOURNAL), &bad).unwrap();
+            let (_, _, replayed, report) = Store::open(&dir).unwrap();
+            // CRC-32 catches the flip: the damaged record and everything
+            // after it are discarded, what survives is a true prefix.
+            assert!(replayed.len() < records.len(), "flip byte {i} bit {bit}");
+            assert_eq!(replayed[..], records[..replayed.len()], "flip byte {i}");
+            assert!(report.discarded_bytes > 0, "flip byte {i}");
+        }
+    }
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn torn_mid_record_write_is_truncated_and_appends_continue() {
+    let (dir, whole) = populated_store("torn");
+    let next = cable_store::journal::encode_record(&JournalRecord::Trace(
+        "fopen(V1) fwrite(V1)".to_owned(),
+    ));
+    // Every partial length of the next record, including zero-length.
+    for torn_len in 0..next.len() {
+        let mut torn = whole.clone();
+        torn.extend_from_slice(&next[..torn_len]);
+        fs::write(dir.join(JOURNAL), &torn).unwrap();
+
+        let (mut store, _, replayed, report) = Store::open(&dir).unwrap();
+        assert_eq!(replayed, sample_records(), "torn {torn_len}");
+        assert_eq!(report.discarded_bytes, torn_len, "torn {torn_len}");
+        if torn_len > 0 {
+            assert_eq!(report.tail, TailState::Torn, "torn {torn_len}");
+        }
+        // The store is fully usable after recovery: the re-appended
+        // record lands where the torn one was.
+        store
+            .append_all(
+                [&JournalRecord::Trace("fopen(V1) fwrite(V1)".to_owned())],
+                true,
+            )
+            .unwrap();
+        drop(store);
+        let (_, _, after, _) = Store::open(&dir).unwrap();
+        assert_eq!(after.len(), sample_records().len() + 1, "torn {torn_len}");
+        // Reset for the next iteration.
+        fs::write(dir.join(JOURNAL), &whole).unwrap();
+    }
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn snapshot_damage_is_a_hard_error_never_a_panic() {
+    let (dir, _) = populated_store("snapdamage");
+    let whole = fs::read(dir.join(SNAPSHOT)).unwrap();
+    // Truncations.
+    for cut in 0..whole.len() {
+        fs::write(dir.join(SNAPSHOT), &whole[..cut]).unwrap();
+        assert!(Store::open(&dir).is_err(), "cut {cut}");
+    }
+    // Bit flips — the snapshot is published atomically, so any damage
+    // means the file is not a valid publication.
+    for i in 0..whole.len() {
+        for bit in [0x01u8, 0x40] {
+            let mut bad = whole.clone();
+            bad[i] ^= bit;
+            fs::write(dir.join(SNAPSHOT), &bad).unwrap();
+            assert!(Store::open(&dir).is_err(), "flip byte {i} bit {bit}");
+        }
+    }
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn missing_journal_opens_as_empty_and_is_recreated() {
+    let (dir, _) = populated_store("missing");
+    fs::remove_file(dir.join(JOURNAL)).unwrap();
+    let (mut store, data, replayed, report) = Store::open(&dir).unwrap();
+    assert!(replayed.is_empty());
+    assert_eq!(report.replayed, 0);
+    assert_eq!(data.generation, 0);
+    // The journal was re-published; appends work.
+    store
+        .append_all([&JournalRecord::Trace("fopen(X)".to_owned())], false)
+        .unwrap();
+    drop(store);
+    let (_, _, after, _) = Store::open(&dir).unwrap();
+    assert_eq!(after.len(), 1);
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn foreign_file_as_journal_is_rejected_not_truncated() {
+    let (dir, _) = populated_store("foreign");
+    fs::write(
+        dir.join(JOURNAL),
+        b"#!/bin/sh\necho this is not a journal\n",
+    )
+    .unwrap();
+    // Refusing to "recover" a file that was never a journal protects
+    // against clobbering user data on a path mix-up.
+    assert!(Store::open(&dir).is_err());
+    fs::remove_dir_all(&dir).unwrap();
+}

@@ -1,0 +1,207 @@
+//! Property-style round-trip tests over randomized `cable-workload`
+//! corpora: text ↔ binary trace codecs, snapshot encode/decode, and
+//! store save/reopen must all preserve the session state exactly.
+
+use cable_store::corpus::{decode_snapshot, encode_snapshot, SnapshotData};
+use cable_store::{JournalRecord, Store};
+use cable_trace::{binary, Trace, TraceSet, Vocab};
+use cable_util::rng::Rng;
+use cable_util::BitSet;
+use std::path::PathBuf;
+
+/// A few specs whose workloads are quick to generate but exercise
+/// different vocabulary shapes (atoms, loops, multiple objects).
+const SPECS: [&str; 3] = ["XOpenDisplay", "Quarks", "RmvTimeOut"];
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "cable-store-roundtrip-{}-{name}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn workload_set(spec_name: &str, seed: u64, vocab: &mut Vocab) -> TraceSet {
+    let registry = cable_specs::registry();
+    let spec = registry.spec(spec_name).expect("known spec");
+    let mut set = TraceSet::new();
+    for t in spec.generate(seed, vocab) {
+        set.push(t);
+    }
+    set
+}
+
+#[test]
+fn binary_codec_round_trips_randomized_workloads() {
+    for spec in SPECS {
+        for seed in [1u64, 7, 2003] {
+            let mut vocab = Vocab::new();
+            let set = workload_set(spec, seed, &mut vocab);
+            assert!(!set.is_empty(), "{spec}/{seed}");
+
+            let vocab_bytes = binary::encode_vocab(&vocab);
+            let set_bytes = binary::encode_trace_set(&set);
+            let vocab2 = binary::decode_vocab(&vocab_bytes).unwrap();
+            let decoded = binary::decode_trace_set(&set_bytes, &vocab2).unwrap();
+
+            assert_eq!(decoded.len(), set.len(), "{spec}/{seed}");
+            for (id, t) in set.iter() {
+                // Re-interning in order makes the symbol spaces line up,
+                // so decoded traces are structurally identical…
+                assert_eq!(decoded.trace(id), t, "{spec}/{seed}");
+                // …and render to the same text.
+                assert_eq!(
+                    decoded.trace(id).display(&vocab2).to_string(),
+                    t.display(&vocab).to_string(),
+                    "{spec}/{seed}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn binary_and_text_formats_agree_on_randomized_workloads() {
+    for spec in SPECS {
+        let mut vocab = Vocab::new();
+        let set = workload_set(spec, 42, &mut vocab);
+
+        // Through text: display every trace, parse the lines back.
+        let mut text = String::new();
+        for (_, t) in set.iter() {
+            text.push_str(&t.display(&vocab).to_string());
+            text.push('\n');
+        }
+        let mut vocab_text = Vocab::new();
+        let from_text = TraceSet::parse(&text, &mut vocab_text).unwrap();
+
+        // Through binary: encode and decode against the re-read vocab.
+        let vocab_bin = binary::decode_vocab(&binary::encode_vocab(&vocab)).unwrap();
+        let from_bin =
+            binary::decode_trace_set(&binary::encode_trace_set(&set), &vocab_bin).unwrap();
+
+        assert_eq!(from_text.len(), from_bin.len(), "{spec}");
+        for (id, t) in from_text.iter() {
+            assert_eq!(
+                t.display(&vocab_text).to_string(),
+                from_bin.trace(id).display(&vocab_bin).to_string(),
+                "{spec}"
+            );
+        }
+    }
+}
+
+fn random_bitset<R: Rng>(rng: &mut R, universe: usize) -> BitSet {
+    let mut set = BitSet::new();
+    let n = rng.gen_range(0..=universe);
+    for _ in 0..n {
+        set.insert(rng.gen_range(0..universe.max(1)));
+    }
+    set
+}
+
+#[test]
+fn snapshots_round_trip_randomized_payloads() {
+    for seed in 0u64..8 {
+        let mut rng = cable_util::rng::seeded(seed);
+        let mut vocab = Vocab::new();
+        let traces = workload_set(SPECS[(seed % 3) as usize], seed, &mut vocab);
+        let n_attributes = rng.gen_range(1..24usize);
+        let n_rows = rng.gen_range(1..12usize);
+        let data = SnapshotData {
+            generation: rng.gen_range(0..1000u64),
+            n_attributes,
+            vocab,
+            fa_text: format!("start s0\naccept s{}\n", rng.gen_range(0..3u32)),
+            traces,
+            labels: (0..rng.gen_range(0..5u32))
+                .map(|i| (i, format!("label-{i}")))
+                .collect(),
+            rows: (0..n_rows)
+                .map(|_| random_bitset(&mut rng, n_attributes))
+                .collect(),
+            concepts: (0..rng.gen_range(1..8usize))
+                .map(|i| {
+                    let mut extent = random_bitset(&mut rng, n_rows);
+                    // Extents need not be distinct for the codec; make
+                    // them so anyway to mirror real lattices.
+                    extent.insert(n_rows + i);
+                    (extent, random_bitset(&mut rng, n_attributes))
+                })
+                .collect(),
+        };
+        let decoded = decode_snapshot(&encode_snapshot(&data)).unwrap();
+        assert_eq!(decoded.generation, data.generation, "seed {seed}");
+        assert_eq!(decoded.n_attributes, data.n_attributes, "seed {seed}");
+        assert_eq!(decoded.fa_text, data.fa_text, "seed {seed}");
+        assert_eq!(decoded.labels, data.labels, "seed {seed}");
+        assert_eq!(decoded.rows, data.rows, "seed {seed}");
+        assert_eq!(decoded.concepts, data.concepts, "seed {seed}");
+        assert_eq!(decoded.traces.len(), data.traces.len(), "seed {seed}");
+    }
+}
+
+#[test]
+fn stores_survive_repeated_append_reopen_cycles() {
+    let dir = tmp_dir("cycles");
+    let mut vocab = Vocab::new();
+    let traces = workload_set("XOpenDisplay", 5, &mut vocab);
+    let data = SnapshotData {
+        generation: 0,
+        n_attributes: 4,
+        vocab,
+        fa_text: "start s0\naccept s0\n".to_owned(),
+        traces,
+        labels: Vec::new(),
+        rows: vec![BitSet::new()],
+        concepts: vec![(BitSet::new(), BitSet::full(4))],
+    };
+    let store = Store::create(&dir, &data).unwrap();
+    drop(store);
+
+    let mut expected: Vec<JournalRecord> = Vec::new();
+    let mut rng = cable_util::rng::seeded(99);
+    for cycle in 0..6 {
+        let (mut store, _, replayed, report) = Store::open(&dir).unwrap();
+        assert_eq!(replayed, expected, "cycle {cycle}");
+        assert_eq!(report.discarded_bytes, 0, "cycle {cycle}");
+        let fresh: Vec<JournalRecord> = (0..rng.gen_range(1..4u32))
+            .map(|i| {
+                if rng.gen_bool(0.5) {
+                    JournalRecord::Trace(format!("op{cycle}(X) op{i}(X)"))
+                } else {
+                    JournalRecord::Label {
+                        class: rng.gen_range(0..7u32),
+                        name: format!("cycle-{cycle}-{i}"),
+                    }
+                }
+            })
+            .collect();
+        store.append_all(&fresh, cycle % 2 == 0).unwrap();
+        expected.extend(fresh);
+    }
+    let (_, _, replayed, _) = Store::open(&dir).unwrap();
+    assert_eq!(replayed, expected);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn journal_trace_lines_parse_back_against_a_growing_vocab() {
+    // The journal stores traces as self-contained text precisely so the
+    // vocabulary can grow between snapshot and replay: simulate that.
+    let mut vocab = Vocab::new();
+    let set = workload_set("Quarks", 11, &mut vocab);
+    let lines: Vec<String> = set
+        .iter()
+        .map(|(_, t)| t.display(&vocab).to_string())
+        .collect();
+    // Replay into a *different* vocabulary that has never seen these
+    // operations, as `StoredSession::apply` does.
+    let mut fresh = Vocab::new();
+    fresh.op("unrelated");
+    for (i, line) in lines.iter().enumerate() {
+        let t = Trace::parse(line, &mut fresh).unwrap();
+        assert_eq!(t.display(&fresh).to_string(), *line, "line {i}");
+    }
+}

@@ -1,0 +1,474 @@
+//! A compact binary encoding for vocabularies, traces, and trace sets.
+//!
+//! This is the payload format of the `cable-store` corpus frames: the
+//! framing layer there supplies lengths and checksums, so the encodings
+//! here are bare and positional. Integers are LEB128 varints (small ids
+//! dominate), strings are length-prefixed UTF-8, and symbols are encoded
+//! as their interner indices — a trace encoding is therefore only
+//! meaningful next to the [`Vocab`] it was encoded against, and the
+//! vocabulary must be decoded (or interned in the same order) first.
+//!
+//! Decoding is defensive rather than trusting: every read is
+//! bounds-checked, symbol indices are validated against the vocabulary,
+//! and malformed input yields a [`DecodeError`] instead of a panic. The
+//! store's fault-injection tests feed corrupted bytes straight into
+//! these decoders.
+//!
+//! # Examples
+//!
+//! ```
+//! use cable_trace::{binary, Trace, TraceSet, Vocab};
+//!
+//! let mut v = Vocab::new();
+//! let mut set = TraceSet::new();
+//! set.push(Trace::parse("fopen(X) fread(X,'MODE) fclose(#7)", &mut v).unwrap());
+//!
+//! let vocab_bytes = binary::encode_vocab(&v);
+//! let set_bytes = binary::encode_trace_set(&set);
+//!
+//! let v2 = binary::decode_vocab(&vocab_bytes).unwrap();
+//! let set2 = binary::decode_trace_set(&set_bytes, &v2).unwrap();
+//! assert_eq!(set2.trace(cable_trace::TraceId(0)).display(&v2).to_string(),
+//!            "fopen(X) fread(X,'MODE) fclose(#7)");
+//! ```
+
+use crate::event::{Arg, Event, ObjId, Var};
+use crate::set::TraceSet;
+use crate::trace::Trace;
+use crate::vocab::Vocab;
+use cable_util::Symbol;
+use std::error::Error;
+use std::fmt;
+
+/// Argument tag bytes of the encoding.
+const TAG_OBJ: u8 = 0;
+const TAG_VAR: u8 = 1;
+const TAG_ATOM: u8 = 2;
+
+/// Error decoding the binary trace format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Byte offset within the input buffer where decoding failed.
+    pub offset: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "binary decode error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl Error for DecodeError {}
+
+/// A positional reader over a byte buffer with bounds-checked reads.
+#[derive(Debug, Clone)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Starts reading at the beginning of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// The current read offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Tests whether the whole buffer has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn err(&self, message: impl Into<String>) -> DecodeError {
+        DecodeError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        let b = *self
+            .buf
+            .get(self.pos)
+            .ok_or_else(|| self.err("unexpected end of input"))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Reads a LEB128 varint.
+    pub fn varint(&mut self) -> Result<u64, DecodeError> {
+        let mut value = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let b = self.u8()?;
+            if shift >= 63 && b > 1 {
+                return Err(self.err("varint overflows u64"));
+            }
+            value |= u64::from(b & 0x7f) << shift;
+            if b & 0x80 == 0 {
+                return Ok(value);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Reads a varint that must fit a `usize` and stay under `limit` —
+    /// the guard that keeps a corrupted length from triggering a huge
+    /// allocation.
+    pub fn len(&mut self, limit: usize, what: &str) -> Result<usize, DecodeError> {
+        let n = self.varint()?;
+        let n = usize::try_from(n).map_err(|_| self.err(format!("{what} count overflows")))?;
+        if n > limit {
+            return Err(self.err(format!("{what} count {n} exceeds limit {limit}")));
+        }
+        Ok(n)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn string(&mut self) -> Result<&'a str, DecodeError> {
+        let n = self.len(self.remaining(), "string byte")?;
+        let bytes = &self.buf[self.pos..self.pos + n];
+        let s = std::str::from_utf8(bytes).map_err(|_| self.err("string is not UTF-8"))?;
+        self.pos += n;
+        Ok(s)
+    }
+}
+
+/// An append-only byte buffer with the writer half of the encoding.
+#[derive(Debug, Clone, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, b: u8) {
+        self.buf.push(b);
+    }
+
+    /// Appends a LEB128 varint.
+    pub fn varint(&mut self, mut v: u64) {
+        loop {
+            let b = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(b);
+                return;
+            }
+            self.buf.push(b | 0x80);
+        }
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn string(&mut self, s: &str) {
+        self.varint(s.len() as u64);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+/// Encodes a vocabulary: the operation strings, then the atom strings,
+/// each in interning order so that decoding reproduces identical
+/// [`Symbol`] indices.
+pub fn encode_vocab(vocab: &Vocab) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.varint(vocab.op_count() as u64);
+    for (_, name) in vocab.ops() {
+        w.string(name);
+    }
+    w.varint(vocab.atom_count() as u64);
+    for (_, name) in vocab.atoms() {
+        w.string(name);
+    }
+    w.into_bytes()
+}
+
+/// Decodes a vocabulary encoded by [`encode_vocab`].
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on truncated or malformed input.
+pub fn decode_vocab(bytes: &[u8]) -> Result<Vocab, DecodeError> {
+    let mut r = ByteReader::new(bytes);
+    let mut vocab = Vocab::new();
+    let n_ops = r.len(r.remaining(), "operation")?;
+    for _ in 0..n_ops {
+        vocab.op(r.string()?);
+    }
+    let n_atoms = r.len(r.remaining(), "atom")?;
+    for _ in 0..n_atoms {
+        vocab.atom(r.string()?);
+    }
+    if !r.is_exhausted() {
+        return Err(DecodeError {
+            offset: r.position(),
+            message: "trailing bytes after vocabulary".into(),
+        });
+    }
+    Ok(vocab)
+}
+
+/// Encodes one trace into `w`: provenance, event count, then each event
+/// as `op` symbol index, argument count, and tagged arguments.
+pub fn encode_trace(w: &mut ByteWriter, trace: &Trace) {
+    match trace.provenance() {
+        None => w.u8(0),
+        Some(p) => {
+            w.u8(1);
+            w.varint(u64::from(p));
+        }
+    }
+    w.varint(trace.len() as u64);
+    for event in trace.events() {
+        w.varint(event.op.index() as u64);
+        w.varint(event.args.len() as u64);
+        for arg in &event.args {
+            match arg {
+                Arg::Obj(ObjId(o)) => {
+                    w.u8(TAG_OBJ);
+                    w.varint(*o);
+                }
+                Arg::Var(Var(v)) => {
+                    w.u8(TAG_VAR);
+                    w.u8(*v);
+                }
+                Arg::Atom(a) => {
+                    w.u8(TAG_ATOM);
+                    w.varint(a.index() as u64);
+                }
+            }
+        }
+    }
+}
+
+/// Decodes one trace from `r`, validating every symbol index against
+/// `vocab`.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on truncated input, bad tags, or symbol
+/// indices outside the vocabulary.
+pub fn decode_trace(r: &mut ByteReader<'_>, vocab: &Vocab) -> Result<Trace, DecodeError> {
+    let provenance = match r.u8()? {
+        0 => None,
+        1 => Some(u32::try_from(r.varint()?).map_err(|_| DecodeError {
+            offset: r.position(),
+            message: "provenance overflows u32".into(),
+        })?),
+        other => {
+            return Err(DecodeError {
+                offset: r.position(),
+                message: format!("bad provenance tag {other}"),
+            })
+        }
+    };
+    let n_events = r.len(r.remaining(), "event")?;
+    let mut events = Vec::with_capacity(n_events);
+    for _ in 0..n_events {
+        let op = r.varint()? as usize;
+        if op >= vocab.op_count() {
+            return Err(DecodeError {
+                offset: r.position(),
+                message: format!("operation symbol {op} outside vocabulary"),
+            });
+        }
+        let n_args = r.len(r.remaining(), "argument")?;
+        let mut args = Vec::with_capacity(n_args);
+        for _ in 0..n_args {
+            let arg = match r.u8()? {
+                TAG_OBJ => Arg::Obj(ObjId(r.varint()?)),
+                TAG_VAR => Arg::Var(Var(r.u8()?)),
+                TAG_ATOM => {
+                    let a = r.varint()? as usize;
+                    if a >= vocab.atom_count() {
+                        return Err(DecodeError {
+                            offset: r.position(),
+                            message: format!("atom symbol {a} outside vocabulary"),
+                        });
+                    }
+                    Arg::Atom(Symbol::from_index(a))
+                }
+                other => {
+                    return Err(DecodeError {
+                        offset: r.position(),
+                        message: format!("bad argument tag {other}"),
+                    })
+                }
+            };
+            args.push(arg);
+        }
+        events.push(Event::new(Symbol::from_index(op), args));
+    }
+    Ok(match provenance {
+        Some(p) => Trace::with_provenance(events, p),
+        None => Trace::new(events),
+    })
+}
+
+/// Encodes a whole trace set: a count, then each trace.
+pub fn encode_trace_set(set: &TraceSet) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.varint(set.len() as u64);
+    for (_, t) in set.iter() {
+        encode_trace(&mut w, t);
+    }
+    w.into_bytes()
+}
+
+/// Decodes a trace set encoded by [`encode_trace_set`].
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on truncated or malformed input, or trailing
+/// bytes.
+pub fn decode_trace_set(bytes: &[u8], vocab: &Vocab) -> Result<TraceSet, DecodeError> {
+    let mut r = ByteReader::new(bytes);
+    let n = r.len(r.remaining(), "trace")?;
+    let mut set = TraceSet::new();
+    for _ in 0..n {
+        set.push(decode_trace(&mut r, vocab)?);
+    }
+    if !r.is_exhausted() {
+        return Err(DecodeError {
+            offset: r.position(),
+            message: "trailing bytes after trace set".into(),
+        });
+    }
+    Ok(set)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::set::TraceId;
+
+    fn sample(v: &mut Vocab) -> TraceSet {
+        let mut set = TraceSet::new();
+        for line in [
+            "fopen(X) fread(X) fclose(X)",
+            "f() g(X,Y) h(#3,'ATOM)",
+            "lone",
+            "deep(#18446744073709551615,'Z,V7)",
+        ] {
+            set.push(Trace::parse(line, v).unwrap());
+        }
+        let mut with_prov = Trace::parse("p(X)", v).unwrap();
+        with_prov.set_provenance(42);
+        set.push(with_prov);
+        set
+    }
+
+    #[test]
+    fn vocab_round_trip_preserves_symbols() {
+        let mut v = Vocab::new();
+        let _ = sample(&mut v);
+        let decoded = decode_vocab(&encode_vocab(&v)).unwrap();
+        assert_eq!(decoded.op_count(), v.op_count());
+        assert_eq!(decoded.atom_count(), v.atom_count());
+        for (sym, name) in v.ops() {
+            assert_eq!(decoded.find_op(name), Some(sym));
+        }
+        for (sym, name) in v.atoms() {
+            assert_eq!(decoded.find_atom(name), Some(sym));
+        }
+    }
+
+    #[test]
+    fn trace_set_round_trip_is_exact() {
+        let mut v = Vocab::new();
+        let set = sample(&mut v);
+        let decoded = decode_trace_set(&encode_trace_set(&set), &v).unwrap();
+        assert_eq!(decoded.len(), set.len());
+        for (id, t) in set.iter() {
+            assert_eq!(decoded.trace(id), t, "trace {id}");
+        }
+        assert_eq!(decoded.trace(TraceId(4)).provenance(), Some(42));
+    }
+
+    #[test]
+    fn varints_round_trip_at_the_edges() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut w = ByteWriter::new();
+            w.varint(v);
+            let bytes = w.into_bytes();
+            let mut r = ByteReader::new(&bytes);
+            assert_eq!(r.varint().unwrap(), v);
+            assert!(r.is_exhausted());
+        }
+    }
+
+    #[test]
+    fn truncated_input_errors_instead_of_panicking() {
+        let mut v = Vocab::new();
+        let set = sample(&mut v);
+        let bytes = encode_trace_set(&set);
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_trace_set(&bytes[..cut], &v).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_bytes_never_panic() {
+        let mut v = Vocab::new();
+        let set = sample(&mut v);
+        let bytes = encode_trace_set(&set);
+        for i in 0..bytes.len() {
+            for flip in [0x01u8, 0x80, 0xff] {
+                let mut bad = bytes.clone();
+                bad[i] ^= flip;
+                // Either decodes to some set or errors; must not panic.
+                let _ = decode_trace_set(&bad, &v);
+            }
+        }
+    }
+
+    #[test]
+    fn symbol_indices_are_validated() {
+        let mut v = Vocab::new();
+        let t = Trace::parse("f(X)", &mut v).unwrap();
+        let mut w = ByteWriter::new();
+        encode_trace(&mut w, &t);
+        let bytes = w.into_bytes();
+        let empty = Vocab::new();
+        let mut r = ByteReader::new(&bytes);
+        let e = decode_trace(&mut r, &empty).unwrap_err();
+        assert!(e.message.contains("outside vocabulary"), "{e}");
+    }
+
+    #[test]
+    fn huge_lengths_are_rejected_without_allocation() {
+        // A trace-set count of u64::MAX must not try to reserve memory.
+        let mut w = ByteWriter::new();
+        w.varint(u64::MAX);
+        let e = decode_trace_set(&w.into_bytes(), &Vocab::new()).unwrap_err();
+        assert!(e.message.contains("exceeds limit"), "{e}");
+    }
+}

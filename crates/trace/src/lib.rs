@@ -14,7 +14,9 @@
 //!   depends on,
 //! * [`Vocab`] — the interner for operation and atom names,
 //! * a line-oriented text format ([`parse`]) used by examples, tests and
-//!   the benchmark harness.
+//!   the benchmark harness,
+//! * a compact checksummed-payload binary format ([`binary`]) used by the
+//!   `cable-store` corpus files.
 //!
 //! # Examples
 //!
@@ -33,6 +35,7 @@
 //! assert_eq!(set.identical_classes().len(), 1);
 //! ```
 
+pub mod binary;
 pub mod canon;
 pub mod event;
 pub mod parse;
@@ -40,6 +43,7 @@ pub mod set;
 pub mod trace;
 pub mod vocab;
 
+pub use binary::DecodeError;
 pub use canon::canonicalize;
 pub use event::{Arg, Event, ObjId, Var};
 pub use parse::ParseTraceError;

@@ -20,19 +20,39 @@ use std::fmt;
 /// Error parsing the trace text format.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseTraceError {
+    /// 1-based input line of the error, when parsing multi-line text
+    /// ([`TraceSet::parse`]); `0` when parsing a single line whose
+    /// position in a larger input is unknown ([`Trace::parse`]).
+    pub line: usize,
     /// Byte offset of the error within the input line.
     pub offset: usize,
     /// What was wrong.
     pub message: String,
 }
 
+impl ParseTraceError {
+    /// Attaches the 1-based input line the error occurred on.
+    pub fn with_line(mut self, line: usize) -> Self {
+        self.line = line;
+        self
+    }
+}
+
 impl fmt::Display for ParseTraceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "trace parse error at byte {}: {}",
-            self.offset, self.message
-        )
+        if self.line > 0 {
+            write!(
+                f,
+                "trace parse error on line {} at byte {}: {}",
+                self.line, self.offset, self.message
+            )
+        } else {
+            write!(
+                f,
+                "trace parse error at byte {}: {}",
+                self.offset, self.message
+            )
+        }
     }
 }
 
@@ -40,6 +60,7 @@ impl Error for ParseTraceError {}
 
 fn err(offset: usize, message: impl Into<String>) -> ParseTraceError {
     ParseTraceError {
+        line: 0,
         offset,
         message: message.into(),
     }
@@ -125,15 +146,16 @@ impl TraceSet {
     ///
     /// # Errors
     ///
-    /// Returns the first [`ParseTraceError`] encountered.
+    /// Returns the first [`ParseTraceError`] encountered, carrying the
+    /// 1-based line number so corpus ingestion failures are actionable.
     pub fn parse(text: &str, vocab: &mut Vocab) -> Result<TraceSet, ParseTraceError> {
         let mut set = TraceSet::new();
-        for line in text.lines() {
+        for (lineno, line) in text.lines().enumerate() {
             let line = line.trim();
             if line.is_empty() || line.starts_with(';') {
                 continue;
             }
-            set.push(Trace::parse(line, vocab)?);
+            set.push(Trace::parse(line, vocab).map_err(|e| e.with_line(lineno + 1))?);
         }
         Ok(set)
     }
@@ -187,5 +209,17 @@ mod tests {
         let e = Trace::parse("ok f(%)", &mut v).unwrap_err();
         let msg = e.to_string();
         assert!(msg.contains("bad argument"), "{msg}");
+        assert_eq!(e.line, 0, "single-line parse has no line context");
+        assert!(!msg.contains("on line"), "{msg}");
+    }
+
+    #[test]
+    fn set_parser_reports_the_failing_line() {
+        let mut v = Vocab::new();
+        // Comments and blank lines still count towards line numbers.
+        let e = TraceSet::parse("; header\n a(X)\n\n b(X\n", &mut v).unwrap_err();
+        assert_eq!(e.line, 4);
+        let msg = e.to_string();
+        assert!(msg.contains("on line 4"), "{msg}");
     }
 }

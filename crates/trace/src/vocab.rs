@@ -78,6 +78,16 @@ impl Vocab {
     pub fn ops(&self) -> impl Iterator<Item = (Symbol, &str)> {
         self.ops.iter()
     }
+
+    /// Number of distinct atoms interned.
+    pub fn atom_count(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Iterates over all interned atoms.
+    pub fn atoms(&self) -> impl Iterator<Item = (Symbol, &str)> {
+        self.atoms.iter()
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Crash-recovery drill for the cable-store persistence layer.
+#
+# Two stores ingest the same batch with per-trace fsync. One process is
+# killed with SIGKILL mid-journal; after resume (which recovers the
+# valid journal prefix) the remaining traces are ingested, and the final
+# session state must be bit-identical — digests and all — to the store
+# that was never interrupted. `reproduce diff` performs the comparison.
+#
+# Usage: scripts/crash_drill.sh [path/to/cable] [path/to/reproduce]
+set -euo pipefail
+
+CABLE=${1:-target/release/cable}
+REPRODUCE=${2:-target/release/reproduce}
+FA=testdata/figure6_fixed.fa
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+# A small base corpus and a large, varied ingest batch (big enough that
+# per-trace fsync keeps the ingest running while we shoot it).
+base=$work/base.traces
+batch=$work/batch.traces
+for _ in $(seq 1 40); do
+  printf 'fopen(X) fread(X) fclose(X)\nfopen(X) fwrite(X) fclose(X)\n'
+done > "$base"
+for i in $(seq 1 5000); do
+  case $((i % 4)) in
+    0) echo "popen(Y) fread(Y) pclose(Y)" ;;
+    1) echo "fopen(X) fread(X) fwrite(X) fclose(X)" ;;
+    2) echo "popen(Y) fwrite(Y) pclose(Y)" ;;
+    3) echo "fopen(X) fclose(X)" ;;
+  esac
+done > "$batch"
+base_total=$(wc -l < "$base")
+batch_total=$(wc -l < "$batch")
+
+state_field() { # state_field FILE KEY -> numeric value
+  sed -n "s/.*\"$2\":\([0-9]*\).*/\1/p" "$1"
+}
+
+echo "== uninterrupted reference run"
+"$CABLE" session open --traces "$base" --fa "$FA" --store "$work/clean"
+"$CABLE" session ingest --store "$work/clean" --traces "$batch" --fsync-per-trace
+
+echo "== crashed run: kill -9 mid-journal"
+"$CABLE" session open --traces "$base" --fa "$FA" --store "$work/crashed"
+"$CABLE" session ingest --store "$work/crashed" --traces "$batch" --fsync-per-trace &
+pid=$!
+sleep 0.3
+kill -9 "$pid" 2>/dev/null || true
+wait "$pid" 2>/dev/null || true
+
+echo "== resume after the crash"
+"$CABLE" session resume --store "$work/crashed" --json-out "$work/after_crash.jsonl"
+recovered=$(state_field "$work/after_crash.jsonl" traces)
+ingested=$((recovered - base_total))
+remaining=$((batch_total - ingested))
+echo "recovered $ingested of $batch_total batch traces; re-ingesting $remaining"
+if [ "$remaining" -eq 0 ]; then
+  echo "note: the ingest finished before the kill landed; prefix = whole batch"
+else
+  tail -n "$remaining" "$batch" > "$work/rest.traces"
+  "$CABLE" session ingest --store "$work/crashed" --traces "$work/rest.traces"
+fi
+
+echo "== gate 1: resumed + completed state equals the uninterrupted state"
+"$CABLE" session resume --store "$work/clean" --json-out "$work/clean.jsonl"
+"$CABLE" session resume --store "$work/crashed" --json-out "$work/final.jsonl"
+"$REPRODUCE" diff "$work/clean.jsonl" "$work/final.jsonl"
+
+echo "== gate 2: states still agree after compaction"
+"$CABLE" session compact --store "$work/clean"
+"$CABLE" session compact --store "$work/crashed"
+"$CABLE" session resume --store "$work/clean" --json-out "$work/clean2.jsonl"
+"$CABLE" session resume --store "$work/crashed" --json-out "$work/final2.jsonl"
+"$REPRODUCE" diff "$work/clean2.jsonl" "$work/final2.jsonl"
+if ! cmp -s "$work/clean.jsonl" <(sed 's/"generation":1/"generation":0/' "$work/clean2.jsonl"); then
+  echo "error: compaction changed the session state" >&2
+  exit 1
+fi
+
+echo "crash drill: PASS"

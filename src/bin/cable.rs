@@ -2,11 +2,16 @@
 //! Dotty-based UI.
 //!
 //! ```text
-//! cable cluster --traces FILE [--fa FILE | --template unordered|seed:<op>] [--dot OUT]
+//! cable cluster --traces FILE [--fa FILE | --template unordered|seed:<op>] [--dot OUT] [--store DIR]
 //! cable label   --traces FILE --script FILE [--fa FILE | --template ...]
+//! cable label   --store DIR --script FILE
 //! cable mine    --traces FILE --seeds op1,op2[,…]
 //! cable show-fa --traces FILE
 //! cable check   --traces FILE --fa FILE
+//! cable session open    --traces FILE [--fa FILE | --template ...] --store DIR
+//! cable session ingest  --store DIR --traces FILE [--fsync-per-trace]
+//! cable session resume  --store DIR [--json-out PATH]
+//! cable session compact --store DIR
 //! cable specs
 //! ```
 //!
@@ -26,6 +31,18 @@
 //! * `show-fa` learns an sk-strings FA from the traces and prints it.
 //! * `check` runs the traces against a specification FA and reports the
 //!   rejected ones (a tiny verifier).
+//! * `session` manages crash-safe persistent sessions (`cable-store`):
+//!   `open` saves a freshly clustered session to a store directory,
+//!   `ingest` appends new traces to a saved session through the
+//!   incremental lattice-insert path (with `--fsync-per-trace` every
+//!   trace is durable the moment it is applied — the crash drill's
+//!   mode), `resume` reopens a session, reporting journal recovery on
+//!   stderr (and with `--json-out` writes a deterministic
+//!   `session_state` JSONL record that `reproduce diff` can compare),
+//!   and `compact` folds the journal into a fresh snapshot.
+//!   `cluster --store DIR` also saves the session it builds, and
+//!   `label --store DIR` runs a labeling script against a saved session,
+//!   journaling every decision.
 //! * `specs` lists the built-in evaluation specifications.
 //!
 //! Every command also accepts `--stats`, which prints the cable-obs
@@ -36,10 +53,12 @@
 //! only wall-clock time changes).
 
 use cable::fa::templates;
+use cable::obs::json::Value;
 use cable::prelude::*;
-use cable::session::TraceSelector;
+use cable::session::{StoredSession, TraceSelector};
 use cable::trace::Vocab;
 use std::fs;
+use std::path::Path;
 use std::process::exit;
 
 fn main() {
@@ -47,7 +66,16 @@ fn main() {
     let Some(command) = args.first() else {
         usage("missing command");
     };
-    let opts = parse_opts(&args[1..]);
+    // `session` takes a subcommand before the options.
+    let (sub, rest) = if command == "session" {
+        match args.get(1) {
+            Some(sub) => (Some(sub.clone()), &args[2..]),
+            None => usage("session needs a subcommand: open, ingest, resume or compact"),
+        }
+    } else {
+        (None, &args[1..])
+    };
+    let opts = parse_opts(rest);
     let stats = cable::obs::init_from_env() || opts.stats;
     if stats {
         cable::obs::set_enabled(true);
@@ -67,6 +95,7 @@ fn main() {
             0
         }
         "check" => check(&opts),
+        "session" => session_cmd(sub.as_deref().unwrap_or_default(), &opts),
         "specs" => {
             specs();
             0
@@ -87,6 +116,9 @@ struct Opts {
     dot: Option<String>,
     script: Option<String>,
     seeds: Option<String>,
+    store: Option<String>,
+    json_out: Option<String>,
+    fsync_per_trace: bool,
     stats: bool,
 }
 
@@ -98,6 +130,9 @@ fn parse_opts(args: &[String]) -> Opts {
         dot: None,
         script: None,
         seeds: None,
+        store: None,
+        json_out: None,
+        fsync_per_trace: false,
         stats: false,
     };
     let mut i = 0;
@@ -113,6 +148,11 @@ fn parse_opts(args: &[String]) -> Opts {
                 i += 1;
                 continue;
             }
+            "--fsync-per-trace" => {
+                opts.fsync_per_trace = true;
+                i += 1;
+                continue;
+            }
             "--threads" => {
                 let n: usize = value()
                     .parse()
@@ -125,6 +165,8 @@ fn parse_opts(args: &[String]) -> Opts {
             "--dot" => opts.dot = Some(value()),
             "--script" => opts.script = Some(value()),
             "--seeds" => opts.seeds = Some(value()),
+            "--store" => opts.store = Some(value()),
+            "--json-out" => opts.json_out = Some(value()),
             other => usage(&format!("unknown option {other:?}")),
         }
         i += 2;
@@ -200,18 +242,24 @@ fn cluster(opts: &Opts) {
             .unwrap_or_else(|e| die(&format!("writing {out}: {e}")));
         println!("\nwrote {out}");
     }
+    if let Some(dir) = &opts.store {
+        let stored = session
+            .save(vocab, Path::new(dir))
+            .unwrap_or_else(|e| die(&format!("saving session to {dir}: {e}")));
+        println!(
+            "\nsaved session to {dir} ({} snapshot bytes)",
+            stored.store().snapshot_bytes().unwrap_or(0)
+        );
+    }
 }
 
-fn label(opts: &Opts) -> i32 {
-    let mut vocab = Vocab::new();
-    let traces = load_traces(opts, &mut vocab);
-    let fa = reference_fa(opts, &traces, &mut vocab);
-    let mut session = CableSession::new(traces, fa);
-    let path = opts
-        .script
-        .as_ref()
-        .unwrap_or_else(|| usage("--script FILE is required"));
-    let script = fs::read_to_string(path).unwrap_or_else(|e| die(&format!("reading {path}: {e}")));
+/// Parses a labeling script into `(concept, selector, label)` commands,
+/// validating concept ids against the lattice size.
+fn parse_script(
+    script: &str,
+    lattice_len: usize,
+) -> Vec<(cable::fca::ConceptId, TraceSelector, String)> {
+    let mut commands = Vec::new();
     for (lineno, raw) in script.lines().enumerate() {
         let line = raw.trim();
         if line.is_empty() || line.starts_with(';') {
@@ -224,7 +272,7 @@ fn label(opts: &Opts) -> i32 {
                     .strip_prefix('c')
                     .and_then(|n| n.parse::<u32>().ok())
                     .map(cable::fca::ConceptId)
-                    .filter(|id| id.index() < session.lattice().len())
+                    .filter(|id| id.index() < lattice_len)
                     .unwrap_or_else(|| {
                         die(&format!("line {}: unknown concept {concept:?}", lineno + 1))
                     });
@@ -239,8 +287,7 @@ fn label(opts: &Opts) -> i32 {
                         )),
                     },
                 };
-                let n = session.label_traces(id, &selector, label_name);
-                eprintln!("labeled {n} classes in {id} as {label_name:?}");
+                commands.push((id, selector, (*label_name).to_owned()));
             }
             _ => die(&format!(
                 "line {}: expected `label <concept> <selector> <name>`",
@@ -248,12 +295,18 @@ fn label(opts: &Opts) -> i32 {
             )),
         }
     }
+    commands
+}
+
+/// Prints every trace with its final label and the per-label tallies;
+/// returns the exit code (3 when traces remain unlabeled).
+fn report_labels(session: &CableSession, vocab: &Vocab) -> i32 {
     for (id, trace) in session.traces().iter() {
         let label = session
             .label_of_trace(id)
             .map(|l| session.labels().name(l).to_owned())
             .unwrap_or_else(|| "(unlabeled)".to_owned());
-        println!("{label}\t{}", trace.display(&vocab));
+        println!("{label}\t{}", trace.display(vocab));
     }
     let progress = session.progress();
     for count in &progress.per_label {
@@ -267,6 +320,214 @@ fn label(opts: &Opts) -> i32 {
         return 3;
     }
     0
+}
+
+fn label(opts: &Opts) -> i32 {
+    let path = opts
+        .script
+        .as_ref()
+        .unwrap_or_else(|| usage("--script FILE is required"));
+    let script = fs::read_to_string(path).unwrap_or_else(|e| die(&format!("reading {path}: {e}")));
+    if let Some(dir) = &opts.store {
+        // Label a saved session: every decision is journaled before it
+        // is applied, so the labels survive a crash.
+        let (mut stored, report) = open_store(dir);
+        report_recovery(&report);
+        for (id, selector, name) in parse_script(&script, stored.session().lattice().len()) {
+            let n = stored
+                .label_traces(id, &selector, &name)
+                .unwrap_or_else(|e| die(&format!("journaling labels to {dir}: {e}")));
+            eprintln!("labeled {n} classes in {id} as {name:?}");
+        }
+        return report_labels(stored.session(), stored.vocab());
+    }
+    let mut vocab = Vocab::new();
+    let traces = load_traces(opts, &mut vocab);
+    let fa = reference_fa(opts, &traces, &mut vocab);
+    let mut session = CableSession::new(traces, fa);
+    for (id, selector, name) in parse_script(&script, session.lattice().len()) {
+        let n = session.label_traces(id, &selector, &name);
+        eprintln!("labeled {n} classes in {id} as {name:?}");
+    }
+    report_labels(&session, &vocab)
+}
+
+fn open_store(dir: &str) -> (StoredSession, cable::store::RecoveryReport) {
+    CableSession::open(Path::new(dir)).unwrap_or_else(|e| die(&format!("opening store {dir}: {e}")))
+}
+
+fn report_recovery(report: &cable::store::RecoveryReport) {
+    eprintln!(
+        "journal recovery: {} records replayed, {} bytes discarded ({:?} tail{})",
+        report.replayed,
+        report.discarded_bytes,
+        report.tail,
+        if report.stale_journal {
+            ", stale journal dropped"
+        } else {
+            ""
+        }
+    );
+}
+
+/// FNV-1a 64 over a byte stream, for the deterministic state digests of
+/// the `session_state` record.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn hex(&self) -> String {
+        format!("{:016x}", self.0)
+    }
+}
+
+/// The deterministic `session_state` JSONL record `session resume
+/// --json-out` writes: counts plus digests of the corpus, labels, and
+/// lattice. Timing-free by construction, so `reproduce diff` can
+/// compare a crash-recovered run against an uninterrupted one.
+fn session_state_record(stored: &StoredSession) -> Value {
+    let session = stored.session();
+    let vocab = stored.vocab();
+    let mut corpus = Fnv::new();
+    for (_, trace) in session.traces().iter() {
+        corpus.update(trace.display(vocab).to_string().as_bytes());
+        corpus.update(b"\n");
+    }
+    let mut labels = Fnv::new();
+    let mut labeled = 0u64;
+    for c in 0..session.classes().len() {
+        if let Some(l) = session.labels().get(c) {
+            labels.update(session.labels().name(l).as_bytes());
+            labeled += 1;
+        }
+        labels.update(b"\n");
+    }
+    let mut lattice = Fnv::new();
+    for (_, concept) in session.lattice().iter() {
+        for v in concept.extent.iter() {
+            lattice.update(&(v as u64).to_le_bytes());
+        }
+        lattice.update(b"/");
+        for v in concept.intent.iter() {
+            lattice.update(&(v as u64).to_le_bytes());
+        }
+        lattice.update(b";");
+    }
+    Value::object([
+        ("record", Value::from("session_state")),
+        ("traces", Value::from(session.traces().len() as u64)),
+        ("classes", Value::from(session.classes().len() as u64)),
+        ("concepts", Value::from(session.lattice().len() as u64)),
+        ("labeled", Value::from(labeled)),
+        ("generation", Value::from(stored.store().generation())),
+        ("corpus_digest", Value::from(corpus.hex())),
+        ("labels_digest", Value::from(labels.hex())),
+        ("lattice_digest", Value::from(lattice.hex())),
+    ])
+}
+
+fn session_cmd(sub: &str, opts: &Opts) -> i32 {
+    let store_dir = || {
+        opts.store
+            .as_ref()
+            .unwrap_or_else(|| usage("--store DIR is required"))
+    };
+    match sub {
+        "open" => {
+            let mut vocab = Vocab::new();
+            let traces = load_traces(opts, &mut vocab);
+            let fa = reference_fa(opts, &traces, &mut vocab);
+            let session = CableSession::new(traces, fa);
+            let dir = store_dir();
+            let stored = session
+                .save(vocab, Path::new(dir))
+                .unwrap_or_else(|e| die(&format!("saving session to {dir}: {e}")));
+            println!(
+                "saved {} traces in {} classes ({} concepts) to {dir}",
+                stored.session().traces().len(),
+                stored.session().classes().len(),
+                stored.session().lattice().len()
+            );
+            0
+        }
+        "ingest" => {
+            let dir = store_dir();
+            let (mut stored, report) = open_store(dir);
+            report_recovery(&report);
+            let path = opts
+                .traces
+                .as_ref()
+                .unwrap_or_else(|| usage("--traces FILE is required"));
+            let text =
+                fs::read_to_string(path).unwrap_or_else(|e| die(&format!("reading {path}: {e}")));
+            let results = stored
+                .ingest_text(&text, opts.fsync_per_trace)
+                .unwrap_or_else(|e| die(&format!("ingesting {path}: {e}")));
+            let fresh = results.iter().filter(|(_, new)| *new).count();
+            println!(
+                "ingested {} traces ({fresh} new classes); session now {} traces in {} classes, {} concepts",
+                results.len(),
+                stored.session().traces().len(),
+                stored.session().classes().len(),
+                stored.session().lattice().len()
+            );
+            0
+        }
+        "resume" => {
+            let dir = store_dir();
+            let (stored, report) = open_store(dir);
+            report_recovery(&report);
+            println!(
+                "{} traces in {} classes; {} concepts; {} of {} classes labeled; generation {}",
+                stored.session().traces().len(),
+                stored.session().classes().len(),
+                stored.session().lattice().len(),
+                (0..stored.session().classes().len())
+                    .filter(|&c| stored.session().labels().is_labeled(c))
+                    .count(),
+                stored.session().classes().len(),
+                stored.store().generation()
+            );
+            if let Some(path) = &opts.json_out {
+                let sink = cable::obs::JsonlSink::create(path)
+                    .unwrap_or_else(|e| die(&format!("creating {path}: {e}")));
+                sink.write(&session_state_record(&stored))
+                    .unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
+                eprintln!("wrote {path}");
+            }
+            0
+        }
+        "compact" => {
+            let dir = store_dir();
+            let (mut stored, report) = open_store(dir);
+            report_recovery(&report);
+            let journal_before = stored.store().journal_bytes().unwrap_or(0);
+            stored
+                .compact()
+                .unwrap_or_else(|e| die(&format!("compacting {dir}: {e}")));
+            println!(
+                "compacted to generation {}: snapshot {} bytes, journal {} -> {} bytes",
+                stored.store().generation(),
+                stored.store().snapshot_bytes().unwrap_or(0),
+                journal_before,
+                stored.store().journal_bytes().unwrap_or(0)
+            );
+            0
+        }
+        other => usage(&format!(
+            "unknown session subcommand {other:?} (open, ingest, resume, compact)"
+        )),
+    }
 }
 
 fn mine(opts: &Opts) {
@@ -347,7 +608,9 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage: cable <cluster|label|mine|show-fa|check|specs> [--traces FILE] [--fa FILE] \
          [--template unordered|seed:<op>] [--dot OUT] [--script FILE] [--seeds ops] \
-         [--threads N] [--stats]"
+         [--store DIR] [--threads N] [--stats]\n\
+         \x20      cable session <open|ingest|resume|compact> --store DIR [--traces FILE] \
+         [--fsync-per-trace] [--json-out PATH]"
     );
     exit(2);
 }

@@ -21,7 +21,9 @@
 //!   and the labeling strategies of §4.2,
 //! * [`specs`] — the seventeen evaluation specifications (Table 1),
 //! * [`par`] — the deterministic work-stealing pool the pipeline stages
-//!   run on (`CABLE_PAR` / `--threads` control the worker count).
+//!   run on (`CABLE_PAR` / `--threads` control the worker count),
+//! * [`store`] — crash-safe persistent session stores (snapshot +
+//!   write-ahead journal) behind `CableSession::save`/`open`.
 //!
 //! # Quickstart
 //!
@@ -52,6 +54,7 @@ pub use cable_learn as learn;
 pub use cable_obs as obs;
 pub use cable_par as par;
 pub use cable_specs as specs;
+pub use cable_store as store;
 pub use cable_strauss as strauss;
 pub use cable_trace as trace;
 pub use cable_util as util;

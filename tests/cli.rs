@@ -1,0 +1,254 @@
+//! Integration tests for the `cable` binary: option handling and the
+//! persistent-session subcommands, driven through real processes.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn cable(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_cable"))
+        .args(args)
+        .output()
+        .expect("cable runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cable-cli-{}-{name}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn unknown_options_are_rejected_with_a_usage_error() {
+    let out = cable(&[
+        "cluster",
+        "--traces",
+        "testdata/stdio_violations.traces",
+        "--frobnicate",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown option \"--frobnicate\""));
+    assert!(stderr(&out).contains("usage:"));
+}
+
+#[test]
+fn unknown_commands_and_subcommands_are_rejected() {
+    let out = cable(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown command"));
+
+    let out = cable(&["session", "frobnicate", "--store", "/nonexistent"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown session subcommand"));
+
+    let out = cable(&["session"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("session needs a subcommand"));
+}
+
+#[test]
+fn trace_parse_errors_name_the_failing_line() {
+    let dir = tmp_dir("badline");
+    let bad = dir.join("bad.traces");
+    fs::write(&bad, "fopen(X) fclose(X)\nfopen(X)\nfopen(X) wat wat((\n").unwrap();
+    let out = cable(&["cluster", "--traces", bad.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        stderr(&out).contains("line 3"),
+        "stderr was: {}",
+        stderr(&out)
+    );
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn session_lifecycle_open_ingest_label_resume_compact() {
+    let dir = tmp_dir("lifecycle");
+    let store = dir.join("store");
+    let store = store.to_str().unwrap();
+
+    // Open: cluster the violation corpus and save it.
+    let out = cable(&[
+        "session",
+        "open",
+        "--traces",
+        "testdata/stdio_violations.traces",
+        "--store",
+        store,
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("saved"));
+
+    // Opening again must refuse to clobber.
+    let out = cable(&[
+        "session",
+        "open",
+        "--traces",
+        "testdata/stdio_violations.traces",
+        "--store",
+        store,
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("already holds a store"));
+
+    // Ingest two traces, one of them a duplicate of an existing class.
+    let extra = dir.join("extra.traces");
+    fs::write(&extra, "popen(X) pclose(X)\nfopen(Y) fread(Y) fclose(Y)\n").unwrap();
+    let out = cable(&[
+        "session",
+        "ingest",
+        "--store",
+        store,
+        "--traces",
+        extra.to_str().unwrap(),
+        "--fsync-per-trace",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(
+        stdout(&out).contains("ingested 2 traces (1 new classes)"),
+        "stdout was: {}",
+        stdout(&out)
+    );
+
+    // Label the saved session through a script; decisions are journaled.
+    let script = dir.join("label.script");
+    fs::write(&script, "label c0 all seen\n").unwrap();
+    let out = cable(&[
+        "label",
+        "--store",
+        store,
+        "--script",
+        script.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(!stdout(&out).contains("(unlabeled)"));
+
+    // Resume: the journaled traces and labels are all there.
+    let json = dir.join("state.jsonl");
+    let out = cable(&[
+        "session",
+        "resume",
+        "--store",
+        store,
+        "--json-out",
+        json.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stderr(&out).contains("journal recovery:"));
+    let state = fs::read_to_string(&json).unwrap();
+    assert!(state.contains("\"record\":\"session_state\""), "{state}");
+    assert!(state.contains("\"traces\":10"), "{state}");
+    assert!(state.contains("\"generation\":0"), "{state}");
+
+    // Compact, then resume again: nothing to replay, same state.
+    let out = cable(&["session", "compact", "--store", store]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("compacted to generation 1"));
+    let json2 = dir.join("state2.jsonl");
+    let out = cable(&[
+        "session",
+        "resume",
+        "--store",
+        store,
+        "--json-out",
+        json2.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stderr(&out).contains("0 records replayed"));
+    let state2 = fs::read_to_string(&json2).unwrap();
+    // The digests must survive compaction bit-identically; only the
+    // generation moves.
+    assert_eq!(
+        state.replace("\"generation\":0", "\"generation\":1"),
+        state2
+    );
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn incremental_ingest_matches_clustering_the_whole_corpus_at_once() {
+    let dir = tmp_dir("equivalence");
+    let base = dir.join("base.traces");
+    let extra = dir.join("extra.traces");
+    let whole = dir.join("whole.traces");
+    let base_text = "\
+fopen(X) fread(X) fclose(X)
+fopen(X) fwrite(X) fclose(X)
+popen(Y) fread(Y) pclose(Y)
+";
+    let extra_text = "\
+popen(Y) fwrite(Y) pclose(Y)
+fopen(X) fread(X) fclose(X)
+fopen(Z) fclose(Z)
+";
+    fs::write(&base, base_text).unwrap();
+    fs::write(&extra, extra_text).unwrap();
+    fs::write(&whole, format!("{base_text}{extra_text}")).unwrap();
+
+    // Incremental ingest needs the reference FA fixed up front (the
+    // unordered template depends on the corpus), so use the Figure 6
+    // specification for both runs.
+    let store_inc = dir.join("incremental");
+    let out = cable(&[
+        "session",
+        "open",
+        "--traces",
+        base.to_str().unwrap(),
+        "--fa",
+        "testdata/figure6_fixed.fa",
+        "--store",
+        store_inc.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let out = cable(&[
+        "session",
+        "ingest",
+        "--store",
+        store_inc.to_str().unwrap(),
+        "--traces",
+        extra.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    let store_whole = dir.join("whole");
+    let out = cable(&[
+        "session",
+        "open",
+        "--traces",
+        whole.to_str().unwrap(),
+        "--fa",
+        "testdata/figure6_fixed.fa",
+        "--store",
+        store_whole.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    let mut states = Vec::new();
+    for store in [&store_inc, &store_whole] {
+        let json = store.with_extension("jsonl");
+        let out = cable(&[
+            "session",
+            "resume",
+            "--store",
+            store.to_str().unwrap(),
+            "--json-out",
+            json.to_str().unwrap(),
+        ]);
+        assert!(out.status.success(), "{}", stderr(&out));
+        states.push(fs::read_to_string(&json).unwrap());
+    }
+    assert_eq!(
+        states[0], states[1],
+        "incremental ingest must converge on the batch-built state"
+    );
+    fs::remove_dir_all(&dir).unwrap();
+}
