@@ -82,11 +82,13 @@ fn bench_spec_contexts() {
 
 /// The ISSUE acceptance check: lattice construction with observability
 /// spans enabled must stay within a few percent of the disabled cost
-/// (counters are always on, so this isolates the span/`Instant` cost).
+/// (counters are always on, so this isolates the span/`Instant` cost),
+/// and switching the flight recorder on as well must stay under 5%.
 fn bench_obs_overhead() {
     let mut group = Group::new("lattice/obs-overhead");
     let ctx = synthetic(24);
     cable_obs::set_enabled(false);
+    cable_obs::recorder::set_recording(false);
     let off = group.bench("godin/obs-off", || {
         black_box(ConceptLattice::build(black_box(&ctx)));
     });
@@ -94,10 +96,17 @@ fn bench_obs_overhead() {
     let on = group.bench("godin/obs-on", || {
         black_box(ConceptLattice::build(black_box(&ctx)));
     });
+    cable_obs::recorder::set_recording(true);
+    let recording = group.bench("godin/obs-recording", || {
+        black_box(ConceptLattice::build(black_box(&ctx)));
+    });
+    cable_obs::recorder::set_recording(false);
     cable_obs::set_enabled(false);
+    cable_obs::recorder::clear();
     println!(
-        "  overhead: {:+.2}% (median, spans on vs off)",
-        (on.median_ns / off.median_ns - 1.0) * 100.0
+        "  overhead: spans {:+.2}%, spans+recorder {:+.2}% (medians vs obs-off)",
+        (on.median_ns / off.median_ns - 1.0) * 100.0,
+        (recording.median_ns / off.median_ns - 1.0) * 100.0
     );
     group.finish();
 }

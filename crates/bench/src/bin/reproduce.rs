@@ -3,8 +3,10 @@
 //! ```text
 //! reproduce [table1|table2|table3|scaling|coring|ablation|all]
 //!           [--seed N] [--threads N] [--quick] [--stats] [--json-out PATH]
+//!           [--trace-out PATH] [--obs-listen ADDR]
 //! reproduce compare --baseline PATH --current PATH [--tolerance PCT]
 //! reproduce diff PATH PATH
+//! reproduce check-trace PATH
 //! ```
 //!
 //! `--quick` lowers the Random-strategy trial count (the paper uses
@@ -12,18 +14,25 @@
 //! `--threads N` sizes the cable-par pool (same effect as `CABLE_PAR=N`;
 //! `1` forces the sequential path).
 //!
-//! `--stats` prints the cable-obs metric report after the tables, and
-//! `--json-out PATH` writes machine-readable JSONL perf records
-//! (conventionally `BENCH_pipeline.json`): one `table2_spec` record per
-//! specification when table2 runs, then one final `pipeline_snapshot`
-//! record with the whole metric registry. Both flags enable span timing;
-//! so does `CABLE_OBS=1`.
+//! `--stats` prints the cable-obs metric report (with the self-time
+//! profile) after the tables, and `--json-out PATH` writes
+//! machine-readable JSONL perf records (conventionally
+//! `BENCH_pipeline.json`): one `table2_spec` record per specification
+//! when table2 runs, then one final `pipeline_snapshot` record with the
+//! whole metric registry and profile. `--trace-out PATH` exports the
+//! flight recorder as Chrome trace-event JSON (load it in Perfetto),
+//! and `--obs-listen ADDR` serves `/metrics`, `/healthz`, and `/tracez`
+//! while the run lasts. All four flags enable span timing and the
+//! flight recorder; so does `CABLE_OBS=1`.
 //!
 //! `compare` is the CI perf-regression gate: exits non-zero when the
 //! current run's counts drift from the baseline at all, or its total
 //! build time regresses beyond the tolerance (percent, default 25).
 //! `diff` is the CI determinism gate: exits non-zero unless the two
 //! record files are identical once timing is stripped.
+//! `check-trace` structurally validates a `--trace-out` file: JSON with
+//! a `traceEvents` array, matched B/E pairs and non-decreasing
+//! timestamps per lane, and at least one event on every lane.
 
 use cable_bench::tables::scaling_fit;
 use cable_bench::{compare, scaling, table1, table2_with_deltas, table3};
@@ -36,6 +45,7 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("compare") => run_compare(&args[1..]),
         Some("diff") => run_diff(&args[1..]),
+        Some("check-trace") => run_check_trace(&args[1..]),
         _ => {}
     }
     let mut which = Vec::new();
@@ -43,6 +53,8 @@ fn main() {
     let mut quick = false;
     let mut stats = false;
     let mut json_out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut obs_listen: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -71,6 +83,22 @@ fn main() {
                         .unwrap_or_else(|| usage("--json-out needs a path")),
                 );
             }
+            "--trace-out" => {
+                i += 1;
+                trace_out = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| usage("--trace-out needs a path")),
+                );
+            }
+            "--obs-listen" => {
+                i += 1;
+                obs_listen = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| usage("--obs-listen needs an address or port")),
+                );
+            }
             "table1" | "table2" | "table3" | "scaling" | "coring" | "ablation" | "all" => {
                 which.push(args[i].clone())
             }
@@ -79,9 +107,15 @@ fn main() {
         i += 1;
     }
     cable_obs::init_from_env();
-    if stats || json_out.is_some() {
+    if stats || json_out.is_some() || trace_out.is_some() || obs_listen.is_some() {
         cable_obs::set_enabled(true);
+        cable_obs::recorder::set_recording(true);
     }
+    let _server = obs_listen.as_deref().map(|addr| {
+        let server = cable_obs::ObsServer::bind(addr).unwrap_or_else(|e| die(&e));
+        eprintln!("obs: serving http://{}/metrics", server.addr());
+        server.spawn()
+    });
     let sink = json_out.as_deref().map(|path| {
         JsonlSink::create(path).unwrap_or_else(|e| {
             eprintln!("error: cannot create {path}: {e}");
@@ -315,16 +349,54 @@ fn main() {
     }
 
     let snap = cable_obs::registry().snapshot();
+    let lanes = cable_obs::recorder::snapshot();
+    let profile = cable_obs::chrome::self_time(&lanes);
     if let Some(sink) = &sink {
         let record = Value::object([
             ("record", Value::from("pipeline_snapshot")),
             ("seed", Value::from(seed)),
             ("snapshot", snap.to_json()),
+            ("profile", cable_obs::chrome::profile_json(&profile)),
         ]);
         sink.write(&record).expect("writing final snapshot");
+        sink.flush().expect("flushing perf records");
+    }
+    if let Some(path) = &trace_out {
+        let trace = cable_obs::chrome::chrome_trace(&lanes);
+        std::fs::write(path, format!("{trace}\n"))
+            .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+        eprintln!(
+            "obs: wrote Chrome trace with {} lanes to {path} (open in Perfetto)",
+            lanes.len()
+        );
     }
     if stats {
         println!("{}", snap.render());
+        print!("{}", cable_obs::chrome::render_profile(&profile));
+    }
+}
+
+/// The `check-trace` subcommand: the structural Perfetto-loadability
+/// gate CI runs over `--trace-out` files.
+fn run_check_trace(args: &[String]) -> ! {
+    let [path] = args else {
+        usage("check-trace needs exactly one trace path");
+    };
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("{path}: {e}")));
+    match cable_bench::check_chrome_trace(&text) {
+        Ok(summary) => {
+            println!(
+                "trace gate: PASS ({path}: {} events across {} lanes)",
+                summary.events, summary.lanes
+            );
+            std::process::exit(0);
+        }
+        Err(problems) => {
+            for p in &problems {
+                println!("FAIL: {p}");
+            }
+            std::process::exit(1);
+        }
     }
 }
 
@@ -402,10 +474,19 @@ fn fmt_opt(v: Option<usize>) -> String {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: reproduce [table1|table2|table3|scaling|coring|ablation|all] \
-         [--seed N] [--threads N] [--quick] [--stats] [--json-out PATH]\n\
+        "usage: reproduce [table1|table2|table3|scaling|coring|ablation|all] [options]\n\
          \u{20}      reproduce compare --baseline PATH --current PATH [--tolerance PCT]\n\
-         \u{20}      reproduce diff PATH PATH"
+         \u{20}      reproduce diff PATH PATH\n\
+         \u{20}      reproduce check-trace PATH\n\
+         options:\n\
+         \u{20} --seed N          RNG seed for corpus generation (default 2003)\n\
+         \u{20} --threads N       size of the cable-par pool (like CABLE_PAR=N; 1 = sequential)\n\
+         \u{20} --quick           lower trial counts / search budgets for a fast smoke run\n\
+         \u{20} --stats           print the metric report and self-time profile to stdout\n\
+         \u{20} --json-out PATH   write JSONL perf records (table2 specs + pipeline snapshot)\n\
+         \u{20} --trace-out PATH  export the flight recorder as Chrome trace-event JSON\n\
+         \u{20} --obs-listen ADDR serve /metrics, /healthz, /tracez while the run lasts\n\
+         \u{20}                   (ADDR is host:port, or a bare port bound on 127.0.0.1)"
     );
     std::process::exit(2);
 }

@@ -29,7 +29,7 @@ const COUNT_FIELDS: [&str; 5] = ["traces", "unique", "transitions", "max_row", "
 /// legitimately varies between runs of the same seed. (`store_bytes`
 /// and `journal_bytes` are *not* here — the store encoding is
 /// deterministic, so size drift is a real difference.)
-const TIMING_FIELDS: [&str; 3] = ["build_ms", "ingest_us_per_trace", "obs"];
+const TIMING_FIELDS: [&str; 4] = ["build_ms", "ingest_us_per_trace", "obs", "profile"];
 
 /// Loads a JSONL perf-record file written by `reproduce --json-out`.
 ///

@@ -20,6 +20,7 @@ pub mod compare;
 pub mod harness;
 pub mod pipeline;
 pub mod tables;
+pub mod tracecheck;
 
 pub use ablation::{
     coring_sweep, dedup_ablation, hac_comparison, learner_sweep, CoringReport, DedupRow, HacRow,
@@ -30,3 +31,4 @@ pub use tables::{
     scaling, table1, table2, table2_with_deltas, table3, ScalingRow, Table1Row, Table2Row,
     Table3Row,
 };
+pub use tracecheck::{check_chrome_trace, TraceSummary};

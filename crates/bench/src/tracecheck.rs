@@ -1,0 +1,160 @@
+//! Structural validation of Chrome trace-event exports.
+//!
+//! `reproduce --trace-out` promises a file Perfetto will load: a JSON
+//! object with a `traceEvents` array where, within every lane (`tid`),
+//! `B`/`E` events pair up and timestamps never go backwards. This module
+//! is that promise as a checkable predicate — `reproduce check-trace`
+//! runs it in CI over the trace artifact, and the integration tests run
+//! it over freshly produced files.
+
+use cable_obs::json::Value;
+use std::collections::BTreeMap;
+
+/// What a valid trace contained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Non-metadata events in the file.
+    pub events: usize,
+    /// Distinct lanes (`tid`s) carrying at least one event.
+    pub lanes: usize,
+}
+
+/// Validates Chrome trace-event JSON text. Returns a summary, or every
+/// structural problem found.
+pub fn check_chrome_trace(text: &str) -> Result<TraceSummary, Vec<String>> {
+    let parsed = match Value::parse(text.trim()) {
+        Ok(v) => v,
+        Err(e) => return Err(vec![format!("not valid JSON: {e}")]),
+    };
+    let Some(events) = parsed.get("traceEvents").and_then(Value::as_array) else {
+        return Err(vec!["no traceEvents array".to_owned()]);
+    };
+
+    let mut problems = Vec::new();
+    // Per-lane state: (open span depth, last ts, events seen).
+    let mut lanes: BTreeMap<u64, (i64, f64, usize)> = BTreeMap::new();
+    let mut total = 0usize;
+    for (i, event) in events.iter().enumerate() {
+        let Some(ph) = event.get("ph").and_then(Value::as_str) else {
+            problems.push(format!("event {i} has no ph"));
+            continue;
+        };
+        if ph == "M" {
+            continue; // metadata carries no ts
+        }
+        let Some(tid) = event.get("tid").and_then(Value::as_u64) else {
+            problems.push(format!("event {i} has no tid"));
+            continue;
+        };
+        let Some(ts) = event.get("ts").and_then(Value::as_f64) else {
+            problems.push(format!("event {i} has no ts"));
+            continue;
+        };
+        total += 1;
+        let lane = lanes.entry(tid).or_insert((0, f64::MIN, 0));
+        lane.2 += 1;
+        if ts < lane.1 {
+            problems.push(format!(
+                "lane {tid}: ts goes backwards at event {i} ({ts} after {})",
+                lane.1
+            ));
+        }
+        lane.1 = ts;
+        match ph {
+            "B" => lane.0 += 1,
+            "E" => {
+                lane.0 -= 1;
+                if lane.0 < 0 {
+                    problems.push(format!("lane {tid}: E without a matching B at event {i}"));
+                    lane.0 = 0;
+                }
+            }
+            "i" | "C" => {}
+            other => problems.push(format!("event {i} has unknown ph {other:?}")),
+        }
+    }
+    for (tid, (depth, _, _)) in &lanes {
+        if *depth != 0 {
+            problems.push(format!("lane {tid}: {depth} B events never closed"));
+        }
+    }
+    if total == 0 {
+        problems.push("trace holds no events".to_owned());
+    }
+    for (tid, (_, _, n)) in &lanes {
+        if *n == 0 {
+            problems.push(format!("lane {tid} is empty"));
+        }
+    }
+    if problems.is_empty() {
+        Ok(TraceSummary {
+            events: total,
+            lanes: lanes.len(),
+        })
+    } else {
+        Err(problems)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_recorded_trace_validates() {
+        use cable_obs::recorder::{self, EventKind};
+        let lanes = vec![recorder::LaneSnapshot {
+            id: 3,
+            label: "w".into(),
+            events: vec![
+                recorder::Event {
+                    name: "a",
+                    kind: EventKind::Begin,
+                    ts_ns: 100,
+                },
+                recorder::Event {
+                    name: "a",
+                    kind: EventKind::End,
+                    ts_ns: 900,
+                },
+            ],
+            dropped: 0,
+        }];
+        let text = cable_obs::chrome::chrome_trace(&lanes).to_string();
+        let summary = check_chrome_trace(&text).expect("valid");
+        assert_eq!(
+            summary,
+            TraceSummary {
+                events: 2,
+                lanes: 1
+            }
+        );
+    }
+
+    #[test]
+    fn structural_problems_are_reported() {
+        assert!(check_chrome_trace("not json").is_err());
+        assert!(check_chrome_trace("{}").is_err());
+        // Empty traceEvents: no events at all.
+        assert!(check_chrome_trace(r#"{"traceEvents": []}"#).is_err());
+        // Unbalanced B.
+        let unbalanced = r#"{"traceEvents": [
+            {"ph": "B", "tid": 1, "ts": 1.0, "name": "x", "pid": 1}
+        ]}"#;
+        let problems = check_chrome_trace(unbalanced).unwrap_err();
+        assert!(
+            problems.iter().any(|p| p.contains("never closed")),
+            "{problems:?}"
+        );
+        // Backwards timestamps.
+        let backwards = r#"{"traceEvents": [
+            {"ph": "i", "tid": 1, "ts": 5.0, "name": "x", "pid": 1},
+            {"ph": "i", "tid": 1, "ts": 2.0, "name": "y", "pid": 1}
+        ]}"#;
+        let problems = check_chrome_trace(backwards).unwrap_err();
+        assert!(
+            problems.iter().any(|p| p.contains("backwards")),
+            "{problems:?}"
+        );
+    }
+}

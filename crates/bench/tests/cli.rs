@@ -1,0 +1,122 @@
+//! Process-level tests of the `reproduce` binary's CLI contract:
+//! unknown flags exit 2 with usage (the same discipline `cable`
+//! enforces), and `--trace-out` produces a structurally valid Chrome
+//! trace with one lane per cable-par worker.
+
+use cable_bench::check_chrome_trace;
+use cable_obs::json::Value;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn reproduce(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_reproduce"))
+        .args(args)
+        .output()
+        .expect("reproduce runs")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("cable-bench-cli-{}-{name}", std::process::id()))
+}
+
+#[test]
+fn unknown_flags_exit_2_with_usage() {
+    let out = reproduce(&["table2", "--frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("unknown argument \"--frobnicate\""), "{err}");
+    assert!(err.contains("usage:"), "{err}");
+    // The usage text documents every flag in one place.
+    for flag in [
+        "--seed",
+        "--threads",
+        "--quick",
+        "--stats",
+        "--json-out",
+        "--trace-out",
+        "--obs-listen",
+    ] {
+        assert!(err.contains(flag), "usage must document {flag}: {err}");
+    }
+
+    let out = reproduce(&["compare", "--frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+
+    let out = reproduce(&["--trace-out"]);
+    assert_eq!(out.status.code(), Some(2), "flags without values exit 2");
+}
+
+#[test]
+fn trace_out_produces_a_valid_chrome_trace_with_worker_lanes() {
+    let trace_path = tmp("trace.json");
+    let threads = 4;
+    let out = reproduce(&[
+        "table2",
+        "--quick",
+        "--seed",
+        "2003",
+        "--threads",
+        &threads.to_string(),
+        "--trace-out",
+        trace_path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    let text = std::fs::read_to_string(&trace_path).expect("trace file written");
+    let summary = check_chrome_trace(&text)
+        .unwrap_or_else(|problems| panic!("trace structurally invalid: {problems:?}"));
+    assert!(summary.events > 0);
+
+    // One lane per cable-par worker: with N logical threads the pool
+    // spawns N-1 workers named cable-par-0..N-2, and each must appear as
+    // a named lane with at least one event (check_chrome_trace already
+    // rejected empty lanes).
+    let parsed = Value::parse(text.trim()).unwrap();
+    let events = parsed.get("traceEvents").and_then(Value::as_array).unwrap();
+    let lane_names: Vec<&str> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Value::as_str) == Some("M"))
+        .filter_map(|e| {
+            e.get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(Value::as_str)
+        })
+        .collect();
+    for i in 0..threads - 1 {
+        let worker = format!("cable-par-{i}");
+        assert!(
+            lane_names.iter().any(|n| *n == worker),
+            "trace misses lane for {worker}: lanes are {lane_names:?}"
+        );
+    }
+
+    // The shipped validator agrees through the CLI too.
+    let out = reproduce(&["check-trace", trace_path.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "check-trace failed: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let _ = std::fs::remove_file(&trace_path);
+}
+
+#[test]
+fn check_trace_rejects_damaged_files() {
+    let path = tmp("bad-trace.json");
+    std::fs::write(&path, "{\"traceEvents\": \"nope\"}").unwrap();
+    let out = reproduce(&["check-trace", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("FAIL"),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let _ = std::fs::remove_file(&path);
+
+    let out = reproduce(&["check-trace", "/nonexistent/trace.json"]);
+    assert_eq!(out.status.code(), Some(2));
+}

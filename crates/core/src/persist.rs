@@ -137,6 +137,7 @@ impl CableSession {
     pub fn save(self, vocab: Vocab, dir: &Path) -> Result<StoredSession, StoreError> {
         let store = Store::create(dir, &self.to_snapshot(&vocab, 0))?;
         SAVES.get().incr();
+        cable_obs::recorder::instant("core.session.save");
         Ok(StoredSession {
             session: self,
             vocab,
@@ -163,6 +164,7 @@ impl CableSession {
         };
         stored.apply(&records)?;
         RESUMES.get().incr();
+        cable_obs::recorder::instant("core.session.resume");
         Ok((stored, report))
     }
 }
@@ -194,6 +196,21 @@ impl StoredSession {
     /// The open store.
     pub fn store(&self) -> &Store {
         &self.store
+    }
+
+    /// The store's health as `/healthz` reports it: snapshot generation
+    /// plus the journal lag in bytes and records. Publish it with
+    /// [`cable_obs::http::set_health`] whenever the store changes.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors sizing the journal file.
+    pub fn health(&self) -> Result<cable_obs::HealthInfo, StoreError> {
+        Ok(cable_obs::HealthInfo {
+            generation: self.store.generation(),
+            journal_lag_bytes: self.store.journal_lag_bytes()?,
+            journal_lag_records: self.store.journal_lag_records(),
+        })
     }
 
     /// Replays journal records onto the session, batching runs of
@@ -476,6 +493,29 @@ fopen(X) fread(X)
         let (reopened, report) = CableSession::open(&dir).unwrap();
         assert_eq!(report.replayed, 0, "compaction folded the journal in");
         assert_sessions_equal(&live, reopened.session());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn health_reports_generation_and_journal_lag() {
+        let dir = tmp_dir("health");
+        let (session, vocab) = build(CORPUS);
+        let mut stored = session.save(vocab, &dir).unwrap();
+        let h = stored.health().unwrap();
+        assert_eq!(h.generation, 0);
+        assert_eq!(h.journal_lag_records, 0);
+        assert_eq!(h.journal_lag_bytes, 0);
+
+        stored.ingest_text("popen(Z) pclose(Z)\n", false).unwrap();
+        let h = stored.health().unwrap();
+        assert_eq!(h.journal_lag_records, 1);
+        assert!(h.journal_lag_bytes > 0);
+
+        stored.compact().unwrap();
+        let h = stored.health().unwrap();
+        assert_eq!(h.generation, 1);
+        assert_eq!(h.journal_lag_records, 0);
+        assert_eq!(h.journal_lag_bytes, 0);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -1,0 +1,358 @@
+//! Std-only HTTP/1.1 exposition server: `/metrics`, `/healthz`,
+//! `/tracez`.
+//!
+//! Per DESIGN.md §8 this is hand-rolled over [`std::net::TcpListener`] —
+//! no external HTTP stack. The server answers one connection at a time
+//! from a single accept loop (bounded by construction: no per-connection
+//! threads to exhaust), reads at most one request line plus headers with
+//! a read timeout, and always closes the connection after responding.
+//! That is exactly enough for `curl`, Prometheus scrapes, and the CI
+//! smoke test, and nothing more.
+//!
+//! Security posture (DESIGN.md §11): addresses given as a bare port bind
+//! `127.0.0.1`; exposing the endpoints beyond localhost requires an
+//! explicit interface in `--obs-listen`.
+
+use crate::chrome;
+use crate::json::Value;
+use crate::metrics::CounterHandle;
+use crate::recorder;
+use crate::registry::registry;
+use crate::{prom, Counter};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+static REQUESTS: CounterHandle = CounterHandle::new("obs.http.requests");
+
+/// Most recent spans per lane served by `/tracez`.
+pub const TRACEZ_SPAN_LIMIT: usize = 64;
+
+/// What `/healthz` reports about an open store, set by whoever holds
+/// one (the `cable` binary) via [`set_health`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthInfo {
+    /// Snapshot generation of the open store.
+    pub generation: u64,
+    /// Journal bytes past the header — work lost to a crash, recovered
+    /// on resume.
+    pub journal_lag_bytes: u64,
+    /// Journal records not yet folded into the snapshot.
+    pub journal_lag_records: u64,
+}
+
+fn health_slot() -> &'static Mutex<Option<HealthInfo>> {
+    static SLOT: OnceLock<Mutex<Option<HealthInfo>>> = OnceLock::new();
+    SLOT.get_or_init(|| Mutex::new(None))
+}
+
+/// Publishes store health for `/healthz`. Call with `None` when no
+/// store is open (the endpoint then reports `"store": "none"` but stays
+/// healthy — a serving process without a store is not broken).
+pub fn set_health(info: Option<HealthInfo>) {
+    *health_slot().lock().expect("obs health poisoned") = info;
+}
+
+/// Parses an `--obs-listen` value: either a full socket address
+/// (`127.0.0.1:9090`, `0.0.0.0:9090`) or a bare port, which binds
+/// localhost.
+pub fn parse_listen_addr(s: &str) -> Result<SocketAddr, String> {
+    if let Ok(port) = s.parse::<u16>() {
+        return Ok(SocketAddr::from(([127, 0, 0, 1], port)));
+    }
+    s.parse::<SocketAddr>()
+        .map_err(|e| format!("invalid listen address {s:?}: {e}"))
+}
+
+/// The exposition server. [`ObsServer::bind`], then either
+/// [`ObsServer::serve`] (block forever, for `cable serve`) or
+/// [`ObsServer::spawn`] (background thread with a stop guard, for
+/// `--obs-listen` alongside other work).
+pub struct ObsServer {
+    listener: TcpListener,
+    addr: SocketAddr,
+}
+
+impl ObsServer {
+    /// Binds the listener. `addr` accepts the [`parse_listen_addr`]
+    /// forms; port 0 picks an ephemeral port (see [`ObsServer::addr`]).
+    pub fn bind(addr: &str) -> Result<ObsServer, String> {
+        let addr = parse_listen_addr(addr)?;
+        let listener = TcpListener::bind(addr)
+            .map_err(|e| format!("cannot bind obs server on {addr}: {e}"))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| format!("obs server has no local address: {e}"))?;
+        Ok(ObsServer { listener, addr })
+    }
+
+    /// The bound address (resolves port 0 to the real ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Serves requests on the calling thread until the process exits.
+    pub fn serve(self) -> ! {
+        let requests = REQUESTS.get();
+        loop {
+            if let Ok((stream, _)) = self.listener.accept() {
+                handle_connection(stream, requests);
+            }
+        }
+    }
+
+    /// Serves requests from a background thread; the returned guard
+    /// stops the server when dropped.
+    pub fn spawn(self) -> ServerGuard {
+        let stop = Arc::new(AtomicBool::new(false));
+        let addr = self.addr;
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("cable-obs-http".into())
+            .spawn(move || {
+                let requests = REQUESTS.get();
+                loop {
+                    let Ok((stream, _)) = self.listener.accept() else {
+                        continue;
+                    };
+                    if thread_stop.load(Ordering::Acquire) {
+                        return;
+                    }
+                    handle_connection(stream, requests);
+                }
+            })
+            .expect("spawn obs http thread");
+        ServerGuard {
+            addr,
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+/// Stops the background server (from [`ObsServer::spawn`]) on drop.
+pub struct ServerGuard {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerGuard {
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for ServerGuard {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Unblock accept() so the thread observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, requests: &Counter) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    if reader.read_line(&mut request_line).is_err() {
+        return;
+    }
+    // Drain headers so well-behaved clients see a clean close.
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) if line == "\r\n" || line == "\n" => break,
+            Ok(_) => continue,
+            Err(_) => return,
+        }
+    }
+    requests.incr();
+    let mut stream = reader.into_inner();
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, content_type, body) = respond(method, path);
+    let _ = write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+fn respond(method: &str, path: &str) -> (&'static str, &'static str, String) {
+    if method != "GET" {
+        return (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "only GET is served\n".into(),
+        );
+    }
+    match path {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            prom::encode(&registry().snapshot()),
+        ),
+        "/healthz" => (
+            "200 OK",
+            "application/json; charset=utf-8",
+            format!("{}\n", healthz_json()),
+        ),
+        "/tracez" => (
+            "200 OK",
+            "application/json; charset=utf-8",
+            format!("{}\n", tracez_json(TRACEZ_SPAN_LIMIT)),
+        ),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "try /metrics, /healthz, or /tracez\n".into(),
+        ),
+    }
+}
+
+fn healthz_json() -> Value {
+    let health = *health_slot().lock().expect("obs health poisoned");
+    match health {
+        Some(h) => Value::object([
+            ("status", Value::from("ok")),
+            ("store", Value::from("open")),
+            ("generation", Value::from(h.generation)),
+            ("journal_lag_bytes", Value::from(h.journal_lag_bytes)),
+            ("journal_lag_records", Value::from(h.journal_lag_records)),
+        ]),
+        None => Value::object([
+            ("status", Value::from("ok")),
+            ("store", Value::from("none")),
+        ]),
+    }
+}
+
+/// The `/tracez` body: the most recent `limit` events per lane, plus
+/// per-lane drop accounting.
+fn tracez_json(limit: usize) -> Value {
+    let lanes = recorder::snapshot();
+    let lanes_json: Vec<Value> = lanes
+        .iter()
+        .map(|lane| {
+            let start = lane.events.len().saturating_sub(limit);
+            let events: Vec<Value> = lane.events[start..]
+                .iter()
+                .map(|e| {
+                    let kind = match e.kind {
+                        recorder::EventKind::Begin => "begin",
+                        recorder::EventKind::End => "end",
+                        recorder::EventKind::Instant => "instant",
+                        recorder::EventKind::Counter(_) => "counter",
+                    };
+                    let mut pairs = vec![
+                        ("name", Value::from(e.name)),
+                        ("kind", Value::from(kind)),
+                        ("ts_ns", Value::from(e.ts_ns)),
+                    ];
+                    if let recorder::EventKind::Counter(v) = e.kind {
+                        pairs.push(("value", Value::from(v)));
+                    }
+                    Value::object(pairs)
+                })
+                .collect();
+            Value::object([
+                ("id", Value::from(lane.id)),
+                ("label", Value::from(lane.label.as_str())),
+                ("dropped", Value::from(lane.dropped)),
+                ("events", Value::Array(events)),
+            ])
+        })
+        .collect();
+    Value::object([
+        ("recording", Value::from(recorder::recording())),
+        ("lanes", Value::Array(lanes_json)),
+        ("profile", chrome::profile_json(&chrome::self_time(&lanes))),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read as _;
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read response");
+        let (head, body) = response
+            .split_once("\r\n\r\n")
+            .expect("response has a header/body split");
+        (head.to_owned(), body.to_owned())
+    }
+
+    #[test]
+    fn parse_listen_addr_accepts_bare_ports_and_full_addrs() {
+        assert_eq!(
+            parse_listen_addr("0").unwrap(),
+            SocketAddr::from(([127, 0, 0, 1], 0))
+        );
+        assert_eq!(
+            parse_listen_addr("9090").unwrap(),
+            SocketAddr::from(([127, 0, 0, 1], 9090))
+        );
+        assert_eq!(
+            parse_listen_addr("0.0.0.0:7777").unwrap(),
+            SocketAddr::from(([0, 0, 0, 0], 7777))
+        );
+        assert!(parse_listen_addr("not-an-addr").is_err());
+    }
+
+    #[test]
+    fn server_answers_metrics_healthz_tracez_and_404() {
+        registry().counter("obs.test.http_unit").add(3);
+        let guard = ObsServer::bind("0").expect("bind ephemeral").spawn();
+        let addr = guard.addr();
+
+        let (head, body) = get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(body.contains("obs_test_http_unit 3"), "{body}");
+
+        let (head, body) = get(addr, "/healthz");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        let health = Value::parse(body.trim()).expect("healthz is JSON");
+        assert_eq!(health.get("status").and_then(Value::as_str), Some("ok"));
+
+        set_health(Some(HealthInfo {
+            generation: 4,
+            journal_lag_bytes: 128,
+            journal_lag_records: 2,
+        }));
+        let (_, body) = get(addr, "/healthz");
+        let health = Value::parse(body.trim()).unwrap();
+        assert_eq!(health.get("generation").and_then(Value::as_u64), Some(4));
+        assert_eq!(
+            health.get("journal_lag_bytes").and_then(Value::as_u64),
+            Some(128)
+        );
+        set_health(None);
+
+        let (head, body) = get(addr, "/tracez");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        let tracez = Value::parse(body.trim()).expect("tracez is JSON");
+        assert!(tracez.get("lanes").and_then(Value::as_array).is_some());
+
+        let (head, _) = get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+
+        drop(guard); // must join cleanly
+    }
+}

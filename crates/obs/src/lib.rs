@@ -18,7 +18,15 @@
 //!   API, a human-readable [report printer](Snapshot::render), and a
 //!   [JSONL sink](JsonlSink) for machine-readable perf records;
 //! * [`json`] — a minimal JSON value model with a hand-rolled writer and
-//!   parser, used for the perf records and their round-trip tests.
+//!   parser, used for the perf records and their round-trip tests;
+//! * [`recorder`] — the flight recorder: fixed-capacity per-thread ring
+//!   buffers of timestamped events (span begin/end, instants, counter
+//!   marks), overflow tracked under `obs.recorder.dropped`;
+//! * [`chrome`] — Chrome trace-event JSON export of the recorder (one
+//!   lane per thread, loadable in Perfetto) and the self-time profile;
+//! * [`prom`] + [`http`] — Prometheus text exposition of the registry
+//!   and the std-only HTTP server behind `--obs-listen` (`/metrics`,
+//!   `/healthz`, `/tracez`).
 //!
 //! # Usage
 //!
@@ -45,13 +53,18 @@
 //! the tables rely on); spans only time while enabled, so the `--stats`
 //! flags and `CABLE_OBS=1` gate the `Instant::now` cost.
 
+pub mod chrome;
+pub mod http;
 pub mod json;
 mod metrics;
+pub mod prom;
+pub mod recorder;
 mod registry;
 mod report;
 mod sink;
 mod span;
 
+pub use http::{HealthInfo, ObsServer, ServerGuard};
 pub use metrics::{Counter, CounterHandle, Histogram, HistogramHandle, HistogramSnapshot, BUCKETS};
 pub use registry::{registry, Registry, Snapshot};
 pub use sink::{parse_jsonl, JsonlSink};
@@ -73,13 +86,14 @@ pub fn set_enabled(on: bool) {
     ENABLED.store(on, Ordering::Relaxed);
 }
 
-/// Enables span timing if the `CABLE_OBS` environment variable is set to
-/// anything other than `0` or the empty string. Returns the resulting
-/// state.
+/// Enables span timing — and the flight recorder — if the `CABLE_OBS`
+/// environment variable is set to anything other than `0` or the empty
+/// string. Returns the resulting state.
 pub fn init_from_env() -> bool {
     if let Ok(v) = std::env::var("CABLE_OBS") {
         if !v.is_empty() && v != "0" {
             set_enabled(true);
+            recorder::set_recording(true);
         }
     }
     enabled()

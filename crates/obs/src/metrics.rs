@@ -176,6 +176,38 @@ impl HistogramSnapshot {
         self.max
     }
 
+    /// An interpolated estimate of the `q`-quantile (0 ≤ q ≤ 1).
+    ///
+    /// Where [`HistogramSnapshot::quantile_bound`] answers with the whole
+    /// bucket's upper bound — off by up to 2× with log2 buckets — this
+    /// assumes samples are spread uniformly *inside* the quantile's
+    /// bucket and interpolates linearly between the bucket's lower bound
+    /// and `min(upper bound, max)`. The estimate is exact for the zero
+    /// bucket and never exceeds the observed maximum.
+    pub fn quantile_estimate(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                if i == 0 {
+                    return 0.0; // bucket 0 holds only v == 0
+                }
+                let lower = bucket_bound(i - 1) + 1;
+                let upper = bucket_bound(i).min(self.max).max(lower);
+                let frac = (rank - seen) as f64 / c as f64;
+                return lower as f64 + frac * (upper - lower) as f64;
+            }
+            seen += c;
+        }
+        self.max as f64
+    }
+
     /// The non-empty buckets as `(inclusive upper bound, count)` pairs.
     pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
         self.buckets
@@ -288,5 +320,47 @@ mod tests {
         assert!((s.mean() - 1013.0 / 6.0).abs() < 1e-9);
         assert!(s.quantile_bound(0.5) <= 3);
         assert_eq!(s.quantile_bound(1.0), 1000);
+    }
+
+    #[test]
+    fn quantile_estimate_interpolates_a_uniform_distribution() {
+        let h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        // rank 50 lands in bucket 6 (32..=63) behind 31 earlier samples:
+        // 32 + 19/32 * 31 = 50.40625 — close to the true median, where
+        // quantile_bound can only say "≤ 63".
+        assert!((s.quantile_estimate(0.5) - 50.40625).abs() < 1e-9);
+        assert_eq!(s.quantile_bound(0.5), 63);
+        // rank 99 lands in bucket 7, clamped to the observed max 100:
+        // 64 + 36/37 * 36 = 99.027…
+        assert!((s.quantile_estimate(0.99) - (64.0 + 36.0 / 37.0 * 36.0)).abs() < 1e-9);
+        // The extremes are exact.
+        assert!((s.quantile_estimate(1.0) - 100.0).abs() < 1e-9);
+        assert!((s.quantile_estimate(0.01) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_estimate_edge_cases() {
+        let empty = Histogram::new().snapshot();
+        assert_eq!(empty.quantile_estimate(0.5), 0.0);
+
+        let zeros = Histogram::new();
+        for _ in 0..10 {
+            zeros.record(0);
+        }
+        assert_eq!(zeros.snapshot().quantile_estimate(0.99), 0.0);
+
+        // A constant sample interpolates inside its bucket but never
+        // above the observed max.
+        let sevens = Histogram::new();
+        for _ in 0..10 {
+            sevens.record(7);
+        }
+        let s = sevens.snapshot();
+        assert!((s.quantile_estimate(1.0) - 7.0).abs() < 1e-9);
+        assert!(s.quantile_estimate(0.5) >= 4.0 && s.quantile_estimate(0.5) <= 7.0);
     }
 }

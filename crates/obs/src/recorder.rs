@@ -1,0 +1,381 @@
+//! The flight recorder: fixed-capacity, per-thread ring buffers of
+//! timeline events.
+//!
+//! Counters and histograms (the rest of this crate) aggregate — they
+//! answer *how much*. The recorder answers *when*: every span begin and
+//! end, every instant event (a steal, a park, a journal append), and
+//! every counter mark is stamped with a monotonic-clock timestamp and
+//! appended to the recording thread's own ring. Two consumers read the
+//! rings back:
+//!
+//! * [`crate::chrome`] renders them as Chrome trace-event JSON (one lane
+//!   per thread, loadable in Perfetto / `chrome://tracing`) and folds
+//!   them into a self-time profile;
+//! * [`crate::http`] serves the most recent spans per lane as `/tracez`.
+//!
+//! # Memory model
+//!
+//! Each thread that records while recording is [`recording`] gets one
+//! **lane**: a fixed-capacity ring (see [`set_capacity`]) owned by that
+//! thread and registered in a process-wide table. Only the owning thread
+//! writes its ring; snapshots from other threads take the lane's mutex
+//! briefly, so the single-writer ordering guarantee holds: **events
+//! within a lane are in non-decreasing timestamp order**, because one
+//! thread stamps them from one monotonic clock. No ordering is implied
+//! *across* lanes beyond the shared epoch.
+//!
+//! A full ring overwrites its oldest event (newest wins) and counts the
+//! loss — per lane in [`LaneSnapshot::dropped`] and globally under the
+//! `obs.recorder.dropped` counter. Drops are acceptable by design: the
+//! recorder is a *flight recorder*, not an audit log — the interesting
+//! window is the most recent one, and bounding memory beats completeness
+//! for a long-running session process.
+//!
+//! While recording is off, [`push`] is one relaxed atomic load.
+
+use crate::metrics::Counter;
+use crate::registry::registry;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Default per-lane ring capacity (events).
+pub const DEFAULT_CAPACITY: usize = 8192;
+
+static RECORDING: AtomicBool = AtomicBool::new(false);
+static CAPACITY: AtomicUsize = AtomicUsize::new(DEFAULT_CAPACITY);
+static NEXT_LANE: AtomicU64 = AtomicU64::new(1);
+
+/// Whether the recorder is capturing events.
+#[inline]
+pub fn recording() -> bool {
+    RECORDING.load(Ordering::Relaxed)
+}
+
+/// Turns event capture on or off. Lanes and their contents survive
+/// toggling; only *new* events are gated.
+pub fn set_recording(on: bool) {
+    RECORDING.store(on, Ordering::Relaxed);
+}
+
+/// Sets the ring capacity for lanes created *after* this call (existing
+/// lanes keep their rings). Clamped to at least 2.
+pub fn set_capacity(events: usize) {
+    CAPACITY.store(events.max(2), Ordering::Relaxed);
+}
+
+/// The process-wide monotonic epoch every event timestamp counts from.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds since the recorder epoch, from the monotonic clock.
+pub fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos().min(u64::MAX as u128) as u64
+}
+
+/// What an [`Event`] marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span opened (matched by a later [`EventKind::End`] on the same
+    /// lane).
+    Begin,
+    /// A span closed.
+    End,
+    /// A point in time (a steal, a park, a journal append).
+    Instant,
+    /// A counter observation carrying the counter's current value.
+    Counter(u64),
+}
+
+/// One recorded timeline event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// The span / marker name (static, so recording never allocates).
+    pub name: &'static str,
+    /// What the event marks.
+    pub kind: EventKind,
+    /// Nanoseconds since the recorder epoch.
+    pub ts_ns: u64,
+}
+
+/// A lane's fixed-capacity ring.
+#[derive(Debug)]
+struct Ring {
+    buf: Vec<Event>,
+    capacity: usize,
+    /// Index the next event is written at (wraps).
+    next: usize,
+    /// Total events ever pushed to this lane.
+    total: u64,
+}
+
+impl Ring {
+    fn new(capacity: usize) -> Ring {
+        Ring {
+            buf: Vec::with_capacity(capacity.min(1024)),
+            capacity,
+            next: 0,
+            total: 0,
+        }
+    }
+
+    fn push(&mut self, event: Event) -> bool {
+        self.total += 1;
+        if self.buf.len() < self.capacity {
+            self.buf.push(event);
+            self.next = self.buf.len() % self.capacity;
+            false
+        } else {
+            // Full: overwrite the oldest (newest wins).
+            self.buf[self.next] = event;
+            self.next = (self.next + 1) % self.capacity;
+            true
+        }
+    }
+
+    fn dropped(&self) -> u64 {
+        self.total.saturating_sub(self.buf.len() as u64)
+    }
+
+    /// The surviving events, oldest first.
+    fn ordered(&self) -> Vec<Event> {
+        if self.buf.len() < self.capacity {
+            self.buf.clone()
+        } else {
+            let mut out = Vec::with_capacity(self.buf.len());
+            out.extend_from_slice(&self.buf[self.next..]);
+            out.extend_from_slice(&self.buf[..self.next]);
+            out
+        }
+    }
+}
+
+/// One thread's registered lane.
+#[derive(Debug)]
+struct Lane {
+    id: u64,
+    label: String,
+    ring: Mutex<Ring>,
+}
+
+/// The process-wide lane table.
+fn lanes() -> &'static Mutex<Vec<Arc<Lane>>> {
+    static LANES: OnceLock<Mutex<Vec<Arc<Lane>>>> = OnceLock::new();
+    LANES.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn dropped_counter() -> &'static Counter {
+    static DROPPED: OnceLock<Arc<Counter>> = OnceLock::new();
+    DROPPED.get_or_init(|| registry().counter("obs.recorder.dropped"))
+}
+
+thread_local! {
+    /// This thread's lane, created on first recorded event.
+    static LANE: RefCell<Option<Arc<Lane>>> = const { RefCell::new(None) };
+    /// A label requested before the lane exists (see [`set_lane_label`]).
+    static PENDING_LABEL: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+/// Names this thread's lane in exports (`cable-par` workers call this
+/// with their worker index). Before the lane exists the label is kept
+/// pending and applied at creation; an existing lane is renamed from the
+/// next snapshot on.
+pub fn set_lane_label(label: &str) {
+    let renamed = LANE.with(|l| {
+        if let Some(lane) = l.borrow().as_ref() {
+            // Lanes are immutable after creation except through
+            // re-registration: replace this thread's lane entry.
+            let fresh = Arc::new(Lane {
+                id: lane.id,
+                label: label.to_owned(),
+                ring: Mutex::new(Ring::new(0)),
+            });
+            // Move the ring over wholesale.
+            {
+                let mut old = lane.ring.lock().expect("recorder lane poisoned");
+                let mut new = fresh.ring.lock().expect("recorder lane poisoned");
+                std::mem::swap(&mut *old, &mut *new);
+            }
+            let mut table = lanes().lock().expect("recorder lanes poisoned");
+            if let Some(slot) = table.iter_mut().find(|l| l.id == lane.id) {
+                *slot = fresh.clone();
+            }
+            drop(table);
+            *l.borrow_mut() = Some(fresh);
+            true
+        } else {
+            false
+        }
+    });
+    if !renamed {
+        PENDING_LABEL.with(|p| *p.borrow_mut() = Some(label.to_owned()));
+    }
+}
+
+fn current_lane() -> Arc<Lane> {
+    LANE.with(|l| {
+        let mut slot = l.borrow_mut();
+        if let Some(lane) = slot.as_ref() {
+            return lane.clone();
+        }
+        let id = NEXT_LANE.fetch_add(1, Ordering::Relaxed);
+        let label = PENDING_LABEL
+            .with(|p| p.borrow_mut().take())
+            .or_else(|| std::thread::current().name().map(str::to_owned))
+            .unwrap_or_else(|| format!("thread-{id}"));
+        let lane = Arc::new(Lane {
+            id,
+            label,
+            ring: Mutex::new(Ring::new(CAPACITY.load(Ordering::Relaxed))),
+        });
+        lanes()
+            .lock()
+            .expect("recorder lanes poisoned")
+            .push(lane.clone());
+        *slot = Some(lane.clone());
+        lane
+    })
+}
+
+/// Records one event on the current thread's lane. A no-op (one relaxed
+/// load) while recording is off.
+#[inline]
+pub fn push(name: &'static str, kind: EventKind) {
+    if !recording() {
+        return;
+    }
+    let event = Event {
+        name,
+        kind,
+        ts_ns: now_ns(),
+    };
+    let lane = current_lane();
+    let overwrote = lane
+        .ring
+        .lock()
+        .expect("recorder lane poisoned")
+        .push(event);
+    if overwrote {
+        dropped_counter().incr();
+    }
+}
+
+/// Records a span-begin event.
+#[inline]
+pub fn begin(name: &'static str) {
+    push(name, EventKind::Begin);
+}
+
+/// Records a span-end event.
+#[inline]
+pub fn end(name: &'static str) {
+    push(name, EventKind::End);
+}
+
+/// Records an instant event.
+#[inline]
+pub fn instant(name: &'static str) {
+    push(name, EventKind::Instant);
+}
+
+/// Records a counter mark carrying `value`.
+#[inline]
+pub fn counter_mark(name: &'static str, value: u64) {
+    push(name, EventKind::Counter(value));
+}
+
+/// A point-in-time copy of one lane.
+#[derive(Debug, Clone)]
+pub struct LaneSnapshot {
+    /// Stable lane id (the Chrome-trace `tid`).
+    pub id: u64,
+    /// Human label (thread name or `cable-par-N` worker id).
+    pub label: String,
+    /// Surviving events, oldest first, timestamps non-decreasing.
+    pub events: Vec<Event>,
+    /// Events lost to ring overflow on this lane.
+    pub dropped: u64,
+}
+
+/// Snapshots every lane, sorted by lane id. Taking a snapshot does not
+/// disturb recording (each lane's mutex is held only for the copy).
+pub fn snapshot() -> Vec<LaneSnapshot> {
+    let table: Vec<Arc<Lane>> = lanes().lock().expect("recorder lanes poisoned").clone();
+    let mut out: Vec<LaneSnapshot> = table
+        .iter()
+        .map(|lane| {
+            let ring = lane.ring.lock().expect("recorder lane poisoned");
+            LaneSnapshot {
+                id: lane.id,
+                label: lane.label.clone(),
+                events: ring.ordered(),
+                dropped: ring.dropped(),
+            }
+        })
+        .collect();
+    out.sort_by_key(|l| l.id);
+    out
+}
+
+/// Empties every lane's ring (the lanes themselves stay registered, so
+/// threads keep their ids and labels). Benchmarks and tests use this to
+/// scope a capture window.
+pub fn clear() {
+    for lane in lanes().lock().expect("recorder lanes poisoned").iter() {
+        let mut ring = lane.ring.lock().expect("recorder lane poisoned");
+        let capacity = ring.capacity;
+        *ring = Ring::new(capacity);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_drops() {
+        let mut ring = Ring::new(3);
+        let ev = |ts| Event {
+            name: "t",
+            kind: EventKind::Instant,
+            ts_ns: ts,
+        };
+        for ts in 0..5u64 {
+            ring.push(ev(ts));
+        }
+        assert_eq!(ring.dropped(), 2);
+        let ts: Vec<u64> = ring.ordered().iter().map(|e| e.ts_ns).collect();
+        assert_eq!(ts, vec![2, 3, 4], "newest wins, oldest first");
+    }
+
+    #[test]
+    fn ring_below_capacity_keeps_everything() {
+        let mut ring = Ring::new(8);
+        for ts in 0..5u64 {
+            ring.push(Event {
+                name: "t",
+                kind: EventKind::Begin,
+                ts_ns: ts,
+            });
+        }
+        assert_eq!(ring.dropped(), 0);
+        assert_eq!(ring.ordered().len(), 5);
+    }
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        set_recording(false);
+        let before: u64 = snapshot().iter().map(|l| l.events.len() as u64).sum();
+        instant("test.disabled");
+        let after: u64 = snapshot().iter().map(|l| l.events.len() as u64).sum();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn timestamps_are_monotonic() {
+        assert!(now_ns() <= now_ns());
+    }
+}

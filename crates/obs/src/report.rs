@@ -27,10 +27,12 @@ impl Snapshot {
                 let is_time = name.ends_with("_ns");
                 let _ = writeln!(
                     out,
-                    "{name:width$}  n={:<8} mean={:>10} p95≤{:>10} max={:>10} total={}",
+                    "{name:width$}  n={:<8} mean={:>10} p50={:>10} p95={:>10} p99={:>10} max={:>10} total={}",
                     h.count,
                     fmt_value(h.mean() as u64, is_time),
-                    fmt_value(h.quantile_bound(0.95), is_time),
+                    fmt_value(h.quantile_estimate(0.5) as u64, is_time),
+                    fmt_value(h.quantile_estimate(0.95) as u64, is_time),
+                    fmt_value(h.quantile_estimate(0.99) as u64, is_time),
                     fmt_value(h.max, is_time),
                     fmt_value(h.sum, is_time),
                 );

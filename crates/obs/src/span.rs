@@ -109,11 +109,14 @@ pub struct Span {
 }
 
 impl Span {
-    /// Enters a span that records into `histogram` when dropped.
+    /// Enters a span that records into `histogram` when dropped. When
+    /// the flight recorder is on, the span also lands as a begin/end
+    /// pair on this thread's recorder lane.
     #[inline]
     pub fn enter(name: &'static str, histogram: &'static HistogramHandle) -> Span {
         let start = if crate::enabled() {
             STACK.with(|s| s.borrow_mut().push(name));
+            crate::recorder::begin(name);
             Some(Instant::now())
         } else {
             None
@@ -132,6 +135,7 @@ impl Drop for Span {
     fn drop(&mut self) {
         if let Some(start) = self.start {
             self.histogram.get().record_duration(start.elapsed());
+            crate::recorder::end(self.name);
             STACK.with(|s| {
                 let popped = s.borrow_mut().pop();
                 debug_assert_eq!(popped, Some(self.name), "span stack out of order");

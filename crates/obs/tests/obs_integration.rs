@@ -89,6 +89,7 @@ fn snapshot_round_trips_through_jsonl() {
     let sink = obs::JsonlSink::create(&path).unwrap();
     sink.write(&record).unwrap();
     sink.write(&record).unwrap();
+    sink.flush().unwrap(); // records buffer until flush/drop
     let text = std::fs::read_to_string(&path).unwrap();
     let _ = std::fs::remove_file(&path);
 

@@ -124,6 +124,7 @@ impl Shared {
             {
                 self.queued.fetch_sub(1, Ordering::Relaxed);
                 STEALS.get().incr();
+                cable_obs::recorder::instant("par.steal");
                 return Some(t);
             }
         }
@@ -139,13 +140,25 @@ fn run_task(task: Task) {
 
 fn worker_loop(shared: Arc<Shared>, index: usize) {
     WORKER.with(|w| w.set(Some((shared.identity(), index))));
+    // Give this worker a recorder lane up front (labelled by the thread
+    // name, `cable-par-{index}`), so traces show every worker even if it
+    // never wins a unit.
+    cable_obs::recorder::instant("par.worker.start");
+    // Park instants mark the busy→idle edge only; re-checking an empty
+    // queue every IDLE_POLL is not news.
+    let mut was_busy = false;
     loop {
         if shared.shutdown.load(Ordering::Acquire) {
             return;
         }
         if let Some(task) = shared.find_task() {
+            was_busy = true;
             run_task(task);
             continue;
+        }
+        if was_busy {
+            was_busy = false;
+            cable_obs::recorder::instant("par.park");
         }
         let guard = shared.injector.lock().expect("par injector poisoned");
         if shared.shutdown.load(Ordering::Acquire) {
@@ -311,7 +324,9 @@ impl Pool {
             for start in (0..n).step_by(chunk) {
                 let end = (start + chunk).min(n);
                 let busy_start = observe.then(Instant::now);
+                cable_obs::recorder::begin(label);
                 results.push((start, f(start, &items[start..end])));
+                cable_obs::recorder::end(label);
                 stage.record_busy(busy_start);
             }
             results
@@ -327,7 +342,9 @@ impl Pool {
                         // label, not a detached per-worker stack.
                         let _stage_guard = cable_obs::enter_stage(label);
                         let busy_start = observe.then(Instant::now);
+                        cable_obs::recorder::begin(label);
                         let value = f(start, slice);
+                        cable_obs::recorder::end(label);
                         stage.record_busy(busy_start);
                         results
                             .lock()

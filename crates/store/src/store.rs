@@ -74,6 +74,11 @@ pub struct Store {
     dir: PathBuf,
     journal: File,
     generation: u64,
+    /// Records in the journal that are not yet folded into the
+    /// snapshot: replayed records at open, plus appends since, reset by
+    /// compaction. This is the record-grained journal lag `/healthz`
+    /// reports.
+    journal_records: u64,
 }
 
 fn fsync(file: &File) -> Result<(), StoreError> {
@@ -133,10 +138,12 @@ impl Store {
         let header = journal::header(data.generation);
         publish(dir, JOURNAL_TMP, JOURNAL_FILE, &header)?;
         let journal = open_journal_for_append(&dir.join(JOURNAL_FILE), header.len() as u64)?;
+        cable_obs::recorder::instant("store.create");
         Ok(Store {
             dir: dir.to_owned(),
             journal,
             generation: data.generation,
+            journal_records: 0,
         })
     }
 
@@ -197,11 +204,13 @@ impl Store {
             tail,
             stale_journal: stale,
         };
+        cable_obs::recorder::instant("store.open");
         Ok((
             Store {
                 dir: dir.to_owned(),
                 journal,
                 generation: data.generation,
+                journal_records: records.len() as u64,
             },
             data,
             records,
@@ -227,6 +236,8 @@ impl Store {
         self.journal.write_all(&bytes)?;
         BYTES_WRITTEN.get().add(bytes.len() as u64);
         JOURNAL_APPENDS.get().incr();
+        self.journal_records += 1;
+        cable_obs::recorder::instant("store.journal.append");
         Ok(())
     }
 
@@ -279,7 +290,9 @@ impl Store {
         publish(&self.dir, JOURNAL_TMP, JOURNAL_FILE, &header)?;
         self.journal = open_journal_for_append(&self.dir.join(JOURNAL_FILE), header.len() as u64)?;
         self.generation = data.generation;
+        self.journal_records = 0;
         COMPACTIONS.get().incr();
+        cable_obs::recorder::instant("store.compact");
         Ok(())
     }
 
@@ -291,6 +304,21 @@ impl Store {
     /// Size in bytes of the current journal file.
     pub fn journal_bytes(&self) -> Result<u64, StoreError> {
         Ok(fs::metadata(self.dir.join(JOURNAL_FILE))?.len())
+    }
+
+    /// Journal bytes past the header: the byte-grained lag between the
+    /// published snapshot and the live state, i.e. what a crash now
+    /// would have to replay on the next open.
+    pub fn journal_lag_bytes(&self) -> Result<u64, StoreError> {
+        Ok(self
+            .journal_bytes()?
+            .saturating_sub(journal::HEADER_LEN as u64))
+    }
+
+    /// Journal records not yet folded into the snapshot (replayed at
+    /// open plus appended since; zero right after a compaction).
+    pub fn journal_lag_records(&self) -> u64 {
+        self.journal_records
     }
 }
 
@@ -445,6 +473,29 @@ mod tests {
         let dir = tmp_dir("gen");
         let mut store = Store::create(&dir, &sample_data(0)).unwrap();
         assert!(store.compact(&sample_data(5)).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn journal_lag_tracks_appends_replays_and_compaction() {
+        let dir = tmp_dir("lag");
+        let mut store = Store::create(&dir, &sample_data(0)).unwrap();
+        assert_eq!(store.journal_lag_records(), 0);
+        assert_eq!(store.journal_lag_bytes().unwrap(), 0);
+        store
+            .append_all([&JournalRecord::Trace("c(Y)".to_owned())], false)
+            .unwrap();
+        assert_eq!(store.journal_lag_records(), 1);
+        assert!(store.journal_lag_bytes().unwrap() > 0);
+        drop(store);
+
+        // Reopening carries the replayed records as lag.
+        let (mut store, _, _, _) = Store::open(&dir).unwrap();
+        assert_eq!(store.journal_lag_records(), 1);
+
+        store.compact(&sample_data(1)).unwrap();
+        assert_eq!(store.journal_lag_records(), 0);
+        assert_eq!(store.journal_lag_bytes().unwrap(), 0);
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Smoke test for the cable-obs HTTP exposition server.
+#
+# Opens a small session store, starts `cable serve` on an ephemeral
+# localhost port (bare port 0), and curls /metrics and /healthz. The
+# server must answer with Prometheus text carrying the request counter
+# and summary quantiles, and health JSON reflecting the store
+# generation and journal lag.
+#
+# Usage: scripts/serve_smoke.sh [path/to/cable]
+set -euo pipefail
+
+CABLE=${1:-target/release/cable}
+work=$(mktemp -d)
+server_pid=""
+cleanup() {
+  [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+"$CABLE" session open --traces testdata/stdio_violations.traces \
+  --store "$work/store" > /dev/null
+
+"$CABLE" serve --obs-listen 0 --store "$work/store" \
+  > "$work/announce" 2> /dev/null &
+server_pid=$!
+
+# The bound address is the first stdout line:
+#   serving http://127.0.0.1:PORT/metrics /healthz /tracez
+addr=""
+for _ in $(seq 1 50); do
+  addr=$(sed -n 's|^serving http://\([^/]*\)/.*|\1|p' "$work/announce")
+  [ -n "$addr" ] && break
+  sleep 0.1
+done
+[ -n "$addr" ] || { echo "serve never announced its address"; exit 1; }
+echo "serve bound $addr"
+
+health=$(curl -fsS "http://$addr/healthz")
+echo "$health"
+echo "$health" | grep -q '"generation":0' || { echo "healthz misses generation"; exit 1; }
+echo "$health" | grep -q '"journal_lag_bytes"' || { echo "healthz misses journal lag"; exit 1; }
+
+metrics=$(curl -fsS "http://$addr/metrics")
+echo "$metrics" | grep -q '# TYPE obs_http_requests counter' \
+  || { echo "metrics miss the request counter"; exit 1; }
+echo "$metrics" | grep -q 'quantile="0.99"' \
+  || { echo "metrics miss summary quantiles"; exit 1; }
+
+curl -fsS "http://$addr/tracez" | grep -q '"recording":true' \
+  || { echo "tracez does not report recording"; exit 1; }
+
+echo "serve smoke test: PASS"

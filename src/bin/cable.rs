@@ -10,8 +10,9 @@
 //! cable check   --traces FILE --fa FILE
 //! cable session open    --traces FILE [--fa FILE | --template ...] --store DIR
 //! cable session ingest  --store DIR --traces FILE [--fsync-per-trace]
-//! cable session resume  --store DIR [--json-out PATH]
+//! cable session resume  --store DIR [--json-out PATH] [--obs-listen ADDR]
 //! cable session compact --store DIR
+//! cable serve   --obs-listen ADDR [--store DIR]
 //! cable specs
 //! ```
 //!
@@ -43,14 +44,22 @@
 //!   `cluster --store DIR` also saves the session it builds, and
 //!   `label --store DIR` runs a labeling script against a saved session,
 //!   journaling every decision.
+//! * `serve` exposes the cable-obs HTTP endpoints (`GET /metrics` in
+//!   Prometheus text format, `GET /healthz`, `GET /tracez`) on the given
+//!   address until killed. With `--store DIR` it opens the session first
+//!   so `/healthz` reports the store generation and journal lag. A bare
+//!   port binds `127.0.0.1`; the bound address is printed to stdout so
+//!   scripts can use port `0`.
 //! * `specs` lists the built-in evaluation specifications.
 //!
-//! Every command also accepts `--stats`, which prints the cable-obs
-//! stage-cost report (counters and span timings) to stderr when the
-//! command finishes; setting `CABLE_OBS=1` in the environment does the
-//! same without the flag. `--threads N` sizes the cable-par worker pool
+//! Every command also accepts `--stats`, which enables the flight
+//! recorder and prints the cable-obs stage-cost report (counters, span
+//! timings, and the self-time profile) to stderr when the command
+//! finishes; setting `CABLE_OBS=1` in the environment does the same
+//! without the flag. `--threads N` sizes the cable-par worker pool
 //! (equivalent to `CABLE_PAR=N`; the output is identical either way —
-//! only wall-clock time changes).
+//! only wall-clock time changes). `session resume --obs-listen ADDR`
+//! keeps serving the HTTP endpoints after resuming, like `serve`.
 
 use cable::fa::templates;
 use cable::obs::json::Value;
@@ -77,8 +86,9 @@ fn main() {
     };
     let opts = parse_opts(rest);
     let stats = cable::obs::init_from_env() || opts.stats;
-    if stats {
+    if stats || opts.obs_listen.is_some() {
         cable::obs::set_enabled(true);
+        cable::obs::recorder::set_recording(true);
     }
     let code = match command.as_str() {
         "cluster" => {
@@ -96,6 +106,7 @@ fn main() {
         }
         "check" => check(&opts),
         "session" => session_cmd(sub.as_deref().unwrap_or_default(), &opts),
+        "serve" => serve(&opts),
         "specs" => {
             specs();
             0
@@ -105,6 +116,10 @@ fn main() {
     // Stats print before the exit so failing commands still report.
     if stats {
         eprintln!("{}", cable::obs::registry().snapshot().render());
+        let profile = cable::obs::chrome::self_time(&cable::obs::recorder::snapshot());
+        if !profile.is_empty() {
+            eprintln!("{}", cable::obs::chrome::render_profile(&profile));
+        }
     }
     exit(code);
 }
@@ -118,6 +133,7 @@ struct Opts {
     seeds: Option<String>,
     store: Option<String>,
     json_out: Option<String>,
+    obs_listen: Option<String>,
     fsync_per_trace: bool,
     stats: bool,
 }
@@ -132,6 +148,7 @@ fn parse_opts(args: &[String]) -> Opts {
         seeds: None,
         store: None,
         json_out: None,
+        obs_listen: None,
         fsync_per_trace: false,
         stats: false,
     };
@@ -167,6 +184,7 @@ fn parse_opts(args: &[String]) -> Opts {
             "--seeds" => opts.seeds = Some(value()),
             "--store" => opts.store = Some(value()),
             "--json-out" => opts.json_out = Some(value()),
+            "--obs-listen" => opts.obs_listen = Some(value()),
             other => usage(&format!("unknown option {other:?}")),
         }
         i += 2;
@@ -505,6 +523,10 @@ fn session_cmd(sub: &str, opts: &Opts) -> i32 {
                     .unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
                 eprintln!("wrote {path}");
             }
+            if let Some(addr) = &opts.obs_listen {
+                publish_health(&stored);
+                serve_blocking(addr);
+            }
             0
         }
         "compact" => {
@@ -528,6 +550,42 @@ fn session_cmd(sub: &str, opts: &Opts) -> i32 {
             "unknown session subcommand {other:?} (open, ingest, resume, compact)"
         )),
     }
+}
+
+/// Publishes the stored session's generation and journal lag to the
+/// `/healthz` endpoint.
+fn publish_health(stored: &StoredSession) {
+    match stored.health() {
+        Ok(health) => cable::obs::http::set_health(Some(health)),
+        Err(e) => eprintln!("warning: could not read store health: {e}"),
+    }
+}
+
+/// Binds the obs HTTP server, announces the bound address on stdout
+/// (so scripts can pass port 0 and discover the port), and serves until
+/// the process is killed.
+fn serve_blocking(addr: &str) -> ! {
+    let server =
+        cable::obs::ObsServer::bind(addr).unwrap_or_else(|e| die(&format!("binding {addr}: {e}")));
+    println!("serving http://{}/metrics /healthz /tracez", server.addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.serve();
+}
+
+/// `cable serve --obs-listen ADDR [--store DIR]`: the standalone
+/// exposition server.
+fn serve(opts: &Opts) -> i32 {
+    let addr = opts
+        .obs_listen
+        .as_ref()
+        .unwrap_or_else(|| usage("--obs-listen ADDR is required"));
+    if let Some(dir) = &opts.store {
+        let (stored, report) = open_store(dir);
+        report_recovery(&report);
+        publish_health(&stored);
+    }
+    serve_blocking(addr);
 }
 
 fn mine(opts: &Opts) {
@@ -610,7 +668,8 @@ fn usage(msg: &str) -> ! {
          [--template unordered|seed:<op>] [--dot OUT] [--script FILE] [--seeds ops] \
          [--store DIR] [--threads N] [--stats]\n\
          \x20      cable session <open|ingest|resume|compact> --store DIR [--traces FILE] \
-         [--fsync-per-trace] [--json-out PATH]"
+         [--fsync-per-trace] [--json-out PATH] [--obs-listen ADDR]\n\
+         \x20      cable serve --obs-listen ADDR [--store DIR]"
     );
     exit(2);
 }

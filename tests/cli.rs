@@ -1,9 +1,13 @@
-//! Integration tests for the `cable` binary: option handling and the
-//! persistent-session subcommands, driven through real processes.
+//! Integration tests for the `cable` binary: option handling, the
+//! persistent-session subcommands, and the `serve` exposition server,
+//! driven through real processes.
 
 use std::fs;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
 use std::path::PathBuf;
-use std::process::{Command, Output};
+use std::process::{Command, Output, Stdio};
+use std::time::Duration;
 
 fn cable(args: &[&str]) -> Output {
     Command::new(env!("CARGO_BIN_EXE_cable"))
@@ -171,6 +175,99 @@ fn session_lifecycle_open_ingest_label_resume_compact() {
         state.replace("\"generation\":0", "\"generation\":1"),
         state2
     );
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// One HTTP/1.1 GET against the serve endpoint; returns (status line,
+/// body).
+fn http_get(addr: &str, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to serve");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .expect("response has a header/body split");
+    let status = head.lines().next().unwrap_or_default().to_owned();
+    (status, body.to_owned())
+}
+
+#[test]
+fn serve_exposes_metrics_and_health_over_http() {
+    let dir = tmp_dir("serve");
+    let store = dir.join("store");
+    let out = cable(&[
+        "session",
+        "open",
+        "--traces",
+        "testdata/stdio_violations.traces",
+        "--store",
+        store.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    // Bare port 0: binds an ephemeral port on 127.0.0.1 and announces
+    // the bound address on stdout.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_cable"))
+        .args([
+            "serve",
+            "--obs-listen",
+            "0",
+            "--store",
+            store.to_str().unwrap(),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("serve starts");
+    let mut announce = String::new();
+    BufReader::new(child.stdout.take().unwrap())
+        .read_line(&mut announce)
+        .unwrap();
+    let addr = announce
+        .trim()
+        .strip_prefix("serving http://")
+        .and_then(|rest| rest.split('/').next())
+        .unwrap_or_else(|| panic!("unexpected announcement {announce:?}"))
+        .to_owned();
+    assert!(
+        addr.starts_with("127.0.0.1:"),
+        "bare port binds localhost: {addr}"
+    );
+
+    let (status, body) = http_get(&addr, "/healthz");
+    assert!(status.contains("200"), "{status}");
+    assert!(body.contains("\"generation\":0"), "{body}");
+    assert!(body.contains("\"journal_lag_bytes\""), "{body}");
+    assert!(body.contains("\"journal_lag_records\""), "{body}");
+
+    let (status, metrics) = http_get(&addr, "/metrics");
+    assert!(status.contains("200"), "{status}");
+    // The /healthz hit above was counted, so the request counter is
+    // registered and nonzero, and every histogram family carries the
+    // summary quantiles.
+    assert!(
+        metrics.contains("# TYPE obs_http_requests counter"),
+        "{metrics}"
+    );
+    assert!(metrics.contains("quantile=\"0.99\""), "{metrics}");
+
+    let (status, tracez) = http_get(&addr, "/tracez");
+    assert!(status.contains("200"), "{status}");
+    assert!(tracez.contains("\"recording\":true"), "{tracez}");
+
+    let (status, _) = http_get(&addr, "/nope");
+    assert!(status.contains("404"), "{status}");
+
+    child.kill().unwrap();
+    child.wait().unwrap();
     fs::remove_dir_all(&dir).unwrap();
 }
 
