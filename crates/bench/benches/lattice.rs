@@ -111,9 +111,48 @@ fn bench_obs_overhead() {
     group.finish();
 }
 
+/// The guard acceptance check: the budget-aware build (`try_build`,
+/// which threads a checkpoint through every Godin insertion) with **no
+/// budget installed** must stay within 5% of the plain build — the
+/// disabled fast path is a single relaxed atomic load per checkpoint.
+/// For scale, the same build is also timed under an ample budget that
+/// never trips (the full slow-path evaluation cost).
+fn bench_guard_overhead() {
+    let mut group = Group::new("lattice/guard-overhead");
+    let ctx = synthetic(24);
+    // Compare the sequential paths head-to-head so the measurement is
+    // exactly "Godin with checkpoints" vs "Godin without" — the auto
+    // entry points would route both through the shard path and hide
+    // the checkpoint cost entirely.
+    let plain = group.bench("godin/guard-off", || {
+        black_box(cable_fca::godin::concepts(black_box(&ctx)));
+    });
+    let checkpointed = group.bench("godin/guard-checkpoints", || {
+        black_box(cable_fca::godin::try_concepts(black_box(&ctx)).expect("no budget installed"));
+    });
+    let ample = cable_guard::Budget {
+        max_concepts: Some(u64::MAX),
+        ..Default::default()
+    }
+    .install();
+    let budgeted = group.bench("godin/guard-budgeted", || {
+        black_box(
+            cable_fca::godin::try_concepts(black_box(&ctx)).expect("ample budget never trips"),
+        );
+    });
+    drop(ample);
+    println!(
+        "  overhead: checkpoints {:+.2}%, active budget {:+.2}% (medians vs guard-off)",
+        (checkpointed.median_ns / plain.median_ns - 1.0) * 100.0,
+        (budgeted.median_ns / plain.median_ns - 1.0) * 100.0
+    );
+    group.finish();
+}
+
 fn main() {
     bench_algorithms();
     bench_scaling();
     bench_spec_contexts();
     bench_obs_overhead();
+    bench_guard_overhead();
 }

@@ -4,6 +4,7 @@
 //! reproduce [table1|table2|table3|scaling|coring|ablation|all]
 //!           [--seed N] [--threads N] [--quick] [--stats] [--json-out PATH]
 //!           [--trace-out PATH] [--obs-listen ADDR]
+//!           [--deadline-ms N] [--max-concepts N] [--faults SEED:SPEC]
 //! reproduce compare --baseline PATH --current PATH [--tolerance PCT]
 //! reproduce diff PATH PATH
 //! reproduce check-trace PATH
@@ -24,6 +25,15 @@
 //! and `--obs-listen ADDR` serves `/metrics`, `/healthz`, and `/tracez`
 //! while the run lasts. All four flags enable span timing and the
 //! flight recorder; so does `CABLE_OBS=1`.
+//!
+//! `--deadline-ms N` / `--max-concepts N` install a cable-guard resource
+//! budget for the run: table2 then reports the guarded lattice build,
+//! with `budget_stopped: true` and the deterministic partial concept
+//! count in the JSONL record when the budget trips (the timing and
+//! store measurements are skipped). The CI budget-determinism gate runs
+//! table2 this way under different `CABLE_PAR` values and `diff`s the
+//! records. `--faults SEED:SPEC` (or `CABLE_FAULTS`) installs the
+//! deterministic fault-injection plane, as in the `cable` binary.
 //!
 //! `compare` is the CI perf-regression gate: exits non-zero when the
 //! current run's counts drift from the baseline at all, or its total
@@ -55,6 +65,9 @@ fn main() {
     let mut json_out: Option<String> = None;
     let mut trace_out: Option<String> = None;
     let mut obs_listen: Option<String> = None;
+    let mut deadline_ms: Option<u64> = None;
+    let mut max_concepts: Option<u64> = None;
+    let mut faults: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -99,6 +112,30 @@ fn main() {
                         .unwrap_or_else(|| usage("--obs-listen needs an address or port")),
                 );
             }
+            "--deadline-ms" => {
+                i += 1;
+                deadline_ms = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage("--deadline-ms needs an integer")),
+                );
+            }
+            "--max-concepts" => {
+                i += 1;
+                max_concepts = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage("--max-concepts needs an integer")),
+                );
+            }
+            "--faults" => {
+                i += 1;
+                faults = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| usage("--faults needs a spec (seed:kind@site[,...])")),
+                );
+            }
             "table1" | "table2" | "table3" | "scaling" | "coring" | "ablation" | "all" => {
                 which.push(args[i].clone())
             }
@@ -107,6 +144,17 @@ fn main() {
         i += 1;
     }
     cable_obs::init_from_env();
+    if let Some(spec) = &faults {
+        cable_guard::faults::install(spec).unwrap_or_else(|e| usage(&format!("--faults: {e}")));
+    } else if let Err(e) = cable_guard::init_from_env() {
+        die(&format!("CABLE_FAULTS: {e}"));
+    }
+    let _budget_guard = cable_guard::Budget {
+        deadline: deadline_ms.map(std::time::Duration::from_millis),
+        max_concepts,
+        ..Default::default()
+    }
+    .install();
     if stats || json_out.is_some() || trace_out.is_some() || obs_listen.is_some() {
         cable_obs::set_enabled(true);
         cable_obs::recorder::set_recording(true);
@@ -129,223 +177,247 @@ fn main() {
     let registry = cable_specs::registry();
     let (random_trials, optimal_budget) = if quick { (64, 50_000) } else { (1024, 500_000) };
 
-    if all || which.iter().any(|w| w == "table1") {
-        println!("## Table 1: specifications after debugging (seed {seed})\n");
-        println!("| spec | states | transitions | ≡ ground truth | bugs | buggy programs | description |");
-        println!("|---|---|---|---|---|---|---|");
-        let rows = table1(&registry, seed);
-        let mut total_bugs = 0;
-        for r in &rows {
-            println!(
-                "| {} | {} | {} | {} | {} | {} | {} |",
-                r.name,
-                r.states,
-                r.transitions,
-                if r.equivalent { "yes" } else { "no" },
-                r.bugs,
-                r.buggy_programs,
-                r.description
-            );
-            total_bugs += r.bugs;
+    // No-panic boundary: a genuine panic anywhere in the table runs
+    // (including injected `--faults` panics at cable-par task
+    // boundaries) surfaces as a structured error + exit code, not an
+    // unwind. Budget trips inside table2 are handled gracefully further
+    // down; only an unexpected unwind lands here.
+    let contained = cable_guard::contain(|| {
+        if all || which.iter().any(|w| w == "table1") {
+            println!("## Table 1: specifications after debugging (seed {seed})\n");
+            println!("| spec | states | transitions | ≡ ground truth | bugs | buggy programs | description |");
+            println!("|---|---|---|---|---|---|---|");
+            let rows = table1(&registry, seed);
+            let mut total_bugs = 0;
+            for r in &rows {
+                println!(
+                    "| {} | {} | {} | {} | {} | {} | {} |",
+                    r.name,
+                    r.states,
+                    r.transitions,
+                    if r.equivalent { "yes" } else { "no" },
+                    r.bugs,
+                    r.buggy_programs,
+                    r.description
+                );
+                total_bugs += r.bugs;
+            }
+            println!("\ntotal bugs found by the corrected specifications: {total_bugs}\n");
         }
-        println!("\ntotal bugs found by the corrected specifications: {total_bugs}\n");
-    }
 
-    if all || which.iter().any(|w| w == "table2") {
-        println!("## Table 2: cost of concept analysis (seed {seed})\n");
-        println!(
+        if all || which.iter().any(|w| w == "table2") {
+            println!("## Table 2: cost of concept analysis (seed {seed})\n");
+            println!(
             "| spec | traces | unique | reference FA | transitions | k | concepts | build (ms) | \
              ingest (µs/trace) | store (bytes) |"
         );
-        println!("|---|---|---|---|---|---|---|---|---|---|");
-        let rows_with_deltas = table2_with_deltas(&registry, seed);
-        if let Some(sink) = &sink {
-            for (r, delta) in &rows_with_deltas {
-                let record = Value::object([
-                    ("record", Value::from("table2_spec")),
-                    ("seed", Value::from(seed)),
-                    ("spec", Value::from(r.name.as_str())),
-                    ("traces", Value::from(r.traces)),
-                    ("unique", Value::from(r.unique)),
-                    ("reference", Value::from(r.reference.as_str())),
-                    ("transitions", Value::from(r.transitions)),
-                    ("max_row", Value::from(r.max_row)),
-                    ("concepts", Value::from(r.concepts)),
-                    ("build_ms", Value::from(r.build_ms)),
-                    ("ingest_us_per_trace", Value::from(r.ingest_us_per_trace)),
-                    ("store_bytes", Value::from(r.store_bytes)),
-                    ("journal_bytes", Value::from(r.journal_bytes)),
-                    ("obs", delta.to_json()),
-                ]);
-                sink.write(&record).expect("writing perf record");
-            }
-        }
-        let rows: Vec<_> = rows_with_deltas.into_iter().map(|(r, _)| r).collect();
-        let mut max_ms = 0.0f64;
-        for r in &rows {
-            println!(
-                "| {} | {} | {} | {} | {} | {} | {} | {:.2} | {:.1} | {} |",
-                r.name,
-                r.traces,
-                r.unique,
-                r.reference,
-                r.transitions,
-                r.max_row,
-                r.concepts,
-                r.build_ms,
-                r.ingest_us_per_trace,
-                r.store_bytes
-            );
-            max_ms = max_ms.max(r.build_ms);
-        }
-        println!("\nlongest lattice construction: {max_ms:.2} ms (paper: < 22 s)\n");
-        // The paper's linear-size observation over the real specs.
-        let pts: Vec<(f64, f64)> = rows
-            .iter()
-            .map(|r| (r.transitions as f64, r.concepts as f64))
-            .collect();
-        if let Some((a, b)) = cable_util::stats::linear_fit(&pts) {
-            let r2 = cable_util::stats::r_squared(&pts, a, b);
-            println!("lattice size vs transitions: concepts ≈ {a:.1} + {b:.2}·transitions (r² = {r2:.2})\n");
-        }
-    }
-
-    if all || which.iter().any(|w| w == "table3") {
-        println!("## Table 3: labeling cost by strategy (seed {seed})\n");
-        println!(
-            "| spec | concepts | Baseline | Expert | Top-down | Bottom-up | Random | Optimal |"
-        );
-        println!("|---|---|---|---|---|---|---|---|");
-        let rows = table3(&registry, seed, 16, random_trials, optimal_budget);
-        let mut expert_total = 0usize;
-        let mut baseline_total = 0usize;
-        let mut best_ratio: Option<(f64, String, usize, usize)> = None;
-        for r in &rows {
-            println!(
-                "| {} | {} | {} | {} | {} | {} | {} | {} |",
-                r.name,
-                r.concepts,
-                r.baseline,
-                fmt_opt(r.expert),
-                fmt_opt(r.top_down),
-                fmt_opt(r.bottom_up),
-                r.random_mean
-                    .map(|m| format!("{m:.1}"))
-                    .unwrap_or_else(|| "—".into()),
-                fmt_opt(r.optimal),
-            );
-            if let Some(e) = r.expert {
-                expert_total += e;
-                baseline_total += r.baseline;
-                let ratio = e as f64 / r.baseline as f64;
-                if best_ratio.as_ref().is_none_or(|(b, _, _, _)| ratio < *b) {
-                    best_ratio = Some((ratio, r.name.clone(), e, r.baseline));
+            println!("|---|---|---|---|---|---|---|---|---|---|");
+            let rows_with_deltas = table2_with_deltas(&registry, seed);
+            if let Some(sink) = &sink {
+                for (r, delta) in &rows_with_deltas {
+                    let record = Value::object([
+                        ("record", Value::from("table2_spec")),
+                        ("seed", Value::from(seed)),
+                        ("spec", Value::from(r.name.as_str())),
+                        ("traces", Value::from(r.traces)),
+                        ("unique", Value::from(r.unique)),
+                        ("reference", Value::from(r.reference.as_str())),
+                        ("transitions", Value::from(r.transitions)),
+                        ("max_row", Value::from(r.max_row)),
+                        ("concepts", Value::from(r.concepts)),
+                        ("build_ms", Value::from(r.build_ms)),
+                        ("ingest_us_per_trace", Value::from(r.ingest_us_per_trace)),
+                        ("store_bytes", Value::from(r.store_bytes)),
+                        ("journal_bytes", Value::from(r.journal_bytes)),
+                        ("budget_stopped", Value::from(r.budget_stopped)),
+                        ("obs", delta.to_json()),
+                    ]);
+                    sink.write(&record).expect("writing perf record");
                 }
             }
+            let rows: Vec<_> = rows_with_deltas.into_iter().map(|(r, _)| r).collect();
+            let mut max_ms = 0.0f64;
+            for r in &rows {
+                println!(
+                    "| {} | {} | {} | {} | {} | {} | {}{} | {:.2} | {:.1} | {} |",
+                    r.name,
+                    r.traces,
+                    r.unique,
+                    r.reference,
+                    r.transitions,
+                    r.max_row,
+                    r.concepts,
+                    if r.budget_stopped { "*" } else { "" },
+                    r.build_ms,
+                    r.ingest_us_per_trace,
+                    r.store_bytes
+                );
+                max_ms = max_ms.max(r.build_ms);
+            }
+            if rows.iter().any(|r| r.budget_stopped) {
+                println!("\n\\* budget stopped the build; concepts counts the partial lattice");
+            }
+            println!("\nlongest lattice construction: {max_ms:.2} ms (paper: < 22 s)\n");
+            // The paper's linear-size observation over the real specs.
+            let pts: Vec<(f64, f64)> = rows
+                .iter()
+                .map(|r| (r.transitions as f64, r.concepts as f64))
+                .collect();
+            if let Some((a, b)) = cable_util::stats::linear_fit(&pts) {
+                let r2 = cable_util::stats::r_squared(&pts, a, b);
+                println!("lattice size vs transitions: concepts ≈ {a:.1} + {b:.2}·transitions (r² = {r2:.2})\n");
+            }
         }
-        println!(
+
+        if all || which.iter().any(|w| w == "table3") {
+            println!("## Table 3: labeling cost by strategy (seed {seed})\n");
+            println!(
+                "| spec | concepts | Baseline | Expert | Top-down | Bottom-up | Random | Optimal |"
+            );
+            println!("|---|---|---|---|---|---|---|---|");
+            let rows = table3(&registry, seed, 16, random_trials, optimal_budget);
+            let mut expert_total = 0usize;
+            let mut baseline_total = 0usize;
+            let mut best_ratio: Option<(f64, String, usize, usize)> = None;
+            for r in &rows {
+                println!(
+                    "| {} | {} | {} | {} | {} | {} | {} | {} |",
+                    r.name,
+                    r.concepts,
+                    r.baseline,
+                    fmt_opt(r.expert),
+                    fmt_opt(r.top_down),
+                    fmt_opt(r.bottom_up),
+                    r.random_mean
+                        .map(|m| format!("{m:.1}"))
+                        .unwrap_or_else(|| "—".into()),
+                    fmt_opt(r.optimal),
+                );
+                if let Some(e) = r.expert {
+                    expert_total += e;
+                    baseline_total += r.baseline;
+                    let ratio = e as f64 / r.baseline as f64;
+                    if best_ratio.as_ref().is_none_or(|(b, _, _, _)| ratio < *b) {
+                        best_ratio = Some((ratio, r.name.clone(), e, r.baseline));
+                    }
+                }
+            }
+            println!(
             "\nExpert/Baseline over all specs: {expert_total}/{baseline_total} = {:.2} (paper: < 1/3 on average)",
             expert_total as f64 / baseline_total as f64
         );
-        if let Some((ratio, name, e, b)) = best_ratio {
-            println!("best case: {name} needed {e} decisions vs {b} by hand (ratio {ratio:.2}; paper: 28 vs 224)\n");
+            if let Some((ratio, name, e, b)) = best_ratio {
+                println!("best case: {name} needed {e} decisions vs {b} by hand (ratio {ratio:.2}; paper: 28 vs 224)\n");
+            }
         }
-    }
 
-    if all || which.iter().any(|w| w == "coring") {
-        println!("## §6 ablation: coring vs Cable (seed {seed})\n");
-        println!("Coring drops transitions below a frequency threshold; no threshold");
-        println!("separates errors from correct traces the way Cable does.\n");
-        let thresholds = [1u64, 2, 4, 8, 16, 32];
-        for name in ["XOpenDisplay", "FilePair", "XtFree"] {
-            let spec = registry.spec(name).expect("known spec");
-            let report = cable_bench::coring_sweep(spec, seed, &thresholds);
-            println!(
-                "### {} ({} bad classes, {} good classes)\n",
-                report.name, report.total_bad, report.total_good
-            );
-            println!("| method | errors kept | good classes lost |");
-            println!("|---|---|---|");
-            for row in &report.sweep {
+        if all || which.iter().any(|w| w == "coring") {
+            println!("## §6 ablation: coring vs Cable (seed {seed})\n");
+            println!("Coring drops transitions below a frequency threshold; no threshold");
+            println!("separates errors from correct traces the way Cable does.\n");
+            let thresholds = [1u64, 2, 4, 8, 16, 32];
+            for name in ["XOpenDisplay", "FilePair", "XtFree"] {
+                let spec = registry.spec(name).expect("known spec");
+                let report = cable_bench::coring_sweep(spec, seed, &thresholds);
                 println!(
-                    "| coring ≥ {} | {} | {} |",
-                    row.threshold, row.errors_kept, row.good_lost
+                    "### {} ({} bad classes, {} good classes)\n",
+                    report.name, report.total_bad, report.total_good
+                );
+                println!("| method | errors kept | good classes lost |");
+                println!("|---|---|---|");
+                for row in &report.sweep {
+                    println!(
+                        "| coring ≥ {} | {} | {} |",
+                        row.threshold, row.errors_kept, row.good_lost
+                    );
+                }
+                println!(
+                    "| **Cable** | **{}** | **{}** |\n",
+                    report.cable_errors_kept, report.cable_good_lost
                 );
             }
-            println!(
-                "| **Cable** | **{}** | **{}** |\n",
-                report.cable_errors_kept, report.cable_good_lost
-            );
         }
-    }
 
-    if all || which.iter().any(|w| w == "ablation") {
-        println!("## §5.2 ablation: lattice over all traces vs representatives (seed {seed})\n");
-        println!("| spec | traces | unique | concepts | all (ms) | dedup (ms) | speedup |");
-        println!("|---|---|---|---|---|---|---|");
-        for name in ["FilePair", "XtFree", "RegionsBig"] {
-            let spec = registry.spec(name).expect("known spec");
-            let row = cable_bench::dedup_ablation(spec, seed);
+        if all || which.iter().any(|w| w == "ablation") {
             println!(
-                "| {} | {} | {} | {} | {:.2} | {:.2} | {:.1}× |",
-                row.name,
-                row.traces,
-                row.unique,
-                row.concepts,
-                row.all_ms,
-                row.dedup_ms,
-                row.all_ms / row.dedup_ms.max(1e-6)
+                "## §5.2 ablation: lattice over all traces vs representatives (seed {seed})\n"
             );
-        }
-        println!("\n## §2.1 ablation: sk-strings granularity dial (FilePair good traces)\n");
-        println!("| k | s% | states | transitions | ≡ ground truth |");
-        println!("|---|---|---|---|---|");
-        let spec = registry.spec("FilePair").expect("known spec");
-        for row in cable_bench::learner_sweep(spec, seed) {
+            println!("| spec | traces | unique | concepts | all (ms) | dedup (ms) | speedup |");
+            println!("|---|---|---|---|---|---|---|");
+            for name in ["FilePair", "XtFree", "RegionsBig"] {
+                let spec = registry.spec(name).expect("known spec");
+                let row = cable_bench::dedup_ablation(spec, seed);
+                println!(
+                    "| {} | {} | {} | {} | {:.2} | {:.2} | {:.1}× |",
+                    row.name,
+                    row.traces,
+                    row.unique,
+                    row.concepts,
+                    row.all_ms,
+                    row.dedup_ms,
+                    row.all_ms / row.dedup_ms.max(1e-6)
+                );
+            }
+            println!("\n## §2.1 ablation: sk-strings granularity dial (FilePair good traces)\n");
+            println!("| k | s% | states | transitions | ≡ ground truth |");
+            println!("|---|---|---|---|---|");
+            let spec = registry.spec("FilePair").expect("known spec");
+            for row in cable_bench::learner_sweep(spec, seed) {
+                println!(
+                    "| {} | {:.0} | {} | {} | {} |",
+                    row.k,
+                    row.s_percent,
+                    row.states,
+                    row.transitions,
+                    if row.equivalent { "yes" } else { "no" }
+                );
+            }
+            println!();
+            println!("## §6 comparison: concept lattice vs Jaccard-HAC dendrogram\n");
             println!(
-                "| {} | {:.0} | {} | {} | {} |",
-                row.k,
-                row.s_percent,
-                row.states,
-                row.transitions,
-                if row.equivalent { "yes" } else { "no" }
+                "Minimum cluster decisions to realise the oracle labeling (lower is better).\n"
             );
+            println!("| spec | classes | lattice | HAC single | HAC complete | HAC average |");
+            println!("|---|---|---|---|---|---|");
+            for name in ["FilePair", "XtFree", "XInternAtom", "XFreeGC"] {
+                let spec = registry.spec(name).expect("known spec");
+                let row = cable_bench::hac_comparison(spec, seed, optimal_budget);
+                println!(
+                    "| {} | {} | {} | {} | {} | {} |",
+                    row.name,
+                    row.classes,
+                    fmt_opt(row.lattice),
+                    row.hac_single,
+                    row.hac_complete,
+                    row.hac_average
+                );
+            }
+            println!();
         }
-        println!();
-        println!("## §6 comparison: concept lattice vs Jaccard-HAC dendrogram\n");
-        println!("Minimum cluster decisions to realise the oracle labeling (lower is better).\n");
-        println!("| spec | classes | lattice | HAC single | HAC complete | HAC average |");
-        println!("|---|---|---|---|---|---|");
-        for name in ["FilePair", "XtFree", "XInternAtom", "XFreeGC"] {
-            let spec = registry.spec(name).expect("known spec");
-            let row = cable_bench::hac_comparison(spec, seed, optimal_budget);
-            println!(
-                "| {} | {} | {} | {} | {} | {} |",
-                row.name,
-                row.classes,
-                fmt_opt(row.lattice),
-                row.hac_single,
-                row.hac_complete,
-                row.hac_average
-            );
-        }
-        println!();
-    }
 
-    if all || which.iter().any(|w| w == "scaling") {
-        println!("## §5.2 scaling: lattice size and time vs FA transitions (seed {seed})\n");
-        println!("| transitions | objects | concepts | build (ms) |");
-        println!("|---|---|---|---|");
-        let rows = scaling(seed);
-        for r in &rows {
-            println!(
-                "| {} | {} | {} | {:.2} |",
-                r.transitions, r.objects, r.concepts, r.build_ms
-            );
+        if all || which.iter().any(|w| w == "scaling") {
+            println!("## §5.2 scaling: lattice size and time vs FA transitions (seed {seed})\n");
+            println!("| transitions | objects | concepts | build (ms) |");
+            println!("|---|---|---|---|");
+            let rows = scaling(seed);
+            for r in &rows {
+                println!(
+                    "| {} | {} | {} | {:.2} |",
+                    r.transitions, r.objects, r.concepts, r.build_ms
+                );
+            }
+            if let Some((a, b, r2)) = scaling_fit(&rows) {
+                println!("\nfit: concepts ≈ {a:.1} + {b:.2}·transitions (r² = {r2:.2})\n");
+            }
         }
-        if let Some((a, b, r2)) = scaling_fit(&rows) {
-            println!("\nfit: concepts ≈ {a:.1} + {b:.2}·transitions (r² = {r2:.2})\n");
-        }
+    });
+    if let Err(e) = contained {
+        eprintln!("error: {e}");
+        let code = match e {
+            cable_guard::GuardError::BudgetExceeded { .. } => 4,
+            _ => 5,
+        };
+        std::process::exit(code);
     }
 
     let snap = cable_obs::registry().snapshot();
@@ -486,7 +558,10 @@ fn usage(msg: &str) -> ! {
          \u{20} --json-out PATH   write JSONL perf records (table2 specs + pipeline snapshot)\n\
          \u{20} --trace-out PATH  export the flight recorder as Chrome trace-event JSON\n\
          \u{20} --obs-listen ADDR serve /metrics, /healthz, /tracez while the run lasts\n\
-         \u{20}                   (ADDR is host:port, or a bare port bound on 127.0.0.1)"
+         \u{20}                   (ADDR is host:port, or a bare port bound on 127.0.0.1)\n\
+         \u{20} --deadline-ms N   install a wall-clock budget; table2 reports guarded builds\n\
+         \u{20} --max-concepts N  install a concept-count budget (deterministic partial lattices)\n\
+         \u{20} --faults SPEC     install the fault plane (seed:kind@site[#K|=P][,...]; or CABLE_FAULTS)"
     );
     std::process::exit(2);
 }

@@ -112,6 +112,10 @@ pub struct Table2Row {
     pub store_bytes: u64,
     /// Journal size in bytes after the ingest, before compaction.
     pub journal_bytes: u64,
+    /// Whether an installed resource budget stopped the lattice build;
+    /// `concepts` then counts the deterministic partial lattice (the CI
+    /// budget-determinism gate compares this across `CABLE_PAR` values).
+    pub budget_stopped: bool,
 }
 
 /// Regenerates Table 2.
@@ -138,8 +142,27 @@ pub fn table2_with_deltas(registry: &Registry, seed: u64) -> Vec<(Table2Row, cab
         .map(|p| {
             let before = cable_obs::registry().snapshot();
             let ctx = p.session.context();
-            let build_ms = time_build(ctx);
-            let (ingest_us_per_trace, store_bytes, journal_bytes) = measure_ingest(&p);
+            // Under an installed budget the row measures the *guarded*
+            // build: a trip reports the deterministic partial lattice
+            // instead, and the timing/store measurements (which would
+            // re-trip the budget or measure a truncated corpus) are
+            // skipped. Without a budget this is the plain path.
+            let (concepts, budget_stopped) = if cable_guard::budget_active() {
+                match ConceptLattice::try_build(ctx) {
+                    Ok(lattice) => (lattice.len(), false),
+                    Err(stop) => (stop.lattice.len(), true),
+                }
+            } else {
+                (p.session.lattice().len(), false)
+            };
+            let (build_ms, ingest_us_per_trace, store_bytes, journal_bytes) =
+                if cable_guard::budget_active() {
+                    (0.0, 0.0, 0, 0)
+                } else {
+                    let build_ms = time_build(ctx);
+                    let (ingest, store, journal) = measure_ingest(&p);
+                    (build_ms, ingest, store, journal)
+                };
             let row = Table2Row {
                 name: p.name.clone(),
                 traces: p.scenarios.len(),
@@ -147,11 +170,12 @@ pub fn table2_with_deltas(registry: &Registry, seed: u64) -> Vec<(Table2Row, cab
                 reference: p.reference.name(),
                 transitions: p.session.reference_fa().transition_count(),
                 max_row: ctx.max_row_size(),
-                concepts: p.session.lattice().len(),
+                concepts,
                 build_ms,
                 ingest_us_per_trace,
                 store_bytes,
                 journal_bytes,
+                budget_stopped,
             };
             let delta = cable_obs::registry().snapshot().delta_since(&before);
             (row, delta)
@@ -194,9 +218,13 @@ fn measure_ingest(p: &PreparedSpec) -> (f64, u64, u64) {
         .expect("saving the bench store");
     let start = Instant::now();
     if rest_count > 0 {
-        stored
-            .ingest_text(&rest_lines, false)
-            .expect("ingesting the held-out scenarios");
+        // A guard trip (budget ceiling or injected exhaustion) mid-bench
+        // tunnels out as the structured error, not an unwind.
+        match stored.ingest_text(&rest_lines, false) {
+            Ok(_) => {}
+            Err(cable_store::StoreError::Guard(e)) => cable_guard::bail(e),
+            Err(e) => panic!("ingesting the held-out scenarios: {e}"),
+        }
     }
     let elapsed_us = start.elapsed().as_secs_f64() * 1e6;
     // The incremental path must land exactly where the batch build did.

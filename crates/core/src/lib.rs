@@ -54,8 +54,9 @@ pub mod strategy;
 pub mod wellformed;
 
 pub use label::{Label, LabelStore};
-pub use persist::StoredSession;
+pub use persist::{IngestReport, StoredSession};
 pub use session::{
-    CableSession, ConceptState, FocusSession, LabelCount, SessionProgress, TraceSelector,
+    CableSession, ConceptState, FocusSession, LabelCount, SessionProgress, SessionStop,
+    TraceSelector,
 };
 pub use strategy::Cost;

@@ -169,6 +169,24 @@ impl CableSession {
     }
 }
 
+/// Outcome of a continue-on-error ingestion
+/// ([`StoredSession::ingest_text_keep_going`]).
+#[derive(Debug)]
+pub struct IngestReport {
+    /// Per ingested trace in order: its id and whether it founded a new
+    /// identical class.
+    pub results: Vec<(cable_trace::TraceId, bool)>,
+    /// Lines that failed to parse: 1-based line number and message.
+    pub errors: Vec<(usize, String)>,
+}
+
+impl IngestReport {
+    /// Whether every line made it in.
+    pub fn is_clean(&self) -> bool {
+        self.errors.is_empty()
+    }
+}
+
 /// A live session paired with its open store.
 ///
 /// Mutations go through [`StoredSession::ingest_text`] and
@@ -219,6 +237,7 @@ impl StoredSession {
     fn apply(&mut self, records: &[JournalRecord]) -> Result<(), StoreError> {
         let mut pending: Vec<Trace> = Vec::new();
         for record in records {
+            cable_guard::checkpoint("core.persist.replay")?;
             match record {
                 JournalRecord::Trace(line) => {
                     let trace = Trace::parse(line, &mut self.vocab)
@@ -276,15 +295,67 @@ impl StoredSession {
         if sync_each {
             let mut results = Vec::with_capacity(traces.len());
             for (trace, record) in traces.into_iter().zip(&records) {
+                // Checkpoint before the journal write, so a budget trip
+                // never leaves a journaled-but-unapplied record behind.
+                cable_guard::checkpoint("core.persist.ingest")?;
                 self.store.append(record)?;
                 self.store.sync()?;
                 results.extend(self.session.push_traces(vec![trace]));
             }
             Ok(results)
         } else {
+            cable_guard::checkpoint("core.persist.ingest")?;
             self.store.append_all(&records, false)?;
             Ok(self.session.push_traces(traces))
         }
+    }
+
+    /// [`StoredSession::ingest_text`] in continue-on-error mode: each
+    /// line is parsed independently, malformed lines are collected (with
+    /// their 1-based line numbers) instead of aborting the batch, and
+    /// every well-formed trace is journaled and ingested exactly as the
+    /// strict path would.
+    ///
+    /// # Errors
+    ///
+    /// Parse failures are *not* errors here — they come back inside the
+    /// [`IngestReport`]. Only I/O failures (and guard trips) abort.
+    pub fn ingest_text_keep_going(
+        &mut self,
+        text: &str,
+        sync_each: bool,
+    ) -> Result<IngestReport, StoreError> {
+        let mut traces: Vec<Trace> = Vec::new();
+        let mut errors: Vec<(usize, String)> = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with(';') {
+                continue;
+            }
+            match Trace::parse(line, &mut self.vocab) {
+                Ok(trace) => traces.push(trace),
+                Err(e) => errors.push((lineno + 1, e.to_string())),
+            }
+        }
+        let records: Vec<JournalRecord> = traces
+            .iter()
+            .map(|t| JournalRecord::Trace(t.display(&self.vocab).to_string()))
+            .collect();
+        let results = if sync_each {
+            let mut results = Vec::with_capacity(traces.len());
+            for (trace, record) in traces.into_iter().zip(&records) {
+                cable_guard::checkpoint("core.persist.ingest")?;
+                self.store.append(record)?;
+                self.store.sync()?;
+                results.extend(self.session.push_traces(vec![trace]));
+            }
+            results
+        } else {
+            cable_guard::checkpoint("core.persist.ingest")?;
+            self.store.append_all(&records, false)?;
+            self.session.push_traces(traces)
+        };
+        Ok(IngestReport { results, errors })
     }
 
     /// Labels the selected traces of a concept, journaling each class's
@@ -516,6 +587,36 @@ fopen(X) fread(X)
         assert_eq!(h.generation, 1);
         assert_eq!(h.journal_lag_records, 0);
         assert_eq!(h.journal_lag_bytes, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn keep_going_ingest_skips_bad_lines_and_reports_them() {
+        let dir = tmp_dir("keepgoing");
+        let (session, vocab) = build(CORPUS);
+        let mut stored = session.save(vocab, &dir).unwrap();
+        let traces_before = stored.session().traces().len();
+
+        let mixed = "\
+popen(Y) fwrite(Y) pclose(Y)
+this is ((( not a trace
+fopen(X) fread(X) fclose(X)
+
+bad_line_two(((
+";
+        let report = stored.ingest_text_keep_going(mixed, false).unwrap();
+        assert!(!report.is_clean());
+        assert_eq!(report.results.len(), 2, "both good lines ingested");
+        assert_eq!(report.errors.len(), 2);
+        assert_eq!(report.errors[0].0, 2, "1-based line number");
+        assert_eq!(report.errors[1].0, 5);
+        assert_eq!(stored.session().traces().len(), traces_before + 2);
+
+        // The good traces are durable: a reopen replays exactly them.
+        drop(stored);
+        let (reopened, report) = CableSession::open(&dir).unwrap();
+        assert_eq!(report.replayed, 2);
+        assert_eq!(reopened.session().traces().len(), traces_before + 2);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -77,12 +77,6 @@ impl CableSession {
         let _span = Span::enter("core.session.build", &SESSION_BUILD_NS);
         SESSIONS_BUILT.get().incr();
         let classes = traces.identical_classes();
-        let mut class_of = vec![0usize; traces.len()];
-        for (c, class) in classes.iter().enumerate() {
-            for &m in &class.members {
-                class_of[m.index()] = c;
-            }
-        }
         let representatives: Vec<&Trace> = classes
             .iter()
             .map(|class| traces.trace(class.representative))
@@ -90,13 +84,86 @@ impl CableSession {
         // One sweep per class representative, fanned out on the
         // cable-par pool; rows come back in class order.
         let rows = fa.executed_transitions_batch(&representatives);
-        let mut context = Context::new(classes.len(), fa.transition_count());
+        let context = Self::context_of(&rows, classes.len(), fa.transition_count());
+        let lattice = ConceptLattice::build(&context);
+        Self::assemble(traces, classes, fa, context, lattice)
+    }
+
+    /// [`CableSession::new`] under the installed `cable-guard` budget:
+    /// both construction passes — the executed-transition sweep and the
+    /// Godin lattice build — checkpoint as they go, and a trip returns a
+    /// *valid partial session* over the leading trace classes instead of
+    /// panicking or hanging.
+    ///
+    /// The partial session is exactly the session [`CableSession::new`]
+    /// would build over the covered classes' traces (prefix-exact, see
+    /// [`cable_fca::PartialBuild`]); a concept-count trip lands at the
+    /// same class whatever `CABLE_PAR` is, so those partials are
+    /// deterministic across worker counts.
+    ///
+    /// # Errors
+    ///
+    /// A [`SessionStop`] carrying the typed [`cable_guard::GuardError`]
+    /// and the partial session.
+    pub fn try_new(traces: TraceSet, fa: Fa) -> Result<Self, Box<SessionStop>> {
+        let _span = Span::enter("core.session.build", &SESSION_BUILD_NS);
+        SESSIONS_BUILT.get().incr();
+        let classes = traces.identical_classes();
+        let representatives: Vec<&Trace> = classes
+            .iter()
+            .map(|class| traces.trace(class.representative))
+            .collect();
+        let rows = match fa.try_executed_transitions_batch(&representatives) {
+            Ok(rows) => rows,
+            Err(stop) => {
+                let k = stop.traces_swept;
+                let partial = Self::prefix_session(&traces, &fa, &classes, &stop.partial, k, None);
+                return Err(Box::new(SessionStop {
+                    error: stop.error,
+                    partial,
+                    classes_clustered: k,
+                }));
+            }
+        };
+        let context = Self::context_of(&rows, classes.len(), fa.transition_count());
+        match ConceptLattice::try_build(&context) {
+            Ok(lattice) => Ok(Self::assemble(traces, classes, fa, context, lattice)),
+            Err(stop) => {
+                let k = stop.objects_inserted;
+                let partial =
+                    Self::prefix_session(&traces, &fa, &classes, &rows, k, Some(stop.lattice));
+                Err(Box::new(SessionStop {
+                    error: stop.error,
+                    partial,
+                    classes_clustered: k,
+                }))
+            }
+        }
+    }
+
+    fn context_of(rows: &[BitSet], n_objects: usize, n_attrs: usize) -> Context {
+        let mut context = Context::new(n_objects, n_attrs);
         for (c, executed) in rows.iter().enumerate() {
             for a in executed.iter() {
                 context.add(c, a);
             }
         }
-        let lattice = ConceptLattice::build(&context);
+        context
+    }
+
+    fn assemble(
+        traces: TraceSet,
+        classes: Vec<IdenticalClass>,
+        fa: Fa,
+        context: Context,
+        lattice: ConceptLattice,
+    ) -> CableSession {
+        let mut class_of = vec![0usize; traces.len()];
+        for (c, class) in classes.iter().enumerate() {
+            for &m in &class.members {
+                class_of[m.index()] = c;
+            }
+        }
         let labels = LabelStore::new(classes.len());
         CableSession {
             traces,
@@ -107,6 +174,40 @@ impl CableSession {
             lattice,
             labels,
         }
+    }
+
+    /// A valid session over the first `k` trace classes: traces of later
+    /// classes are dropped, the context keeps the first `k` rows, and
+    /// the lattice is the supplied prefix-exact partial — or is built
+    /// fresh from the truncated context when the sweep itself was the
+    /// pass that stopped.
+    fn prefix_session(
+        traces: &TraceSet,
+        fa: &Fa,
+        classes: &[IdenticalClass],
+        rows: &[BitSet],
+        k: usize,
+        lattice: Option<ConceptLattice>,
+    ) -> CableSession {
+        let mut keep = vec![false; traces.len()];
+        for class in &classes[..k] {
+            for &m in &class.members {
+                keep[m.index()] = true;
+            }
+        }
+        let mut sub = TraceSet::new();
+        for (id, t) in traces.iter() {
+            if keep[id.index()] {
+                sub.push(t.clone());
+            }
+        }
+        // Dropping whole trailing classes preserves the grouping of the
+        // leading ones: same classes, same order, same representatives.
+        let sub_classes = sub.identical_classes();
+        debug_assert_eq!(sub_classes.len(), k);
+        let context = Self::context_of(&rows[..k], k, fa.transition_count());
+        let lattice = lattice.unwrap_or_else(|| ConceptLattice::build(&context));
+        Self::assemble(sub, sub_classes, fa.clone(), context, lattice)
     }
 
     /// The traces being debugged.
@@ -594,6 +695,20 @@ impl CableSession {
     pub fn concept_classes(&self, concept: ConceptId) -> &BitSet {
         &self.lattice.concept(concept).extent
     }
+}
+
+/// A budget-stopped [`CableSession::try_new`]: the typed error plus a
+/// valid session over the leading
+/// [`SessionStop::classes_clustered`] trace classes.
+#[derive(Debug)]
+pub struct SessionStop {
+    /// Why the build stopped.
+    pub error: cable_guard::GuardError,
+    /// The session over the covered prefix of classes — labelable,
+    /// summarisable, and persistable like any other session.
+    pub partial: CableSession,
+    /// How many leading trace classes the partial session covers.
+    pub classes_clustered: usize,
 }
 
 /// Per-label tallies within a [`SessionProgress`].

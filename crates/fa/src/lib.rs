@@ -58,4 +58,5 @@ pub use builder::FaBuilder;
 pub use fa::{Fa, StateId, TransId, Transition};
 pub use label::{ArgPat, EventPat, TransLabel};
 pub use ops::Dfa;
+pub use run::SweepStop;
 pub use text::ParseFaError;

@@ -138,10 +138,60 @@ impl Fa {
     ///
     /// The result is index-ordered — `out[i]` is the relation for
     /// `traces[i]` — and bit-for-bit identical to mapping the sequential
-    /// method over the slice, whatever the pool size.
+    /// method over the slice, whatever the pool size. Each sweep starts
+    /// with a `cable-guard` cancel point, so a poisoned scope or an
+    /// explicit cancellation stops the fan-out promptly.
     pub fn executed_transitions_batch(&self, traces: &[&Trace]) -> Vec<BitSet> {
-        cable_par::par_map("fa.executed", traces, |t| self.executed_transitions(t))
+        cable_par::par_map("fa.executed", traces, |t| {
+            cable_guard::cancel_point("fa.executed");
+            self.executed_transitions(t)
+        })
     }
+
+    /// [`executed_transitions_batch`](Fa::executed_transitions_batch)
+    /// under the installed `cable-guard` budget: with a budget active the
+    /// traces are swept sequentially with a checkpoint before each one,
+    /// so a trip returns the relations of the already-swept prefix —
+    /// index-exact, identical across `CABLE_PAR` settings. With no
+    /// budget this is the parallel batch sweep.
+    ///
+    /// # Errors
+    ///
+    /// A [`SweepStop`] carrying the typed error and the prefix of
+    /// relations swept before the trip.
+    pub fn try_executed_transitions_batch(
+        &self,
+        traces: &[&Trace],
+    ) -> Result<Vec<BitSet>, Box<SweepStop>> {
+        if !cable_guard::budget_active() {
+            return Ok(self.executed_transitions_batch(traces));
+        }
+        let mut out = Vec::with_capacity(traces.len());
+        for (i, t) in traces.iter().enumerate() {
+            if let Err(error) = cable_guard::checkpoint("fa.executed.sweep") {
+                return Err(Box::new(SweepStop {
+                    error,
+                    partial: out,
+                    traces_swept: i,
+                }));
+            }
+            out.push(self.executed_transitions(t));
+        }
+        Ok(out)
+    }
+}
+
+/// A budget-stopped [`Fa::try_executed_transitions_batch`]: the typed
+/// error plus the relations of the traces swept before the trip
+/// (`partial.len() == traces_swept`, aligned with the input prefix).
+#[derive(Debug)]
+pub struct SweepStop {
+    /// Why the sweep stopped.
+    pub error: cable_guard::GuardError,
+    /// Relations for the first [`SweepStop::traces_swept`] traces.
+    pub partial: Vec<BitSet>,
+    /// How many leading traces were fully swept.
+    pub traces_swept: usize,
 }
 
 #[cfg(test)]

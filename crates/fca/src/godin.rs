@@ -61,6 +61,67 @@ pub fn concepts(ctx: &Context) -> Vec<Concept> {
     concepts
 }
 
+/// A budget-stopped [`try_concepts`] run: the typed error plus the
+/// *valid partial result* — the exact concept set of the context
+/// restricted to the first [`BudgetStop::objects_inserted`] objects
+/// (Godin's prefix-exactness invariant: after inserting objects `0..k`,
+/// the concept set equals that of the sub-context).
+#[derive(Debug)]
+pub struct BudgetStop {
+    /// Why the build stopped.
+    pub error: cable_guard::GuardError,
+    /// The prefix-exact concept set over the inserted objects.
+    pub partial: Vec<Concept>,
+    /// How many leading objects are fully inserted.
+    pub objects_inserted: usize,
+}
+
+/// [`concepts`] under the installed `cable-guard` budget: one
+/// checkpoint before each object insertion (cancellation, deadline,
+/// memory estimate, injected exhaustion) and one concept-count check
+/// after it. With nothing installed each check is a single relaxed
+/// atomic load and the result is identical to [`concepts`].
+///
+/// # Errors
+///
+/// A [`BudgetStop`] carrying the prefix-exact partial concept set. The
+/// stop point of a concept-count ceiling depends only on the object
+/// order — never on `CABLE_PAR` or wall clock — so those partial
+/// results are bit-deterministic across worker counts.
+pub fn try_concepts(ctx: &Context) -> Result<Vec<Concept>, Box<BudgetStop>> {
+    let n_attrs = ctx.attribute_count();
+    // The rough per-concept cost charged against the memory ceiling: two
+    // bitsets spanning the object and attribute universes.
+    let concept_bytes = (ctx.object_count().div_ceil(64) + n_attrs.div_ceil(64)) as u64 * 8 + 48;
+    let mut concepts: Vec<Concept> = vec![Concept {
+        extent: BitSet::new(),
+        intent: BitSet::full(n_attrs),
+    }];
+    let mut inserter = Inserter::new(&concepts, n_attrs);
+    for o in 0..ctx.object_count() {
+        if let Err(error) = cable_guard::checkpoint("fca.godin.insert") {
+            return Err(Box::new(BudgetStop {
+                error,
+                partial: concepts,
+                objects_inserted: o,
+            }));
+        }
+        let before = concepts.len();
+        inserter.add_object(&mut concepts, o, ctx.row(o));
+        cable_guard::charge_mem((concepts.len() - before) as u64 * concept_bytes);
+        if let Err(error) = cable_guard::check_concepts(concepts.len()) {
+            // The set is already exact for objects 0..=o; the ceiling
+            // just means it grew past what the caller will pay for.
+            return Err(Box::new(BudgetStop {
+                error,
+                partial: concepts,
+                objects_inserted: o + 1,
+            }));
+        }
+    }
+    Ok(concepts)
+}
+
 /// Objects per shard in [`concepts_sharded`].
 pub const SHARD_SIZE: usize = 32;
 
@@ -74,6 +135,25 @@ pub fn concepts_auto(ctx: &Context) -> Vec<Concept> {
         concepts_sharded(ctx)
     } else {
         concepts(ctx)
+    }
+}
+
+/// [`concepts_auto`] under the installed `cable-guard` budget.
+///
+/// When a budget is active the sequential guarded path is taken
+/// regardless of pool size: its stop points depend only on the object
+/// order, so a budget-exceeded partial result is bit-identical across
+/// `CABLE_PAR` settings — the same determinism guarantee the full build
+/// makes. Without a budget this picks exactly like [`concepts_auto`]
+/// (the sharded path still honours cancellation via its cancel points).
+pub fn try_concepts_auto(ctx: &Context) -> Result<Vec<Concept>, Box<BudgetStop>> {
+    if !cable_guard::budget_active()
+        && ctx.object_count() >= 2 * SHARD_SIZE
+        && cable_par::threads() > 1
+    {
+        Ok(concepts_sharded(ctx))
+    } else {
+        try_concepts(ctx)
     }
 }
 
@@ -111,6 +191,7 @@ pub fn concepts_sharded(ctx: &Context) -> Vec<Concept> {
             }];
             let mut inserter = Inserter::new(&shard_concepts, n_attrs);
             for o in start..end {
+                cable_guard::cancel_point("fca.godin.shard");
                 inserter.add_object(&mut shard_concepts, o, ctx.row(o));
             }
             shard_concepts.into_iter().map(|c| c.intent).collect()
@@ -119,13 +200,19 @@ pub fn concepts_sharded(ctx: &Context) -> Vec<Concept> {
         "fca.godin.merge",
         &families,
         || BTreeSet::from([BitSet::full(n_attrs)]),
-        |acc, family| merge_intent_families(&acc, family),
+        |acc, family| {
+            cable_guard::cancel_point("fca.godin.merge");
+            merge_intent_families(&acc, family)
+        },
         |a, b| merge_intent_families(&a, &b),
     );
     let intents: Vec<BitSet> = merged.into_iter().collect();
-    cable_par::par_map("fca.godin.extents", &intents, |intent| Concept {
-        extent: ctx.tau(intent),
-        intent: intent.clone(),
+    cable_par::par_map("fca.godin.extents", &intents, |intent| {
+        cable_guard::cancel_point("fca.godin.extents");
+        Concept {
+            extent: ctx.tau(intent),
+            intent: intent.clone(),
+        }
     })
 }
 

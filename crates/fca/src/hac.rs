@@ -114,6 +114,11 @@ impl Dendrogram {
                 stack.push(a);
                 stack.push(b);
             } else {
+                // Invariant, not reachable from user input: a node with
+                // no children is a leaf, whose member set is one object,
+                // and a single object always satisfies the `uniform`
+                // closure above (its `first` label equals itself). Only
+                // a bug in dendrogram construction could land here.
                 unreachable!("a leaf is always uniform");
             }
         }

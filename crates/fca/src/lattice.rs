@@ -50,6 +50,62 @@ impl fmt::Display for ConceptId {
     }
 }
 
+/// A structurally invalid lattice operation, reachable from untrusted
+/// input (a corrupted snapshot, a replayed journal, a caller-supplied
+/// concept set) — as opposed to the internal lattice-closure invariants
+/// that [`ConceptLattice::meet`]/[`ConceptLattice::join`] rely on, which
+/// can only break through a bug in construction and stay as panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LatticeError {
+    /// A concept set was empty; every lattice has at least `(τ(A), A)`.
+    EmptyConceptSet,
+    /// Two concepts shared an extent — the set is not a concept set.
+    DuplicateExtent,
+    /// An inserted object's attribute row mentioned attributes outside
+    /// the lattice's universe (the bottom intent).
+    UnknownAttributes {
+        /// The offending object.
+        object: usize,
+    },
+    /// An object was inserted twice (objects are inserted once).
+    DuplicateObject {
+        /// The offending object.
+        object: usize,
+    },
+}
+
+impl fmt::Display for LatticeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LatticeError::EmptyConceptSet => write!(f, "a concept lattice is never empty"),
+            LatticeError::DuplicateExtent => write!(f, "duplicate extent in concept set"),
+            LatticeError::UnknownAttributes { object } => write!(
+                f,
+                "object {object}: attributes outside the lattice's universe"
+            ),
+            LatticeError::DuplicateObject { object } => {
+                write!(f, "object {object} already inserted")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LatticeError {}
+
+/// A budget-stopped [`ConceptLattice::try_build`]: the typed error plus
+/// a *valid* lattice over the first [`PartialBuild::objects_inserted`]
+/// objects of the context (prefix-exact, see
+/// [`crate::godin::BudgetStop`]).
+#[derive(Debug)]
+pub struct PartialBuild {
+    /// Why the build stopped.
+    pub error: cable_guard::GuardError,
+    /// The lattice of the context restricted to the inserted prefix.
+    pub lattice: ConceptLattice,
+    /// How many leading objects of the context the lattice covers.
+    pub objects_inserted: usize,
+}
+
 /// The complete lattice of concepts of a context, with its Hasse diagram.
 ///
 /// The order is the paper's: `(X₀,Y₀) ≤ (X₁,Y₁)` iff `X₀ ⊆ X₁` iff
@@ -84,14 +140,63 @@ impl ConceptLattice {
         Self::from_concepts(crate::next_closure::concepts(ctx))
     }
 
+    /// [`ConceptLattice::build`] under the installed `cable-guard`
+    /// budget: the Godin insertion loop checkpoints before every object
+    /// and checks the concept-count ceiling after it.
+    ///
+    /// When a budget is active the build is forced onto the sequential
+    /// guarded path, so a budget-exceeded stop lands at the same object
+    /// whatever `CABLE_PAR` is — the partial lattice is bit-identical
+    /// across worker counts. With nothing installed this is [`build`]
+    /// (including the sharded path) plus one relaxed atomic load per
+    /// object.
+    ///
+    /// [`build`]: ConceptLattice::build
+    ///
+    /// # Errors
+    ///
+    /// A [`PartialBuild`] carrying the typed [`cable_guard::GuardError`]
+    /// and a valid lattice over the inserted prefix of the context —
+    /// never a panic, never a hang.
+    pub fn try_build(ctx: &Context) -> Result<Self, Box<PartialBuild>> {
+        let _span = Span::enter("fca.lattice.build", &BUILD_NS);
+        match crate::godin::try_concepts_auto(ctx) {
+            Ok(concepts) => Ok(Self::from_concepts(concepts)),
+            Err(stop) => Err(Box::new(PartialBuild {
+                error: stop.error,
+                lattice: Self::from_concepts(stop.partial),
+                objects_inserted: stop.objects_inserted,
+            })),
+        }
+    }
+
     /// Assembles a lattice (Hasse diagram, top, bottom) from a complete
     /// set of concepts.
     ///
     /// # Panics
     ///
-    /// Panics if `concepts` is empty or contains duplicate extents.
-    pub fn from_concepts(mut concepts: Vec<Concept>) -> Self {
-        assert!(!concepts.is_empty(), "a concept lattice is never empty");
+    /// Panics if `concepts` is empty or contains duplicate extents. Use
+    /// [`ConceptLattice::try_from_concepts`] when the concept set comes
+    /// from untrusted input (a decoded snapshot, say) rather than a
+    /// construction algorithm.
+    pub fn from_concepts(concepts: Vec<Concept>) -> Self {
+        match Self::try_from_concepts(concepts) {
+            Ok(lattice) => lattice,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Assembles a lattice from a complete set of concepts, reporting
+    /// structural problems as typed errors instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`LatticeError::EmptyConceptSet`] or
+    /// [`LatticeError::DuplicateExtent`].
+    pub fn try_from_concepts(mut concepts: Vec<Concept>) -> Result<Self, LatticeError> {
+        if concepts.is_empty() {
+            return Err(LatticeError::EmptyConceptSet);
+        }
         // Sort by decreasing extent size: index 0 is the top.
         concepts.sort_by(|a, b| {
             b.extent
@@ -104,7 +209,9 @@ impl ConceptLattice {
         let mut extent_index = HashMap::with_capacity(n);
         for (i, c) in concepts.iter().enumerate() {
             let prev = extent_index.insert(c.extent.clone(), ConceptId(i as u32));
-            assert!(prev.is_none(), "duplicate extent in concept set");
+            if prev.is_some() {
+                return Err(LatticeError::DuplicateExtent);
+            }
         }
         // Hasse diagram: for each concept d, its parents are the minimal
         // strict supersets of its extent.
@@ -137,14 +244,14 @@ impl ConceptLattice {
                 .max_by_key(|&i| concepts[i].intent.len())
                 .expect("nonempty") as u32,
         );
-        ConceptLattice {
+        Ok(ConceptLattice {
             concepts,
             children,
             parents,
             top,
             bottom,
             extent_index,
-        }
+        })
     }
 
     /// Number of concepts.
@@ -222,8 +329,10 @@ impl ConceptLattice {
     /// for concepts is the intersection itself.
     pub fn meet(&self, a: ConceptId, b: ConceptId) -> ConceptId {
         let extent = self.concept(a).extent.intersection(&self.concept(b).extent);
-        // The intersection of two extents is an extent (concept lattices
-        // are closed under extent intersection).
+        // Invariant, not input validation: concept lattices are closed
+        // under extent intersection, so a miss here means the lattice was
+        // built from a non-closed concept set — a construction bug, not a
+        // condition a caller can provoke with bad input.
         self.find_by_extent(&extent)
             .expect("extent intersection is always an extent")
     }
@@ -234,6 +343,8 @@ impl ConceptLattice {
         let union = self.concept(a).extent.union(&self.concept(b).extent);
         // Walk candidates top-down: ids are sorted by decreasing extent
         // size, so the last superset in id order is the least one.
+        // Invariant: the top concept's extent contains every object, so
+        // the filter can never be empty for in-range ids.
         self.ids()
             .filter(|&c| union.is_subset(&self.concept(c).extent))
             .last()
@@ -271,20 +382,41 @@ impl ConceptLattice {
     ///
     /// Panics if `object` already occurs in an extent (objects are
     /// inserted once), or `attrs` mentions attributes outside the
-    /// lattice's attribute universe (the bottom intent).
+    /// lattice's attribute universe (the bottom intent). Use
+    /// [`ConceptLattice::try_insert_object`] when the row comes from
+    /// untrusted input.
     pub fn insert_object(self, object: usize, attrs: &cable_util::BitSet) -> ConceptLattice {
+        match self.try_insert_object(object, attrs) {
+            Ok(lattice) => lattice,
+            Err((e, _)) => panic!("{e}"),
+        }
+    }
+
+    /// [`ConceptLattice::insert_object`] with typed errors: a rejected
+    /// insertion hands the untouched lattice back alongside the error.
+    ///
+    /// # Errors
+    ///
+    /// [`LatticeError::UnknownAttributes`] or
+    /// [`LatticeError::DuplicateObject`], paired with `self` unchanged.
+    // The Err variant deliberately hands the (large, by-value) lattice
+    // back to the caller rather than dropping it.
+    #[allow(clippy::result_large_err)]
+    pub fn try_insert_object(
+        self,
+        object: usize,
+        attrs: &cable_util::BitSet,
+    ) -> Result<ConceptLattice, (LatticeError, ConceptLattice)> {
         let bottom_intent = &self.concepts[self.bottom.index()].intent;
-        assert!(
-            attrs.is_subset(bottom_intent),
-            "attributes outside the lattice's universe"
-        );
-        assert!(
-            !self.concepts[self.top.index()].extent.contains(object),
-            "object already inserted"
-        );
+        if !attrs.is_subset(bottom_intent) {
+            return Err((LatticeError::UnknownAttributes { object }, self));
+        }
+        if self.concepts[self.top.index()].extent.contains(object) {
+            return Err((LatticeError::DuplicateObject { object }, self));
+        }
         let mut concepts = self.concepts;
         crate::godin::add_object(&mut concepts, object, attrs);
-        ConceptLattice::from_concepts(concepts)
+        Ok(ConceptLattice::from_concepts(concepts))
     }
 
     /// Incrementally inserts a batch of new objects (Godin's algorithm),
@@ -303,8 +435,31 @@ impl ConceptLattice {
     ///
     /// Panics if any object already occurs in an extent, or any attribute
     /// row mentions attributes outside the lattice's universe (the
-    /// bottom intent).
+    /// bottom intent). Use [`ConceptLattice::try_insert_objects`] when
+    /// the rows come from untrusted input.
     pub fn insert_objects<'a, I>(self, objects: I) -> ConceptLattice
+    where
+        I: IntoIterator<Item = (usize, &'a cable_util::BitSet)>,
+    {
+        match self.try_insert_objects(objects) {
+            Ok(lattice) => lattice,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`ConceptLattice::insert_objects`] with typed errors.
+    ///
+    /// The batch is validated per object *before* its insertion, so on
+    /// error the already-inserted prefix is simply discarded with the
+    /// partially grown concept set — callers that need the prefix should
+    /// validate rows up front or insert one at a time with
+    /// [`ConceptLattice::try_insert_object`].
+    ///
+    /// # Errors
+    ///
+    /// [`LatticeError::UnknownAttributes`] or
+    /// [`LatticeError::DuplicateObject`] for the first offending object.
+    pub fn try_insert_objects<'a, I>(self, objects: I) -> Result<ConceptLattice, LatticeError>
     where
         I: IntoIterator<Item = (usize, &'a cable_util::BitSet)>,
     {
@@ -316,15 +471,16 @@ impl ConceptLattice {
         let mut concepts = self.concepts;
         let mut inserter = crate::godin::Inserter::new(&concepts, bottom_intent.len());
         for (object, attrs) in objects {
-            assert!(
-                attrs.is_subset(&bottom_intent),
-                "attributes outside the lattice's universe"
-            );
-            assert!(!inserted.contains(object), "object already inserted");
+            if !attrs.is_subset(&bottom_intent) {
+                return Err(LatticeError::UnknownAttributes { object });
+            }
+            if inserted.contains(object) {
+                return Err(LatticeError::DuplicateObject { object });
+            }
             inserted.insert(object);
             inserter.add_object(&mut concepts, object, attrs);
         }
-        ConceptLattice::from_concepts(concepts)
+        Ok(ConceptLattice::from_concepts(concepts))
     }
 
     /// The height of the lattice: the number of concepts on a longest

@@ -52,4 +52,4 @@ pub mod lattice;
 pub mod next_closure;
 
 pub use context::Context;
-pub use lattice::{Concept, ConceptId, ConceptLattice};
+pub use lattice::{Concept, ConceptId, ConceptLattice, LatticeError, PartialBuild};

@@ -2,12 +2,15 @@
 //! `/tracez`.
 //!
 //! Per DESIGN.md §8 this is hand-rolled over [`std::net::TcpListener`] —
-//! no external HTTP stack. The server answers one connection at a time
-//! from a single accept loop (bounded by construction: no per-connection
-//! threads to exhaust), reads at most one request line plus headers with
-//! a read timeout, and always closes the connection after responding.
-//! That is exactly enough for `curl`, Prometheus scrapes, and the CI
-//! smoke test, and nothing more.
+//! no external HTTP stack. Each accepted connection is handled on a
+//! short-lived thread, but never more than [`MAX_CONNECTIONS`] at once:
+//! past the cap, connections get an immediate `503` and a close, so a
+//! herd of slow clients (deliberate or not) occupies a bounded number of
+//! threads while the accept loop keeps draining the backlog. A
+//! connection may send at most [`MAX_HEADER_BYTES`] of request line plus
+//! headers (`431` past that), must make read progress within the 2 s
+//! timeout, and is always closed after the response — slowloris-style
+//! trickles cost one capped slot for at most one timeout.
 //!
 //! Security posture (DESIGN.md §11): addresses given as a bare port bind
 //! `127.0.0.1`; exposing the endpoints beyond localhost requires an
@@ -19,13 +22,23 @@ use crate::metrics::CounterHandle;
 use crate::recorder;
 use crate::registry::registry;
 use crate::{prom, Counter};
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read as _, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
 
 static REQUESTS: CounterHandle = CounterHandle::new("obs.http.requests");
+/// Connections turned away with `503` at the concurrency cap.
+static REJECTED: CounterHandle = CounterHandle::new("obs.http.rejected");
+/// Requests refused with `431` for oversized request line + headers.
+static OVERSIZED: CounterHandle = CounterHandle::new("obs.http.oversized");
+
+/// Ceiling on request line + header bytes a connection may send.
+pub const MAX_HEADER_BYTES: usize = 8 * 1024;
+/// Ceiling on concurrently served connections; the accept loop answers
+/// `503 Service Unavailable` beyond it.
+pub const MAX_CONNECTIONS: usize = 8;
 
 /// Most recent spans per lane served by `/tracez`.
 pub const TRACEZ_SPAN_LIMIT: usize = 64;
@@ -95,10 +108,10 @@ impl ObsServer {
 
     /// Serves requests on the calling thread until the process exits.
     pub fn serve(self) -> ! {
-        let requests = REQUESTS.get();
+        let active = Arc::new(AtomicUsize::new(0));
         loop {
             if let Ok((stream, _)) = self.listener.accept() {
-                handle_connection(stream, requests);
+                dispatch(stream, &active);
             }
         }
     }
@@ -112,7 +125,7 @@ impl ObsServer {
         let handle = std::thread::Builder::new()
             .name("cable-obs-http".into())
             .spawn(move || {
-                let requests = REQUESTS.get();
+                let active = Arc::new(AtomicUsize::new(0));
                 loop {
                     let Ok((stream, _)) = self.listener.accept() else {
                         continue;
@@ -120,7 +133,7 @@ impl ObsServer {
                     if thread_stop.load(Ordering::Acquire) {
                         return;
                     }
-                    handle_connection(stream, requests);
+                    dispatch(stream, &active);
                 }
             })
             .expect("spawn obs http thread");
@@ -129,6 +142,42 @@ impl ObsServer {
             stop,
             handle: Some(handle),
         }
+    }
+}
+
+/// Hands a connection to a short-lived handler thread, bounded by
+/// [`MAX_CONNECTIONS`]. At the cap the connection gets an immediate
+/// `503` on the accept thread (cheap: one small write, no reads) so the
+/// loop is back to accepting without waiting on anyone's timeout.
+fn dispatch(stream: TcpStream, active: &Arc<AtomicUsize>) {
+    let acquired = active
+        .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+            (n < MAX_CONNECTIONS).then_some(n + 1)
+        })
+        .is_ok();
+    if !acquired {
+        REJECTED.get().incr();
+        let mut stream = stream;
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+        let body = "server at connection capacity, retry\n";
+        let _ = write!(
+            stream,
+            "HTTP/1.1 503 Service Unavailable\r\nContent-Type: text/plain; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        );
+        return;
+    }
+    let slot = Arc::clone(active);
+    let spawned = std::thread::Builder::new()
+        .name("cable-obs-conn".into())
+        .spawn(move || {
+            handle_connection(stream, REQUESTS.get());
+            slot.fetch_sub(1, Ordering::AcqRel);
+        });
+    if spawned.is_err() {
+        // Thread spawn failed (resource exhaustion): drop the
+        // connection and release the slot rather than wedging.
+        active.fetch_sub(1, Ordering::AcqRel);
     }
 }
 
@@ -160,28 +209,45 @@ impl Drop for ServerGuard {
 fn handle_connection(stream: TcpStream, requests: &Counter) {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
-    let mut reader = BufReader::new(stream);
+    // The `take` caps how many request-line + header bytes one
+    // connection may feed us: past it `read_line` sees EOF, and we
+    // answer 431 instead of buffering without bound.
+    let mut reader = BufReader::new(stream).take(MAX_HEADER_BYTES as u64);
     let mut request_line = String::new();
     if reader.read_line(&mut request_line).is_err() {
         return;
     }
     // Drain headers so well-behaved clients see a clean close.
+    let mut saw_end = false;
     let mut line = String::new();
     loop {
         line.clear();
         match reader.read_line(&mut line) {
             Ok(0) => break,
-            Ok(_) if line == "\r\n" || line == "\n" => break,
+            Ok(_) if line == "\r\n" || line == "\n" => {
+                saw_end = true;
+                break;
+            }
             Ok(_) => continue,
             Err(_) => return,
         }
     }
     requests.incr();
-    let mut stream = reader.into_inner();
-    let mut parts = request_line.split_whitespace();
-    let method = parts.next().unwrap_or("");
-    let path = parts.next().unwrap_or("");
-    let (status, content_type, body) = respond(method, path);
+    let oversized = !saw_end && reader.limit() == 0;
+    let mut stream = reader.into_inner().into_inner();
+    let (status, content_type, body) = if oversized {
+        OVERSIZED.get().incr();
+        (
+            "431 Request Header Fields Too Large",
+            "text/plain; charset=utf-8",
+            format!("request line + headers exceed {MAX_HEADER_BYTES} bytes\n"),
+        )
+    } else {
+        let mut parts = request_line.split_whitespace();
+        let method = parts.next().unwrap_or("");
+        let path = parts.next().unwrap_or("");
+        respond(method, path)
+    };
     let _ = write!(
         stream,
         "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
@@ -225,19 +291,35 @@ fn respond(method: &str, path: &str) -> (&'static str, &'static str, String) {
 
 fn healthz_json() -> Value {
     let health = *health_slot().lock().expect("obs health poisoned");
-    match health {
-        Some(h) => Value::object([
+    let mut pairs = match health {
+        Some(h) => vec![
             ("status", Value::from("ok")),
             ("store", Value::from("open")),
             ("generation", Value::from(h.generation)),
             ("journal_lag_bytes", Value::from(h.journal_lag_bytes)),
             ("journal_lag_records", Value::from(h.journal_lag_records)),
-        ]),
-        None => Value::object([
+        ],
+        None => vec![
             ("status", Value::from("ok")),
             ("store", Value::from("none")),
-        ]),
-    }
+        ],
+    };
+    pairs.push(("guard", guard_json()));
+    Value::object(pairs)
+}
+
+/// Guard/robustness counters for `/healthz`, read from the registry by
+/// name: cable-obs deliberately does not depend on cable-guard (the
+/// dependency runs the other way), so names are the contract here.
+fn guard_json() -> Value {
+    let snapshot = registry().snapshot();
+    let read = |name: &str| Value::from(snapshot.counter(name).unwrap_or(0));
+    Value::object([
+        ("checkpoints", read("guard.checkpoints")),
+        ("cancelled", read("guard.cancelled")),
+        ("budget_exceeded", read("guard.budget_exceeded")),
+        ("task_panics", read("par.task_panics")),
+    ])
 }
 
 /// The `/tracez` body: the most recent `limit` events per lane, plus
@@ -286,7 +368,6 @@ fn tracez_json(limit: usize) -> Value {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::io::Read as _;
 
     fn get(addr: SocketAddr, path: &str) -> (String, String) {
         let mut stream = TcpStream::connect(addr).expect("connect");
@@ -330,6 +411,15 @@ mod tests {
         assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
         let health = Value::parse(body.trim()).expect("healthz is JSON");
         assert_eq!(health.get("status").and_then(Value::as_str), Some("ok"));
+        let counters = health.get("guard").expect("healthz reports guard counters");
+        assert!(counters
+            .get("checkpoints")
+            .and_then(Value::as_u64)
+            .is_some());
+        assert!(counters
+            .get("task_panics")
+            .and_then(Value::as_u64)
+            .is_some());
 
         set_health(Some(HealthInfo {
             generation: 4,
@@ -354,5 +444,50 @@ mod tests {
         assert!(head.starts_with("HTTP/1.1 404"), "{head}");
 
         drop(guard); // must join cleanly
+    }
+
+    #[test]
+    fn oversized_headers_get_431_not_an_unbounded_buffer() {
+        let guard = ObsServer::bind("0").expect("bind ephemeral").spawn();
+        let mut stream = TcpStream::connect(guard.addr()).expect("connect");
+        write!(stream, "GET /metrics HTTP/1.1\r\n").unwrap();
+        // One absurd header, comfortably past the cap.
+        let filler = "x".repeat(2 * MAX_HEADER_BYTES);
+        let _ = write!(stream, "X-Filler: {filler}\r\n\r\n");
+        // The server stops reading at the cap and closes; unread bytes
+        // on its side can turn the close into a reset, so read whatever
+        // arrives instead of insisting on a clean EOF.
+        let mut bytes = Vec::new();
+        let mut buf = [0u8; 1024];
+        loop {
+            match stream.read(&mut buf) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => bytes.extend_from_slice(&buf[..n]),
+            }
+        }
+        let response = String::from_utf8_lossy(&bytes);
+        assert!(
+            response.starts_with("HTTP/1.1 431"),
+            "expected 431, got: {}",
+            response.lines().next().unwrap_or("")
+        );
+        assert!(OVERSIZED.get().get() >= 1);
+        drop(guard);
+    }
+
+    #[test]
+    fn requests_under_the_cap_are_unaffected_by_the_limit() {
+        let guard = ObsServer::bind("0").expect("bind ephemeral").spawn();
+        let mut stream = TcpStream::connect(guard.addr()).expect("connect");
+        // Several headers, well under MAX_HEADER_BYTES in total.
+        write!(stream, "GET /healthz HTTP/1.1\r\nHost: x\r\n").unwrap();
+        for i in 0..8 {
+            write!(stream, "X-H{i}: {}\r\n", "v".repeat(64)).unwrap();
+        }
+        write!(stream, "\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read response");
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        drop(guard);
     }
 }

@@ -32,6 +32,10 @@ static TASKS: CounterHandle = CounterHandle::new("par.tasks");
 static STEALS: CounterHandle = CounterHandle::new("par.steals");
 /// High-water mark of queued units across all queues.
 static QUEUE_MAX: CounterHandle = CounterHandle::new("par.queue_max");
+/// Genuine unit panics contained at the task boundary (guard unwinds —
+/// budget trips and cancellations tunnelled out of closures — are not
+/// panics and are not counted here).
+static TASK_PANICS: CounterHandle = CounterHandle::new("par.task_panics");
 
 type Task = Box<dyn FnOnce() + Send + 'static>;
 
@@ -217,6 +221,17 @@ impl Pool {
     /// pool. All spawned units complete before `scope` returns — this is
     /// what makes the `'env` borrows sound — and the first unit panic (or
     /// the closure's own) is propagated after the wait.
+    ///
+    /// **Panic isolation.** A panicking unit *poisons* the scope: units
+    /// of the poisoned scope that have not started yet are skipped, and
+    /// in-flight siblings are cancelled cooperatively through the
+    /// `cable-guard` token (they bail at their next
+    /// [`cable_guard::cancel_point`]). The first payload is re-raised
+    /// here on the submitting thread once every unit has wound down —
+    /// callers that need a structured error instead of an unwind wrap
+    /// the pipeline in [`cable_guard::contain`], which maps genuine
+    /// panics to `GuardError::TaskPanic` and tunnelled guard payloads
+    /// back to their typed errors. The pool itself always survives.
     pub fn scope<'env, R>(&self, f: impl FnOnce(&Scope<'env>) -> R) -> R {
         let scope = Scope {
             shared: self.shared.clone(),
@@ -228,6 +243,11 @@ impl Pool {
         // caller's stack even when `f` itself panicked.
         scope.wait();
         let unit_panic = scope.state.panic.lock().expect("par scope poisoned").take();
+        if unit_panic.is_some() {
+            // The failing unit's wrapper cancelled its siblings; the
+            // cancellation window closes with the scope.
+            cable_guard::clear_cancel();
+        }
         match result {
             Err(p) => resume_unwind(p),
             Ok(r) => {
@@ -409,6 +429,10 @@ struct ScopeState {
     remaining: Mutex<usize>,
     done: Condvar,
     panic: Mutex<Option<Box<dyn Any + Send>>>,
+    /// Set when any unit of the scope panics (or bails on a guard
+    /// error): queued-but-unstarted siblings are skipped, the scope's
+    /// outcome is already decided.
+    poisoned: AtomicBool,
 }
 
 /// A spawn scope: units may borrow anything that outlives `'env`,
@@ -425,17 +449,35 @@ impl<'env> Scope<'env> {
     /// Spawns a unit onto the pool. It may borrow from the enclosing
     /// environment (`'env`); the scope waits for it before returning, and
     /// its panic — if any — is propagated by [`Pool::scope`].
+    ///
+    /// Each unit runs behind a `catch_unwind` boundary and a
+    /// fault-injection point (`panic@par.task`); a unit of an already
+    /// poisoned scope is skipped without running.
     pub fn spawn(&self, f: impl FnOnce() + Send + 'env) {
         *self.state.remaining.lock().expect("par scope poisoned") += 1;
         let state = self.state.clone();
         let wrapper = move || {
-            let result = catch_unwind(AssertUnwindSafe(f));
-            if let Err(p) = result {
-                state
-                    .panic
-                    .lock()
-                    .expect("par scope poisoned")
-                    .get_or_insert(p);
+            if !state.poisoned.load(Ordering::Relaxed) {
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    cable_guard::faults::maybe_panic("par.task");
+                    f()
+                }));
+                if let Err(p) = result {
+                    state.poisoned.store(true, Ordering::Relaxed);
+                    if !cable_guard::is_guard_payload(&*p) {
+                        TASK_PANICS.get().incr();
+                        cable_obs::recorder::instant("par.task_panic");
+                    }
+                    // Ask in-flight siblings to bail at their next
+                    // cancel point; `Pool::scope` clears the flag once
+                    // the scope has wound down.
+                    cable_guard::cancel();
+                    state
+                        .panic
+                        .lock()
+                        .expect("par scope poisoned")
+                        .get_or_insert(p);
+                }
             }
             let mut remaining = state.remaining.lock().expect("par scope poisoned");
             *remaining -= 1;

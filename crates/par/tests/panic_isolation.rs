@@ -1,0 +1,114 @@
+//! Panic isolation at `cable-par` task boundaries: a panicking unit —
+//! genuine or injected — poisons its scope, cancels its siblings, and
+//! surfaces as a structured error at the `cable_guard::contain`
+//! boundary, with the pool (and process) fully serviceable afterwards.
+//!
+//! These tests install process-global fault planes and cancellations,
+//! so they live in their own integration binary and serialise on a
+//! local mutex: any scope running in the same process while a
+//! `panic@par.task` rule is armed could draw the firing hit.
+
+use cable_guard::{faults, GuardError};
+use cable_par::Pool;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+fn lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The tentpole acceptance criterion: an injected panic in any worker
+/// surfaces as a structured error on the caller, and the same process
+/// then runs a clean pipeline successfully.
+#[test]
+fn injected_panic_surfaces_as_structured_error_and_process_keeps_serving() {
+    let _l = lock();
+    let pool = Pool::new(4);
+    let items: Vec<u64> = (0..512).collect();
+
+    faults::install("7:panic@par.task#2").unwrap();
+    let result = cable_guard::contain(|| pool.par_map("test.faulty", &items, |&x| x * 2));
+    faults::uninstall();
+
+    match result {
+        Err(GuardError::TaskPanic { message }) => {
+            assert!(message.contains("injected fault"), "{message}");
+            assert!(message.contains("panic@par.task"), "{message}");
+        }
+        other => panic!("expected a contained task panic, got {other:?}"),
+    }
+
+    // The pool survives: a subsequent clean pipeline on the very same
+    // pool returns complete, correct results.
+    let clean = pool.par_map("test.clean", &items, |&x| x * 2);
+    assert_eq!(clean, items.iter().map(|&x| x * 2).collect::<Vec<u64>>());
+    assert!(!cable_guard::cancel_requested(), "cancel window was closed");
+}
+
+/// A genuine unit panic is counted under `par.task_panics`; tunnelled
+/// guard payloads (budget trips, cancellations) are not.
+#[test]
+fn task_panic_counter_counts_genuine_panics_only() {
+    let _l = lock();
+    let pool = Pool::new(2);
+    let before = cable_obs::registry().snapshot();
+
+    let result = cable_guard::contain(|| {
+        pool.scope(|s| {
+            s.spawn(|| panic!("genuine failure"));
+        })
+    });
+    assert_eq!(
+        result,
+        Err(GuardError::TaskPanic {
+            message: "genuine failure".to_owned()
+        })
+    );
+
+    let result = cable_guard::contain(|| {
+        pool.scope(|s| {
+            s.spawn(|| {
+                cable_guard::cancel();
+                cable_guard::cancel_point("test.bail");
+            });
+        })
+    });
+    assert_eq!(result, Err(GuardError::Cancelled));
+    assert!(!cable_guard::cancel_requested());
+
+    let delta = cable_obs::registry().snapshot().delta_since(&before);
+    assert_eq!(delta.counter("par.task_panics"), Some(1));
+}
+
+/// A panicking unit poisons its scope: queued siblings are skipped and
+/// in-flight ones bail at their next cancel point, so the scope winds
+/// down promptly instead of finishing a doomed fan-out.
+#[test]
+fn poisoned_scope_skips_queued_units() {
+    let _l = lock();
+    // One logical thread beyond the caller, so queued units drain one at
+    // a time and everything behind the panicking unit is still queued
+    // when the poison lands.
+    let pool = Pool::new(2);
+    let ran = AtomicUsize::new(0);
+    let result = cable_guard::contain(|| {
+        pool.scope(|s| {
+            s.spawn(|| panic!("first unit fails"));
+            for _ in 0..64 {
+                s.spawn(|| {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        })
+    });
+    assert!(matches!(result, Err(GuardError::TaskPanic { .. })));
+    // The panic poisons the scope as soon as the first unit runs; units
+    // that had not started by then never run. (How many slipped through
+    // first depends on scheduling; all 64 running would mean no
+    // poisoning at all.)
+    assert!(
+        ran.load(Ordering::Relaxed) < 64,
+        "poisoned scope must skip queued units"
+    );
+}

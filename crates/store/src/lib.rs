@@ -37,6 +37,7 @@ pub mod corpus;
 pub mod crc;
 pub mod frame;
 pub mod journal;
+pub mod shim;
 pub mod store;
 
 pub use corpus::SnapshotData;
@@ -53,6 +54,9 @@ pub enum StoreError {
     Io(std::io::Error),
     /// The bytes on disk do not form a valid store file.
     Format(String),
+    /// A `cable-guard` budget or cancellation tripped mid-operation
+    /// (ingest and replay checkpoint between records).
+    Guard(cable_guard::GuardError),
 }
 
 impl StoreError {
@@ -67,6 +71,7 @@ impl fmt::Display for StoreError {
         match self {
             StoreError::Io(e) => write!(f, "store i/o error: {e}"),
             StoreError::Format(m) => write!(f, "store format error: {m}"),
+            StoreError::Guard(e) => write!(f, "store operation stopped: {e}"),
         }
     }
 }
@@ -76,6 +81,7 @@ impl Error for StoreError {
         match self {
             StoreError::Io(e) => Some(e),
             StoreError::Format(_) => None,
+            StoreError::Guard(e) => Some(e),
         }
     }
 }
@@ -83,6 +89,12 @@ impl Error for StoreError {
 impl From<std::io::Error> for StoreError {
     fn from(e: std::io::Error) -> Self {
         StoreError::Io(e)
+    }
+}
+
+impl From<cable_guard::GuardError> for StoreError {
+    fn from(e: cable_guard::GuardError) -> Self {
+        StoreError::Guard(e)
     }
 }
 

@@ -1,0 +1,136 @@
+//! Fault-injecting I/O shim.
+//!
+//! Every store read and write funnels through this module, which asks
+//! the `cable-guard` fault plane whether a deterministic I/O error is
+//! scheduled for the site (`CABLE_FAULTS=<seed>:io@<site>…`) before
+//! touching the file system. With no plane installed the check is a
+//! single relaxed atomic load, so the production path pays nothing.
+//!
+//! Sites: `store.snapshot.read`, `store.journal.read`,
+//! `store.publish`, `store.journal.append`, `store.fsync`.
+
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+/// Returns the injected error for `site`, if one is scheduled.
+pub fn check(site: &str) -> io::Result<()> {
+    match cable_guard::faults::io_error(site) {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// [`std::fs::read`] behind the shim.
+pub fn read(site: &str, path: &Path) -> io::Result<Vec<u8>> {
+    check(site)?;
+    fs::read(path)
+}
+
+/// A writer that consults the fault plane before every write and flush.
+///
+/// The underlying writer is untouched when a fault fires, so an injected
+/// error leaves the file exactly as a real mid-write failure at the same
+/// point would — which is what the recovery tests want to exercise.
+#[derive(Debug)]
+pub struct FaultWriter<W> {
+    inner: W,
+    site: &'static str,
+}
+
+impl<W: Write> FaultWriter<W> {
+    /// Wraps `inner`, attributing faults to `site`.
+    pub fn new(site: &'static str, inner: W) -> FaultWriter<W> {
+        FaultWriter { inner, site }
+    }
+
+    /// Unwraps the shim, handing the inner writer back.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for FaultWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        check(self.site)?;
+        self.inner.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        check(self.site)?;
+        self.inner.flush()
+    }
+}
+
+/// A reader that consults the fault plane before every read.
+#[derive(Debug)]
+pub struct FaultReader<R> {
+    inner: R,
+    site: &'static str,
+}
+
+impl<R: Read> FaultReader<R> {
+    /// Wraps `inner`, attributing faults to `site`.
+    pub fn new(site: &'static str, inner: R) -> FaultReader<R> {
+        FaultReader { inner, site }
+    }
+}
+
+impl<R: Read> Read for FaultReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        check(self.site)?;
+        self.inner.read(buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, MutexGuard};
+
+    // The fault plane is process-global; serialise tests that arm it.
+    fn lock() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn no_plane_is_transparent() {
+        let _l = lock();
+        let mut out = Vec::new();
+        let mut w = FaultWriter::new("store.publish", &mut out);
+        w.write_all(b"hello").unwrap();
+        w.flush().unwrap();
+        assert_eq!(out, b"hello");
+
+        let mut buf = String::new();
+        FaultReader::new("store.snapshot.read", &b"abc"[..])
+            .read_to_string(&mut buf)
+            .unwrap();
+        assert_eq!(buf, "abc");
+    }
+
+    #[test]
+    fn armed_plane_fires_on_the_exact_hit() {
+        let _l = lock();
+        cable_guard::faults::install("3:io@store.publish#2").unwrap();
+        let mut out = Vec::new();
+        let mut w = FaultWriter::new("store.publish", &mut out);
+        w.write_all(b"first").unwrap();
+        let err = w.write_all(b"second").expect_err("second hit fires");
+        assert!(err.to_string().contains("io@store.publish"), "{err}");
+        cable_guard::faults::uninstall();
+        // The inner writer holds exactly the bytes written before the
+        // fault, like a real mid-stream failure.
+        assert_eq!(out, b"first");
+    }
+
+    #[test]
+    fn sites_are_independent() {
+        let _l = lock();
+        cable_guard::faults::install("3:io@store.journal.append").unwrap();
+        assert!(check("store.publish").is_ok());
+        assert!(check("store.journal.append").is_err());
+        cable_guard::faults::uninstall();
+    }
+}

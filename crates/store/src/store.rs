@@ -28,7 +28,7 @@
 
 use crate::corpus::{decode_snapshot, encode_snapshot, SnapshotData};
 use crate::journal::{self, JournalRecord, TailState};
-use crate::StoreError;
+use crate::{shim, StoreError};
 use cable_obs::CounterHandle;
 use std::fs::{self, File, OpenOptions};
 use std::io::{Seek, SeekFrom, Write};
@@ -82,6 +82,7 @@ pub struct Store {
 }
 
 fn fsync(file: &File) -> Result<(), StoreError> {
+    shim::check("store.fsync")?;
     file.sync_all()?;
     FSYNCS.get().incr();
     Ok(())
@@ -102,9 +103,10 @@ fn fsync_dir(dir: &Path) -> Result<(), StoreError> {
 /// and directory fsync.
 fn publish(dir: &Path, tmp_name: &str, name: &str, bytes: &[u8]) -> Result<(), StoreError> {
     let tmp = dir.join(tmp_name);
-    let mut file = File::create(&tmp)?;
+    let mut file = shim::FaultWriter::new("store.publish", File::create(&tmp)?);
     file.write_all(bytes)?;
     BYTES_WRITTEN.get().add(bytes.len() as u64);
+    let file = file.into_inner();
     fsync(&file)?;
     drop(file);
     fs::rename(&tmp, dir.join(name))?;
@@ -162,11 +164,11 @@ impl Store {
     pub fn open(
         dir: &Path,
     ) -> Result<(Store, SnapshotData, Vec<JournalRecord>, RecoveryReport), StoreError> {
-        let snapshot_bytes = fs::read(dir.join(SNAPSHOT_FILE))?;
+        let snapshot_bytes = shim::read("store.snapshot.read", &dir.join(SNAPSHOT_FILE))?;
         let data = decode_snapshot(&snapshot_bytes)?;
 
         let journal_path = dir.join(JOURNAL_FILE);
-        let journal_bytes = match fs::read(&journal_path) {
+        let journal_bytes = match shim::read("store.journal.read", &journal_path) {
             Ok(bytes) => bytes,
             // A missing journal (crash before it was first published)
             // is an empty one.
@@ -233,7 +235,7 @@ impl Store {
     /// [`Store::append_all`].
     pub fn append(&mut self, record: &JournalRecord) -> Result<(), StoreError> {
         let bytes = journal::encode_record(record);
-        self.journal.write_all(&bytes)?;
+        shim::FaultWriter::new("store.journal.append", &mut self.journal).write_all(&bytes)?;
         BYTES_WRITTEN.get().add(bytes.len() as u64);
         JOURNAL_APPENDS.get().incr();
         self.journal_records += 1;

@@ -9,7 +9,7 @@
 //! cable show-fa --traces FILE
 //! cable check   --traces FILE --fa FILE
 //! cable session open    --traces FILE [--fa FILE | --template ...] --store DIR
-//! cable session ingest  --store DIR --traces FILE [--fsync-per-trace]
+//! cable session ingest  --store DIR --traces FILE [--fsync-per-trace] [--keep-going]
 //! cable session resume  --store DIR [--json-out PATH] [--obs-listen ADDR]
 //! cable session compact --store DIR
 //! cable serve   --obs-listen ADDR [--store DIR]
@@ -60,6 +60,30 @@
 //! (equivalent to `CABLE_PAR=N`; the output is identical either way —
 //! only wall-clock time changes). `session resume --obs-listen ADDR`
 //! keeps serving the HTTP endpoints after resuming, like `serve`.
+//!
+//! # Robustness flags
+//!
+//! `--deadline-ms N` and `--max-concepts N` install a resource budget
+//! (cable-guard) for the whole command. Exceeding it does not panic or
+//! hang: commands report the trip on stderr, still print whatever valid
+//! partial result the pipeline produced (a prefix-exact lattice over the
+//! leading trace classes), and exit with code **4**. The partial output
+//! is deterministic — independent of `--threads`/`CABLE_PAR`.
+//!
+//! `--faults <seed>:<kind>@<site>[#K|=P][,…]` (or the `CABLE_FAULTS`
+//! environment variable) installs the deterministic fault-injection
+//! plane: `panic` fires injected panics at cable-par task boundaries,
+//! `io` injects I/O errors at cable-store read/write/fsync sites, and
+//! `budget` forces artificial budget trips at checkpoints. Used by the
+//! CI fault drill; every injected failure must surface as a typed error.
+//! A panic contained at the binary's no-panic boundary (injected or
+//! genuine) is reported as a structured error and exits with code **5**;
+//! injected I/O errors surface through the normal store error paths.
+//!
+//! `session ingest --keep-going` turns malformed trace lines from a
+//! fatal error into per-line reports: each bad line is skipped with its
+//! 1-based line number on stderr, every good line is still ingested and
+//! journaled, and the command exits 1 with a summary.
 
 use cable::fa::templates;
 use cable::obs::json::Value;
@@ -90,11 +114,24 @@ fn main() {
         cable::obs::set_enabled(true);
         cable::obs::recorder::set_recording(true);
     }
-    let code = match command.as_str() {
-        "cluster" => {
-            cluster(&opts);
-            0
-        }
+    if let Some(spec) = &opts.faults {
+        cable::guard::faults::install(spec).unwrap_or_else(|e| usage(&format!("--faults: {e}")));
+    } else if let Err(e) = cable::guard::init_from_env() {
+        die(&format!("CABLE_FAULTS: {e}"));
+    }
+    let budget = cable::guard::Budget {
+        deadline: opts.deadline_ms.map(std::time::Duration::from_millis),
+        max_concepts: opts.max_concepts,
+        ..Default::default()
+    };
+    // Inert when no limit was given; held for the whole command.
+    let _budget_guard = budget.install();
+    // `contain` is the binary's no-panic boundary: a genuine panic in
+    // any pipeline stage or cable-par worker (including injected
+    // `--faults` panics) surfaces as a structured error and a distinct
+    // exit code instead of an unwind.
+    let contained = cable::guard::contain(|| match command.as_str() {
+        "cluster" => cluster(&opts),
         "label" => label(&opts),
         "mine" => {
             mine(&opts);
@@ -112,6 +149,16 @@ fn main() {
             0
         }
         other => usage(&format!("unknown command {other:?}")),
+    });
+    let code = match contained {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            match e {
+                cable::guard::GuardError::BudgetExceeded { .. } => 4,
+                _ => 5,
+            }
+        }
     };
     // Stats print before the exit so failing commands still report.
     if stats {
@@ -136,6 +183,10 @@ struct Opts {
     obs_listen: Option<String>,
     fsync_per_trace: bool,
     stats: bool,
+    deadline_ms: Option<u64>,
+    max_concepts: Option<u64>,
+    faults: Option<String>,
+    keep_going: bool,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
@@ -151,6 +202,10 @@ fn parse_opts(args: &[String]) -> Opts {
         obs_listen: None,
         fsync_per_trace: false,
         stats: false,
+        deadline_ms: None,
+        max_concepts: None,
+        faults: None,
+        keep_going: false,
     };
     let mut i = 0;
     while i < args.len() {
@@ -170,6 +225,11 @@ fn parse_opts(args: &[String]) -> Opts {
                 i += 1;
                 continue;
             }
+            "--keep-going" => {
+                opts.keep_going = true;
+                i += 1;
+                continue;
+            }
             "--threads" => {
                 let n: usize = value()
                     .parse()
@@ -185,6 +245,21 @@ fn parse_opts(args: &[String]) -> Opts {
             "--store" => opts.store = Some(value()),
             "--json-out" => opts.json_out = Some(value()),
             "--obs-listen" => opts.obs_listen = Some(value()),
+            "--deadline-ms" => {
+                opts.deadline_ms = Some(
+                    value()
+                        .parse()
+                        .unwrap_or_else(|_| usage("--deadline-ms needs an integer")),
+                );
+            }
+            "--max-concepts" => {
+                opts.max_concepts = Some(
+                    value()
+                        .parse()
+                        .unwrap_or_else(|_| usage("--max-concepts needs an integer")),
+                );
+            }
+            "--faults" => opts.faults = Some(value()),
             other => usage(&format!("unknown option {other:?}")),
         }
         i += 2;
@@ -224,11 +299,29 @@ fn reference_fa(opts: &Opts, traces: &TraceSet, vocab: &mut Vocab) -> Fa {
     }
 }
 
-fn cluster(opts: &Opts) {
+/// Builds the session under whatever budget `main` installed. A budget
+/// trip is not fatal: the stop carries a valid partial session (a
+/// prefix-exact lattice over the leading trace classes), which callers
+/// print like any other before exiting with code 4.
+fn build_session(traces: TraceSet, fa: Fa) -> (CableSession, i32) {
+    match CableSession::try_new(traces, fa) {
+        Ok(session) => (session, 0),
+        Err(stop) => {
+            eprintln!(
+                "budget exceeded: {}; continuing with the partial session \
+                 ({} of the trace classes clustered)",
+                stop.error, stop.classes_clustered
+            );
+            (stop.partial, 4)
+        }
+    }
+}
+
+fn cluster(opts: &Opts) -> i32 {
     let mut vocab = Vocab::new();
     let traces = load_traces(opts, &mut vocab);
     let fa = reference_fa(opts, &traces, &mut vocab);
-    let session = CableSession::new(traces, fa);
+    let (session, code) = build_session(traces, fa);
     println!(
         "{} traces in {} identical classes; reference FA: {} transitions; {} concepts",
         session.traces().len(),
@@ -269,6 +362,7 @@ fn cluster(opts: &Opts) {
             stored.store().snapshot_bytes().unwrap_or(0)
         );
     }
+    code
 }
 
 /// Parses a labeling script into `(concept, selector, label)` commands,
@@ -362,16 +456,28 @@ fn label(opts: &Opts) -> i32 {
     let mut vocab = Vocab::new();
     let traces = load_traces(opts, &mut vocab);
     let fa = reference_fa(opts, &traces, &mut vocab);
-    let mut session = CableSession::new(traces, fa);
+    let (mut session, code) = build_session(traces, fa);
     for (id, selector, name) in parse_script(&script, session.lattice().len()) {
         let n = session.label_traces(id, &selector, &name);
         eprintln!("labeled {n} classes in {id} as {name:?}");
     }
-    report_labels(&session, &vocab)
+    let label_code = report_labels(&session, &vocab);
+    if code != 0 {
+        code
+    } else {
+        label_code
+    }
 }
 
 fn open_store(dir: &str) -> (StoredSession, cable::store::RecoveryReport) {
-    CableSession::open(Path::new(dir)).unwrap_or_else(|e| die(&format!("opening store {dir}: {e}")))
+    match CableSession::open(Path::new(dir)) {
+        Ok(opened) => opened,
+        Err(cable::store::StoreError::Guard(e)) => {
+            eprintln!("error: budget exceeded opening store {dir}: {e}");
+            exit(4);
+        }
+        Err(e) => die(&format!("opening store {dir}: {e}")),
+    }
 }
 
 fn report_recovery(report: &cable::store::RecoveryReport) {
@@ -465,7 +571,7 @@ fn session_cmd(sub: &str, opts: &Opts) -> i32 {
             let mut vocab = Vocab::new();
             let traces = load_traces(opts, &mut vocab);
             let fa = reference_fa(opts, &traces, &mut vocab);
-            let session = CableSession::new(traces, fa);
+            let (session, code) = build_session(traces, fa);
             let dir = store_dir();
             let stored = session
                 .save(vocab, Path::new(dir))
@@ -476,7 +582,7 @@ fn session_cmd(sub: &str, opts: &Opts) -> i32 {
                 stored.session().classes().len(),
                 stored.session().lattice().len()
             );
-            0
+            code
         }
         "ingest" => {
             let dir = store_dir();
@@ -488,9 +594,39 @@ fn session_cmd(sub: &str, opts: &Opts) -> i32 {
                 .unwrap_or_else(|| usage("--traces FILE is required"));
             let text =
                 fs::read_to_string(path).unwrap_or_else(|e| die(&format!("reading {path}: {e}")));
-            let results = stored
-                .ingest_text(&text, opts.fsync_per_trace)
-                .unwrap_or_else(|e| die(&format!("ingesting {path}: {e}")));
+            let (results, code) = if opts.keep_going {
+                let report = match stored.ingest_text_keep_going(&text, opts.fsync_per_trace) {
+                    Ok(report) => report,
+                    Err(cable::store::StoreError::Guard(e)) => {
+                        eprintln!("budget exceeded while ingesting {path}: {e}");
+                        return 4;
+                    }
+                    Err(e) => die(&format!("ingesting {path}: {e}")),
+                };
+                for (lineno, error) in &report.errors {
+                    eprintln!("{path}:{lineno}: skipped: {error}");
+                }
+                let code = if report.is_clean() {
+                    0
+                } else {
+                    eprintln!(
+                        "skipped {} malformed of {} trace lines",
+                        report.errors.len(),
+                        report.errors.len() + report.results.len()
+                    );
+                    1
+                };
+                (report.results, code)
+            } else {
+                match stored.ingest_text(&text, opts.fsync_per_trace) {
+                    Ok(results) => (results, 0),
+                    Err(cable::store::StoreError::Guard(e)) => {
+                        eprintln!("budget exceeded while ingesting {path}: {e}");
+                        return 4;
+                    }
+                    Err(e) => die(&format!("ingesting {path}: {e}")),
+                }
+            };
             let fresh = results.iter().filter(|(_, new)| *new).count();
             println!(
                 "ingested {} traces ({fresh} new classes); session now {} traces in {} classes, {} concepts",
@@ -499,7 +635,7 @@ fn session_cmd(sub: &str, opts: &Opts) -> i32 {
                 stored.session().classes().len(),
                 stored.session().lattice().len()
             );
-            0
+            code
         }
         "resume" => {
             let dir = store_dir();
@@ -668,8 +804,9 @@ fn usage(msg: &str) -> ! {
          [--template unordered|seed:<op>] [--dot OUT] [--script FILE] [--seeds ops] \
          [--store DIR] [--threads N] [--stats]\n\
          \x20      cable session <open|ingest|resume|compact> --store DIR [--traces FILE] \
-         [--fsync-per-trace] [--json-out PATH] [--obs-listen ADDR]\n\
-         \x20      cable serve --obs-listen ADDR [--store DIR]"
+         [--fsync-per-trace] [--keep-going] [--json-out PATH] [--obs-listen ADDR]\n\
+         \x20      cable serve --obs-listen ADDR [--store DIR]\n\
+         \x20      any command: [--deadline-ms N] [--max-concepts N] [--faults SEED:SPEC]"
     );
     exit(2);
 }

@@ -23,7 +23,9 @@
 //! * [`par`] — the deterministic work-stealing pool the pipeline stages
 //!   run on (`CABLE_PAR` / `--threads` control the worker count),
 //! * [`store`] — crash-safe persistent session stores (snapshot +
-//!   write-ahead journal) behind `CableSession::save`/`open`.
+//!   write-ahead journal) behind `CableSession::save`/`open`,
+//! * [`guard`] — resource budgets, cooperative cancellation, and the
+//!   deterministic fault-injection plane (`CABLE_FAULTS` / `--faults`).
 //!
 //! # Quickstart
 //!
@@ -50,6 +52,7 @@
 pub use cable_core as session;
 pub use cable_fa as fa;
 pub use cable_fca as fca;
+pub use cable_guard as guard;
 pub use cable_learn as learn;
 pub use cable_obs as obs;
 pub use cable_par as par;

@@ -272,6 +272,244 @@ fn serve_exposes_metrics_and_health_over_http() {
 }
 
 #[test]
+fn budget_exceeded_cluster_exits_4_with_a_deterministic_partial() {
+    // The same budget trip must produce bit-identical partial output
+    // whatever the worker count: under a budget the lattice build takes
+    // the sequential guarded path.
+    let run = |threads: &str| {
+        cable(&[
+            "cluster",
+            "--traces",
+            "testdata/stdio_violations.traces",
+            "--max-concepts",
+            "3",
+            "--threads",
+            threads,
+        ])
+    };
+    let one = run("1");
+    let eight = run("8");
+    assert_eq!(one.status.code(), Some(4), "{}", stderr(&one));
+    assert_eq!(eight.status.code(), Some(4), "{}", stderr(&eight));
+    assert!(
+        stderr(&one).contains("budget exceeded"),
+        "stderr was: {}",
+        stderr(&one)
+    );
+    assert!(!stdout(&one).is_empty(), "partial summary still prints");
+    assert_eq!(
+        stdout(&one),
+        stdout(&eight),
+        "partial result must not depend on the worker count"
+    );
+}
+
+#[test]
+fn keep_going_ingest_skips_bad_lines_and_reports_them() {
+    let dir = tmp_dir("keepgoing");
+    let store = dir.join("store");
+    let out = cable(&[
+        "session",
+        "open",
+        "--traces",
+        "testdata/stdio_violations.traces",
+        "--store",
+        store.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    let mixed = dir.join("mixed.traces");
+    fs::write(
+        &mixed,
+        "popen(X) pclose(X)\nthis is ( garbage\nfopen(Y) fclose(Y)\n\nwat((\n",
+    )
+    .unwrap();
+    let out = cable(&[
+        "session",
+        "ingest",
+        "--store",
+        store.to_str().unwrap(),
+        "--traces",
+        mixed.to_str().unwrap(),
+        "--keep-going",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains(":2: skipped:"), "stderr was: {err}");
+    assert!(err.contains(":5: skipped:"), "stderr was: {err}");
+    assert!(
+        err.contains("skipped 2 malformed of 4 trace lines"),
+        "stderr was: {err}"
+    );
+    assert!(
+        stdout(&out).contains("ingested 2 traces"),
+        "stdout was: {}",
+        stdout(&out)
+    );
+
+    // Without --keep-going the same file is a hard error.
+    let out = cable(&[
+        "session",
+        "ingest",
+        "--store",
+        store.to_str().unwrap(),
+        "--traces",
+        mixed.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("line 2"), "{}", stderr(&out));
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn injected_io_fault_is_a_typed_error_and_the_rerun_succeeds() {
+    let dir = tmp_dir("iofault");
+    let store = dir.join("store");
+    let open = |faults: Option<&str>| {
+        let mut args = vec![
+            "session",
+            "open",
+            "--traces",
+            "testdata/stdio_violations.traces",
+            "--store",
+            store.to_str().unwrap(),
+        ];
+        if let Some(spec) = faults {
+            args.push("--faults");
+            args.push(spec);
+        }
+        cable(&args)
+    };
+    let out = open(Some("7:io@store.publish#1"));
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("injected fault: io@store.publish"), "{err}");
+    assert!(!err.contains("panicked"), "typed error, not a panic: {err}");
+
+    // The failed publish left no committed store behind; a clean rerun
+    // of the same command succeeds.
+    let out = open(None);
+    assert!(out.status.success(), "{}", stderr(&out));
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn injected_worker_panic_is_contained_and_the_rerun_succeeds() {
+    let run = |faults: Option<&str>| {
+        let mut args = vec![
+            "cluster",
+            "--traces",
+            "testdata/stdio_violations.traces",
+            "--threads",
+            "4",
+        ];
+        if let Some(spec) = faults {
+            args.push("--faults");
+            args.push(spec);
+        }
+        cable(&args)
+    };
+    let out = run(Some("1:panic@par.task#1"));
+    assert_eq!(out.status.code(), Some(5), "{}", stderr(&out));
+    assert!(
+        stderr(&out).contains("error: task panicked: injected fault: panic@par.task"),
+        "stderr was: {}",
+        stderr(&out)
+    );
+    let out = run(None);
+    assert!(out.status.success(), "{}", stderr(&out));
+}
+
+/// Reads until the first CRLF (TCP may deliver the status line in
+/// several fragments) and returns everything received so far.
+fn read_status_line(stream: &mut TcpStream) -> String {
+    let mut bytes = Vec::new();
+    let mut buf = [0u8; 256];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => {
+                bytes.extend_from_slice(&buf[..n]);
+                if bytes.windows(2).any(|w| w == b"\r\n") {
+                    break;
+                }
+            }
+        }
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+/// Satellite hardening of the obs HTTP endpoint, exercised over raw TCP
+/// against a real `cable serve` process: oversized request heads get a
+/// 431, and a herd of idle (slowloris-style) connections cannot wedge
+/// the server — it keeps answering, at worst with an immediate 503.
+#[test]
+fn serve_survives_oversized_heads_and_idle_connection_herds() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_cable"))
+        .args(["serve", "--obs-listen", "0"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("serve starts");
+    let mut announce = String::new();
+    BufReader::new(child.stdout.take().unwrap())
+        .read_line(&mut announce)
+        .unwrap();
+    let addr = announce
+        .trim()
+        .strip_prefix("serving http://")
+        .and_then(|rest| rest.split('/').next())
+        .expect("address announcement")
+        .to_owned();
+
+    // Oversized request line + headers: the server answers 431 instead
+    // of buffering without bound.
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    write!(stream, "GET /metrics HTTP/1.1\r\n").unwrap();
+    let _ = write!(stream, "X-Filler: {}\r\n\r\n", "x".repeat(64 * 1024));
+    let status = read_status_line(&mut stream);
+    assert!(status.starts_with("HTTP/1.1 431"), "{status}");
+    drop(stream);
+
+    // Slowloris herd: open idle connections up to the concurrency cap.
+    // The server must still answer promptly — a 503 at the cap is the
+    // survival behaviour; anything but a stall is acceptable.
+    let idle: Vec<TcpStream> = (0..cable::obs::http::MAX_CONNECTIONS)
+        .map(|_| TcpStream::connect(&addr).expect("idle connect"))
+        .collect();
+    let mut stream = TcpStream::connect(&addr).expect("connect past the cap");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    write!(stream, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+    let status = read_status_line(&mut stream);
+    assert!(status.starts_with("HTTP/1.1"), "{status}");
+    drop(stream);
+    drop(idle);
+
+    // Once the herd is gone (handlers time out within 2 s), normal
+    // service resumes.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let (status, body) = http_get(&addr, "/healthz");
+        if status.contains("200") {
+            assert!(body.contains("\"guard\""), "healthz reports guard: {body}");
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "server did not recover from the idle herd: {status}"
+        );
+        std::thread::sleep(Duration::from_millis(200));
+    }
+    child.kill().unwrap();
+    child.wait().unwrap();
+}
+
+#[test]
 fn incremental_ingest_matches_clustering_the_whole_corpus_at_once() {
     let dir = tmp_dir("equivalence");
     let base = dir.join("base.traces");

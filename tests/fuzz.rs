@@ -1,0 +1,143 @@
+//! Seeded never-panic fuzz tests (std-only, deterministic).
+//!
+//! Strategy: start from a *valid* input (trace text, FA text, a saved
+//! store directory), apply seeded random byte mutations — bit flips,
+//! byte substitutions, truncations — and require every parser and the
+//! store recovery path to return `Ok` or `Err`, never panic. The seeds
+//! come from `cable_util::rng`, so a failure reproduces with its
+//! printed seed.
+
+use cable::fa::templates;
+use cable::prelude::*;
+use cable::trace::Vocab;
+use cable::util::rng::{seeded, Rng, SmallRng};
+use std::fs;
+use std::path::Path;
+
+/// Applies 1–8 seeded mutations: bit flips, byte substitutions, and an
+/// occasional truncation.
+fn mutate(bytes: &mut Vec<u8>, rng: &mut SmallRng) {
+    let edits = rng.gen_range(1..=8usize);
+    for _ in 0..edits {
+        if bytes.is_empty() {
+            return;
+        }
+        match rng.gen_range(0..10u32) {
+            0 => {
+                let at = rng.gen_range(0..bytes.len());
+                bytes.truncate(at);
+            }
+            1..=4 => {
+                let at = rng.gen_range(0..bytes.len());
+                let bit = rng.gen_range(0..8u32);
+                bytes[at] ^= 1 << bit;
+            }
+            _ => {
+                let at = rng.gen_range(0..bytes.len());
+                bytes[at] = (rng.gen_range(0..256u32)) as u8;
+            }
+        }
+    }
+}
+
+fn valid_trace_text() -> String {
+    "popen(X) pread(X) pclose(X)\npopen(X) pclose(X)\nfopen(Y) fread(Y) fclose(Y)\n\
+     ; a comment line\npopen(Z) pread(Z) pread(Z) pclose(Z)\n"
+        .to_owned()
+}
+
+#[test]
+fn mutated_trace_text_never_panics_the_parser() {
+    for seed in 0..400u64 {
+        let mut rng = seeded(seed);
+        let mut bytes = valid_trace_text().into_bytes();
+        mutate(&mut bytes, &mut rng);
+        // Parsers take &str; arbitrary byte mutations are folded back
+        // into UTF-8 the way any file reader would.
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        let mut vocab = Vocab::new();
+        // Ok or Err both fine; a panic fails the test (seed printed).
+        if let Err(e) = TraceSet::parse(&text, &mut vocab) {
+            assert!(!e.to_string().is_empty(), "seed {seed}: empty parse error");
+        }
+    }
+}
+
+#[test]
+fn mutated_fa_text_never_panics_the_codec() {
+    let mut vocab = Vocab::new();
+    let traces = TraceSet::parse(&valid_trace_text(), &mut vocab).expect("valid fixture");
+    let list: Vec<Trace> = traces.iter().map(|(_, t)| t.clone()).collect();
+    let fa = templates::unordered_of_trace_events(&list);
+    let valid = fa.to_text(&vocab);
+    // The round trip itself must hold before we start breaking it.
+    let mut check_vocab = Vocab::new();
+    Fa::parse(&valid, &mut check_vocab).expect("the codec round-trips");
+
+    for seed in 0..400u64 {
+        let mut rng = seeded(seed);
+        let mut bytes = valid.clone().into_bytes();
+        mutate(&mut bytes, &mut rng);
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        let mut vocab = Vocab::new();
+        if let Err(e) = Fa::parse(&text, &mut vocab) {
+            assert!(!e.to_string().is_empty(), "seed {seed}: empty parse error");
+        }
+    }
+}
+
+/// Saves a small session and returns its store directory.
+fn saved_store(dir: &Path) {
+    let mut vocab = Vocab::new();
+    let traces = TraceSet::parse(&valid_trace_text(), &mut vocab).expect("valid fixture");
+    let list: Vec<Trace> = traces.iter().map(|(_, t)| t.clone()).collect();
+    let fa = templates::unordered_of_trace_events(&list);
+    let session = CableSession::new(traces, fa);
+    let mut stored = session.save(vocab, dir).expect("saving the fuzz store");
+    // Leave journal records behind too, so both files get fuzzed.
+    stored
+        .ingest_text("popen(V3) pclose(V3)\nfopen(V4) fclose(V4)\n", false)
+        .expect("ingesting journal records");
+}
+
+#[test]
+fn mutated_store_files_never_panic_recovery() {
+    let base = std::env::temp_dir().join(format!("cable-fuzz-store-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&base);
+    let pristine = base.join("pristine");
+    fs::create_dir_all(&pristine).expect("mkdir");
+    saved_store(&pristine);
+    let snapshot = fs::read(pristine.join("snapshot.cable")).expect("snapshot exists");
+    let journal = fs::read(pristine.join("journal.cable")).expect("journal exists");
+
+    let victim = base.join("victim");
+    for seed in 0..120u64 {
+        let mut rng = seeded(seed);
+        let mut snap = snapshot.clone();
+        let mut jour = journal.clone();
+        // Mutate one file, the other, or both.
+        match rng.gen_range(0..3u32) {
+            0 => mutate(&mut snap, &mut rng),
+            1 => mutate(&mut jour, &mut rng),
+            _ => {
+                mutate(&mut snap, &mut rng);
+                mutate(&mut jour, &mut rng);
+            }
+        }
+        let _ = fs::remove_dir_all(&victim);
+        fs::create_dir_all(&victim).expect("mkdir victim");
+        fs::write(victim.join("snapshot.cable"), &snap).expect("write snapshot");
+        fs::write(victim.join("journal.cable"), &jour).expect("write journal");
+        // Recovery may succeed (journal corruption is survivable by
+        // design — the tail is discarded) or fail with a typed error;
+        // it must never panic. The seed identifies any failure.
+        match CableSession::open(&victim) {
+            Ok((stored, report)) => {
+                let _ = report;
+                assert!(!stored.session().lattice().is_empty(), "seed {seed}");
+            }
+            Err(e) => assert!(!e.to_string().is_empty(), "seed {seed}: empty error"),
+        }
+    }
+    let _ = fs::remove_dir_all(&base);
+}
