@@ -84,6 +84,9 @@ fn bench_spec_contexts() {
 /// spans enabled must stay within a few percent of the disabled cost
 /// (counters are always on, so this isolates the span/`Instant` cost),
 /// and switching the flight recorder on as well must stay under 5%.
+/// The `obs-scoped` case layers the full PR-6 stack on top — wide
+/// events enabled plus a live scope taking the per-build accounting a
+/// real session does — and must also stay within noise of obs-off.
 fn bench_obs_overhead() {
     let mut group = Group::new("lattice/obs-overhead");
     let ctx = synthetic(24);
@@ -101,12 +104,26 @@ fn bench_obs_overhead() {
         black_box(ConceptLattice::build(black_box(&ctx)));
     });
     cable_obs::recorder::set_recording(false);
+    cable_obs::events::set_enabled(true);
+    let scope = cable_obs::scoped().open(&[("session", "bench"), ("stage", "lattice")]);
+    let scoped = group.bench("godin/obs-scoped", || {
+        let started = std::time::Instant::now();
+        black_box(ConceptLattice::build(black_box(&ctx)));
+        scope.incr("bench.lattice.builds_scoped");
+        scope.record("bench.lattice.build_scoped_ns", {
+            let ns = started.elapsed().as_nanos();
+            u64::try_from(ns).unwrap_or(u64::MAX)
+        });
+    });
+    drop(scope);
+    cable_obs::events::set_enabled(false);
     cable_obs::set_enabled(false);
     cable_obs::recorder::clear();
     println!(
-        "  overhead: spans {:+.2}%, spans+recorder {:+.2}% (medians vs obs-off)",
+        "  overhead: spans {:+.2}%, spans+recorder {:+.2}%, spans+scope+events {:+.2}% (medians vs obs-off)",
         (on.median_ns / off.median_ns - 1.0) * 100.0,
-        (recording.median_ns / off.median_ns - 1.0) * 100.0
+        (recording.median_ns / off.median_ns - 1.0) * 100.0,
+        (scoped.median_ns / off.median_ns - 1.0) * 100.0
     );
     group.finish();
 }

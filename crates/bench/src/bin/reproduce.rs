@@ -8,6 +8,8 @@
 //! reproduce compare --baseline PATH --current PATH [--tolerance PCT]
 //! reproduce diff PATH PATH
 //! reproduce check-trace PATH
+//! reproduce check-events PATH
+//! reproduce slo-check --records PATH --budgets PATH
 //! ```
 //!
 //! `--quick` lowers the Random-strategy trial count (the paper uses
@@ -43,6 +45,15 @@
 //! `check-trace` structurally validates a `--trace-out` file: JSON with
 //! a `traceEvents` array, matched B/E pairs and non-decreasing
 //! timestamps per lane, and at least one event on every lane.
+//!
+//! `--events-out PATH` writes the wide-event log (one self-describing
+//! JSONL record per unit of work) alongside the run; `check-events`
+//! validates such a file against the event schema (every record parses
+//! and carries a scope id and outcome). `slo-check` is the CI
+//! latency-budget gate: it reconstructs the per-stage histograms from a
+//! `--json-out` file's final `pipeline_snapshot` and fails when any
+//! stage's estimated p95 exceeds its committed budget (see
+//! `SLO_budgets.json`).
 
 use cable_bench::tables::scaling_fit;
 use cable_bench::{compare, scaling, table1, table2_with_deltas, table3};
@@ -56,6 +67,8 @@ fn main() {
         Some("compare") => run_compare(&args[1..]),
         Some("diff") => run_diff(&args[1..]),
         Some("check-trace") => run_check_trace(&args[1..]),
+        Some("check-events") => run_check_events(&args[1..]),
+        Some("slo-check") => run_slo_check(&args[1..]),
         _ => {}
     }
     let mut which = Vec::new();
@@ -64,6 +77,7 @@ fn main() {
     let mut stats = false;
     let mut json_out: Option<String> = None;
     let mut trace_out: Option<String> = None;
+    let mut events_out: Option<String> = None;
     let mut obs_listen: Option<String> = None;
     let mut deadline_ms: Option<u64> = None;
     let mut max_concepts: Option<u64> = None;
@@ -102,6 +116,14 @@ fn main() {
                     args.get(i)
                         .cloned()
                         .unwrap_or_else(|| usage("--trace-out needs a path")),
+                );
+            }
+            "--events-out" => {
+                i += 1;
+                events_out = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| usage("--events-out needs a path")),
                 );
             }
             "--obs-listen" => {
@@ -158,6 +180,13 @@ fn main() {
     if stats || json_out.is_some() || trace_out.is_some() || obs_listen.is_some() {
         cable_obs::set_enabled(true);
         cable_obs::recorder::set_recording(true);
+    }
+    if let Some(path) = &events_out {
+        let sink = JsonlSink::create(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot create {path}: {e}");
+            std::process::exit(2);
+        });
+        cable_obs::events::install_sink(sink);
     }
     let _server = obs_listen.as_deref().map(|addr| {
         let server = cable_obs::ObsServer::bind(addr).unwrap_or_else(|e| die(&e));
@@ -442,9 +471,17 @@ fn main() {
             lanes.len()
         );
     }
+    if let Some(path) = &events_out {
+        // Dropping the sink flushes it; report how much the run logged.
+        let total = cable_obs::events::total_emitted();
+        drop(cable_obs::events::take_sink());
+        eprintln!("obs: wrote {total} wide events to {path}");
+    }
     if stats {
         println!("{}", snap.render());
         print!("{}", cable_obs::chrome::render_profile(&profile));
+        let scopes = cable_obs::scoped().snapshot();
+        print!("{}", cable_obs::render_scopes(&scopes));
     }
 }
 
@@ -470,6 +507,74 @@ fn run_check_trace(args: &[String]) -> ! {
             std::process::exit(1);
         }
     }
+}
+
+/// The `check-events` subcommand: the CI event-schema gate over a
+/// `--events-out` file. Every record must parse as a wide event with a
+/// non-empty kind, scope id, and outcome; an empty file fails (a run
+/// that logged nothing is a broken event pipeline, not a clean one).
+fn run_check_events(args: &[String]) -> ! {
+    let [path] = args else {
+        usage("check-events needs exactly one events path");
+    };
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("{path}: {e}")));
+    let records = cable_obs::parse_jsonl(&text).unwrap_or_else(|e| die(&format!("{path}: {e}")));
+    if records.is_empty() {
+        println!("FAIL: {path} holds no events");
+        std::process::exit(1);
+    }
+    let mut failures = 0usize;
+    for (i, record) in records.iter().enumerate() {
+        if let Err(e) = cable_obs::events::check_schema(record) {
+            println!("FAIL: {path}:{}: {e}", i + 1);
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+    println!(
+        "event-schema gate: PASS ({path}: {} events, all self-describing)",
+        records.len()
+    );
+    std::process::exit(0);
+}
+
+/// The `slo-check` subcommand: the CI latency-budget gate.
+fn run_slo_check(args: &[String]) -> ! {
+    let mut records_path: Option<String> = None;
+    let mut budgets_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--records" => {
+                i += 1;
+                records_path = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| usage("--records needs a path")),
+                );
+            }
+            "--budgets" => {
+                i += 1;
+                budgets_path = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| usage("--budgets needs a path")),
+                );
+            }
+            other => usage(&format!("unknown slo-check argument {other:?}")),
+        }
+        i += 1;
+    }
+    let records_path = records_path.unwrap_or_else(|| usage("slo-check needs --records PATH"));
+    let budgets_path = budgets_path.unwrap_or_else(|| usage("slo-check needs --budgets PATH"));
+    let records = compare::load(&records_path).unwrap_or_else(|e| die(&e.to_string()));
+    let budgets =
+        cable_bench::slocheck::load_budgets(&budgets_path).unwrap_or_else(|e| die(&e.to_string()));
+    let report = cable_bench::slocheck::check(&records, &budgets);
+    print!("{}", report.render());
+    std::process::exit(if report.passed() { 0 } else { 1 });
 }
 
 /// The `compare` subcommand: the CI perf-regression gate.
@@ -550,6 +655,8 @@ fn usage(msg: &str) -> ! {
          \u{20}      reproduce compare --baseline PATH --current PATH [--tolerance PCT]\n\
          \u{20}      reproduce diff PATH PATH\n\
          \u{20}      reproduce check-trace PATH\n\
+         \u{20}      reproduce check-events PATH\n\
+         \u{20}      reproduce slo-check --records PATH --budgets PATH\n\
          options:\n\
          \u{20} --seed N          RNG seed for corpus generation (default 2003)\n\
          \u{20} --threads N       size of the cable-par pool (like CABLE_PAR=N; 1 = sequential)\n\
@@ -557,7 +664,8 @@ fn usage(msg: &str) -> ! {
          \u{20} --stats           print the metric report and self-time profile to stdout\n\
          \u{20} --json-out PATH   write JSONL perf records (table2 specs + pipeline snapshot)\n\
          \u{20} --trace-out PATH  export the flight recorder as Chrome trace-event JSON\n\
-         \u{20} --obs-listen ADDR serve /metrics, /healthz, /tracez while the run lasts\n\
+         \u{20} --events-out PATH write the wide-event log as JSONL (one record per unit of work)\n\
+         \u{20} --obs-listen ADDR serve /metrics, /healthz, /tracez, /eventz, /sloz while the run lasts\n\
          \u{20}                   (ADDR is host:port, or a bare port bound on 127.0.0.1)\n\
          \u{20} --deadline-ms N   install a wall-clock budget; table2 reports guarded builds\n\
          \u{20} --max-concepts N  install a concept-count budget (deterministic partial lattices)\n\

@@ -29,7 +29,19 @@ const COUNT_FIELDS: [&str; 5] = ["traces", "unique", "transitions", "max_row", "
 /// legitimately varies between runs of the same seed. (`store_bytes`
 /// and `journal_bytes` are *not* here — the store encoding is
 /// deterministic, so size drift is a real difference.)
-const TIMING_FIELDS: [&str; 4] = ["build_ms", "ingest_us_per_trace", "obs", "profile"];
+const TIMING_FIELDS: [&str; 7] = [
+    "build_ms",
+    "ingest_us_per_trace",
+    "obs",
+    "profile",
+    "duration_ns",
+    "ts_ms",
+    "uptime_ns",
+];
+
+/// Record types [`diff`] ignores wholesale: observability side-channels
+/// whose timing content varies run to run by design.
+const IGNORED_RECORDS: [&str; 3] = ["pipeline_snapshot", "wide_event", "profile_snapshot"];
 
 /// Loads a JSONL perf-record file written by `reproduce --json-out`.
 ///
@@ -183,15 +195,19 @@ fn strip_timing(record: &Value) -> Value {
 
 /// Checks two perf runs for bit-identical deterministic output.
 ///
-/// `pipeline_snapshot` records are ignored and timing fields stripped;
-/// every remaining record must match its counterpart exactly. Returns a
-/// human-readable description of each difference; empty means the runs
-/// are identical.
+/// `pipeline_snapshot`, `wide_event`, and `profile_snapshot` records are
+/// ignored and timing fields stripped; every remaining record must match
+/// its counterpart exactly. Returns a human-readable description of each
+/// difference; empty means the runs are identical.
 pub fn diff(a: &[Value], b: &[Value]) -> Vec<String> {
     let keep = |records: &[Value]| -> Vec<Value> {
         records
             .iter()
-            .filter(|r| r.get("record").and_then(Value::as_str) != Some("pipeline_snapshot"))
+            .filter(|r| {
+                !r.get("record")
+                    .and_then(Value::as_str)
+                    .is_some_and(|kind| IGNORED_RECORDS.contains(&kind))
+            })
             .map(strip_timing)
             .collect()
     };
@@ -296,6 +312,26 @@ mod tests {
         let a = vec![spec("A", 20, 1.0), snapshot()];
         let b = vec![spec("A", 20, 99.0)]; // different timing, no snapshot
         assert!(diff(&a, &b).is_empty());
+    }
+
+    #[test]
+    fn diff_ignores_wide_events_and_profile_snapshots() {
+        // A stray wide event or profiler tick in one run's record stream
+        // (they normally go to their own files) must not break the
+        // determinism gate: both are wall-clock artifacts, not payload.
+        let event = Value::object([
+            ("record", Value::from("wide_event")),
+            ("seq", Value::from(1u64)),
+            ("kind", Value::from("ingest_batch")),
+        ]);
+        let tick = Value::object([
+            ("record", Value::from("profile_snapshot")),
+            ("seq", Value::from(1u64)),
+        ]);
+        let a = vec![spec("A", 20, 1.0), event, tick];
+        let b = vec![spec("A", 20, 1.0)];
+        assert!(diff(&a, &b).is_empty());
+        assert!(diff(&b, &a).is_empty());
     }
 
     #[test]

@@ -19,6 +19,7 @@ pub mod ablation;
 pub mod compare;
 pub mod harness;
 pub mod pipeline;
+pub mod slocheck;
 pub mod tables;
 pub mod tracecheck;
 

@@ -1,0 +1,279 @@
+//! The CI latency-budget gate: `reproduce slo-check`.
+//!
+//! The perf gate ([`crate::compare`]) catches *relative* regressions —
+//! current vs baseline. This gate enforces *absolute* per-stage latency
+//! budgets: a committed JSON file names pipeline histograms and the p95
+//! each is allowed, and the check reconstructs every named histogram
+//! from a run's final `pipeline_snapshot` record and compares its
+//! estimated p95 against the budget. Budgets are deliberately generous
+//! (3–5× observed) — the gate exists to catch order-of-magnitude
+//! cliffs, not CI-runner noise.
+
+use cable_obs::json::Value;
+use cable_obs::HistogramSnapshot;
+use std::io;
+use std::path::Path;
+
+/// One stage's latency budget: the histogram name and the allowed p95.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageBudget {
+    /// The pipeline histogram the budget applies to (e.g.
+    /// `fca.lattice.build_ns`).
+    pub stage: String,
+    /// The allowed 95th-percentile latency, in milliseconds.
+    pub p95_ms: f64,
+}
+
+/// Parses a budget file: `{"stages": {"<histogram>": <p95_ms>, ...}}`.
+///
+/// # Errors
+///
+/// Fails if the file cannot be read, is not JSON, or does not hold a
+/// `stages` object of numeric budgets.
+pub fn load_budgets(path: impl AsRef<Path>) -> io::Result<Vec<StageBudget>> {
+    let path = path.as_ref();
+    let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+    let text = std::fs::read_to_string(path)?;
+    let value = Value::parse(text.trim()).map_err(|e| bad(format!("{}: {e}", path.display())))?;
+    let stages = value
+        .get("stages")
+        .ok_or_else(|| bad(format!("{}: no \"stages\" object", path.display())))?;
+    let Value::Object(map) = stages else {
+        return Err(bad(format!(
+            "{}: \"stages\" is not an object",
+            path.display()
+        )));
+    };
+    let mut budgets = Vec::with_capacity(map.len());
+    for (stage, v) in map {
+        let p95_ms = v.as_f64().ok_or_else(|| {
+            bad(format!(
+                "{}: budget for {stage:?} is not a number",
+                path.display()
+            ))
+        })?;
+        // `<= 0.0` also rejects NaN budgets: NaN compares false both ways.
+        if p95_ms <= 0.0 || p95_ms.is_nan() {
+            return Err(bad(format!(
+                "{}: budget for {stage:?} must be positive, got {p95_ms}",
+                path.display()
+            )));
+        }
+        budgets.push(StageBudget {
+            stage: stage.clone(),
+            p95_ms,
+        });
+    }
+    if budgets.is_empty() {
+        return Err(bad(format!("{}: \"stages\" is empty", path.display())));
+    }
+    Ok(budgets)
+}
+
+/// One stage's verdict.
+#[derive(Debug, Clone)]
+pub struct SloCheckRow {
+    /// The budgeted histogram name.
+    pub stage: String,
+    /// Allowed p95 in milliseconds.
+    pub budget_ms: f64,
+    /// Estimated p95 from the run's histogram, when present.
+    pub p95_ms: Option<f64>,
+    /// Samples in the histogram.
+    pub count: u64,
+    /// Whether the stage is within budget.
+    pub pass: bool,
+}
+
+/// The `slo-check` outcome.
+#[derive(Debug, Clone)]
+pub struct SloCheckReport {
+    /// Per-stage verdicts, in budget-file order.
+    pub rows: Vec<SloCheckRow>,
+}
+
+impl SloCheckReport {
+    /// Whether every budgeted stage is present and within budget.
+    pub fn passed(&self) -> bool {
+        self.rows.iter().all(|r| r.pass)
+    }
+
+    /// Renders the report for the CI log.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for r in &self.rows {
+            match r.p95_ms {
+                Some(p95) => out.push_str(&format!(
+                    "{}: p95 {:.3} ms vs budget {:.3} ms over {} samples — {}\n",
+                    r.stage,
+                    p95,
+                    r.budget_ms,
+                    r.count,
+                    if r.pass { "ok" } else { "OVER BUDGET" }
+                )),
+                None => out.push_str(&format!(
+                    "{}: histogram missing from the run — FAIL\n",
+                    r.stage
+                )),
+            }
+        }
+        out.push_str(if self.passed() {
+            "slo gate: PASS\n"
+        } else {
+            "slo gate: FAIL\n"
+        });
+        out
+    }
+}
+
+/// Rebuilds a [`HistogramSnapshot`] from the JSONL shape
+/// `{"count": c, "sum": s, "max": m, "buckets": [[bound, n], ...]}`.
+fn histogram_from_json(v: &Value) -> Option<HistogramSnapshot> {
+    let count = v.get("count")?.as_u64()?;
+    let sum = v.get("sum")?.as_u64()?;
+    let max = v.get("max")?.as_u64()?;
+    let pairs: Vec<(u64, u64)> = v
+        .get("buckets")?
+        .as_array()?
+        .iter()
+        .filter_map(|pair| {
+            let pair = pair.as_array()?;
+            Some((pair.first()?.as_u64()?, pair.get(1)?.as_u64()?))
+        })
+        .collect();
+    Some(HistogramSnapshot::from_nonzero_buckets(
+        &pairs, count, sum, max,
+    ))
+}
+
+/// Checks a run's final `pipeline_snapshot` against the budgets. A
+/// budgeted stage that is absent from the run, or whose estimated p95
+/// exceeds its budget, fails; an *empty* histogram (present, zero
+/// samples) passes — the run simply never exercised the stage.
+pub fn check(records: &[Value], budgets: &[StageBudget]) -> SloCheckReport {
+    let histograms = records
+        .iter()
+        .rev()
+        .find(|r| r.get("record").and_then(Value::as_str) == Some("pipeline_snapshot"))
+        .and_then(|r| r.get("snapshot"))
+        .and_then(|s| s.get("histograms"));
+    let rows = budgets
+        .iter()
+        .map(|b| {
+            let hist = histograms
+                .and_then(|h| h.get(&b.stage))
+                .and_then(histogram_from_json);
+            match hist {
+                Some(h) if h.count == 0 => SloCheckRow {
+                    stage: b.stage.clone(),
+                    budget_ms: b.p95_ms,
+                    p95_ms: Some(0.0),
+                    count: 0,
+                    pass: true,
+                },
+                Some(h) => {
+                    let p95_ms = h.quantile_estimate(0.95) / 1e6;
+                    SloCheckRow {
+                        stage: b.stage.clone(),
+                        budget_ms: b.p95_ms,
+                        p95_ms: Some(p95_ms),
+                        count: h.count,
+                        pass: p95_ms <= b.p95_ms,
+                    }
+                }
+                None => SloCheckRow {
+                    stage: b.stage.clone(),
+                    budget_ms: b.p95_ms,
+                    p95_ms: None,
+                    count: 0,
+                    pass: false,
+                },
+            }
+        })
+        .collect();
+    SloCheckReport { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot_record(stage: &str, samples: &[u64]) -> Value {
+        let reg = cable_obs::Registry::default();
+        let h = reg.histogram(stage);
+        for &s in samples {
+            h.record(s);
+        }
+        Value::object([
+            ("record", Value::from("pipeline_snapshot")),
+            ("snapshot", reg.snapshot().to_json()),
+        ])
+    }
+
+    #[test]
+    fn within_budget_passes_and_over_budget_fails() {
+        // ~1 ms samples against a 10 ms budget: pass.
+        let records = vec![snapshot_record("fca.test.build_ns", &[1_000_000; 8])];
+        let budgets = vec![StageBudget {
+            stage: "fca.test.build_ns".into(),
+            p95_ms: 10.0,
+        }];
+        let report = check(&records, &budgets);
+        assert!(report.passed(), "{}", report.render());
+        assert_eq!(report.rows[0].count, 8);
+
+        // Same samples against a 0.1 ms budget: fail.
+        let tight = vec![StageBudget {
+            stage: "fca.test.build_ns".into(),
+            p95_ms: 0.1,
+        }];
+        let report = check(&records, &tight);
+        assert!(!report.passed());
+        assert!(report.render().contains("OVER BUDGET"));
+    }
+
+    #[test]
+    fn missing_histogram_fails_and_empty_histogram_passes() {
+        let records = vec![snapshot_record("fca.test.build_ns", &[])];
+        let budgets = vec![
+            StageBudget {
+                stage: "fca.test.build_ns".into(),
+                p95_ms: 1.0,
+            },
+            StageBudget {
+                stage: "no.such.stage_ns".into(),
+                p95_ms: 1.0,
+            },
+        ];
+        let report = check(&records, &budgets);
+        assert!(!report.passed());
+        assert!(report.rows[0].pass, "empty histogram passes");
+        assert!(!report.rows[1].pass, "missing histogram fails");
+        assert!(report.render().contains("missing from the run"));
+    }
+
+    #[test]
+    fn budget_file_round_trips() {
+        let dir = std::env::temp_dir().join("cable-bench-slocheck-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("budgets-{}.json", std::process::id()));
+        std::fs::write(
+            &path,
+            "{\"stages\": {\"fca.lattice.build_ns\": 50.0, \"strauss.miner.mine_ns\": 20}}\n",
+        )
+        .unwrap();
+        let budgets = load_budgets(&path).unwrap();
+        assert_eq!(budgets.len(), 2);
+        assert!(budgets
+            .iter()
+            .any(|b| b.stage == "fca.lattice.build_ns" && b.p95_ms == 50.0));
+        std::fs::remove_file(&path).unwrap();
+
+        let bad = dir.join(format!("bad-{}.json", std::process::id()));
+        std::fs::write(&bad, "{\"stages\": {\"x\": \"fast\"}}\n").unwrap();
+        assert!(load_budgets(&bad).is_err());
+        std::fs::write(&bad, "{\"stages\": {}}\n").unwrap();
+        assert!(load_budgets(&bad).is_err());
+        std::fs::remove_file(&bad).unwrap();
+    }
+}

@@ -25,15 +25,32 @@
 use crate::session::CableSession;
 use cable_fa::Fa;
 use cable_fca::{Concept, ConceptLattice, Context};
-use cable_obs::CounterHandle;
+use cable_obs::{scoped, CounterHandle, Scope, WideEvent};
 use cable_store::{JournalRecord, RecoveryReport, SnapshotData, Store, StoreError};
 use cable_trace::{Trace, TraceId, TraceSet, Vocab};
 use std::path::Path;
+use std::time::Instant;
 
 /// Sessions saved to a store.
 static SAVES: CounterHandle = CounterHandle::new("core.session.saves");
 /// Sessions resumed from a store.
 static RESUMES: CounterHandle = CounterHandle::new("core.session.resumes");
+
+/// Opens the attribution scope for a stored session: `session` is the
+/// store directory's basename, `tenant` its parent directory's. Every
+/// metric the session writes through this scope rolls up into the
+/// global registry and exports as a labelled series on `/metrics`.
+fn session_scope(dir: &Path) -> Scope {
+    let name = |p: Option<&Path>| -> String {
+        p.and_then(Path::file_name)
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "-".to_owned())
+    };
+    scoped().open(&[
+        ("session", &name(Some(dir))),
+        ("tenant", &name(dir.parent())),
+    ])
+}
 
 impl CableSession {
     /// Captures the session as a snapshot at `generation`.
@@ -138,10 +155,19 @@ impl CableSession {
         let store = Store::create(dir, &self.to_snapshot(&vocab, 0))?;
         SAVES.get().incr();
         cable_obs::recorder::instant("core.session.save");
+        let scope = session_scope(dir);
+        scope.incr("core.session.saves_scoped");
+        cable_obs::events::emit(
+            WideEvent::new("session_save", scope.label("session").unwrap_or("-"))
+                .stage("save")
+                .tenant(scope.label("tenant").unwrap_or("-"))
+                .field("traces", self.traces().len() as u64),
+        );
         Ok(StoredSession {
             session: self,
             vocab,
             store,
+            scope,
         })
     }
 
@@ -155,16 +181,28 @@ impl CableSession {
     /// contradict the snapshot (unparsable trace text, out-of-range
     /// label classes).
     pub fn open(dir: &Path) -> Result<(StoredSession, RecoveryReport), StoreError> {
+        let started = Instant::now();
         let (store, data, records, report) = Store::open(dir)?;
         let (session, vocab) = CableSession::from_snapshot(data)?;
         let mut stored = StoredSession {
             session,
             vocab,
             store,
+            scope: session_scope(dir),
         };
         stored.apply(&records)?;
         RESUMES.get().incr();
         cable_obs::recorder::instant("core.session.resume");
+        stored.scope.incr("core.session.resumes_scoped");
+        stored
+            .scope
+            .record_duration("core.session.resume_ns", started.elapsed());
+        cable_obs::events::emit(
+            stored
+                .event("session_resume", "resume")
+                .duration(started.elapsed())
+                .field("replayed", report.replayed as u64),
+        );
         Ok((stored, report))
     }
 }
@@ -198,12 +236,25 @@ pub struct StoredSession {
     session: CableSession,
     vocab: Vocab,
     store: Store,
+    scope: Scope,
 }
 
 impl StoredSession {
     /// The live session.
     pub fn session(&self) -> &CableSession {
         &self.session
+    }
+
+    /// The session's attribution scope (see [`cable_obs::scope`]).
+    pub fn scope(&self) -> &Scope {
+        &self.scope
+    }
+
+    /// Starts a wide event carrying this session's scope identity.
+    fn event(&self, kind: &'static str, stage: &'static str) -> WideEvent {
+        WideEvent::new(kind, self.scope.label("session").unwrap_or("-"))
+            .stage(stage)
+            .tenant(self.scope.label("tenant").unwrap_or("-"))
     }
 
     /// The vocabulary the session is interned against.
@@ -285,6 +336,19 @@ impl StoredSession {
         text: &str,
         sync_each: bool,
     ) -> Result<Vec<(TraceId, bool)>, StoreError> {
+        let started = Instant::now();
+        let before = self.scope.snapshot().metrics;
+        let result = self.ingest_text_inner(text, sync_each);
+        let ingested = result.as_ref().map(Vec::len).unwrap_or(0);
+        self.ingest_event(started, &before, ingested, 0, result.is_ok());
+        result
+    }
+
+    fn ingest_text_inner(
+        &mut self,
+        text: &str,
+        sync_each: bool,
+    ) -> Result<Vec<(TraceId, bool)>, StoreError> {
         let batch = TraceSet::parse(text, &mut self.vocab)
             .map_err(|e| StoreError::format(e.to_string()))?;
         let traces: Vec<Trace> = batch.iter().map(|(_, t)| t.clone()).collect();
@@ -325,6 +389,22 @@ impl StoredSession {
         text: &str,
         sync_each: bool,
     ) -> Result<IngestReport, StoreError> {
+        let started = Instant::now();
+        let before = self.scope.snapshot().metrics;
+        let result = self.ingest_keep_going_inner(text, sync_each);
+        let (ingested, parse_errors) = result
+            .as_ref()
+            .map(|r| (r.results.len(), r.errors.len()))
+            .unwrap_or((0, 0));
+        self.ingest_event(started, &before, ingested, parse_errors, result.is_ok());
+        result
+    }
+
+    fn ingest_keep_going_inner(
+        &mut self,
+        text: &str,
+        sync_each: bool,
+    ) -> Result<IngestReport, StoreError> {
         let mut traces: Vec<Trace> = Vec::new();
         let mut errors: Vec<(usize, String)> = Vec::new();
         for (lineno, line) in text.lines().enumerate() {
@@ -358,6 +438,32 @@ impl StoredSession {
         Ok(IngestReport { results, errors })
     }
 
+    /// Scope accounting plus the `ingest_batch` wide event shared by
+    /// both ingestion paths. The event carries this scope's counter
+    /// deltas over the batch, so one record tells the whole story.
+    fn ingest_event(
+        &self,
+        started: Instant,
+        before: &cable_obs::Snapshot,
+        ingested: usize,
+        parse_errors: usize,
+        ok: bool,
+    ) {
+        self.scope
+            .add("core.session.traces_ingested", ingested as u64);
+        self.scope
+            .record_duration("core.session.ingest_ns", started.elapsed());
+        let delta = self.scope.snapshot().metrics.delta_since(before);
+        cable_obs::events::emit(
+            self.event("ingest_batch", "ingest")
+                .outcome(if ok { "ok" } else { "error" })
+                .duration(started.elapsed())
+                .field("traces", ingested as u64)
+                .field("parse_errors", parse_errors as u64)
+                .deltas(&delta),
+        );
+    }
+
     /// Labels the selected traces of a concept, journaling each class's
     /// decision before applying it. Returns the number of classes
     /// affected.
@@ -372,6 +478,7 @@ impl StoredSession {
         selector: &crate::session::TraceSelector,
         label: &str,
     ) -> Result<usize, StoreError> {
+        let started = Instant::now();
         let selected = self.session.select(concept, selector);
         let records: Vec<JournalRecord> = selected
             .iter()
@@ -380,10 +487,23 @@ impl StoredSession {
                 name: label.to_owned(),
             })
             .collect();
-        self.store.append_all(&records, false)?;
-        for &c in &selected {
-            self.session.set_class_label(c, label);
+        let appended = self.store.append_all(&records, false);
+        if appended.is_ok() {
+            for &c in &selected {
+                self.session.set_class_label(c, label);
+            }
         }
+        self.scope.incr("core.session.label_ops");
+        self.scope
+            .add("core.session.classes_labeled", selected.len() as u64);
+        cable_obs::events::emit(
+            self.event("label_op", "label")
+                .outcome(if appended.is_ok() { "ok" } else { "error" })
+                .duration(started.elapsed())
+                .field("classes", selected.len() as u64)
+                .field("label", label),
+        );
+        appended?;
         Ok(selected.len())
     }
 
@@ -395,10 +515,19 @@ impl StoredSession {
     /// Fails on I/O errors; crash-safe at every step (see
     /// `cable-store`'s module docs).
     pub fn compact(&mut self) -> Result<(), StoreError> {
+        let started = Instant::now();
         let data = self
             .session
             .to_snapshot(&self.vocab, self.store.generation() + 1);
-        self.store.compact(&data)
+        let result = self.store.compact(&data);
+        self.scope.incr("core.session.compactions");
+        cable_obs::events::emit(
+            self.event("compact", "compact")
+                .outcome(if result.is_ok() { "ok" } else { "error" })
+                .duration(started.elapsed())
+                .field("generation", self.store.generation()),
+        );
+        result
     }
 
     /// Tears the pairing down, returning the live session and its

@@ -178,6 +178,7 @@ pub fn try_concepts_auto(ctx: &Context) -> Result<Vec<Concept>, Box<BudgetStop>>
 /// set whatever the pool size, because the merge result is kept in
 /// canonical (sorted) intent order.
 pub fn concepts_sharded(ctx: &Context) -> Vec<Concept> {
+    let started = std::time::Instant::now();
     let n_attrs = ctx.attribute_count();
     let shards: Vec<(usize, usize)> = (0..ctx.object_count())
         .step_by(SHARD_SIZE)
@@ -207,13 +208,24 @@ pub fn concepts_sharded(ctx: &Context) -> Vec<Concept> {
         |a, b| merge_intent_families(&a, &b),
     );
     let intents: Vec<BitSet> = merged.into_iter().collect();
-    cable_par::par_map("fca.godin.extents", &intents, |intent| {
+    let out = cable_par::par_map("fca.godin.extents", &intents, |intent| {
         cable_guard::cancel_point("fca.godin.extents");
         Concept {
             extent: ctx.tau(intent),
             intent: intent.clone(),
         }
-    })
+    });
+    if cable_obs::events::enabled() {
+        cable_obs::events::emit(
+            cable_obs::WideEvent::new("shard_merge", "fca")
+                .stage("fca.godin.shard_merge")
+                .duration(started.elapsed())
+                .field("objects", ctx.object_count() as u64)
+                .field("shards", shards.len() as u64)
+                .field("concepts", out.len() as u64),
+        );
+    }
+    out
 }
 
 /// The intent family of the union of two disjoint-object contexts: all

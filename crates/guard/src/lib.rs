@@ -338,6 +338,30 @@ pub fn checkpoint(site: &str) -> Result<(), GuardError> {
 
 #[cold]
 fn checkpoint_slow(site: &str, state: u8) -> Result<(), GuardError> {
+    let result = checkpoint_checks(site, state);
+    if let Err(e) = &result {
+        emit_trip_event(site, e);
+    }
+    result
+}
+
+/// One wide event per guard trip, so `/eventz` and the SLO windows see
+/// budget exhaustion and cancellation alongside the work they cut short.
+fn emit_trip_event(site: &str, error: &GuardError) {
+    let kind = match error {
+        GuardError::BudgetExceeded { .. } => "budget_trip",
+        GuardError::Cancelled => "cancel_trip",
+        GuardError::TaskPanic { .. } => "contained_panic",
+    };
+    cable_obs::events::emit(
+        cable_obs::WideEvent::new(kind, "guard")
+            .stage(site)
+            .outcome("error")
+            .field("error", error.to_string()),
+    );
+}
+
+fn checkpoint_checks(site: &str, state: u8) -> Result<(), GuardError> {
     CHECKPOINTS.get().incr();
     if state & CANCEL_BIT != 0 {
         CANCELLED_TRIPS.get().incr();
@@ -393,13 +417,15 @@ pub fn check_concepts(count: usize) -> Result<(), GuardError> {
     let limit = MAX_CONCEPTS.load(Ordering::Relaxed);
     if count as u64 > limit {
         BUDGET_TRIPS.get().incr();
-        return Err(GuardError::BudgetExceeded {
+        let error = GuardError::BudgetExceeded {
             limit: Limit::Concepts {
                 limit,
                 reached: count as u64,
             },
             site: "fca.godin.concepts".to_owned(),
-        });
+        };
+        emit_trip_event("fca.godin.concepts", &error);
+        return Err(error);
     }
     Ok(())
 }
@@ -431,9 +457,10 @@ pub fn bail(error: GuardError) -> ! {
 /// (the `cable-par` chunk and shard closures): a single relaxed load
 /// when nothing is cancelled, an unwinding [`bail`] otherwise.
 #[inline]
-pub fn cancel_point(_site: &str) {
+pub fn cancel_point(site: &str) {
     if STATE.load(Ordering::Relaxed) & CANCEL_BIT != 0 {
         CANCELLED_TRIPS.get().incr();
+        emit_trip_event(site, &GuardError::Cancelled);
         bail(GuardError::Cancelled)
     }
 }
@@ -472,7 +499,15 @@ pub fn error_from_payload(payload: &(dyn Any + Send)) -> GuardError {
 pub fn contain<T>(f: impl FnOnce() -> T) -> Result<T, GuardError> {
     match catch_unwind(AssertUnwindSafe(f)) {
         Ok(value) => Ok(value),
-        Err(payload) => Err(error_from_payload(&*payload)),
+        Err(payload) => {
+            let error = error_from_payload(&*payload);
+            // Tunnelled GuardUnwind payloads already emitted their trip
+            // event at the checkpoint; only genuine panics are new news.
+            if matches!(error, GuardError::TaskPanic { .. }) {
+                emit_trip_event("guard.contain", &error);
+            }
+            Err(error)
+        }
     }
 }
 

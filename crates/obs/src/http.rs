@@ -1,5 +1,5 @@
 //! Std-only HTTP/1.1 exposition server: `/metrics`, `/healthz`,
-//! `/tracez`.
+//! `/tracez`, `/eventz`, `/sloz`.
 //!
 //! Per DESIGN.md §8 this is hand-rolled over [`std::net::TcpListener`] —
 //! no external HTTP stack. Each accepted connection is handled on a
@@ -17,16 +17,18 @@
 //! explicit interface in `--obs-listen`.
 
 use crate::chrome;
+use crate::events::{self, WideEvent};
 use crate::json::Value;
 use crate::metrics::CounterHandle;
 use crate::recorder;
 use crate::registry::registry;
+use crate::slo;
 use crate::{prom, Counter};
 use std::io::{BufRead, BufReader, Read as _, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 static REQUESTS: CounterHandle = CounterHandle::new("obs.http.requests");
 /// Connections turned away with `503` at the concurrency cap.
@@ -40,8 +42,16 @@ pub const MAX_HEADER_BYTES: usize = 8 * 1024;
 /// `503 Service Unavailable` beyond it.
 pub const MAX_CONNECTIONS: usize = 8;
 
-/// Most recent spans per lane served by `/tracez`.
+/// Most recent spans per lane served by `/tracez` (override per request
+/// with `?limit=N`).
 pub const TRACEZ_SPAN_LIMIT: usize = 64;
+
+/// Most recent events served by `/eventz` (override with `?limit=N`).
+pub const EVENTZ_EVENT_LIMIT: usize = 64;
+
+/// Ceiling on a `?limit=N` override — keeps one request from asking for
+/// a multi-MB response.
+pub const MAX_QUERY_LIMIT: usize = 100_000;
 
 /// What `/healthz` reports about an open store, set by whoever holds
 /// one (the `cable` binary) via [`set_health`].
@@ -233,8 +243,10 @@ fn handle_connection(stream: TcpStream, requests: &Counter) {
         }
     }
     requests.incr();
+    let started = Instant::now();
     let oversized = !saw_end && reader.limit() == 0;
     let mut stream = reader.into_inner().into_inner();
+    let mut route = String::new();
     let (status, content_type, body) = if oversized {
         OVERSIZED.get().incr();
         (
@@ -246,8 +258,18 @@ fn handle_connection(stream: TcpStream, requests: &Counter) {
         let mut parts = request_line.split_whitespace();
         let method = parts.next().unwrap_or("");
         let path = parts.next().unwrap_or("");
+        route = path.split('?').next().unwrap_or("").to_owned();
         respond(method, path)
     };
+    // One wide event per request: the server observes itself through
+    // the same stream it serves (outcome = the status code).
+    events::emit(
+        WideEvent::new("http_request", "http")
+            .stage(route)
+            .outcome(status.split_whitespace().next().unwrap_or("?"))
+            .duration(started.elapsed())
+            .field("bytes", body.len() as u64),
+    );
     let _ = write!(
         stream,
         "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
@@ -255,6 +277,31 @@ fn handle_connection(stream: TcpStream, requests: &Counter) {
     );
     let _ = stream.write_all(body.as_bytes());
     let _ = stream.flush();
+}
+
+/// Parses an optional `?limit=N` query. `N` must be an integer in
+/// `1..=`[`MAX_QUERY_LIMIT`]; any other query (unknown keys, garbage
+/// values, out-of-range) is a client error.
+fn parse_limit(query: Option<&str>, default: usize) -> Result<usize, String> {
+    let Some(query) = query else {
+        return Ok(default);
+    };
+    let mut limit = default;
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+        if key != "limit" {
+            return Err(format!("unknown query parameter {key:?}\n"));
+        }
+        match value.parse::<usize>() {
+            Ok(n) if (1..=MAX_QUERY_LIMIT).contains(&n) => limit = n,
+            _ => {
+                return Err(format!(
+                    "limit must be an integer in 1..={MAX_QUERY_LIMIT}, got {value:?}\n"
+                ))
+            }
+        }
+    }
+    Ok(limit)
 }
 
 fn respond(method: &str, path: &str) -> (&'static str, &'static str, String) {
@@ -265,45 +312,84 @@ fn respond(method: &str, path: &str) -> (&'static str, &'static str, String) {
             "only GET is served\n".into(),
         );
     }
-    match path {
-        "/metrics" => (
-            "200 OK",
-            "text/plain; version=0.0.4; charset=utf-8",
-            prom::encode(&registry().snapshot()),
-        ),
-        "/healthz" => (
-            "200 OK",
-            "application/json; charset=utf-8",
-            format!("{}\n", healthz_json()),
-        ),
-        "/tracez" => (
-            "200 OK",
-            "application/json; charset=utf-8",
-            format!("{}\n", tracez_json(TRACEZ_SPAN_LIMIT)),
-        ),
+    let (route, query) = match path.split_once('?') {
+        Some((route, query)) => (route, Some(query)),
+        None => (path, None),
+    };
+    let bad_request = |message: String| {
+        (
+            "400 Bad Request" as &'static str,
+            "text/plain; charset=utf-8",
+            message,
+        )
+    };
+    match route {
+        "/metrics" => match parse_limit(query, 0) {
+            Err(e) => bad_request(e),
+            Ok(_) => (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                prom::encode_full(&registry().snapshot(), &crate::scoped().snapshot()),
+            ),
+        },
+        "/healthz" => match parse_limit(query, 0) {
+            Err(e) => bad_request(e),
+            Ok(_) => (
+                "200 OK",
+                "application/json; charset=utf-8",
+                format!("{}\n", healthz_json()),
+            ),
+        },
+        "/tracez" => match parse_limit(query, TRACEZ_SPAN_LIMIT) {
+            Err(e) => bad_request(e),
+            Ok(limit) => (
+                "200 OK",
+                "application/json; charset=utf-8",
+                format!("{}\n", tracez_json(limit)),
+            ),
+        },
+        "/eventz" => match parse_limit(query, EVENTZ_EVENT_LIMIT) {
+            Err(e) => bad_request(e),
+            Ok(limit) => (
+                "200 OK",
+                "application/json; charset=utf-8",
+                format!("{}\n", events::eventz_json(limit)),
+            ),
+        },
+        "/sloz" => match parse_limit(query, 0) {
+            Err(e) => bad_request(e),
+            Ok(_) => (
+                "200 OK",
+                "application/json; charset=utf-8",
+                format!("{}\n", slo::sloz_json()),
+            ),
+        },
         _ => (
             "404 Not Found",
             "text/plain; charset=utf-8",
-            "try /metrics, /healthz, or /tracez\n".into(),
+            "try /metrics, /healthz, /tracez, /eventz, or /sloz\n".into(),
         ),
     }
 }
 
 fn healthz_json() -> Value {
     let health = *health_slot().lock().expect("obs health poisoned");
-    let mut pairs = match health {
-        Some(h) => vec![
-            ("status", Value::from("ok")),
-            ("store", Value::from("open")),
-            ("generation", Value::from(h.generation)),
-            ("journal_lag_bytes", Value::from(h.journal_lag_bytes)),
-            ("journal_lag_records", Value::from(h.journal_lag_records)),
-        ],
-        None => vec![
-            ("status", Value::from("ok")),
-            ("store", Value::from("none")),
-        ],
-    };
+    let build = crate::build_info();
+    let mut pairs = vec![
+        ("status", Value::from("ok")),
+        ("version", Value::from(build.version)),
+        ("git_hash", Value::from(build.git_hash)),
+        ("uptime_seconds", Value::from(crate::uptime_seconds())),
+    ];
+    match health {
+        Some(h) => {
+            pairs.push(("store", Value::from("open")));
+            pairs.push(("generation", Value::from(h.generation)));
+            pairs.push(("journal_lag_bytes", Value::from(h.journal_lag_bytes)));
+            pairs.push(("journal_lag_records", Value::from(h.journal_lag_records)));
+        }
+        None => pairs.push(("store", Value::from("none"))),
+    }
     pairs.push(("guard", guard_json()));
     Value::object(pairs)
 }
@@ -444,6 +530,69 @@ mod tests {
         assert!(head.starts_with("HTTP/1.1 404"), "{head}");
 
         drop(guard); // must join cleanly
+    }
+
+    #[test]
+    fn healthz_reports_build_identity_and_uptime() {
+        let guard = ObsServer::bind("0").expect("bind ephemeral").spawn();
+        let (_, body) = get(guard.addr(), "/healthz");
+        let health = Value::parse(body.trim()).expect("healthz is JSON");
+        assert_eq!(
+            health.get("version").and_then(Value::as_str),
+            Some(env!("CARGO_PKG_VERSION"))
+        );
+        assert!(health.get("git_hash").and_then(Value::as_str).is_some());
+        assert!(health
+            .get("uptime_seconds")
+            .and_then(Value::as_u64)
+            .is_some());
+        drop(guard);
+    }
+
+    #[test]
+    fn eventz_and_sloz_serve_json() {
+        let guard = ObsServer::bind("0").expect("bind ephemeral").spawn();
+        let addr = guard.addr();
+
+        let (head, body) = get(addr, "/eventz");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        let eventz = Value::parse(body.trim()).expect("eventz is JSON");
+        assert!(eventz.get("events").and_then(Value::as_array).is_some());
+        assert!(eventz.get("total").and_then(Value::as_u64).is_some());
+
+        let (head, body) = get(addr, "/sloz");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        let sloz = Value::parse(body.trim()).expect("sloz is JSON");
+        assert!(sloz.get("windows").and_then(Value::as_array).is_some());
+        assert!(sloz.get("error_budget").and_then(Value::as_f64).is_some());
+
+        drop(guard);
+    }
+
+    #[test]
+    fn limit_query_is_validated() {
+        assert_eq!(parse_limit(None, 7), Ok(7));
+        assert_eq!(parse_limit(Some("limit=3"), 7), Ok(3));
+        assert_eq!(parse_limit(Some(""), 7), Ok(7));
+        assert!(parse_limit(Some("limit=0"), 7).is_err());
+        assert!(parse_limit(Some("limit=-1"), 7).is_err());
+        assert!(parse_limit(Some("limit=abc"), 7).is_err());
+        assert!(parse_limit(Some("limit="), 7).is_err());
+        assert!(parse_limit(Some("limit=999999999"), 7).is_err());
+        assert!(parse_limit(Some("frobnicate=1"), 7).is_err());
+
+        let guard = ObsServer::bind("0").expect("bind ephemeral").spawn();
+        let addr = guard.addr();
+        let (head, _) = get(addr, "/tracez?limit=5");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        let (head, body) = get(addr, "/tracez?limit=garbage");
+        assert!(head.starts_with("HTTP/1.1 400"), "{head}");
+        assert!(body.contains("limit must be an integer"), "{body}");
+        let (head, _) = get(addr, "/eventz?limit=0");
+        assert!(head.starts_with("HTTP/1.1 400"), "{head}");
+        let (head, _) = get(addr, "/metrics?unknown=1");
+        assert!(head.starts_with("HTTP/1.1 400"), "{head}");
+        drop(guard);
     }
 
     #[test]

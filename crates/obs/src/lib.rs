@@ -26,7 +26,16 @@
 //!   lane per thread, loadable in Perfetto) and the self-time profile;
 //! * [`prom`] + [`http`] — Prometheus text exposition of the registry
 //!   and the std-only HTTP server behind `--obs-listen` (`/metrics`,
-//!   `/healthz`, `/tracez`).
+//!   `/healthz`, `/tracez`, `/eventz`, `/sloz`);
+//! * [`scope`] — per-session/per-tenant [`Scope`]s whose writes roll up
+//!   into the global registry and export as labelled series;
+//! * [`events`] — the wide-event log: one self-describing JSONL record
+//!   per unit of work, ring-buffered for `/eventz` and persisted via
+//!   `--events-out`;
+//! * [`slo`] — rolling latency/error windows over the event stream with
+//!   burn-rate computation (`/sloz`);
+//! * [`profdiff`] — continuous self-time profiling into the store dir
+//!   and the `cable profile diff` regression report.
 //!
 //! # Usage
 //!
@@ -54,23 +63,31 @@
 //! flags and `CABLE_OBS=1` gate the `Instant::now` cost.
 
 pub mod chrome;
+pub mod events;
 pub mod http;
 pub mod json;
 mod metrics;
+pub mod profdiff;
 pub mod prom;
 pub mod recorder;
 mod registry;
 mod report;
+pub mod scope;
 mod sink;
+pub mod slo;
 mod span;
 
+pub use events::WideEvent;
 pub use http::{HealthInfo, ObsServer, ServerGuard};
 pub use metrics::{Counter, CounterHandle, Histogram, HistogramHandle, HistogramSnapshot, BUCKETS};
 pub use registry::{registry, Registry, Snapshot};
+pub use scope::{render_scopes, scoped, Scope, ScopeSnapshot, ScopedRegistry};
 pub use sink::{parse_jsonl, JsonlSink};
 pub use span::{current_depth, current_stack, current_stage, enter_stage, Span, StageGuard};
 
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 
@@ -86,15 +103,54 @@ pub fn set_enabled(on: bool) {
     ENABLED.store(on, Ordering::Relaxed);
 }
 
-/// Enables span timing — and the flight recorder — if the `CABLE_OBS`
-/// environment variable is set to anything other than `0` or the empty
-/// string. Returns the resulting state.
+/// Enables span timing — and the flight recorder and the wide-event
+/// log — if the `CABLE_OBS` environment variable is set to anything
+/// other than `0` or the empty string. Returns the resulting state.
 pub fn init_from_env() -> bool {
+    let _ = process_start(); // pin the uptime epoch as early as possible
     if let Ok(v) = std::env::var("CABLE_OBS") {
         if !v.is_empty() && v != "0" {
             set_enabled(true);
             recorder::set_recording(true);
+            events::set_enabled(true);
         }
     }
     enabled()
+}
+
+fn process_start() -> Instant {
+    static START: OnceLock<Instant> = OnceLock::new();
+    *START.get_or_init(Instant::now)
+}
+
+/// Whole seconds since the process's uptime epoch (pinned by the first
+/// call to this, [`init_from_env`], or the HTTP server). Exposed as the
+/// `uptime_seconds` gauge on `/metrics` and in `/healthz`.
+pub fn uptime_seconds() -> u64 {
+    process_start().elapsed().as_secs()
+}
+
+/// Build identity baked in at compile time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BuildInfo {
+    /// The crate version (`CARGO_PKG_VERSION`).
+    pub version: &'static str,
+    /// The git commit, when the build environment exported
+    /// `CABLE_GIT_HASH`; `"unknown"` otherwise.
+    pub git_hash: &'static str,
+    /// The rustc version, when the build environment exported
+    /// `CABLE_RUSTC_VERSION`; `"unknown"` otherwise.
+    pub rustc: &'static str,
+}
+
+/// The build identity exposed as the `cable_build_info` gauge and in
+/// `/healthz`. The git hash and rustc version come from `option_env!`
+/// so plain `cargo build` (no exported env) still compiles and reports
+/// `"unknown"`.
+pub fn build_info() -> BuildInfo {
+    BuildInfo {
+        version: env!("CARGO_PKG_VERSION"),
+        git_hash: option_env!("CABLE_GIT_HASH").unwrap_or("unknown"),
+        rustc: option_env!("CABLE_RUSTC_VERSION").unwrap_or("unknown"),
+    }
 }

@@ -150,6 +150,26 @@ pub struct HistogramSnapshot {
 }
 
 impl HistogramSnapshot {
+    /// Rebuilds a snapshot from its serialised parts: the
+    /// `(inclusive upper bound, count)` pairs of
+    /// [`HistogramSnapshot::nonzero_buckets`] plus the tallies. This is
+    /// the inverse of the JSONL histogram shape, used by offline
+    /// consumers (`reproduce slo-check`) to run the same quantile math
+    /// over persisted runs. Bounds that are not exact bucket bounds
+    /// land in the bucket that contains them.
+    pub fn from_nonzero_buckets(pairs: &[(u64, u64)], count: u64, sum: u64, max: u64) -> Self {
+        let mut buckets = [0u64; BUCKETS];
+        for &(bound, n) in pairs {
+            buckets[bucket_of(bound)] += n;
+        }
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum,
+            max,
+        }
+    }
+
     /// Mean sample, or 0 with no samples.
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
@@ -362,5 +382,58 @@ mod tests {
         let s = sevens.snapshot();
         assert!((s.quantile_estimate(1.0) - 7.0).abs() < 1e-9);
         assert!(s.quantile_estimate(0.5) >= 4.0 && s.quantile_estimate(0.5) <= 7.0);
+
+        // A single sample: every quantile is that sample (the bucket
+        // interpolation clamps to the observed max).
+        let single = Histogram::new();
+        single.record(1000);
+        let s = single.snapshot();
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert!(
+                (s.quantile_estimate(q) - 1000.0).abs() < 1e-9,
+                "q={q}: {}",
+                s.quantile_estimate(q)
+            );
+        }
+
+        // Everything in one bucket: interpolation stays inside
+        // [lower bound, observed max].
+        let packed = Histogram::new();
+        for v in [130u64, 200, 255] {
+            packed.record(v); // all in bucket 8 (128..=255)
+        }
+        let s = packed.snapshot();
+        for q in [0.01, 0.5, 0.99] {
+            let est = s.quantile_estimate(q);
+            assert!((128.0..=255.0).contains(&est), "q={q}: {est}");
+        }
+        assert!((s.quantile_estimate(1.0) - 255.0).abs() < 1e-9);
+
+        // The overflow bucket (v ≥ 2^62) is unbounded above; estimates
+        // clamp to the observed max instead of u64::MAX.
+        let overflow = Histogram::new();
+        overflow.record(u64::MAX);
+        overflow.record(u64::MAX - 1);
+        let s = overflow.snapshot();
+        assert_eq!(s.buckets[BUCKETS - 1], 2);
+        for q in [0.5, 0.99, 1.0] {
+            let est = s.quantile_estimate(q);
+            assert!(est <= u64::MAX as f64, "q={q}: {est}");
+            assert!(est >= (1u64 << 62) as f64, "q={q}: {est}");
+        }
+        assert_eq!(s.quantile_bound(0.99), u64::MAX);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_nonzero_buckets() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 5, 900, 70_000, u64::MAX] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let rebuilt =
+            HistogramSnapshot::from_nonzero_buckets(&s.nonzero_buckets(), s.count, s.sum, s.max);
+        assert_eq!(rebuilt, s);
+        assert_eq!(rebuilt.quantile_estimate(0.95), s.quantile_estimate(0.95));
     }
 }

@@ -15,6 +15,8 @@
 
 use crate::metrics::HistogramSnapshot;
 use crate::registry::Snapshot;
+use crate::scope::ScopeSnapshot;
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Quantiles exposed in each histogram's companion summary family.
@@ -22,19 +24,71 @@ pub const SUMMARY_QUANTILES: [f64; 3] = [0.5, 0.95, 0.99];
 
 /// Renders the whole snapshot as Prometheus text exposition.
 pub fn encode(snapshot: &Snapshot) -> String {
+    encode_with_scopes(snapshot, &[])
+}
+
+/// [`encode`] plus per-scope labelled series: each live scope's
+/// counters and histogram summaries join their metric's family as
+/// series labelled with the scope's dimensions (`name{session="…"} v`),
+/// so one Prometheus family carries the global total and its per-scope
+/// breakdown side by side. Only live scopes export — retired scopes
+/// would otherwise pin stale series forever.
+pub fn encode_with_scopes(snapshot: &Snapshot, scopes: &[ScopeSnapshot]) -> String {
+    // Scope series grouped per metric name, in scope-id order.
+    let mut scoped_counters: BTreeMap<&str, Vec<(String, u64)>> = BTreeMap::new();
+    let mut scoped_histograms: BTreeMap<&str, Vec<(String, &HistogramSnapshot)>> = BTreeMap::new();
+    for scope in scopes.iter().filter(|s| s.live) {
+        let labels = label_set(&scope.labels);
+        for (name, &value) in &scope.metrics.counters {
+            scoped_counters
+                .entry(name)
+                .or_default()
+                .push((labels.clone(), value));
+        }
+        for (name, hist) in &scope.metrics.histograms {
+            scoped_histograms
+                .entry(name)
+                .or_default()
+                .push((labels.clone(), hist));
+        }
+    }
     let mut out = String::new();
     for (name, &value) in &snapshot.counters {
+        let series = scoped_counters.remove(name.as_str()).unwrap_or_default();
         let name = sanitize(name);
         let _ = writeln!(out, "# TYPE {name} counter");
         let _ = writeln!(out, "{name} {value}");
+        for (labels, v) in series {
+            let _ = writeln!(out, "{name}{{{labels}}} {v}");
+        }
+    }
+    // Scoped counters with no global series should be impossible under
+    // write-through, but a family must not silently vanish if one shows
+    // up (e.g. a scope outliving a registry reset).
+    for (name, series) in scoped_counters {
+        let name = sanitize(name);
+        let _ = writeln!(out, "# TYPE {name} counter");
+        for (labels, v) in series {
+            let _ = writeln!(out, "{name}{{{labels}}} {v}");
+        }
     }
     for (name, hist) in &snapshot.histograms {
-        encode_histogram(&mut out, &sanitize(name), hist);
+        let series = scoped_histograms.remove(name.as_str()).unwrap_or_default();
+        encode_histogram(&mut out, &sanitize(name), hist, &series);
+    }
+    for (name, series) in scoped_histograms {
+        let zero = HistogramSnapshot::from_nonzero_buckets(&[], 0, 0, 0);
+        encode_histogram(&mut out, &sanitize(name), &zero, &series);
     }
     out
 }
 
-fn encode_histogram(out: &mut String, name: &str, hist: &HistogramSnapshot) {
+fn encode_histogram(
+    out: &mut String,
+    name: &str,
+    hist: &HistogramSnapshot,
+    scoped: &[(String, &HistogramSnapshot)],
+) {
     let _ = writeln!(out, "# TYPE {name} histogram");
     let mut cumulative = 0u64;
     for (bound, count) in hist.nonzero_buckets() {
@@ -59,6 +113,67 @@ fn encode_histogram(out: &mut String, name: &str, hist: &HistogramSnapshot) {
     }
     let _ = writeln!(out, "{name}_summary_sum {}", hist.sum);
     let _ = writeln!(out, "{name}_summary_count {}", hist.count);
+    // Per-scope breakdown rides the summary family (quantile series can
+    // carry extra label dimensions; bucket series would need per-scope
+    // cumulative merging for no operational gain).
+    for (labels, hist) in scoped {
+        for q in SUMMARY_QUANTILES {
+            let _ = writeln!(
+                out,
+                "{name}_summary{{{labels},quantile=\"{q}\"}} {}",
+                fmt_f64(hist.quantile_estimate(q))
+            );
+        }
+        let _ = writeln!(out, "{name}_summary_sum{{{labels}}} {}", hist.sum);
+        let _ = writeln!(out, "{name}_summary_count{{{labels}}} {}", hist.count);
+    }
+}
+
+/// The `/metrics` body: build identity and uptime gauges, then the
+/// global families with per-scope labelled series merged in.
+pub fn encode_full(snapshot: &Snapshot, scopes: &[ScopeSnapshot]) -> String {
+    let info = crate::build_info();
+    let mut out = String::new();
+    let _ = writeln!(out, "# TYPE cable_build_info gauge");
+    let _ = writeln!(
+        out,
+        "cable_build_info{{version=\"{}\",git=\"{}\",rustc=\"{}\"}} 1",
+        escape_label(info.version),
+        escape_label(info.git_hash),
+        escape_label(info.rustc)
+    );
+    let _ = writeln!(out, "# TYPE uptime_seconds gauge");
+    let _ = writeln!(out, "uptime_seconds {}", crate::uptime_seconds());
+    out.push_str(&encode_with_scopes(snapshot, scopes));
+    out
+}
+
+/// Renders scope labels as a Prometheus label set (`k="v",…`), with
+/// keys sanitized like metric names and values escaped.
+fn label_set(labels: &[(String, String)]) -> String {
+    let mut out = String::new();
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}=\"{}\"", sanitize(k), escape_label(v));
+    }
+    out
+}
+
+/// Escapes a label value per the text format: backslash, double quote,
+/// and newline.
+pub fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
 }
 
 /// Maps a registry name onto the Prometheus name charset.
@@ -138,5 +253,61 @@ mod tests {
     #[test]
     fn empty_snapshot_encodes_to_nothing() {
         assert_eq!(encode(&Snapshot::default()), "");
+    }
+
+    #[test]
+    fn scoped_series_join_their_family_with_labels() {
+        let scoped = crate::scope::ScopedRegistry::default();
+        let scope = scoped.open(&[("session", "s-1"), ("tenant", "acme")]);
+        scope.add("core.work", 7);
+        scope.record("core.lat_ns", 100);
+        let retired = scoped.open(&[("session", "gone")]);
+        retired.add("core.work", 1);
+        drop(retired);
+
+        // A registry standing in for the global one (write-through also
+        // bumped the real global registry; encoding is pure either way).
+        let r = Registry::default();
+        r.counter("core.work").add(8);
+        r.histogram("core.lat_ns").record(100);
+        let text = encode_with_scopes(&r.snapshot(), &scoped.snapshot());
+
+        // One TYPE line, global series first, then the labelled series.
+        assert_eq!(text.matches("# TYPE core_work counter").count(), 1);
+        assert!(text.contains("core_work 8\n"), "{text}");
+        assert!(
+            text.contains("core_work{session=\"s-1\",tenant=\"acme\"} 7"),
+            "{text}"
+        );
+        // Retired scopes do not export series.
+        assert!(!text.contains("session=\"gone\""), "{text}");
+        // Scoped histograms ride the summary family with labels.
+        assert!(
+            text.contains("core_lat_ns_summary{session=\"s-1\",tenant=\"acme\",quantile=\"0.95\"}"),
+            "{text}"
+        );
+        assert!(
+            text.contains("core_lat_ns_summary_count{session=\"s-1\",tenant=\"acme\"} 1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn encode_full_leads_with_build_info_and_uptime() {
+        let text = encode_full(&Snapshot::default(), &[]);
+        assert!(text.contains("# TYPE cable_build_info gauge"), "{text}");
+        assert!(
+            text.contains(&format!("version=\"{}\"", env!("CARGO_PKG_VERSION"))),
+            "{text}"
+        );
+        assert!(text.contains("git="), "{text}");
+        assert!(text.contains("# TYPE uptime_seconds gauge"), "{text}");
+        assert!(text.contains("\nuptime_seconds "), "{text}");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(escape_label("plain"), "plain");
+        assert_eq!(escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
     }
 }

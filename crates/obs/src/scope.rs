@@ -1,0 +1,375 @@
+//! Scoped metrics: per-session / per-tenant metric tables that roll up
+//! into the global registry.
+//!
+//! The global [`crate::Registry`] answers *process* questions — how many
+//! traces were ingested since start. The ROADMAP's service arc (one
+//! process, many concurrent labeling sessions) also needs *attribution*:
+//! which session did the ingesting, which tenant directory is burning
+//! the lattice budget. A [`Scope`] is the unit of attribution: an RAII
+//! handle carrying label dimensions (`session`, `stage`, `tenant` — any
+//! small set of key/value pairs) and its own counter/histogram table.
+//!
+//! # Write-through rollup
+//!
+//! Every write through a scope lands **twice**: once in the scope's own
+//! table and once in the global registry under the same name. That makes
+//! the rollup invariant exact by construction — for any metric, the
+//! global total equals the sum over all scopes ever opened (plus any
+//! unscoped writes) — with no reconciliation pass. The
+//! `scoped_rollup_is_exact_under_concurrency` integration test pins this
+//! under 8 threads of concurrent scope create/write/drop.
+//!
+//! # Lifecycle
+//!
+//! [`ScopedRegistry::open`] registers the scope in the live table;
+//! dropping the [`Scope`] retires it — the scope leaves the live table
+//! (so `/metrics` stops exporting its series) and its final snapshot is
+//! kept in a bounded retired ring so `--stats` can still attribute work
+//! to sessions that closed during the run. Global totals are unaffected
+//! by retirement: rollups already happened at write time.
+
+use crate::json::Value;
+use crate::registry::{registry, Registry, Snapshot};
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Retired-scope snapshots kept for post-hoc attribution (`--stats`).
+/// Oldest are evicted first; rollup totals are unaffected by eviction.
+pub const RETIRED_CAP: usize = 64;
+
+/// The process-wide scoped registry.
+pub fn scoped() -> &'static ScopedRegistry {
+    static SCOPED: OnceLock<ScopedRegistry> = OnceLock::new();
+    SCOPED.get_or_init(ScopedRegistry::default)
+}
+
+/// The table of live scopes plus a bounded ring of retired snapshots.
+/// A [`Scope`] keeps its owning registry alive, so dropping the registry
+/// before its scopes is safe.
+#[derive(Debug, Default)]
+pub struct ScopedRegistry {
+    tables: Arc<Tables>,
+}
+
+#[derive(Debug, Default)]
+struct Tables {
+    live: Mutex<Vec<Arc<ScopeInner>>>,
+    retired: Mutex<VecDeque<ScopeSnapshot>>,
+    next_id: AtomicU64,
+}
+
+#[derive(Debug)]
+struct ScopeInner {
+    id: u64,
+    labels: Vec<(String, String)>,
+    metrics: Registry,
+}
+
+impl ScopedRegistry {
+    /// Opens a scope with the given label dimensions (e.g.
+    /// `[("session", "store-a"), ("tenant", "acme")]`). Label order is
+    /// preserved into exports.
+    pub fn open(&self, labels: &[(&str, &str)]) -> Scope {
+        let inner = Arc::new(ScopeInner {
+            id: self.tables.next_id.fetch_add(1, Ordering::Relaxed) + 1,
+            labels: labels
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+                .collect(),
+            metrics: Registry::default(),
+        });
+        self.tables
+            .live
+            .lock()
+            .expect("scoped registry poisoned")
+            .push(Arc::clone(&inner));
+        Scope {
+            inner,
+            owner: Arc::clone(&self.tables),
+        }
+    }
+
+    /// How many scopes are currently live.
+    pub fn live_count(&self) -> usize {
+        self.tables
+            .live
+            .lock()
+            .expect("scoped registry poisoned")
+            .len()
+    }
+
+    /// Point-in-time snapshots of every live scope followed by the
+    /// retained retired ones, all sorted by scope id (creation order).
+    pub fn snapshot(&self) -> Vec<ScopeSnapshot> {
+        let mut out: Vec<ScopeSnapshot> = self
+            .tables
+            .live
+            .lock()
+            .expect("scoped registry poisoned")
+            .iter()
+            .map(|inner| inner.snapshot(true))
+            .collect();
+        out.extend(
+            self.tables
+                .retired
+                .lock()
+                .expect("scoped registry poisoned")
+                .iter()
+                .cloned(),
+        );
+        out.sort_by_key(|s| s.id);
+        out
+    }
+
+    /// Empties the retired ring (tests and benchmark sections).
+    pub fn clear_retired(&self) {
+        self.tables
+            .retired
+            .lock()
+            .expect("scoped registry poisoned")
+            .clear();
+    }
+}
+
+impl Tables {
+    fn retire(&self, inner: &ScopeInner) {
+        let snapshot = inner.snapshot(false);
+        self.live
+            .lock()
+            .expect("scoped registry poisoned")
+            .retain(|s| s.id != inner.id);
+        let mut retired = self.retired.lock().expect("scoped registry poisoned");
+        if retired.len() >= RETIRED_CAP {
+            retired.pop_front();
+        }
+        retired.push_back(snapshot);
+    }
+}
+
+impl ScopeInner {
+    fn snapshot(&self, live: bool) -> ScopeSnapshot {
+        ScopeSnapshot {
+            id: self.id,
+            labels: self.labels.clone(),
+            live,
+            metrics: self.metrics.snapshot(),
+        }
+    }
+}
+
+/// An RAII attribution scope (see the module docs). Writes land in the
+/// scope's own table *and* the global registry; drop retires the scope.
+#[derive(Debug)]
+pub struct Scope {
+    inner: Arc<ScopeInner>,
+    owner: Arc<Tables>,
+}
+
+impl Scope {
+    /// The scope's id, unique within its registry.
+    pub fn id(&self) -> u64 {
+        self.inner.id
+    }
+
+    /// The label dimensions, in the order given to
+    /// [`ScopedRegistry::open`].
+    pub fn labels(&self) -> &[(String, String)] {
+        &self.inner.labels
+    }
+
+    /// The value of one label dimension.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.inner
+            .labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Adds `n` to the named counter in this scope and in the global
+    /// registry (the write-through rollup).
+    pub fn add(&self, name: &str, n: u64) {
+        self.inner.metrics.counter(name).add(n);
+        registry().counter(name).add(n);
+    }
+
+    /// Adds one; see [`Scope::add`].
+    pub fn incr(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Records one histogram sample in this scope and in the global
+    /// registry.
+    pub fn record(&self, name: &str, v: u64) {
+        self.inner.metrics.histogram(name).record(v);
+        registry().histogram(name).record(v);
+    }
+
+    /// Records a duration in nanoseconds; see [`Scope::record`].
+    pub fn record_duration(&self, name: &str, d: std::time::Duration) {
+        self.record(name, d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// A point-in-time copy of this scope's own table (global rollups
+    /// are not included — read those from [`registry`]).
+    pub fn snapshot(&self) -> ScopeSnapshot {
+        self.inner.snapshot(true)
+    }
+}
+
+impl Drop for Scope {
+    fn drop(&mut self) {
+        self.owner.retire(&self.inner);
+    }
+}
+
+/// A point-in-time copy of one scope: identity, labels, and its local
+/// metric table.
+#[derive(Debug, Clone)]
+pub struct ScopeSnapshot {
+    /// Scope id, unique within its registry.
+    pub id: u64,
+    /// Label dimensions in declaration order.
+    pub labels: Vec<(String, String)>,
+    /// Whether the scope was still live when snapshotted.
+    pub live: bool,
+    /// The scope's local metrics.
+    pub metrics: Snapshot,
+}
+
+impl ScopeSnapshot {
+    /// The scope as a JSON value (labels object + the metric snapshot).
+    pub fn to_json(&self) -> Value {
+        Value::object([
+            ("id", Value::from(self.id)),
+            (
+                "labels",
+                Value::Object(
+                    self.labels
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Value::from(v.as_str())))
+                        .collect(),
+                ),
+            ),
+            ("live", Value::from(self.live)),
+            ("metrics", self.metrics.to_json()),
+        ])
+    }
+
+    /// The labels as a space-separated `k=v` list (report headers).
+    pub fn label_string(&self) -> String {
+        let mut out = String::new();
+        for (i, (k, v)) in self.labels.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            let _ = write!(out, "{k}={v}");
+        }
+        out
+    }
+}
+
+/// Renders the `--stats` per-scope breakdown: one block per scope with
+/// its labels and non-zero counters / histogram summaries.
+pub fn render_scopes(scopes: &[ScopeSnapshot]) -> String {
+    if scopes.is_empty() {
+        return String::new();
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "── scopes ──");
+    for scope in scopes {
+        let state = if scope.live { "live" } else { "closed" };
+        let _ = writeln!(
+            out,
+            "scope #{} [{}] ({state})",
+            scope.id,
+            scope.label_string()
+        );
+        for (name, &value) in &scope.metrics.counters {
+            if value > 0 {
+                let _ = writeln!(out, "  {name:<44} {value:>12}");
+            }
+        }
+        for (name, hist) in &scope.metrics.histograms {
+            if hist.count > 0 {
+                let _ = writeln!(
+                    out,
+                    "  {name:<44} count {:>6}  mean {:>12.0}  p95 {:>12.0}",
+                    hist.count,
+                    hist.mean(),
+                    hist.quantile_estimate(0.95),
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_writes_roll_up_into_the_global_registry() {
+        let before = registry().snapshot();
+        let reg = ScopedRegistry::default();
+        let scope = reg.open(&[("session", "unit-a"), ("tenant", "t0")]);
+        scope.add("scope.test.rollup", 5);
+        scope.incr("scope.test.rollup");
+        scope.record("scope.test.lat_ns", 1000);
+        let delta = registry().snapshot().delta_since(&before);
+        assert_eq!(delta.counter("scope.test.rollup"), Some(6));
+        assert_eq!(
+            scope.snapshot().metrics.counter("scope.test.rollup"),
+            Some(6)
+        );
+        assert_eq!(scope.label("session"), Some("unit-a"));
+        assert_eq!(scope.label("missing"), None);
+        drop(scope);
+        // Retirement leaves the rollup in place.
+        let delta = registry().snapshot().delta_since(&before);
+        assert_eq!(delta.counter("scope.test.rollup"), Some(6));
+    }
+
+    #[test]
+    fn retired_scopes_keep_their_final_snapshot() {
+        let reg = ScopedRegistry::default();
+        let scope = reg.open(&[("session", "short-lived")]);
+        scope.add("scope.test.retired", 3);
+        let id = scope.id();
+        drop(scope);
+        assert_eq!(reg.live_count(), 0);
+        let snaps = reg.snapshot();
+        assert_eq!(snaps.len(), 1);
+        assert_eq!(snaps[0].id, id);
+        assert!(!snaps[0].live);
+        assert_eq!(snaps[0].metrics.counter("scope.test.retired"), Some(3));
+        reg.clear_retired();
+        assert!(reg.snapshot().is_empty());
+    }
+
+    #[test]
+    fn retired_ring_is_bounded() {
+        let reg = ScopedRegistry::default();
+        for i in 0..(RETIRED_CAP + 10) {
+            let label = format!("s{i}");
+            drop(reg.open(&[("session", label.as_str())]));
+        }
+        assert_eq!(reg.snapshot().len(), RETIRED_CAP);
+    }
+
+    #[test]
+    fn render_scopes_lists_labels_and_nonzero_metrics() {
+        let reg = ScopedRegistry::default();
+        let scope = reg.open(&[("session", "render-me"), ("stage", "ingest")]);
+        scope.add("work.done", 7);
+        scope.record("work.ns", 512);
+        let text = render_scopes(&reg.snapshot());
+        assert!(text.contains("session=render-me stage=ingest"), "{text}");
+        assert!(text.contains("work.done"), "{text}");
+        assert!(text.contains("work.ns"), "{text}");
+        assert_eq!(render_scopes(&[]), "");
+    }
+}

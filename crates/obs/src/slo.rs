@@ -1,0 +1,269 @@
+//! SLO tracking: rolling latency / error-rate windows over the
+//! wide-event stream, with burn-rate computation.
+//!
+//! Every [`crate::events::emit`] feeds [`observe`] with the event's
+//! window key (`kind`, or `kind:stage` when a stage is set), duration,
+//! and success flag. Each key keeps a rolling window of the last
+//! [`WINDOW_SECONDS`] of samples (bounded at [`WINDOW_CAP`], oldest
+//! evicted first). From the window, [`reports`] derives:
+//!
+//! * **error rate** — `errors / count` over the window;
+//! * **burn rate** — `error_rate / error_budget`, where the error
+//!   budget is `1 − slo_target` (the default budget of 0.01 encodes a
+//!   99% success SLO). A burn rate of 1.0 consumes the budget exactly
+//!   at the sustainable pace; >1 exhausts it early — the standard
+//!   multi-window alerting quantity;
+//! * **latency quantiles** — exact p50/p95/p99 over the window's
+//!   samples (the window is small and sorted on demand, so no sketch is
+//!   needed here, unlike the process-lifetime histograms).
+//!
+//! `/sloz` serves [`sloz_json`]; `reproduce slo-check` enforces
+//! *committed* per-stage latency budgets offline against a benchmark
+//! run's histograms — same math, CI-gated.
+
+use crate::json::Value;
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::sync::{Mutex, OnceLock};
+
+/// Rolling window width in seconds.
+pub const WINDOW_SECONDS: u64 = 300;
+/// Samples kept per window key (oldest evicted first).
+pub const WINDOW_CAP: usize = 2048;
+/// Default error budget: 1 − 0.99 (a 99% success objective).
+pub const DEFAULT_ERROR_BUDGET: f64 = 0.01;
+
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    ts_ns: u64,
+    duration_ns: u64,
+    ok: bool,
+}
+
+#[derive(Debug, Default)]
+struct Window {
+    samples: VecDeque<Sample>,
+}
+
+impl Window {
+    fn push(&mut self, sample: Sample) {
+        if self.samples.len() >= WINDOW_CAP {
+            self.samples.pop_front();
+        }
+        self.samples.push_back(sample);
+    }
+
+    /// Drops samples older than the window width (timestamps are
+    /// monotonic per [`crate::recorder::now_ns`], so pruning from the
+    /// front is exact).
+    fn prune(&mut self, now_ns: u64) {
+        let horizon = now_ns.saturating_sub(WINDOW_SECONDS * 1_000_000_000);
+        while let Some(front) = self.samples.front() {
+            if front.ts_ns < horizon {
+                self.samples.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+fn windows() -> &'static Mutex<BTreeMap<String, Window>> {
+    static WINDOWS: OnceLock<Mutex<BTreeMap<String, Window>>> = OnceLock::new();
+    WINDOWS.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Records one observation into `key`'s rolling window. Called by
+/// [`crate::events::emit`] for every event; callable directly for
+/// units that have no wide event.
+pub fn observe(key: &str, duration_ns: u64, ok: bool) {
+    let sample = Sample {
+        ts_ns: crate::recorder::now_ns(),
+        duration_ns,
+        ok,
+    };
+    let mut map = windows().lock().expect("slo windows poisoned");
+    map.entry(key.to_owned()).or_default().push(sample);
+}
+
+/// One window key's derived SLO state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloReport {
+    /// The window key (`kind` or `kind:stage`).
+    pub key: String,
+    /// Samples in the window.
+    pub count: u64,
+    /// Failed samples in the window.
+    pub errors: u64,
+    /// `errors / count` (0 with no samples).
+    pub error_rate: f64,
+    /// `error_rate / error_budget`.
+    pub burn_rate: f64,
+    /// Exact latency quantiles over the window, in nanoseconds.
+    pub p50_ns: u64,
+    /// 95th percentile latency in nanoseconds.
+    pub p95_ns: u64,
+    /// 99th percentile latency in nanoseconds.
+    pub p99_ns: u64,
+    /// Largest latency in the window, in nanoseconds.
+    pub max_ns: u64,
+}
+
+fn quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil().max(1.0) as usize).min(sorted.len());
+    sorted[rank - 1]
+}
+
+/// Derives every window's report (pruned to the rolling width first),
+/// sorted by key.
+pub fn reports(error_budget: f64) -> Vec<SloReport> {
+    let now = crate::recorder::now_ns();
+    let mut map = windows().lock().expect("slo windows poisoned");
+    map.iter_mut()
+        .map(|(key, window)| {
+            window.prune(now);
+            let count = window.samples.len() as u64;
+            let errors = window.samples.iter().filter(|s| !s.ok).count() as u64;
+            let error_rate = if count == 0 {
+                0.0
+            } else {
+                errors as f64 / count as f64
+            };
+            let mut durations: Vec<u64> = window.samples.iter().map(|s| s.duration_ns).collect();
+            durations.sort_unstable();
+            SloReport {
+                key: key.clone(),
+                count,
+                errors,
+                error_rate,
+                burn_rate: error_rate / error_budget.max(f64::EPSILON),
+                p50_ns: quantile(&durations, 0.50),
+                p95_ns: quantile(&durations, 0.95),
+                p99_ns: quantile(&durations, 0.99),
+                max_ns: durations.last().copied().unwrap_or(0),
+            }
+        })
+        .collect()
+}
+
+/// The `/sloz` body: the objective, the window parameters, and every
+/// key's derived state.
+pub fn sloz_json() -> Value {
+    let keys: Vec<Value> = reports(DEFAULT_ERROR_BUDGET)
+        .into_iter()
+        .map(|r| {
+            Value::object([
+                ("key", Value::from(r.key)),
+                ("count", Value::from(r.count)),
+                ("errors", Value::from(r.errors)),
+                ("error_rate", Value::from(r.error_rate)),
+                ("burn_rate", Value::from(r.burn_rate)),
+                ("p50_ns", Value::from(r.p50_ns)),
+                ("p95_ns", Value::from(r.p95_ns)),
+                ("p99_ns", Value::from(r.p99_ns)),
+                ("max_ns", Value::from(r.max_ns)),
+            ])
+        })
+        .collect();
+    Value::object([
+        ("error_budget", Value::from(DEFAULT_ERROR_BUDGET)),
+        ("window_seconds", Value::from(WINDOW_SECONDS)),
+        ("windows", Value::Array(keys)),
+    ])
+}
+
+/// Empties every window (tests and benchmark sections).
+pub fn reset() {
+    windows().lock().expect("slo windows poisoned").clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Window state is process-global; tests must not interleave.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn error_rate_and_burn_rate_follow_the_window() {
+        let _l = lock();
+        reset();
+        for i in 0..100u64 {
+            observe("slo.test.err", i * 1000, i % 10 != 0); // 10% errors
+        }
+        let reports = reports(0.01);
+        let r = reports
+            .iter()
+            .find(|r| r.key == "slo.test.err")
+            .expect("window exists");
+        assert_eq!(r.count, 100);
+        assert_eq!(r.errors, 10);
+        assert!((r.error_rate - 0.10).abs() < 1e-9);
+        // 10% errors against a 1% budget burns 10× sustainable pace.
+        assert!((r.burn_rate - 10.0).abs() < 1e-9);
+        reset();
+    }
+
+    #[test]
+    fn quantiles_are_exact_over_the_window() {
+        let _l = lock();
+        reset();
+        for v in 1..=100u64 {
+            observe("slo.test.quant", v, true);
+        }
+        let reports = reports(DEFAULT_ERROR_BUDGET);
+        let r = reports.iter().find(|r| r.key == "slo.test.quant").unwrap();
+        assert_eq!(r.p50_ns, 50);
+        assert_eq!(r.p95_ns, 95);
+        assert_eq!(r.p99_ns, 99);
+        assert_eq!(r.max_ns, 100);
+        assert_eq!(r.burn_rate, 0.0);
+        reset();
+    }
+
+    #[test]
+    fn windows_are_bounded() {
+        let _l = lock();
+        reset();
+        for i in 0..(WINDOW_CAP + 50) {
+            observe("slo.test.cap", i as u64, true);
+        }
+        let reports = reports(DEFAULT_ERROR_BUDGET);
+        let r = reports.iter().find(|r| r.key == "slo.test.cap").unwrap();
+        assert_eq!(r.count, WINDOW_CAP as u64);
+        // Newest survive: the max is the last value pushed.
+        assert_eq!(r.max_ns, (WINDOW_CAP + 49) as u64);
+        reset();
+    }
+
+    #[test]
+    fn empty_quantile_is_zero() {
+        assert_eq!(quantile(&[], 0.5), 0);
+        assert_eq!(quantile(&[7], 0.5), 7);
+        assert_eq!(quantile(&[7], 1.0), 7);
+    }
+
+    #[test]
+    fn sloz_json_has_the_expected_shape() {
+        let _l = lock();
+        reset();
+        observe("slo.test.shape", 1234, true);
+        let json = sloz_json();
+        assert!(json.get("error_budget").is_some());
+        assert!(json.get("window_seconds").is_some());
+        let windows = json.get("windows").and_then(Value::as_array).unwrap();
+        let w = windows
+            .iter()
+            .find(|w| w.get("key").and_then(Value::as_str) == Some("slo.test.shape"))
+            .expect("window serialised");
+        assert_eq!(w.get("count").and_then(Value::as_u64), Some(1));
+        assert_eq!(w.get("p95_ns").and_then(Value::as_u64), Some(1234));
+        reset();
+    }
+}

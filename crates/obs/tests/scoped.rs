@@ -1,0 +1,99 @@
+//! Concurrency test for the scoped-metrics rollup: scopes created,
+//! written, and dropped from many threads at once must account for
+//! every write exactly — the global registry's total equals the sum
+//! over all scope-local tables, by construction of the write-through
+//! rollup.
+
+use cable_obs::ScopedRegistry;
+use std::sync::Arc;
+
+const THREADS: usize = 8;
+const SCOPES_PER_THREAD: usize = 16;
+const WRITES_PER_SCOPE: u64 = 100;
+
+#[test]
+fn scoped_rollup_is_exact_under_concurrency() {
+    // A fresh local registry, so parallel tests in this binary can't
+    // perturb the totals. The global side of the write-through still
+    // lands in cable_obs::registry(), which we delta below.
+    let scoped = Arc::new(ScopedRegistry::default());
+    let counter_name = "obs.test.scoped_concurrent";
+    let global_before = cable_obs::registry()
+        .snapshot()
+        .counter(counter_name)
+        .unwrap_or(0);
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let scoped = Arc::clone(&scoped);
+            std::thread::spawn(move || {
+                for s in 0..SCOPES_PER_THREAD {
+                    let scope = scoped.open(&[
+                        ("session", &format!("t{t}-s{s}")),
+                        ("stage", "concurrency-test"),
+                    ]);
+                    for _ in 0..WRITES_PER_SCOPE {
+                        scope.incr(counter_name);
+                    }
+                    scope.record(&format!("{counter_name}_ns"), 1_000);
+                    // Half the scopes drop immediately (retire), half
+                    // at the end of the closure — both paths must keep
+                    // their writes visible in the rollup.
+                    if s % 2 == 0 {
+                        drop(scope);
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("scope thread panicked");
+    }
+
+    let expected = (THREADS * SCOPES_PER_THREAD) as u64 * WRITES_PER_SCOPE;
+
+    // Exact global rollup: every scoped write also hit the global
+    // registry.
+    let global_after = cable_obs::registry()
+        .snapshot()
+        .counter(counter_name)
+        .unwrap_or(0);
+    assert_eq!(global_after - global_before, expected);
+
+    // Exact per-scope accounting: the sum over every snapshot (live or
+    // retired — the retired ring is bounded, so count only what it
+    // kept) matches the scopes it still knows about.
+    let snapshots = scoped.snapshot();
+    assert!(scoped.live_count() == 0, "every scope was dropped");
+    let retained: u64 = snapshots
+        .iter()
+        .map(|s| s.metrics.counter(counter_name).unwrap_or(0))
+        .sum();
+    assert_eq!(
+        retained,
+        snapshots.len() as u64 * WRITES_PER_SCOPE,
+        "each retired snapshot holds exactly its own writes"
+    );
+    for snap in &snapshots {
+        assert!(!snap.live);
+        assert_eq!(snap.metrics.counter(counter_name), Some(WRITES_PER_SCOPE));
+        let hist = snap
+            .metrics
+            .histogram(&format!("{counter_name}_ns"))
+            .expect("histogram recorded in scope");
+        assert_eq!(hist.count, 1);
+        assert_eq!(
+            snap.labels
+                .iter()
+                .find(|(k, _)| k == "stage")
+                .map(|(_, v)| v.as_str()),
+            Some("concurrency-test")
+        );
+    }
+
+    // Ids are unique across all threads.
+    let mut ids: Vec<u64> = snapshots.iter().map(|s| s.id).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), snapshots.len());
+}

@@ -376,6 +376,19 @@ impl Pool {
             results.into_inner().expect("par results poisoned")
         };
         stage.record_wall(wall_start);
+        // One wide event per stage execution. Guarded on enabled() so
+        // the off path never pays the event's String building.
+        if cable_obs::events::enabled() {
+            let mut event = cable_obs::WideEvent::new("par_stage", "par")
+                .stage(label)
+                .field("items", n as u64)
+                .field("chunks", n_chunks as u64)
+                .field("threads", self.threads() as u64);
+            if let Some(start) = wall_start {
+                event = event.duration(start.elapsed());
+            }
+            cable_obs::events::emit(event);
+        }
         results
     }
 }

@@ -207,6 +207,23 @@ impl Store {
             stale_journal: stale,
         };
         cable_obs::recorder::instant("store.open");
+        if cable_obs::events::enabled() {
+            // Recovery is the store's interesting unit of work: the wide
+            // event says what a reopen found, not just that it happened.
+            cable_obs::events::emit(
+                cable_obs::WideEvent::new("store_open", "store")
+                    .stage("store.open")
+                    .outcome(if stale || discarded > 0 {
+                        "recovered"
+                    } else {
+                        "ok"
+                    })
+                    .field("replayed", records.len() as u64)
+                    .field("discarded_bytes", discarded as u64)
+                    .field("stale_journal", stale)
+                    .field("generation", data.generation),
+            );
+        }
         Ok((
             Store {
                 dir: dir.to_owned(),

@@ -2,10 +2,11 @@
 # Smoke test for the cable-obs HTTP exposition server.
 #
 # Opens a small session store, starts `cable serve` on an ephemeral
-# localhost port (bare port 0), and curls /metrics and /healthz. The
-# server must answer with Prometheus text carrying the request counter
-# and summary quantiles, and health JSON reflecting the store
-# generation and journal lag.
+# localhost port (bare port 0), and curls every endpoint. The server
+# must answer with Prometheus text carrying the request counter and
+# summary quantiles, health JSON reflecting the build identity and the
+# store generation and journal lag, the wide-event tail on /eventz, SLO
+# windows on /sloz, and a 400 for malformed ?limit= queries.
 #
 # Usage: scripts/serve_smoke.sh [path/to/cable]
 set -euo pipefail
@@ -41,6 +42,8 @@ health=$(curl -fsS "http://$addr/healthz")
 echo "$health"
 echo "$health" | grep -q '"generation":0' || { echo "healthz misses generation"; exit 1; }
 echo "$health" | grep -q '"journal_lag_bytes"' || { echo "healthz misses journal lag"; exit 1; }
+echo "$health" | grep -q '"version"' || { echo "healthz misses build version"; exit 1; }
+echo "$health" | grep -q '"uptime_seconds"' || { echo "healthz misses uptime"; exit 1; }
 
 metrics=$(curl -fsS "http://$addr/metrics")
 echo "$metrics" | grep -q '# TYPE obs_http_requests counter' \
@@ -50,5 +53,18 @@ echo "$metrics" | grep -q 'quantile="0.99"' \
 
 curl -fsS "http://$addr/tracez" | grep -q '"recording":true' \
   || { echo "tracez does not report recording"; exit 1; }
+
+curl -fsS "http://$addr/eventz" | grep -q '"events"' \
+  || { echo "eventz does not serve the wide-event tail"; exit 1; }
+
+sloz=$(curl -fsS "http://$addr/sloz")
+echo "$sloz" | grep -q '"windows"' || { echo "sloz misses windows"; exit 1; }
+echo "$sloz" | grep -q '"error_budget"' || { echo "sloz misses error budget"; exit 1; }
+
+# ?limit= validation: well-formed limits are honoured, garbage is a 400.
+curl -fsS "http://$addr/eventz?limit=5" > /dev/null \
+  || { echo "eventz rejects a valid limit"; exit 1; }
+code=$(curl -s -o /dev/null -w '%{http_code}' "http://$addr/tracez?limit=garbage")
+[ "$code" = "400" ] || { echo "malformed limit answered $code, not 400"; exit 1; }
 
 echo "serve smoke test: PASS"

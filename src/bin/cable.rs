@@ -12,7 +12,8 @@
 //! cable session ingest  --store DIR --traces FILE [--fsync-per-trace] [--keep-going]
 //! cable session resume  --store DIR [--json-out PATH] [--obs-listen ADDR]
 //! cable session compact --store DIR
-//! cable serve   --obs-listen ADDR [--store DIR]
+//! cable serve   --obs-listen ADDR [--store DIR] [--profile-interval-ms N]
+//! cable profile diff BEFORE.jsonl AFTER.jsonl
 //! cable specs
 //! ```
 //!
@@ -45,12 +46,24 @@
 //!   `label --store DIR` runs a labeling script against a saved session,
 //!   journaling every decision.
 //! * `serve` exposes the cable-obs HTTP endpoints (`GET /metrics` in
-//!   Prometheus text format, `GET /healthz`, `GET /tracez`) on the given
-//!   address until killed. With `--store DIR` it opens the session first
-//!   so `/healthz` reports the store generation and journal lag. A bare
+//!   Prometheus text format, `GET /healthz`, `GET /tracez`, plus the
+//!   wide-event tail at `GET /eventz` and the SLO burn-rate windows at
+//!   `GET /sloz`) on the given address until killed. With `--store DIR`
+//!   it opens the session first so `/healthz` reports the store
+//!   generation and journal lag, and starts the continuous profiler:
+//!   periodic self-time snapshots into `DIR/profiles/` (default every
+//!   5 s; `--profile-interval-ms N` tunes it, `0` disables). A bare
 //!   port binds `127.0.0.1`; the bound address is printed to stdout so
 //!   scripts can use port `0`.
+//! * `profile diff` compares two continuous-profile (or `--events-out`
+//!   style profile-snapshot) JSONL files and prints per-function
+//!   self-time regressions, largest change first.
 //! * `specs` lists the built-in evaluation specifications.
+//!
+//! `--events-out PATH` (any command) writes the wide-event log — one
+//! self-describing JSONL record per unit of work (ingest batch, label
+//! op, compaction, guard trip, HTTP request) — through the buffered
+//! sink.
 //!
 //! Every command also accepts `--stats`, which enables the flight
 //! recorder and prints the cable-obs stage-cost report (counters, span
@@ -99,6 +112,10 @@ fn main() {
     let Some(command) = args.first() else {
         usage("missing command");
     };
+    // `profile diff` takes positional paths, not options.
+    if command == "profile" {
+        run_profile(&args[1..]);
+    }
     // `session` takes a subcommand before the options.
     let (sub, rest) = if command == "session" {
         match args.get(1) {
@@ -113,6 +130,12 @@ fn main() {
     if stats || opts.obs_listen.is_some() {
         cable::obs::set_enabled(true);
         cable::obs::recorder::set_recording(true);
+        cable::obs::events::set_enabled(true);
+    }
+    if let Some(path) = &opts.events_out {
+        let sink = cable::obs::JsonlSink::create(path)
+            .unwrap_or_else(|e| die(&format!("creating {path}: {e}")));
+        cable::obs::events::install_sink(sink);
     }
     if let Some(spec) = &opts.faults {
         cable::guard::faults::install(spec).unwrap_or_else(|e| usage(&format!("--faults: {e}")));
@@ -160,6 +183,10 @@ fn main() {
             }
         }
     };
+    // Flush the wide-event log before exiting (drop flushes the sink).
+    if opts.events_out.is_some() {
+        drop(cable::obs::events::take_sink());
+    }
     // Stats print before the exit so failing commands still report.
     if stats {
         eprintln!("{}", cable::obs::registry().snapshot().render());
@@ -167,6 +194,8 @@ fn main() {
         if !profile.is_empty() {
             eprintln!("{}", cable::obs::chrome::render_profile(&profile));
         }
+        let scopes = cable::obs::scoped().snapshot();
+        eprint!("{}", cable::obs::render_scopes(&scopes));
     }
     exit(code);
 }
@@ -181,6 +210,8 @@ struct Opts {
     store: Option<String>,
     json_out: Option<String>,
     obs_listen: Option<String>,
+    events_out: Option<String>,
+    profile_interval_ms: Option<u64>,
     fsync_per_trace: bool,
     stats: bool,
     deadline_ms: Option<u64>,
@@ -200,6 +231,8 @@ fn parse_opts(args: &[String]) -> Opts {
         store: None,
         json_out: None,
         obs_listen: None,
+        events_out: None,
+        profile_interval_ms: None,
         fsync_per_trace: false,
         stats: false,
         deadline_ms: None,
@@ -245,6 +278,14 @@ fn parse_opts(args: &[String]) -> Opts {
             "--store" => opts.store = Some(value()),
             "--json-out" => opts.json_out = Some(value()),
             "--obs-listen" => opts.obs_listen = Some(value()),
+            "--events-out" => opts.events_out = Some(value()),
+            "--profile-interval-ms" => {
+                opts.profile_interval_ms = Some(
+                    value()
+                        .parse()
+                        .unwrap_or_else(|_| usage("--profile-interval-ms needs an integer")),
+                );
+            }
             "--deadline-ms" => {
                 opts.deadline_ms = Some(
                     value()
@@ -661,6 +702,7 @@ fn session_cmd(sub: &str, opts: &Opts) -> i32 {
             }
             if let Some(addr) = &opts.obs_listen {
                 publish_health(&stored);
+                let _profiler = spawn_profiler(Path::new(dir), opts);
                 serve_blocking(addr);
             }
             0
@@ -703,10 +745,45 @@ fn publish_health(stored: &StoredSession) {
 fn serve_blocking(addr: &str) -> ! {
     let server =
         cable::obs::ObsServer::bind(addr).unwrap_or_else(|e| die(&format!("binding {addr}: {e}")));
-    println!("serving http://{}/metrics /healthz /tracez", server.addr());
+    println!(
+        "serving http://{}/metrics /healthz /tracez /eventz /sloz",
+        server.addr()
+    );
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
     server.serve();
+}
+
+/// Starts the continuous profiler into `DIR/profiles/` (one JSONL file
+/// per process). Default interval 5 s; `--profile-interval-ms 0`
+/// disables it.
+fn spawn_profiler(dir: &Path, opts: &Opts) -> Option<cable::obs::profdiff::ContinuousProfiler> {
+    let interval_ms = opts.profile_interval_ms.unwrap_or(5000);
+    if interval_ms == 0 {
+        return None;
+    }
+    let profiles = dir.join("profiles");
+    if let Err(e) = fs::create_dir_all(&profiles) {
+        eprintln!("warning: cannot create {}: {e}", profiles.display());
+        return None;
+    }
+    let path = profiles.join(format!("profile-{}.jsonl", std::process::id()));
+    match cable::obs::profdiff::ContinuousProfiler::spawn(
+        &path,
+        std::time::Duration::from_millis(interval_ms),
+    ) {
+        Ok(profiler) => {
+            eprintln!(
+                "obs: continuous profiler writing {} every {interval_ms} ms",
+                path.display()
+            );
+            Some(profiler)
+        }
+        Err(e) => {
+            eprintln!("warning: continuous profiler failed to start: {e}");
+            None
+        }
+    }
 }
 
 /// `cable serve --obs-listen ADDR [--store DIR]`: the standalone
@@ -716,12 +793,32 @@ fn serve(opts: &Opts) -> i32 {
         .obs_listen
         .as_ref()
         .unwrap_or_else(|| usage("--obs-listen ADDR is required"));
+    let mut _profiler = None;
     if let Some(dir) = &opts.store {
         let (stored, report) = open_store(dir);
         report_recovery(&report);
         publish_health(&stored);
+        _profiler = spawn_profiler(Path::new(dir), opts);
     }
     serve_blocking(addr);
+}
+
+/// `cable profile diff BEFORE AFTER`: the self-time regression report
+/// between two profile-snapshot JSONL files (continuous-profiler output
+/// or any file whose records carry a `profile` array).
+fn run_profile(args: &[String]) -> ! {
+    match args {
+        [sub, before, after] if sub == "diff" => {
+            let a = cable::obs::profdiff::load_rows(Path::new(before))
+                .unwrap_or_else(|e| die(&format!("{before}: {e}")));
+            let b = cable::obs::profdiff::load_rows(Path::new(after))
+                .unwrap_or_else(|e| die(&format!("{after}: {e}")));
+            let rows = cable::obs::profdiff::diff(&a, &b);
+            print!("{}", cable::obs::profdiff::render_diff(&rows));
+            exit(0);
+        }
+        _ => usage("profile needs: profile diff BEFORE.jsonl AFTER.jsonl"),
+    }
 }
 
 fn mine(opts: &Opts) {
@@ -805,8 +902,10 @@ fn usage(msg: &str) -> ! {
          [--store DIR] [--threads N] [--stats]\n\
          \x20      cable session <open|ingest|resume|compact> --store DIR [--traces FILE] \
          [--fsync-per-trace] [--keep-going] [--json-out PATH] [--obs-listen ADDR]\n\
-         \x20      cable serve --obs-listen ADDR [--store DIR]\n\
-         \x20      any command: [--deadline-ms N] [--max-concepts N] [--faults SEED:SPEC]"
+         \x20      cable serve --obs-listen ADDR [--store DIR] [--profile-interval-ms N]\n\
+         \x20      cable profile diff BEFORE.jsonl AFTER.jsonl\n\
+         \x20      any command: [--deadline-ms N] [--max-concepts N] [--faults SEED:SPEC] \
+         [--events-out PATH]"
     );
     exit(2);
 }

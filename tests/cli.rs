@@ -509,6 +509,148 @@ fn serve_survives_oversized_heads_and_idle_connection_herds() {
     child.wait().unwrap();
 }
 
+/// Spawns `cable` with the given args, waits for the `serving http://`
+/// announcement on stdout (skipping any earlier output lines), and
+/// returns the child plus the bound address.
+fn spawn_serving(args: &[&str]) -> (std::process::Child, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_cable"))
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("cable starts");
+    let mut reader = BufReader::new(child.stdout.take().unwrap());
+    for _ in 0..32 {
+        let mut line = String::new();
+        if reader.read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        if let Some(addr) = line
+            .trim()
+            .strip_prefix("serving http://")
+            .and_then(|rest| rest.split('/').next())
+        {
+            return (child, addr.to_owned());
+        }
+    }
+    let _ = child.kill();
+    let _ = child.wait();
+    panic!("cable never announced a serving address");
+}
+
+/// Satellite `?limit=N` hardening plus the new exposition endpoints,
+/// exercised over raw TCP: a well-formed limit is honoured with a 200,
+/// anything else (garbage, zero, unknown keys) is a 400 — never a
+/// silently-clamped success.
+#[test]
+fn serve_validates_limit_queries_and_exposes_eventz_and_sloz() {
+    let (mut child, addr) = spawn_serving(&["serve", "--obs-listen", "0"]);
+
+    let (status, body) = http_get(&addr, "/eventz");
+    assert!(status.contains("200"), "{status}");
+    assert!(body.contains("\"events\""), "{body}");
+    assert!(body.contains("\"total\""), "{body}");
+
+    let (status, body) = http_get(&addr, "/sloz");
+    assert!(status.contains("200"), "{status}");
+    assert!(body.contains("\"windows\""), "{body}");
+    assert!(body.contains("\"error_budget\""), "{body}");
+
+    for path in ["/tracez?limit=5", "/eventz?limit=1", "/tracez?limit=100000"] {
+        let (status, _) = http_get(&addr, path);
+        assert!(status.contains("200"), "{path}: {status}");
+    }
+    for path in [
+        "/tracez?limit=garbage",
+        "/tracez?limit=0",
+        "/tracez?limit=-1",
+        "/eventz?limit=999999999",
+        "/eventz?limit=",
+        "/metrics?frobnicate=1",
+    ] {
+        let (status, body) = http_get(&addr, path);
+        assert!(status.contains("400"), "{path}: {status} {body}");
+    }
+
+    child.kill().unwrap();
+    child.wait().unwrap();
+}
+
+/// `cable profile diff` over two real resumed sessions: each `session
+/// resume --obs-listen` run leaves a continuous-profile JSONL behind in
+/// `store/profiles/`, and diffing the two produces a non-empty report
+/// whose ordering is stable across invocations.
+#[test]
+fn profile_diff_of_two_resume_runs_is_nonempty_and_stable() {
+    let dir = tmp_dir("profdiff");
+    let store = dir.join("store");
+    let out = cable(&[
+        "session",
+        "open",
+        "--traces",
+        "testdata/stdio_violations.traces",
+        "--store",
+        store.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    // One serve run = one profile-<pid>.jsonl; the final snapshot is
+    // written on shutdown, but kill(2) skips destructors, so wait for a
+    // flushed periodic tick before killing.
+    let profile_run = || {
+        let (mut child, _addr) = spawn_serving(&[
+            "session",
+            "resume",
+            "--store",
+            store.to_str().unwrap(),
+            "--obs-listen",
+            "0",
+            "--profile-interval-ms",
+            "25",
+        ]);
+        let path = store
+            .join("profiles")
+            .join(format!("profile-{}.jsonl", child.id()));
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while fs::metadata(&path).map(|m| m.len()).unwrap_or(0) == 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "no profile snapshot appeared at {}",
+                path.display()
+            );
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        child.kill().unwrap();
+        child.wait().unwrap();
+        path
+    };
+    let before = profile_run();
+    let after = profile_run();
+    assert_ne!(before, after, "distinct pids, distinct profile files");
+
+    let diff = |a: &PathBuf, b: &PathBuf| {
+        let out = cable(&["profile", "diff", a.to_str().unwrap(), b.to_str().unwrap()]);
+        assert!(out.status.success(), "{}", stderr(&out));
+        stdout(&out)
+    };
+    let report = diff(&before, &after);
+    assert!(!report.contains("no spans"), "{report}");
+    assert!(
+        report.lines().count() >= 2 && report.contains("delta"),
+        "a header plus at least one span row: {report}"
+    );
+    assert!(
+        report.contains("fca.") || report.contains("core."),
+        "resume replays the pipeline, so its spans show up: {report}"
+    );
+    assert_eq!(
+        report,
+        diff(&before, &after),
+        "the report order is stable across invocations"
+    );
+    fs::remove_dir_all(&dir).unwrap();
+}
+
 #[test]
 fn incremental_ingest_matches_clustering_the_whole_corpus_at_once() {
     let dir = tmp_dir("equivalence");
