@@ -2,34 +2,45 @@
 //!
 //! The perf gate ([`crate::compare`]) catches *relative* regressions —
 //! current vs baseline. This gate enforces *absolute* per-stage latency
-//! budgets: a committed JSON file names pipeline histograms and the p95
-//! each is allowed, and the check reconstructs every named histogram
-//! from a run's final `pipeline_snapshot` record and compares its
-//! estimated p95 against the budget. Budgets are deliberately generous
-//! (3–5× observed) — the gate exists to catch order-of-magnitude
-//! cliffs, not CI-runner noise.
+//! budgets: a committed JSON file names pipeline histograms and the
+//! quantile each is allowed, and the check reconstructs every named
+//! histogram from a run's final `pipeline_snapshot` record and compares
+//! its estimated quantile against the budget. Budgets are deliberately
+//! generous (3–5× observed) — the gate exists to catch
+//! order-of-magnitude cliffs, not CI-runner noise.
+//!
+//! A budget is either a bare number (the allowed **p95** in
+//! milliseconds — the original format, still accepted) or an object
+//! `{"p": 0.99, "ms": 250}` naming the quantile explicitly. The
+//! service drill uses the latter: tail latency under concurrent load
+//! is a p99 property, not a p95 one.
 
 use cable_obs::json::Value;
 use cable_obs::HistogramSnapshot;
 use std::io;
 use std::path::Path;
 
-/// One stage's latency budget: the histogram name and the allowed p95.
+/// One stage's latency budget: the histogram name, the quantile the
+/// budget applies to, and the allowed value.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StageBudget {
     /// The pipeline histogram the budget applies to (e.g.
     /// `fca.lattice.build_ns`).
     pub stage: String,
-    /// The allowed 95th-percentile latency, in milliseconds.
-    pub p95_ms: f64,
+    /// The quantile budgeted, in (0, 1) — 0.95 for a bare-number
+    /// budget.
+    pub quantile: f64,
+    /// The allowed latency at that quantile, in milliseconds.
+    pub budget_ms: f64,
 }
 
-/// Parses a budget file: `{"stages": {"<histogram>": <p95_ms>, ...}}`.
+/// Parses a budget file: `{"stages": {"<histogram>": <p95_ms> |
+/// {"p": <quantile>, "ms": <budget_ms>}, ...}}`.
 ///
 /// # Errors
 ///
 /// Fails if the file cannot be read, is not JSON, or does not hold a
-/// `stages` object of numeric budgets.
+/// `stages` object of numeric or `{p, ms}` budgets.
 pub fn load_budgets(path: impl AsRef<Path>) -> io::Result<Vec<StageBudget>> {
     let path = path.as_ref();
     let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
@@ -46,22 +57,50 @@ pub fn load_budgets(path: impl AsRef<Path>) -> io::Result<Vec<StageBudget>> {
     };
     let mut budgets = Vec::with_capacity(map.len());
     for (stage, v) in map {
-        let p95_ms = v.as_f64().ok_or_else(|| {
-            bad(format!(
-                "{}: budget for {stage:?} is not a number",
-                path.display()
-            ))
-        })?;
-        // `<= 0.0` also rejects NaN budgets: NaN compares false both ways.
-        if p95_ms <= 0.0 || p95_ms.is_nan() {
+        let (quantile, budget_ms) = match v {
+            Value::Object(_) => {
+                let p = v.get("p").and_then(Value::as_f64).ok_or_else(|| {
+                    bad(format!(
+                        "{}: budget for {stage:?} needs a numeric \"p\"",
+                        path.display()
+                    ))
+                })?;
+                let ms = v.get("ms").and_then(Value::as_f64).ok_or_else(|| {
+                    bad(format!(
+                        "{}: budget for {stage:?} needs a numeric \"ms\"",
+                        path.display()
+                    ))
+                })?;
+                (p, ms)
+            }
+            // The original bare-number format budgets the p95.
+            _ => {
+                let ms = v.as_f64().ok_or_else(|| {
+                    bad(format!(
+                        "{}: budget for {stage:?} is not a number or {{p, ms}} object",
+                        path.display()
+                    ))
+                })?;
+                (0.95, ms)
+            }
+        };
+        if !(quantile > 0.0 && quantile < 1.0) {
             return Err(bad(format!(
-                "{}: budget for {stage:?} must be positive, got {p95_ms}",
+                "{}: quantile for {stage:?} must be in (0, 1), got {quantile}",
+                path.display()
+            )));
+        }
+        // `<= 0.0` also rejects NaN budgets: NaN compares false both ways.
+        if budget_ms <= 0.0 || budget_ms.is_nan() {
+            return Err(bad(format!(
+                "{}: budget for {stage:?} must be positive, got {budget_ms}",
                 path.display()
             )));
         }
         budgets.push(StageBudget {
             stage: stage.clone(),
-            p95_ms,
+            quantile,
+            budget_ms,
         });
     }
     if budgets.is_empty() {
@@ -75,10 +114,12 @@ pub fn load_budgets(path: impl AsRef<Path>) -> io::Result<Vec<StageBudget>> {
 pub struct SloCheckRow {
     /// The budgeted histogram name.
     pub stage: String,
-    /// Allowed p95 in milliseconds.
+    /// The budgeted quantile.
+    pub quantile: f64,
+    /// Allowed latency at that quantile, in milliseconds.
     pub budget_ms: f64,
-    /// Estimated p95 from the run's histogram, when present.
-    pub p95_ms: Option<f64>,
+    /// Estimated quantile from the run's histogram, when present.
+    pub actual_ms: Option<f64>,
     /// Samples in the histogram.
     pub count: u64,
     /// Whether the stage is within budget.
@@ -102,11 +143,12 @@ impl SloCheckReport {
     pub fn render(&self) -> String {
         let mut out = String::new();
         for r in &self.rows {
-            match r.p95_ms {
-                Some(p95) => out.push_str(&format!(
-                    "{}: p95 {:.3} ms vs budget {:.3} ms over {} samples — {}\n",
+            let label = format!("p{:02.0}", r.quantile * 100.0);
+            match r.actual_ms {
+                Some(actual) => out.push_str(&format!(
+                    "{}: {label} {:.3} ms vs budget {:.3} ms over {} samples — {}\n",
                     r.stage,
-                    p95,
+                    actual,
                     r.budget_ms,
                     r.count,
                     if r.pass { "ok" } else { "OVER BUDGET" }
@@ -147,9 +189,9 @@ fn histogram_from_json(v: &Value) -> Option<HistogramSnapshot> {
 }
 
 /// Checks a run's final `pipeline_snapshot` against the budgets. A
-/// budgeted stage that is absent from the run, or whose estimated p95
-/// exceeds its budget, fails; an *empty* histogram (present, zero
-/// samples) passes — the run simply never exercised the stage.
+/// budgeted stage that is absent from the run, or whose estimated
+/// quantile exceeds its budget, fails; an *empty* histogram (present,
+/// zero samples) passes — the run simply never exercised the stage.
 pub fn check(records: &[Value], budgets: &[StageBudget]) -> SloCheckReport {
     let histograms = records
         .iter()
@@ -166,25 +208,28 @@ pub fn check(records: &[Value], budgets: &[StageBudget]) -> SloCheckReport {
             match hist {
                 Some(h) if h.count == 0 => SloCheckRow {
                     stage: b.stage.clone(),
-                    budget_ms: b.p95_ms,
-                    p95_ms: Some(0.0),
+                    quantile: b.quantile,
+                    budget_ms: b.budget_ms,
+                    actual_ms: Some(0.0),
                     count: 0,
                     pass: true,
                 },
                 Some(h) => {
-                    let p95_ms = h.quantile_estimate(0.95) / 1e6;
+                    let actual_ms = h.quantile_estimate(b.quantile) / 1e6;
                     SloCheckRow {
                         stage: b.stage.clone(),
-                        budget_ms: b.p95_ms,
-                        p95_ms: Some(p95_ms),
+                        quantile: b.quantile,
+                        budget_ms: b.budget_ms,
+                        actual_ms: Some(actual_ms),
                         count: h.count,
-                        pass: p95_ms <= b.p95_ms,
+                        pass: actual_ms <= b.budget_ms,
                     }
                 }
                 None => SloCheckRow {
                     stage: b.stage.clone(),
-                    budget_ms: b.p95_ms,
-                    p95_ms: None,
+                    quantile: b.quantile,
+                    budget_ms: b.budget_ms,
+                    actual_ms: None,
                     count: 0,
                     pass: false,
                 },
@@ -216,7 +261,8 @@ mod tests {
         let records = vec![snapshot_record("fca.test.build_ns", &[1_000_000; 8])];
         let budgets = vec![StageBudget {
             stage: "fca.test.build_ns".into(),
-            p95_ms: 10.0,
+            quantile: 0.95,
+            budget_ms: 10.0,
         }];
         let report = check(&records, &budgets);
         assert!(report.passed(), "{}", report.render());
@@ -225,11 +271,35 @@ mod tests {
         // Same samples against a 0.1 ms budget: fail.
         let tight = vec![StageBudget {
             stage: "fca.test.build_ns".into(),
-            p95_ms: 0.1,
+            quantile: 0.95,
+            budget_ms: 0.1,
         }];
         let report = check(&records, &tight);
         assert!(!report.passed());
         assert!(report.render().contains("OVER BUDGET"));
+    }
+
+    #[test]
+    fn p99_budget_gates_the_tail_p95_misses() {
+        // 97 fast samples and 3 slow ones: the p95 sits in the fast
+        // bulk, the p99 in the slow tail.
+        let mut samples = vec![1_000_000u64; 97];
+        samples.extend([80_000_000, 80_000_000, 80_000_000]);
+        let records = vec![snapshot_record("load.test.request_ns", &samples)];
+        let p95 = vec![StageBudget {
+            stage: "load.test.request_ns".into(),
+            quantile: 0.95,
+            budget_ms: 10.0,
+        }];
+        assert!(check(&records, &p95).passed(), "p95 ignores the tail");
+        let p99 = vec![StageBudget {
+            stage: "load.test.request_ns".into(),
+            quantile: 0.99,
+            budget_ms: 10.0,
+        }];
+        let report = check(&records, &p99);
+        assert!(!report.passed(), "p99 sees the tail\n{}", report.render());
+        assert!(report.render().contains("p99"));
     }
 
     #[test]
@@ -238,11 +308,13 @@ mod tests {
         let budgets = vec![
             StageBudget {
                 stage: "fca.test.build_ns".into(),
-                p95_ms: 1.0,
+                quantile: 0.95,
+                budget_ms: 1.0,
             },
             StageBudget {
                 stage: "no.such.stage_ns".into(),
-                p95_ms: 1.0,
+                quantile: 0.95,
+                budget_ms: 1.0,
             },
         ];
         let report = check(&records, &budgets);
@@ -259,14 +331,18 @@ mod tests {
         let path = dir.join(format!("budgets-{}.json", std::process::id()));
         std::fs::write(
             &path,
-            "{\"stages\": {\"fca.lattice.build_ns\": 50.0, \"strauss.miner.mine_ns\": 20}}\n",
+            "{\"stages\": {\"fca.lattice.build_ns\": 50.0, \"strauss.miner.mine_ns\": 20, \
+             \"load.request_ns\": {\"p\": 0.99, \"ms\": 250}}}\n",
         )
         .unwrap();
         let budgets = load_budgets(&path).unwrap();
-        assert_eq!(budgets.len(), 2);
+        assert_eq!(budgets.len(), 3);
+        assert!(budgets.iter().any(|b| b.stage == "fca.lattice.build_ns"
+            && b.budget_ms == 50.0
+            && b.quantile == 0.95));
         assert!(budgets
             .iter()
-            .any(|b| b.stage == "fca.lattice.build_ns" && b.p95_ms == 50.0));
+            .any(|b| b.stage == "load.request_ns" && b.budget_ms == 250.0 && b.quantile == 0.99));
         std::fs::remove_file(&path).unwrap();
 
         let bad = dir.join(format!("bad-{}.json", std::process::id()));
@@ -274,6 +350,10 @@ mod tests {
         assert!(load_budgets(&bad).is_err());
         std::fs::write(&bad, "{\"stages\": {}}\n").unwrap();
         assert!(load_budgets(&bad).is_err());
+        std::fs::write(&bad, "{\"stages\": {\"x\": {\"p\": 1.5, \"ms\": 10}}}\n").unwrap();
+        assert!(load_budgets(&bad).is_err(), "quantile out of range");
+        std::fs::write(&bad, "{\"stages\": {\"x\": {\"p\": 0.99}}}\n").unwrap();
+        assert!(load_budgets(&bad).is_err(), "ms missing");
         std::fs::remove_file(&bad).unwrap();
     }
 }

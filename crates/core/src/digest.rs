@@ -1,0 +1,162 @@
+//! Deterministic session-state digests: the currency every
+//! determinism gate trades in.
+//!
+//! A [`session_state_record`] summarises a session as counts plus FNV-1a
+//! digests of its corpus, labels, and lattice — timing-free by
+//! construction, so `reproduce diff` can compare a crash-recovered run
+//! against an uninterrupted one, a 1-worker run against an 8-worker run,
+//! or (the service drill) a store grown through concurrent HTTP requests
+//! against the same operations replayed sequentially through the CLI.
+//! The CLI (`cable session resume --json-out`) and the service
+//! (`GET /api/sessions/:id/digest`) both emit exactly this record.
+
+use crate::persist::StoredSession;
+use cable_obs::json::Value;
+
+/// FNV-1a 64 over a byte stream. Not cryptographic — the digests detect
+/// divergence between runs of our own code, not adversaries.
+#[derive(Debug, Clone)]
+pub struct Fnv(u64);
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Fnv::new()
+    }
+}
+
+impl Fnv {
+    /// The FNV-1a 64 offset basis.
+    pub fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Absorbs `bytes`.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    /// The digest as 16 lowercase hex digits.
+    pub fn hex(&self) -> String {
+        format!("{:016x}", self.0)
+    }
+}
+
+/// The deterministic `session_state` JSONL record: counts plus digests
+/// of the corpus (canonical trace display lines, in trace order), the
+/// labels (per-class label names, in class order), and the lattice
+/// (extent/intent element runs per concept, in concept order).
+pub fn session_state_record(stored: &StoredSession) -> Value {
+    let session = stored.session();
+    let vocab = stored.vocab();
+    let mut corpus = Fnv::new();
+    for (_, trace) in session.traces().iter() {
+        corpus.update(trace.display(vocab).to_string().as_bytes());
+        corpus.update(b"\n");
+    }
+    let mut labels = Fnv::new();
+    let mut labeled = 0u64;
+    for c in 0..session.classes().len() {
+        if let Some(l) = session.labels().get(c) {
+            labels.update(session.labels().name(l).as_bytes());
+            labeled += 1;
+        }
+        labels.update(b"\n");
+    }
+    let mut lattice = Fnv::new();
+    for (_, concept) in session.lattice().iter() {
+        for v in concept.extent.iter() {
+            lattice.update(&(v as u64).to_le_bytes());
+        }
+        lattice.update(b"/");
+        for v in concept.intent.iter() {
+            lattice.update(&(v as u64).to_le_bytes());
+        }
+        lattice.update(b";");
+    }
+    Value::object([
+        ("record", Value::from("session_state")),
+        ("traces", Value::from(session.traces().len() as u64)),
+        ("classes", Value::from(session.classes().len() as u64)),
+        ("concepts", Value::from(session.lattice().len() as u64)),
+        ("labeled", Value::from(labeled)),
+        ("generation", Value::from(stored.store().generation())),
+        ("corpus_digest", Value::from(corpus.hex())),
+        ("labels_digest", Value::from(labels.hex())),
+        ("lattice_digest", Value::from(lattice.hex())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::TraceSelector;
+    use crate::CableSession;
+    use cable_fa::templates;
+    use cable_trace::{Trace, TraceSet, Vocab};
+    use std::path::PathBuf;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "cable-core-digest-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_session() -> (CableSession, Vocab) {
+        let mut vocab = Vocab::new();
+        let mut traces = TraceSet::new();
+        traces.push(Trace::parse("fopen(X) fclose(X)", &mut vocab).unwrap());
+        traces.push(Trace::parse("fopen(X)", &mut vocab).unwrap());
+        let all: Vec<Trace> = traces.iter().map(|(_, t)| t.clone()).collect();
+        let fa = templates::unordered_of_trace_events(&all);
+        (CableSession::new(traces, fa), vocab)
+    }
+
+    #[test]
+    fn fnv_is_stable_and_order_sensitive() {
+        let mut a = Fnv::new();
+        a.update(b"hello");
+        // Known FNV-1a 64 vector.
+        assert_eq!(a.hex(), "a430d84680aabd0b");
+        let mut b = Fnv::new();
+        b.update(b"olleh");
+        assert_ne!(a.hex(), b.hex());
+    }
+
+    #[test]
+    fn record_changes_with_labels_and_not_with_time() {
+        let dir = tmp_dir("record");
+        let (session, vocab) = sample_session();
+        let mut stored = session.save(vocab, &dir).unwrap();
+        let before = session_state_record(&stored);
+        assert_eq!(
+            before.get("record").and_then(Value::as_str),
+            Some("session_state")
+        );
+        let again = session_state_record(&stored);
+        assert_eq!(before, again, "digests are pure functions of state");
+
+        let top = stored.session().lattice().top();
+        stored
+            .label_traces(top, &TraceSelector::Unlabeled, "good")
+            .unwrap();
+        let after = session_state_record(&stored);
+        assert_ne!(
+            before.get("labels_digest"),
+            after.get("labels_digest"),
+            "labeling moves the labels digest"
+        );
+        assert_eq!(
+            before.get("corpus_digest"),
+            after.get("corpus_digest"),
+            "labeling leaves the corpus digest alone"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

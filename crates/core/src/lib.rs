@@ -47,13 +47,19 @@
 //! assert!(session.all_labeled());
 //! ```
 
+pub mod api;
+pub mod digest;
 pub mod label;
+pub mod manager;
 pub mod persist;
 pub mod session;
 pub mod strategy;
 pub mod wellformed;
 
+pub use api::CableApi;
+pub use digest::session_state_record;
 pub use label::{Label, LabelStore};
+pub use manager::{ManagerError, SessionKey, SessionManager};
 pub use persist::{IngestReport, StoredSession};
 pub use session::{
     CableSession, ConceptState, FocusSession, LabelCount, SessionProgress, SessionStop,

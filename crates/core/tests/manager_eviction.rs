@@ -1,0 +1,215 @@
+//! LRU-eviction correctness for the session manager: an
+//! evicted-then-reopened session must be byte-identical (by
+//! `session_state` digest) to one that was never evicted, including
+//! sessions evicted between ingest batches and sessions hammered from
+//! many threads while eviction pressure is on.
+//!
+//! This is the property that makes eviction safe to do at all: every
+//! mutation journals before it applies, so dropping the in-memory
+//! session loses nothing.
+
+use cable_core::digest::session_state_record;
+use cable_core::manager::{SessionKey, SessionManager};
+use cable_core::session::{CableSession, TraceSelector};
+use cable_fa::templates;
+use cable_obs::json::Value;
+use cable_trace::{Trace, TraceSet, Vocab};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn tmp_root(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "cable-core-evict-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The deterministic op sequence each scenario replays: seed traces,
+/// then alternating ingest batches and labels.
+const SEED: &str = "fopen(#1) fread(#1) fclose(#1)\nfopen(#2)\n";
+
+fn batch(i: usize) -> String {
+    let a = 10 + 2 * i;
+    let b = a + 1;
+    format!("fopen(#{a}) fwrite(#{a}) fclose(#{a})\nfopen(#{b}) fread(#{b})\n")
+}
+
+fn new_session(text: &str) -> (CableSession, Vocab) {
+    let mut vocab = Vocab::new();
+    let traces = TraceSet::parse(text, &mut vocab).unwrap();
+    let list: Vec<Trace> = traces.iter().map(|(_, t)| t.clone()).collect();
+    let fa = templates::unordered_of_trace_events(&list);
+    (CableSession::new(traces, fa), vocab)
+}
+
+/// Runs the scripted session life under `manager`: create, `rounds`
+/// ingest batches, a label on the top concept, and returns the final
+/// digest record.
+fn run_script(manager: &SessionManager, key: &SessionKey, rounds: usize) -> Value {
+    let (session, vocab) = new_session(SEED);
+    manager.create(key, session, vocab).unwrap();
+    for i in 0..rounds {
+        manager
+            .with_session(key, |stored| {
+                stored
+                    .ingest_text(&batch(i), false)
+                    .map_err(cable_core::manager::ManagerError::Store)?;
+                Ok(())
+            })
+            .unwrap();
+    }
+    manager
+        .with_session(key, |stored| {
+            let top = stored.session().lattice().top();
+            stored
+                .label_traces(top, &TraceSelector::Unlabeled, "good")
+                .map_err(cable_core::manager::ManagerError::Store)?;
+            Ok(session_state_record(stored))
+        })
+        .unwrap()
+}
+
+#[test]
+fn evicted_between_every_op_matches_never_evicted() {
+    let root = tmp_root("between-ops");
+    // Control: a roomy manager that never evicts.
+    let control = SessionManager::new(root.join("control"), 64);
+    let key = SessionKey::new("t1", "s").unwrap();
+    let expected = run_script(&control, &key, 4);
+
+    // Victim: a 1-slot manager plus a decoy session touched between
+    // every scripted op, so the victim is evicted before each access
+    // and every access is a reopen-from-disk.
+    let squeezed = SessionManager::new(root.join("squeezed"), 1);
+    let decoy = SessionKey::new("t1", "decoy").unwrap();
+    let (session, vocab) = new_session(SEED);
+    squeezed.create(&decoy, session, vocab).unwrap();
+    let touch_decoy = || {
+        squeezed
+            .with_session(&decoy, |stored| Ok(stored.session().traces().len()))
+            .unwrap();
+    };
+
+    let (session, vocab) = new_session(SEED);
+    touch_decoy();
+    squeezed.create(&key, session, vocab).unwrap();
+    for i in 0..4 {
+        touch_decoy(); // evicts the victim
+        assert!(
+            !squeezed.list_open().contains(&key),
+            "victim must actually be evicted between ops"
+        );
+        squeezed
+            .with_session(&key, |stored| {
+                stored
+                    .ingest_text(&batch(i), false)
+                    .map_err(cable_core::manager::ManagerError::Store)?;
+                Ok(())
+            })
+            .unwrap();
+    }
+    touch_decoy();
+    let actual = squeezed
+        .with_session(&key, |stored| {
+            let top = stored.session().lattice().top();
+            stored
+                .label_traces(top, &TraceSelector::Unlabeled, "good")
+                .map_err(cable_core::manager::ManagerError::Store)?;
+            Ok(session_state_record(stored))
+        })
+        .unwrap();
+
+    assert_eq!(
+        expected, actual,
+        "evicted-then-reopened session diverged from the never-evicted control"
+    );
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn concurrent_labelers_under_eviction_pressure_stay_deterministic() {
+    let root = tmp_root("concurrent");
+    const LABELERS: usize = 8;
+    const ROUNDS: usize = 3;
+
+    // Controls: each labeler's script replayed sequentially, no
+    // eviction, one manager per labeler so nothing interleaves.
+    let mut expected = Vec::new();
+    for i in 0..LABELERS {
+        let control = SessionManager::new(root.join(format!("control-{i}")), 64);
+        let key = SessionKey::new(&format!("tenant{i}"), "s").unwrap();
+        expected.push(run_script(&control, &key, ROUNDS));
+    }
+
+    // The contended run: all labelers share one 2-slot manager, so
+    // almost every access evicts someone else's session.
+    let shared = Arc::new(SessionManager::new(root.join("shared"), 2));
+    let digests: Vec<Value> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..LABELERS)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                scope.spawn(move || {
+                    let key = SessionKey::new(&format!("tenant{i}"), "s").unwrap();
+                    run_script(&shared, &key, ROUNDS)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    assert!(
+        shared.open_count() <= 2,
+        "ceiling held: {} resident",
+        shared.open_count()
+    );
+    for (i, (want, got)) in expected.iter().zip(&digests).enumerate() {
+        assert_eq!(want, got, "labeler {i} diverged under eviction pressure");
+    }
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn eviction_skips_sessions_mid_ingest() {
+    let root = tmp_root("mid-ingest");
+    let manager = Arc::new(SessionManager::new(&root, 1));
+    let victim = SessionKey::new("t1", "victim").unwrap();
+    let (session, vocab) = new_session(SEED);
+    manager.create(&victim, session, vocab).unwrap();
+
+    // Inside the victim's with_session, hammer other sessions from
+    // another thread: eviction pressure peaks while the victim's slot
+    // lock is held, and try_lock-only eviction must skip it.
+    let digest = manager
+        .with_session(&victim, |stored| {
+            std::thread::scope(|scope| -> Result<(), cable_core::manager::ManagerError> {
+                let pressure = Arc::clone(&manager);
+                scope.spawn(move || {
+                    for i in 0..4 {
+                        let key = SessionKey::new("t1", &format!("other{i}")).unwrap();
+                        let (session, vocab) = new_session(SEED);
+                        pressure.create(&key, session, vocab).unwrap();
+                    }
+                });
+                // Meanwhile the victim keeps ingesting mid-flight.
+                for i in 0..4 {
+                    stored
+                        .ingest_text(&batch(i), false)
+                        .map_err(cable_core::manager::ManagerError::Store)?;
+                }
+                Ok(())
+            })?;
+            Ok(session_state_record(stored))
+        })
+        .unwrap();
+
+    // The mid-flight state was never torn down; after the dust settles
+    // the victim may be evicted — reopening must reproduce it exactly.
+    let reopened = manager
+        .with_session(&victim, |stored| Ok(session_state_record(stored)))
+        .unwrap();
+    assert_eq!(digest, reopened, "mid-ingest state lost across eviction");
+    std::fs::remove_dir_all(&root).unwrap();
+}

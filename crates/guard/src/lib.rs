@@ -10,7 +10,8 @@
 //! * [`Budget`] — a wall-clock deadline, a concept-count ceiling, and a
 //!   memory-estimate ceiling, installed process-wide for the duration of
 //!   a guarded operation ([`Budget::install`] returns an RAII
-//!   [`InstalledGuard`]);
+//!   [`InstalledGuard`]), or per-thread for one service request
+//!   ([`Budget::install_local`] returns an RAII [`LocalGuard`]);
 //! * [`CancelToken`] — cooperative cancellation. Like the flight
 //!   recorder's disabled path, the hot-path cost of an uninstalled guard
 //!   is **one relaxed atomic load** ([`checkpoint`], [`cancel_point`]);
@@ -49,11 +50,12 @@ pub mod faults;
 
 use cable_obs::CounterHandle;
 use std::any::Any;
+use std::cell::Cell;
 use std::error::Error;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Slow-path checkpoint evaluations (the fast path — nothing installed —
@@ -71,6 +73,11 @@ const BUDGET_BIT: u8 = 1;
 const FAULTS_BIT: u8 = 2;
 /// Bit in [`STATE`]: cancellation has been requested.
 const CANCEL_BIT: u8 = 4;
+/// Bit in [`STATE`]: at least one thread holds a thread-local request
+/// budget ([`Budget::install_local`]). The bit is global so the
+/// uninstalled fast path stays one relaxed load; which budget (if any)
+/// applies is resolved per-thread on the slow path.
+const LOCAL_BIT: u8 = 8;
 
 /// The one word every hot-path check loads. Zero means "nothing
 /// installed, nothing cancelled" and every guard entry point returns
@@ -196,6 +203,49 @@ impl Budget {
         self.deadline.is_none() && self.max_concepts.is_none() && self.max_mem_bytes.is_none()
     }
 
+    /// Installs the budget on the **calling thread only**, returning the
+    /// RAII handle that uninstalls it on drop. This is the per-request
+    /// form used by the session service: each HTTP worker wraps one
+    /// request in a local budget, so concurrent requests get independent
+    /// deadlines without fighting over the process-wide slot.
+    ///
+    /// Only the deadline and concept ceilings apply locally; the
+    /// memory-estimate ceiling is process-wide by nature ([`charge_mem`]
+    /// accumulates across threads) and is ignored here. Budgets nest:
+    /// installing over an existing local budget shadows it until drop. A
+    /// thread-local budget does not bound work the thread hands to the
+    /// `cable-par` pool — per-request work in the service runs on the
+    /// worker thread itself.
+    pub fn install_local(self) -> LocalGuard {
+        if self.deadline.is_none() && self.max_concepts.is_none() {
+            return LocalGuard {
+                installed: false,
+                previous: None,
+                _thread_bound: std::marker::PhantomData,
+            };
+        }
+        let budget = LocalBudget {
+            deadline_ns: self
+                .deadline
+                .map_or(u64::MAX, |d| now_ns().saturating_add(d.as_nanos() as u64)),
+            deadline_ms: self.deadline.map_or(0, |d| d.as_millis() as u64),
+            max_concepts: self.max_concepts.unwrap_or(u64::MAX),
+        };
+        let previous = LOCAL.with(|slot| slot.replace(Some(budget)));
+        if previous.is_none() {
+            let mut count = local_count().lock().expect("guard local count poisoned");
+            *count += 1;
+            if *count == 1 {
+                STATE.fetch_or(LOCAL_BIT, Ordering::Relaxed);
+            }
+        }
+        LocalGuard {
+            installed: true,
+            previous,
+            _thread_bound: std::marker::PhantomData,
+        }
+    }
+
     /// Installs the budget process-wide, returning the RAII handle that
     /// uninstalls it (and clears any pending cancellation) on drop. An
     /// empty budget installs nothing and the returned guard is inert.
@@ -243,6 +293,63 @@ impl Drop for InstalledGuard {
             MAX_CONCEPTS.store(u64::MAX, Ordering::Relaxed);
             MAX_MEM_BYTES.store(u64::MAX, Ordering::Relaxed);
             MEM_CHARGED.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// One thread's request budget, resolved on the checkpoint slow path.
+#[derive(Debug, Clone, Copy)]
+struct LocalBudget {
+    /// Deadline as nanoseconds since [`epoch`]; `u64::MAX` means none.
+    deadline_ns: u64,
+    /// The configured deadline in milliseconds, for error messages.
+    deadline_ms: u64,
+    /// Concept-count ceiling; `u64::MAX` means none.
+    max_concepts: u64,
+}
+
+thread_local! {
+    /// The calling thread's request budget, if any.
+    static LOCAL: Cell<Option<LocalBudget>> = const { Cell::new(None) };
+}
+
+/// Threads currently holding a local budget. Install/uninstall
+/// transitions of [`LOCAL_BIT`] run under this lock so a thread
+/// dropping its budget cannot clear the bit out from under a thread
+/// that just installed one.
+fn local_count() -> &'static Mutex<u64> {
+    static COUNT: OnceLock<Mutex<u64>> = OnceLock::new();
+    COUNT.get_or_init(|| Mutex::new(0))
+}
+
+/// RAII handle for a thread-local [`Budget::install_local`]; restores
+/// the thread's previous budget (usually none) on drop.
+///
+/// Not `Send`: the budget lives in the installing thread's storage, so
+/// dropping it elsewhere would uninstall nothing.
+#[derive(Debug)]
+pub struct LocalGuard {
+    installed: bool,
+    previous: Option<LocalBudget>,
+    // The budget lives in the installing thread's storage; a raw-pointer
+    // marker keeps the guard on that thread (auto-!Send).
+    _thread_bound: std::marker::PhantomData<*const ()>,
+}
+
+impl Drop for LocalGuard {
+    fn drop(&mut self) {
+        if !self.installed {
+            return;
+        }
+        let previous = self.previous.take();
+        let restores_outer = previous.is_some();
+        LOCAL.with(|slot| slot.set(previous));
+        if !restores_outer {
+            let mut count = local_count().lock().expect("guard local count poisoned");
+            *count = count.saturating_sub(1);
+            if *count == 0 {
+                STATE.fetch_and(!LOCAL_BIT, Ordering::Relaxed);
+            }
         }
     }
 }
@@ -301,7 +408,11 @@ pub fn active() -> bool {
 /// deterministic for every worker count (see DESIGN.md §12).
 #[inline]
 pub fn budget_active() -> bool {
-    STATE.load(Ordering::Relaxed) & BUDGET_BIT != 0
+    let state = STATE.load(Ordering::Relaxed);
+    if state & BUDGET_BIT != 0 {
+        return true;
+    }
+    state & LOCAL_BIT != 0 && LOCAL.with(|slot| slot.get().is_some())
 }
 
 pub(crate) fn faults_installed() -> bool {
@@ -367,6 +478,19 @@ fn checkpoint_checks(site: &str, state: u8) -> Result<(), GuardError> {
         CANCELLED_TRIPS.get().incr();
         return Err(GuardError::Cancelled);
     }
+    if state & LOCAL_BIT != 0 {
+        if let Some(local) = LOCAL.with(Cell::get) {
+            if now_ns() >= local.deadline_ns {
+                BUDGET_TRIPS.get().incr();
+                return Err(GuardError::BudgetExceeded {
+                    limit: Limit::Deadline {
+                        limit_ms: local.deadline_ms,
+                    },
+                    site: site.to_owned(),
+                });
+            }
+        }
+    }
     if state & BUDGET_BIT != 0 {
         if now_ns() >= DEADLINE_NS.load(Ordering::Relaxed) {
             BUDGET_TRIPS.get().incr();
@@ -411,10 +535,19 @@ fn checkpoint_checks(site: &str, state: u8) -> Result<(), GuardError> {
 /// count passes the ceiling.
 #[inline]
 pub fn check_concepts(count: usize) -> Result<(), GuardError> {
-    if STATE.load(Ordering::Relaxed) & BUDGET_BIT == 0 {
+    let state = STATE.load(Ordering::Relaxed);
+    if state & (BUDGET_BIT | LOCAL_BIT) == 0 {
         return Ok(());
     }
-    let limit = MAX_CONCEPTS.load(Ordering::Relaxed);
+    let mut limit = u64::MAX;
+    if state & BUDGET_BIT != 0 {
+        limit = MAX_CONCEPTS.load(Ordering::Relaxed);
+    }
+    if state & LOCAL_BIT != 0 {
+        if let Some(local) = LOCAL.with(Cell::get) {
+            limit = limit.min(local.max_concepts);
+        }
+    }
     if count as u64 > limit {
         BUDGET_TRIPS.get().incr();
         let error = GuardError::BudgetExceeded {
@@ -657,5 +790,104 @@ mod tests {
         let _l = lock();
         let _guard = Budget::default().install();
         assert!(!budget_active());
+    }
+
+    #[test]
+    fn local_deadline_trips_only_on_the_installing_thread() {
+        let _l = lock();
+        let guard = Budget {
+            deadline: Some(Duration::from_millis(0)),
+            ..Budget::default()
+        }
+        .install_local();
+        assert!(budget_active());
+        std::thread::sleep(Duration::from_millis(2));
+        let err = checkpoint("test.local_deadline").unwrap_err();
+        assert!(matches!(
+            err,
+            GuardError::BudgetExceeded {
+                limit: Limit::Deadline { .. },
+                ..
+            }
+        ));
+        // Another thread shares the process but not the budget.
+        std::thread::scope(|s| {
+            let handle = s.spawn(|| checkpoint("test.other_thread"));
+            assert_eq!(handle.join().unwrap(), Ok(()));
+        });
+        drop(guard);
+        assert_eq!(checkpoint("test.local_deadline"), Ok(()));
+        assert!(!budget_active());
+    }
+
+    #[test]
+    fn local_concept_ceiling_trips_past_the_limit() {
+        let _l = lock();
+        let _guard = Budget {
+            max_concepts: Some(5),
+            ..Budget::default()
+        }
+        .install_local();
+        assert_eq!(check_concepts(5), Ok(()));
+        let err = check_concepts(6).unwrap_err();
+        assert!(matches!(
+            err,
+            GuardError::BudgetExceeded {
+                limit: Limit::Concepts {
+                    limit: 5,
+                    reached: 6
+                },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn local_budgets_nest_and_restore_on_drop() {
+        let _l = lock();
+        let outer = Budget {
+            max_concepts: Some(100),
+            ..Budget::default()
+        }
+        .install_local();
+        {
+            let _inner = Budget {
+                max_concepts: Some(5),
+                ..Budget::default()
+            }
+            .install_local();
+            assert!(check_concepts(6).is_err());
+        }
+        // Inner dropped: the outer ceiling applies again.
+        assert_eq!(check_concepts(6), Ok(()));
+        assert!(check_concepts(101).is_err());
+        drop(outer);
+        assert_eq!(check_concepts(101), Ok(()));
+    }
+
+    #[test]
+    fn empty_local_budget_installs_nothing() {
+        let _l = lock();
+        let _guard = Budget::default().install_local();
+        assert!(!budget_active());
+        assert_eq!(checkpoint("test.empty_local"), Ok(()));
+    }
+
+    #[test]
+    fn local_and_global_budgets_compose() {
+        let _l = lock();
+        let _global = Budget {
+            max_concepts: Some(50),
+            ..Budget::default()
+        }
+        .install();
+        let _local = Budget {
+            max_concepts: Some(5),
+            ..Budget::default()
+        }
+        .install_local();
+        // The tighter of the two ceilings wins.
+        assert!(check_concepts(6).is_err());
+        assert!(check_concepts(5).is_ok());
     }
 }

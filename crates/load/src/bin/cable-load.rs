@@ -1,0 +1,112 @@
+//! `cable-load` — the service load driver.
+//!
+//! ```text
+//! cable-load --addr HOST:PORT [--labelers N] [--requests N] [--seed N]
+//!            [--tenant-prefix NAME] [--verify-dir DIR]
+//!            [--json-out PATH] [--max-5xx N]
+//! ```
+//!
+//! Simulates `--labelers` concurrent labelers against a
+//! `cable serve --api` instance, each issuing `--requests` seeded ops
+//! after opening its own session (one tenant per labeler). Prints a
+//! throughput/latency summary, and with `--json-out` writes a
+//! `load_summary` record plus the final `pipeline_snapshot` —
+//! the file `reproduce slo-check` gates latency budgets on.
+//!
+//! `--verify-dir DIR` writes each labeler's mutating ops as ordered
+//! step files plus the server's final digest record, so
+//! `scripts/service_drill.sh` can replay every session sequentially
+//! through the CLI and diff digests.
+//!
+//! Exit codes: **0** clean, **2** usage, **3** when the run saw more
+//! than `--max-5xx` server errors (default 0) or any transport error —
+//! the CI drill's zero-5xx gate.
+
+use cable_load::{run, LoadOptions};
+use cable_obs::json::Value;
+use cable_obs::JsonlSink;
+use std::process::exit;
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: cable-load --addr HOST:PORT [--labelers N] [--requests N] [--seed N] \
+         [--tenant-prefix NAME] [--verify-dir DIR] [--json-out PATH] [--max-5xx N]"
+    );
+    exit(2);
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    value
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| usage(&format!("{flag} needs a valid value")))
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut addr = None;
+    let mut json_out = None;
+    let mut max_5xx: u64 = 0;
+    let mut opts = LoadOptions::new("");
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = args.next(),
+            "--labelers" => {
+                opts.labelers = parse::<usize>("--labelers", args.next());
+                if opts.labelers == 0 {
+                    usage("--labelers must be positive");
+                }
+            }
+            "--requests" => opts.requests = parse("--requests", args.next()),
+            "--seed" => opts.seed = parse("--seed", args.next()),
+            "--tenant-prefix" => {
+                opts.tenant_prefix = args
+                    .next()
+                    .unwrap_or_else(|| usage("--tenant-prefix needs a value"));
+            }
+            "--verify-dir" => {
+                opts.verify_dir = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage("--verify-dir needs a path"))
+                        .into(),
+                );
+            }
+            "--json-out" => json_out = args.next(),
+            "--max-5xx" => max_5xx = parse("--max-5xx", args.next()),
+            other => usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    let Some(addr) = addr else {
+        usage("--addr is required");
+    };
+    opts.addr = addr;
+
+    let report = run(&opts).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        exit(1);
+    });
+    print!("{}", report.render());
+
+    if let Some(path) = json_out {
+        let sink = JsonlSink::create(&path).unwrap_or_else(|e| {
+            eprintln!("error: cannot write {path}: {e}");
+            exit(1);
+        });
+        let snapshot = Value::object([
+            ("record", Value::from("pipeline_snapshot")),
+            ("seed", Value::from(opts.seed)),
+            ("snapshot", cable_obs::registry().snapshot().to_json()),
+        ]);
+        sink.write(&report.to_json()).expect("writing load summary");
+        sink.write(&snapshot).expect("writing snapshot");
+        sink.flush().expect("flushing load records");
+    }
+
+    if report.errors_5xx > max_5xx || report.io_errors > 0 {
+        eprintln!(
+            "load: FAIL — {} server errors (allowed {}), {} transport errors",
+            report.errors_5xx, max_5xx, report.io_errors
+        );
+        exit(3);
+    }
+}

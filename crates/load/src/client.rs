@@ -1,0 +1,133 @@
+//! A minimal HTTP/1.1 client over `std::net::TcpStream`.
+//!
+//! The workspace is std-only, so the driver carries its own client:
+//! one connection per request, `Connection: close`, read to EOF. That
+//! is deliberately the simplest correct thing — the service's
+//! worker-pool treats each connection as one request anyway, and a
+//! load driver that reconnects per request exercises the accept-queue
+//! backpressure path (429 + `Retry-After`) the way real clients would.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// How long a single request may take end to end before the driver
+/// counts it as an I/O error. Generous: the point is to catch a hung
+/// server, not a slow one (latency budgets are the SLO gate's job).
+const IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A parsed HTTP response: status code, the `Retry-After` header when
+/// present, and the full body.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// The HTTP status code.
+    pub status: u16,
+    /// Seconds from a `Retry-After` header, if the server sent one.
+    pub retry_after: Option<u64>,
+    /// The response body.
+    pub body: String,
+}
+
+/// Issues one HTTP request and reads the full response.
+///
+/// `body` is sent with `Content-Type: application/json` when present.
+///
+/// # Errors
+///
+/// Fails on connect/read/write errors, timeouts, or a response that is
+/// not parseable HTTP/1.x.
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<Response> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let mut head = format!("{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n");
+    let payload = body.unwrap_or("");
+    if body.is_some() {
+        head.push_str("Content-Type: application/json\r\n");
+        head.push_str(&format!("Content-Length: {}\r\n", payload.len()));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(payload.as_bytes())?;
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_response(&raw)
+}
+
+fn bad(msg: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string())
+}
+
+/// Parses a full `Connection: close` response buffer.
+fn parse_response(raw: &[u8]) -> std::io::Result<Response> {
+    let text = String::from_utf8_lossy(raw);
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| bad("response without header terminator"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().ok_or_else(|| bad("empty response"))?;
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| bad("unparseable status line"))?;
+    let mut retry_after = None;
+    let mut content_length = None;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            let value = value.trim();
+            if name.eq_ignore_ascii_case("retry-after") {
+                retry_after = value.parse::<u64>().ok();
+            } else if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.parse::<usize>().ok();
+            }
+        }
+    }
+    // With Connection: close the body is simply the rest of the
+    // stream; Content-Length just lets us trim any trailing bytes.
+    let body = match content_length {
+        Some(n) if n <= body.len() => body[..n].to_string(),
+        _ => body.to_string(),
+    };
+    Ok(Response {
+        status,
+        retry_after,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_status_headers_and_body() {
+        let raw = b"HTTP/1.1 429 Too Many Requests\r\nContent-Type: application/json\r\nRetry-After: 1\r\nContent-Length: 2\r\n\r\n{}";
+        let r = parse_response(raw).unwrap();
+        assert_eq!(r.status, 429);
+        assert_eq!(r.retry_after, Some(1));
+        assert_eq!(r.body, "{}");
+    }
+
+    #[test]
+    fn tolerates_missing_content_length() {
+        let raw = b"HTTP/1.0 200 OK\r\n\r\nhello";
+        let r = parse_response(raw).unwrap();
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body, "hello");
+        assert_eq!(r.retry_after, None);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_response(b"not http").is_err());
+        assert!(parse_response(b"HTTP/1.1 abc\r\n\r\n").is_err());
+    }
+}

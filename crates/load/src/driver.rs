@@ -1,0 +1,491 @@
+//! The concurrent load run: N labeler threads, one tenant each.
+//!
+//! Every labeler opens its own session, then issues its seeded op mix
+//! against the service, honouring `429 Too Many Requests` by sleeping
+//! the server's `Retry-After` and retrying — backpressure is an
+//! expected, *successful* interaction with the service, counted
+//! separately from errors. Per-request latencies are collected exactly
+//! (for the reported p50/p95/p99) and recorded into the process
+//! registry as `load.request_ns` (for `reproduce slo-check`).
+
+use crate::client::{request, Response};
+use crate::plan::{Labeler, Op};
+use cable_obs::json::Value;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// How many times one logical request may be answered 429 before the
+/// driver gives up and counts it as an error. At one second per retry
+/// this bounds a logical request's patience to about a minute — far
+/// beyond anything a healthy queue produces.
+const MAX_429_RETRIES: usize = 60;
+
+/// A load run's shape.
+#[derive(Debug, Clone)]
+pub struct LoadOptions {
+    /// The server address (`host:port`).
+    pub addr: String,
+    /// How many concurrent labelers to simulate.
+    pub labelers: usize,
+    /// Ops per labeler after the opening create.
+    pub requests: usize,
+    /// The workload seed; labeler `i` uses stream `(seed, i)`.
+    pub seed: u64,
+    /// Tenant name prefix: labeler `i` is tenant `{prefix}{i:03}`.
+    pub tenant_prefix: String,
+    /// When set, write per-labeler op logs and final server digests
+    /// here for sequential CLI replay.
+    pub verify_dir: Option<PathBuf>,
+}
+
+impl LoadOptions {
+    /// Defaults: 8 labelers, 32 ops each, seed 42, prefix `load`.
+    pub fn new(addr: impl Into<String>) -> LoadOptions {
+        LoadOptions {
+            addr: addr.into(),
+            labelers: 8,
+            requests: 32,
+            seed: 42,
+            tenant_prefix: "load".into(),
+            verify_dir: None,
+        }
+    }
+}
+
+/// What one run observed.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Labelers simulated.
+    pub labelers: usize,
+    /// Logical requests issued (retries of one request count once).
+    pub requests: u64,
+    /// Requests answered 2xx.
+    pub ok: u64,
+    /// Requests answered 4xx (client errors; zero in a healthy run).
+    pub errors_4xx: u64,
+    /// Requests answered 5xx (the drill's hard gate).
+    pub errors_5xx: u64,
+    /// 429 answers absorbed by retrying (not errors).
+    pub retries_429: u64,
+    /// Transport-level failures (connect/read/write/timeout).
+    pub io_errors: u64,
+    /// Wall-clock time for the whole run.
+    pub wall: Duration,
+    /// Every attempt's latency in nanoseconds, sorted ascending.
+    latencies: Vec<u64>,
+}
+
+impl LoadReport {
+    /// The exact `q`-quantile attempt latency in milliseconds
+    /// (nearest-rank), or 0 for an empty run.
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        if self.latencies.is_empty() {
+            return 0.0;
+        }
+        let rank = ((self.latencies.len() - 1) as f64 * q).round() as usize;
+        self.latencies[rank.min(self.latencies.len() - 1)] as f64 / 1e6
+    }
+
+    /// Completed logical requests per wall-clock second.
+    pub fn throughput_rps(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.requests as f64 / secs
+    }
+
+    /// The `load_summary` JSONL record.
+    pub fn to_json(&self) -> Value {
+        Value::object([
+            ("record", Value::from("load_summary")),
+            ("labelers", Value::from(self.labelers as u64)),
+            ("requests", Value::from(self.requests)),
+            ("ok", Value::from(self.ok)),
+            ("errors_4xx", Value::from(self.errors_4xx)),
+            ("errors_5xx", Value::from(self.errors_5xx)),
+            ("retries_429", Value::from(self.retries_429)),
+            ("io_errors", Value::from(self.io_errors)),
+            ("wall_ms", Value::from(self.wall.as_millis() as u64)),
+            ("throughput_rps", Value::from(self.throughput_rps())),
+            ("p50_ms", Value::from(self.quantile_ms(0.50))),
+            ("p95_ms", Value::from(self.quantile_ms(0.95))),
+            ("p99_ms", Value::from(self.quantile_ms(0.99))),
+        ])
+    }
+
+    /// A one-screen human summary.
+    pub fn render(&self) -> String {
+        format!(
+            "load: {} labelers, {} requests in {:.2}s ({:.1} req/s)\n\
+             load: {} ok, {} 4xx, {} 5xx, {} io errors, {} retried 429s\n\
+             load: latency p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms\n",
+            self.labelers,
+            self.requests,
+            self.wall.as_secs_f64(),
+            self.throughput_rps(),
+            self.ok,
+            self.errors_4xx,
+            self.errors_5xx,
+            self.io_errors,
+            self.retries_429,
+            self.quantile_ms(0.50),
+            self.quantile_ms(0.95),
+            self.quantile_ms(0.99),
+        )
+    }
+}
+
+/// One labeler thread's tally, merged into the [`LoadReport`].
+#[derive(Debug, Default)]
+struct Tally {
+    requests: u64,
+    ok: u64,
+    errors_4xx: u64,
+    errors_5xx: u64,
+    retries_429: u64,
+    io_errors: u64,
+    latencies: Vec<u64>,
+}
+
+/// Issues one logical request, absorbing 429s by honouring
+/// `Retry-After`, and records every attempt's latency.
+fn issue(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    tally: &mut Tally,
+) -> Option<Response> {
+    let hist = cable_obs::registry().histogram("load.request_ns");
+    tally.requests += 1;
+    cable_obs::registry().counter("load.requests").incr();
+    for _ in 0..=MAX_429_RETRIES {
+        let start = Instant::now();
+        let outcome = request(addr, method, path, body);
+        let ns = start.elapsed().as_nanos() as u64;
+        tally.latencies.push(ns);
+        hist.record(ns);
+        match outcome {
+            Ok(r) if r.status == 429 => {
+                tally.retries_429 += 1;
+                cable_obs::registry().counter("load.http_429").incr();
+                std::thread::sleep(Duration::from_secs(r.retry_after.unwrap_or(1).clamp(1, 5)));
+            }
+            Ok(r) => {
+                match r.status {
+                    200..=299 => tally.ok += 1,
+                    500..=599 => {
+                        tally.errors_5xx += 1;
+                        cable_obs::registry().counter("load.http_5xx").incr();
+                        if std::env::var_os("LOAD_DEBUG").is_some() {
+                            eprintln!("load: {} {method} {path}: {}", r.status, r.body.trim());
+                        }
+                    }
+                    _ => {
+                        tally.errors_4xx += 1;
+                        cable_obs::registry().counter("load.http_4xx").incr();
+                    }
+                }
+                return Some(r);
+            }
+            Err(_) => {
+                tally.io_errors += 1;
+                cable_obs::registry().counter("load.io_errors").incr();
+                return None;
+            }
+        }
+    }
+    // Out of patience: the queue never drained for us.
+    tally.io_errors += 1;
+    cable_obs::registry().counter("load.io_errors").incr();
+    None
+}
+
+/// Parses a response body as JSON, tolerating non-JSON bodies.
+fn body_json(r: &Response) -> Option<Value> {
+    Value::parse(r.body.trim()).ok()
+}
+
+/// The per-labeler verify log: ordered step files a shell script can
+/// replay through the CLI (`session open`, `session ingest`,
+/// `label --store --script`), plus the server's final digest record.
+struct VerifyLog {
+    dir: Option<PathBuf>,
+    step: usize,
+}
+
+impl VerifyLog {
+    fn new(root: Option<&Path>, index: usize) -> io::Result<VerifyLog> {
+        let dir = match root {
+            Some(root) => {
+                let dir = root.join(format!("labeler-{index:03}"));
+                std::fs::create_dir_all(&dir)?;
+                Some(dir)
+            }
+            None => None,
+        };
+        Ok(VerifyLog { dir, step: 0 })
+    }
+
+    fn write(&mut self, kind: &str, content: &str) -> io::Result<()> {
+        if let Some(dir) = &self.dir {
+            let path = dir.join(format!("step-{:04}-{kind}", self.step));
+            std::fs::write(path, content)?;
+        }
+        self.step += 1;
+        Ok(())
+    }
+
+    fn write_digest(&self, record: &Value) -> io::Result<()> {
+        if let Some(dir) = &self.dir {
+            std::fs::write(dir.join("digest.jsonl"), format!("{record}\n"))?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs one labeler's whole life: create, op mix, final digest.
+fn run_labeler(opts: &LoadOptions, index: usize) -> io::Result<Tally> {
+    let mut tally = Tally::default();
+    let mut log = VerifyLog::new(opts.verify_dir.as_deref(), index)?;
+    let mut labeler = Labeler::new(opts.seed, index as u64);
+    let tenant = format!("{}{index:03}", opts.tenant_prefix);
+    let session = "s";
+    let base = format!("/api/sessions/{session}");
+    let query = format!("?tenant={tenant}");
+
+    // Open the session.
+    let seed_traces = labeler.seed_traces();
+    let create = Value::object([
+        ("tenant", Value::from(tenant.as_str())),
+        ("session", Value::from(session)),
+        ("traces", Value::from(seed_traces.as_str())),
+    ]);
+    let r = issue(
+        &opts.addr,
+        "POST",
+        "/api/sessions",
+        Some(&create.to_string()),
+        &mut tally,
+    );
+    let mut concepts = match r.as_ref().filter(|r| r.status == 201).and_then(body_json) {
+        Some(v) => {
+            log.write("open.traces", &seed_traces)?;
+            v.get("concepts").and_then(Value::as_u64).unwrap_or(1) as usize
+        }
+        // Without a session every follow-up would 404; report what we
+        // saw and stop this labeler.
+        None => return Ok(tally),
+    };
+
+    // Learn the lattice top once — focus ops target it (its extent is
+    // never empty).
+    let mut top = "c0".to_string();
+    if let Some(v) = issue(
+        &opts.addr,
+        "GET",
+        &format!("{base}/lattice{query}"),
+        None,
+        &mut tally,
+    )
+    .as_ref()
+    .and_then(body_json)
+    {
+        if let Some(t) = v.get("top").and_then(Value::as_str) {
+            top = t.to_string();
+        }
+    }
+
+    for _ in 0..opts.requests {
+        let op = labeler.next_op(concepts);
+        match &op {
+            Op::Ingest { traces } => {
+                let body = Value::object([
+                    ("tenant", Value::from(tenant.as_str())),
+                    ("traces", Value::from(traces.as_str())),
+                ]);
+                let r = issue(
+                    &opts.addr,
+                    "POST",
+                    &format!("{base}/ingest"),
+                    Some(&body.to_string()),
+                    &mut tally,
+                );
+                if let Some(v) = r.as_ref().filter(|r| r.status == 200).and_then(body_json) {
+                    log.write("ingest.traces", traces)?;
+                    if let Some(n) = v.get("concepts").and_then(Value::as_u64) {
+                        concepts = n as usize;
+                    }
+                }
+            }
+            Op::Label {
+                concept,
+                selector,
+                label,
+            } => {
+                let body = Value::object([
+                    ("tenant", Value::from(tenant.as_str())),
+                    ("concept", Value::from(format!("c{concept}"))),
+                    ("selector", Value::from(*selector)),
+                    ("label", Value::from(*label)),
+                ]);
+                let r = issue(
+                    &opts.addr,
+                    "POST",
+                    &format!("{base}/label"),
+                    Some(&body.to_string()),
+                    &mut tally,
+                );
+                if r.as_ref().is_some_and(|r| r.status == 200) {
+                    log.write("label.script", &op.script_line().expect("label op"))?;
+                }
+            }
+            Op::Lattice => {
+                issue(
+                    &opts.addr,
+                    "GET",
+                    &format!("{base}/lattice{query}"),
+                    None,
+                    &mut tally,
+                );
+            }
+            Op::Concepts => {
+                issue(
+                    &opts.addr,
+                    "GET",
+                    &format!("{base}/concepts{query}"),
+                    None,
+                    &mut tally,
+                );
+            }
+            Op::Focus => {
+                issue(
+                    &opts.addr,
+                    "GET",
+                    &format!("{base}/focus{query}&concept={top}"),
+                    None,
+                    &mut tally,
+                );
+            }
+            Op::Digest => {
+                issue(
+                    &opts.addr,
+                    "GET",
+                    &format!("{base}/digest{query}"),
+                    None,
+                    &mut tally,
+                );
+            }
+        }
+    }
+
+    // The server's final word on this session, for the replay diff.
+    if let Some(v) = issue(
+        &opts.addr,
+        "GET",
+        &format!("{base}/digest{query}"),
+        None,
+        &mut tally,
+    )
+    .as_ref()
+    .filter(|r| r.status == 200)
+    .and_then(body_json)
+    {
+        log.write_digest(&v)?;
+    }
+    Ok(tally)
+}
+
+/// Runs the whole fleet and merges the tallies.
+///
+/// # Errors
+///
+/// Fails only on verify-log I/O; HTTP-level failures are *counted*,
+/// not raised, so a sick server still yields a report to gate on.
+pub fn run(opts: &LoadOptions) -> io::Result<LoadReport> {
+    if let Some(dir) = &opts.verify_dir {
+        std::fs::create_dir_all(dir)?;
+        let manifest = Value::object([
+            ("labelers", Value::from(opts.labelers as u64)),
+            ("requests", Value::from(opts.requests as u64)),
+            ("seed", Value::from(opts.seed)),
+            ("tenant_prefix", Value::from(opts.tenant_prefix.as_str())),
+        ]);
+        std::fs::write(dir.join("manifest.json"), format!("{manifest}\n"))?;
+    }
+    let start = Instant::now();
+    let tallies: Vec<io::Result<Tally>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..opts.labelers)
+            .map(|i| scope.spawn(move || run_labeler(opts, i)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall = start.elapsed();
+
+    let mut report = LoadReport {
+        labelers: opts.labelers,
+        requests: 0,
+        ok: 0,
+        errors_4xx: 0,
+        errors_5xx: 0,
+        retries_429: 0,
+        io_errors: 0,
+        wall,
+        latencies: Vec::new(),
+    };
+    for tally in tallies {
+        let t = tally?;
+        report.requests += t.requests;
+        report.ok += t.ok;
+        report.errors_4xx += t.errors_4xx;
+        report.errors_5xx += t.errors_5xx;
+        report.retries_429 += t.retries_429;
+        report.io_errors += t.io_errors;
+        report.latencies.extend(t.latencies);
+    }
+    report.latencies.sort_unstable();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(latencies: Vec<u64>) -> LoadReport {
+        LoadReport {
+            labelers: 2,
+            requests: latencies.len() as u64,
+            ok: latencies.len() as u64,
+            errors_4xx: 0,
+            errors_5xx: 0,
+            retries_429: 0,
+            io_errors: 0,
+            wall: Duration::from_secs(2),
+            latencies,
+        }
+    }
+
+    #[test]
+    fn quantiles_are_exact_nearest_rank() {
+        let r = report((1..=100).map(|i| i * 1_000_000).collect());
+        assert!((r.quantile_ms(0.50) - 50.0).abs() < 1.5);
+        assert!((r.quantile_ms(0.99) - 99.0).abs() < 1.5);
+        assert_eq!(report(Vec::new()).quantile_ms(0.5), 0.0);
+    }
+
+    #[test]
+    fn summary_record_carries_the_gate_fields() {
+        let r = report(vec![2_000_000; 10]);
+        let v = r.to_json();
+        assert_eq!(
+            v.get("record").and_then(Value::as_str),
+            Some("load_summary")
+        );
+        assert_eq!(v.get("errors_5xx").and_then(Value::as_u64), Some(0));
+        assert_eq!(v.get("requests").and_then(Value::as_u64), Some(10));
+        assert!(v.get("p99_ms").and_then(Value::as_f64).unwrap() > 1.9);
+        assert!((r.throughput_rps() - 5.0).abs() < 1e-9);
+    }
+}

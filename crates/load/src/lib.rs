@@ -1,0 +1,28 @@
+//! Load driver for the cable labeling service.
+//!
+//! `cable-load` simulates N concurrent labelers hammering a `cable
+//! serve --api` instance: each labeler owns one tenant, opens one
+//! session, and then issues a seeded mix of ingest / label / lattice /
+//! concepts / focus / digest requests over plain HTTP. The whole
+//! workload is a pure function of `(seed, labeler index)` via
+//! [`cable_util::rng::stream`], so a run is replayable bit-for-bit —
+//! and, because every *mutating* op is also written to a per-labeler
+//! op log (`--verify-dir`), a run can be replayed **sequentially
+//! through the `cable` CLI** and the resulting store digests compared
+//! against the server's. That equivalence (concurrent service run ≡
+//! sequential CLI replay, per session) is the determinism gate the CI
+//! service drill enforces.
+//!
+//! The driver reports throughput, error counts, and exact p50/p95/p99
+//! request latencies, and writes a JSONL file whose final record is
+//! the standard `pipeline_snapshot`, so `reproduce slo-check` can gate
+//! the service's latency budget and `reproduce compare` can ingest the
+//! file without special-casing it.
+
+pub mod client;
+pub mod driver;
+pub mod plan;
+
+pub use client::{request, Response};
+pub use driver::{run, LoadOptions, LoadReport};
+pub use plan::{Labeler, Op};

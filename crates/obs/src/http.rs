@@ -1,16 +1,24 @@
-//! Std-only HTTP/1.1 exposition server: `/metrics`, `/healthz`,
-//! `/tracez`, `/eventz`, `/sloz`.
+//! Std-only HTTP/1.1 server: the exposition endpoints (`/metrics`,
+//! `/healthz`, `/tracez`, `/eventz`, `/sloz`) plus a pluggable JSON API
+//! plane under `/api/` (see [`set_api_handler`]).
 //!
 //! Per DESIGN.md §8 this is hand-rolled over [`std::net::TcpListener`] —
-//! no external HTTP stack. Each accepted connection is handled on a
-//! short-lived thread, but never more than [`MAX_CONNECTIONS`] at once:
-//! past the cap, connections get an immediate `503` and a close, so a
-//! herd of slow clients (deliberate or not) occupies a bounded number of
-//! threads while the accept loop keeps draining the backlog. A
-//! connection may send at most [`MAX_HEADER_BYTES`] of request line plus
-//! headers (`431` past that), must make read progress within the 2 s
-//! timeout, and is always closed after the response — slowloris-style
-//! trickles cost one capped slot for at most one timeout.
+//! no external HTTP stack. Connections are served by a fixed pool of
+//! worker threads (default [`MAX_CONNECTIONS`], tunable via
+//! [`ServerConfig`] / `--max-connections` / `CABLE_MAX_CONNS`) fed from
+//! a bounded accept queue: when every worker is busy, up to
+//! [`ServerConfig::queue_depth`] connections wait their turn, and only
+//! past *that* does the accept loop shed load — with `429 Too Many
+//! Requests` plus a `Retry-After` header, so well-behaved clients back
+//! off and retry instead of treating the flat refusal as an outage
+//! (DESIGN.md §14's backpressure protocol; previously this was an
+//! immediate `503` at the worker cap). A connection may send at most
+//! [`MAX_HEADER_BYTES`] of request line plus headers (`431` past that)
+//! and at most [`MAX_BODY_BYTES`] of body (`413` past that), must make
+//! read progress within the 2 s timeout, and is always closed after the
+//! response — slowloris-style trickles cost one worker for at most one
+//! timeout, and queued victims behind them are served as workers free
+//! up.
 //!
 //! Security posture (DESIGN.md §11): addresses given as a bare port bind
 //! `127.0.0.1`; exposing the endpoints beyond localhost requires an
@@ -24,23 +32,34 @@ use crate::recorder;
 use crate::registry::registry;
 use crate::slo;
 use crate::{prom, Counter};
+use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Read as _, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 static REQUESTS: CounterHandle = CounterHandle::new("obs.http.requests");
-/// Connections turned away with `503` at the concurrency cap.
+/// Connections turned away with `429` when the accept queue is full.
 static REJECTED: CounterHandle = CounterHandle::new("obs.http.rejected");
 /// Requests refused with `431` for oversized request line + headers.
 static OVERSIZED: CounterHandle = CounterHandle::new("obs.http.oversized");
+/// Connections that waited in the accept queue before being served.
+static QUEUED: CounterHandle = CounterHandle::new("obs.http.queued");
 
 /// Ceiling on request line + header bytes a connection may send.
 pub const MAX_HEADER_BYTES: usize = 8 * 1024;
-/// Ceiling on concurrently served connections; the accept loop answers
-/// `503 Service Unavailable` beyond it.
+/// Ceiling on request body bytes (`413` past it) — bounds what one
+/// `POST /api/sessions/:id/ingest` can make the server buffer.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+/// Default ceiling on concurrently served connections (the worker-pool
+/// size). Tunable per server via [`ServerConfig`].
 pub const MAX_CONNECTIONS: usize = 8;
+/// Default depth of the accept queue behind the worker pool; past
+/// workers + queue the server answers `429` with `Retry-After`.
+pub const QUEUE_DEPTH: usize = 32;
+/// The `Retry-After` value (seconds) sent with `429` responses.
+pub const RETRY_AFTER_SECONDS: u64 = 1;
 
 /// Most recent spans per lane served by `/tracez` (override per request
 /// with `?limit=N`).
@@ -52,6 +71,27 @@ pub const EVENTZ_EVENT_LIMIT: usize = 64;
 /// Ceiling on a `?limit=N` override — keeps one request from asking for
 /// a multi-MB response.
 pub const MAX_QUERY_LIMIT: usize = 100_000;
+
+/// Sizing of one server: how many connections are served concurrently
+/// and how many may wait behind them before load-shedding starts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Worker threads — concurrently served connections.
+    pub max_connections: usize,
+    /// Accepted connections allowed to wait for a worker; past
+    /// `max_connections + queue_depth` in flight, new connections get
+    /// `429` + `Retry-After`.
+    pub queue_depth: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_connections: MAX_CONNECTIONS,
+            queue_depth: QUEUE_DEPTH,
+        }
+    }
+}
 
 /// What `/healthz` reports about an open store, set by whoever holds
 /// one (the `cable` binary) via [`set_health`].
@@ -78,6 +118,79 @@ pub fn set_health(info: Option<HealthInfo>) {
     *health_slot().lock().expect("obs health poisoned") = info;
 }
 
+/// A request routed to the API plane: anything under `/api/`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiRequest {
+    /// The HTTP method (`GET`, `POST`, …), uppercased as received.
+    pub method: String,
+    /// The path without the query string, e.g. `/api/sessions/s1/label`.
+    pub route: String,
+    /// The raw query string after `?`, if any.
+    pub query: Option<String>,
+    /// The request body (bounded by [`MAX_BODY_BYTES`]).
+    pub body: String,
+}
+
+/// An API plane's answer. The server adds framing (status text,
+/// `Content-Length`, `Connection: close`) around it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiResponse {
+    /// HTTP status code (200, 201, 400, 404, …).
+    pub status: u16,
+    /// The `Content-Type` header value.
+    pub content_type: &'static str,
+    /// The response body.
+    pub body: String,
+}
+
+impl ApiResponse {
+    /// A JSON response.
+    pub fn json(status: u16, value: &Value) -> ApiResponse {
+        ApiResponse {
+            status,
+            content_type: "application/json; charset=utf-8",
+            body: format!("{value}\n"),
+        }
+    }
+
+    /// An error response with the standard `{"error": …, "status": …}`
+    /// body.
+    pub fn error(status: u16, message: &str) -> ApiResponse {
+        ApiResponse::json(
+            status,
+            &Value::object([
+                ("error", Value::from(message)),
+                ("status", Value::from(u64::from(status))),
+            ]),
+        )
+    }
+}
+
+/// The API plane behind `/api/` routes. `cable-obs` deliberately knows
+/// nothing about sessions — the dependency runs the other way — so the
+/// session service (`cable-core`'s `CableApi`) installs itself here via
+/// [`set_api_handler`], exactly like [`set_health`].
+pub trait ApiHandler: Send + Sync {
+    /// Handles one API request. Infallible by construction: errors are
+    /// [`ApiResponse`]s with 4xx/5xx statuses.
+    fn handle(&self, request: &ApiRequest) -> ApiResponse;
+}
+
+fn api_slot() -> &'static Mutex<Option<Arc<dyn ApiHandler>>> {
+    static SLOT: OnceLock<Mutex<Option<Arc<dyn ApiHandler>>>> = OnceLock::new();
+    SLOT.get_or_init(|| Mutex::new(None))
+}
+
+/// Installs (or with `None` removes) the `/api/` handler. Without one,
+/// API routes answer `404` with a hint to start `cable serve --api`.
+pub fn set_api_handler(handler: Option<Arc<dyn ApiHandler>>) {
+    *api_slot().lock().expect("obs api handler poisoned") = handler;
+}
+
+fn api_handler() -> Option<Arc<dyn ApiHandler>> {
+    api_slot().lock().expect("obs api handler poisoned").clone()
+}
+
 /// Parses an `--obs-listen` value: either a full socket address
 /// (`127.0.0.1:9090`, `0.0.0.0:9090`) or a bare port, which binds
 /// localhost.
@@ -89,26 +202,45 @@ pub fn parse_listen_addr(s: &str) -> Result<SocketAddr, String> {
         .map_err(|e| format!("invalid listen address {s:?}: {e}"))
 }
 
-/// The exposition server. [`ObsServer::bind`], then either
+/// The HTTP server. [`ObsServer::bind`], then either
 /// [`ObsServer::serve`] (block forever, for `cable serve`) or
 /// [`ObsServer::spawn`] (background thread with a stop guard, for
 /// `--obs-listen` alongside other work).
 pub struct ObsServer {
     listener: TcpListener,
     addr: SocketAddr,
+    config: ServerConfig,
 }
 
 impl ObsServer {
-    /// Binds the listener. `addr` accepts the [`parse_listen_addr`]
-    /// forms; port 0 picks an ephemeral port (see [`ObsServer::addr`]).
+    /// Binds the listener with the default [`ServerConfig`]. `addr`
+    /// accepts the [`parse_listen_addr`] forms; port 0 picks an
+    /// ephemeral port (see [`ObsServer::addr`]).
     pub fn bind(addr: &str) -> Result<ObsServer, String> {
+        Self::bind_with(addr, ServerConfig::default())
+    }
+
+    /// [`ObsServer::bind`] with explicit sizing.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an unparsable address, a bind error, or a zero
+    /// `max_connections`.
+    pub fn bind_with(addr: &str, config: ServerConfig) -> Result<ObsServer, String> {
+        if config.max_connections == 0 {
+            return Err("max connections must be at least 1".to_owned());
+        }
         let addr = parse_listen_addr(addr)?;
         let listener = TcpListener::bind(addr)
             .map_err(|e| format!("cannot bind obs server on {addr}: {e}"))?;
         let addr = listener
             .local_addr()
             .map_err(|e| format!("obs server has no local address: {e}"))?;
-        Ok(ObsServer { listener, addr })
+        Ok(ObsServer {
+            listener,
+            addr,
+            config,
+        })
     }
 
     /// The bound address (resolves port 0 to the real ephemeral port).
@@ -118,10 +250,10 @@ impl ObsServer {
 
     /// Serves requests on the calling thread until the process exits.
     pub fn serve(self) -> ! {
-        let active = Arc::new(AtomicUsize::new(0));
+        let pool = WorkerPool::start(self.config);
         loop {
             if let Ok((stream, _)) = self.listener.accept() {
-                dispatch(stream, &active);
+                pool.submit(stream);
             }
         }
     }
@@ -131,63 +263,147 @@ impl ObsServer {
     pub fn spawn(self) -> ServerGuard {
         let stop = Arc::new(AtomicBool::new(false));
         let addr = self.addr;
+        let pool = WorkerPool::start(self.config);
+        let accept_pool = pool.clone();
         let thread_stop = Arc::clone(&stop);
         let handle = std::thread::Builder::new()
             .name("cable-obs-http".into())
-            .spawn(move || {
-                let active = Arc::new(AtomicUsize::new(0));
-                loop {
-                    let Ok((stream, _)) = self.listener.accept() else {
-                        continue;
-                    };
-                    if thread_stop.load(Ordering::Acquire) {
-                        return;
-                    }
-                    dispatch(stream, &active);
+            .spawn(move || loop {
+                let Ok((stream, _)) = self.listener.accept() else {
+                    continue;
+                };
+                if thread_stop.load(Ordering::Acquire) {
+                    return;
                 }
+                accept_pool.submit(stream);
             })
             .expect("spawn obs http thread");
         ServerGuard {
             addr,
             stop,
             handle: Some(handle),
+            pool: Some(pool),
         }
     }
 }
 
-/// Hands a connection to a short-lived handler thread, bounded by
-/// [`MAX_CONNECTIONS`]. At the cap the connection gets an immediate
-/// `503` on the accept thread (cheap: one small write, no reads) so the
-/// loop is back to accepting without waiting on anyone's timeout.
-fn dispatch(stream: TcpStream, active: &Arc<AtomicUsize>) {
-    let acquired = active
-        .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
-            (n < MAX_CONNECTIONS).then_some(n + 1)
-        })
-        .is_ok();
-    if !acquired {
+/// The fixed pool of connection-handler threads plus the bounded queue
+/// feeding them. Submitting past `workers + queue_depth` in flight
+/// answers `429` on the accept thread (cheap: one small write, no
+/// reads) so the loop is back to accepting without waiting on anyone's
+/// timeout.
+#[derive(Clone)]
+struct WorkerPool {
+    shared: Arc<PoolShared>,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    ready: Condvar,
+    queue_depth: usize,
+}
+
+struct PoolState {
+    queue: VecDeque<TcpStream>,
+    stop: bool,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    fn start(config: ServerConfig) -> WorkerPool {
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                queue: VecDeque::new(),
+                stop: false,
+                workers: Vec::new(),
+            }),
+            ready: Condvar::new(),
+            queue_depth: config.queue_depth,
+        });
+        let mut workers = Vec::with_capacity(config.max_connections);
+        for i in 0..config.max_connections {
+            let worker_shared = Arc::clone(&shared);
+            let handle = std::thread::Builder::new()
+                .name(format!("cable-obs-conn-{i}"))
+                .spawn(move || worker_loop(&worker_shared))
+                .expect("spawn obs worker thread");
+            workers.push(handle);
+        }
+        shared.state.lock().expect("obs pool poisoned").workers = workers;
+        WorkerPool { shared }
+    }
+
+    /// Queues a connection for a worker, or sheds it with `429` when
+    /// the queue is at depth.
+    fn submit(&self, stream: TcpStream) {
+        {
+            let mut state = self.shared.state.lock().expect("obs pool poisoned");
+            if state.queue.len() < self.shared.queue_depth {
+                if !state.queue.is_empty() {
+                    QUEUED.get().incr();
+                }
+                state.queue.push_back(stream);
+                drop(state);
+                self.shared.ready.notify_one();
+                return;
+            }
+        }
         REJECTED.get().incr();
         let mut stream = stream;
         let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
-        let body = "server at connection capacity, retry\n";
+        let body = "server over capacity, retry\n";
         let _ = write!(
             stream,
-            "HTTP/1.1 503 Service Unavailable\r\nContent-Type: text/plain; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            "HTTP/1.1 429 Too Many Requests\r\nContent-Type: text/plain; charset=utf-8\r\nRetry-After: {RETRY_AFTER_SECONDS}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
             body.len()
         );
-        return;
+        // Closing with unread request bytes still buffered makes the
+        // kernel send RST, which can discard the 429 we just wrote
+        // before the client reads it. Shut down our write side (the
+        // client's read completes) and drain the request — bounded in
+        // both bytes and time, so a slow sender cannot pin the accept
+        // thread.
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+        let mut scratch = [0u8; 4096];
+        for _ in 0..8 {
+            match stream.read(&mut scratch) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {}
+            }
+        }
     }
-    let slot = Arc::clone(active);
-    let spawned = std::thread::Builder::new()
-        .name("cable-obs-conn".into())
-        .spawn(move || {
-            handle_connection(stream, REQUESTS.get());
-            slot.fetch_sub(1, Ordering::AcqRel);
-        });
-    if spawned.is_err() {
-        // Thread spawn failed (resource exhaustion): drop the
-        // connection and release the slot rather than wedging.
-        active.fetch_sub(1, Ordering::AcqRel);
+
+    /// Stops the workers and joins them. Safe to call once, from the
+    /// owning [`ServerGuard`].
+    fn shutdown(&self) {
+        let workers = {
+            let mut state = self.shared.state.lock().expect("obs pool poisoned");
+            state.stop = true;
+            std::mem::take(&mut state.workers)
+        };
+        self.shared.ready.notify_all();
+        for handle in workers {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let stream = {
+            let mut state = shared.state.lock().expect("obs pool poisoned");
+            loop {
+                if let Some(stream) = state.queue.pop_front() {
+                    break stream;
+                }
+                if state.stop {
+                    return;
+                }
+                state = shared.ready.wait(state).expect("obs pool condvar poisoned");
+            }
+        };
+        handle_connection(stream, REQUESTS.get());
     }
 }
 
@@ -196,6 +412,7 @@ pub struct ServerGuard {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     handle: Option<std::thread::JoinHandle<()>>,
+    pool: Option<WorkerPool>,
 }
 
 impl ServerGuard {
@@ -213,69 +430,138 @@ impl Drop for ServerGuard {
         if let Some(handle) = self.handle.take() {
             let _ = handle.join();
         }
+        if let Some(pool) = self.pool.take() {
+            pool.shutdown();
+        }
+    }
+}
+
+/// A response ready for framing.
+struct HttpResponse {
+    status: u16,
+    content_type: &'static str,
+    body: String,
+}
+
+impl HttpResponse {
+    fn text(status: u16, body: impl Into<String>) -> HttpResponse {
+        HttpResponse {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into(),
+        }
+    }
+
+    fn json(status: u16, value: &Value) -> HttpResponse {
+        HttpResponse {
+            status,
+            content_type: "application/json; charset=utf-8",
+            body: format!("{value}\n"),
+        }
+    }
+}
+
+/// The reason phrase for the status codes this server emits.
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Content Too Large",
+        422 => "Unprocessable Content",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Response",
     }
 }
 
 fn handle_connection(stream: TcpStream, requests: &Counter) {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+    let mut reader = BufReader::new(stream);
     // The `take` caps how many request-line + header bytes one
     // connection may feed us: past it `read_line` sees EOF, and we
-    // answer 431 instead of buffering without bound.
-    let mut reader = BufReader::new(stream).take(MAX_HEADER_BYTES as u64);
+    // answer 431 instead of buffering without bound. The body is read
+    // separately below, under its own cap.
+    let mut head = (&mut reader).take(MAX_HEADER_BYTES as u64);
     let mut request_line = String::new();
-    if reader.read_line(&mut request_line).is_err() {
+    if head.read_line(&mut request_line).is_err() {
         return;
     }
-    // Drain headers so well-behaved clients see a clean close.
+    // Drain headers (keeping Content-Length) so well-behaved clients
+    // see a clean close.
     let mut saw_end = false;
+    let mut content_length: usize = 0;
     let mut line = String::new();
     loop {
         line.clear();
-        match reader.read_line(&mut line) {
+        match head.read_line(&mut line) {
             Ok(0) => break,
             Ok(_) if line == "\r\n" || line == "\n" => {
                 saw_end = true;
                 break;
             }
-            Ok(_) => continue,
+            Ok(_) => {
+                if let Some((name, value)) = line.split_once(':') {
+                    if name.trim().eq_ignore_ascii_case("content-length") {
+                        content_length = value.trim().parse().unwrap_or(0);
+                    }
+                }
+            }
             Err(_) => return,
         }
     }
     requests.incr();
     let started = Instant::now();
-    let oversized = !saw_end && reader.limit() == 0;
-    let mut stream = reader.into_inner().into_inner();
+    let oversized = !saw_end && head.limit() == 0;
     let mut route = String::new();
-    let (status, content_type, body) = if oversized {
+    let response = if oversized {
         OVERSIZED.get().incr();
-        (
-            "431 Request Header Fields Too Large",
-            "text/plain; charset=utf-8",
+        HttpResponse::text(
+            431,
             format!("request line + headers exceed {MAX_HEADER_BYTES} bytes\n"),
         )
+    } else if content_length > MAX_BODY_BYTES {
+        HttpResponse::text(
+            413,
+            format!("request body exceeds {MAX_BODY_BYTES} bytes\n"),
+        )
     } else {
+        let mut body = vec![0u8; content_length];
+        if content_length > 0 && reader.read_exact(&mut body).is_err() {
+            return;
+        }
+        let body = String::from_utf8_lossy(&body).into_owned();
         let mut parts = request_line.split_whitespace();
         let method = parts.next().unwrap_or("");
         let path = parts.next().unwrap_or("");
         route = path.split('?').next().unwrap_or("").to_owned();
-        respond(method, path)
+        respond(method, path, body)
     };
     // One wide event per request: the server observes itself through
     // the same stream it serves (outcome = the status code).
     events::emit(
         WideEvent::new("http_request", "http")
             .stage(route)
-            .outcome(status.split_whitespace().next().unwrap_or("?"))
+            .outcome(response.status.to_string())
             .duration(started.elapsed())
-            .field("bytes", body.len() as u64),
+            .field("bytes", response.body.len() as u64),
     );
+    let mut stream = reader.into_inner();
     let _ = write!(
         stream,
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status,
+        status_text(response.status),
+        response.content_type,
+        response.body.len()
     );
-    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.write_all(response.body.as_bytes());
     let _ = stream.flush();
 }
 
@@ -304,70 +590,66 @@ fn parse_limit(query: Option<&str>, default: usize) -> Result<usize, String> {
     Ok(limit)
 }
 
-fn respond(method: &str, path: &str) -> (&'static str, &'static str, String) {
-    if method != "GET" {
-        return (
-            "405 Method Not Allowed",
-            "text/plain; charset=utf-8",
-            "only GET is served\n".into(),
-        );
-    }
+fn respond(method: &str, path: &str, body: String) -> HttpResponse {
     let (route, query) = match path.split_once('?') {
         Some((route, query)) => (route, Some(query)),
         None => (path, None),
     };
-    let bad_request = |message: String| {
-        (
-            "400 Bad Request" as &'static str,
-            "text/plain; charset=utf-8",
-            message,
-        )
-    };
+    // The API plane first: it owns its own methods and status codes.
+    if route == "/api" || route.starts_with("/api/") {
+        return match api_handler() {
+            Some(handler) => {
+                let request = ApiRequest {
+                    method: method.to_owned(),
+                    route: route.to_owned(),
+                    query: query.map(str::to_owned),
+                    body,
+                };
+                let answer = handler.handle(&request);
+                HttpResponse {
+                    status: answer.status,
+                    content_type: answer.content_type,
+                    body: answer.body,
+                }
+            }
+            None => HttpResponse::text(
+                404,
+                "no session API is enabled (start `cable serve --api`)\n",
+            ),
+        };
+    }
+    if method != "GET" {
+        return HttpResponse::text(405, "only GET is served outside /api/\n");
+    }
+    let bad_request = |message: String| HttpResponse::text(400, message);
     match route {
         "/metrics" => match parse_limit(query, 0) {
             Err(e) => bad_request(e),
-            Ok(_) => (
-                "200 OK",
-                "text/plain; version=0.0.4; charset=utf-8",
-                prom::encode_full(&registry().snapshot(), &crate::scoped().snapshot()),
-            ),
+            Ok(_) => HttpResponse {
+                status: 200,
+                content_type: "text/plain; version=0.0.4; charset=utf-8",
+                body: prom::encode_full(&registry().snapshot(), &crate::scoped().snapshot()),
+            },
         },
         "/healthz" => match parse_limit(query, 0) {
             Err(e) => bad_request(e),
-            Ok(_) => (
-                "200 OK",
-                "application/json; charset=utf-8",
-                format!("{}\n", healthz_json()),
-            ),
+            Ok(_) => HttpResponse::json(200, &healthz_json()),
         },
         "/tracez" => match parse_limit(query, TRACEZ_SPAN_LIMIT) {
             Err(e) => bad_request(e),
-            Ok(limit) => (
-                "200 OK",
-                "application/json; charset=utf-8",
-                format!("{}\n", tracez_json(limit)),
-            ),
+            Ok(limit) => HttpResponse::json(200, &tracez_json(limit)),
         },
         "/eventz" => match parse_limit(query, EVENTZ_EVENT_LIMIT) {
             Err(e) => bad_request(e),
-            Ok(limit) => (
-                "200 OK",
-                "application/json; charset=utf-8",
-                format!("{}\n", events::eventz_json(limit)),
-            ),
+            Ok(limit) => HttpResponse::json(200, &events::eventz_json(limit)),
         },
         "/sloz" => match parse_limit(query, 0) {
             Err(e) => bad_request(e),
-            Ok(_) => (
-                "200 OK",
-                "application/json; charset=utf-8",
-                format!("{}\n", slo::sloz_json()),
-            ),
+            Ok(_) => HttpResponse::json(200, &slo::sloz_json()),
         },
-        _ => (
-            "404 Not Found",
-            "text/plain; charset=utf-8",
-            "try /metrics, /healthz, /tracez, /eventz, or /sloz\n".into(),
+        _ => HttpResponse::text(
+            404,
+            "try /metrics, /healthz, /tracez, /eventz, /sloz, or /api/sessions\n",
         ),
     }
 }
@@ -458,6 +740,22 @@ mod tests {
     fn get(addr: SocketAddr, path: &str) -> (String, String) {
         let mut stream = TcpStream::connect(addr).expect("connect");
         write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read response");
+        let (head, body) = response
+            .split_once("\r\n\r\n")
+            .expect("response has a header/body split");
+        (head.to_owned(), body.to_owned())
+    }
+
+    fn post(addr: SocketAddr, path: &str, body: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(
+            stream,
+            "POST {path} HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .unwrap();
         let mut response = String::new();
         stream.read_to_string(&mut response).expect("read response");
         let (head, body) = response
@@ -638,5 +936,172 @@ mod tests {
         stream.read_to_string(&mut response).expect("read response");
         assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
         drop(guard);
+    }
+
+    #[test]
+    fn oversized_bodies_get_413() {
+        let guard = ObsServer::bind("0").expect("bind ephemeral").spawn();
+        let mut stream = TcpStream::connect(guard.addr()).expect("connect");
+        write!(
+            stream,
+            "POST /api/sessions HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        )
+        .unwrap();
+        let mut bytes = Vec::new();
+        let mut buf = [0u8; 1024];
+        loop {
+            match stream.read(&mut buf) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => bytes.extend_from_slice(&buf[..n]),
+            }
+        }
+        let response = String::from_utf8_lossy(&bytes);
+        assert!(
+            response.starts_with("HTTP/1.1 413"),
+            "expected 413, got: {}",
+            response.lines().next().unwrap_or("")
+        );
+        drop(guard);
+    }
+
+    #[test]
+    fn api_routes_404_without_a_handler_and_dispatch_with_one() {
+        struct Echo;
+        impl ApiHandler for Echo {
+            fn handle(&self, request: &ApiRequest) -> ApiResponse {
+                ApiResponse::json(
+                    200,
+                    &Value::object([
+                        ("method", Value::from(request.method.as_str())),
+                        ("route", Value::from(request.route.as_str())),
+                        (
+                            "query",
+                            request
+                                .query
+                                .as_deref()
+                                .map(Value::from)
+                                .unwrap_or(Value::Null),
+                        ),
+                        ("body", Value::from(request.body.as_str())),
+                    ]),
+                )
+            }
+        }
+        let guard = ObsServer::bind("0").expect("bind ephemeral").spawn();
+        let addr = guard.addr();
+
+        set_api_handler(None);
+        let (head, body) = get(addr, "/api/sessions");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+        assert!(body.contains("--api"), "{body}");
+
+        set_api_handler(Some(Arc::new(Echo)));
+        let (head, body) = post(addr, "/api/sessions/s1/ingest?tenant=t", "{\"x\":1}");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        let echoed = Value::parse(body.trim()).expect("echo is JSON");
+        assert_eq!(echoed.get("method").and_then(Value::as_str), Some("POST"));
+        assert_eq!(
+            echoed.get("route").and_then(Value::as_str),
+            Some("/api/sessions/s1/ingest")
+        );
+        assert_eq!(
+            echoed.get("query").and_then(Value::as_str),
+            Some("tenant=t")
+        );
+        assert_eq!(
+            echoed.get("body").and_then(Value::as_str),
+            Some("{\"x\":1}")
+        );
+        set_api_handler(None);
+        drop(guard);
+    }
+
+    #[test]
+    fn non_get_outside_the_api_is_405() {
+        let guard = ObsServer::bind("0").expect("bind ephemeral").spawn();
+        let (head, _) = post(guard.addr(), "/metrics", "");
+        assert!(head.starts_with("HTTP/1.1 405"), "{head}");
+        drop(guard);
+    }
+
+    #[test]
+    fn queue_full_sheds_with_429_and_retry_after() {
+        // One worker, zero queue: a second concurrent connection must be
+        // shed with 429 + Retry-After while the first is being served.
+        let guard = ObsServer::bind_with(
+            "0",
+            ServerConfig {
+                max_connections: 1,
+                queue_depth: 0,
+            },
+        )
+        .expect("bind ephemeral")
+        .spawn();
+        let addr = guard.addr();
+        // Occupy the only worker with an idle connection (it waits up to
+        // the 2 s read timeout for a request line).
+        let first = TcpStream::connect(addr).expect("occupy worker");
+        // Give the worker a moment to pick the first connection up.
+        std::thread::sleep(Duration::from_millis(100));
+        let mut second = TcpStream::connect(addr).expect("connect past capacity");
+        second
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut response = String::new();
+        second.read_to_string(&mut response).expect("read 429");
+        assert!(
+            response.starts_with("HTTP/1.1 429"),
+            "expected 429, got: {}",
+            response.lines().next().unwrap_or("")
+        );
+        assert!(
+            response.contains(&format!("Retry-After: {RETRY_AFTER_SECONDS}")),
+            "{response}"
+        );
+        assert!(REJECTED.get().get() >= 1);
+        drop(first);
+        drop(guard);
+    }
+
+    #[test]
+    fn queued_connections_are_served_when_a_worker_frees_up() {
+        let guard = ObsServer::bind_with(
+            "0",
+            ServerConfig {
+                max_connections: 1,
+                queue_depth: 8,
+            },
+        )
+        .expect("bind ephemeral")
+        .spawn();
+        let addr = guard.addr();
+        // Hold the worker briefly with an idle connection, then issue a
+        // real request: it queues, and once the idle connection times
+        // out (2 s), the worker serves it.
+        let idle = TcpStream::connect(addr).expect("idle");
+        std::thread::sleep(Duration::from_millis(50));
+        let mut stream = TcpStream::connect(addr).expect("queued connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        write!(stream, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read response");
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        drop(idle);
+        drop(guard);
+    }
+
+    #[test]
+    fn bind_rejects_zero_workers() {
+        assert!(ObsServer::bind_with(
+            "0",
+            ServerConfig {
+                max_connections: 0,
+                queue_depth: 4,
+            }
+        )
+        .is_err());
     }
 }

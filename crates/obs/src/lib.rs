@@ -78,7 +78,10 @@ pub mod slo;
 mod span;
 
 pub use events::WideEvent;
-pub use http::{HealthInfo, ObsServer, ServerGuard};
+pub use http::{
+    set_api_handler, ApiHandler, ApiRequest, ApiResponse, HealthInfo, ObsServer, ServerConfig,
+    ServerGuard,
+};
 pub use metrics::{Counter, CounterHandle, Histogram, HistogramHandle, HistogramSnapshot, BUCKETS};
 pub use registry::{registry, Registry, Snapshot};
 pub use scope::{render_scopes, scoped, Scope, ScopeSnapshot, ScopedRegistry};

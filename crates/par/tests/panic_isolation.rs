@@ -98,6 +98,13 @@ fn poisoned_scope_skips_queued_units() {
             for _ in 0..64 {
                 s.spawn(|| {
                     ran.fetch_add(1, Ordering::Relaxed);
+                    // Siblings must be slower than the panic's unwind:
+                    // a bare fetch_add lets all 64 drain before the
+                    // poison flag lands, turning this test into a race
+                    // on unwinding speed. A short sleep per unit keeps
+                    // the queue occupied well past any plausible
+                    // catch-and-poison latency.
+                    std::thread::sleep(std::time::Duration::from_millis(1));
                 });
             }
         })

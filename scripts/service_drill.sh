@@ -1,0 +1,104 @@
+#!/usr/bin/env bash
+# The CI service drill: 64 concurrent labelers against the labeling
+# API, with two gates.
+#
+#   1. Service health: the run must finish with zero 5xx responses and
+#      zero transport errors (`cable-load` exits 3 otherwise), and the
+#      observed p99 request latency must fit the committed budget
+#      (`reproduce slo-check` against SLO_load_budgets.json).
+#   2. Determinism: every labeler's mutating ops — logged in order by
+#      `cable-load --verify-dir` — are replayed *sequentially* through
+#      the CLI into a fresh store, and the replayed session digest must
+#      be bit-identical to the digest the server reported for that
+#      tenant's session. Concurrency, queueing, 429 retries, and LRU
+#      eviction may reorder *work*, but never change *state*.
+#
+# The server runs with --max-open-sessions 16 against 64 tenants, so
+# roughly three quarters of all requests hit an evicted session and
+# force a reopen-from-journal — the drill exercises the eviction path,
+# not just the cache-hit path.
+#
+# Usage: scripts/service_drill.sh [path/to/cable] [path/to/cable-load] [path/to/reproduce]
+set -euo pipefail
+
+CABLE=${1:-target/release/cable}
+LOAD=${2:-target/release/cable-load}
+REPRODUCE=${3:-target/release/reproduce}
+LABELERS=${LABELERS:-64}
+REQUESTS=${REQUESTS:-16}
+work=$(mktemp -d)
+server_pid=""
+cleanup() {
+  [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+echo "== start the labeling service (port 0, 16 resident sessions)"
+"$CABLE" serve --obs-listen 0 --api --store-root "$work/tenants" \
+  --max-open-sessions 16 > "$work/announce" 2> /dev/null &
+server_pid=$!
+
+addr=""
+for _ in $(seq 1 50); do
+  addr=$(sed -n 's|^serving http://\([^/]*\)/.*|\1|p' "$work/announce")
+  [ -n "$addr" ] && break
+  sleep 0.1
+done
+[ -n "$addr" ] || { echo "serve never announced its address"; exit 1; }
+echo "service bound $addr"
+
+echo "== gate 1a: $LABELERS concurrent labelers, zero 5xx allowed"
+"$LOAD" --addr "$addr" --labelers "$LABELERS" --requests "$REQUESTS" \
+  --seed 20260808 --verify-dir "$work/verify" --json-out LOAD_record.json \
+  --max-5xx 0
+
+kill "$server_pid"
+wait "$server_pid" 2>/dev/null || true
+server_pid=""
+
+echo "== gate 1b: p99 latency within the committed budget"
+"$REPRODUCE" slo-check --records LOAD_record.json --budgets SLO_load_budgets.json
+
+echo "== gate 2: sequential CLI replay reproduces every session digest"
+replayed=0
+for dir in "$work"/verify/labeler-*; do
+  name=$(basename "$dir")
+  store="$work/replay/$name"
+  [ -f "$dir/digest.jsonl" ] || { echo "$name: no server digest logged"; exit 1; }
+  for step in "$dir"/step-*; do
+    case "$step" in
+      *open.traces)
+        "$CABLE" session open --traces "$step" --store "$store" > /dev/null
+        ;;
+      *ingest.traces)
+        "$CABLE" session ingest --store "$store" --traces "$step" > /dev/null
+        ;;
+      *label.script)
+        # Exit 3 just means some traces are still unlabeled — fine
+        # mid-script; any other failure is fatal.
+        "$CABLE" label --store "$store" --script "$step" > /dev/null 2>&1 || {
+          code=$?
+          [ "$code" = "3" ] || { echo "$name: label replay failed ($code)"; exit 1; }
+        }
+        ;;
+      *)
+        echo "$name: unexpected step file $step"; exit 1
+        ;;
+    esac
+  done
+  "$CABLE" session resume --store "$store" \
+    --json-out "$work/replay/$name.jsonl" > /dev/null 2> /dev/null
+  "$REPRODUCE" diff "$dir/digest.jsonl" "$work/replay/$name.jsonl" > /dev/null || {
+    echo "$name: replayed digest diverged from the server's"
+    "$REPRODUCE" diff "$dir/digest.jsonl" "$work/replay/$name.jsonl" || true
+    exit 1
+  }
+  replayed=$((replayed + 1))
+done
+[ "$replayed" = "$LABELERS" ] || {
+  echo "replayed $replayed sessions, expected $LABELERS"; exit 1
+}
+echo "replayed $replayed sessions, all digests identical"
+
+echo "service drill: PASS"

@@ -99,7 +99,6 @@
 //! journaled, and the command exits 1 with a summary.
 
 use cable::fa::templates;
-use cable::obs::json::Value;
 use cable::prelude::*;
 use cable::session::{StoredSession, TraceSelector};
 use cable::trace::Vocab;
@@ -218,6 +217,11 @@ struct Opts {
     max_concepts: Option<u64>,
     faults: Option<String>,
     keep_going: bool,
+    api: bool,
+    store_root: Option<String>,
+    max_open_sessions: Option<usize>,
+    max_connections: Option<usize>,
+    request_deadline_ms: Option<u64>,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
@@ -239,6 +243,11 @@ fn parse_opts(args: &[String]) -> Opts {
         max_concepts: None,
         faults: None,
         keep_going: false,
+        api: false,
+        store_root: None,
+        max_open_sessions: None,
+        max_connections: None,
+        request_deadline_ms: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -260,6 +269,11 @@ fn parse_opts(args: &[String]) -> Opts {
             }
             "--keep-going" => {
                 opts.keep_going = true;
+                i += 1;
+                continue;
+            }
+            "--api" => {
+                opts.api = true;
                 i += 1;
                 continue;
             }
@@ -301,6 +315,32 @@ fn parse_opts(args: &[String]) -> Opts {
                 );
             }
             "--faults" => opts.faults = Some(value()),
+            "--store-root" => opts.store_root = Some(value()),
+            "--max-open-sessions" => {
+                opts.max_open_sessions = Some(
+                    value()
+                        .parse()
+                        .ok()
+                        .filter(|&n: &usize| n > 0)
+                        .unwrap_or_else(|| usage("--max-open-sessions needs a positive integer")),
+                );
+            }
+            "--max-connections" => {
+                opts.max_connections = Some(
+                    value()
+                        .parse()
+                        .ok()
+                        .filter(|&n: &usize| n > 0)
+                        .unwrap_or_else(|| usage("--max-connections needs a positive integer")),
+                );
+            }
+            "--request-deadline-ms" => {
+                opts.request_deadline_ms = Some(
+                    value()
+                        .parse()
+                        .unwrap_or_else(|_| usage("--request-deadline-ms needs an integer")),
+                );
+            }
             other => usage(&format!("unknown option {other:?}")),
         }
         i += 2;
@@ -535,71 +575,10 @@ fn report_recovery(report: &cable::store::RecoveryReport) {
     );
 }
 
-/// FNV-1a 64 over a byte stream, for the deterministic state digests of
-/// the `session_state` record.
-struct Fnv(u64);
-
-impl Fnv {
-    fn new() -> Fnv {
-        Fnv(0xcbf2_9ce4_8422_2325)
-    }
-
-    fn update(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 ^= u64::from(b);
-            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
-        }
-    }
-
-    fn hex(&self) -> String {
-        format!("{:016x}", self.0)
-    }
-}
-
-/// The deterministic `session_state` JSONL record `session resume
-/// --json-out` writes: counts plus digests of the corpus, labels, and
-/// lattice. Timing-free by construction, so `reproduce diff` can
-/// compare a crash-recovered run against an uninterrupted one.
-fn session_state_record(stored: &StoredSession) -> Value {
-    let session = stored.session();
-    let vocab = stored.vocab();
-    let mut corpus = Fnv::new();
-    for (_, trace) in session.traces().iter() {
-        corpus.update(trace.display(vocab).to_string().as_bytes());
-        corpus.update(b"\n");
-    }
-    let mut labels = Fnv::new();
-    let mut labeled = 0u64;
-    for c in 0..session.classes().len() {
-        if let Some(l) = session.labels().get(c) {
-            labels.update(session.labels().name(l).as_bytes());
-            labeled += 1;
-        }
-        labels.update(b"\n");
-    }
-    let mut lattice = Fnv::new();
-    for (_, concept) in session.lattice().iter() {
-        for v in concept.extent.iter() {
-            lattice.update(&(v as u64).to_le_bytes());
-        }
-        lattice.update(b"/");
-        for v in concept.intent.iter() {
-            lattice.update(&(v as u64).to_le_bytes());
-        }
-        lattice.update(b";");
-    }
-    Value::object([
-        ("record", Value::from("session_state")),
-        ("traces", Value::from(session.traces().len() as u64)),
-        ("classes", Value::from(session.classes().len() as u64)),
-        ("concepts", Value::from(session.lattice().len() as u64)),
-        ("labeled", Value::from(labeled)),
-        ("generation", Value::from(stored.store().generation())),
-        ("corpus_digest", Value::from(corpus.hex())),
-        ("labels_digest", Value::from(labels.hex())),
-        ("lattice_digest", Value::from(lattice.hex())),
-    ])
-}
+// The deterministic `session_state` record `session resume --json-out`
+// writes now lives in `cable_core::digest` (the `GET
+// /api/sessions/:id/digest` endpoint emits the identical record).
+use cable::session::session_state_record;
 
 fn session_cmd(sub: &str, opts: &Opts) -> i32 {
     let store_dir = || {
@@ -703,7 +682,7 @@ fn session_cmd(sub: &str, opts: &Opts) -> i32 {
             if let Some(addr) = &opts.obs_listen {
                 publish_health(&stored);
                 let _profiler = spawn_profiler(Path::new(dir), opts);
-                serve_blocking(addr);
+                serve_blocking(addr, resolve_server_config(opts));
             }
             0
         }
@@ -739,12 +718,31 @@ fn publish_health(stored: &StoredSession) {
     }
 }
 
+/// The server sizing: `--max-connections` wins, then `CABLE_MAX_CONNS`,
+/// then the compiled-in default. A malformed env value is a usage error
+/// (exit 2), same as a malformed flag.
+fn resolve_server_config(opts: &Opts) -> cable::obs::ServerConfig {
+    let mut config = cable::obs::ServerConfig::default();
+    if let Some(n) = opts.max_connections {
+        config.max_connections = n;
+    } else if let Ok(v) = std::env::var("CABLE_MAX_CONNS") {
+        if !v.is_empty() {
+            config.max_connections = v
+                .parse()
+                .ok()
+                .filter(|&n: &usize| n > 0)
+                .unwrap_or_else(|| usage("CABLE_MAX_CONNS must be a positive integer"));
+        }
+    }
+    config
+}
+
 /// Binds the obs HTTP server, announces the bound address on stdout
 /// (so scripts can pass port 0 and discover the port), and serves until
 /// the process is killed.
-fn serve_blocking(addr: &str) -> ! {
-    let server =
-        cable::obs::ObsServer::bind(addr).unwrap_or_else(|e| die(&format!("binding {addr}: {e}")));
+fn serve_blocking(addr: &str, config: cable::obs::ServerConfig) -> ! {
+    let server = cable::obs::ObsServer::bind_with(addr, config)
+        .unwrap_or_else(|e| die(&format!("binding {addr}: {e}")));
     println!(
         "serving http://{}/metrics /healthz /tracez /eventz /sloz",
         server.addr()
@@ -786,13 +784,15 @@ fn spawn_profiler(dir: &Path, opts: &Opts) -> Option<cable::obs::profdiff::Conti
     }
 }
 
-/// `cable serve --obs-listen ADDR [--store DIR]`: the standalone
-/// exposition server.
+/// `cable serve --obs-listen ADDR [--store DIR] [--api --store-root DIR]`:
+/// the exposition server, optionally with the multi-tenant session API
+/// plane enabled (see DESIGN.md §14).
 fn serve(opts: &Opts) -> i32 {
     let addr = opts
         .obs_listen
         .as_ref()
         .unwrap_or_else(|| usage("--obs-listen ADDR is required"));
+    let config = resolve_server_config(opts);
     let mut _profiler = None;
     if let Some(dir) = &opts.store {
         let (stored, report) = open_store(dir);
@@ -800,7 +800,26 @@ fn serve(opts: &Opts) -> i32 {
         publish_health(&stored);
         _profiler = spawn_profiler(Path::new(dir), opts);
     }
-    serve_blocking(addr);
+    if opts.api {
+        let root = opts
+            .store_root
+            .as_ref()
+            .unwrap_or_else(|| usage("--api needs --store-root DIR"));
+        let manager = std::sync::Arc::new(cable::session::SessionManager::new(
+            root,
+            opts.max_open_sessions.unwrap_or(8),
+        ));
+        let api = cable::session::CableApi::new(
+            manager,
+            opts.request_deadline_ms
+                .filter(|&ms| ms > 0)
+                .map(std::time::Duration::from_millis),
+        );
+        cable::obs::set_api_handler(Some(std::sync::Arc::new(api)));
+    } else if opts.store_root.is_some() {
+        usage("--store-root only applies with --api");
+    }
+    serve_blocking(addr, config);
 }
 
 /// `cable profile diff BEFORE AFTER`: the self-time regression report
@@ -902,7 +921,9 @@ fn usage(msg: &str) -> ! {
          [--store DIR] [--threads N] [--stats]\n\
          \x20      cable session <open|ingest|resume|compact> --store DIR [--traces FILE] \
          [--fsync-per-trace] [--keep-going] [--json-out PATH] [--obs-listen ADDR]\n\
-         \x20      cable serve --obs-listen ADDR [--store DIR] [--profile-interval-ms N]\n\
+         \x20      cable serve --obs-listen ADDR [--store DIR] [--profile-interval-ms N] \
+         [--api --store-root DIR] [--max-open-sessions N] [--max-connections N] \
+         [--request-deadline-ms N]\n\
          \x20      cable profile diff BEFORE.jsonl AFTER.jsonl\n\
          \x20      any command: [--deadline-ms N] [--max-concepts N] [--faults SEED:SPEC] \
          [--events-out PATH]"

@@ -729,3 +729,164 @@ fopen(Z) fclose(Z)
     );
     fs::remove_dir_all(&dir).unwrap();
 }
+
+/// One HTTP/1.1 POST with a JSON body; returns (status line, body).
+fn http_post(addr: &str, path: &str, body: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to serve");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    write!(
+        stream,
+        "POST {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .expect("response has a header/body split");
+    let status = head.lines().next().unwrap_or_default().to_owned();
+    (status, body.to_owned())
+}
+
+/// Satellite `--max-connections` configurability: the flag and the
+/// `CABLE_MAX_CONNS` environment variable size the worker pool, and
+/// every unknown or non-positive value is a usage error (exit 2), never
+/// a silent fallback to the default.
+#[test]
+fn max_connections_rejects_bad_values_and_accepts_good_ones() {
+    for bad in ["0", "-1", "eight", ""] {
+        let out = cable(&["serve", "--obs-listen", "0", "--max-connections", bad]);
+        assert_eq!(out.status.code(), Some(2), "--max-connections {bad:?}");
+        assert!(stderr(&out).contains("usage:"), "{}", stderr(&out));
+    }
+    for bad in ["0", "nope"] {
+        let out = Command::new(env!("CARGO_BIN_EXE_cable"))
+            .args(["serve", "--obs-listen", "0"])
+            .env("CABLE_MAX_CONNS", bad)
+            .output()
+            .expect("cable runs");
+        assert_eq!(out.status.code(), Some(2), "CABLE_MAX_CONNS={bad:?}");
+        assert!(stderr(&out).contains("CABLE_MAX_CONNS"), "{}", stderr(&out));
+    }
+    // `--api` and `--store-root` only make sense together.
+    let out = cable(&["serve", "--obs-listen", "0", "--api"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--store-root"), "{}", stderr(&out));
+    let out = cable(&["serve", "--obs-listen", "0", "--store-root", "/tmp/x"]);
+    assert_eq!(out.status.code(), Some(2));
+
+    // A valid flag value serves normally.
+    let (mut child, addr) =
+        spawn_serving(&["serve", "--obs-listen", "0", "--max-connections", "2"]);
+    let (status, _) = http_get(&addr, "/healthz");
+    assert!(status.contains("200"), "{status}");
+    child.kill().unwrap();
+    child.wait().unwrap();
+}
+
+/// The tentpole labeling API end to end through the real binary:
+/// open → ingest → label → lattice → concepts → focus → digest, plus
+/// the client-error paths (malformed JSON is a 400, an unknown session
+/// a 404, a plain `serve` without `--api` keeps answering 404 with a
+/// hint, and non-GET methods outside `/api` stay 405).
+#[test]
+fn serve_api_labels_sessions_end_to_end() {
+    let dir = tmp_dir("serve-api");
+    let root = dir.join("tenants");
+    let (mut child, addr) = spawn_serving(&[
+        "serve",
+        "--obs-listen",
+        "0",
+        "--api",
+        "--store-root",
+        root.to_str().unwrap(),
+    ]);
+
+    // Open a session for tenant t1.
+    let (status, body) = http_post(
+        &addr,
+        "/api/sessions",
+        "{\"tenant\": \"t1\", \"session\": \"s\", \
+         \"traces\": \"fopen(#1) fread(#1) fclose(#1)\\nfopen(#2)\\n\"}",
+    );
+    assert!(status.contains("201"), "{status} {body}");
+    assert!(body.contains("\"concepts\""), "{body}");
+
+    // Ingest more traces into it.
+    let (status, body) = http_post(
+        &addr,
+        "/api/sessions/s/ingest",
+        "{\"tenant\": \"t1\", \"traces\": \"fopen(#3) fwrite(#3) fclose(#3)\\n\"}",
+    );
+    assert!(status.contains("200"), "{status} {body}");
+    assert!(body.contains("\"ingested\":1"), "{body}");
+
+    // Label the top concept's unlabeled traces.
+    let (status, body) = http_post(
+        &addr,
+        "/api/sessions/s/label",
+        "{\"tenant\": \"t1\", \"concept\": \"c0\", \"selector\": \"unlabeled\", \
+         \"label\": \"good\"}",
+    );
+    assert!(status.contains("200"), "{status} {body}");
+    assert!(body.contains("\"classes_labeled\""), "{body}");
+
+    // The read endpoints.
+    let (status, lattice) = http_get(&addr, "/api/sessions/s/lattice?tenant=t1");
+    assert!(status.contains("200"), "{status}");
+    assert!(lattice.contains("\"top\""), "{lattice}");
+    let top = lattice
+        .split("\"top\":\"")
+        .nth(1)
+        .and_then(|rest| rest.split('"').next())
+        .expect("top concept id")
+        .to_owned();
+    let (status, concepts) = http_get(&addr, "/api/sessions/s/concepts?tenant=t1");
+    assert!(status.contains("200"), "{status}");
+    assert!(concepts.contains("\"fully_labeled\""), "{concepts}");
+    let (status, focus) = http_get(
+        &addr,
+        &format!("/api/sessions/s/focus?tenant=t1&concept={top}"),
+    );
+    assert!(status.contains("200"), "{status} {focus}");
+    let (status, digest) = http_get(&addr, "/api/sessions/s/digest?tenant=t1");
+    assert!(status.contains("200"), "{status}");
+    assert!(digest.contains("\"corpus_digest\""), "{digest}");
+
+    // Tenant isolation: the same session name under another tenant is
+    // a different (nonexistent) session.
+    let (status, _) = http_get(&addr, "/api/sessions/s/digest?tenant=t2");
+    assert!(status.contains("404"), "{status}");
+
+    // Client-error paths: malformed JSON, unknown session, bad method.
+    let (status, body) = http_post(&addr, "/api/sessions", "{not json");
+    assert!(status.contains("400"), "{status}");
+    assert!(body.contains("malformed"), "{body}");
+    let (status, _) = http_post(
+        &addr,
+        "/api/sessions/ghost/ingest",
+        "{\"tenant\": \"t1\", \"traces\": \"fopen(#9)\\n\"}",
+    );
+    assert!(status.contains("404"), "{status}");
+    let (status, _) = http_post(&addr, "/metrics", "{}");
+    assert!(status.contains("405"), "{status}");
+
+    // The per-tenant store layout is on disk: root/tenant/session.
+    assert!(root.join("t1").join("s").is_dir());
+    child.kill().unwrap();
+    child.wait().unwrap();
+
+    // Without `--api`, the API routes answer 404 with a pointer at the
+    // flag — the observability endpoints still work.
+    let (mut child, addr) = spawn_serving(&["serve", "--obs-listen", "0"]);
+    let (status, body) = http_get(&addr, "/api/sessions");
+    assert!(status.contains("404"), "{status}");
+    assert!(body.contains("--api"), "{body}");
+    child.kill().unwrap();
+    child.wait().unwrap();
+    fs::remove_dir_all(&dir).unwrap();
+}
