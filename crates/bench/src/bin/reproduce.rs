@@ -1,8 +1,9 @@
 //! Regenerates the paper's evaluation tables.
 //!
 //! ```text
-//! reproduce [table1|table2|table3|scaling|coring|ablation|all]
+//! reproduce [table1|table2|table3|scaling|coring|ablation|mutants|all]
 //!           [--seed N] [--threads N] [--quick] [--stats] [--json-out PATH]
+//!           [--mutants-per-family N]
 //!           [--trace-out PATH] [--obs-listen ADDR]
 //!           [--deadline-ms N] [--max-concepts N] [--faults SEED:SPEC]
 //! reproduce compare --baseline PATH --current PATH [--tolerance PCT]
@@ -36,6 +37,16 @@
 //! table2 this way under different `CABLE_PAR` values and `diff`s the
 //! records. `--faults SEED:SPEC` (or `CABLE_FAULTS`) installs the
 //! deterministic fault-injection plane, as in the `cable` binary.
+//!
+//! `mutants` (not part of `all`) runs the mutation matrix: for each
+//! protocol family (Locking, FdLife, SockLife) the seeded cable-mutate
+//! engine derives `--mutants-per-family` surviving mutants of the
+//! ground-truth FA (default 36, so 108 total; 8 with `--quick`), and
+//! each mutant is debugged as the buggy reference spec of a Cable
+//! session over the family's corpus. With `--json-out` every run emits
+//! one timing-free `mutation_row` record plus a final `mutation_summary`
+//! whose `equivalent_survivors` count must be zero — the CI mutation
+//! drill greps for it and `diff`s two runs at different `CABLE_PAR`.
 //!
 //! `compare` is the CI perf-regression gate: exits non-zero when the
 //! current run's counts drift from the baseline at all, or its total
@@ -82,6 +93,7 @@ fn main() {
     let mut deadline_ms: Option<u64> = None;
     let mut max_concepts: Option<u64> = None;
     let mut faults: Option<String> = None;
+    let mut mutants_per_family: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -158,9 +170,17 @@ fn main() {
                         .unwrap_or_else(|| usage("--faults needs a spec (seed:kind@site[,...])")),
                 );
             }
-            "table1" | "table2" | "table3" | "scaling" | "coring" | "ablation" | "all" => {
-                which.push(args[i].clone())
+            "--mutants-per-family" => {
+                i += 1;
+                mutants_per_family = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .filter(|n| *n > 0)
+                        .unwrap_or_else(|| usage("--mutants-per-family needs a positive integer")),
+                );
             }
+            "table1" | "table2" | "table3" | "scaling" | "coring" | "ablation" | "mutants"
+            | "all" => which.push(args[i].clone()),
             other => usage(&format!("unknown argument {other:?}")),
         }
         i += 1;
@@ -439,6 +459,90 @@ fn main() {
                 println!("\nfit: concepts ≈ {a:.1} + {b:.2}·transitions (r² = {r2:.2})\n");
             }
         }
+
+        // Not part of `all`: the matrix is its own CI gate (the
+        // mutation drill) and would skew the perf-baseline comparisons.
+        if which.iter().any(|w| w == "mutants") {
+            let per_family = mutants_per_family.unwrap_or(if quick { 8 } else { 36 });
+            println!(
+                "## Mutation matrix: debugging generated buggy specs (seed {seed}, \
+                 {per_family} mutants/family)\n"
+            );
+            println!(
+                "| family | # | operator | witness | len | classes | concepts | \
+                 Baseline | Expert | saved |"
+            );
+            println!("|---|---|---|---|---|---|---|---|---|---|");
+            let (rows, summary) = cable_bench::mutation_matrix(seed, per_family);
+            for r in &rows {
+                println!(
+                    "| {} | {} | {} | `{}` | {} | {} | {} | {} | {} | {} |",
+                    r.family,
+                    r.mutant,
+                    r.kind,
+                    r.witness,
+                    r.witness_len,
+                    r.unique,
+                    r.concepts,
+                    r.baseline,
+                    fmt_opt(r.expert),
+                    fmt_opt(r.saved),
+                );
+            }
+            println!(
+                "\n{} survivors across {} families ({} candidates drawn, {} filtered as \
+                 equivalent); {} re-verified equivalent survivors (must be 0); Expert reached \
+                 the oracle labeling on {}/{} runs\n",
+                summary.mutants,
+                summary.families,
+                summary.candidates,
+                summary.filtered,
+                summary.equivalent_survivors,
+                summary.expert_solved,
+                summary.mutants,
+            );
+            if let Some(sink) = &sink {
+                for r in &rows {
+                    let record = Value::object([
+                        ("record", Value::from("mutation_row")),
+                        ("seed", Value::from(seed)),
+                        ("family", Value::from(r.family.as_str())),
+                        ("mutant", Value::from(r.mutant)),
+                        ("kind", Value::from(r.kind)),
+                        ("description", Value::from(r.description.as_str())),
+                        ("witness", Value::from(r.witness.as_str())),
+                        ("witness_len", Value::from(r.witness_len)),
+                        (
+                            "parent_accepts_witness",
+                            Value::from(r.parent_accepts_witness),
+                        ),
+                        ("traces", Value::from(r.traces)),
+                        ("unique", Value::from(r.unique)),
+                        ("transitions", Value::from(r.transitions)),
+                        ("concepts", Value::from(r.concepts)),
+                        ("baseline", Value::from(r.baseline)),
+                        ("expert", opt_value(r.expert)),
+                        ("saved", opt_value(r.saved)),
+                    ]);
+                    sink.write(&record).expect("writing mutation row");
+                }
+                let record = Value::object([
+                    ("record", Value::from("mutation_summary")),
+                    ("seed", Value::from(seed)),
+                    ("per_family", Value::from(per_family)),
+                    ("families", Value::from(summary.families)),
+                    ("mutants", Value::from(summary.mutants)),
+                    ("candidates", Value::from(summary.candidates)),
+                    ("filtered", Value::from(summary.filtered)),
+                    (
+                        "equivalent_survivors",
+                        Value::from(summary.equivalent_survivors),
+                    ),
+                    ("expert_solved", Value::from(summary.expert_solved)),
+                ]);
+                sink.write(&record).expect("writing mutation summary");
+            }
+        }
     });
     if let Err(e) = contained {
         eprintln!("error: {e}");
@@ -648,10 +752,14 @@ fn fmt_opt(v: Option<usize>) -> String {
     v.map(|x| x.to_string()).unwrap_or_else(|| "—".into())
 }
 
+fn opt_value(v: Option<usize>) -> Value {
+    v.map(Value::from).unwrap_or(Value::Null)
+}
+
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: reproduce [table1|table2|table3|scaling|coring|ablation|all] [options]\n\
+        "usage: reproduce [table1|table2|table3|scaling|coring|ablation|mutants|all] [options]\n\
          \u{20}      reproduce compare --baseline PATH --current PATH [--tolerance PCT]\n\
          \u{20}      reproduce diff PATH PATH\n\
          \u{20}      reproduce check-trace PATH\n\
@@ -661,6 +769,8 @@ fn usage(msg: &str) -> ! {
          \u{20} --seed N          RNG seed for corpus generation (default 2003)\n\
          \u{20} --threads N       size of the cable-par pool (like CABLE_PAR=N; 1 = sequential)\n\
          \u{20} --quick           lower trial counts / search budgets for a fast smoke run\n\
+         \u{20} --mutants-per-family N  surviving mutants per protocol family for `mutants`\n\
+         \u{20}                   (default 36, or 8 with --quick)\n\
          \u{20} --stats           print the metric report and self-time profile to stdout\n\
          \u{20} --json-out PATH   write JSONL perf records (table2 specs + pipeline snapshot)\n\
          \u{20} --trace-out PATH  export the flight recorder as Chrome trace-event JSON\n\

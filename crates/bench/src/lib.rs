@@ -10,7 +10,10 @@
 //! * [`table3`] — the labeling cost of every §4.2 strategy against the
 //!   Baseline;
 //! * [`scaling`] — lattice size and build time as the number of FA
-//!   transitions grows (§5.2: "roughly linear").
+//!   transitions grows (§5.2: "roughly linear");
+//! * [`mutmatrix`] — the mutation matrix: every surviving cable-mutate
+//!   mutant of the three protocol families debugged as the buggy
+//!   reference spec of a full Cable session (`reproduce mutants`).
 //!
 //! Run `cargo run -p cable-bench --bin reproduce -- all` to print
 //! everything.
@@ -18,6 +21,7 @@
 pub mod ablation;
 pub mod compare;
 pub mod harness;
+pub mod mutmatrix;
 pub mod pipeline;
 pub mod slocheck;
 pub mod tables;
@@ -27,7 +31,8 @@ pub use ablation::{
     coring_sweep, dedup_ablation, hac_comparison, learner_sweep, CoringReport, DedupRow, HacRow,
     LearnerRow,
 };
-pub use pipeline::{prepare, PreparedSpec, ReferenceFaChoice};
+pub use mutmatrix::{mutation_matrix, MutationRow, MutationSummary};
+pub use pipeline::{extract_scenarios, prepare, PreparedSpec, ReferenceFaChoice};
 pub use tables::{
     scaling, table1, table2, table2_with_deltas, table3, ScalingRow, Table1Row, Table2Row,
     Table3Row,

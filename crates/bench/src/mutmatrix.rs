@@ -1,0 +1,188 @@
+//! The mutation matrix: debugging runs over generated buggy specs.
+//!
+//! Table 2 measures Cable on the paper's seventeen mined specifications.
+//! The mutation matrix scales that experiment to *hundreds* of
+//! (family, mutant, corpus) triples: each protocol family's ground-truth
+//! FA is mutated with the seeded `cable-mutate` operators, every
+//! surviving (non-equivalent) mutant becomes the buggy reference
+//! specification of a Cable session over the family's generated corpus,
+//! and the §4.2 Baseline and Expert strategies are costed against the
+//! ground-truth oracle — exactly the situation the paper's user is in
+//! when a mined spec disagrees with reality in some unknown way.
+//!
+//! Every quantity here is deterministic in `(seed, per_family)`: the
+//! engine derives one RNG stream per candidate, the corpus is seeded,
+//! and the strategies are deterministic, so the rows byte-diff across
+//! `CABLE_PAR` settings (the CI mutation drill gates on this).
+
+use crate::pipeline::extract_scenarios;
+use cable_core::{strategy, CableSession};
+use cable_mutate::{mutants_with_stats, Mutant};
+use cable_specs::families::family_specs;
+use cable_trace::TraceSet;
+use cable_util::rng::derive_seed;
+use cable_workload::Oracle;
+
+/// One (family, mutant, corpus) debugging run.
+#[derive(Debug, Clone)]
+pub struct MutationRow {
+    /// The protocol-family name (`Locking`, `FdLife`, `SockLife`).
+    pub family: String,
+    /// The mutant's index among the family's survivors.
+    pub mutant: usize,
+    /// The mutation operator that produced it.
+    pub kind: &'static str,
+    /// Human-readable description of the edit.
+    pub description: String,
+    /// The minimal distinguishing witness, rendered as a trace.
+    pub witness: String,
+    /// Witness length in events.
+    pub witness_len: usize,
+    /// Whether the *parent* (ground truth) accepts the witness — i.e.
+    /// whether the mutant rejects good behaviour (true) or accepts bad
+    /// behaviour (false).
+    pub parent_accepts_witness: bool,
+    /// Scenario traces extracted from the corpus.
+    pub traces: usize,
+    /// Identical-trace classes.
+    pub unique: usize,
+    /// Transitions in the mutant reference FA.
+    pub transitions: usize,
+    /// Concepts in the session lattice.
+    pub concepts: usize,
+    /// Baseline labeling cost (§5.3: 2 × classes).
+    pub baseline: usize,
+    /// Expert labeling cost; `None` when the mutant's lattice is not
+    /// well-formed for the oracle labeling.
+    pub expert: Option<usize>,
+    /// Decisions saved over the Baseline (when the Expert succeeds).
+    pub saved: Option<usize>,
+}
+
+/// Aggregates over the whole matrix.
+#[derive(Debug, Clone)]
+pub struct MutationSummary {
+    /// Number of protocol families mutated.
+    pub families: usize,
+    /// Total surviving mutants (= rows).
+    pub mutants: usize,
+    /// Total mutation candidates drawn across all families.
+    pub candidates: u64,
+    /// Candidates filtered as language-equivalent to their parent.
+    pub filtered: u64,
+    /// Survivors that re-verify as equivalent to their parent — the
+    /// engine guarantees this is zero; the CI drill greps for it.
+    pub equivalent_survivors: usize,
+    /// Rows where the Expert strategy reached the oracle labeling.
+    pub expert_solved: usize,
+}
+
+/// Runs the full matrix: `per_family` surviving mutants for each of the
+/// three protocol families, each debugged against the family's corpus.
+pub fn mutation_matrix(seed: u64, per_family: usize) -> (Vec<MutationRow>, MutationSummary) {
+    let specs = family_specs();
+    let mut rows = Vec::new();
+    let mut summary = MutationSummary {
+        families: specs.len(),
+        mutants: 0,
+        candidates: 0,
+        filtered: 0,
+        equivalent_survivors: 0,
+        expert_solved: 0,
+    };
+    for (fam_idx, spec) in specs.iter().enumerate() {
+        let mut vocab = cable_trace::Vocab::new();
+        let truth = spec.ground_truth(&mut vocab);
+        let (muts, stats) = mutants_with_stats(
+            &truth,
+            &mut vocab,
+            derive_seed(seed, fam_idx as u64),
+            per_family,
+        );
+        summary.candidates += stats.candidates;
+        summary.filtered += stats.filtered;
+        let workload = spec.generate(seed, &mut vocab);
+        let scenarios = extract_scenarios(spec, &workload, &vocab);
+        let oracle = spec.oracle(&mut vocab);
+        let family_rows = cable_par::par_map_indexed("bench.mutmatrix", &muts, |i, m| {
+            debug_mutant(spec.name(), i, m, &scenarios, &oracle, &vocab)
+        });
+        summary.equivalent_survivors += muts.iter().filter(|m| truth.equivalent(&m.fa)).count();
+        summary.mutants += family_rows.len();
+        summary.expert_solved += family_rows.iter().filter(|r| r.expert.is_some()).count();
+        rows.extend(family_rows);
+    }
+    (rows, summary)
+}
+
+/// Debugs one mutant: builds the Cable session with the mutant as the
+/// (buggy) reference FA and costs the Baseline and Expert strategies.
+fn debug_mutant(
+    family: &str,
+    index: usize,
+    m: &Mutant,
+    scenarios: &TraceSet,
+    oracle: &Oracle,
+    vocab: &cable_trace::Vocab,
+) -> MutationRow {
+    let mut session = CableSession::new(scenarios.clone(), m.fa.clone());
+    let oracle_fn = |t: &cable_trace::Trace| oracle.label(t).to_owned();
+    let baseline = strategy::baseline(&session).total();
+    let expert = strategy::expert(&mut session, &oracle_fn).map(|c| c.total());
+    MutationRow {
+        family: family.to_owned(),
+        mutant: index,
+        kind: m.kind.name(),
+        description: m.description.clone(),
+        witness: m.witness_trace.display(vocab).to_string(),
+        witness_len: m.witness.len(),
+        parent_accepts_witness: m.parent_accepts_witness,
+        traces: scenarios.len(),
+        unique: session.classes().len(),
+        transitions: m.fa.transition_count(),
+        concepts: session.lattice().len(),
+        baseline,
+        expert,
+        saved: expert.map(|e| baseline.saturating_sub(e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_is_deterministic_and_filters_equivalents() {
+        let (rows_a, summary_a) = mutation_matrix(7, 4);
+        let (rows_b, summary_b) = mutation_matrix(7, 4);
+        assert_eq!(rows_a.len(), rows_b.len());
+        assert_eq!(summary_a.mutants, summary_b.mutants);
+        assert_eq!(summary_a.equivalent_survivors, 0);
+        assert_eq!(summary_a.families, 3);
+        assert_eq!(summary_a.mutants, 12, "4 survivors per family");
+        for (a, b) in rows_a.iter().zip(&rows_b) {
+            assert_eq!(a.family, b.family);
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.witness, b.witness);
+            assert_eq!(a.baseline, b.baseline);
+            assert_eq!(a.expert, b.expert);
+        }
+        assert_eq!(summary_b.equivalent_survivors, 0);
+    }
+
+    #[test]
+    fn rows_carry_nonempty_witnesses_and_costs() {
+        let (rows, summary) = mutation_matrix(11, 3);
+        assert_eq!(rows.len(), 9);
+        assert!(summary.candidates >= summary.mutants as u64);
+        for r in &rows {
+            assert!(r.witness_len >= 1 || r.witness.is_empty());
+            assert!(r.baseline >= 2, "{}: baseline is 2 per class", r.family);
+            assert!(r.unique >= 1);
+            assert!(r.concepts >= 1);
+            if let (Some(e), Some(s)) = (r.expert, r.saved) {
+                assert_eq!(s, r.baseline.saturating_sub(e));
+            }
+        }
+    }
+}

@@ -79,21 +79,25 @@ impl PreparedSpec {
     }
 }
 
+/// Extracts the interesting scenario traces from a generated workload.
+///
+/// §5.1: "we removed some traces before debugging three specifications …
+/// The removed traces had an uninteresting selection value."
+pub fn extract_scenarios(spec: &SpecDef, workload: &[Trace], vocab: &Vocab) -> TraceSet {
+    FrontEnd::new(spec.seeds())
+        .extract_all(workload, vocab)
+        .iter()
+        .map(|(_, t)| t.clone())
+        .filter(|t| spec.is_interesting(t, vocab))
+        .collect()
+}
+
 /// Runs the pipeline for one specification.
 pub fn prepare(spec: &SpecDef, seed: u64) -> PreparedSpec {
     let mut vocab = Vocab::new();
     let workload = spec.generate(seed, &mut vocab);
     let miner = Miner::new(spec.seeds());
-    let front = FrontEnd::new(spec.seeds());
-    // §5.1: "we removed some traces before debugging three
-    // specifications … The removed traces had an uninteresting selection
-    // value."
-    let scenarios: TraceSet = front
-        .extract_all(&workload, &vocab)
-        .iter()
-        .map(|(_, t)| t.clone())
-        .filter(|t| spec.is_interesting(t, &vocab))
-        .collect();
+    let scenarios = extract_scenarios(spec, &workload, &vocab);
     let mined_fa = miner.back.mine_set(&scenarios);
     let oracle = spec.oracle(&mut vocab);
     let scenario_list: Vec<Trace> = scenarios.iter().map(|(_, t)| t.clone()).collect();

@@ -13,8 +13,11 @@
 //!   concept analysis (§3.2) and therefore the definition of trace
 //!   similarity,
 //! * classical automaton algebra ([`ops`]): determinisation, completion,
-//!   product, DFA minimisation, and language-equivalence checking — used
-//!   to validate mined specifications against ground truth,
+//!   complement, products (intersection, union, difference, symmetric
+//!   difference), DFA minimisation, language-equivalence checking, and
+//!   shortest-distinguishing-witness extraction ([`Fa::distinguishing_trace`])
+//!   — used to validate mined specifications against ground truth and to
+//!   diff buggy specs against fixed ones (`cable diff-spec`),
 //! * the three **template FAs** of §4.1 ([`templates`]): unordered, name
 //!   projection, and seed order, used by Cable's *Focus* command,
 //! * DOT export ([`dot`]) and a parseable text format ([`text`]).
@@ -57,6 +60,6 @@ pub mod text;
 pub use builder::FaBuilder;
 pub use fa::{Fa, StateId, TransId, Transition};
 pub use label::{ArgPat, EventPat, TransLabel};
-pub use ops::Dfa;
+pub use ops::{Dfa, WitnessLetter};
 pub use run::SweepStop;
 pub use text::ParseFaError;

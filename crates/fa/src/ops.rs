@@ -19,8 +19,9 @@
 use crate::fa::{Fa, StateId};
 use crate::label::{ArgPat, EventPat, TransLabel};
 use cable_obs::CounterHandle;
-use cable_util::BitSet;
-use std::collections::{HashMap, VecDeque};
+use cable_trace::{Arg, Event, Trace, Var, Vocab};
+use cable_util::{BitSet, Symbol};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Subset constructions performed.
 static DETERMINIZE_CALLS: CounterHandle = CounterHandle::new("fa.determinize.calls");
@@ -30,6 +31,9 @@ static DETERMINIZE_STATES: CounterHandle = CounterHandle::new("fa.determinize.df
 static MINIMIZE_CALLS: CounterHandle = CounterHandle::new("fa.minimize.calls");
 /// States removed by minimisation (input minus output states).
 static MINIMIZE_STATES_REMOVED: CounterHandle = CounterHandle::new("fa.minimize.states_removed");
+/// Product-DFA states created by the algebra's synchronous products
+/// (intersection, union, difference, symmetric difference).
+static PRODUCT_STATES: CounterHandle = CounterHandle::new("fa.algebra.product_states");
 
 /// Tests whether two argument patterns can match a common argument.
 fn arg_pats_overlap(a: &ArgPat, b: &ArgPat) -> bool {
@@ -329,6 +333,358 @@ impl Dfa {
     /// measure for Table 1).
     pub fn minimal_state_count(&self) -> usize {
         self.minimize().state_count()
+    }
+
+    /// The complement over the same letter alphabet.
+    ///
+    /// Completes first, then flips every state's acceptance — including
+    /// the rejecting sink the completion may introduce, which becomes
+    /// accepting. The order matters: flipping before completing (or not
+    /// completing at all) silently drops exactly the strings on which
+    /// the original automaton dies, and those are complement members.
+    /// Wildcard-heavy automata are the other edge: their completed DFA
+    /// may already be total (every letter, including `Other`, steps
+    /// somewhere), so no sink exists and the flip alone is the whole
+    /// complement. Both edges have regression tests.
+    pub fn complement(&self) -> Dfa {
+        let d = self.complete();
+        let n = d.state_count();
+        let mut accepts = BitSet::with_capacity(n);
+        for s in 0..n {
+            if !d.is_accept(s as u32) {
+                accepts.insert(s);
+            }
+        }
+        Dfa { accepts, ..d }
+    }
+
+    /// The synchronous product with an arbitrary acceptance combiner.
+    /// Both operands are completed first, so the product is total and
+    /// covers the full letter space (including `Other`).
+    fn product_with<F: Fn(bool, bool) -> bool>(&self, other: &Dfa, accept: F) -> Dfa {
+        assert_eq!(
+            self.labels, other.labels,
+            "product requires the same letter alphabet"
+        );
+        let a = self.complete();
+        let b = other.complete();
+        let letters = a.letter_count();
+        let mut states: HashMap<(u32, u32), u32> = HashMap::new();
+        let mut order = vec![(a.start, b.start)];
+        states.insert((a.start, b.start), 0);
+        let mut delta: Vec<Vec<Option<u32>>> = Vec::new();
+        let mut accepts = BitSet::new();
+        let mut i = 0;
+        while i < order.len() {
+            let (x, y) = order[i];
+            if accept(a.is_accept(x), b.is_accept(y)) {
+                accepts.insert(i);
+            }
+            let mut row = Vec::with_capacity(letters);
+            for l in 0..letters {
+                let pair = (
+                    a.step(x, l).expect("complete"),
+                    b.step(y, l).expect("complete"),
+                );
+                let id = *states.entry(pair).or_insert_with(|| {
+                    order.push(pair);
+                    (order.len() - 1) as u32
+                });
+                row.push(Some(id));
+            }
+            delta.push(row);
+            i += 1;
+        }
+        PRODUCT_STATES.get().add(order.len() as u64);
+        Dfa {
+            labels: a.labels.clone(),
+            delta,
+            start: 0,
+            accepts,
+        }
+    }
+
+    /// Product accepting iff both operands accept.
+    pub fn intersect(&self, other: &Dfa) -> Dfa {
+        self.product_with(other, |x, y| x && y)
+    }
+
+    /// Product accepting iff either operand accepts.
+    pub fn union(&self, other: &Dfa) -> Dfa {
+        self.product_with(other, |x, y| x || y)
+    }
+
+    /// Product accepting iff `self` accepts and `other` does not
+    /// (`self ∩ ¬other`).
+    pub fn minus(&self, other: &Dfa) -> Dfa {
+        self.product_with(other, |x, y| x && !y)
+    }
+
+    /// Product accepting iff exactly one operand accepts: the union of
+    /// `self ∩ ¬other` and `other ∩ ¬self` over one shared state space.
+    pub fn symmetric_difference(&self, other: &Dfa) -> Dfa {
+        self.product_with(other, |x, y| x != y)
+    }
+
+    /// Tests whether the two DFAs (over the same letter alphabet) accept
+    /// the same letter language.
+    pub fn same_language(&self, other: &Dfa) -> bool {
+        self.symmetric_difference(other).is_empty_language()
+    }
+
+    /// Tests whether no letter string is accepted.
+    pub fn is_empty_language(&self) -> bool {
+        self.shortest_accepted().is_none()
+    }
+
+    /// A shortest accepted letter string (BFS from the start), or `None`
+    /// for the empty language. Ties are broken deterministically by
+    /// letter order.
+    pub fn shortest_accepted(&self) -> Option<Vec<usize>> {
+        let n = self.state_count();
+        let mut prev: Vec<Option<(u32, usize)>> = vec![None; n];
+        let mut seen = vec![false; n];
+        let mut queue = VecDeque::from([self.start]);
+        seen[self.start as usize] = true;
+        while let Some(s) = queue.pop_front() {
+            if self.is_accept(s) {
+                let mut letters = Vec::new();
+                let mut cur = s;
+                while let Some((p, l)) = prev[cur as usize] {
+                    letters.push(l);
+                    cur = p;
+                }
+                letters.reverse();
+                return Some(letters);
+            }
+            for l in 0..self.letter_count() {
+                if let Some(next) = self.step(s, l) {
+                    if !seen[next as usize] {
+                        seen[next as usize] = true;
+                        prev[next as usize] = Some((s, l));
+                        queue.push_back(next);
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+/// One letter of a distinguishing witness between two specifications.
+///
+/// Letters are drawn from the meet-closed union alphabet of the two
+/// automata (see [`Fa::determinize_with_alphabet`]); `Other` stands for
+/// any event matching none of those labels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WitnessLetter {
+    /// A concrete letter: a label from the meet-closed union alphabet.
+    Label(TransLabel),
+    /// The synthetic letter for events outside the shared alphabet
+    /// (only wildcard transitions fire on it).
+    Other,
+}
+
+impl Fa {
+    /// The union of the two automata's concrete alphabets, deduplicated
+    /// in first-appearance order (self's labels first).
+    pub fn union_alphabet(&self, other: &Fa) -> Vec<TransLabel> {
+        let mut alphabet: Vec<TransLabel> = self.concrete_labels().into_iter().cloned().collect();
+        for l in other.concrete_labels() {
+            if !alphabet.contains(l) {
+                alphabet.push(l.clone());
+            }
+        }
+        alphabet
+    }
+
+    /// Tests whether diffing this spec against `other` is meaningful:
+    /// they share at least one operation, or either side has a wildcard
+    /// (and thus speaks about every operation), or either side has no
+    /// concrete labels at all. Two specs over disjoint operation sets
+    /// trivially differ on any single event, so a "minimal
+    /// distinguishing trace" between them carries no information;
+    /// `cable diff-spec` refuses such pairs (exit 2).
+    pub fn alphabet_compatible(&self, other: &Fa) -> bool {
+        if self.has_wildcard() || other.has_wildcard() {
+            return true;
+        }
+        let ops = |fa: &Fa| -> HashSet<Symbol> {
+            fa.concrete_labels()
+                .into_iter()
+                .filter_map(|l| l.as_pat().map(|p| p.op))
+                .collect()
+        };
+        let mine = ops(self);
+        let theirs = ops(other);
+        if mine.is_empty() || theirs.is_empty() {
+            return true;
+        }
+        !mine.is_disjoint(&theirs)
+    }
+
+    /// The complement DFA over an explicit alphabet.
+    ///
+    /// Wildcard-aware: wildcard entries in the requested alphabet are
+    /// ignored (a wildcard is not a letter — it already fires on every
+    /// letter including `Other`), and this automaton's own concrete
+    /// labels are always included, so the call never panics on a label
+    /// missing from the alphabet.
+    pub fn complement_over(&self, alphabet: &[TransLabel]) -> Dfa {
+        let mut full: Vec<TransLabel> = self.concrete_labels().into_iter().cloned().collect();
+        for l in alphabet {
+            if !l.is_wildcard() && !full.contains(l) {
+                full.push(l.clone());
+            }
+        }
+        self.determinize_with_alphabet(&full).complement()
+    }
+
+    /// The difference `self \ other` as a DFA over the meet-closed union
+    /// alphabet: accepts exactly the letter strings `self` accepts and
+    /// `other` rejects.
+    pub fn difference(&self, other: &Fa) -> Dfa {
+        let alphabet = self.union_alphabet(other);
+        let a = self.determinize_with_alphabet(&alphabet);
+        let b = other.determinize_with_alphabet(&alphabet);
+        a.minus(&b)
+    }
+
+    /// A shortest letter string accepted by exactly one of the two
+    /// automata, or `None` when they are language-equivalent.
+    ///
+    /// Implemented as a BFS over the completed synchronous product with
+    /// XOR acceptance — the union of the `self ∩ ¬other` and
+    /// `other ∩ ¬self` products over one shared state space, so a single
+    /// search finds the minimum over both directions.
+    pub fn distinguishing_witness(&self, other: &Fa) -> Option<Vec<WitnessLetter>> {
+        let alphabet = self.union_alphabet(other);
+        let a = self.determinize_with_alphabet(&alphabet);
+        let b = other.determinize_with_alphabet(&alphabet);
+        let sym = a.symmetric_difference(&b);
+        let letters = sym.shortest_accepted()?;
+        let concrete = sym.labels().len();
+        Some(
+            letters
+                .into_iter()
+                .map(|l| {
+                    if l < concrete {
+                        WitnessLetter::Label(sym.labels()[l].clone())
+                    } else {
+                        WitnessLetter::Other
+                    }
+                })
+                .collect(),
+        )
+    }
+
+    /// A minimal distinguishing trace: the witness of
+    /// [`Fa::distinguishing_witness`] realised as concrete events (see
+    /// [`Fa::realize_witness`]), or `None` when the automata are
+    /// language-equivalent. Replayed through both automata with
+    /// [`Fa::accepts`], the trace is accepted by exactly one.
+    pub fn distinguishing_trace(&self, other: &Fa, vocab: &mut Vocab) -> Option<Trace> {
+        let witness = self.distinguishing_witness(other)?;
+        Some(self.realize_witness(other, &witness, vocab))
+    }
+
+    /// Realises a letter-level witness as a concrete event trace whose
+    /// NFA replay follows exactly the witness letters, on both automata.
+    ///
+    /// Each letter label is instantiated so the resulting event matches
+    /// precisely the alphabet labels that subsume that letter (plus
+    /// wildcards): `Var`/`Atom` argument patterns are kept verbatim,
+    /// `_` (any) positions get a fresh variable no label mentions,
+    /// op-only letters get an arity exceeding every argument-carrying
+    /// label of the same operation, and `Other` becomes an event on a
+    /// fresh operation (`__other`) neither automaton names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if realisation would exhaust the `u8` variable space —
+    /// unreachable for this workspace's specs, whose labels mention at
+    /// most a handful of variables.
+    pub fn realize_witness(
+        &self,
+        other: &Fa,
+        witness: &[WitnessLetter],
+        vocab: &mut Vocab,
+    ) -> Trace {
+        let closure = meet_closure(&self.union_alphabet(other));
+        // A variable index strictly above everything any label mentions:
+        // events built from it match no Var pattern.
+        let mut max_var: i32 = -1;
+        for l in &closure {
+            if let Some(p) = l.as_pat() {
+                if let Some(args) = &p.args {
+                    for a in args {
+                        if let ArgPat::Var(v) = a {
+                            max_var = max_var.max(i32::from(v.0));
+                        }
+                    }
+                }
+            }
+        }
+        let fresh_base = u8::try_from(max_var + 1).expect("variable space exhausted");
+        let fresh_var = |i: usize| {
+            let idx = usize::from(fresh_base) + i;
+            Arg::Var(Var(u8::try_from(idx).expect("variable space exhausted")))
+        };
+        let used_ops: HashSet<Symbol> = closure
+            .iter()
+            .filter_map(|l| l.as_pat().map(|p| p.op))
+            .collect();
+        let events = witness
+            .iter()
+            .map(|letter| match letter {
+                WitnessLetter::Other => {
+                    // An operation no label names: matches only wildcards.
+                    let mut k = 0usize;
+                    loop {
+                        let name = if k == 0 {
+                            "__other".to_owned()
+                        } else {
+                            format!("__other{k}")
+                        };
+                        let op = vocab.op(&name);
+                        if !used_ops.contains(&op) {
+                            return Event::new(op, vec![fresh_var(0)]);
+                        }
+                        k += 1;
+                    }
+                }
+                WitnessLetter::Label(TransLabel::Wildcard) => {
+                    unreachable!("witness letters are concrete")
+                }
+                WitnessLetter::Label(TransLabel::Pat(p)) => match &p.args {
+                    Some(args) => Event::new(
+                        p.op,
+                        args.iter()
+                            .enumerate()
+                            .map(|(i, a)| match a {
+                                ArgPat::Var(v) => Arg::Var(*v),
+                                ArgPat::Atom(s) => Arg::Atom(*s),
+                                ArgPat::Any => fresh_var(i),
+                            })
+                            .collect(),
+                    ),
+                    None => {
+                        // Op-only letter: pick an arity no argument-carrying
+                        // label of this op has, so only op-only labels (and
+                        // wildcards) match.
+                        let max_arity = closure
+                            .iter()
+                            .filter_map(|l| l.as_pat())
+                            .filter(|q| q.op == p.op)
+                            .filter_map(|q| q.args.as_ref().map(Vec::len))
+                            .max();
+                        let arity = max_arity.map_or(1, |m| m + 1);
+                        Event::new(p.op, (0..arity).map(fresh_var).collect())
+                    }
+                },
+            })
+            .collect();
+        Trace::new(events)
     }
 }
 
@@ -931,5 +1287,201 @@ mod tests {
         // f*: minimal complete DFA over {f}: one accept state + sink... but
         // on alphabet {f, Other}: accept state loops on f, Other -> sink.
         assert_eq!(dfa.minimal_state_count(), 2);
+    }
+
+    /// An automaton accepting everything (wildcard self-loop).
+    fn universal_fa() -> Fa {
+        let mut b = FaBuilder::new();
+        let s = b.state();
+        b.start(s).accept(s);
+        b.wildcard(s, s);
+        b.build()
+    }
+
+    #[test]
+    fn complement_completes_before_flipping() {
+        // Language {f}: the incomplete DFA has no explicit dead state, so
+        // a flip-without-complete would lose the sink — exactly the
+        // strings ff, fff, … and every Other-containing string that the
+        // complement must accept.
+        let mut v = Vocab::new();
+        let dfa = linear_fa(&["f"], &mut v).determinize();
+        let comp = dfa.complement();
+        assert!(comp.accepts_letters(&[]), "ε is not in {{f}}");
+        assert!(!comp.accepts_letters(&[0]));
+        assert!(comp.accepts_letters(&[0, 0]), "sink must be accepting");
+        assert!(comp.accepts_letters(&[1]), "Other leads to the sink");
+        // The complement is itself complete: complementing again restores
+        // the original language.
+        assert!(comp.complement().same_language(&dfa.complete()));
+    }
+
+    #[test]
+    fn complement_of_universal_wildcard_is_empty() {
+        // A wildcard-total automaton determinises to a DFA that is
+        // already complete (every letter, including Other, steps) — no
+        // sink is added, and the flipped DFA accepts nothing.
+        let mut v = Vocab::new();
+        let fx = TransLabel::Pat(EventPat::on_var(v.op("f"), cable_trace::Var(0)));
+        let universal = universal_fa();
+        let d = universal.determinize_with_alphabet(std::slice::from_ref(&fx));
+        assert_eq!(
+            d.complete().state_count(),
+            d.state_count(),
+            "wildcard-total DFA needs no sink"
+        );
+        assert!(universal.complement_over(&[fx]).is_empty_language());
+    }
+
+    #[test]
+    fn complement_keeps_sink_with_wildcard_suffix() {
+        // f then anything*: the wildcard keeps the post-f states total,
+        // but the start state still dies on Other — the completion's sink
+        // must survive into the complement as an accepting state.
+        let mut v = Vocab::new();
+        let mut b = FaBuilder::new();
+        let s0 = b.state();
+        let s1 = b.state();
+        b.start(s0).accept(s1);
+        b.event_var(s0, "f", s1, &mut v);
+        b.wildcard(s1, s1);
+        let fa = b.build();
+        let comp = fa.determinize().complement();
+        assert!(comp.accepts_letters(&[]));
+        assert!(
+            comp.accepts_letters(&[1]),
+            "Other from start reaches the sink"
+        );
+        assert!(comp.accepts_letters(&[1, 0]), "the sink absorbs");
+        assert!(!comp.accepts_letters(&[0]));
+        assert!(
+            !comp.accepts_letters(&[0, 1]),
+            "wildcard keeps f-prefixed strings"
+        );
+    }
+
+    #[test]
+    fn complement_over_ignores_wildcard_letters() {
+        // A wildcard in the requested alphabet is not a letter; it must
+        // be filtered rather than panicking determinisation.
+        let mut v = Vocab::new();
+        let fx = TransLabel::Pat(EventPat::on_var(v.op("f"), cable_trace::Var(0)));
+        let comp = universal_fa().complement_over(&[TransLabel::Wildcard, fx]);
+        assert!(comp.is_empty_language());
+    }
+
+    #[test]
+    fn dfa_products_follow_boolean_algebra() {
+        let mut v = Vocab::new();
+        let a = linear_fa(&["f"], &mut v);
+        let b = linear_fa(&["f", "f"], &mut v);
+        let alphabet = a.union_alphabet(&b);
+        let da = a.determinize_with_alphabet(&alphabet);
+        let db = b.determinize_with_alphabet(&alphabet);
+        assert!(da.intersect(&db).is_empty_language());
+        let u = da.union(&db);
+        assert!(u.accepts_letters(&[0]));
+        assert!(u.accepts_letters(&[0, 0]));
+        assert!(!u.accepts_letters(&[]));
+        assert_eq!(da.minus(&db).shortest_accepted(), Some(vec![0]));
+        assert_eq!(db.minus(&da).shortest_accepted(), Some(vec![0, 0]));
+        assert!(da.same_language(&da.complement().complement()));
+    }
+
+    #[test]
+    fn difference_of_self_is_empty() {
+        let mut v = Vocab::new();
+        let a = linear_fa(&["f", "g"], &mut v);
+        assert!(a.difference(&a).is_empty_language());
+    }
+
+    #[test]
+    fn distinguishing_witness_is_shortest() {
+        let mut v = Vocab::new();
+        let a = linear_fa(&["f"], &mut v);
+        let b = linear_fa(&["f", "f"], &mut v);
+        let w = a.distinguishing_witness(&b).expect("languages differ");
+        // Both reject ε, so the one-letter string f is minimal.
+        assert_eq!(w.len(), 1);
+        let t = a
+            .distinguishing_trace(&b, &mut v)
+            .expect("languages differ");
+        assert_eq!(t.len(), 1);
+        assert!(a.accepts(&t) != b.accepts(&t), "accepted by exactly one");
+    }
+
+    #[test]
+    fn distinguishing_witness_none_for_equivalent() {
+        let mut v = Vocab::new();
+        let a = linear_fa(&["f", "g"], &mut v);
+        let b = linear_fa(&["f", "g"], &mut v);
+        assert!(a.distinguishing_witness(&b).is_none());
+        assert!(a.distinguishing_trace(&b, &mut v).is_none());
+    }
+
+    #[test]
+    fn witness_realizes_other_letter() {
+        // Universal vs f*: every language difference involves a non-f
+        // event, so the witness is the Other letter and must be realised
+        // as an operation neither spec names.
+        let mut v = Vocab::new();
+        let universal = universal_fa();
+        let mut b = FaBuilder::new();
+        let s = b.state();
+        b.start(s).accept(s);
+        b.event_var(s, "f", s, &mut v);
+        let only_f = b.build();
+        let w = universal.distinguishing_witness(&only_f).expect("differ");
+        assert_eq!(w, vec![WitnessLetter::Other]);
+        let t = universal
+            .distinguishing_trace(&only_f, &mut v)
+            .expect("differ");
+        assert!(universal.accepts(&t) && !only_f.accepts(&t));
+        let shown = format!("{}", t.display(&v));
+        assert!(shown.starts_with("__other("), "fresh op, got {shown}");
+    }
+
+    #[test]
+    fn witness_realizes_refined_op_only_letter() {
+        // Op-only f vs f(X): the distinguishing events match f but not
+        // f(X); realisation picks an arity f(X) cannot match.
+        let mut v = Vocab::new();
+        let mut b = FaBuilder::new();
+        let s0 = b.state();
+        let s1 = b.state();
+        b.start(s0).accept(s1);
+        b.event_op(s0, "f", s1, &mut v);
+        let any_f = b.build();
+        let mut b = FaBuilder::new();
+        let s0 = b.state();
+        let s1 = b.state();
+        b.start(s0).accept(s1);
+        b.event_var(s0, "f", s1, &mut v);
+        let only_fx = b.build();
+        let t = any_f
+            .distinguishing_trace(&only_fx, &mut v)
+            .expect("differ");
+        assert!(any_f.accepts(&t) && !only_fx.accepts(&t));
+        // The realised trace survives a display/parse round trip.
+        let shown = format!("{}", t.display(&v));
+        let reparsed = Trace::parse(&shown, &mut v).unwrap();
+        assert!(any_f.accepts(&reparsed) && !only_fx.accepts(&reparsed));
+    }
+
+    #[test]
+    fn alphabet_compatibility() {
+        let mut v = Vocab::new();
+        let locks = linear_fa(&["lock", "unlock"], &mut v);
+        let files = linear_fa(&["fopen", "fclose"], &mut v);
+        let lock_only = linear_fa(&["lock"], &mut v);
+        assert!(!locks.alphabet_compatible(&files), "disjoint op sets");
+        assert!(locks.alphabet_compatible(&lock_only), "shared op");
+        assert!(locks.alphabet_compatible(&universal_fa()), "wildcard side");
+        assert!(universal_fa().alphabet_compatible(&files));
+        let mut b = FaBuilder::new();
+        let s = b.state();
+        b.start(s).accept(s);
+        let empty = b.build();
+        assert!(empty.alphabet_compatible(&files), "no labels to clash");
     }
 }

@@ -1,0 +1,208 @@
+//! Seeded property tests for the completed automaton algebra: De Morgan
+//! identities, `A \ A ≡ ∅`, complement-as-partition, and minimality of
+//! the distinguishing witness (checked against bounded enumeration).
+//!
+//! Each test runs a fixed number of seeded cases, so failures reproduce
+//! exactly (`seeded(case)` pins the generator).
+
+use cable_fa::ops::WitnessLetter;
+use cable_fa::{Fa, FaBuilder};
+use cable_trace::Vocab;
+use cable_util::rng::{seeded, Rng, SmallRng};
+
+const CASES: u64 = 150;
+
+/// A small random NFA over `f`/`g` labels: `op(X)` patterns, op-only
+/// patterns, and the occasional wildcard.
+fn gen_fa(rng: &mut SmallRng, vocab: &mut Vocab) -> Fa {
+    let n = rng.gen_range(1usize..=4);
+    let mut b = FaBuilder::new();
+    let states = b.states(n);
+    b.start(states[rng.gen_range(0..n)]);
+    let mut any_accept = false;
+    for &s in &states {
+        if rng.gen_bool(0.4) {
+            b.accept(s);
+            any_accept = true;
+        }
+    }
+    if !any_accept && rng.gen_bool(0.5) {
+        b.accept(states[rng.gen_range(0..n)]);
+    }
+    for _ in 0..rng.gen_range(0usize..=8) {
+        let src = states[rng.gen_range(0..n)];
+        let dst = states[rng.gen_range(0..n)];
+        let op = if rng.gen_bool(0.5) { "f" } else { "g" };
+        match rng.gen_range(0u32..10) {
+            9 => {
+                b.wildcard(src, dst);
+            }
+            k if k < 6 => {
+                b.event_var(src, op, dst, vocab);
+            }
+            _ => {
+                b.event_op(src, op, dst, vocab);
+            }
+        }
+    }
+    b.build()
+}
+
+/// All letter strings of length `len` over `letters` letters, fed to `f`.
+fn for_each_string(letters: usize, len: usize, mut f: impl FnMut(&[usize])) {
+    let mut s = vec![0usize; len];
+    loop {
+        f(&s);
+        let mut i = 0;
+        loop {
+            if i == len {
+                return;
+            }
+            s[i] += 1;
+            if s[i] < letters {
+                break;
+            }
+            s[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+#[test]
+fn de_morgan_identities() {
+    for case in 0..CASES {
+        let mut rng = seeded(case);
+        let mut vocab = Vocab::new();
+        let a = gen_fa(&mut rng, &mut vocab);
+        let b = gen_fa(&mut rng, &mut vocab);
+        let alphabet = a.union_alphabet(&b);
+        let da = a.determinize_with_alphabet(&alphabet);
+        let db = b.determinize_with_alphabet(&alphabet);
+        // ¬(A ∪ B) ≡ ¬A ∩ ¬B
+        assert!(
+            da.union(&db)
+                .complement()
+                .same_language(&da.complement().intersect(&db.complement())),
+            "case {case}: ¬(A ∪ B) ≢ ¬A ∩ ¬B"
+        );
+        // ¬(A ∩ B) ≡ ¬A ∪ ¬B
+        assert!(
+            da.intersect(&db)
+                .complement()
+                .same_language(&da.complement().union(&db.complement())),
+            "case {case}: ¬(A ∩ B) ≢ ¬A ∪ ¬B"
+        );
+    }
+}
+
+#[test]
+fn difference_with_self_is_empty() {
+    for case in 0..CASES {
+        let mut rng = seeded(case);
+        let mut vocab = Vocab::new();
+        let a = gen_fa(&mut rng, &mut vocab);
+        assert!(
+            a.difference(&a).is_empty_language(),
+            "case {case}: A \\ A not empty"
+        );
+    }
+}
+
+#[test]
+fn double_complement_is_identity() {
+    for case in 0..CASES {
+        let mut rng = seeded(case);
+        let mut vocab = Vocab::new();
+        let a = gen_fa(&mut rng, &mut vocab);
+        let da = a.determinize();
+        assert!(
+            da.complement().complement().same_language(&da),
+            "case {case}: ¬¬A ≢ A"
+        );
+    }
+}
+
+#[test]
+fn complement_partitions_every_string() {
+    for case in 0..CASES {
+        let mut rng = seeded(case);
+        let mut vocab = Vocab::new();
+        let a = gen_fa(&mut rng, &mut vocab);
+        let da = a.determinize();
+        let comp = da.complement();
+        let letters = da.letter_count();
+        for len in 0..=2 {
+            for_each_string(letters, len, |s| {
+                assert!(
+                    da.accepts_letters(s) != comp.accepts_letters(s),
+                    "case {case}: {s:?} in both A and ¬A (or neither)"
+                );
+            });
+        }
+    }
+}
+
+#[test]
+fn witness_is_distinguishing_and_minimal() {
+    for case in 0..CASES {
+        let mut rng = seeded(case);
+        let mut vocab = Vocab::new();
+        let a = gen_fa(&mut rng, &mut vocab);
+        let b = gen_fa(&mut rng, &mut vocab);
+        let Some(witness) = a.distinguishing_witness(&b) else {
+            assert!(
+                a.equivalent(&b),
+                "case {case}: no witness but not equivalent"
+            );
+            continue;
+        };
+        assert!(!a.equivalent(&b), "case {case}: witness for equivalent FAs");
+        // Map witness letters back to letter indices of the shared DFA
+        // alphabet and replay through both sides.
+        let alphabet = a.union_alphabet(&b);
+        let da = a.determinize_with_alphabet(&alphabet);
+        let db = b.determinize_with_alphabet(&alphabet);
+        let labels = da.labels().to_vec();
+        let as_letters: Vec<usize> = witness
+            .iter()
+            .map(|w| match w {
+                WitnessLetter::Other => labels.len(),
+                WitnessLetter::Label(l) => labels
+                    .iter()
+                    .position(|x| x == l)
+                    .expect("witness letter drawn from the shared alphabet"),
+            })
+            .collect();
+        assert!(
+            da.accepts_letters(&as_letters) != db.accepts_letters(&as_letters),
+            "case {case}: witness {as_letters:?} does not distinguish"
+        );
+        // Minimality: no strictly shorter letter string distinguishes.
+        // Bounded enumeration stays cheap for the short witnesses these
+        // small FAs produce; skip the rare long ones.
+        if witness.len() <= 4 {
+            let letters = da.letter_count();
+            for len in 0..witness.len() {
+                for_each_string(letters, len, |s| {
+                    assert!(
+                        da.accepts_letters(s) == db.accepts_letters(s),
+                        "case {case}: shorter string {s:?} also distinguishes"
+                    );
+                });
+            }
+        }
+        // The realised trace is accepted by exactly one side.
+        let t = a
+            .distinguishing_trace(&b, &mut vocab)
+            .expect("witness exists");
+        assert_eq!(
+            t.len(),
+            witness.len(),
+            "case {case}: realisation changed length"
+        );
+        assert!(
+            a.accepts(&t) != b.accepts(&t),
+            "case {case}: realised trace not distinguishing"
+        );
+    }
+}

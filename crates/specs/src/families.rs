@@ -1,0 +1,83 @@
+//! Generated protocol-family specifications.
+//!
+//! These wrap the parameterised templates of [`cable_workload::families`]
+//! as [`SpecDef`]s so the mutation matrix (`reproduce mutants`) and
+//! ad-hoc experiments can drive them through the standard pipeline. They
+//! are intentionally *not* part of [`crate::registry`]: the main registry
+//! reproduces the paper's seventeen Table-1 specifications exactly, and
+//! the perf baseline is keyed to that population.
+
+use crate::SpecDef;
+use cable_workload::families;
+use cable_workload::{FamilyParams, WorkloadParams};
+
+fn family_params() -> WorkloadParams {
+    WorkloadParams {
+        programs: 48,
+        objects_per_program: (1, 4),
+        error_rate: 0.2,
+        noise_per_object: 0.5,
+        seed: 0,
+    }
+}
+
+/// The three protocol families at the given knob settings.
+pub fn family_specs_with(params: &FamilyParams) -> Vec<SpecDef> {
+    families::all(params)
+        .into_iter()
+        .map(|model| SpecDef {
+            uninteresting_atoms: Vec::new(),
+            model,
+            params: family_params(),
+        })
+        .collect()
+}
+
+/// The three protocol families at default knobs (`depth 2`, `fanout 2`).
+pub fn family_specs() -> Vec<SpecDef> {
+    family_specs_with(&FamilyParams::default())
+}
+
+/// A registry of just the generated families (Locking, FdLife,
+/// SockLife), separate from the paper's seventeen.
+pub fn family_registry() -> crate::Registry {
+    crate::Registry::from_specs(family_specs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cable_trace::Vocab;
+
+    #[test]
+    fn family_registry_is_separate_and_generates() {
+        let reg = family_registry();
+        assert_eq!(reg.len(), 3);
+        assert_eq!(crate::registry().len(), 17, "main registry untouched");
+        for spec in reg.iter() {
+            let mut vocab = Vocab::new();
+            let workload = spec.generate(1, &mut vocab);
+            assert!(!workload.is_empty(), "{} generates traces", spec.name());
+            let oracle = spec.oracle(&mut vocab);
+            assert!(oracle.ground_truth().state_count() > 1, "{}", spec.name());
+        }
+    }
+
+    #[test]
+    fn knobs_flow_through_to_specs() {
+        let deep = family_specs_with(&FamilyParams {
+            depth: 4,
+            fanout: 1,
+        });
+        let shallow = family_specs_with(&FamilyParams {
+            depth: 1,
+            fanout: 1,
+        });
+        let mut v1 = Vocab::new();
+        let mut v2 = Vocab::new();
+        assert!(
+            deep[0].ground_truth(&mut v1).state_count()
+                > shallow[0].ground_truth(&mut v2).state_count()
+        );
+    }
+}

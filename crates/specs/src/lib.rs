@@ -28,6 +28,7 @@
 
 pub mod atoms;
 pub mod display;
+pub mod families;
 pub mod regions;
 pub mod stdio;
 pub mod toolkit;

@@ -1,0 +1,427 @@
+//! Parameterised protocol families: model templates with size and
+//! fan-out knobs.
+//!
+//! The hand-written specs in `cable-specs` pin one protocol each; the
+//! families here *generate* protocol models, so the mutation engine and
+//! the Table-2 matrix can evaluate over a population of (spec, corpus)
+//! pairs instead of a single point. Three families, drawn from the
+//! related work's standard targets:
+//!
+//! * [`locking`] — a nestable locking discipline: `lock`/`unlock` must
+//!   balance, nesting is bounded by `depth`, and `fanout` critical-
+//!   section operations are legal only while the lock is held,
+//! * [`fd_lifecycle`] — a file-descriptor lifecycle: `open`, then
+//!   `fanout` kinds of use, then `close`; at most `depth` reopen cycles
+//!   per descriptor,
+//! * [`socket_lifecycle`] — a socket lifecycle with client and server
+//!   paths: `connect` + `fanout` data operations, or
+//!   `bind`/`listen`/up-to-`depth` `accept_conn` calls; either path ends
+//!   in `close`.
+//!
+//! Each family reuses the X11-style generator's machinery unchanged: the
+//! returned [`ProtocolModel`] plugs into [`crate::generate()`] and the
+//! acceptance [`crate::Oracle`] exactly like the hand-written specs.
+
+use crate::model::ProtocolModel;
+use crate::shape::{ScenarioShape, ShapeMix};
+use std::fmt::Write as _;
+
+/// Size knobs for a protocol family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FamilyParams {
+    /// Structural depth: lock-nesting bound, reopen cycles, or accept
+    /// backlog, per family. Range `1..=8`.
+    pub depth: usize,
+    /// Fan-out: how many distinct "use" operations the protocol offers.
+    /// Range `0..=6`.
+    pub fanout: usize,
+}
+
+impl Default for FamilyParams {
+    fn default() -> Self {
+        FamilyParams {
+            depth: 2,
+            fanout: 2,
+        }
+    }
+}
+
+impl FamilyParams {
+    fn validate(self) {
+        assert!(
+            (1..=8).contains(&self.depth),
+            "family depth must be in 1..=8, got {}",
+            self.depth
+        );
+        assert!(
+            self.fanout <= 6,
+            "family fanout must be in 0..=6, got {}",
+            self.fanout
+        );
+    }
+}
+
+/// Builds a fixed shape from owned op names.
+fn fixed(ops: &[String]) -> ScenarioShape {
+    let refs: Vec<&str> = ops.iter().map(String::as_str).collect();
+    ScenarioShape::fixed(&refs)
+}
+
+/// Builds a loop shape from owned op names.
+fn looped(pre: &[String], body: &[String], mean: f64, post: &[String]) -> ScenarioShape {
+    let pre: Vec<&str> = pre.iter().map(String::as_str).collect();
+    let body: Vec<&str> = body.iter().map(String::as_str).collect();
+    let post: Vec<&str> = post.iter().map(String::as_str).collect();
+    ScenarioShape::with_loop(&pre, &body, mean, &post)
+}
+
+fn owned(ops: &[&str]) -> Vec<String> {
+    ops.iter().map(|s| (*s).to_owned()).collect()
+}
+
+fn repeat(op: &str, n: usize) -> Vec<String> {
+    vec![op.to_owned(); n]
+}
+
+/// A nestable locking discipline.
+///
+/// Ground truth: a chain `s0 … s_depth` where `lock` moves up, `unlock`
+/// moves down, the critical-section operations self-loop on every held
+/// level, and only the fully-released `s0` accepts. Error modes: lock
+/// leaks, double unlock, nesting past `depth`, and critical-section
+/// operations outside the lock.
+pub fn locking(params: &FamilyParams) -> ProtocolModel {
+    params.validate();
+    let FamilyParams { depth, fanout } = *params;
+    const WORK_POOL: [&str; 6] = [
+        "read_shared",
+        "write_shared",
+        "update_stats",
+        "flush_cache",
+        "check_inv",
+        "signal_cond",
+    ];
+    let works = owned(&WORK_POOL[..fanout]);
+    let mut text = String::from("start s0\naccept s0\n");
+    for k in 0..depth {
+        writeln!(text, "s{k} -> s{} : lock(X)", k + 1).unwrap();
+        writeln!(text, "s{} -> s{k} : unlock(X)", k + 1).unwrap();
+    }
+    for k in 1..=depth {
+        for w in &works {
+            writeln!(text, "s{k} -> s{k} : {w}(X)").unwrap();
+        }
+    }
+    let mut correct = vec![
+        (
+            4.0,
+            if works.is_empty() {
+                fixed(&owned(&["lock", "unlock"]))
+            } else {
+                looped(&owned(&["lock"]), &works, 1.5, &owned(&["unlock"]))
+            },
+        ),
+        (2.0, fixed(&owned(&["lock", "unlock"]))),
+        (1.0, fixed(&owned(&["lock", "unlock", "lock", "unlock"]))),
+    ];
+    if depth >= 2 {
+        // Fully nested acquisition to the legal bound.
+        let mut ops = repeat("lock", depth);
+        if let Some(w) = works.first() {
+            ops.push(w.clone());
+        }
+        ops.extend(repeat("unlock", depth));
+        correct.push((1.5, fixed(&ops)));
+    }
+    let mut over = repeat("lock", depth + 1);
+    over.extend(repeat("unlock", depth + 1));
+    let mut erroneous = vec![
+        (2.0, fixed(&owned(&["lock"]))),
+        (1.5, fixed(&owned(&["lock", "unlock", "unlock"]))),
+        (1.0, fixed(&over)),
+    ];
+    if let Some(w) = works.first() {
+        // Critical-section work after release.
+        erroneous.push((
+            1.0,
+            fixed(&["lock".to_owned(), w.clone(), "unlock".to_owned(), w.clone()]),
+        ));
+    }
+    ProtocolModel {
+        name: "Locking".into(),
+        description: format!(
+            "lock/unlock balance with nesting bounded by {depth}; \
+             {fanout} critical-section ops legal only while held"
+        ),
+        ground_truth_text: text,
+        seed_ops: vec!["lock".into()],
+        correct: ShapeMix::new(correct),
+        erroneous: ShapeMix::new(erroneous),
+        noise_ops: vec![
+            "sched_yield".into(),
+            "getpid".into(),
+            "clock_gettime".into(),
+        ],
+    }
+}
+
+/// A file-descriptor lifecycle with bounded reopen.
+///
+/// Ground truth: up to `depth` open/use*/close cycles; every closed
+/// state accepts. Error modes: descriptor leaks, double close,
+/// use-after-close, and reopening past the cycle bound.
+pub fn fd_lifecycle(params: &FamilyParams) -> ProtocolModel {
+    params.validate();
+    let FamilyParams { depth, fanout } = *params;
+    const USE_POOL: [&str; 6] = ["read", "write", "seek", "fstat", "ioctl", "poll"];
+    let uses = owned(&USE_POOL[..fanout]);
+    let mut text = String::from("start c0\n");
+    for k in 0..=depth {
+        writeln!(text, "accept c{k}").unwrap();
+    }
+    for k in 1..=depth {
+        writeln!(text, "c{} -> o{k} : open(X)", k - 1).unwrap();
+        for u in &uses {
+            writeln!(text, "o{k} -> o{k} : {u}(X)").unwrap();
+        }
+        writeln!(text, "o{k} -> c{k} : close(X)").unwrap();
+    }
+    let mut correct = vec![
+        (
+            4.0,
+            if uses.is_empty() {
+                fixed(&owned(&["open", "close"]))
+            } else {
+                looped(&owned(&["open"]), &uses, 2.0, &owned(&["close"]))
+            },
+        ),
+        (2.0, fixed(&owned(&["open", "close"]))),
+    ];
+    if depth >= 2 {
+        let mut ops = Vec::new();
+        for _ in 0..depth {
+            ops.push("open".to_owned());
+            if let Some(u) = uses.first() {
+                ops.push(u.clone());
+            }
+            ops.push("close".to_owned());
+        }
+        correct.push((1.0, fixed(&ops)));
+    }
+    let mut over = Vec::new();
+    for _ in 0..=depth {
+        over.push("open".to_owned());
+        over.push("close".to_owned());
+    }
+    let mut erroneous = vec![
+        (2.0, fixed(&owned(&["open"]))),
+        (1.5, fixed(&owned(&["open", "close", "close"]))),
+        (1.0, fixed(&over)),
+    ];
+    if let Some(u) = uses.first() {
+        erroneous.push((
+            1.5,
+            fixed(&["open".to_owned(), "close".to_owned(), u.clone()]),
+        ));
+    }
+    ProtocolModel {
+        name: "FdLife".into(),
+        description: format!(
+            "open/use/close descriptor lifecycle; {fanout} use ops, \
+             at most {depth} reopen cycles"
+        ),
+        ground_truth_text: text,
+        seed_ops: vec!["open".into()],
+        correct: ShapeMix::new(correct),
+        erroneous: ShapeMix::new(erroneous),
+        noise_ops: vec!["getpid".into(), "clock_gettime".into(), "sbrk".into()],
+    }
+}
+
+/// A socket lifecycle with client and server paths.
+///
+/// Ground truth: `socket`, then either `connect` with data-op self-loops
+/// (client) or `bind`/`listen` with at most `depth` `accept_conn` calls
+/// (server); both paths — and a bare created socket — end with `close`.
+/// Error modes: socket leaks, data before connect, double close, and
+/// accepting past the backlog bound.
+pub fn socket_lifecycle(params: &FamilyParams) -> ProtocolModel {
+    params.validate();
+    let FamilyParams { depth, fanout } = *params;
+    const DATA_POOL: [&str; 6] = ["send", "recv", "sendto", "recvfrom", "peek", "send_file"];
+    let datas = owned(&DATA_POOL[..fanout]);
+    let mut text = String::from("start s0\naccept sE\n");
+    text.push_str("s0 -> s1 : socket(X)\n");
+    text.push_str("s1 -> s2 : connect(X)\n");
+    for d in &datas {
+        writeln!(text, "s2 -> s2 : {d}(X)").unwrap();
+    }
+    text.push_str("s2 -> sE : close(X)\n");
+    text.push_str("s1 -> sE : close(X)\n");
+    text.push_str("s1 -> b0 : bind(X)\n");
+    text.push_str("b0 -> l0 : listen(X)\n");
+    for k in 0..depth {
+        writeln!(text, "l{k} -> l{} : accept_conn(X)", k + 1).unwrap();
+    }
+    for k in 0..=depth {
+        writeln!(text, "l{k} -> sE : close(X)").unwrap();
+    }
+    let mut server = owned(&["socket", "bind", "listen"]);
+    server.extend(repeat("accept_conn", depth));
+    server.push("close".to_owned());
+    let correct = vec![
+        (
+            4.0,
+            if datas.is_empty() {
+                fixed(&owned(&["socket", "connect", "close"]))
+            } else {
+                looped(
+                    &owned(&["socket", "connect"]),
+                    &datas,
+                    2.0,
+                    &owned(&["close"]),
+                )
+            },
+        ),
+        (2.0, fixed(&server)),
+        (1.0, fixed(&owned(&["socket", "close"]))),
+    ];
+    let mut overflow = owned(&["socket", "bind", "listen"]);
+    overflow.extend(repeat("accept_conn", depth + 1));
+    overflow.push("close".to_owned());
+    let mut erroneous = vec![
+        (2.0, fixed(&owned(&["socket", "connect"]))),
+        (1.5, fixed(&owned(&["socket", "connect", "close", "close"]))),
+        (1.0, fixed(&overflow)),
+    ];
+    if let Some(d) = datas.first() {
+        // Data before connect.
+        erroneous.push((
+            1.5,
+            fixed(&["socket".to_owned(), d.clone(), "close".to_owned()]),
+        ));
+    }
+    ProtocolModel {
+        name: "SockLife".into(),
+        description: format!(
+            "socket lifecycle: connect + {fanout} data ops, or \
+             bind/listen with backlog {depth}; both paths close"
+        ),
+        ground_truth_text: text,
+        seed_ops: vec!["socket".into()],
+        correct: ShapeMix::new(correct),
+        erroneous: ShapeMix::new(erroneous),
+        noise_ops: vec!["getpid".into(), "clock_gettime".into(), "sigaction".into()],
+    }
+}
+
+/// All three families at the same knob settings.
+pub fn all(params: &FamilyParams) -> Vec<ProtocolModel> {
+    vec![
+        locking(params),
+        fd_lifecycle(params),
+        socket_lifecycle(params),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::Oracle;
+    use crate::shape::scenario_trace;
+    use cable_trace::Vocab;
+    use cable_util::rng::seeded;
+
+    /// Every sampled correct shape must be accepted by the family's own
+    /// ground truth; every erroneous shape must be rejected. This is the
+    /// invariant the acceptance oracle rests on.
+    fn check_model(model: &ProtocolModel, cases: usize) {
+        let mut vocab = Vocab::new();
+        let fa = model.ground_truth(&mut vocab);
+        let oracle = Oracle::new(fa);
+        let mut rng = seeded(0xFA41);
+        for i in 0..cases {
+            let good = scenario_trace(&model.correct.sample(&mut rng), &mut vocab);
+            assert!(
+                oracle.is_good(&good),
+                "{} case {i}: correct shape rejected: {}",
+                model.name,
+                good.display(&vocab)
+            );
+            let bad = scenario_trace(&model.erroneous.sample(&mut rng), &mut vocab);
+            assert!(
+                !oracle.is_good(&bad),
+                "{} case {i}: erroneous shape accepted: {}",
+                model.name,
+                bad.display(&vocab)
+            );
+        }
+    }
+
+    #[test]
+    fn oracle_invariant_at_default_knobs() {
+        for model in all(&FamilyParams::default()) {
+            check_model(&model, 60);
+        }
+    }
+
+    #[test]
+    fn oracle_invariant_across_knob_grid() {
+        for depth in [1, 2, 4] {
+            for fanout in [0, 1, 3, 6] {
+                for model in all(&FamilyParams { depth, fanout }) {
+                    check_model(&model, 25);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn knobs_scale_the_ground_truth() {
+        let mut v = Vocab::new();
+        let small = locking(&FamilyParams {
+            depth: 1,
+            fanout: 0,
+        })
+        .ground_truth(&mut v);
+        let big = locking(&FamilyParams {
+            depth: 4,
+            fanout: 3,
+        })
+        .ground_truth(&mut v);
+        assert!(big.state_count() > small.state_count());
+        assert!(big.transition_count() > small.transition_count());
+        let thin = fd_lifecycle(&FamilyParams {
+            depth: 1,
+            fanout: 0,
+        })
+        .ground_truth(&mut v);
+        let wide = fd_lifecycle(&FamilyParams {
+            depth: 1,
+            fanout: 6,
+        })
+        .ground_truth(&mut v);
+        assert!(wide.transition_count() > thin.transition_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "family depth")]
+    fn zero_depth_is_rejected() {
+        locking(&FamilyParams {
+            depth: 0,
+            fanout: 1,
+        });
+    }
+
+    #[test]
+    fn families_have_distinct_names_and_seeds() {
+        let models = all(&FamilyParams::default());
+        let names: std::collections::HashSet<&str> =
+            models.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names.len(), 3);
+        for m in &models {
+            assert!(!m.seed_ops.is_empty());
+            assert!(!m.scenario_ops().is_empty());
+        }
+    }
+}

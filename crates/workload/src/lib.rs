@@ -20,11 +20,13 @@
 //! ground-truth acceptance; it is the reference labeling against which
 //! the §4.2 strategies are costed.
 
+pub mod families;
 pub mod generate;
 pub mod model;
 pub mod oracle;
 pub mod shape;
 
+pub use families::FamilyParams;
 pub use generate::{generate, WorkloadParams};
 pub use model::ProtocolModel;
 pub use oracle::Oracle;

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Mutation drill for the cable-mutate engine and the completed automaton
+# algebra.
+#
+# Runs the mutation matrix (`reproduce mutants`) twice — sequentially
+# (CABLE_PAR=1) and on eight workers (CABLE_PAR=8) — with a fixed seed,
+# then gates on:
+#
+#   * at least 100 `mutation_row` records (the ISSUE's matrix floor),
+#   * `equivalent_survivors` is exactly 0 (the engine's equivalence
+#     filter let no no-op mutant through, re-verified per survivor),
+#   * the algebra and engine counters (`fa.algebra.product_states`,
+#     `mutate.mutants_filtered`) appear in the pipeline snapshot,
+#   * the two runs are byte-identical once timing is stripped
+#     (`reproduce diff`), proving the matrix is deterministic in the
+#     worker count.
+#
+# The sequential run's records are left at MUT_record.json in the
+# current directory for CI artifact upload.
+#
+# Usage: scripts/mutation_drill.sh [path/to/reproduce]
+set -euo pipefail
+
+REPRODUCE=${1:-target/release/reproduce}
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+SEED=2003
+
+echo "== mutation matrix, sequential (CABLE_PAR=1, seed $SEED)"
+CABLE_PAR=1 "$REPRODUCE" mutants --seed "$SEED" --json-out MUT_record.json \
+  >"$work/out_par1.txt"
+
+echo "== mutation matrix, parallel (CABLE_PAR=8, seed $SEED)"
+CABLE_PAR=8 "$REPRODUCE" mutants --seed "$SEED" --json-out "$work/MUT_par8.json" \
+  >"$work/out_par8.txt"
+
+rows=$(grep -c '"record":"mutation_row"' MUT_record.json)
+if [ "$rows" -lt 100 ]; then
+  echo "error: only $rows mutation rows (need >= 100)" >&2
+  exit 1
+fi
+echo "  $rows mutation rows"
+
+if ! grep -q '"equivalent_survivors":0' MUT_record.json; then
+  echo "error: equivalent-to-parent mutants survived the filter:" >&2
+  grep '"record":"mutation_summary"' MUT_record.json >&2
+  exit 1
+fi
+echo "  equivalent_survivors: 0"
+
+for counter in fa.algebra.product_states mutate.mutants_filtered \
+  mutate.candidates mutate.survivors; do
+  if ! grep -q "$counter" MUT_record.json; then
+    echo "error: counter $counter missing from the pipeline snapshot" >&2
+    exit 1
+  fi
+done
+echo "  obs counters present (fa.algebra.product_states, mutate.*)"
+
+echo "== determinism across worker counts"
+"$REPRODUCE" diff MUT_record.json "$work/MUT_par8.json"
+
+echo "mutation drill: all gates passed"

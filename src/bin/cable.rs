@@ -14,6 +14,7 @@
 //! cable session compact --store DIR
 //! cable serve   --obs-listen ADDR [--store DIR] [--profile-interval-ms N]
 //! cable profile diff BEFORE.jsonl AFTER.jsonl
+//! cable diff-spec A.fa B.fa
 //! cable specs
 //! ```
 //!
@@ -58,6 +59,12 @@
 //! * `profile diff` compares two continuous-profile (or `--events-out`
 //!   style profile-snapshot) JSONL files and prints per-function
 //!   self-time regressions, largest change first.
+//! * `diff-spec` compares two specification FAs as languages and prints
+//!   a *minimal* trace accepted by exactly one of them (the completed
+//!   automaton algebra's distinguishing witness) — the quickest answer
+//!   to "what exactly did my edit to this spec change?". Exit codes
+//!   follow diff(1): 0 equivalent, 1 differ, 2 trouble (including
+//!   specs over disjoint alphabets, which differ trivially).
 //! * `specs` lists the built-in evaluation specifications.
 //!
 //! `--events-out PATH` (any command) writes the wide-event log — one
@@ -114,6 +121,10 @@ fn main() {
     // `profile diff` takes positional paths, not options.
     if command == "profile" {
         run_profile(&args[1..]);
+    }
+    // `diff-spec` takes two positional spec paths, not options.
+    if command == "diff-spec" {
+        run_diff_spec(&args[1..]);
     }
     // `session` takes a subcommand before the options.
     let (sub, rest) = if command == "session" {
@@ -840,6 +851,67 @@ fn run_profile(args: &[String]) -> ! {
     }
 }
 
+/// The `diff-spec` subcommand: prints a shortest trace accepted by
+/// exactly one of two specification FAs. Exit codes follow diff(1):
+/// `0` — the specs are language-equivalent, `1` — they differ (the
+/// minimal distinguishing trace is printed), `2` — usage, IO, or parse
+/// errors, and alphabet-incompatible specs (two specs over disjoint
+/// operation sets differ trivially on every string; a witness would be
+/// noise, so the comparison is refused instead).
+fn run_diff_spec(args: &[String]) -> ! {
+    if let Some(flag) = args.iter().find(|a| a.starts_with('-')) {
+        usage(&format!("diff-spec takes no options (got {flag:?})"));
+    }
+    let [path_a, path_b] = args else {
+        usage("diff-spec needs exactly two spec FA paths");
+    };
+    let mut vocab = Vocab::new();
+    let mut load = |path: &str| -> Fa {
+        let text = fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("error: reading {path}: {e}");
+            exit(2);
+        });
+        Fa::parse(&text, &mut vocab).unwrap_or_else(|e| {
+            eprintln!("error: parsing {path}: {e}");
+            exit(2);
+        })
+    };
+    let fa_a = load(path_a);
+    let fa_b = load(path_b);
+    if !fa_a.alphabet_compatible(&fa_b) {
+        eprintln!(
+            "error: {path_a} and {path_b} share no operations — their languages are \
+             trivially disjoint; diff-spec compares specifications over a common alphabet"
+        );
+        exit(2);
+    }
+    match fa_a.distinguishing_trace(&fa_b, &mut vocab) {
+        None => {
+            println!("specs are language-equivalent");
+            exit(0);
+        }
+        Some(trace) => {
+            let (owner, other) = if fa_a.accepts(&trace) {
+                (path_a, path_b)
+            } else {
+                (path_b, path_a)
+            };
+            println!(
+                "specs differ; minimal distinguishing trace ({} event{}):",
+                trace.len(),
+                if trace.len() == 1 { "" } else { "s" }
+            );
+            if trace.is_empty() {
+                println!("  (the empty trace)");
+            } else {
+                println!("  {}", trace.display(&vocab));
+            }
+            println!("accepted by {owner}, rejected by {other}");
+            exit(1);
+        }
+    }
+}
+
 fn mine(opts: &Opts) {
     let mut vocab = Vocab::new();
     let traces = load_traces(opts, &mut vocab);
@@ -925,6 +997,7 @@ fn usage(msg: &str) -> ! {
          [--api --store-root DIR] [--max-open-sessions N] [--max-connections N] \
          [--request-deadline-ms N]\n\
          \x20      cable profile diff BEFORE.jsonl AFTER.jsonl\n\
+         \x20      cable diff-spec A.fa B.fa   (exit 0 equivalent, 1 differ + witness, 2 error)\n\
          \x20      any command: [--deadline-ms N] [--max-concepts N] [--faults SEED:SPEC] \
          [--events-out PATH]"
     );

@@ -8,7 +8,10 @@
 //!
 //! * [`trace`] — events, traces, trace sets,
 //! * [`fa`] — finite automata over event labels; the executed-transition
-//!   relation that defines trace similarity,
+//!   relation that defines trace similarity; the completed automaton
+//!   algebra (complement, difference, distinguishing witnesses),
+//! * [`mutate`] — deterministic, seeded spec mutation deriving buggy
+//!   reference FAs from correct ones,
 //! * [`fca`] — formal concept analysis (contexts, Godin's incremental
 //!   lattice algorithm, NextClosure),
 //! * [`learn`] — the sk-strings and k-tails automaton learners,
@@ -54,6 +57,7 @@ pub use cable_fa as fa;
 pub use cable_fca as fca;
 pub use cable_guard as guard;
 pub use cable_learn as learn;
+pub use cable_mutate as mutate;
 pub use cable_obs as obs;
 pub use cable_par as par;
 pub use cable_specs as specs;

@@ -75,6 +75,89 @@ fn trace_parse_errors_name_the_failing_line() {
 }
 
 #[test]
+fn diff_spec_prints_a_minimal_witness_accepted_by_exactly_one_spec() {
+    let out = cable(&[
+        "diff-spec",
+        "testdata/figure1_buggy.fa",
+        "testdata/figure6_fixed.fa",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("specs differ"), "stdout was: {text}");
+    assert!(text.contains("accepted by"), "stdout was: {text}");
+
+    // Replay the printed witness through both specifications: it must
+    // be accepted by exactly one, and no one-event trace separates the
+    // stdio specs (they agree on every single operation).
+    let witness_line = text
+        .lines()
+        .find(|l| l.starts_with("  "))
+        .expect("witness line")
+        .trim();
+    let mut vocab = cable::trace::Vocab::new();
+    let witness = cable::trace::Trace::parse(witness_line, &mut vocab).expect("witness parses");
+    assert_eq!(witness.len(), 2, "minimal stdio witness has two events");
+    let mut load =
+        |path: &str| cable::fa::Fa::parse(&fs::read_to_string(path).unwrap(), &mut vocab).unwrap();
+    let buggy = load("testdata/figure1_buggy.fa");
+    let fixed = load("testdata/figure6_fixed.fa");
+    assert_ne!(
+        buggy.accepts(&witness),
+        fixed.accepts(&witness),
+        "witness {witness_line:?} must separate the specs"
+    );
+}
+
+#[test]
+fn diff_spec_reports_equivalent_specs_with_exit_zero() {
+    let out = cable(&[
+        "diff-spec",
+        "testdata/figure1_buggy.fa",
+        "testdata/figure1_buggy.fa",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert!(stdout(&out).contains("language-equivalent"));
+}
+
+#[test]
+fn diff_spec_rejects_incompatible_alphabets_and_bad_usage() {
+    let dir = tmp_dir("diffspec");
+    let locks = dir.join("locks.fa");
+    fs::write(
+        &locks,
+        "start s0\naccept s0\ns0 -> s1 : lock(X)\ns1 -> s0 : unlock(X)\n",
+    )
+    .unwrap();
+    let out = cable(&[
+        "diff-spec",
+        locks.to_str().unwrap(),
+        "testdata/figure1_buggy.fa",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        stderr(&out).contains("common alphabet"),
+        "stderr was: {}",
+        stderr(&out)
+    );
+
+    let out = cable(&["diff-spec", "--frobnicate", "a.fa", "b.fa"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("usage:"));
+
+    let out = cable(&["diff-spec", "testdata/figure1_buggy.fa"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("exactly two"));
+
+    let out = cable(&[
+        "diff-spec",
+        dir.join("missing.fa").to_str().unwrap(),
+        "testdata/figure1_buggy.fa",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn session_lifecycle_open_ingest_label_resume_compact() {
     let dir = tmp_dir("lifecycle");
     let store = dir.join("store");
