@@ -9,6 +9,7 @@
 //! reproduce compare --baseline PATH --current PATH [--tolerance PCT]
 //! reproduce diff PATH PATH
 //! reproduce check-trace PATH
+//! reproduce trace-report --export PATH [--min-coverage PCT] [--json-out PATH]
 //! reproduce check-events PATH
 //! reproduce slo-check --records PATH --budgets PATH
 //! ```
@@ -53,9 +54,18 @@
 //! build time regresses beyond the tolerance (percent, default 25).
 //! `diff` is the CI determinism gate: exits non-zero unless the two
 //! record files are identical once timing is stripped.
-//! `check-trace` structurally validates a `--trace-out` file: JSON with
-//! a `traceEvents` array, matched B/E pairs and non-decreasing
-//! timestamps per lane, and at least one event on every lane.
+//! `check-trace` structurally validates a trace file, sniffing its
+//! shape: a `--trace-out` export must be JSON with a `traceEvents`
+//! array, matched B/E pairs and non-decreasing timestamps per lane, and
+//! at least one event on every lane; a `/tracez/export` dump must hold
+//! well-formed span trees (closed spans, acyclic parents, every span
+//! reachable from its request root). `trace-report` then attributes
+//! each kept request's wall time to named stages (queue / lock-wait /
+//! fsync / serialization / lattice / handler) by self-time under the
+//! nearest categorised ancestor, singles out the p99 request with its
+//! critical path, and writes the `trace_attribution` record; with
+//! `--min-coverage PCT` it fails unless the stages explain at least
+//! that much of the p99 request's wall time.
 //!
 //! `--events-out PATH` writes the wide-event log (one self-describing
 //! JSONL record per unit of work) alongside the run; `check-events`
@@ -78,6 +88,7 @@ fn main() {
         Some("compare") => run_compare(&args[1..]),
         Some("diff") => run_diff(&args[1..]),
         Some("check-trace") => run_check_trace(&args[1..]),
+        Some("trace-report") => run_trace_report(&args[1..]),
         Some("check-events") => run_check_events(&args[1..]),
         Some("slo-check") => run_slo_check(&args[1..]),
         _ => {}
@@ -589,28 +600,101 @@ fn main() {
     }
 }
 
-/// The `check-trace` subcommand: the structural Perfetto-loadability
-/// gate CI runs over `--trace-out` files.
+/// The `check-trace` subcommand: the structural trace gate CI runs.
+/// Sniffs the file shape — a Chrome trace-event export (`--trace-out`)
+/// gets the Perfetto-loadability check, a `/tracez/export` dump gets
+/// the span-tree well-formedness check.
 fn run_check_trace(args: &[String]) -> ! {
     let [path] = args else {
         usage("check-trace needs exactly one trace path");
     };
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("{path}: {e}")));
-    match cable_bench::check_chrome_trace(&text) {
-        Ok(summary) => {
-            println!(
-                "trace gate: PASS ({path}: {} events across {} lanes)",
-                summary.events, summary.lanes
-            );
-            std::process::exit(0);
-        }
-        Err(problems) => {
-            for p in &problems {
-                println!("FAIL: {p}");
+    let is_export = Value::parse(text.trim())
+        .ok()
+        .and_then(|v| v.get("record").and_then(Value::as_str).map(str::to_owned))
+        .as_deref()
+        == Some("trace_export");
+    let problems = if is_export {
+        match cable_bench::check_trace_export(&text) {
+            Ok(summary) => {
+                println!(
+                    "trace gate: PASS ({path}: {} span trees, {} spans, all well-formed)",
+                    summary.traces, summary.spans
+                );
+                std::process::exit(0);
             }
-            std::process::exit(1);
+            Err(problems) => problems,
         }
+    } else {
+        match cable_bench::check_chrome_trace(&text) {
+            Ok(summary) => {
+                println!(
+                    "trace gate: PASS ({path}: {} events across {} lanes)",
+                    summary.events, summary.lanes
+                );
+                std::process::exit(0);
+            }
+            Err(problems) => problems,
+        }
+    };
+    for p in &problems {
+        println!("FAIL: {p}");
     }
+    std::process::exit(1);
+}
+
+/// The `trace-report` subcommand: critical-path and stage attribution
+/// over a `/tracez/export` dump. The `trace_attribution` record it
+/// writes is the artifact ROADMAP item 1 (sharded slot map, yes or no)
+/// is decided on; `--min-coverage` turns it into a CI gate.
+fn run_trace_report(args: &[String]) -> ! {
+    let mut export_path: Option<String> = None;
+    let mut json_out: Option<String> = None;
+    let mut min_coverage: f64 = 0.0;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--export" => {
+                i += 1;
+                export_path = args.get(i).cloned();
+            }
+            "--json-out" => {
+                i += 1;
+                json_out = args.get(i).cloned();
+            }
+            "--min-coverage" => {
+                i += 1;
+                min_coverage = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--min-coverage needs a percentage"));
+            }
+            other => usage(&format!("unknown trace-report argument {other:?}")),
+        }
+        i += 1;
+    }
+    let path = export_path.unwrap_or_else(|| usage("trace-report needs --export PATH"));
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| die(&format!("{path}: {e}")));
+    let export = Value::parse(text.trim()).unwrap_or_else(|e| die(&format!("{path}: {e}")));
+    let report =
+        cable_bench::trace_report(&export).unwrap_or_else(|e| die(&format!("{path}: {e}")));
+    print!("{}", report.render());
+    if let Some(out) = json_out {
+        let sink = JsonlSink::create(&out).unwrap_or_else(|e| die(&format!("{out}: {e}")));
+        sink.write(&report.to_json()).expect("writing attribution");
+        sink.flush().expect("flushing attribution");
+    }
+    if !report.passes(min_coverage) {
+        println!(
+            "trace-report: FAIL — p99 coverage {:.1}% below the {min_coverage:.1}% gate",
+            report.p99.coverage_pct
+        );
+        std::process::exit(1);
+    }
+    if min_coverage > 0.0 {
+        println!("trace-report: PASS (coverage gate {min_coverage:.1}%)");
+    }
+    std::process::exit(0);
 }
 
 /// The `check-events` subcommand: the CI event-schema gate over a
@@ -763,6 +847,7 @@ fn usage(msg: &str) -> ! {
          \u{20}      reproduce compare --baseline PATH --current PATH [--tolerance PCT]\n\
          \u{20}      reproduce diff PATH PATH\n\
          \u{20}      reproduce check-trace PATH\n\
+         \u{20}      reproduce trace-report --export PATH [--min-coverage PCT] [--json-out PATH]\n\
          \u{20}      reproduce check-events PATH\n\
          \u{20}      reproduce slo-check --records PATH --budgets PATH\n\
          options:\n\

@@ -29,7 +29,7 @@ const COUNT_FIELDS: [&str; 5] = ["traces", "unique", "transitions", "max_row", "
 /// legitimately varies between runs of the same seed. (`store_bytes`
 /// and `journal_bytes` are *not* here — the store encoding is
 /// deterministic, so size drift is a real difference.)
-const TIMING_FIELDS: [&str; 7] = [
+const TIMING_FIELDS: [&str; 8] = [
     "build_ms",
     "ingest_us_per_trace",
     "obs",
@@ -37,11 +37,19 @@ const TIMING_FIELDS: [&str; 7] = [
     "duration_ns",
     "ts_ms",
     "uptime_ns",
+    "trace",
 ];
 
 /// Record types [`diff`] ignores wholesale: observability side-channels
 /// whose timing content varies run to run by design.
-const IGNORED_RECORDS: [&str; 3] = ["pipeline_snapshot", "wide_event", "profile_snapshot"];
+const IGNORED_RECORDS: [&str; 6] = [
+    "pipeline_snapshot",
+    "wide_event",
+    "profile_snapshot",
+    "trace_export",
+    "trace_attribution",
+    "trace_slowest",
+];
 
 /// Loads a JSONL perf-record file written by `reproduce --json-out`.
 ///

@@ -26,6 +26,7 @@ pub mod pipeline;
 pub mod slocheck;
 pub mod tables;
 pub mod tracecheck;
+pub mod tracereport;
 
 pub use ablation::{
     coring_sweep, dedup_ablation, hac_comparison, learner_sweep, CoringReport, DedupRow, HacRow,
@@ -37,4 +38,5 @@ pub use tables::{
     scaling, table1, table2, table2_with_deltas, table3, ScalingRow, Table1Row, Table2Row,
     Table3Row,
 };
-pub use tracecheck::{check_chrome_trace, TraceSummary};
+pub use tracecheck::{check_chrome_trace, check_trace_export, ExportSummary, TraceSummary};
+pub use tracereport::{analyze as trace_report, StageSplit, TraceReport};

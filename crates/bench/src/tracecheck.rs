@@ -1,4 +1,4 @@
-//! Structural validation of Chrome trace-event exports.
+//! Structural validation of trace exports.
 //!
 //! `reproduce --trace-out` promises a file Perfetto will load: a JSON
 //! object with a `traceEvents` array where, within every lane (`tid`),
@@ -6,6 +6,15 @@
 //! is that promise as a checkable predicate — `reproduce check-trace`
 //! runs it in CI over the trace artifact, and the integration tests run
 //! it over freshly produced files.
+//!
+//! It also validates the *other* trace shape the server emits:
+//! `/tracez/export`'s `trace_export` record of per-request span trees.
+//! [`check_trace_export`] asserts each kept tree is well-formed — spans
+//! close after they open (matched B/E by construction), parent links
+//! are acyclic, and every span is reachable from the request root — the
+//! properties `trace-report` attribution silently relies on.
+//! `reproduce check-trace` sniffs which shape a file holds and applies
+//! the matching predicate.
 
 use cable_obs::json::Value;
 use std::collections::BTreeMap;
@@ -96,27 +105,141 @@ pub fn check_chrome_trace(text: &str) -> Result<TraceSummary, Vec<String>> {
     }
 }
 
+/// What a valid `trace_export` record contained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExportSummary {
+    /// Kept span trees in the export.
+    pub traces: usize,
+    /// Spans across all kept trees.
+    pub spans: usize,
+}
+
+fn hex_field(v: &Value, key: &str, problems: &mut Vec<String>, at: &str) -> Option<u64> {
+    let Some(s) = v.get(key).and_then(Value::as_str) else {
+        problems.push(format!("{at}: missing hex field {key:?}"));
+        return None;
+    };
+    match u64::from_str_radix(s, 16) {
+        Ok(n) => Some(n),
+        Err(_) => {
+            problems.push(format!("{at}: {key:?} is not hex ({s:?})"));
+            None
+        }
+    }
+}
+
+/// Validates a `/tracez/export` dump: every kept span tree must have
+/// closed spans (`end_ns >= start_ns`), unique span ids, acyclic parent
+/// links, and every span reachable from the tree's request root.
+/// Returns a summary, or every structural problem found.
+pub fn check_trace_export(text: &str) -> Result<ExportSummary, Vec<String>> {
+    let parsed = match Value::parse(text.trim()) {
+        Ok(v) => v,
+        Err(e) => return Err(vec![format!("not valid JSON: {e}")]),
+    };
+    if parsed.get("record").and_then(Value::as_str) != Some("trace_export") {
+        return Err(vec!["not a trace_export record".to_owned()]);
+    }
+    let Some(traces) = parsed.get("traces").and_then(Value::as_array) else {
+        return Err(vec!["no traces array".to_owned()]);
+    };
+
+    let mut problems = Vec::new();
+    let mut spans_total = 0usize;
+    for (t, trace) in traces.iter().enumerate() {
+        let id = trace
+            .get("trace")
+            .and_then(Value::as_str)
+            .unwrap_or("<unnamed>");
+        let at = format!("trace {t} ({id})");
+        let Some(root) = hex_field(trace, "root", &mut problems, &at) else {
+            continue;
+        };
+        let Some(rows) = trace.get("spans_tree").and_then(Value::as_array) else {
+            problems.push(format!("{at}: no spans_tree array"));
+            continue;
+        };
+        if rows.is_empty() {
+            problems.push(format!("{at}: spans_tree is empty"));
+            continue;
+        }
+        // First pass: ids, parents, timestamps.
+        let mut parents: BTreeMap<u64, u64> = BTreeMap::new();
+        for (i, row) in rows.iter().enumerate() {
+            let here = format!("{at} span {i}");
+            let Some(span) = hex_field(row, "span", &mut problems, &here) else {
+                continue;
+            };
+            let parent = hex_field(row, "parent", &mut problems, &here).unwrap_or(0);
+            if span == 0 {
+                problems.push(format!("{here}: span id is zero"));
+                continue;
+            }
+            if parents.insert(span, parent).is_some() {
+                problems.push(format!("{here}: span id {span:016x} repeats"));
+            }
+            let start = row.get("start_ns").and_then(Value::as_u64);
+            let end = row.get("end_ns").and_then(Value::as_u64);
+            match (start, end) {
+                (Some(s), Some(e)) if e < s => {
+                    problems.push(format!("{here}: ends before it starts ({e} < {s})"));
+                }
+                (Some(_), Some(_)) => {}
+                _ => problems.push(format!("{here}: missing start_ns/end_ns")),
+            }
+        }
+        if !parents.contains_key(&root) {
+            problems.push(format!("{at}: root span {root:016x} is not in the tree"));
+            continue;
+        }
+        // Second pass: every span's parent chain must reach the root
+        // without revisiting a span (acyclic) or leaving the tree.
+        for &span in parents.keys() {
+            let mut cursor = span;
+            let mut hops = 0usize;
+            loop {
+                if cursor == root {
+                    break;
+                }
+                if hops > parents.len() {
+                    problems.push(format!("{at}: span {span:016x} sits on a parent cycle"));
+                    break;
+                }
+                let Some(&up) = parents.get(&cursor) else {
+                    problems.push(format!(
+                        "{at}: span {span:016x} is orphaned (parent {cursor:016x} missing)"
+                    ));
+                    break;
+                };
+                cursor = up;
+                hops += 1;
+            }
+        }
+        spans_total += parents.len();
+    }
+    if problems.is_empty() {
+        Ok(ExportSummary {
+            traces: traces.len(),
+            spans: spans_total,
+        })
+    } else {
+        Err(problems)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn a_recorded_trace_validates() {
-        use cable_obs::recorder::{self, EventKind};
+        use cable_obs::recorder::{self, Event, EventKind};
         let lanes = vec![recorder::LaneSnapshot {
             id: 3,
             label: "w".into(),
             events: vec![
-                recorder::Event {
-                    name: "a",
-                    kind: EventKind::Begin,
-                    ts_ns: 100,
-                },
-                recorder::Event {
-                    name: "a",
-                    kind: EventKind::End,
-                    ts_ns: 900,
-                },
+                Event::plain("a", EventKind::Begin, 100),
+                Event::plain("a", EventKind::End, 900),
             ],
             dropped: 0,
         }];
@@ -154,6 +277,106 @@ mod tests {
         let problems = check_chrome_trace(backwards).unwrap_err();
         assert!(
             problems.iter().any(|p| p.contains("backwards")),
+            "{problems:?}"
+        );
+    }
+
+    fn export_with(spans: &str) -> String {
+        format!(
+            r#"{{"record":"trace_export","traces":[{{"trace":"t1",
+                "root":"0000000000000001","spans_tree":[{spans}]}}]}}"#
+        )
+    }
+
+    fn span(name: &str, span: &str, parent: &str, start: u64, end: u64) -> String {
+        format!(
+            r#"{{"name":"{name}","span":"{span}","parent":"{parent}",
+                "start_ns":{start},"end_ns":{end}}}"#
+        )
+    }
+
+    #[test]
+    fn well_formed_exports_validate() {
+        let text = export_with(
+            &[
+                span(
+                    "http.request",
+                    "0000000000000001",
+                    "0000000000000000",
+                    0,
+                    100,
+                ),
+                span("wait.fsync", "0000000000000002", "0000000000000001", 10, 40),
+            ]
+            .join(","),
+        );
+        let summary = check_trace_export(&text).expect("valid");
+        assert_eq!(
+            summary,
+            ExportSummary {
+                traces: 1,
+                spans: 2
+            }
+        );
+    }
+
+    #[test]
+    fn export_problems_are_reported() {
+        assert!(check_trace_export("{}").is_err());
+        // Orphan: parent never recorded.
+        let orphan = export_with(
+            &[
+                span(
+                    "http.request",
+                    "0000000000000001",
+                    "0000000000000000",
+                    0,
+                    100,
+                ),
+                span("lost", "0000000000000002", "00000000000000ff", 10, 40),
+            ]
+            .join(","),
+        );
+        let problems = check_trace_export(&orphan).unwrap_err();
+        assert!(
+            problems.iter().any(|p| p.contains("orphaned")),
+            "{problems:?}"
+        );
+        // Parent cycle between two spans.
+        let cycle = export_with(
+            &[
+                span(
+                    "http.request",
+                    "0000000000000001",
+                    "0000000000000000",
+                    0,
+                    100,
+                ),
+                span("a", "0000000000000002", "0000000000000003", 10, 40),
+                span("b", "0000000000000003", "0000000000000002", 10, 40),
+            ]
+            .join(","),
+        );
+        let problems = check_trace_export(&cycle).unwrap_err();
+        assert!(problems.iter().any(|p| p.contains("cycle")), "{problems:?}");
+        // A span that ends before it starts.
+        let backwards = export_with(&span(
+            "http.request",
+            "0000000000000001",
+            "0000000000000000",
+            100,
+            10,
+        ));
+        let problems = check_trace_export(&backwards).unwrap_err();
+        assert!(
+            problems.iter().any(|p| p.contains("ends before")),
+            "{problems:?}"
+        );
+        // Missing root.
+        let rootless = export_with(&span("x", "0000000000000007", "0000000000000000", 0, 10));
+        let problems = check_trace_export(&rootless).unwrap_err();
+        assert!(
+            problems.iter().any(|p| p.contains("not in the tree")),
             "{problems:?}"
         );
     }

@@ -31,7 +31,7 @@
 
 use crate::persist::StoredSession;
 use crate::CableSession;
-use cable_obs::{CounterHandle, WideEvent};
+use cable_obs::{CounterHandle, HistogramHandle, WideEvent};
 use cable_store::StoreError;
 use cable_trace::Vocab;
 use std::collections::HashMap;
@@ -49,6 +49,15 @@ static REOPENS: CounterHandle = CounterHandle::new("core.manager.reopens");
 static HITS: CounterHandle = CounterHandle::new("core.manager.cache_hits");
 /// Open sessions evicted back to disk by the LRU sweep.
 static EVICTIONS: CounterHandle = CounterHandle::new("core.manager.evictions");
+/// Time spent waiting for the process-wide slot-map mutex, µs. This is
+/// the contention signal ROADMAP item 1 (sharded slot map) hinges on:
+/// the `trace-report` lock-wait stage and the `/metrics` family both
+/// read from here.
+static WAIT_SLOTS: HistogramHandle = HistogramHandle::new("wait.slots.us");
+/// Time spent waiting for a single session's state mutex, µs — high
+/// values mean requests are serialising on one hot session, which
+/// sharding the slot map would *not* fix.
+static WAIT_STATE: HistogramHandle = HistogramHandle::new("wait.state.us");
 
 /// Ceiling on tenant and session name length.
 pub const MAX_NAME_LEN: usize = 64;
@@ -353,13 +362,20 @@ impl SessionManager {
     /// guard is always sound, and refusing would turn one contained
     /// panic into a permanent all-requests-500 outage.
     fn lock_slots(&self) -> std::sync::MutexGuard<'_, HashMap<SessionKey, Arc<Slot>>> {
-        match self.slots.lock() {
+        let wait_start = cable_obs::enabled().then(std::time::Instant::now);
+        cable_obs::recorder::begin("wait.slots");
+        let guard = match self.slots.lock() {
             Ok(guard) => guard,
             Err(poisoned) => {
                 self.slots.clear_poison();
                 poisoned.into_inner()
             }
+        };
+        cable_obs::recorder::end("wait.slots");
+        if let Some(start) = wait_start {
+            WAIT_SLOTS.get().record(start.elapsed().as_micros() as u64);
         }
+        guard
     }
 
     /// Locks a slot's state, recovering from poison by dropping the
@@ -369,10 +385,17 @@ impl SessionManager {
     /// exact pre-recovery state. One panicked request costs one reopen;
     /// it never wedges the session.
     fn lock_state<'a>(&self, slot: &'a Slot) -> std::sync::MutexGuard<'a, SlotState> {
-        match slot.state.lock() {
+        let wait_start = cable_obs::enabled().then(std::time::Instant::now);
+        cable_obs::recorder::begin("wait.state");
+        let guard = match slot.state.lock() {
             Ok(guard) => guard,
             Err(poisoned) => self.recover_state(slot, poisoned.into_inner()),
+        };
+        cable_obs::recorder::end("wait.state");
+        if let Some(start) = wait_start {
+            WAIT_STATE.get().record(start.elapsed().as_micros() as u64);
         }
+        guard
     }
 
     /// Non-blocking [`Self::lock_state`]: `None` means busy, poison is

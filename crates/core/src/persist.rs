@@ -349,8 +349,12 @@ impl StoredSession {
         text: &str,
         sync_each: bool,
     ) -> Result<Vec<(TraceId, bool)>, StoreError> {
-        let batch = TraceSet::parse(text, &mut self.vocab)
-            .map_err(|e| StoreError::format(e.to_string()))?;
+        cable_obs::recorder::begin("parse.traces");
+        let batch = TraceSet::parse(text, &mut self.vocab).map_err(|e| {
+            cable_obs::recorder::end("parse.traces");
+            StoreError::format(e.to_string())
+        })?;
+        cable_obs::recorder::end("parse.traces");
         let traces: Vec<Trace> = batch.iter().map(|(_, t)| t.clone()).collect();
         let records: Vec<JournalRecord> = traces
             .iter()
@@ -407,6 +411,7 @@ impl StoredSession {
     ) -> Result<IngestReport, StoreError> {
         let mut traces: Vec<Trace> = Vec::new();
         let mut errors: Vec<(usize, String)> = Vec::new();
+        cable_obs::recorder::begin("parse.traces");
         for (lineno, line) in text.lines().enumerate() {
             let line = line.trim();
             if line.is_empty() || line.starts_with(';') {
@@ -417,6 +422,7 @@ impl StoredSession {
                 Err(e) => errors.push((lineno + 1, e.to_string())),
             }
         }
+        cable_obs::recorder::end("parse.traces");
         let records: Vec<JournalRecord> = traces
             .iter()
             .map(|t| JournalRecord::Trace(t.display(&self.vocab).to_string()))

@@ -445,6 +445,9 @@ impl CableSession {
             results.push((id, true));
         }
         if !new_rows.is_empty() {
+            // `lattice.` names the trace-report stage: incremental Godin
+            // work attributed against lock-wait and fsync time.
+            cable_obs::recorder::begin("lattice.insert");
             let lattice = std::mem::replace(
                 &mut self.lattice,
                 ConceptLattice::from_concepts(vec![cable_fca::Concept {
@@ -453,6 +456,7 @@ impl CableSession {
                 }]),
             );
             self.lattice = lattice.insert_objects(new_rows.iter().map(|(c, row)| (*c, row)));
+            cable_obs::recorder::end("lattice.insert");
         }
         results
     }

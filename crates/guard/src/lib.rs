@@ -464,6 +464,13 @@ fn emit_trip_event(site: &str, error: &GuardError) {
         GuardError::Cancelled => "cancel_trip",
         GuardError::TaskPanic { .. } => "contained_panic",
     };
+    // A recorder instant too: it carries the active trace context, so a
+    // request's waterfall shows *where in the tree* the budget tripped.
+    cable_obs::recorder::instant(match error {
+        GuardError::BudgetExceeded { .. } => "guard.budget_trip",
+        GuardError::Cancelled => "guard.cancel_trip",
+        GuardError::TaskPanic { .. } => "guard.contained_panic",
+    });
     cable_obs::events::emit(
         cable_obs::WideEvent::new(kind, "guard")
             .stage(site)

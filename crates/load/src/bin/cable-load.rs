@@ -18,9 +18,16 @@
 //! `scripts/service_drill.sh` can replay every session sequentially
 //! through the CLI and diff digests.
 //!
+//! `--fetch PATH [--out FILE]` is a one-shot GET instead of a load run:
+//! the response body goes to `FILE` (stdout without `--out`) and the
+//! exit code reflects the HTTP status. The drill uses it to pull
+//! `/tracez/export` off the server before shutdown — the workspace is
+//! std-only, so there is no curl to lean on.
+//!
 //! Exit codes: **0** clean, **2** usage, **3** when the run saw more
 //! than `--max-5xx` server errors (default 0) or any transport error —
-//! the CI drill's zero-5xx gate.
+//! the CI drill's zero-5xx gate. `--fetch` exits **1** on transport
+//! errors or a non-2xx status.
 
 use cable_load::{run, LoadOptions};
 use cable_obs::json::Value;
@@ -31,7 +38,8 @@ fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: cable-load --addr HOST:PORT [--labelers N] [--requests N] [--seed N] \
-         [--tenant-prefix NAME] [--verify-dir DIR] [--json-out PATH] [--max-5xx N]"
+         [--tenant-prefix NAME] [--verify-dir DIR] [--json-out PATH] [--max-5xx N]\n\
+       \x20      cable-load --addr HOST:PORT --fetch PATH [--out FILE]"
     );
     exit(2);
 }
@@ -47,10 +55,14 @@ fn main() {
     let mut addr = None;
     let mut json_out = None;
     let mut max_5xx: u64 = 0;
+    let mut fetch = None;
+    let mut fetch_out = None;
     let mut opts = LoadOptions::new("");
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--addr" => addr = args.next(),
+            "--fetch" => fetch = args.next(),
+            "--out" => fetch_out = args.next(),
             "--labelers" => {
                 opts.labelers = parse::<usize>("--labelers", args.next());
                 if opts.labelers == 0 {
@@ -80,6 +92,28 @@ fn main() {
         usage("--addr is required");
     };
     opts.addr = addr;
+
+    if let Some(path) = fetch {
+        if !path.starts_with('/') {
+            usage("--fetch needs an absolute path like /tracez/export");
+        }
+        let response = cable_load::request(&opts.addr, "GET", &path, None).unwrap_or_else(|e| {
+            eprintln!("error: GET {path}: {e}");
+            exit(1);
+        });
+        match fetch_out {
+            Some(file) => std::fs::write(&file, &response.body).unwrap_or_else(|e| {
+                eprintln!("error: cannot write {file}: {e}");
+                exit(1);
+            }),
+            None => print!("{}", response.body),
+        }
+        if !(200..300).contains(&response.status) {
+            eprintln!("error: GET {path} answered {}", response.status);
+            exit(1);
+        }
+        return;
+    }
 
     let report = run(&opts).unwrap_or_else(|e| {
         eprintln!("error: {e}");

@@ -72,6 +72,10 @@ pub struct LoadReport {
     pub io_errors: u64,
     /// Wall-clock time for the whole run.
     pub wall: Duration,
+    /// Total time labelers slept honouring `Retry-After` — backpressure
+    /// wait, counted apart from service latency so the latency
+    /// quantiles measure the server, not the client's politeness.
+    pub retry_wait: Duration,
     /// Every attempt's latency in nanoseconds, sorted ascending.
     latencies: Vec<u64>,
 }
@@ -108,6 +112,10 @@ impl LoadReport {
             ("retries_429", Value::from(self.retries_429)),
             ("io_errors", Value::from(self.io_errors)),
             ("wall_ms", Value::from(self.wall.as_millis() as u64)),
+            (
+                "retry_wait_ms",
+                Value::from(self.retry_wait.as_millis() as u64),
+            ),
             ("throughput_rps", Value::from(self.throughput_rps())),
             ("p50_ms", Value::from(self.quantile_ms(0.50))),
             ("p95_ms", Value::from(self.quantile_ms(0.95))),
@@ -119,7 +127,7 @@ impl LoadReport {
     pub fn render(&self) -> String {
         format!(
             "load: {} labelers, {} requests in {:.2}s ({:.1} req/s)\n\
-             load: {} ok, {} 4xx, {} 5xx, {} io errors, {} retried 429s\n\
+             load: {} ok, {} 4xx, {} 5xx, {} io errors, {} retried 429s ({:.2}s retry wait)\n\
              load: latency p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms\n",
             self.labelers,
             self.requests,
@@ -130,6 +138,7 @@ impl LoadReport {
             self.errors_5xx,
             self.io_errors,
             self.retries_429,
+            self.retry_wait.as_secs_f64(),
             self.quantile_ms(0.50),
             self.quantile_ms(0.95),
             self.quantile_ms(0.99),
@@ -146,6 +155,7 @@ struct Tally {
     errors_5xx: u64,
     retries_429: u64,
     io_errors: u64,
+    retry_wait: Duration,
     latencies: Vec<u64>,
 }
 
@@ -171,7 +181,12 @@ fn issue(
             Ok(r) if r.status == 429 => {
                 tally.retries_429 += 1;
                 cable_obs::registry().counter("load.http_429").incr();
-                std::thread::sleep(Duration::from_secs(r.retry_after.unwrap_or(1).clamp(1, 5)));
+                let wait = Duration::from_secs(r.retry_after.unwrap_or(1).clamp(1, 5));
+                tally.retry_wait += wait;
+                cable_obs::registry()
+                    .histogram("load.retry_wait_ns")
+                    .record(wait.as_nanos() as u64);
+                std::thread::sleep(wait);
             }
             Ok(r) => {
                 match r.status {
@@ -433,6 +448,7 @@ pub fn run(opts: &LoadOptions) -> io::Result<LoadReport> {
         retries_429: 0,
         io_errors: 0,
         wall,
+        retry_wait: Duration::ZERO,
         latencies: Vec::new(),
     };
     for tally in tallies {
@@ -443,6 +459,7 @@ pub fn run(opts: &LoadOptions) -> io::Result<LoadReport> {
         report.errors_5xx += t.errors_5xx;
         report.retries_429 += t.retries_429;
         report.io_errors += t.io_errors;
+        report.retry_wait += t.retry_wait;
         report.latencies.extend(t.latencies);
     }
     report.latencies.sort_unstable();
@@ -463,6 +480,7 @@ mod tests {
             retries_429: 0,
             io_errors: 0,
             wall: Duration::from_secs(2),
+            retry_wait: Duration::ZERO,
             latencies,
         }
     }
@@ -485,6 +503,7 @@ mod tests {
         );
         assert_eq!(v.get("errors_5xx").and_then(Value::as_u64), Some(0));
         assert_eq!(v.get("requests").and_then(Value::as_u64), Some(10));
+        assert_eq!(v.get("retry_wait_ms").and_then(Value::as_u64), Some(0));
         assert!(v.get("p99_ms").and_then(Value::as_f64).unwrap() > 1.9);
         assert!((r.throughput_rps() - 5.0).abs() < 1e-9);
     }

@@ -58,19 +58,19 @@ pub fn chrome_trace(lanes: &[LaneSnapshot]) -> Value {
 /// `Begin`/`End` pairs and non-decreasing timestamps.
 fn balance(events: &[Event]) -> Vec<Event> {
     let mut out = Vec::with_capacity(events.len());
-    let mut open: Vec<&'static str> = Vec::new();
+    let mut open: Vec<Event> = Vec::new();
     let mut last_ts = 0u64;
     for &event in events {
         last_ts = last_ts.max(event.ts_ns);
         match event.kind {
             EventKind::Begin => {
-                open.push(event.name);
+                open.push(event);
                 out.push(event);
             }
             EventKind::End => {
                 // An end can only close the innermost open span; with
                 // the begin overwritten there is nothing to close.
-                if open.last() == Some(&event.name) {
+                if open.last().map(|b| b.name) == Some(event.name) {
                     open.pop();
                     out.push(event);
                 }
@@ -78,11 +78,13 @@ fn balance(events: &[Event]) -> Vec<Event> {
             EventKind::Instant | EventKind::Counter(_) => out.push(event),
         }
     }
-    while let Some(name) = open.pop() {
+    // Synthetic ends inherit the begin's causal ids, so a mid-span
+    // snapshot still exports a fully id-stamped pair.
+    while let Some(begin) = open.pop() {
         out.push(Event {
-            name,
             kind: EventKind::End,
             ts_ns: last_ts,
+            ..begin
         });
     }
     out
@@ -107,6 +109,22 @@ fn emit(event: &Event, tid: u64) -> Value {
             pairs.push(("ph", Value::from("C")));
             pairs.push(("args", Value::object([("value", Value::from(v))])));
         }
+    }
+    // Causal ids ride along as args so Perfetto queries can group a
+    // request's spans across worker lanes. Counter args already carry
+    // the value; id-less events stay as small as before.
+    if event.span != 0 && !matches!(event.kind, EventKind::Counter(_)) {
+        pairs.push((
+            "args",
+            Value::object([
+                (
+                    "trace",
+                    Value::from(format!("{:016x}{:016x}", event.trace_hi, event.trace_lo)),
+                ),
+                ("span", Value::from(format!("{:016x}", event.span))),
+                ("parent", Value::from(format!("{:016x}", event.parent))),
+            ]),
+        ));
     }
     Value::object(pairs)
 }
@@ -220,7 +238,7 @@ mod tests {
     use super::*;
 
     fn ev(name: &'static str, kind: EventKind, ts_ns: u64) -> Event {
-        Event { name, kind, ts_ns }
+        Event::plain(name, kind, ts_ns)
     }
 
     fn lane(events: Vec<Event>) -> LaneSnapshot {
@@ -254,6 +272,30 @@ mod tests {
             ]
         );
         assert_eq!(repaired.last().unwrap().ts_ns, 40, "closed at the last ts");
+    }
+
+    #[test]
+    fn causal_ids_survive_synthetic_ends_and_export_as_args() {
+        let mut begin = ev("req", EventKind::Begin, 10);
+        begin.trace_hi = 0xaa;
+        begin.trace_lo = 0xbb;
+        begin.span = 0x3;
+        let repaired = balance(&[begin]);
+        assert_eq!(repaired.len(), 2, "open begin gets a synthetic end");
+        assert_eq!(repaired[1].kind, EventKind::End);
+        assert_eq!(repaired[1].span, 0x3, "synthetic end inherits the ids");
+        let json = emit(&repaired[1], 1);
+        let args = json.get("args").expect("id-stamped events carry args");
+        assert_eq!(
+            args.get("span").and_then(Value::as_str),
+            Some("0000000000000003")
+        );
+        assert_eq!(
+            args.get("trace").and_then(Value::as_str),
+            Some("00000000000000aa00000000000000bb")
+        );
+        // Id-less events stay arg-free (Counter keeps its value args).
+        assert!(emit(&ev("x", EventKind::Begin, 0), 1).get("args").is_none());
     }
 
     #[test]

@@ -1,6 +1,13 @@
 //! Std-only HTTP/1.1 server: the exposition endpoints (`/metrics`,
-//! `/healthz`, `/tracez`, `/eventz`, `/sloz`) plus a pluggable JSON API
-//! plane under `/api/` (see [`set_api_handler`]).
+//! `/healthz`, `/tracez`, `/tracez/export`, `/eventz`, `/sloz`) plus a
+//! pluggable JSON API plane under `/api/` (see [`set_api_handler`]).
+//!
+//! Every parsed request is minted a [`TraceCtx`] (seeded via
+//! [`set_trace_seed`], sequence-numbered per request) and handled under
+//! a request root span; the finished span tree feeds the tail store
+//! (see [`crate::tail`]), `/tracez?trace=ID` renders kept trees as
+//! waterfalls, `/tracez?slowest=N` indexes the slowest requests, and
+//! per-route latency lands in the `http_request_us` scoped family.
 //!
 //! Per DESIGN.md §8 this is hand-rolled over [`std::net::TcpListener`] —
 //! no external HTTP stack. Connections are served by a fixed pool of
@@ -25,17 +32,19 @@
 //! explicit interface in `--obs-listen`.
 
 use crate::chrome;
+use crate::context::{self, TraceCtx};
 use crate::events::{self, WideEvent};
 use crate::json::Value;
-use crate::metrics::CounterHandle;
+use crate::metrics::{CounterHandle, HistogramHandle};
 use crate::recorder;
 use crate::registry::registry;
 use crate::slo;
+use crate::tail;
 use crate::{prom, Counter};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, Read as _, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
@@ -46,6 +55,22 @@ static REJECTED: CounterHandle = CounterHandle::new("obs.http.rejected");
 static OVERSIZED: CounterHandle = CounterHandle::new("obs.http.oversized");
 /// Connections that waited in the accept queue before being served.
 static QUEUED: CounterHandle = CounterHandle::new("obs.http.queued");
+/// Time served connections spent in the bounded accept queue before a
+/// worker picked them up, microseconds — the queue half of the
+/// `/metrics` contention families.
+static WAIT_QUEUE: HistogramHandle = HistogramHandle::new("wait.queue.us");
+
+/// Seed that minted trace ids derive from; the request sequence number
+/// advances once per parsed request. With a pinned seed and the same
+/// request order, a drill mints the same trace ids run to run.
+static TRACE_SEED: AtomicU64 = AtomicU64::new(0);
+static REQUEST_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Pins the seed request trace ids are minted from (`CABLE_TRACE_SEED`
+/// / `cable serve --trace-seed`).
+pub fn set_trace_seed(seed: u64) {
+    TRACE_SEED.store(seed, Ordering::Relaxed);
+}
 
 /// Ceiling on request line + header bytes a connection may send.
 pub const MAX_HEADER_BYTES: usize = 8 * 1024;
@@ -144,12 +169,17 @@ pub struct ApiResponse {
 }
 
 impl ApiResponse {
-    /// A JSON response.
+    /// A JSON response. Rendering is a `serialize.response` span: on
+    /// large lattice views the body formatting is real work, and the
+    /// trace-report serialization stage accounts for it.
     pub fn json(status: u16, value: &Value) -> ApiResponse {
+        crate::recorder::begin("serialize.response");
+        let body = format!("{value}\n");
+        crate::recorder::end("serialize.response");
         ApiResponse {
             status,
             content_type: "application/json; charset=utf-8",
-            body: format!("{value}\n"),
+            body,
         }
     }
 
@@ -304,7 +334,10 @@ struct PoolShared {
 }
 
 struct PoolState {
-    queue: VecDeque<TcpStream>,
+    /// Waiting connections, each with its enqueue instant so the
+    /// dequeuing worker can account the queue wait (a cross-thread
+    /// wait can't be a recorder span — lanes are single-writer).
+    queue: VecDeque<(TcpStream, Instant)>,
     stop: bool,
     workers: Vec<std::thread::JoinHandle<()>>,
 }
@@ -342,7 +375,7 @@ impl WorkerPool {
                 if !state.queue.is_empty() {
                     QUEUED.get().incr();
                 }
-                state.queue.push_back(stream);
+                state.queue.push_back((stream, Instant::now()));
                 drop(state);
                 self.shared.ready.notify_one();
                 return;
@@ -391,11 +424,11 @@ impl WorkerPool {
 
 fn worker_loop(shared: &PoolShared) {
     loop {
-        let stream = {
+        let (stream, enqueued) = {
             let mut state = shared.state.lock().expect("obs pool poisoned");
             loop {
-                if let Some(stream) = state.queue.pop_front() {
-                    break stream;
+                if let Some(job) = state.queue.pop_front() {
+                    break job;
                 }
                 if state.stop {
                     return;
@@ -403,7 +436,7 @@ fn worker_loop(shared: &PoolShared) {
                 state = shared.ready.wait(state).expect("obs pool condvar poisoned");
             }
         };
-        handle_connection(stream, REQUESTS.get());
+        handle_connection(stream, REQUESTS.get(), enqueued.elapsed());
     }
 }
 
@@ -480,7 +513,7 @@ fn status_text(status: u16) -> &'static str {
     }
 }
 
-fn handle_connection(stream: TcpStream, requests: &Counter) {
+fn handle_connection(stream: TcpStream, requests: &Counter, queue_wait: Duration) {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
     let mut reader = BufReader::new(stream);
@@ -518,6 +551,19 @@ fn handle_connection(stream: TcpStream, requests: &Counter) {
     }
     requests.incr();
     let started = Instant::now();
+    // Mint the request's causal context: every recorder span opened
+    // while handling — on this thread or adopted by pool workers — is
+    // stamped with this trace id. The accept-queue wait becomes part of
+    // the request's wall time via a synthetic `wait.queue` child span.
+    let queue_wait_us = queue_wait.as_micros().min(u64::MAX as u128) as u64;
+    WAIT_QUEUE.get().record(queue_wait_us);
+    let seq = REQUEST_SEQ.fetch_add(1, Ordering::Relaxed);
+    let ctx = TraceCtx::mint(TRACE_SEED.load(Ordering::Relaxed), seq);
+    let queue_wait_ns = queue_wait.as_nanos().min(u64::MAX as u128) as u64;
+    let trace = context::begin_request(ctx, "http.request", queue_wait_ns);
+    if queue_wait_us > 0 {
+        recorder::counter_mark("wait.queue.us", queue_wait_us);
+    }
     let oversized = !saw_end && head.limit() == 0;
     let mut route = String::new();
     let response = if oversized {
@@ -543,6 +589,17 @@ fn handle_connection(stream: TcpStream, requests: &Counter) {
         route = path.split('?').next().unwrap_or("").to_owned();
         respond(method, path, body)
     };
+    // Close the root span and offer the finished tree to the tail
+    // store (summary always; full tree for slow/error/sampled).
+    let finished = trace.finish();
+    let label = route_label(&route);
+    record_route_latency(
+        label,
+        started.elapsed().as_micros().min(u64::MAX as u128) as u64,
+    );
+    if recorder::recording() {
+        tail::record(label, response.status, &finished);
+    }
     // One wide event per request: the server observes itself through
     // the same stream it serves (outcome = the status code).
     events::emit(
@@ -550,7 +607,8 @@ fn handle_connection(stream: TcpStream, requests: &Counter) {
             .stage(route)
             .outcome(response.status.to_string())
             .duration(started.elapsed())
-            .field("bytes", response.body.len() as u64),
+            .field("bytes", response.body.len() as u64)
+            .field("trace", finished.ctx.trace_hex()),
     );
     let mut stream = reader.into_inner();
     let _ = write!(
@@ -588,6 +646,101 @@ fn parse_limit(query: Option<&str>, default: usize) -> Result<usize, String> {
         }
     }
     Ok(limit)
+}
+
+/// Normalises a request path to one of a bounded set of route labels
+/// for the per-route latency family: an unbounded label set would grow
+/// `/metrics` without limit, so session ids are collapsed to `:id` and
+/// unknown paths to `other`.
+fn route_label(route: &str) -> &'static str {
+    match route {
+        "/metrics" => "/metrics",
+        "/healthz" => "/healthz",
+        "/tracez" => "/tracez",
+        "/tracez/export" => "/tracez/export",
+        "/eventz" => "/eventz",
+        "/sloz" => "/sloz",
+        _ => {
+            let segments: Vec<&str> = route
+                .strip_prefix("/api/")
+                .unwrap_or("")
+                .split('/')
+                .filter(|s| !s.is_empty())
+                .collect();
+            match segments.as_slice() {
+                ["sessions"] => "/api/sessions",
+                ["sessions", _, "ingest"] => "/api/sessions/:id/ingest",
+                ["sessions", _, "label"] => "/api/sessions/:id/label",
+                ["sessions", _, "lattice"] => "/api/sessions/:id/lattice",
+                ["sessions", _, "concepts"] => "/api/sessions/:id/concepts",
+                ["sessions", _, "focus"] => "/api/sessions/:id/focus",
+                ["sessions", _, "digest"] => "/api/sessions/:id/digest",
+                _ => "other",
+            }
+        }
+    }
+}
+
+/// Records one request into the per-route HTTP latency family
+/// (`http_request_us_summary{route="..."}` on `/metrics`). Scopes are
+/// opened on first hit and held for the life of the process: per-request
+/// open/drop would churn the bounded retired-scope ring and lose the
+/// live series between scrapes.
+fn record_route_latency(route: &'static str, us: u64) {
+    static SCOPES: OnceLock<Mutex<HashMap<&'static str, crate::Scope>>> = OnceLock::new();
+    let scopes = SCOPES.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = scopes.lock().expect("obs route scopes poisoned");
+    map.entry(route)
+        .or_insert_with(|| crate::scoped().open(&[("route", route)]))
+        .record("http.request.us", us);
+}
+
+/// What one `/tracez` request asks for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum TracezView {
+    /// The per-lane recorder view, at most this many events per lane.
+    Lanes(usize),
+    /// One kept request's waterfall, by 32-hex-digit trace id.
+    Trace(String),
+    /// The N slowest retained request summaries.
+    Slowest(usize),
+}
+
+/// Parses the `/tracez` query: `limit=N` (lanes view), `trace=ID`, or
+/// `slowest=N`; anything else is a client error. When several are
+/// given, the last one wins.
+fn parse_tracez_query(query: Option<&str>) -> Result<TracezView, String> {
+    let Some(query) = query else {
+        return Ok(TracezView::Lanes(TRACEZ_SPAN_LIMIT));
+    };
+    let mut view = TracezView::Lanes(TRACEZ_SPAN_LIMIT);
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+        match key {
+            "limit" => match value.parse::<usize>() {
+                Ok(n) if (1..=MAX_QUERY_LIMIT).contains(&n) => view = TracezView::Lanes(n),
+                _ => {
+                    return Err(format!(
+                        "limit must be an integer in 1..={MAX_QUERY_LIMIT}, got {value:?}\n"
+                    ))
+                }
+            },
+            "trace" => match context::parse_trace_hex(value) {
+                Some(_) => view = TracezView::Trace(value.to_owned()),
+                None => return Err(format!("trace must be 32 hex digits, got {value:?}\n")),
+            },
+            "slowest" => match value.parse::<usize>() {
+                Ok(n) if (1..=MAX_QUERY_LIMIT).contains(&n) => view = TracezView::Slowest(n),
+                _ => {
+                    return Err(format!(
+                        "slowest must be an integer in 1..={MAX_QUERY_LIMIT}, got {value:?}\n"
+                    ))
+                }
+            },
+            _ => return Err(format!("unknown query parameter {key:?}\n")),
+        }
+    }
+    Ok(view)
 }
 
 fn respond(method: &str, path: &str, body: String) -> HttpResponse {
@@ -635,9 +788,26 @@ fn respond(method: &str, path: &str, body: String) -> HttpResponse {
             Err(e) => bad_request(e),
             Ok(_) => HttpResponse::json(200, &healthz_json()),
         },
-        "/tracez" => match parse_limit(query, TRACEZ_SPAN_LIMIT) {
+        "/tracez" => match parse_tracez_query(query) {
             Err(e) => bad_request(e),
-            Ok(limit) => HttpResponse::json(200, &tracez_json(limit)),
+            Ok(TracezView::Lanes(limit)) => HttpResponse::json(200, &tracez_json(limit)),
+            Ok(TracezView::Trace(id)) => match tail::tree(&id) {
+                Some((summary, spans)) => {
+                    HttpResponse::text(200, tail::render_waterfall(&summary, &spans))
+                }
+                None => HttpResponse::text(
+                    404,
+                    format!(
+                        "no kept span tree for trace {id} (trees are kept for \
+                         slow/error/sampled requests; see /tracez?slowest=N)\n"
+                    ),
+                ),
+            },
+            Ok(TracezView::Slowest(n)) => HttpResponse::json(200, &tail::slowest_json(n)),
+        },
+        "/tracez/export" => match parse_limit(query, 0) {
+            Err(e) => bad_request(e),
+            Ok(_) => HttpResponse::json(200, &tail::export()),
         },
         "/eventz" => match parse_limit(query, EVENTZ_EVENT_LIMIT) {
             Err(e) => bad_request(e),
@@ -649,7 +819,7 @@ fn respond(method: &str, path: &str, body: String) -> HttpResponse {
         },
         _ => HttpResponse::text(
             404,
-            "try /metrics, /healthz, /tracez, /eventz, /sloz, or /api/sessions\n",
+            "try /metrics, /healthz, /tracez, /tracez/export, /eventz, /sloz, or /api/sessions\n",
         ),
     }
 }
@@ -714,6 +884,14 @@ fn tracez_json(limit: usize) -> Value {
                     ];
                     if let recorder::EventKind::Counter(v) = e.kind {
                         pairs.push(("value", Value::from(v)));
+                    }
+                    if e.span != 0 {
+                        pairs.push((
+                            "trace",
+                            Value::from(format!("{:016x}{:016x}", e.trace_hi, e.trace_lo)),
+                        ));
+                        pairs.push(("span", Value::from(format!("{:016x}", e.span))));
+                        pairs.push(("parent", Value::from(format!("{:016x}", e.parent))));
                     }
                     Value::object(pairs)
                 })
@@ -890,6 +1068,139 @@ mod tests {
         assert!(head.starts_with("HTTP/1.1 400"), "{head}");
         let (head, _) = get(addr, "/metrics?unknown=1");
         assert!(head.starts_with("HTTP/1.1 400"), "{head}");
+        drop(guard);
+    }
+
+    #[test]
+    fn tracez_query_views_parse_and_reject_garbage() {
+        let hex = "0123456789abcdef0123456789abcdef";
+        assert_eq!(
+            parse_tracez_query(None),
+            Ok(TracezView::Lanes(TRACEZ_SPAN_LIMIT))
+        );
+        assert_eq!(
+            parse_tracez_query(Some("limit=9")),
+            Ok(TracezView::Lanes(9))
+        );
+        assert_eq!(
+            parse_tracez_query(Some(&format!("trace={hex}"))),
+            Ok(TracezView::Trace(hex.to_owned()))
+        );
+        assert_eq!(
+            parse_tracez_query(Some("slowest=5")),
+            Ok(TracezView::Slowest(5))
+        );
+        assert!(parse_tracez_query(Some("trace=short")).is_err());
+        assert!(parse_tracez_query(Some("trace=zz23456789abcdef0123456789abcdef")).is_err());
+        assert!(parse_tracez_query(Some("slowest=0")).is_err());
+        assert!(parse_tracez_query(Some("slowest=abc")).is_err());
+        assert!(parse_tracez_query(Some("frob=1")).is_err());
+    }
+
+    #[test]
+    fn route_labels_are_bounded() {
+        assert_eq!(route_label("/metrics"), "/metrics");
+        assert_eq!(
+            route_label("/api/sessions/s-42/ingest"),
+            "/api/sessions/:id/ingest"
+        );
+        assert_eq!(route_label("/api/sessions"), "/api/sessions");
+        assert_eq!(
+            route_label("/api/sessions/x/digest"),
+            "/api/sessions/:id/digest"
+        );
+        assert_eq!(route_label("/api/unknown/thing"), "other");
+        assert_eq!(route_label("/favicon.ico"), "other");
+        assert_eq!(route_label(""), "other");
+    }
+
+    #[test]
+    fn tracez_serves_waterfalls_slowest_index_and_export() {
+        use crate::context::{FinishedTrace, SpanRec};
+        let _store = tail::TEST_STORE_LOCK.lock().unwrap();
+        tail::clear();
+        // Seed one slow request's tree directly (the end-to-end mint →
+        // collect path is covered by the request_tracing integration
+        // test, which owns the global recording flag in its own
+        // process).
+        let ctx = TraceCtx::mint(7, 1);
+        let finished = FinishedTrace {
+            ctx,
+            spans: vec![
+                SpanRec {
+                    name: "wait.fsync",
+                    span: context::mix(ctx.span_id, 1),
+                    parent: ctx.span_id,
+                    start_ns: 2_000,
+                    end_ns: 80_000_000,
+                },
+                SpanRec {
+                    name: "http.request",
+                    span: ctx.span_id,
+                    parent: 0,
+                    start_ns: 1_000,
+                    end_ns: 100_001_000,
+                },
+            ],
+            dropped: 0,
+        };
+        assert_eq!(
+            tail::record("/api/sessions/:id/ingest", 200, &finished),
+            "slow"
+        );
+
+        let guard = ObsServer::bind("0").expect("bind ephemeral").spawn();
+        let addr = guard.addr();
+
+        let slow_id = ctx.trace_hex();
+        let (head, body) = get(addr, &format!("/tracez?trace={slow_id}"));
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(body.contains("http.request"), "{body}");
+        assert!(body.contains("wait.fsync"), "{body}");
+
+        let (head, _) = get(addr, "/tracez?trace=ffffffffffffffffffffffffffffffff");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+
+        let (head, body) = get(addr, "/tracez?slowest=3");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        let index = Value::parse(body.trim()).expect("slowest is JSON");
+        let rows = index.get("slowest").and_then(Value::as_array).unwrap();
+        assert!(
+            rows.iter()
+                .any(|r| r.get("trace").and_then(Value::as_str) == Some(slow_id.as_str())),
+            "{body}"
+        );
+
+        let (head, body) = get(addr, "/tracez/export");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        let export = Value::parse(body.trim()).expect("export is JSON");
+        assert_eq!(
+            export.get("record").and_then(Value::as_str),
+            Some("trace_export")
+        );
+        assert!(export
+            .get("traces")
+            .and_then(Value::as_array)
+            .is_some_and(|t| !t.is_empty()));
+
+        tail::clear();
+        drop(guard);
+    }
+
+    #[test]
+    fn metrics_exports_per_route_latency_and_queue_wait_families() {
+        let guard = ObsServer::bind("0").expect("bind ephemeral").spawn();
+        let addr = guard.addr();
+        // One request to /healthz populates its route scope; the next
+        // /metrics scrape must show the labelled family and the queue
+        // wait histogram.
+        let _ = get(addr, "/healthz");
+        let (_, body) = get(addr, "/metrics");
+        assert!(
+            body.contains("http_request_us_summary{route=\"/healthz\""),
+            "per-route family missing: {body}"
+        );
+        assert!(body.contains("wait_queue_us_bucket"), "{body}");
         drop(guard);
     }
 

@@ -63,6 +63,7 @@
 //! flags and `CABLE_OBS=1` gate the `Instant::now` cost.
 
 pub mod chrome;
+pub mod context;
 pub mod events;
 pub mod http;
 pub mod json;
@@ -76,7 +77,11 @@ pub mod scope;
 mod sink;
 pub mod slo;
 mod span;
+pub mod tail;
 
+pub use context::{
+    begin_request, AdoptGuard, FinishedTrace, RequestGuard, SpanRec, TraceCtx, TraceHandle,
+};
 pub use events::WideEvent;
 pub use http::{
     set_api_handler, ApiHandler, ApiRequest, ApiResponse, HealthInfo, ObsServer, ServerConfig,
@@ -117,6 +122,26 @@ pub fn init_from_env() -> bool {
             recorder::set_recording(true);
             events::set_enabled(true);
         }
+    }
+    // Tail-sampling knobs (see [`tail`]): the slow-tree threshold and
+    // the 1-in-N sample for fast requests.
+    if let Some(us) = std::env::var("CABLE_TRACE_SLOW_US")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+    {
+        tail::set_slow_threshold_us(us);
+    }
+    if let Some(n) = std::env::var("CABLE_TRACE_SAMPLE")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+    {
+        tail::set_sample_every(n);
+    }
+    if let Some(seed) = std::env::var("CABLE_TRACE_SEED")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+    {
+        http::set_trace_seed(seed);
     }
     enabled()
 }

@@ -91,6 +91,11 @@ pub enum EventKind {
 }
 
 /// One recorded timeline event.
+///
+/// The trace/span id fields are zero outside a request context; while a
+/// [`crate::context`] is active on the recording thread they carry the
+/// originating 128-bit trace id, the event's own span id, and its
+/// parent span id (see [`crate::context`] for how ids are minted).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Event {
     /// The span / marker name (static, so recording never allocates).
@@ -99,6 +104,29 @@ pub struct Event {
     pub kind: EventKind,
     /// Nanoseconds since the recorder epoch.
     pub ts_ns: u64,
+    /// High half of the originating trace id (0 outside a request).
+    pub trace_hi: u64,
+    /// Low half of the originating trace id (0 outside a request).
+    pub trace_lo: u64,
+    /// This event's span id (0 outside a request).
+    pub span: u64,
+    /// Parent span id (0 at the request root or outside a request).
+    pub parent: u64,
+}
+
+impl Event {
+    /// An event with zeroed causal ids (outside any request context).
+    pub fn plain(name: &'static str, kind: EventKind, ts_ns: u64) -> Event {
+        Event {
+            name,
+            kind,
+            ts_ns,
+            trace_hi: 0,
+            trace_lo: 0,
+            span: 0,
+            parent: 0,
+        }
+    }
 }
 
 /// A lane's fixed-capacity ring.
@@ -242,15 +270,30 @@ fn current_lane() -> Arc<Lane> {
 
 /// Records one event on the current thread's lane. A no-op (one relaxed
 /// load) while recording is off.
+///
+/// While a request context is active on this thread (see
+/// [`crate::context`]), `Begin`/`End` events also maintain the context's
+/// frame stack — minting the span id on begin, collecting the closed
+/// span on end — and every event is stamped with its causal ids.
 #[inline]
 pub fn push(name: &'static str, kind: EventKind) {
     if !recording() {
         return;
     }
+    let ts_ns = now_ns();
+    let ids = match kind {
+        EventKind::Begin => crate::context::on_begin(name, ts_ns),
+        EventKind::End => crate::context::on_end(name, ts_ns),
+        EventKind::Instant | EventKind::Counter(_) => crate::context::on_mark(),
+    };
     let event = Event {
         name,
         kind,
-        ts_ns: now_ns(),
+        ts_ns,
+        trace_hi: ids.trace_hi,
+        trace_lo: ids.trace_lo,
+        span: ids.span,
+        parent: ids.parent,
     };
     let lane = current_lane();
     let overwrote = lane
@@ -338,11 +381,7 @@ mod tests {
     #[test]
     fn ring_overwrites_oldest_and_counts_drops() {
         let mut ring = Ring::new(3);
-        let ev = |ts| Event {
-            name: "t",
-            kind: EventKind::Instant,
-            ts_ns: ts,
-        };
+        let ev = |ts| Event::plain("t", EventKind::Instant, ts);
         for ts in 0..5u64 {
             ring.push(ev(ts));
         }
@@ -355,11 +394,7 @@ mod tests {
     fn ring_below_capacity_keeps_everything() {
         let mut ring = Ring::new(8);
         for ts in 0..5u64 {
-            ring.push(Event {
-                name: "t",
-                kind: EventKind::Begin,
-                ts_ns: ts,
-            });
+            ring.push(Event::plain("t", EventKind::Begin, ts));
         }
         assert_eq!(ring.dropped(), 0);
         assert_eq!(ring.ordered().len(), 5);

@@ -15,7 +15,7 @@
 //! worker whose unit opens a nested scope (the table2 fan-out builds
 //! sessions whose lattice builds shard) never wedges the pool.
 
-use cable_obs::CounterHandle;
+use cable_obs::{context, CounterHandle, HistogramHandle};
 use std::any::Any;
 use std::cell::Cell;
 use std::collections::VecDeque;
@@ -36,6 +36,11 @@ static QUEUE_MAX: CounterHandle = CounterHandle::new("par.queue_max");
 /// budget trips and cancellations tunnelled out of closures — are not
 /// panics and are not counted here).
 static TASK_PANICS: CounterHandle = CounterHandle::new("par.task_panics");
+/// Time idle workers spend parked on the condvar, microseconds. The
+/// contention families on `/metrics` read this against `wait.slots.us`
+/// and friends: high park time with low queue wait means the pool is
+/// starved for work, not stuck on locks.
+static WAIT_PARK: HistogramHandle = HistogramHandle::new("wait.park.us");
 
 type Task = Box<dyn FnOnce() + Send + 'static>;
 
@@ -170,7 +175,11 @@ fn worker_loop(shared: Arc<Shared>, index: usize) {
         }
         // Timed wait: a push between `find_task` and here is recovered on
         // the next iteration at worst.
+        let park_start = cable_obs::enabled().then(Instant::now);
         let _ = shared.idle.wait_timeout(guard, IDLE_POLL);
+        if let Some(start) = park_start {
+            WAIT_PARK.get().record(start.elapsed().as_micros() as u64);
+        }
     }
 }
 
@@ -339,10 +348,18 @@ impl Pool {
         let chunk = crate::chunk_size(n);
         let n_chunks = n.div_ceil(chunk);
         let stage = Stage::new(label, observe);
+        // Capture the caller's trace context once; every chunk adopts it
+        // with `CHUNK_TAG | chunk_index`. Chunk boundaries depend only on
+        // the item count, so the sequential and parallel paths mint
+        // *identical* span ids — the determinism gate compares them.
+        let trace = context::capture();
         let results = if self.threads() <= 1 || n_chunks == 1 {
             let mut results = Vec::with_capacity(n_chunks);
-            for start in (0..n).step_by(chunk) {
+            for (index, start) in (0..n).step_by(chunk).enumerate() {
                 let end = (start + chunk).min(n);
+                let _adopt = trace
+                    .as_ref()
+                    .map(|t| t.adopt(context::CHUNK_TAG | index as u64));
                 let busy_start = observe.then(Instant::now);
                 cable_obs::recorder::begin(label);
                 results.push((start, f(start, &items[start..end])));
@@ -353,11 +370,17 @@ impl Pool {
         } else {
             let results = Mutex::new(Vec::with_capacity(n_chunks));
             self.scope(|s| {
-                for start in (0..n).step_by(chunk) {
+                for (index, start) in (0..n).step_by(chunk).enumerate() {
                     let end = (start + chunk).min(n);
                     let slice = &items[start..end];
                     let (f, results, stage) = (&f, &results, &stage);
+                    let trace = trace.clone();
                     s.spawn(move || {
+                        // Restore the request context on whichever worker
+                        // stole this chunk, under the chunk's own tag.
+                        let _adopt = trace
+                            .as_ref()
+                            .map(|t| t.adopt(context::CHUNK_TAG | index as u64));
                         // Spans the unit opens attribute under the stage
                         // label, not a detached per-worker stack.
                         let _stage_guard = cable_obs::enter_stage(label);
@@ -442,6 +465,10 @@ struct ScopeState {
     remaining: Mutex<usize>,
     done: Condvar,
     panic: Mutex<Option<Box<dyn Any + Send>>>,
+    /// Units spawned so far; each unit adopts the submitter's trace
+    /// context under `SPAWN_TAG | its own index`, so span ids don't
+    /// depend on which worker wins the unit.
+    spawn_seq: AtomicU64,
     /// Set when any unit of the scope panics (or bails on a guard
     /// error): queued-but-unstarted siblings are skipped, the scope's
     /// outcome is already decided.
@@ -469,8 +496,16 @@ impl<'env> Scope<'env> {
     pub fn spawn(&self, f: impl FnOnce() + Send + 'env) {
         *self.state.remaining.lock().expect("par scope poisoned") += 1;
         let state = self.state.clone();
+        // Snapshot the submitter's trace context *here*, before the unit
+        // moves: the worker that eventually runs it may be mid-steal on a
+        // different request (or on none at all).
+        let trace = context::capture();
+        let spawn_seq = self.state.spawn_seq.fetch_add(1, Ordering::Relaxed);
         let wrapper = move || {
             if !state.poisoned.load(Ordering::Relaxed) {
+                let _adopt = trace
+                    .as_ref()
+                    .map(|t| t.adopt(context::SPAWN_TAG | spawn_seq));
                 let result = catch_unwind(AssertUnwindSafe(|| {
                     cable_guard::faults::maybe_panic("par.task");
                     f()

@@ -29,7 +29,7 @@
 use crate::corpus::{decode_snapshot, encode_snapshot, SnapshotData};
 use crate::journal::{self, JournalRecord, TailState};
 use crate::{shim, StoreError};
-use cable_obs::CounterHandle;
+use cable_obs::{CounterHandle, HistogramHandle};
 use std::fs::{self, File, OpenOptions};
 use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
@@ -46,6 +46,10 @@ static JOURNAL_APPENDS: CounterHandle = CounterHandle::new("store.journal.append
 static JOURNAL_DISCARDED_BYTES: CounterHandle = CounterHandle::new("store.journal.discarded_bytes");
 /// Compactions performed.
 static COMPACTIONS: CounterHandle = CounterHandle::new("store.compactions");
+/// Time spent inside file `fsync` calls, µs — the durability cost of
+/// the journal-before-apply discipline, surfaced as the `fsync` stage
+/// in `reproduce trace-report`.
+static WAIT_FSYNC: HistogramHandle = HistogramHandle::new("wait.fsync.us");
 
 /// File name of the snapshot inside a store directory.
 pub const SNAPSHOT_FILE: &str = "snapshot.cable";
@@ -83,7 +87,14 @@ pub struct Store {
 
 fn fsync(file: &File) -> Result<(), StoreError> {
     shim::check("store.fsync")?;
-    file.sync_all()?;
+    let wait_start = cable_obs::enabled().then(std::time::Instant::now);
+    cable_obs::recorder::begin("wait.fsync");
+    let result = file.sync_all();
+    cable_obs::recorder::end("wait.fsync");
+    if let Some(start) = wait_start {
+        WAIT_FSYNC.get().record(start.elapsed().as_micros() as u64);
+    }
+    result?;
     FSYNCS.get().incr();
     Ok(())
 }

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # The CI service drill: 64 concurrent labelers against the labeling
-# API, with two gates.
+# API, with three gates.
 #
 #   1. Service health: the run must finish with zero 5xx responses and
 #      zero transport errors (`cable-load` exits 3 otherwise), and the
@@ -12,6 +12,16 @@
 #      be bit-identical to the digest the server reported for that
 #      tenant's session. Concurrency, queueing, 429 retries, and LRU
 #      eviction may reorder *work*, but never change *state*.
+#   3. Tracing: the server runs with causal request tracing on
+#      (CABLE_OBS=1, seeded trace ids, keep every span tree) and the
+#      drill pulls /tracez/export before shutdown. `reproduce
+#      check-trace` gates span-tree well-formedness (closed spans,
+#      acyclic parents, every span reachable from its request root) and
+#      `reproduce trace-report --min-coverage 95` gates attribution:
+#      the named stages (queue / lock-wait / fsync / serialization /
+#      lattice / handler) must explain at least 95% of the p99
+#      request's wall time. The TRACE_attribution.json record it
+#      writes is the CI artifact ROADMAP item 1 is decided on.
 #
 # The server runs with --max-open-sessions 16 against 64 tenants, so
 # roughly three quarters of all requests hit an evicted session and
@@ -34,9 +44,10 @@ cleanup() {
 }
 trap cleanup EXIT
 
-echo "== start the labeling service (port 0, 16 resident sessions)"
-"$CABLE" serve --obs-listen 0 --api --store-root "$work/tenants" \
-  --max-open-sessions 16 > "$work/announce" 2> /dev/null &
+echo "== start the labeling service (port 0, 16 resident sessions, tracing on)"
+CABLE_OBS=1 "$CABLE" serve --obs-listen 0 --api --store-root "$work/tenants" \
+  --max-open-sessions 16 --trace-seed 20260808 --trace-slow-us 0 \
+  > "$work/announce" 2> /dev/null &
 server_pid=$!
 
 addr=""
@@ -53,12 +64,22 @@ echo "== gate 1a: $LABELERS concurrent labelers, zero 5xx allowed"
   --seed 20260808 --verify-dir "$work/verify" --json-out LOAD_record.json \
   --max-5xx 0
 
+echo "== pull the span-tree export before shutdown"
+"$LOAD" --addr "$addr" --fetch /tracez/export --out TRACE_export.json
+
 kill "$server_pid"
 wait "$server_pid" 2>/dev/null || true
 server_pid=""
 
 echo "== gate 1b: p99 latency within the committed budget"
 "$REPRODUCE" slo-check --records LOAD_record.json --budgets SLO_load_budgets.json
+
+echo "== gate 3a: every kept span tree is well-formed"
+"$REPRODUCE" check-trace TRACE_export.json
+
+echo "== gate 3b: named stages explain >=95% of the p99 request"
+"$REPRODUCE" trace-report --export TRACE_export.json \
+  --min-coverage 95 --json-out TRACE_attribution.json
 
 echo "== gate 2: sequential CLI replay reproduces every session digest"
 replayed=0

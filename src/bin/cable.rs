@@ -13,6 +13,7 @@
 //! cable session resume  --store DIR [--json-out PATH] [--obs-listen ADDR]
 //! cable session compact --store DIR
 //! cable serve   --obs-listen ADDR [--store DIR] [--profile-interval-ms N]
+//!               [--trace-seed N] [--trace-slow-us N]
 //! cable profile diff BEFORE.jsonl AFTER.jsonl
 //! cable diff-spec A.fa B.fa
 //! cable specs
@@ -233,6 +234,8 @@ struct Opts {
     max_open_sessions: Option<usize>,
     max_connections: Option<usize>,
     request_deadline_ms: Option<u64>,
+    trace_seed: Option<u64>,
+    trace_slow_us: Option<u64>,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
@@ -259,6 +262,8 @@ fn parse_opts(args: &[String]) -> Opts {
         max_open_sessions: None,
         max_connections: None,
         request_deadline_ms: None,
+        trace_seed: None,
+        trace_slow_us: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -350,6 +355,20 @@ fn parse_opts(args: &[String]) -> Opts {
                     value()
                         .parse()
                         .unwrap_or_else(|_| usage("--request-deadline-ms needs an integer")),
+                );
+            }
+            "--trace-seed" => {
+                opts.trace_seed = Some(
+                    value()
+                        .parse()
+                        .unwrap_or_else(|_| usage("--trace-seed needs an integer")),
+                );
+            }
+            "--trace-slow-us" => {
+                opts.trace_slow_us = Some(
+                    value()
+                        .parse()
+                        .unwrap_or_else(|_| usage("--trace-slow-us needs an integer")),
                 );
             }
             other => usage(&format!("unknown option {other:?}")),
@@ -804,6 +823,14 @@ fn serve(opts: &Opts) -> i32 {
         .as_ref()
         .unwrap_or_else(|| usage("--obs-listen ADDR is required"));
     let config = resolve_server_config(opts);
+    // Trace knobs: flags beat the CABLE_TRACE_SEED / CABLE_TRACE_SLOW_US
+    // environment fallbacks init_from_env already applied.
+    if let Some(seed) = opts.trace_seed {
+        cable::obs::http::set_trace_seed(seed);
+    }
+    if let Some(us) = opts.trace_slow_us {
+        cable::obs::tail::set_slow_threshold_us(us);
+    }
     let mut _profiler = None;
     if let Some(dir) = &opts.store {
         let (stored, report) = open_store(dir);
@@ -995,7 +1022,7 @@ fn usage(msg: &str) -> ! {
          [--fsync-per-trace] [--keep-going] [--json-out PATH] [--obs-listen ADDR]\n\
          \x20      cable serve --obs-listen ADDR [--store DIR] [--profile-interval-ms N] \
          [--api --store-root DIR] [--max-open-sessions N] [--max-connections N] \
-         [--request-deadline-ms N]\n\
+         [--request-deadline-ms N] [--trace-seed N] [--trace-slow-us N]\n\
          \x20      cable profile diff BEFORE.jsonl AFTER.jsonl\n\
          \x20      cable diff-spec A.fa B.fa   (exit 0 equivalent, 1 differ + witness, 2 error)\n\
          \x20      any command: [--deadline-ms N] [--max-concepts N] [--faults SEED:SPEC] \
