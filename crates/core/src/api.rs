@@ -56,6 +56,13 @@ pub struct CableApi {
 struct ApiError {
     status: u16,
     message: String,
+    /// The degradation cause when the failure is the store's fail-stop
+    /// read-only mode (or the write-path I/O error that triggered it).
+    /// A `Some` here makes the response a *declared* degraded `503`:
+    /// `{"degraded": true, "cause": …}` + `Retry-After` — how load
+    /// clients distinguish "retry, the store is recovering" from a
+    /// genuine server bug.
+    degraded: Option<String>,
 }
 
 impl ApiError {
@@ -63,20 +70,30 @@ impl ApiError {
         ApiError {
             status,
             message: message.into(),
+            degraded: None,
         }
     }
 }
 
 impl From<ManagerError> for ApiError {
     fn from(e: ManagerError) -> Self {
-        let status = match &e {
-            ManagerError::BadName { .. } => 400,
-            ManagerError::AlreadyExists(_) => 409,
-            ManagerError::NotFound(_) => 404,
-            ManagerError::Store(StoreError::Guard(_)) => 503,
-            ManagerError::Store(_) => 500,
+        let (status, degraded) = match &e {
+            ManagerError::BadName { .. } => (400, None),
+            ManagerError::AlreadyExists(_) => (409, None),
+            ManagerError::NotFound(_) => (404, None),
+            ManagerError::Store(StoreError::Guard(_)) => (503, None),
+            // Fail-stop durability (DESIGN.md §17): a degraded store —
+            // and the write-path I/O failure that just degraded it —
+            // answer a declared, retryable 503, never a naked 500.
+            ManagerError::Store(StoreError::Degraded { cause }) => (503, Some(cause.clone())),
+            ManagerError::Store(StoreError::Io(_)) => (503, Some("io".to_owned())),
+            ManagerError::Store(_) => (500, None),
         };
-        ApiError::new(status, e.to_string())
+        ApiError {
+            status,
+            message: e.to_string(),
+            degraded,
+        }
     }
 }
 
@@ -123,6 +140,14 @@ impl CableApi {
             ("POST", ["sessions", id, "label"]) => {
                 let body = parse_body(&request.body)?;
                 self.label(&self.key(&body, None, id)?, &body)
+            }
+            ("POST", ["sessions", id, "recover"]) => {
+                let body = if request.body.trim().is_empty() {
+                    Value::Null
+                } else {
+                    parse_body(&request.body)?
+                };
+                self.recover(&self.key(&body, request.query.as_deref(), id)?)
             }
             ("GET", ["sessions", id, "lattice"]) => {
                 self.lattice(&self.key(&Value::Null, request.query.as_deref(), id)?)
@@ -226,10 +251,43 @@ impl CableApi {
         Ok(ApiResponse::json(201, &summary))
     }
 
+    /// Attempts automatic recovery before a write lands on a degraded
+    /// store. Best-effort by design: when the disk is still refusing
+    /// writes the recovery fails, the store stays read-only, and the
+    /// write below answers the declared degraded `503` — the client
+    /// retries, and whichever retry lands after the disk heals recovers
+    /// and proceeds in one request.
+    fn try_recover(stored: &mut crate::persist::StoredSession) {
+        if stored.store().is_degraded() {
+            let _ = stored.recover();
+        }
+    }
+
+    fn recover(&self, key: &SessionKey) -> ApiResult {
+        let value = self.manager.with_session(key, |stored| {
+            let recovered = stored.recover().map_err(ManagerError::Store)?;
+            Ok(Value::object([
+                ("tenant", Value::from(key.tenant.as_str())),
+                ("session", Value::from(key.session.as_str())),
+                ("recovered", Value::from(recovered)),
+                ("generation", Value::from(stored.store().generation())),
+                (
+                    "degraded",
+                    match stored.store().degraded_cause() {
+                        Some(cause) => Value::from(cause),
+                        None => Value::from(false),
+                    },
+                ),
+            ]))
+        })?;
+        Ok(ApiResponse::json(200, &value))
+    }
+
     fn ingest(&self, key: &SessionKey, body: &Value) -> ApiResult {
         let text = require_str(body, "traces")?;
         let fsync = body.get("fsync").and_then(Value::as_bool).unwrap_or(false);
         let outcome = self.manager.with_session(key, |stored| {
+            Self::try_recover(stored);
             let results = stored
                 .ingest_text(text, fsync)
                 .map_err(ManagerError::Store)?;
@@ -283,6 +341,7 @@ impl CableApi {
         };
         let label = label.to_owned();
         let value = self.manager.with_session(key, |stored| {
+            Self::try_recover(stored);
             let concept = parse_concept(concept_field, stored.session().lattice().len())
                 .map_err(|e| ManagerError::Store(StoreError::format(e.message)))?;
             let classes = stored
@@ -471,7 +530,22 @@ impl ApiHandler for CableApi {
         let result = cable_guard::contain(|| self.route(request));
         match result {
             Ok(Ok(response)) => response,
-            Ok(Err(e)) => ApiResponse::error(e.status, &e.message),
+            Ok(Err(e)) => match e.degraded {
+                // The declared degraded answer: body says so, and
+                // Retry-After tells clients the condition is retryable
+                // (the chaos drill gates that every 5xx carries this).
+                Some(cause) => ApiResponse::json(
+                    e.status,
+                    &Value::object([
+                        ("error", Value::from(e.message.as_str())),
+                        ("status", Value::from(u64::from(e.status))),
+                        ("degraded", Value::from(true)),
+                        ("cause", Value::from(cause)),
+                    ]),
+                )
+                .with_retry_after(cable_obs::RETRY_AFTER_SECONDS),
+                None => ApiResponse::error(e.status, &e.message),
+            },
             Err(GuardError::BudgetExceeded { limit, site }) => {
                 ApiResponse::error(503, &format!("request budget exceeded at {site}: {limit}"))
             }

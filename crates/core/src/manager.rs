@@ -252,7 +252,16 @@ impl SessionManager {
         if let Some(parent) = dir.parent() {
             std::fs::create_dir_all(parent).map_err(|e| ManagerError::Store(e.into()))?;
         }
-        let stored = session.save(vocab, &dir)?;
+        let stored = match session.save(vocab, &dir) {
+            Ok(stored) => stored,
+            Err(e) => {
+                // A torn create must not wedge the name: the directory
+                // did not exist before this call, so drop whatever the
+                // failed save left behind and let a retry start clean.
+                let _ = std::fs::remove_dir_all(&dir);
+                return Err(e.into());
+            }
+        };
         let slot = self.slot(key);
         {
             let mut state = self.lock_state(&slot);
@@ -336,6 +345,18 @@ impl SessionManager {
                     continue;
                 };
                 if let SlotState::Open(stored) = &*state {
+                    // A degraded store is pinned until it recovers: it
+                    // must exit read-only through recovery's front door
+                    // (republish + `store_recovered`), not evaporate
+                    // through an eviction-and-reopen. This also covers
+                    // the rare failed journal rollback, where the file
+                    // still holds unacknowledged frames that a reopen
+                    // would wrongly replay. The pin clears on the
+                    // tenant's next write (auto-recovery) or the
+                    // operator's `/recover`.
+                    if stored.store().is_degraded() {
+                        continue;
+                    }
                     cable_obs::events::emit(
                         WideEvent::new("session_evict", slot.key.session.as_str())
                             .stage("evict")

@@ -35,6 +35,9 @@ use std::time::Instant;
 static SAVES: CounterHandle = CounterHandle::new("core.session.saves");
 /// Sessions resumed from a store.
 static RESUMES: CounterHandle = CounterHandle::new("core.session.resumes");
+/// Successful degraded-store recoveries through
+/// [`StoredSession::recover`].
+static RECOVERIES: CounterHandle = CounterHandle::new("core.session.recoveries");
 
 /// Opens the attribution scope for a stored session: `session` is the
 /// store directory's basename, `tenant` its parent directory's. Every
@@ -279,7 +282,42 @@ impl StoredSession {
             generation: self.store.generation(),
             journal_lag_bytes: self.store.journal_lag_bytes()?,
             journal_lag_records: self.store.journal_lag_records(),
+            degraded: self.store.degraded_cause().map(str::to_owned),
         })
+    }
+
+    /// Attempts to restore write service after a fail-stop degradation
+    /// (see DESIGN.md §17): the in-memory session — which holds exactly
+    /// the acknowledged operations — is republished as the next
+    /// generation through fresh file handles, and the store turns
+    /// writable again. Returns whether a recovery was actually
+    /// performed (`false` when the store was already writable).
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors during the republish; the store then stays
+    /// read-only and the call can be retried.
+    pub fn recover(&mut self) -> Result<bool, StoreError> {
+        let Some(cause) = self.store.degraded_cause().map(str::to_owned) else {
+            return Ok(false);
+        };
+        let started = Instant::now();
+        let data = self
+            .session
+            .to_snapshot(&self.vocab, self.store.generation() + 1);
+        let result = self.store.recover(&data);
+        if result.is_ok() {
+            RECOVERIES.get().incr();
+            self.scope.incr("core.session.recoveries_scoped");
+        }
+        cable_obs::events::emit(
+            self.event("session_recover", "recover")
+                .outcome(if result.is_ok() { "ok" } else { "error" })
+                .duration(started.elapsed())
+                .field("cause", cause)
+                .field("generation", self.store.generation()),
+        );
+        result.map(|_| true)
     }
 
     /// Replays journal records onto the session, batching runs of
@@ -360,22 +398,16 @@ impl StoredSession {
             .iter()
             .map(|t| JournalRecord::Trace(t.display(&self.vocab).to_string()))
             .collect();
-        if sync_each {
-            let mut results = Vec::with_capacity(traces.len());
-            for (trace, record) in traces.into_iter().zip(&records) {
-                // Checkpoint before the journal write, so a budget trip
-                // never leaves a journaled-but-unapplied record behind.
-                cable_guard::checkpoint("core.persist.ingest")?;
-                self.store.append(record)?;
-                self.store.sync()?;
-                results.extend(self.session.push_traces(vec![trace]));
-            }
-            Ok(results)
-        } else {
-            cable_guard::checkpoint("core.persist.ingest")?;
-            self.store.append_all(&records, false)?;
-            Ok(self.session.push_traces(traces))
-        }
+        // Journal the whole batch before applying any of it: a mid-batch
+        // failure (guard trip or degraded disk) must leave the in-memory
+        // session exactly at the acknowledged state — recovery
+        // republishes memory as truth, and the client will retry the
+        // entire batch it was never acked. `append_all` rolls the
+        // journal file back too, so the failed batch cannot resurrect
+        // through a later reopen either.
+        cable_guard::checkpoint("core.persist.ingest")?;
+        self.store.append_all(&records, sync_each)?;
+        Ok(self.session.push_traces(traces))
     }
 
     /// [`StoredSession::ingest_text`] in continue-on-error mode: each
@@ -427,20 +459,12 @@ impl StoredSession {
             .iter()
             .map(|t| JournalRecord::Trace(t.display(&self.vocab).to_string()))
             .collect();
-        let results = if sync_each {
-            let mut results = Vec::with_capacity(traces.len());
-            for (trace, record) in traces.into_iter().zip(&records) {
-                cable_guard::checkpoint("core.persist.ingest")?;
-                self.store.append(record)?;
-                self.store.sync()?;
-                results.extend(self.session.push_traces(vec![trace]));
-            }
-            results
-        } else {
-            cable_guard::checkpoint("core.persist.ingest")?;
-            self.store.append_all(&records, false)?;
-            self.session.push_traces(traces)
-        };
+        // Same batch-atomicity discipline as the strict path: journal
+        // everything, then apply everything, so a failure applies
+        // nothing.
+        cable_guard::checkpoint("core.persist.ingest")?;
+        self.store.append_all(&records, sync_each)?;
+        let results = self.session.push_traces(traces);
         Ok(IngestReport { results, errors })
     }
 

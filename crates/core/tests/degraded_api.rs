@@ -1,0 +1,259 @@
+//! Fail-stop durability through the API (DESIGN.md §17): an injected
+//! fsync failure flips the store read-only, writes answer a *declared*
+//! degraded `503` (body says `degraded: true`, header says
+//! `Retry-After`), reads keep serving, and recovery — operator-
+//! triggered or automatic on the next write — restores exactly the
+//! acknowledged pre-fault state.
+//!
+//! The fault plane is process-global, so these tests run in their own
+//! integration binary and serialise on a local mutex.
+
+use cable_core::CableApi;
+use cable_core::SessionManager;
+use cable_obs::json::Value;
+use cable_obs::{ApiHandler, ApiRequest, ApiResponse};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+fn lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn api(tag: &str) -> (CableApi, std::path::PathBuf) {
+    let root = std::env::temp_dir().join(format!(
+        "cable-core-degraded-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&root);
+    let manager = Arc::new(SessionManager::new(&root, 4));
+    (CableApi::new(manager, None), root)
+}
+
+fn post(api: &CableApi, route: &str, body: &str) -> ApiResponse {
+    api.handle(&ApiRequest {
+        method: "POST".into(),
+        route: route.into(),
+        query: None,
+        body: body.into(),
+    })
+}
+
+fn get(api: &CableApi, route: &str, query: Option<&str>) -> ApiResponse {
+    api.handle(&ApiRequest {
+        method: "GET".into(),
+        route: route.into(),
+        query: query.map(str::to_owned),
+        body: String::new(),
+    })
+}
+
+fn body_json(response: &ApiResponse) -> Value {
+    Value::parse(response.body.trim()).expect("response body is JSON")
+}
+
+fn corpus_digest_of(api: &CableApi, session: &str) -> String {
+    let digest = get(
+        api,
+        &format!("/api/sessions/{session}/digest"),
+        Some("tenant=t1"),
+    );
+    assert_eq!(digest.status, 200, "{}", digest.body);
+    body_json(&digest)
+        .get("corpus_digest")
+        .and_then(Value::as_str)
+        .expect("digest response carries corpus_digest")
+        .to_owned()
+}
+
+fn corpus_digest(api: &CableApi) -> String {
+    corpus_digest_of(api, "s1")
+}
+
+/// Asserts the declared degraded shape the chaos drill gates on: a
+/// `503` whose body admits degradation and whose `Retry-After` marks
+/// it retryable.
+fn assert_declared_degraded(response: &ApiResponse) {
+    assert_eq!(response.status, 503, "{}", response.body);
+    assert_eq!(
+        response.retry_after,
+        Some(cable_obs::RETRY_AFTER_SECONDS),
+        "degraded 503 must carry Retry-After"
+    );
+    let body = body_json(response);
+    assert_eq!(body.get("degraded"), Some(&Value::Bool(true)), "{body}");
+    assert!(
+        body.get("cause").and_then(Value::as_str).is_some(),
+        "{body}"
+    );
+}
+
+const INGEST_FSYNC: &str = r#"{"tenant": "t1", "traces": "fopen(Z) fclose(Z)", "fsync": true}"#;
+
+#[test]
+fn fsync_failure_degrades_reads_survive_and_recovery_restores_state() {
+    let _l = lock();
+    let (api, root) = api("lifecycle");
+    let created = post(
+        &api,
+        "/api/sessions",
+        r#"{"tenant": "t1", "session": "s1", "traces": "fopen(X) fclose(X)\nfopen(Y)"}"#,
+    );
+    assert_eq!(created.status, 201, "{}", created.body);
+    let before = corpus_digest(&api);
+
+    // The next four fsyncs fail (a bare rule fires on its first hit
+    // only, so the disk stays "broken" across several attempts): the
+    // first synced ingest degrades the store within that one request.
+    cable_guard::faults::install(
+        "7:io@store.fsync#1,io@store.fsync#2,io@store.fsync#3,io@store.fsync#4",
+    )
+    .unwrap();
+    let failed = post(&api, "/api/sessions/s1/ingest", INGEST_FSYNC);
+    assert_declared_degraded(&failed);
+
+    // Still broken: the next write's automatic recovery attempt fails
+    // (recovery republishes, whose snapshot fsync is the next hit) and
+    // the refusal is declared with the updated cause.
+    let refused = post(&api, "/api/sessions/s1/ingest", INGEST_FSYNC);
+    assert_declared_degraded(&refused);
+    assert_eq!(
+        body_json(&refused).get("cause").and_then(Value::as_str),
+        Some("publish")
+    );
+
+    // Reads keep serving while the store is read-only — and the state
+    // they serve is exactly the acknowledged pre-fault state.
+    let lattice = get(&api, "/api/sessions/s1/lattice", Some("tenant=t1"));
+    assert_eq!(lattice.status, 200, "{}", lattice.body);
+    assert_eq!(corpus_digest(&api), before);
+
+    // Disk healed: the operator endpoint recovers in one request.
+    cable_guard::faults::uninstall();
+    let recovered = post(&api, "/api/sessions/s1/recover", r#"{"tenant": "t1"}"#);
+    assert_eq!(recovered.status, 200, "{}", recovered.body);
+    let report = body_json(&recovered);
+    assert_eq!(report.get("recovered"), Some(&Value::Bool(true)));
+    assert_eq!(report.get("degraded"), Some(&Value::Bool(false)));
+
+    // Recovery restored exactly the pre-fault state, and writes flow.
+    assert_eq!(corpus_digest(&api), before);
+    let ingested = post(&api, "/api/sessions/s1/ingest", INGEST_FSYNC);
+    assert_eq!(ingested.status, 200, "{}", ingested.body);
+    assert_ne!(corpus_digest(&api), before);
+
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn next_write_after_the_disk_heals_recovers_automatically() {
+    let _l = lock();
+    let (api, root) = api("auto");
+    let created = post(
+        &api,
+        "/api/sessions",
+        r#"{"tenant": "t1", "session": "s1", "traces": "fopen(X) fclose(X)"}"#,
+    );
+    assert_eq!(created.status, 201, "{}", created.body);
+
+    cable_guard::faults::install("7:io@store.fsync").unwrap();
+    assert_declared_degraded(&post(&api, "/api/sessions/s1/ingest", INGEST_FSYNC));
+    cable_guard::faults::uninstall();
+
+    // No operator action: the next write recovers and proceeds itself.
+    let ingested = post(&api, "/api/sessions/s1/ingest", INGEST_FSYNC);
+    assert_eq!(ingested.status, 200, "{}", ingested.body);
+
+    // Idempotent when already writable.
+    let recovered = post(&api, "/api/sessions/s1/recover", r#"{"tenant": "t1"}"#);
+    assert_eq!(recovered.status, 200, "{}", recovered.body);
+    assert_eq!(
+        body_json(&recovered).get("recovered"),
+        Some(&Value::Bool(false))
+    );
+
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn a_failed_create_cleans_up_so_the_retry_succeeds() {
+    let _l = lock();
+    let (api, root) = api("create-retry");
+    let create = r#"{"tenant": "t1", "session": "s1", "traces": "fopen(X) fclose(X)"}"#;
+
+    // The create's own fsync fails: the response is a declared 503, and
+    // the half-written store directory must not survive to turn the
+    // retry into a permanent "already exists".
+    cable_guard::faults::install("7:io@store.fsync").unwrap();
+    let failed = post(&api, "/api/sessions", create);
+    assert_declared_degraded(&failed);
+    cable_guard::faults::uninstall();
+
+    let retried = post(&api, "/api/sessions", create);
+    assert_eq!(retried.status, 201, "{}", retried.body);
+    let digest = get(&api, "/api/sessions/s1/digest", Some("tenant=t1"));
+    assert_eq!(digest.status, 200, "{}", digest.body);
+
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn a_mid_batch_ingest_fault_applies_nothing_and_the_retry_applies_once() {
+    let _l = lock();
+    let (api, root) = api("batch");
+    for session in ["s1", "s2"] {
+        let created = post(
+            &api,
+            "/api/sessions",
+            &format!(
+                r#"{{"tenant": "t1", "session": "{session}", "traces": "fopen(X) fclose(X)"}}"#
+            ),
+        );
+        assert_eq!(created.status, 201, "{}", created.body);
+    }
+    let before = corpus_digest(&api);
+    let batch = r#"{"tenant": "t1", "traces": "fopen(Z) fclose(Z)\nfopen(Y) fread(Y) fclose(Y)\npopen(X) pclose(X)", "fsync": true}"#;
+
+    // The batch's second journal append fails: the request must answer
+    // a declared 503 with *none* of the batch applied — not even the
+    // line that journaled fine. Ingest is all-or-nothing, because the
+    // client retries the whole batch it was never acked.
+    cable_guard::faults::install("7:io@store.journal.append#2").unwrap();
+    let failed = post(&api, "/api/sessions/s1/ingest", batch);
+    assert_declared_degraded(&failed);
+    assert_eq!(corpus_digest(&api), before, "partial batch leaked");
+    cable_guard::faults::uninstall();
+
+    // The retry (auto-recovery plus the full batch) lands exactly once:
+    // the corpus ends bit-identical to a session that saw the batch a
+    // single time on a healthy disk.
+    let retried = post(&api, "/api/sessions/s1/ingest", batch);
+    assert_eq!(retried.status, 200, "{}", retried.body);
+    let clean = post(&api, "/api/sessions/s2/ingest", batch);
+    assert_eq!(clean.status, 200, "{}", clean.body);
+    assert_eq!(corpus_digest_of(&api, "s1"), corpus_digest_of(&api, "s2"));
+
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn journal_append_failure_also_degrades_with_a_declared_503() {
+    let _l = lock();
+    let (api, root) = api("append");
+    let created = post(
+        &api,
+        "/api/sessions",
+        r#"{"tenant": "t1", "session": "s1", "traces": "fopen(X) fclose(X)"}"#,
+    );
+    assert_eq!(created.status, 201, "{}", created.body);
+
+    cable_guard::faults::install("7:io:enospc@store.journal.append").unwrap();
+    let failed = post(&api, "/api/sessions/s1/ingest", INGEST_FSYNC);
+    assert_declared_degraded(&failed);
+    cable_guard::faults::uninstall();
+
+    let ingested = post(&api, "/api/sessions/s1/ingest", INGEST_FSYNC);
+    assert_eq!(ingested.status, 200, "{}", ingested.body);
+
+    std::fs::remove_dir_all(&root).unwrap();
+}

@@ -9,7 +9,10 @@
 //! * `kind` is `panic` (unwind at the site), `io` (return an injected
 //!   `std::io::Error` from the site's read/write shim), or `budget`
 //!   (artificial [`crate::GuardError::BudgetExceeded`] at the site's
-//!   checkpoint).
+//!   checkpoint). The `io` kind takes an optional flavour suffix:
+//!   `io:enospc` (the error carries `ErrorKind::StorageFull`), `io:eio`
+//!   (a generic device-level error), or `io:short` (the write shim
+//!   commits a prefix of the buffer before failing — a torn write).
 //! * `site` is a dotted site name: `par.task` (every `cable-par` unit
 //!   boundary), the `cable-store` shim sites (`store.write`,
 //!   `store.journal.append`, `store.fsync`, `store.read`), or any
@@ -59,6 +62,64 @@ impl FaultKind {
     }
 }
 
+/// The flavour of an injected I/O error — the `io` kind's optional
+/// suffix (`io:enospc`, `io:eio`, `io:short`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IoFlavor {
+    /// A bare `io` rule: a generic injected `std::io::Error`.
+    #[default]
+    Generic,
+    /// Device full: the error carries [`std::io::ErrorKind::StorageFull`].
+    Enospc,
+    /// A device-level I/O error (what the kernel surfaces as `EIO`).
+    Eio,
+    /// A short write: the shim commits a prefix of the buffer to the
+    /// underlying writer before surfacing the error, leaving a torn
+    /// record for recovery to truncate.
+    Short,
+}
+
+impl IoFlavor {
+    fn as_str(self) -> &'static str {
+        match self {
+            IoFlavor::Generic => "io",
+            IoFlavor::Enospc => "io:enospc",
+            IoFlavor::Eio => "io:eio",
+            IoFlavor::Short => "io:short",
+        }
+    }
+}
+
+/// One injected I/O fault drawn at a shim site: carries the firing
+/// rule's flavour so the shim can model the right failure shape.
+#[derive(Debug)]
+pub struct IoFault {
+    flavor: IoFlavor,
+    description: String,
+}
+
+impl IoFault {
+    /// The firing rule's flavour.
+    pub fn flavor(&self) -> IoFlavor {
+        self.flavor
+    }
+
+    /// Whether the shim should commit a prefix of the buffer before
+    /// failing (an `io:short` rule).
+    pub fn is_short_write(&self) -> bool {
+        self.flavor == IoFlavor::Short
+    }
+
+    /// Converts the fault into the `std::io::Error` to surface.
+    pub fn into_error(self) -> std::io::Error {
+        let message = format!("injected fault: {}", self.description);
+        match self.flavor {
+            IoFlavor::Enospc => std::io::Error::new(std::io::ErrorKind::StorageFull, message),
+            _ => std::io::Error::other(message),
+        }
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum Trigger {
     /// Fire on exactly the K-th hit (1-based).
@@ -70,6 +131,7 @@ enum Trigger {
 #[derive(Debug, Clone, PartialEq)]
 struct Rule {
     kind: FaultKind,
+    flavor: IoFlavor,
     site: String,
     trigger: Trigger,
 }
@@ -142,13 +204,17 @@ fn parse_rule(part: &str) -> Result<Rule, String> {
     let (kind_text, rest) = part
         .split_once('@')
         .ok_or_else(|| format!("fault rule {part:?} is missing \"@<site>\""))?;
-    let kind = match kind_text.trim() {
-        "panic" => FaultKind::Panic,
-        "io" => FaultKind::Io,
-        "budget" => FaultKind::Budget,
+    let (kind, flavor) = match kind_text.trim() {
+        "panic" => (FaultKind::Panic, IoFlavor::Generic),
+        "io" => (FaultKind::Io, IoFlavor::Generic),
+        "io:enospc" => (FaultKind::Io, IoFlavor::Enospc),
+        "io:eio" => (FaultKind::Io, IoFlavor::Eio),
+        "io:short" => (FaultKind::Io, IoFlavor::Short),
+        "budget" => (FaultKind::Budget, IoFlavor::Generic),
         other => {
             return Err(format!(
-                "unknown fault kind {other:?} (expected panic, io, or budget)"
+                "unknown fault kind {other:?} (expected panic, \
+                 io[:enospc|:eio|:short], or budget)"
             ))
         }
     };
@@ -179,6 +245,7 @@ fn parse_rule(part: &str) -> Result<Rule, String> {
     }
     Ok(Rule {
         kind,
+        flavor,
         site: site.to_owned(),
         trigger,
     })
@@ -190,9 +257,18 @@ pub fn uninstall() {
     crate::set_faults_installed(false);
 }
 
-/// Evaluates the plane at a `(kind, site)` hit. Returns a description of
-/// the firing rule, or `None`.
-fn fire(kind: FaultKind, site: &str) -> Option<String> {
+/// What a plane evaluation decided: the firing rule's description (for
+/// the error/panic message) and, for `io` rules, its flavour.
+struct Fired {
+    description: String,
+    flavor: IoFlavor,
+}
+
+/// Evaluates the plane at a `(kind, site)` hit. Returns the firing
+/// rule, or `None`. Every firing emits a `fault_injected` wide event
+/// (site, hit ordinal, seed) so a drill can reconstruct the exact fault
+/// timeline from the event log.
+fn fire(kind: FaultKind, site: &str) -> Option<Fired> {
     let guard = plane().read().expect("fault plane poisoned");
     let plane = guard.as_ref()?;
     if !plane.rules.iter().any(|r| r.kind == kind && r.site == site) {
@@ -217,13 +293,24 @@ fn fire(kind: FaultKind, site: &str) -> Option<String> {
             }
         };
         if fires {
-            return Some(format!(
-                "{}@{} (seed {}, hit {})",
-                rule.kind.as_str(),
-                site,
-                plane.seed,
-                hit
-            ));
+            let kind_text = match kind {
+                FaultKind::Io => rule.flavor.as_str(),
+                other => other.as_str(),
+            };
+            if cable_obs::events::enabled() {
+                cable_obs::events::emit(
+                    cable_obs::WideEvent::new("fault_injected", "faults")
+                        .outcome("injected")
+                        .field("fault", kind_text)
+                        .field("site", site.to_owned())
+                        .field("hit", hit)
+                        .field("seed", plane.seed),
+                );
+            }
+            return Some(Fired {
+                description: format!("{kind_text}@{site} (seed {}, hit {hit})", plane.seed),
+                flavor: rule.flavor,
+            });
         }
     }
     None
@@ -238,20 +325,30 @@ pub fn maybe_panic(site: &str) {
     if !crate::faults_installed() {
         return;
     }
-    if let Some(description) = fire(FaultKind::Panic, site) {
-        panic!("injected fault: {description}");
+    if let Some(fired) = fire(FaultKind::Panic, site) {
+        panic!("injected fault: {}", fired.description);
     }
+}
+
+/// Returns the injected I/O fault if an `io@site` rule (of any flavour)
+/// fires, carrying the flavour so write shims can model short writes.
+/// One relaxed load when no plane is installed.
+#[inline]
+pub fn io_fault(site: &str) -> Option<IoFault> {
+    if !crate::faults_installed() {
+        return None;
+    }
+    fire(FaultKind::Io, site).map(|fired| IoFault {
+        flavor: fired.flavor,
+        description: fired.description,
+    })
 }
 
 /// Returns an injected I/O error if an `io@site` rule fires. One relaxed
 /// load when no plane is installed.
 #[inline]
 pub fn io_error(site: &str) -> Option<std::io::Error> {
-    if !crate::faults_installed() {
-        return None;
-    }
-    fire(FaultKind::Io, site)
-        .map(|description| std::io::Error::other(format!("injected fault: {description}")))
+    io_fault(site).map(IoFault::into_error)
 }
 
 /// Whether a `budget@site` rule fires at this checkpoint hit. Only
@@ -282,6 +379,8 @@ mod tests {
             "7:panic@par.task#x",
             "7:io@store.write=1.5",
             "7:io@store.write=x",
+            "7:io:frob@store.write",
+            "7:io:@store.write",
         ] {
             assert!(install(bad).is_err(), "spec {bad:?} should be rejected");
         }
@@ -327,6 +426,62 @@ mod tests {
         assert_ne!(a, run(8), "different seed, different sequence");
         assert!(a.iter().any(|&f| f), "p=0.5 over 64 hits fires");
         assert!(!a.iter().all(|&f| f), "p=0.5 over 64 hits also skips");
+    }
+
+    #[test]
+    fn io_flavors_shape_the_injected_error() {
+        let _l = lock();
+        install("42:io:enospc@store.journal.append").unwrap();
+        let fault = io_fault("store.journal.append").expect("first hit fires");
+        assert_eq!(fault.flavor(), IoFlavor::Enospc);
+        assert!(!fault.is_short_write());
+        let err = fault.into_error();
+        assert_eq!(err.kind(), std::io::ErrorKind::StorageFull);
+        assert!(err.to_string().contains("io:enospc@"), "{err}");
+
+        install("42:io:short@store.journal.append").unwrap();
+        let fault = io_fault("store.journal.append").expect("first hit fires");
+        assert!(fault.is_short_write());
+        assert!(fault.into_error().to_string().contains("io:short@"));
+
+        install("42:io:eio@store.fsync").unwrap();
+        let err = io_error("store.fsync").expect("first hit fires");
+        assert!(err.to_string().contains("io:eio@store.fsync"), "{err}");
+        uninstall();
+    }
+
+    #[test]
+    fn firing_emits_a_fault_injected_wide_event() {
+        let _l = lock();
+        cable_obs::events::set_enabled(true);
+        cable_obs::events::clear_ring();
+        install("42:io@store.fsync#2").unwrap();
+        assert!(io_error("store.fsync").is_none(), "hit 1 does not fire");
+        assert!(io_error("store.fsync").is_some(), "hit 2 fires");
+        uninstall();
+        cable_obs::events::set_enabled(false);
+        let events = cable_obs::events::recent(usize::MAX);
+        let event = events
+            .iter()
+            .rev()
+            .find(|e| {
+                e.get("kind").and_then(cable_obs::json::Value::as_str) == Some("fault_injected")
+            })
+            .expect("fault_injected event emitted");
+        cable_obs::events::check_schema(event).expect("schema holds");
+        assert_eq!(
+            event.get("site").and_then(cable_obs::json::Value::as_str),
+            Some("store.fsync")
+        );
+        assert_eq!(
+            event.get("hit").and_then(cable_obs::json::Value::as_u64),
+            Some(2)
+        );
+        assert_eq!(
+            event.get("seed").and_then(cable_obs::json::Value::as_u64),
+            Some(42)
+        );
+        cable_obs::events::clear_ring();
     }
 
     #[test]

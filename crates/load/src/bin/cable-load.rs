@@ -3,7 +3,7 @@
 //! ```text
 //! cable-load --addr HOST:PORT [--labelers N] [--requests N] [--seed N]
 //!            [--tenant-prefix NAME] [--verify-dir DIR]
-//!            [--json-out PATH] [--max-5xx N]
+//!            [--json-out PATH] [--max-5xx N] [--chaos]
 //! ```
 //!
 //! Simulates `--labelers` concurrent labelers against a
@@ -24,10 +24,17 @@
 //! `/tracez/export` off the server before shutdown — the workspace is
 //! std-only, so there is no curl to lean on.
 //!
+//! `--chaos` is the chaos-drill assertion mode: *declared* degraded
+//! 503s (body says `"degraded": true` — the read-only store refusing a
+//! write under fault injection) are retried with capped exponential
+//! backoff and counted as `degraded_503` rather than as server errors.
+//! Undeclared 5xx answers stay hard errors, so the drill's gate is
+//! exactly "every 5xx is a declared one".
+//!
 //! Exit codes: **0** clean, **2** usage, **3** when the run saw more
-//! than `--max-5xx` server errors (default 0) or any transport error —
-//! the CI drill's zero-5xx gate. `--fetch` exits **1** on transport
-//! errors or a non-2xx status.
+//! than `--max-5xx` server errors (default 0), any transport error, or
+//! any request that gave up its retry budget — the CI drills' gate.
+//! `--fetch` exits **1** on transport errors or a non-2xx status.
 
 use cable_load::{run, LoadOptions};
 use cable_obs::json::Value;
@@ -38,7 +45,7 @@ fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: cable-load --addr HOST:PORT [--labelers N] [--requests N] [--seed N] \
-         [--tenant-prefix NAME] [--verify-dir DIR] [--json-out PATH] [--max-5xx N]\n\
+         [--tenant-prefix NAME] [--verify-dir DIR] [--json-out PATH] [--max-5xx N] [--chaos]\n\
        \x20      cable-load --addr HOST:PORT --fetch PATH [--out FILE]"
     );
     exit(2);
@@ -85,6 +92,7 @@ fn main() {
             }
             "--json-out" => json_out = args.next(),
             "--max-5xx" => max_5xx = parse("--max-5xx", args.next()),
+            "--chaos" => opts.chaos = true,
             other => usage(&format!("unknown argument {other:?}")),
         }
     }
@@ -136,10 +144,10 @@ fn main() {
         sink.flush().expect("flushing load records");
     }
 
-    if report.errors_5xx > max_5xx || report.io_errors > 0 {
+    if report.errors_5xx > max_5xx || report.io_errors > 0 || report.gave_up > 0 {
         eprintln!(
-            "load: FAIL — {} server errors (allowed {}), {} transport errors",
-            report.errors_5xx, max_5xx, report.io_errors
+            "load: FAIL — {} server errors (allowed {}), {} transport errors, {} gave up",
+            report.errors_5xx, max_5xx, report.io_errors, report.gave_up
         );
         exit(3);
     }

@@ -1,25 +1,40 @@
 //! The concurrent load run: N labeler threads, one tenant each.
 //!
 //! Every labeler opens its own session, then issues its seeded op mix
-//! against the service, honouring `429 Too Many Requests` by sleeping
-//! the server's `Retry-After` and retrying — backpressure is an
-//! expected, *successful* interaction with the service, counted
+//! against the service, honouring `429 Too Many Requests` with capped
+//! exponential backoff under seeded jitter and retrying — backpressure
+//! is an expected, *successful* interaction with the service, counted
 //! separately from errors. Per-request latencies are collected exactly
 //! (for the reported p50/p95/p99) and recorded into the process
 //! registry as `load.request_ns` (for `reproduce slo-check`).
+//!
+//! With [`LoadOptions::chaos`] set, a *declared* degraded `503` (body
+//! says `"degraded": true` — the read-only store refusing a write, see
+//! DESIGN.md §17) is treated the same way: retried under backoff and
+//! counted as `degraded_503`, not as a server error. Undeclared 5xx
+//! answers stay hard errors either way — the chaos drill's gate is
+//! precisely "every 5xx under fault injection is a declared one".
+//! A logical request that exhausts its retry budget is counted as
+//! `gave_up`, separately from transport failures.
 
 use crate::client::{request, Response};
 use crate::plan::{Labeler, Op};
 use cable_obs::json::Value;
+use cable_util::rng::{self, Rng, SmallRng};
 use std::io;
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
-/// How many times one logical request may be answered 429 before the
-/// driver gives up and counts it as an error. At one second per retry
-/// this bounds a logical request's patience to about a minute — far
-/// beyond anything a healthy queue produces.
-const MAX_429_RETRIES: usize = 60;
+/// How many retryable answers (429, or declared 503 under `--chaos`)
+/// one logical request absorbs before the driver counts it as
+/// `gave_up`. With the backoff capped by the server's `Retry-After`
+/// hint this bounds a logical request's patience to about a minute —
+/// far beyond anything a healthy queue produces.
+const MAX_RETRIES: usize = 60;
+
+/// First backoff step. Doubles per retry up to the server's
+/// `Retry-After` hint.
+const BACKOFF_BASE_MS: u64 = 25;
 
 /// A load run's shape.
 #[derive(Debug, Clone)]
@@ -37,6 +52,10 @@ pub struct LoadOptions {
     /// When set, write per-labeler op logs and final server digests
     /// here for sequential CLI replay.
     pub verify_dir: Option<PathBuf>,
+    /// Chaos-drill assertion mode: declared degraded 503s are retried
+    /// and counted (`degraded_503`) instead of failing the run;
+    /// undeclared 5xx remain hard errors.
+    pub chaos: bool,
 }
 
 impl LoadOptions {
@@ -49,6 +68,7 @@ impl LoadOptions {
             seed: 42,
             tenant_prefix: "load".into(),
             verify_dir: None,
+            chaos: false,
         }
     }
 }
@@ -68,6 +88,11 @@ pub struct LoadReport {
     pub errors_5xx: u64,
     /// 429 answers absorbed by retrying (not errors).
     pub retries_429: u64,
+    /// Declared degraded 503 answers absorbed by retrying under
+    /// `--chaos` (not errors).
+    pub degraded_503: u64,
+    /// Logical requests abandoned after exhausting the retry budget.
+    pub gave_up: u64,
     /// Transport-level failures (connect/read/write/timeout).
     pub io_errors: u64,
     /// Wall-clock time for the whole run.
@@ -110,6 +135,8 @@ impl LoadReport {
             ("errors_4xx", Value::from(self.errors_4xx)),
             ("errors_5xx", Value::from(self.errors_5xx)),
             ("retries_429", Value::from(self.retries_429)),
+            ("degraded_503", Value::from(self.degraded_503)),
+            ("gave_up", Value::from(self.gave_up)),
             ("io_errors", Value::from(self.io_errors)),
             ("wall_ms", Value::from(self.wall.as_millis() as u64)),
             (
@@ -127,7 +154,8 @@ impl LoadReport {
     pub fn render(&self) -> String {
         format!(
             "load: {} labelers, {} requests in {:.2}s ({:.1} req/s)\n\
-             load: {} ok, {} 4xx, {} 5xx, {} io errors, {} retried 429s ({:.2}s retry wait)\n\
+             load: {} ok, {} 4xx, {} 5xx, {} io errors, {} gave up\n\
+             load: {} retried 429s, {} degraded 503s ({:.2}s retry wait)\n\
              load: latency p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms\n",
             self.labelers,
             self.requests,
@@ -137,7 +165,9 @@ impl LoadReport {
             self.errors_4xx,
             self.errors_5xx,
             self.io_errors,
+            self.gave_up,
             self.retries_429,
+            self.degraded_503,
             self.retry_wait.as_secs_f64(),
             self.quantile_ms(0.50),
             self.quantile_ms(0.95),
@@ -154,67 +184,124 @@ struct Tally {
     errors_4xx: u64,
     errors_5xx: u64,
     retries_429: u64,
+    degraded_503: u64,
+    gave_up: u64,
     io_errors: u64,
     retry_wait: Duration,
     latencies: Vec<u64>,
 }
 
-/// Issues one logical request, absorbing 429s by honouring
-/// `Retry-After`, and records every attempt's latency.
-fn issue(
-    addr: &str,
-    method: &str,
-    path: &str,
-    body: Option<&str>,
-    tally: &mut Tally,
-) -> Option<Response> {
+/// One labeler's request context: where to send, whether declared
+/// degraded 503s are retryable, the backoff jitter stream, and the
+/// running tally.
+struct Cx<'a> {
+    addr: &'a str,
+    chaos: bool,
+    rng: SmallRng,
+    tally: Tally,
+}
+
+impl Cx<'_> {
+    fn new(opts: &LoadOptions, index: usize) -> Cx<'_> {
+        Cx {
+            addr: &opts.addr,
+            chaos: opts.chaos,
+            // A stream disjoint from the labeler's op stream, so backoff
+            // draws never perturb the op mix (same seed → same ops, with
+            // or without retries).
+            rng: rng::stream(opts.seed ^ 0x0062_6163_6b6f_6666, index as u64),
+            tally: Tally::default(),
+        }
+    }
+}
+
+/// The retry sleep for attempt `attempt` (0-based): exponential from
+/// [`BACKOFF_BASE_MS`], capped by the server's `Retry-After` hint, with
+/// full jitter in `[cap/2, cap]` drawn from the labeler's seeded stream
+/// so the fleet's retries decorrelate reproducibly.
+fn backoff(rng: &mut SmallRng, attempt: usize, retry_after: Option<u64>) -> Duration {
+    let cap_ms = retry_after.unwrap_or(1).clamp(1, 5) * 1000;
+    let step_ms = BACKOFF_BASE_MS
+        .saturating_mul(1 << attempt.min(16))
+        .min(cap_ms);
+    Duration::from_millis(step_ms / 2 + rng.gen_range(0..=step_ms.div_ceil(2)))
+}
+
+/// Whether a response is a *declared* degraded refusal: the read-only
+/// store answering a write with `503` plus a body that admits
+/// `"degraded": true` (see DESIGN.md §17).
+fn declares_degraded(r: &Response) -> bool {
+    r.status == 503
+        && body_json(r)
+            .and_then(|v| v.get("degraded").cloned())
+            .is_some_and(|d| d == Value::Bool(true))
+}
+
+/// Issues one logical request, absorbing retryable answers (429, and
+/// declared degraded 503s under `--chaos`) with capped exponential
+/// backoff, and records every attempt's latency.
+fn issue(cx: &mut Cx<'_>, method: &str, path: &str, body: Option<&str>) -> Option<Response> {
     let hist = cable_obs::registry().histogram("load.request_ns");
-    tally.requests += 1;
+    cx.tally.requests += 1;
     cable_obs::registry().counter("load.requests").incr();
-    for _ in 0..=MAX_429_RETRIES {
+    for attempt in 0..=MAX_RETRIES {
         let start = Instant::now();
-        let outcome = request(addr, method, path, body);
+        let outcome = request(cx.addr, method, path, body);
         let ns = start.elapsed().as_nanos() as u64;
-        tally.latencies.push(ns);
+        cx.tally.latencies.push(ns);
         hist.record(ns);
-        match outcome {
+        let retryable = match &outcome {
             Ok(r) if r.status == 429 => {
-                tally.retries_429 += 1;
+                cx.tally.retries_429 += 1;
                 cable_obs::registry().counter("load.http_429").incr();
-                let wait = Duration::from_secs(r.retry_after.unwrap_or(1).clamp(1, 5));
-                tally.retry_wait += wait;
-                cable_obs::registry()
-                    .histogram("load.retry_wait_ns")
-                    .record(wait.as_nanos() as u64);
-                std::thread::sleep(wait);
+                true
             }
+            Ok(r) if cx.chaos && declares_degraded(r) => {
+                cx.tally.degraded_503 += 1;
+                cable_obs::registry().counter("load.degraded_503").incr();
+                true
+            }
+            _ => false,
+        };
+        if retryable {
+            let wait = backoff(&mut cx.rng, attempt, outcome.as_ref().unwrap().retry_after);
+            cx.tally.retry_wait += wait;
+            cable_obs::registry()
+                .histogram("load.retry_wait_ns")
+                .record(wait.as_nanos() as u64);
+            std::thread::sleep(wait);
+            continue;
+        }
+        match outcome {
             Ok(r) => {
                 match r.status {
-                    200..=299 => tally.ok += 1,
+                    200..=299 => cx.tally.ok += 1,
                     500..=599 => {
-                        tally.errors_5xx += 1;
+                        cx.tally.errors_5xx += 1;
                         cable_obs::registry().counter("load.http_5xx").incr();
                         if std::env::var_os("LOAD_DEBUG").is_some() {
                             eprintln!("load: {} {method} {path}: {}", r.status, r.body.trim());
                         }
                     }
                     _ => {
-                        tally.errors_4xx += 1;
+                        cx.tally.errors_4xx += 1;
                         cable_obs::registry().counter("load.http_4xx").incr();
                     }
                 }
                 return Some(r);
             }
             Err(_) => {
-                tally.io_errors += 1;
+                cx.tally.io_errors += 1;
                 cable_obs::registry().counter("load.io_errors").incr();
                 return None;
             }
         }
     }
-    // Out of patience: the queue never drained for us.
-    tally.io_errors += 1;
-    cable_obs::registry().counter("load.io_errors").incr();
+    // Out of patience: the queue (or the degraded store) never let us
+    // through. Counted apart from transport errors so the drill can
+    // gate on each.
+    cx.tally.gave_up += 1;
+    cable_obs::registry().counter("load.gave_up").incr();
     None
 }
 
@@ -263,7 +350,7 @@ impl VerifyLog {
 
 /// Runs one labeler's whole life: create, op mix, final digest.
 fn run_labeler(opts: &LoadOptions, index: usize) -> io::Result<Tally> {
-    let mut tally = Tally::default();
+    let mut cx = Cx::new(opts, index);
     let mut log = VerifyLog::new(opts.verify_dir.as_deref(), index)?;
     let mut labeler = Labeler::new(opts.seed, index as u64);
     let tenant = format!("{}{index:03}", opts.tenant_prefix);
@@ -278,13 +365,7 @@ fn run_labeler(opts: &LoadOptions, index: usize) -> io::Result<Tally> {
         ("session", Value::from(session)),
         ("traces", Value::from(seed_traces.as_str())),
     ]);
-    let r = issue(
-        &opts.addr,
-        "POST",
-        "/api/sessions",
-        Some(&create.to_string()),
-        &mut tally,
-    );
+    let r = issue(&mut cx, "POST", "/api/sessions", Some(&create.to_string()));
     let mut concepts = match r.as_ref().filter(|r| r.status == 201).and_then(body_json) {
         Some(v) => {
             log.write("open.traces", &seed_traces)?;
@@ -292,21 +373,15 @@ fn run_labeler(opts: &LoadOptions, index: usize) -> io::Result<Tally> {
         }
         // Without a session every follow-up would 404; report what we
         // saw and stop this labeler.
-        None => return Ok(tally),
+        None => return Ok(cx.tally),
     };
 
     // Learn the lattice top once — focus ops target it (its extent is
     // never empty).
     let mut top = "c0".to_string();
-    if let Some(v) = issue(
-        &opts.addr,
-        "GET",
-        &format!("{base}/lattice{query}"),
-        None,
-        &mut tally,
-    )
-    .as_ref()
-    .and_then(body_json)
+    if let Some(v) = issue(&mut cx, "GET", &format!("{base}/lattice{query}"), None)
+        .as_ref()
+        .and_then(body_json)
     {
         if let Some(t) = v.get("top").and_then(Value::as_str) {
             top = t.to_string();
@@ -322,11 +397,10 @@ fn run_labeler(opts: &LoadOptions, index: usize) -> io::Result<Tally> {
                     ("traces", Value::from(traces.as_str())),
                 ]);
                 let r = issue(
-                    &opts.addr,
+                    &mut cx,
                     "POST",
                     &format!("{base}/ingest"),
                     Some(&body.to_string()),
-                    &mut tally,
                 );
                 if let Some(v) = r.as_ref().filter(|r| r.status == 200).and_then(body_json) {
                     log.write("ingest.traces", traces)?;
@@ -347,70 +421,44 @@ fn run_labeler(opts: &LoadOptions, index: usize) -> io::Result<Tally> {
                     ("label", Value::from(*label)),
                 ]);
                 let r = issue(
-                    &opts.addr,
+                    &mut cx,
                     "POST",
                     &format!("{base}/label"),
                     Some(&body.to_string()),
-                    &mut tally,
                 );
                 if r.as_ref().is_some_and(|r| r.status == 200) {
                     log.write("label.script", &op.script_line().expect("label op"))?;
                 }
             }
             Op::Lattice => {
-                issue(
-                    &opts.addr,
-                    "GET",
-                    &format!("{base}/lattice{query}"),
-                    None,
-                    &mut tally,
-                );
+                issue(&mut cx, "GET", &format!("{base}/lattice{query}"), None);
             }
             Op::Concepts => {
-                issue(
-                    &opts.addr,
-                    "GET",
-                    &format!("{base}/concepts{query}"),
-                    None,
-                    &mut tally,
-                );
+                issue(&mut cx, "GET", &format!("{base}/concepts{query}"), None);
             }
             Op::Focus => {
                 issue(
-                    &opts.addr,
+                    &mut cx,
                     "GET",
                     &format!("{base}/focus{query}&concept={top}"),
                     None,
-                    &mut tally,
                 );
             }
             Op::Digest => {
-                issue(
-                    &opts.addr,
-                    "GET",
-                    &format!("{base}/digest{query}"),
-                    None,
-                    &mut tally,
-                );
+                issue(&mut cx, "GET", &format!("{base}/digest{query}"), None);
             }
         }
     }
 
     // The server's final word on this session, for the replay diff.
-    if let Some(v) = issue(
-        &opts.addr,
-        "GET",
-        &format!("{base}/digest{query}"),
-        None,
-        &mut tally,
-    )
-    .as_ref()
-    .filter(|r| r.status == 200)
-    .and_then(body_json)
+    if let Some(v) = issue(&mut cx, "GET", &format!("{base}/digest{query}"), None)
+        .as_ref()
+        .filter(|r| r.status == 200)
+        .and_then(body_json)
     {
         log.write_digest(&v)?;
     }
-    Ok(tally)
+    Ok(cx.tally)
 }
 
 /// Runs the whole fleet and merges the tallies.
@@ -446,6 +494,8 @@ pub fn run(opts: &LoadOptions) -> io::Result<LoadReport> {
         errors_4xx: 0,
         errors_5xx: 0,
         retries_429: 0,
+        degraded_503: 0,
+        gave_up: 0,
         io_errors: 0,
         wall,
         retry_wait: Duration::ZERO,
@@ -458,6 +508,8 @@ pub fn run(opts: &LoadOptions) -> io::Result<LoadReport> {
         report.errors_4xx += t.errors_4xx;
         report.errors_5xx += t.errors_5xx;
         report.retries_429 += t.retries_429;
+        report.degraded_503 += t.degraded_503;
+        report.gave_up += t.gave_up;
         report.io_errors += t.io_errors;
         report.retry_wait += t.retry_wait;
         report.latencies.extend(t.latencies);
@@ -478,6 +530,8 @@ mod tests {
             errors_4xx: 0,
             errors_5xx: 0,
             retries_429: 0,
+            degraded_503: 0,
+            gave_up: 0,
             io_errors: 0,
             wall: Duration::from_secs(2),
             retry_wait: Duration::ZERO,
@@ -502,9 +556,64 @@ mod tests {
             Some("load_summary")
         );
         assert_eq!(v.get("errors_5xx").and_then(Value::as_u64), Some(0));
+        assert_eq!(v.get("gave_up").and_then(Value::as_u64), Some(0));
+        assert_eq!(v.get("degraded_503").and_then(Value::as_u64), Some(0));
         assert_eq!(v.get("requests").and_then(Value::as_u64), Some(10));
         assert_eq!(v.get("retry_wait_ms").and_then(Value::as_u64), Some(0));
         assert!(v.get("p99_ms").and_then(Value::as_f64).unwrap() > 1.9);
         assert!((r.throughput_rps() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_to_the_hint_and_stays_jittered() {
+        let mut rng = rng::stream(7, 0);
+        for attempt in 0..24 {
+            let cap = Duration::from_millis(2000);
+            let step = Duration::from_millis((BACKOFF_BASE_MS << attempt.min(16)).min(2000));
+            let d = backoff(&mut rng, attempt, Some(2));
+            // Full jitter keeps every delay within [step/2, step] —
+            // never zero, never past the server's hint.
+            assert!(d >= step / 2, "attempt {attempt}: {d:?} < {:?}", step / 2);
+            assert!(d <= step + Duration::from_millis(1), "attempt {attempt}");
+            assert!(d <= cap + Duration::from_millis(1), "attempt {attempt}");
+        }
+        // Unhinted answers back off toward one second, the service's
+        // standard Retry-After.
+        assert!(backoff(&mut rng, 16, None) <= Duration::from_secs(1));
+    }
+
+    #[test]
+    fn backoff_is_reproducible_per_stream() {
+        let mut a = rng::stream(42, 3);
+        let mut b = rng::stream(42, 3);
+        let delays_a: Vec<_> = (0..8).map(|i| backoff(&mut a, i, Some(1))).collect();
+        let delays_b: Vec<_> = (0..8).map(|i| backoff(&mut b, i, Some(1))).collect();
+        assert_eq!(delays_a, delays_b);
+        let mut c = rng::stream(42, 4);
+        let delays_c: Vec<_> = (0..8).map(|i| backoff(&mut c, i, Some(1))).collect();
+        assert_ne!(delays_a, delays_c, "streams decorrelate the fleet");
+    }
+
+    #[test]
+    fn only_a_declared_degraded_503_counts_as_degraded() {
+        let declared = Response {
+            status: 503,
+            retry_after: Some(1),
+            body: r#"{"error": "read-only", "status": 503, "degraded": true, "cause": "fsync"}"#
+                .into(),
+        };
+        assert!(declares_degraded(&declared));
+        let naked = Response {
+            status: 503,
+            retry_after: None,
+            body: "service exploded".into(),
+        };
+        assert!(!declares_degraded(&naked));
+        let wrong_status = Response {
+            status: 500,
+            retry_after: None,
+            body: r#"{"degraded": true}"#.into(),
+        };
+        assert!(!declares_degraded(&wrong_status));
     }
 }

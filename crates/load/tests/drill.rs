@@ -110,6 +110,7 @@ fn concurrent_run_replays_sequentially_to_identical_digests() {
         ServerConfig {
             max_connections: 4,
             queue_depth: 64,
+            ..ServerConfig::default()
         },
     )
     .unwrap();

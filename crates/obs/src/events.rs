@@ -281,6 +281,27 @@ pub fn check_schema(event: &Value) -> Result<(), String> {
             return Err("duration_ns field is not a u64".to_owned());
         }
     }
+    // Kind-specific contracts the chaos drill replays from the log:
+    // a fault without its site (or a degradation without its cause)
+    // cannot be matched against the injected schedule.
+    match event.get("kind").and_then(Value::as_str) {
+        Some("fault_injected") => {
+            match event.get("site").and_then(Value::as_str) {
+                Some(s) if !s.is_empty() => {}
+                _ => return Err("fault_injected event without a site".to_owned()),
+            }
+            if event.get("hit").and_then(Value::as_u64).is_none() {
+                return Err("fault_injected event without a u64 hit ordinal".to_owned());
+            }
+        }
+        Some("store_degraded") | Some("store_recovered") => {
+            match event.get("cause").and_then(Value::as_str) {
+                Some(c) if !c.is_empty() => {}
+                _ => return Err("store durability event without a cause".to_owned()),
+            }
+        }
+        _ => {}
+    }
     Ok(())
 }
 
@@ -410,6 +431,44 @@ mod tests {
             ("duration_ns", Value::from("fast")),
         ]);
         assert!(check_schema(&bad_duration).is_err());
+    }
+
+    #[test]
+    fn check_schema_enforces_the_chaos_event_contracts() {
+        fn base(kind: &'static str, extra: Vec<(&'static str, Value)>) -> Value {
+            let mut fields = vec![
+                ("record", Value::from("wide_event")),
+                ("seq", Value::from(1u64)),
+                ("kind", Value::from(kind)),
+                ("scope", Value::from("faults")),
+                ("outcome", Value::from("injected")),
+            ];
+            fields.extend(extra);
+            Value::object(fields)
+        }
+
+        let fired = base(
+            "fault_injected",
+            vec![
+                ("site", Value::from("store.fsync")),
+                ("hit", Value::from(3u64)),
+            ],
+        );
+        assert!(check_schema(&fired).is_ok());
+        assert!(check_schema(&base("fault_injected", vec![("hit", Value::from(3u64))])).is_err());
+        assert!(check_schema(&base(
+            "fault_injected",
+            vec![
+                ("site", Value::from("store.fsync")),
+                ("hit", Value::from("three")),
+            ],
+        ))
+        .is_err());
+
+        let degraded = base("store_degraded", vec![("cause", Value::from("fsync"))]);
+        assert!(check_schema(&degraded).is_ok());
+        assert!(check_schema(&base("store_degraded", vec![])).is_err());
+        assert!(check_schema(&base("store_recovered", vec![("cause", Value::from(""))])).is_err());
     }
 
     #[test]

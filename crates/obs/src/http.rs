@@ -53,6 +53,12 @@ static REQUESTS: CounterHandle = CounterHandle::new("obs.http.requests");
 static REJECTED: CounterHandle = CounterHandle::new("obs.http.rejected");
 /// Requests refused with `431` for oversized request line + headers.
 static OVERSIZED: CounterHandle = CounterHandle::new("obs.http.oversized");
+/// Responses whose write failed mid-flight (EPIPE, connection reset):
+/// the client hung up first. Counted, never panicking.
+static CLIENT_ABORTS: CounterHandle = CounterHandle::new("http.client_abort");
+/// Connections cut with `408` because they failed to deliver a whole
+/// request within the per-connection deadline (the slowloris guard).
+static SLOW_CLIENT_ABORTS: CounterHandle = CounterHandle::new("obs.http.slow_client_aborts");
 /// Connections that waited in the accept queue before being served.
 static QUEUED: CounterHandle = CounterHandle::new("obs.http.queued");
 /// Time served connections spent in the bounded accept queue before a
@@ -85,6 +91,14 @@ pub const MAX_CONNECTIONS: usize = 8;
 pub const QUEUE_DEPTH: usize = 32;
 /// The `Retry-After` value (seconds) sent with `429` responses.
 pub const RETRY_AFTER_SECONDS: u64 = 1;
+/// Default per-read/per-write socket timeout on a served connection.
+pub const IO_TIMEOUT: Duration = Duration::from_secs(2);
+/// Default overall deadline for one connection to deliver its whole
+/// request (line, headers, and body). The per-read timeout alone resets
+/// on every byte, so a client trickling one byte per interval could
+/// hold a worker forever; the deadline bounds the total and answers
+/// `408` — the slowloris guard.
+pub const CONNECTION_DEADLINE: Duration = Duration::from_secs(10);
 
 /// Most recent spans per lane served by `/tracez` (override per request
 /// with `?limit=N`).
@@ -107,6 +121,12 @@ pub struct ServerConfig {
     /// `max_connections + queue_depth` in flight, new connections get
     /// `429` + `Retry-After`.
     pub queue_depth: usize,
+    /// Per-read/per-write socket timeout on a served connection.
+    pub io_timeout: Duration,
+    /// Overall deadline for one connection to deliver its whole request
+    /// (the slowloris guard; `408` + `obs.http.slow_client_aborts` past
+    /// it).
+    pub connection_deadline: Duration,
 }
 
 impl Default for ServerConfig {
@@ -114,13 +134,15 @@ impl Default for ServerConfig {
         ServerConfig {
             max_connections: MAX_CONNECTIONS,
             queue_depth: QUEUE_DEPTH,
+            io_timeout: IO_TIMEOUT,
+            connection_deadline: CONNECTION_DEADLINE,
         }
     }
 }
 
 /// What `/healthz` reports about an open store, set by whoever holds
 /// one (the `cable` binary) via [`set_health`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HealthInfo {
     /// Snapshot generation of the open store.
     pub generation: u64,
@@ -129,6 +151,10 @@ pub struct HealthInfo {
     pub journal_lag_bytes: u64,
     /// Journal records not yet folded into the snapshot.
     pub journal_lag_records: u64,
+    /// The degradation cause when the store is read-only after a
+    /// write-path failure (fail-stop durability), `None` while
+    /// writable.
+    pub degraded: Option<String>,
 }
 
 fn health_slot() -> &'static Mutex<Option<HealthInfo>> {
@@ -166,6 +192,10 @@ pub struct ApiResponse {
     pub content_type: &'static str,
     /// The response body.
     pub body: String,
+    /// When set, the server adds a `Retry-After: <seconds>` header —
+    /// how degraded-store `503`s tell clients the condition is
+    /// retryable.
+    pub retry_after: Option<u64>,
 }
 
 impl ApiResponse {
@@ -180,6 +210,7 @@ impl ApiResponse {
             status,
             content_type: "application/json; charset=utf-8",
             body,
+            retry_after: None,
         }
     }
 
@@ -193,6 +224,12 @@ impl ApiResponse {
                 ("status", Value::from(u64::from(status))),
             ]),
         )
+    }
+
+    /// Attaches a `Retry-After` header value (seconds).
+    pub fn with_retry_after(mut self, seconds: u64) -> ApiResponse {
+        self.retry_after = Some(seconds);
+        self
     }
 }
 
@@ -331,6 +368,7 @@ struct PoolShared {
     state: Mutex<PoolState>,
     ready: Condvar,
     queue_depth: usize,
+    config: ServerConfig,
 }
 
 struct PoolState {
@@ -352,6 +390,7 @@ impl WorkerPool {
             }),
             ready: Condvar::new(),
             queue_depth: config.queue_depth,
+            config,
         });
         let mut workers = Vec::with_capacity(config.max_connections);
         for i in 0..config.max_connections {
@@ -383,7 +422,7 @@ impl WorkerPool {
         }
         REJECTED.get().incr();
         let mut stream = stream;
-        let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+        let _ = stream.set_write_timeout(Some(self.shared.config.io_timeout));
         let body = "server over capacity, retry\n";
         let _ = write!(
             stream,
@@ -436,7 +475,7 @@ fn worker_loop(shared: &PoolShared) {
                 state = shared.ready.wait(state).expect("obs pool condvar poisoned");
             }
         };
-        handle_connection(stream, REQUESTS.get(), enqueued.elapsed());
+        handle_connection(stream, REQUESTS.get(), enqueued.elapsed(), shared.config);
     }
 }
 
@@ -474,6 +513,7 @@ struct HttpResponse {
     status: u16,
     content_type: &'static str,
     body: String,
+    retry_after: Option<u64>,
 }
 
 impl HttpResponse {
@@ -482,6 +522,7 @@ impl HttpResponse {
             status,
             content_type: "text/plain; charset=utf-8",
             body: body.into(),
+            retry_after: None,
         }
     }
 
@@ -490,6 +531,7 @@ impl HttpResponse {
             status,
             content_type: "application/json; charset=utf-8",
             body: format!("{value}\n"),
+            retry_after: None,
         }
     }
 }
@@ -502,6 +544,7 @@ fn status_text(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         409 => "Conflict",
         413 => "Content Too Large",
         422 => "Unprocessable Content",
@@ -513,10 +556,70 @@ fn status_text(status: u16) -> &'static str {
     }
 }
 
-fn handle_connection(stream: TcpStream, requests: &Counter, queue_wait: Duration) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
-    let mut reader = BufReader::new(stream);
+/// A [`TcpStream`] whose reads share one absolute deadline: before
+/// every read the socket timeout is clamped to the time remaining, so
+/// no sequence of trickled bytes can stretch the total read time past
+/// the deadline (each byte received resets a plain socket timeout —
+/// that reset is exactly what a slowloris client exploits).
+struct DeadlineStream {
+    stream: TcpStream,
+    deadline: Instant,
+    io_timeout: Duration,
+}
+
+impl std::io::Read for DeadlineStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let remaining = self.deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "connection deadline exceeded",
+            ));
+        }
+        let _ = self
+            .stream
+            .set_read_timeout(Some(self.io_timeout.min(remaining)));
+        self.stream.read(buf)
+    }
+}
+
+/// Answers `408` (best-effort — the peer may be gone) and counts the
+/// slow client when a request read failed because time ran out rather
+/// than because the connection dropped.
+fn abort_unfinished_read(reader: BufReader<DeadlineStream>, deadline: Instant) {
+    if Instant::now() < deadline {
+        // The read failed before the deadline: a reset or early close,
+        // not a slow client. Nothing useful to write back.
+        return;
+    }
+    SLOW_CLIENT_ABORTS.get().incr();
+    let mut stream = reader.into_inner().stream;
+    let body = "request not received within the connection deadline\n";
+    if write!(
+        stream,
+        "HTTP/1.1 408 Request Timeout\r\nContent-Type: text/plain; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .is_err()
+    {
+        CLIENT_ABORTS.get().incr();
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    requests: &Counter,
+    queue_wait: Duration,
+    config: ServerConfig,
+) {
+    let deadline = Instant::now() + config.connection_deadline;
+    let _ = stream.set_read_timeout(Some(config.io_timeout));
+    let _ = stream.set_write_timeout(Some(config.io_timeout));
+    let mut reader = BufReader::new(DeadlineStream {
+        stream,
+        deadline,
+        io_timeout: config.io_timeout,
+    });
     // The `take` caps how many request-line + header bytes one
     // connection may feed us: past it `read_line` sees EOF, and we
     // answer 431 instead of buffering without bound. The body is read
@@ -524,7 +627,7 @@ fn handle_connection(stream: TcpStream, requests: &Counter, queue_wait: Duration
     let mut head = (&mut reader).take(MAX_HEADER_BYTES as u64);
     let mut request_line = String::new();
     if head.read_line(&mut request_line).is_err() {
-        return;
+        return abort_unfinished_read(reader, deadline);
     }
     // Drain headers (keeping Content-Length) so well-behaved clients
     // see a clean close.
@@ -546,7 +649,7 @@ fn handle_connection(stream: TcpStream, requests: &Counter, queue_wait: Duration
                     }
                 }
             }
-            Err(_) => return,
+            Err(_) => return abort_unfinished_read(reader, deadline),
         }
     }
     requests.incr();
@@ -580,7 +683,7 @@ fn handle_connection(stream: TcpStream, requests: &Counter, queue_wait: Duration
     } else {
         let mut body = vec![0u8; content_length];
         if content_length > 0 && reader.read_exact(&mut body).is_err() {
-            return;
+            return abort_unfinished_read(reader, deadline);
         }
         let body = String::from_utf8_lossy(&body).into_owned();
         let mut parts = request_line.split_whitespace();
@@ -610,17 +713,32 @@ fn handle_connection(stream: TcpStream, requests: &Counter, queue_wait: Duration
             .field("bytes", response.body.len() as u64)
             .field("trace", finished.ctx.trace_hex()),
     );
-    let mut stream = reader.into_inner();
-    let _ = write!(
+    // Keep the persistent event log current through each request: the
+    // chaos drill kills the server and then replays the fault timeline
+    // from this file, so it must not trail by a buffer's worth.
+    events::flush_sink();
+    let mut stream = reader.into_inner().stream;
+    let retry_after = response
+        .retry_after
+        .map(|seconds| format!("Retry-After: {seconds}\r\n"))
+        .unwrap_or_default();
+    // A peer that hangs up mid-response (EPIPE / reset) is routine
+    // under load-test churn: count it and move on — the request was
+    // already served and accounted above.
+    let wrote = write!(
         stream,
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\n{}Content-Length: {}\r\nConnection: close\r\n\r\n",
         response.status,
         status_text(response.status),
         response.content_type,
+        retry_after,
         response.body.len()
-    );
-    let _ = stream.write_all(response.body.as_bytes());
-    let _ = stream.flush();
+    )
+    .and_then(|()| stream.write_all(response.body.as_bytes()))
+    .and_then(|()| stream.flush());
+    if wrote.is_err() {
+        CLIENT_ABORTS.get().incr();
+    }
 }
 
 /// Parses an optional `?limit=N` query. `N` must be an integer in
@@ -671,6 +789,7 @@ fn route_label(route: &str) -> &'static str {
                 ["sessions"] => "/api/sessions",
                 ["sessions", _, "ingest"] => "/api/sessions/:id/ingest",
                 ["sessions", _, "label"] => "/api/sessions/:id/label",
+                ["sessions", _, "recover"] => "/api/sessions/:id/recover",
                 ["sessions", _, "lattice"] => "/api/sessions/:id/lattice",
                 ["sessions", _, "concepts"] => "/api/sessions/:id/concepts",
                 ["sessions", _, "focus"] => "/api/sessions/:id/focus",
@@ -763,6 +882,7 @@ fn respond(method: &str, path: &str, body: String) -> HttpResponse {
                     status: answer.status,
                     content_type: answer.content_type,
                     body: answer.body,
+                    retry_after: answer.retry_after,
                 }
             }
             None => HttpResponse::text(
@@ -782,6 +902,7 @@ fn respond(method: &str, path: &str, body: String) -> HttpResponse {
                 status: 200,
                 content_type: "text/plain; version=0.0.4; charset=utf-8",
                 body: prom::encode_full(&registry().snapshot(), &crate::scoped().snapshot()),
+                retry_after: None,
             },
         },
         "/healthz" => match parse_limit(query, 0) {
@@ -825,10 +946,18 @@ fn respond(method: &str, path: &str, body: String) -> HttpResponse {
 }
 
 fn healthz_json() -> Value {
-    let health = *health_slot().lock().expect("obs health poisoned");
+    let health = health_slot().lock().expect("obs health poisoned").clone();
     let build = crate::build_info();
+    let degraded_cause = health.as_ref().and_then(|h| h.degraded.clone());
     let mut pairs = vec![
-        ("status", Value::from("ok")),
+        (
+            "status",
+            Value::from(if degraded_cause.is_some() {
+                "degraded"
+            } else {
+                "ok"
+            }),
+        ),
         ("version", Value::from(build.version)),
         ("git_hash", Value::from(build.git_hash)),
         ("uptime_seconds", Value::from(crate::uptime_seconds())),
@@ -842,8 +971,39 @@ fn healthz_json() -> Value {
         }
         None => pairs.push(("store", Value::from("none"))),
     }
+    match degraded_cause {
+        Some(cause) => pairs.push(("degraded", Value::from(cause))),
+        None => pairs.push(("degraded", Value::from(false))),
+    }
+    pairs.push(("durability", durability_json()));
     pairs.push(("guard", guard_json()));
     Value::object(pairs)
+}
+
+/// Degraded-mode counters for `/healthz`, read from the registry by
+/// name (same contract as [`guard_json`]): `degraded_now` is derived as
+/// enters minus exits, so it reads `1` while the store is read-only
+/// even when [`set_health`] has not been refreshed since the failure.
+fn durability_json() -> Value {
+    let snapshot = registry().snapshot();
+    let read = |name: &str| snapshot.counter(name).unwrap_or(0);
+    let enter = read("store.degraded.enter");
+    let exit = read("store.degraded.exit");
+    Value::object([
+        ("degraded_now", Value::from(enter.saturating_sub(exit))),
+        ("degraded_enters", Value::from(enter)),
+        ("degraded_exits", Value::from(exit)),
+        (
+            "refused_writes",
+            Value::from(read("store.degraded.refusals")),
+        ),
+        ("recoveries", Value::from(read("core.session.recoveries"))),
+        ("client_aborts", Value::from(read("http.client_abort"))),
+        (
+            "slow_client_aborts",
+            Value::from(read("obs.http.slow_client_aborts")),
+        ),
+    ])
 }
 
 /// Guard/robustness counters for `/healthz`, read from the registry by
@@ -987,6 +1147,7 @@ mod tests {
             generation: 4,
             journal_lag_bytes: 128,
             journal_lag_records: 2,
+            degraded: None,
         }));
         let (_, body) = get(addr, "/healthz");
         let health = Value::parse(body.trim()).unwrap();
@@ -994,6 +1155,30 @@ mod tests {
         assert_eq!(
             health.get("journal_lag_bytes").and_then(Value::as_u64),
             Some(128)
+        );
+        assert_eq!(health.get("status").and_then(Value::as_str), Some("ok"));
+        assert_eq!(health.get("degraded").and_then(Value::as_bool), Some(false));
+        assert!(health
+            .get("durability")
+            .and_then(|d| d.get("degraded_now"))
+            .and_then(Value::as_u64)
+            .is_some());
+
+        set_health(Some(HealthInfo {
+            generation: 4,
+            journal_lag_bytes: 128,
+            journal_lag_records: 2,
+            degraded: Some("fsync".to_owned()),
+        }));
+        let (_, body) = get(addr, "/healthz");
+        let health = Value::parse(body.trim()).unwrap();
+        assert_eq!(
+            health.get("status").and_then(Value::as_str),
+            Some("degraded")
+        );
+        assert_eq!(
+            health.get("degraded").and_then(Value::as_str),
+            Some("fsync")
         );
         set_health(None);
 
@@ -1345,6 +1530,7 @@ mod tests {
             ServerConfig {
                 max_connections: 1,
                 queue_depth: 0,
+                ..ServerConfig::default()
             },
         )
         .expect("bind ephemeral")
@@ -1382,6 +1568,7 @@ mod tests {
             ServerConfig {
                 max_connections: 1,
                 queue_depth: 8,
+                ..ServerConfig::default()
             },
         )
         .expect("bind ephemeral")
@@ -1411,8 +1598,77 @@ mod tests {
             ServerConfig {
                 max_connections: 0,
                 queue_depth: 4,
+                ..ServerConfig::default()
             }
         )
         .is_err());
+    }
+
+    #[test]
+    fn slow_client_gets_408_past_the_connection_deadline() {
+        // Tight deadline: a client that trickles its request line slower
+        // than the connection deadline must be cut off with 408 and
+        // counted, not held for the full io_timeout per byte.
+        let guard = ObsServer::bind_with(
+            "0",
+            ServerConfig {
+                io_timeout: Duration::from_millis(400),
+                connection_deadline: Duration::from_millis(300),
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind ephemeral")
+        .spawn();
+        let before = SLOW_CLIENT_ABORTS.get().get();
+        let mut stream = TcpStream::connect(guard.addr()).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        // Trickle one byte at a time: each write arrives within the
+        // io_timeout, so only the absolute deadline can stop us.
+        let started = Instant::now();
+        let mut response = String::new();
+        for byte in b"GET /healthz HTTP/1.1\r\n" {
+            if stream.write_all(&[*byte]).is_err() {
+                break; // server already hung up on us — expected
+            }
+            std::thread::sleep(Duration::from_millis(50));
+            if started.elapsed() > Duration::from_secs(3) {
+                break;
+            }
+        }
+        let _ = stream.read_to_string(&mut response);
+        assert!(
+            response.starts_with("HTTP/1.1 408") || response.is_empty(),
+            "expected a 408 or a cut connection, got: {}",
+            response.lines().next().unwrap_or("")
+        );
+        assert!(
+            SLOW_CLIENT_ABORTS.get().get() > before,
+            "slow client must be counted"
+        );
+        drop(guard);
+    }
+
+    #[test]
+    fn client_abort_during_response_write_is_counted_not_fatal() {
+        let guard = ObsServer::bind("0").expect("bind ephemeral").spawn();
+        let addr = guard.addr();
+        // Send a full request, then slam the connection shut without
+        // reading the response: whether the server's write lands in the
+        // doomed socket buffer or errors (EPIPE/reset → counted in
+        // `http.client_abort`), the worker must shrug it off and keep
+        // serving.
+        {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            write!(stream, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+            drop(stream);
+        }
+        // The next request must still be served normally.
+        std::thread::sleep(Duration::from_millis(100));
+        let (head, _) = get(addr, "/healthz");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        drop(guard);
     }
 }

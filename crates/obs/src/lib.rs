@@ -85,7 +85,7 @@ pub use context::{
 pub use events::WideEvent;
 pub use http::{
     set_api_handler, ApiHandler, ApiRequest, ApiResponse, HealthInfo, ObsServer, ServerConfig,
-    ServerGuard,
+    ServerGuard, RETRY_AFTER_SECONDS,
 };
 pub use metrics::{Counter, CounterHandle, Histogram, HistogramHandle, HistogramSnapshot, BUCKETS};
 pub use registry::{registry, Registry, Snapshot};

@@ -31,7 +31,11 @@
 //!
 //! Observability: `store.bytes_written`, `store.fsyncs`,
 //! `store.journal.appends`, `store.journal.replayed`,
-//! `store.journal.discarded_bytes`, and `store.compactions`.
+//! `store.journal.discarded_bytes`, `store.compactions`, and the
+//! degraded-mode gauges `store.degraded.enter` / `store.degraded.exit`
+//! / `store.degraded.refusals` (plus the `store_degraded{cause=…}`
+//! scoped family and the `store_degraded` / `store_recovered` wide
+//! events).
 
 pub mod corpus;
 pub mod crc;
@@ -42,7 +46,7 @@ pub mod store;
 
 pub use corpus::SnapshotData;
 pub use journal::{JournalRecord, TailState};
-pub use store::{RecoveryReport, Store};
+pub use store::{Durability, RecoveryReport, Store};
 
 use std::error::Error;
 use std::fmt;
@@ -57,6 +61,15 @@ pub enum StoreError {
     /// A `cable-guard` budget or cancellation tripped mid-operation
     /// (ingest and replay checkpoint between records).
     Guard(cable_guard::GuardError),
+    /// The store is read-only after a write-path failure (fail-stop
+    /// durability, DESIGN.md §17): writes are refused until
+    /// [`store::Store::recover`] republishes known-good state onto
+    /// fresh handles. `cause` is the degradation reason
+    /// (`"fsync"`, `"journal-append"`, `"publish"`, …).
+    Degraded {
+        /// Which write-path step failed first.
+        cause: String,
+    },
 }
 
 impl StoreError {
@@ -72,6 +85,9 @@ impl fmt::Display for StoreError {
             StoreError::Io(e) => write!(f, "store i/o error: {e}"),
             StoreError::Format(m) => write!(f, "store format error: {m}"),
             StoreError::Guard(e) => write!(f, "store operation stopped: {e}"),
+            StoreError::Degraded { cause } => {
+                write!(f, "store is read-only (degraded: {cause})")
+            }
         }
     }
 }
@@ -82,6 +98,7 @@ impl Error for StoreError {
             StoreError::Io(e) => Some(e),
             StoreError::Format(_) => None,
             StoreError::Guard(e) => Some(e),
+            StoreError::Degraded { .. } => None,
         }
     }
 }

@@ -9,7 +9,7 @@
 //! Sites: `store.snapshot.read`, `store.journal.read`,
 //! `store.publish`, `store.journal.append`, `store.fsync`.
 
-use std::fs;
+use std::fs::{self, File};
 use std::io::{self, Read, Write};
 use std::path::Path;
 
@@ -18,6 +18,24 @@ pub fn check(site: &str) -> io::Result<()> {
     match cable_guard::faults::io_error(site) {
         Some(e) => Err(e),
         None => Ok(()),
+    }
+}
+
+/// One faultable write: asks the plane, and on an `io:short` rule
+/// commits a prefix of the buffer to the underlying writer before
+/// surfacing the error — the torn record a real partial write leaves.
+fn faulted_write<W: Write>(site: &str, inner: &mut W, buf: &[u8]) -> io::Result<usize> {
+    match cable_guard::faults::io_fault(site) {
+        None => inner.write(buf),
+        Some(fault) => {
+            if fault.is_short_write() && !buf.is_empty() {
+                // Best-effort prefix commit: the injected error below is
+                // surfaced either way, so an inner failure here changes
+                // nothing for the caller.
+                let _ = inner.write(&buf[..buf.len().div_ceil(2)]);
+            }
+            Err(fault.into_error())
+        }
     }
 }
 
@@ -52,12 +70,54 @@ impl<W: Write> FaultWriter<W> {
 
 impl<W: Write> Write for FaultWriter<W> {
     fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
-        check(self.site)?;
-        self.inner.write(buf)
+        faulted_write(self.site, &mut self.inner, buf)
     }
 
     fn flush(&mut self) -> io::Result<()> {
         check(self.site)?;
+        self.inner.flush()
+    }
+}
+
+/// A [`File`] handle whose writes and fsyncs each consult the fault
+/// plane under their own site — the journal handle wrapper, so every
+/// append runs under `write_site` and every `sync_all` under
+/// `sync_site` without per-call rewrapping.
+#[derive(Debug)]
+pub struct FaultFile {
+    inner: File,
+    write_site: &'static str,
+    sync_site: &'static str,
+}
+
+impl FaultFile {
+    /// Wraps `inner`, attributing writes to `write_site` and fsyncs to
+    /// `sync_site`.
+    pub fn new(write_site: &'static str, sync_site: &'static str, inner: File) -> FaultFile {
+        FaultFile {
+            inner,
+            write_site,
+            sync_site,
+        }
+    }
+
+    /// `sync_all` behind the fault plane. Callers must treat a failure
+    /// as fail-stop for this handle: the kernel may have dropped the
+    /// dirty pages, so retrying the fsync can silently "succeed" over
+    /// lost data. Reopen and recover instead.
+    pub fn sync_all(&self) -> io::Result<()> {
+        check(self.sync_site)?;
+        self.inner.sync_all()
+    }
+}
+
+impl Write for FaultFile {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        faulted_write(self.write_site, &mut self.inner, buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        check(self.write_site)?;
         self.inner.flush()
     }
 }
@@ -123,6 +183,41 @@ mod tests {
         // The inner writer holds exactly the bytes written before the
         // fault, like a real mid-stream failure.
         assert_eq!(out, b"first");
+    }
+
+    #[test]
+    fn short_write_fault_commits_a_torn_prefix() {
+        let _l = lock();
+        cable_guard::faults::install("3:io:short@store.journal.append").unwrap();
+        let mut out = Vec::new();
+        let mut w = FaultWriter::new("store.journal.append", &mut out);
+        let err = w.write_all(b"abcdefgh").expect_err("first hit fires");
+        assert!(err.to_string().contains("io:short@"), "{err}");
+        cable_guard::faults::uninstall();
+        // Half the buffer landed before the failure: a torn record.
+        assert_eq!(out, b"abcd");
+    }
+
+    #[test]
+    fn fault_file_separates_write_and_sync_sites() {
+        let _l = lock();
+        let path = std::env::temp_dir().join(format!(
+            "cable-store-shim-faultfile-{}.bin",
+            std::process::id()
+        ));
+        let file = File::create(&path).unwrap();
+        let mut wrapped = FaultFile::new("store.journal.append", "store.fsync", file);
+
+        cable_guard::faults::install("3:io@store.fsync").unwrap();
+        wrapped.write_all(b"payload").unwrap();
+        let err = wrapped.sync_all().expect_err("sync site fires");
+        assert!(err.to_string().contains("io@store.fsync"), "{err}");
+
+        cable_guard::faults::install("3:io@store.journal.append").unwrap();
+        assert!(wrapped.write_all(b"more").is_err(), "write site fires");
+        cable_guard::faults::uninstall();
+        wrapped.sync_all().unwrap();
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -25,6 +25,20 @@
 //! ([`crate::journal::replay`]) and truncates the file back to that
 //! prefix before any further append, so damaged tail bytes are never
 //! appended after.
+//!
+//! **Fail-stop durability (DESIGN.md §17).** Any write-path failure —
+//! a journal append, a journal fsync, a snapshot or journal publish —
+//! flips the store to [`Durability::ReadOnly`]: every later write is
+//! refused with [`StoreError::Degraded`] until [`Store::recover`]
+//! republishes known-good state. The fsync rule in particular is
+//! absolute: after a failed `sync_all` the kernel may already have
+//! dropped the dirty pages, so retrying the fsync on the same handle
+//! can report success over lost data (the "fsyncgate" failure mode).
+//! Recovery therefore never touches the poisoned handles — it publishes
+//! the caller's in-memory state (which, by the journal-before-apply
+//! discipline, holds exactly the acknowledged operations) as a fresh
+//! generation through brand-new file handles, exactly like a
+//! compaction. Reads never degrade the store.
 
 use crate::corpus::{decode_snapshot, encode_snapshot, SnapshotData};
 use crate::journal::{self, JournalRecord, TailState};
@@ -46,6 +60,16 @@ static JOURNAL_APPENDS: CounterHandle = CounterHandle::new("store.journal.append
 static JOURNAL_DISCARDED_BYTES: CounterHandle = CounterHandle::new("store.journal.discarded_bytes");
 /// Compactions performed.
 static COMPACTIONS: CounterHandle = CounterHandle::new("store.compactions");
+/// Transitions into the read-only degraded state (monotonic; a store is
+/// degraded right now iff `enter - exit > 0`).
+static DEGRADED_ENTER: CounterHandle = CounterHandle::new("store.degraded.enter");
+/// Successful recoveries out of the degraded state (monotonic).
+static DEGRADED_EXIT: CounterHandle = CounterHandle::new("store.degraded.exit");
+/// Writes refused because the store was read-only.
+static DEGRADED_REFUSALS: CounterHandle = CounterHandle::new("store.degraded.refusals");
+/// Failed batches whose unacknowledged journal frames were truncated
+/// away so they cannot replay on a later open.
+static BATCH_ROLLBACKS: CounterHandle = CounterHandle::new("store.journal.rollbacks");
 /// Time spent inside file `fsync` calls, µs — the durability cost of
 /// the journal-before-apply discipline, surfaced as the `fsync` stage
 /// in `reproduce trace-report`.
@@ -72,24 +96,41 @@ pub struct RecoveryReport {
     pub stale_journal: bool,
 }
 
+/// Whether a store accepts writes — the fail-stop durability state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Durability {
+    /// Healthy: appends, syncs, and compactions are accepted.
+    Writable,
+    /// A write-path failure poisoned the handles: every write is
+    /// refused with [`StoreError::Degraded`] until [`Store::recover`]
+    /// succeeds. Reads keep serving from memory throughout.
+    ReadOnly {
+        /// Which write-path step failed first (`"fsync"`,
+        /// `"journal-append"`, `"publish"`, `"journal-reset"`, …).
+        cause: String,
+    },
+}
+
 /// An open store directory with its journal ready for appends.
 #[derive(Debug)]
 pub struct Store {
     dir: PathBuf,
-    journal: File,
+    journal: shim::FaultFile,
     generation: u64,
     /// Records in the journal that are not yet folded into the
     /// snapshot: replayed records at open, plus appends since, reset by
     /// compaction. This is the record-grained journal lag `/healthz`
     /// reports.
     journal_records: u64,
+    durability: Durability,
 }
 
-fn fsync(file: &File) -> Result<(), StoreError> {
-    shim::check("store.fsync")?;
+/// Instruments one fsync call (recorder span, wait histogram, counter)
+/// without caring which handle issues it.
+fn timed_sync(sync: impl FnOnce() -> std::io::Result<()>) -> Result<(), StoreError> {
     let wait_start = cable_obs::enabled().then(std::time::Instant::now);
     cable_obs::recorder::begin("wait.fsync");
-    let result = file.sync_all();
+    let result = sync();
     cable_obs::recorder::end("wait.fsync");
     if let Some(start) = wait_start {
         WAIT_FSYNC.get().record(start.elapsed().as_micros() as u64);
@@ -99,12 +140,19 @@ fn fsync(file: &File) -> Result<(), StoreError> {
     Ok(())
 }
 
+fn fsync(file: &File) -> Result<(), StoreError> {
+    shim::check("store.fsync")?;
+    timed_sync(|| file.sync_all())
+}
+
 /// Fsyncs a directory so a rename inside it is durable. Directories
-/// cannot be fsynced on some platforms (notably Windows); failure to
-/// open one for syncing is not an error.
+/// cannot be opened for syncing on some platforms (notably Windows), so
+/// failure to *open* the handle is tolerated — but once open, a failed
+/// `sync_all` is a real durability loss and propagates like any other
+/// write-path error.
 fn fsync_dir(dir: &Path) -> Result<(), StoreError> {
     if let Ok(handle) = File::open(dir) {
-        let _ = handle.sync_all();
+        handle.sync_all()?;
         FSYNCS.get().incr();
     }
     Ok(())
@@ -132,6 +180,16 @@ fn open_journal_for_append(path: &Path, len: u64) -> Result<File, StoreError> {
     Ok(file)
 }
 
+/// Opens a fresh journal append handle behind the fault shim (writes
+/// run under `store.journal.append`, fsyncs under `store.fsync`).
+fn journal_handle(path: &Path, len: u64) -> Result<shim::FaultFile, StoreError> {
+    Ok(shim::FaultFile::new(
+        "store.journal.append",
+        "store.fsync",
+        open_journal_for_append(path, len)?,
+    ))
+}
+
 impl Store {
     /// Creates a store directory (which must not already hold one) and
     /// publishes `data` as its first snapshot, with an empty journal.
@@ -150,13 +208,14 @@ impl Store {
         publish(dir, SNAPSHOT_TMP, SNAPSHOT_FILE, &encode_snapshot(data))?;
         let header = journal::header(data.generation);
         publish(dir, JOURNAL_TMP, JOURNAL_FILE, &header)?;
-        let journal = open_journal_for_append(&dir.join(JOURNAL_FILE), header.len() as u64)?;
+        let journal = journal_handle(&dir.join(JOURNAL_FILE), header.len() as u64)?;
         cable_obs::recorder::instant("store.create");
         Ok(Store {
             dir: dir.to_owned(),
             journal,
             generation: data.generation,
             journal_records: 0,
+            durability: Durability::Writable,
         })
     }
 
@@ -200,11 +259,11 @@ impl Store {
         let header = journal::header(data.generation);
         let journal = if stale || valid_len < journal::HEADER_LEN {
             publish(dir, JOURNAL_TMP, JOURNAL_FILE, &header)?;
-            open_journal_for_append(&journal_path, header.len() as u64)?
+            journal_handle(&journal_path, header.len() as u64)?
         } else {
-            let file = open_journal_for_append(&journal_path, valid_len as u64)?;
+            let file = journal_handle(&journal_path, valid_len as u64)?;
             if discarded > 0 {
-                fsync(&file)?;
+                timed_sync(|| file.sync_all())?;
             }
             file
         };
@@ -241,6 +300,7 @@ impl Store {
                 journal,
                 generation: data.generation,
                 journal_records: records.len() as u64,
+                durability: Durability::Writable,
             },
             data,
             records,
@@ -258,12 +318,95 @@ impl Store {
         self.generation
     }
 
+    /// The fail-stop durability state.
+    pub fn durability(&self) -> &Durability {
+        &self.durability
+    }
+
+    /// The degradation cause, if the store is read-only.
+    pub fn degraded_cause(&self) -> Option<&str> {
+        match &self.durability {
+            Durability::Writable => None,
+            Durability::ReadOnly { cause } => Some(cause),
+        }
+    }
+
+    /// Whether the store is refusing writes.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self.durability, Durability::ReadOnly { .. })
+    }
+
+    /// Refuses the write if the store is read-only.
+    fn ensure_writable(&self) -> Result<(), StoreError> {
+        match &self.durability {
+            Durability::Writable => Ok(()),
+            Durability::ReadOnly { cause } => {
+                DEGRADED_REFUSALS.get().incr();
+                Err(StoreError::Degraded {
+                    cause: cause.clone(),
+                })
+            }
+        }
+    }
+
+    /// Flips the store to read-only after a write-path failure. The
+    /// transition is counted once (`store.degraded.enter`), surfaced as
+    /// a `store_degraded{cause=…}` scoped metric, and announced with a
+    /// `store_degraded` wide event; a failure while already degraded
+    /// (e.g. inside a failed recovery) only updates the cause.
+    fn degrade(&mut self, cause: &str, error: &StoreError) {
+        if !self.is_degraded() {
+            DEGRADED_ENTER.get().incr();
+            cable_obs::scoped()
+                .open(&[("cause", cause)])
+                .incr("store_degraded");
+        }
+        if cable_obs::events::enabled() {
+            cable_obs::events::emit(
+                cable_obs::WideEvent::new("store_degraded", "store")
+                    .stage("store.write")
+                    .outcome("read_only")
+                    .field("cause", cause.to_owned())
+                    .field("error", error.to_string())
+                    .field("generation", self.generation),
+            );
+        }
+        cable_obs::recorder::instant("store.degraded");
+        self.durability = Durability::ReadOnly {
+            cause: cause.to_owned(),
+        };
+    }
+
+    /// Runs one write-path step; any failure flips the store to
+    /// read-only under `cause` before the error propagates.
+    fn write_step<T>(
+        &mut self,
+        cause: &str,
+        step: impl FnOnce(&mut Store) -> Result<T, StoreError>,
+    ) -> Result<T, StoreError> {
+        match step(self) {
+            Ok(value) => Ok(value),
+            Err(e) => {
+                // Guard trips (budget, cancellation) stop the operation
+                // but do not indict the disk; only real I/O failures
+                // poison durability.
+                if !matches!(e, StoreError::Guard(_)) {
+                    self.degrade(cause, &e);
+                }
+                Err(e)
+            }
+        }
+    }
+
     /// Appends one record to the journal without syncing; call
     /// [`Store::sync`] to make a batch durable, or use
     /// [`Store::append_all`].
     pub fn append(&mut self, record: &JournalRecord) -> Result<(), StoreError> {
+        self.ensure_writable()?;
         let bytes = journal::encode_record(record);
-        shim::FaultWriter::new("store.journal.append", &mut self.journal).write_all(&bytes)?;
+        self.write_step("journal-append", |store| {
+            store.journal.write_all(&bytes).map_err(StoreError::from)
+        })?;
         BYTES_WRITTEN.get().add(bytes.len() as u64);
         JOURNAL_APPENDS.get().incr();
         self.journal_records += 1;
@@ -271,28 +414,101 @@ impl Store {
         Ok(())
     }
 
-    /// Fsyncs the journal.
+    /// Fsyncs the journal. A failure is fail-stop: the handle is never
+    /// fsync-retried (the kernel may have dropped the dirty pages and a
+    /// retry can report success over lost data), the store goes
+    /// read-only, and [`Store::recover`] must republish state onto
+    /// fresh handles.
     pub fn sync(&mut self) -> Result<(), StoreError> {
-        fsync(&self.journal)
+        self.ensure_writable()?;
+        self.write_step("fsync", |store| timed_sync(|| store.journal.sync_all()))
     }
 
     /// Appends a batch of records. With `sync_each` every record is
     /// fsynced individually (durable the moment it returns, at one
     /// fsync per record — what the crash-recovery drill exercises);
     /// otherwise the batch is fsynced once at the end.
+    ///
+    /// The batch is all-or-nothing *in the journal file*: if any append
+    /// or fsync fails partway, the frames this batch already wrote are
+    /// truncated back off (see [`Store::rollback_batch`]) before the
+    /// error propagates, so a later [`Store::open`] replays exactly the
+    /// acknowledged prefix — a batch the caller was never acked cannot
+    /// resurrect piecemeal.
     pub fn append_all<'a, I>(&mut self, records: I, sync_each: bool) -> Result<(), StoreError>
     where
         I: IntoIterator<Item = &'a JournalRecord>,
     {
-        for record in records {
-            self.append(record)?;
-            if sync_each {
-                self.sync()?;
+        self.ensure_writable()?;
+        let acked_len = self.journal_bytes()?;
+        let acked_records = self.journal_records;
+        let run = |store: &mut Store| -> Result<(), StoreError> {
+            for record in records {
+                store.append(record)?;
+                if sync_each {
+                    store.sync()?;
+                }
+            }
+            if !sync_each {
+                store.sync()?;
+            }
+            Ok(())
+        };
+        run(self).inspect_err(|_| self.rollback_batch(acked_len, acked_records))
+    }
+
+    /// Discards a failed batch's journaled-but-unacknowledged frames by
+    /// truncating the journal back to the length the last acknowledged
+    /// write left it at — on a *fresh* handle, never the possibly
+    /// poisoned one. Without this, a batch that failed on its third
+    /// record would leave two complete frames behind that a later open
+    /// happily replays, resurrecting operations the client was told
+    /// failed (and will therefore retry, duplicating them).
+    ///
+    /// Best-effort by design: if even the truncate fails the store is
+    /// degraded (if it was not already), and [`Store::recover`] resets
+    /// the journal wholesale anyway. Only a crash in the window between
+    /// a failed rollback and recovery can still replay unacked frames —
+    /// the standard write-ahead caveat documented on [`Store::recover`].
+    fn rollback_batch(&mut self, acked_len: u64, acked_records: u64) {
+        self.journal_records = acked_records;
+        match journal_handle(&self.dir.join(JOURNAL_FILE), acked_len) {
+            Ok(handle) => {
+                self.journal = handle;
+                BATCH_ROLLBACKS.get().incr();
+                cable_obs::recorder::instant("store.journal.rollback");
+            }
+            Err(e) => {
+                if !self.is_degraded() {
+                    self.degrade("journal-rollback", &e);
+                }
             }
         }
-        if !sync_each {
-            self.sync()?;
+    }
+
+    /// Publishes `data` (whose generation must be one past the store's)
+    /// as a fresh snapshot and resets the journal — the shared body of
+    /// [`Store::compact`] and [`Store::recover`]. Every file handle
+    /// involved is newly opened, never a reused (possibly poisoned) one.
+    fn republish(&mut self, data: &SnapshotData) -> Result<(), StoreError> {
+        if data.generation != self.generation + 1 {
+            return Err(StoreError::format(format!(
+                "compaction generation {} does not follow {}",
+                data.generation, self.generation
+            )));
         }
+        let snapshot = encode_snapshot(data);
+        self.write_step("publish", |store| {
+            publish(&store.dir, SNAPSHOT_TMP, SNAPSHOT_FILE, &snapshot)
+        })?;
+        let header = journal::header(data.generation);
+        self.write_step("journal-reset", |store| {
+            publish(&store.dir, JOURNAL_TMP, JOURNAL_FILE, &header)?;
+            store.journal = journal_handle(&store.dir.join(JOURNAL_FILE), header.len() as u64)?;
+            Ok(())
+        })?;
+        self.generation = data.generation;
+        self.journal_records = 0;
         Ok(())
     }
 
@@ -304,25 +520,50 @@ impl Store {
     ///
     /// Fails on I/O errors or a generation mismatch.
     pub fn compact(&mut self, data: &SnapshotData) -> Result<(), StoreError> {
-        if data.generation != self.generation + 1 {
-            return Err(StoreError::format(format!(
-                "compaction generation {} does not follow {}",
-                data.generation, self.generation
-            )));
-        }
-        publish(
-            &self.dir,
-            SNAPSHOT_TMP,
-            SNAPSHOT_FILE,
-            &encode_snapshot(data),
-        )?;
-        let header = journal::header(data.generation);
-        publish(&self.dir, JOURNAL_TMP, JOURNAL_FILE, &header)?;
-        self.journal = open_journal_for_append(&self.dir.join(JOURNAL_FILE), header.len() as u64)?;
-        self.generation = data.generation;
-        self.journal_records = 0;
+        self.ensure_writable()?;
+        self.republish(data)?;
         COMPACTIONS.get().incr();
         cable_obs::recorder::instant("store.compact");
+        Ok(())
+    }
+
+    /// Restores write service after a degradation by publishing the
+    /// caller's in-memory state (exactly the acknowledged operations —
+    /// the journal-before-apply discipline guarantees nothing
+    /// unacknowledged ever reaches memory) as generation
+    /// `self.generation + 1` through fresh file handles, then marking
+    /// the store writable again. A no-op on a writable store.
+    ///
+    /// The poisoned journal handle is never fsync-retried; the old
+    /// journal file is reset wholesale, so an unacknowledged tail from
+    /// the failed write cannot replay later. A crash between the
+    /// degradation and a successful recover leaves the old journal in
+    /// place, where the next [`Store::open`] replays its valid prefix —
+    /// standard write-ahead semantics (see DESIGN.md §17).
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors (the store then stays read-only, with the
+    /// cause updated to the failing recovery step) or a generation
+    /// mismatch.
+    pub fn recover(&mut self, data: &SnapshotData) -> Result<(), StoreError> {
+        let Durability::ReadOnly { cause } = &self.durability else {
+            return Ok(());
+        };
+        let cause = cause.clone();
+        self.republish(data)?;
+        self.durability = Durability::Writable;
+        DEGRADED_EXIT.get().incr();
+        if cable_obs::events::enabled() {
+            cable_obs::events::emit(
+                cable_obs::WideEvent::new("store_recovered", "store")
+                    .stage("store.recover")
+                    .outcome("ok")
+                    .field("cause", cause)
+                    .field("generation", self.generation),
+            );
+        }
+        cable_obs::recorder::instant("store.recover");
         Ok(())
     }
 
@@ -349,6 +590,21 @@ impl Store {
     /// open plus appended since; zero right after a compaction).
     pub fn journal_lag_records(&self) -> u64 {
         self.journal_records
+    }
+}
+
+impl Drop for Store {
+    fn drop(&mut self) {
+        // A handle discarded while still read-only (e.g. a degraded
+        // session LRU-evicted before anyone called recover) exits its
+        // degradation here: the next open replays the journal's valid
+        // prefix onto fresh handles and is writable. Keeping the exit
+        // counter in step makes `degraded.enter - degraded.exit` the
+        // count of *live* degraded handles, which is what `/healthz`
+        // reports as `degraded_now`.
+        if self.is_degraded() {
+            DEGRADED_EXIT.get().incr();
+        }
     }
 }
 

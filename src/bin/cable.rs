@@ -749,8 +749,11 @@ fn publish_health(stored: &StoredSession) {
 }
 
 /// The server sizing: `--max-connections` wins, then `CABLE_MAX_CONNS`,
-/// then the compiled-in default. A malformed env value is a usage error
-/// (exit 2), same as a malformed flag.
+/// then the compiled-in default. The per-connection patience knobs
+/// (`CABLE_IO_TIMEOUT_MS` for a single read, `CABLE_CONN_DEADLINE_MS`
+/// for the whole request — the slowloris guard) are env-only. A
+/// malformed env value is a usage error (exit 2), same as a malformed
+/// flag.
 fn resolve_server_config(opts: &Opts) -> cable::obs::ServerConfig {
     let mut config = cable::obs::ServerConfig::default();
     if let Some(n) = opts.max_connections {
@@ -763,6 +766,21 @@ fn resolve_server_config(opts: &Opts) -> cable::obs::ServerConfig {
                 .filter(|&n: &usize| n > 0)
                 .unwrap_or_else(|| usage("CABLE_MAX_CONNS must be a positive integer"));
         }
+    }
+    let millis = |name: &'static str| -> Option<std::time::Duration> {
+        let v = std::env::var(name).ok().filter(|v| !v.is_empty())?;
+        let ms: u64 = v
+            .parse()
+            .ok()
+            .filter(|&ms| ms > 0)
+            .unwrap_or_else(|| usage(&format!("{name} must be a positive integer (ms)")));
+        Some(std::time::Duration::from_millis(ms))
+    };
+    if let Some(t) = millis("CABLE_IO_TIMEOUT_MS") {
+        config.io_timeout = t;
+    }
+    if let Some(t) = millis("CABLE_CONN_DEADLINE_MS") {
+        config.connection_deadline = t;
     }
     config
 }
